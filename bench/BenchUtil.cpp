@@ -1,0 +1,47 @@
+//===- BenchUtil.cpp - Shared helpers for the figure benches --------------------===//
+
+#include "bench/BenchUtil.h"
+
+#include "support/Diagnostics.h"
+#include "support/Format.h"
+#include "vm/Loader.h"
+
+using namespace cfed;
+using namespace cfed::bench;
+
+uint64_t cfed::bench::runDbtCycles(const AsmProgram &Program,
+                                   const DbtConfig &Config) {
+  Memory Mem;
+  Interpreter Interp(Mem);
+  Dbt Translator(Mem, Config);
+  if (!Translator.load(Program, Interp.state()))
+    reportFatalError("bench workload failed to load under the DBT");
+  StopInfo Stop = Translator.run(Interp, RunBudget);
+  if (Stop.Kind != StopKind::Halted)
+    reportFatalError(formatString("bench workload did not halt (%s)",
+                                  getTrapKindName(Stop.Trap)));
+  return Interp.cycleCount();
+}
+
+uint64_t cfed::bench::runNativeCycles(const AsmProgram &Program) {
+  Memory Mem;
+  Interpreter Interp(Mem);
+  loadProgram(Program, LoadMode::Native, Mem, Interp.state());
+  StopInfo Stop = Interp.run(RunBudget);
+  if (Stop.Kind != StopKind::Halted)
+    reportFatalError("bench workload did not halt natively");
+  return Interp.cycleCount();
+}
+
+std::string cfed::bench::shortName(const std::string &Name) {
+  size_t Dot = Name.find('.');
+  return Dot == std::string::npos ? Name : Name.substr(Dot + 1);
+}
+
+std::string cfed::bench::formatSlowdown(double Value) {
+  return formatString("%.3f", Value);
+}
+
+std::string cfed::bench::formatPercent(double Value) {
+  return formatString("%.2f%%", Value * 100.0);
+}

@@ -1,0 +1,49 @@
+//===- BenchUtil.h - Shared helpers for the figure benches ------*- C++ -*-===//
+//
+// Part of the CFED project (CGO'06 control-flow error detection repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Run helpers shared by the bench binaries that regenerate the paper's
+/// tables and figures. "Time" everywhere is the deterministic cycle
+/// count of the VISA cost model (see DESIGN.md, Substitutions), so every
+/// bench prints identical numbers on every run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFED_BENCH_BENCHUTIL_H
+#define CFED_BENCH_BENCHUTIL_H
+
+#include "dbt/Dbt.h"
+#include "workloads/Workloads.h"
+
+#include <cstdint>
+#include <string>
+
+namespace cfed {
+namespace bench {
+
+/// Instruction budget generous enough for every suite workload.
+inline constexpr uint64_t RunBudget = 200000000ULL;
+
+/// Cycles of one run under the DBT with \p Config; aborts on any failure
+/// (workloads must run clean).
+uint64_t runDbtCycles(const AsmProgram &Program, const DbtConfig &Config);
+
+/// Cycles of one native (non-translated) run.
+uint64_t runNativeCycles(const AsmProgram &Program);
+
+/// Strips the numeric SPEC prefix for display ("164.gzip" -> "gzip").
+std::string shortName(const std::string &Name);
+
+/// Formats a slowdown with the paper's three decimals.
+std::string formatSlowdown(double Value);
+
+/// Formats a probability as a percentage with two decimals ("72.62%").
+std::string formatPercent(double Value);
+
+} // namespace bench
+} // namespace cfed
+
+#endif // CFED_BENCH_BENCHUTIL_H

@@ -1,0 +1,90 @@
+//===- ablation_dbt.cpp - DBT design-choice ablations ---------------------------===//
+//
+// Ablates the translator mechanisms DESIGN.md calls out, on a subset of
+// the suite, under EdgCF instrumentation:
+//
+//  * block chaining (patching Tramp exits into direct jumps),
+//  * superblock formation along unconditional chains (Backend),
+//  * peephole folding of adjacent signature updates (Backend) — the
+//    static analogue of the paper's observation that signatures must be
+//    updated everywhere but checked only where the policy demands.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "support/Format.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace cfed;
+using namespace cfed::bench;
+
+int main() {
+  std::printf("=== Ablation: DBT mechanisms under EdgCF ===\n\n");
+  // 197.parser's tokenizer has the forward-jump diamonds where
+  // superblock formation and update folding can kick in; the others are
+  // loop-dominated (backward targets are already translated when first
+  // reached, so they chain instead).
+  const char *Names[] = {"164.gzip", "181.mcf", "197.parser", "171.swim",
+                         "189.lucas"};
+  struct Variant {
+    const char *Label;
+    bool Chain;
+    unsigned Superblock;
+    bool Fold;
+    CheckPolicy Policy;
+  };
+  const Variant Variants[] = {
+      {"baseline (chain)", true, 1, false, CheckPolicy::AllBB},
+      {"no chaining", false, 1, false, CheckPolicy::AllBB},
+      {"superblocks", true, 8, false, CheckPolicy::AllBB},
+      {"superblk+fold (END)", true, 8, true, CheckPolicy::End},
+  };
+
+  Table T;
+  std::vector<std::string> Header = {"Variant"};
+  for (const char *Name : Names)
+    Header.push_back(shortName(Name));
+  Header.push_back("dispatches");
+  Header.push_back("folded");
+  T.setHeader(Header);
+
+  for (const Variant &V : Variants) {
+    std::vector<std::string> Row = {V.Label};
+    uint64_t Dispatches = 0, Folded = 0;
+    for (const char *Name : Names) {
+      AsmProgram Program = assembleWorkload(Name);
+      DbtConfig Config;
+      Config.Tech = Technique::EdgCf;
+      Config.ChainDirectExits = V.Chain;
+      Config.SuperblockLimit = V.Superblock;
+      Config.FoldSignatureUpdates = V.Fold;
+      Config.Policy = V.Policy;
+      Memory Mem;
+      Interpreter Interp(Mem);
+      Dbt Translator(Mem, Config);
+      if (!Translator.load(Program, Interp.state()))
+        return 1;
+      StopInfo Stop = Translator.run(Interp, RunBudget);
+      if (Stop.Kind != StopKind::Halted) {
+        std::printf("workload %s failed under %s\n", Name, V.Label);
+        return 1;
+      }
+      Row.push_back(formatString("%.2fM", Interp.cycleCount() / 1e6));
+      Dispatches += Translator.dispatchCount();
+      Folded += Translator.foldedUpdateCount();
+    }
+    Row.push_back(formatString("%llu", (unsigned long long)Dispatches));
+    Row.push_back(formatString("%llu", (unsigned long long)Folded));
+    T.addRow(Row);
+  }
+  std::printf("%s\n", T.render().c_str());
+  std::printf("Expected shape: chaining is the dominant mechanism "
+              "(no-chaining pays a dispatch per\nblock transition); "
+              "superblocks alone roughly match chaining on "
+              "loop-dominated code;\nsuperblocks plus folding under a "
+              "relaxed policy additionally remove signature updates\n"
+              "along unconditional chains.\n");
+  return 0;
+}

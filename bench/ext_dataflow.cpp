@@ -1,0 +1,97 @@
+//===- ext_dataflow.cpp - Data-flow checking extension evaluation ---------------===//
+//
+// The paper's future work ("we will add data flow checking into our
+// implementation and measure the overall performance impact... and
+// soft-error injection to measure the actual effectiveness"), run on the
+// SWIFT-style extension in cfc/DataFlow.h:
+//
+//  1. Performance: slowdown of EdgCF alone vs EdgCF + data-flow checking
+//     over the DBT baseline, per suite half.
+//  2. Effectiveness: single-bit *register* faults (the datapath error
+//     model) with and without data-flow checking — control-flow checking
+//     alone is blind to them.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "fault/RegisterFault.h"
+#include "support/Stats.h"
+#include "support/Table.h"
+#include "workloads/RandomProgram.h"
+
+#include <cstdio>
+
+using namespace cfed;
+using namespace cfed::bench;
+
+int main() {
+  std::printf("=== Extension: SWIFT-style data-flow checking under the "
+              "DBT ===\n\n");
+
+  // Performance over a representative slice (full duplication roughly
+  // doubles dynamic work on ALU-dominated code).
+  const char *Names[] = {"164.gzip", "181.mcf", "197.parser", "171.swim",
+                         "188.ammp", "189.lucas"};
+  Table T;
+  T.setHeader({"Benchmark", "EdgCF", "EdgCF+DFC"});
+  std::vector<double> Cfc, CfcDfc;
+  for (const char *Name : Names) {
+    AsmProgram Program = assembleWorkload(Name);
+    uint64_t Base = runDbtCycles(Program, DbtConfig{});
+    DbtConfig Plain;
+    Plain.Tech = Technique::EdgCf;
+    DbtConfig Dfc = Plain;
+    Dfc.DataFlowCheck = true;
+    double A = double(runDbtCycles(Program, Plain)) / double(Base);
+    double B = double(runDbtCycles(Program, Dfc)) / double(Base);
+    Cfc.push_back(A);
+    CfcDfc.push_back(B);
+    T.addRow({shortName(Name), formatSlowdown(A), formatSlowdown(B)});
+  }
+  T.addSeparator();
+  T.addRow({"geomean", formatSlowdown(geometricMean(Cfc)),
+            formatSlowdown(geometricMean(CfcDfc))});
+  std::printf("%s\n", T.render().c_str());
+
+  // Effectiveness under register faults.
+  std::printf("=== Register-fault campaign (single bit in r0-r14 at a "
+              "random instruction) ===\n\n");
+  Table T2;
+  T2.setHeader({"Config", "det-sig", "det-hw", "masked", "SDC",
+                "timeout"});
+  std::vector<AsmProgram> Programs;
+  for (uint64_t Seed : {7, 21}) {
+    RandomProgramOptions Options;
+    Options.Seed = Seed;
+    Options.NumSegments = 8;
+    AsmResult R = assembleProgram(generateRandomProgram(Options));
+    if (!R.succeeded())
+      return 1;
+    Programs.push_back(std::move(R.Program));
+  }
+  for (bool Dfc : {false, true}) {
+    OutcomeCounts Totals;
+    for (size_t PI = 0; PI < Programs.size(); ++PI) {
+      DbtConfig Config;
+      Config.Tech = Technique::EdgCf;
+      Config.DataFlowCheck = Dfc;
+      OutcomeCounts R = runRegisterFaultCampaign(Programs[PI], Config, 150,
+                                                 500 + PI, 50000000ULL);
+      Totals.merge(R);
+    }
+    auto Cell = [](uint64_t Value) { return std::to_string(Value); };
+    T2.addRow({Dfc ? "EdgCF + data-flow" : "EdgCF alone",
+               Cell(Totals.DetectedSig), Cell(Totals.DetectedHw),
+               Cell(Totals.Masked), Cell(Totals.Sdc),
+               Cell(Totals.Timeout)});
+  }
+  std::printf("%s\n", T2.render().c_str());
+  std::printf("Expected shape: control-flow checking alone reports no "
+              "register faults (det-sig 0);\nthe data-flow layer "
+              "converts most SDCs into reports at a SWIFT-like "
+              "performance cost.\nResidual SDCs are faults consumed "
+              "only by branch decisions before being overwritten\n(the "
+              "window full SWIFT closes with duplicated branch-operand "
+              "validation).\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+//===- micro_dbt.cpp - google-benchmark microbenchmarks -------------------------===//
+//
+// Host-time microbenchmarks of the infrastructure itself (the only
+// bench measuring wall-clock rather than model cycles): assembler
+// throughput, encode/decode, interpreter dispatch, and whole-program
+// translation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Assembler.h"
+#include "dbt/Dbt.h"
+#include "vm/Loader.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace cfed;
+
+static void BM_Assembler(benchmark::State &State) {
+  std::string Source = getWorkloadSource("164.gzip");
+  for (auto _ : State) {
+    AsmResult Result = assembleProgram(Source);
+    benchmark::DoNotOptimize(Result.Program.Code.data());
+  }
+  State.SetBytesProcessed(int64_t(State.iterations()) * Source.size());
+}
+BENCHMARK(BM_Assembler);
+
+static void BM_EncodeDecode(benchmark::State &State) {
+  Instruction I = insn::rri(Opcode::Lea, RegPCP, RegPCP, 12345);
+  uint8_t Buffer[InsnSize];
+  for (auto _ : State) {
+    I.encode(Buffer);
+    auto Decoded = Instruction::decode(Buffer);
+    benchmark::DoNotOptimize(Decoded);
+  }
+}
+BENCHMARK(BM_EncodeDecode);
+
+static void BM_InterpreterDispatch(benchmark::State &State) {
+  AsmProgram Program = assembleWorkload("181.mcf");
+  for (auto _ : State) {
+    Memory Mem;
+    Interpreter Interp(Mem);
+    loadProgram(Program, LoadMode::Native, Mem, Interp.state());
+    Interp.run(100000);
+    benchmark::DoNotOptimize(Interp.cycleCount());
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) * 100000);
+}
+BENCHMARK(BM_InterpreterDispatch);
+
+static void BM_Translation(benchmark::State &State) {
+  AsmProgram Program = assembleWorkload("176.gcc");
+  for (auto _ : State) {
+    Memory Mem;
+    Interpreter Interp(Mem);
+    DbtConfig Config;
+    Config.Tech = Technique::Rcf;
+    Config.EagerTranslate = true;
+    Dbt Translator(Mem, Config);
+    bool Ok = Translator.load(Program, Interp.state());
+    benchmark::DoNotOptimize(Ok);
+    State.counters["blocks"] =
+        static_cast<double>(Translator.blocks().size());
+  }
+}
+BENCHMARK(BM_Translation);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+; dispatch.s — indirect calls through a function-pointer table, the
+; pattern that makes whole-program signature assignment (CFCSS/ECCA)
+; impossible and that EdgCF/RCF handle for free with
+; address-as-signature (Section 5).
+;
+;   ./build/tools/cfed-run --tech=rcf examples/asm/dispatch.s
+;   ./build/tools/cfed-run --tech=cfcss --eager examples/asm/dispatch.s   # refuses
+
+.entry main
+
+op_add:
+  add r1, r2, r3
+  ret
+op_sub:
+  sub r1, r2, r3
+  ret
+op_mul:
+  mul r1, r2, r3
+  ret
+op_max:
+  mov r1, r2
+  cmp r3, r2
+  jcc le, done
+  mov r1, r3
+done:
+  ret
+
+.data
+ops: .word op_add, op_sub, op_mul, op_max
+
+.code
+main:
+  movi r2, 21
+  movi r3, 4
+  movi r10, 0           ; op index
+dloop:
+  movi r4, ops
+  shli r5, r10, 3
+  add r4, r4, r5
+  ld r6, [r4]
+  callr r6
+  out r1
+  addi r10, r10, 1
+  cmpi r10, 4
+  jcc lt, dloop
+  halt

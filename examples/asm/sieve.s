@@ -1,0 +1,48 @@
+; sieve.s — sieve of Eratosthenes over [2, 4000), printing the count of
+; primes and the largest one found.
+;
+;   ./build/tools/cfed-run --tech=edgcf --policy=retbe --stats examples/asm/sieve.s
+;   ./build/tools/cfed-run --dump-cfg examples/asm/sieve.s | dot -Tpng > sieve.png
+
+.entry main
+.data
+flags: .space 4000
+.code
+
+main:
+  ; mark composites
+  movi r1, 2            ; p
+outer:
+  mul r2, r1, r1        ; p*p
+  cmpi r2, 4000
+  jcc ge, count
+  mov r3, r2            ; multiple
+inner:
+  movi r4, flags
+  add r4, r4, r3
+  movi r5, 1
+  stb [r4], r5
+  add r3, r3, r1
+  cmpi r3, 4000
+  jcc lt, inner
+  addi r1, r1, 1
+  jmp outer
+
+count:
+  movi r1, 2
+  movi r6, 0            ; prime count
+  movi r7, 0            ; largest prime
+cl:
+  movi r4, flags
+  add r4, r4, r1
+  ldb r5, [r4]
+  jnzr r5, composite
+  addi r6, r6, 1
+  mov r7, r1
+composite:
+  addi r1, r1, 1
+  cmpi r1, 4000
+  jcc lt, cl
+  out r6                ; 550 primes below 4000
+  out r7                ; 3989
+  halt

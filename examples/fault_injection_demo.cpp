@@ -1,0 +1,62 @@
+//===- fault_injection_demo.cpp - Comparing techniques under injection ----------===//
+//
+// Runs identical single-bit fault-injection campaigns against one
+// workload under no instrumentation, ECF, EdgCF and RCF, and prints the
+// outcome distribution of each — the experiment the paper lists as
+// future work, in miniature. Watch the SDC column empty out as the
+// techniques turn silent corruptions into reported errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fault/Campaign.h"
+#include "support/Table.h"
+#include "workloads/RandomProgram.h"
+
+#include <cstdio>
+
+using namespace cfed;
+
+int main() {
+  // A small branchy program keeps each injection run fast; campaigns
+  // re-execute the program once per fault.
+  RandomProgramOptions Options;
+  Options.Seed = 2026;
+  Options.NumSegments = 10;
+  Options.LoopTrip = 20;
+  AsmResult Assembled = assembleProgram(generateRandomProgram(Options));
+  if (!Assembled.succeeded()) {
+    std::printf("%s", Assembled.errorText().c_str());
+    return 1;
+  }
+
+  std::printf("Injecting 120 single-bit branch faults per technique...\n\n");
+  Table T;
+  T.setHeader({"Technique", "det-sig", "det-hw", "masked", "SDC",
+               "timeout"});
+  for (Technique Tech : {Technique::None, Technique::Ecf, Technique::EdgCf,
+                         Technique::Rcf}) {
+    DbtConfig Config;
+    Config.Tech = Tech;
+    Config.Flavor = UpdateFlavor::CMovcc;
+    FaultCampaign Campaign(Assembled.Program, Config);
+    if (!Campaign.prepare(10000000)) {
+      std::printf("golden run failed for %s\n", getTechniqueName(Tech));
+      return 1;
+    }
+    CampaignResult Result = Campaign.run(120, 42, SiteClass::Any);
+    OutcomeCounts Totals = Result.totals();
+    auto Cell = [](uint64_t Value) {
+      return std::to_string(Value);
+    };
+    T.addRow({getTechniqueName(Tech), Cell(Totals.DetectedSig),
+              Cell(Totals.DetectedHw), Cell(Totals.Masked),
+              Cell(Totals.Sdc), Cell(Totals.Timeout)});
+  }
+  std::printf("%s\n", T.render().c_str());
+  std::printf("det-sig: the technique's check reported the error.\n"
+              "det-hw:  memory protection / illegal instruction caught "
+              "it (category F etc.).\n"
+              "SDC:     the program finished with corrupted output — "
+              "what checking eliminates.\n");
+  return 0;
+}

@@ -1,0 +1,641 @@
+//===- Assembler.cpp - Two-pass VISA assembler -------------------------------===//
+
+#include "asm/Assembler.h"
+
+#include "support/Format.h"
+#include "vm/Layout.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+
+using namespace cfed;
+
+std::string AsmResult::errorText() const {
+  std::string Out;
+  for (const AsmError &Error : Errors)
+    Out += formatString("line %u: %s\n", Error.Line, Error.Message.c_str());
+  return Out;
+}
+
+namespace {
+
+/// An operand before symbol resolution.
+struct PendingOperand {
+  bool IsLabel = false;
+  std::string Label;
+  int64_t Value = 0;
+};
+
+/// One parsed instruction awaiting encoding.
+struct PendingInsn {
+  unsigned Line = 0;
+  Opcode Op = Opcode::Nop;
+  uint8_t Fields[3] = {0, 0, 0};
+  PendingOperand Imm;
+  bool HasImm = false;
+  uint64_t Addr = 0; // Absolute address of this instruction.
+};
+
+/// One pending data item in the data section.
+struct PendingData {
+  unsigned Line = 0;
+  enum class Kind { Word, Byte } ItemKind = Kind::Word;
+  PendingOperand Value;
+  uint64_t Offset = 0; // Offset within the data image.
+};
+
+class Assembler {
+public:
+  Assembler(const std::string &Source, const AsmOptions &Options)
+      : Source(Source), Options(Options) {
+    buildMnemonicMap();
+  }
+
+  AsmResult run();
+
+private:
+  void buildMnemonicMap();
+  void parseLine(const std::string &Line);
+  void parseDirective(const std::string &Name, const std::string &Rest);
+  void parseInstruction(const std::string &Mnemonic, const std::string &Rest);
+  bool parseOperandToken(const std::string &Token, PendingOperand &Out);
+  bool parseMemOperand(const std::string &Token, uint8_t &Reg,
+                       PendingOperand &Imm);
+  std::vector<std::string> splitOperands(const std::string &Rest);
+  void error(const std::string &Message) {
+    Result.Errors.push_back({CurrentLine, Message});
+  }
+  void defineLabel(const std::string &Name);
+  void emitDataBytes(const std::vector<uint8_t> &Bytes);
+  bool resolveOperand(const PendingOperand &Operand, unsigned Line,
+                      int64_t &Value);
+
+  const std::string &Source;
+  AsmOptions Options;
+  AsmResult Result;
+  unsigned CurrentLine = 0;
+  bool InData = false;
+  uint64_t CodeCounter = 0; // Bytes emitted into the code section.
+  uint64_t DataCounter = 0;
+  std::vector<PendingInsn> Insns;
+  std::vector<PendingData> DataFixups;
+  std::vector<uint8_t> DataImage;
+  std::string EntryLabel;
+  unsigned EntryLine = 0;
+  std::unordered_map<std::string, Opcode> MnemonicMap;
+};
+
+void Assembler::buildMnemonicMap() {
+  for (unsigned I = 0; I < getNumOpcodes(); ++I) {
+    Opcode Op = static_cast<Opcode>(I);
+    MnemonicMap[getOpcodeMnemonic(Op)] = Op;
+  }
+}
+
+static std::string trim(const std::string &Text) {
+  size_t Begin = Text.find_first_not_of(" \t\r");
+  if (Begin == std::string::npos)
+    return std::string();
+  size_t End = Text.find_last_not_of(" \t\r");
+  return Text.substr(Begin, End - Begin + 1);
+}
+
+static bool isIdentChar(char Ch) {
+  return std::isalnum(static_cast<unsigned char>(Ch)) || Ch == '_' ||
+         Ch == '.' || Ch == '$';
+}
+
+static bool isIdentifier(const std::string &Text) {
+  if (Text.empty() || std::isdigit(static_cast<unsigned char>(Text[0])))
+    return false;
+  for (char Ch : Text)
+    if (!isIdentChar(Ch))
+      return false;
+  return true;
+}
+
+/// Parses an integer literal: decimal, hex, or a quoted character.
+static bool parseIntLiteral(const std::string &Text, int64_t &Value) {
+  if (Text.empty())
+    return false;
+  if (Text.size() >= 3 && Text.front() == '\'' && Text.back() == '\'') {
+    std::string Inner = Text.substr(1, Text.size() - 2);
+    if (Inner.size() == 1) {
+      Value = static_cast<unsigned char>(Inner[0]);
+      return true;
+    }
+    if (Inner.size() == 2 && Inner[0] == '\\') {
+      switch (Inner[1]) {
+      case 'n':
+        Value = '\n';
+        return true;
+      case 't':
+        Value = '\t';
+        return true;
+      case '0':
+        Value = 0;
+        return true;
+      case '\\':
+        Value = '\\';
+        return true;
+      case '\'':
+        Value = '\'';
+        return true;
+      default:
+        return false;
+      }
+    }
+    return false;
+  }
+  size_t Pos = 0;
+  bool Negative = false;
+  if (Text[Pos] == '-' || Text[Pos] == '+') {
+    Negative = Text[Pos] == '-';
+    ++Pos;
+  }
+  if (Pos >= Text.size())
+    return false;
+  int Base = 10;
+  if (Text.size() >= Pos + 2 && Text[Pos] == '0' &&
+      (Text[Pos + 1] == 'x' || Text[Pos + 1] == 'X')) {
+    Base = 16;
+    Pos += 2;
+  }
+  if (Pos >= Text.size())
+    return false;
+  uint64_t Magnitude = 0;
+  for (; Pos < Text.size(); ++Pos) {
+    char Ch = Text[Pos];
+    int Digit;
+    if (Ch >= '0' && Ch <= '9')
+      Digit = Ch - '0';
+    else if (Base == 16 && Ch >= 'a' && Ch <= 'f')
+      Digit = Ch - 'a' + 10;
+    else if (Base == 16 && Ch >= 'A' && Ch <= 'F')
+      Digit = Ch - 'A' + 10;
+    else
+      return false;
+    Magnitude = Magnitude * static_cast<uint64_t>(Base) +
+                static_cast<uint64_t>(Digit);
+  }
+  Value = Negative ? -static_cast<int64_t>(Magnitude)
+                   : static_cast<int64_t>(Magnitude);
+  return true;
+}
+
+std::vector<std::string> Assembler::splitOperands(const std::string &Rest) {
+  std::vector<std::string> Parts;
+  std::string Current;
+  int BracketDepth = 0;
+  bool InString = false;
+  for (char Ch : Rest) {
+    if (Ch == '"')
+      InString = !InString;
+    if (Ch == '[')
+      ++BracketDepth;
+    if (Ch == ']')
+      --BracketDepth;
+    if (Ch == ',' && BracketDepth == 0 && !InString) {
+      Parts.push_back(trim(Current));
+      Current.clear();
+      continue;
+    }
+    Current += Ch;
+  }
+  std::string Last = trim(Current);
+  if (!Last.empty() || !Parts.empty())
+    Parts.push_back(Last);
+  return Parts;
+}
+
+bool Assembler::parseOperandToken(const std::string &Token,
+                                  PendingOperand &Out) {
+  int64_t Value;
+  if (parseIntLiteral(Token, Value)) {
+    Out.IsLabel = false;
+    Out.Value = Value;
+    return true;
+  }
+  if (isIdentifier(Token)) {
+    Out.IsLabel = true;
+    Out.Label = Token;
+    return true;
+  }
+  return false;
+}
+
+bool Assembler::parseMemOperand(const std::string &Token, uint8_t &Reg,
+                                PendingOperand &Imm) {
+  // Forms: [reg], [reg+imm], [reg-imm], [reg+label].
+  if (Token.size() < 3 || Token.front() != '[' || Token.back() != ']')
+    return false;
+  std::string Inner = trim(Token.substr(1, Token.size() - 2));
+  size_t Split = std::string::npos;
+  // Find the +/- separating base register and displacement (skip a leading
+  // sign inside the displacement by searching from position 1).
+  for (size_t I = 1; I < Inner.size(); ++I) {
+    if (Inner[I] == '+' || Inner[I] == '-') {
+      Split = I;
+      break;
+    }
+  }
+  std::string RegText = trim(Split == std::string::npos
+                                 ? Inner
+                                 : Inner.substr(0, Split));
+  auto RegNum = parseRegName(RegText);
+  if (!RegNum)
+    return false;
+  Reg = static_cast<uint8_t>(*RegNum);
+  if (Split == std::string::npos) {
+    Imm.IsLabel = false;
+    Imm.Value = 0;
+    return true;
+  }
+  std::string DispText = trim(Inner.substr(Split));
+  if (!DispText.empty() && DispText[0] == '+')
+    DispText = trim(DispText.substr(1));
+  return parseOperandToken(DispText, Imm);
+}
+
+void Assembler::defineLabel(const std::string &Name) {
+  if (!isIdentifier(Name)) {
+    error(formatString("invalid label name '%s'", Name.c_str()));
+    return;
+  }
+  uint64_t Addr =
+      InData ? DataBase + DataCounter : CodeBase + CodeCounter;
+  auto [It, Inserted] = Result.Program.Symbols.emplace(Name, Addr);
+  (void)It;
+  if (!Inserted) {
+    error(formatString("duplicate label '%s'", Name.c_str()));
+    return;
+  }
+  if (!InData)
+    Result.Program.CodeLabels.push_back(Addr);
+}
+
+void Assembler::emitDataBytes(const std::vector<uint8_t> &Bytes) {
+  DataImage.insert(DataImage.end(), Bytes.begin(), Bytes.end());
+  DataCounter += Bytes.size();
+}
+
+void Assembler::parseDirective(const std::string &Name,
+                               const std::string &Rest) {
+  if (Name == ".data") {
+    InData = true;
+    return;
+  }
+  if (Name == ".code" || Name == ".text") {
+    InData = false;
+    return;
+  }
+  if (Name == ".entry") {
+    std::string Label = trim(Rest);
+    if (!isIdentifier(Label)) {
+      error(".entry expects a label name");
+      return;
+    }
+    EntryLabel = Label;
+    EntryLine = CurrentLine;
+    return;
+  }
+  if (Name == ".align") {
+    int64_t Alignment;
+    if (!parseIntLiteral(trim(Rest), Alignment) || Alignment <= 0 ||
+        (Alignment & (Alignment - 1)) != 0) {
+      error(".align expects a positive power of two");
+      return;
+    }
+    uint64_t &Counter = InData ? DataCounter : CodeCounter;
+    uint64_t Aligned = (Counter + Alignment - 1) &
+                       ~static_cast<uint64_t>(Alignment - 1);
+    if (InData) {
+      DataImage.resize(Aligned, 0);
+      DataCounter = Aligned;
+    } else if (Aligned != Counter) {
+      error(".align that pads code is not supported");
+    }
+    return;
+  }
+  if (!InData && (Name == ".word" || Name == ".byte" || Name == ".space" ||
+                  Name == ".ascii")) {
+    error(formatString("%s is only valid in the .data section",
+                       Name.c_str()));
+    return;
+  }
+  if (Name == ".space") {
+    int64_t Count;
+    if (!parseIntLiteral(trim(Rest), Count) || Count < 0) {
+      error(".space expects a non-negative size");
+      return;
+    }
+    emitDataBytes(std::vector<uint8_t>(static_cast<size_t>(Count), 0));
+    return;
+  }
+  if (Name == ".ascii") {
+    std::string Text = trim(Rest);
+    if (Text.size() < 2 || Text.front() != '"' || Text.back() != '"') {
+      error(".ascii expects a quoted string");
+      return;
+    }
+    std::vector<uint8_t> Bytes;
+    for (size_t I = 1; I + 1 < Text.size(); ++I) {
+      char Ch = Text[I];
+      if (Ch == '\\' && I + 2 < Text.size()) {
+        ++I;
+        switch (Text[I]) {
+        case 'n':
+          Ch = '\n';
+          break;
+        case 't':
+          Ch = '\t';
+          break;
+        case '0':
+          Ch = '\0';
+          break;
+        case '\\':
+          Ch = '\\';
+          break;
+        case '"':
+          Ch = '"';
+          break;
+        default:
+          error(formatString("unknown escape '\\%c'", Text[I]));
+          continue;
+        }
+      }
+      Bytes.push_back(static_cast<uint8_t>(Ch));
+    }
+    emitDataBytes(Bytes);
+    return;
+  }
+  if (Name == ".word") {
+    // No implicit alignment: VISA memory supports unaligned access, and
+    // labels bind before the directive runs. Use .align when layout
+    // matters.
+    for (const std::string &Token : splitOperands(Rest)) {
+      PendingOperand Operand;
+      if (!parseOperandToken(Token, Operand)) {
+        error(formatString("bad .word operand '%s'", Token.c_str()));
+        continue;
+      }
+      DataFixups.push_back({CurrentLine, PendingData::Kind::Word, Operand,
+                            DataCounter});
+      emitDataBytes(std::vector<uint8_t>(8, 0));
+    }
+    return;
+  }
+  if (Name == ".byte") {
+    for (const std::string &Token : splitOperands(Rest)) {
+      PendingOperand Operand;
+      if (!parseOperandToken(Token, Operand)) {
+        error(formatString("bad .byte operand '%s'", Token.c_str()));
+        continue;
+      }
+      DataFixups.push_back({CurrentLine, PendingData::Kind::Byte, Operand,
+                            DataCounter});
+      emitDataBytes({0});
+    }
+    return;
+  }
+  error(formatString("unknown directive '%s'", Name.c_str()));
+}
+
+void Assembler::parseInstruction(const std::string &Mnemonic,
+                                 const std::string &Rest) {
+  if (InData) {
+    error("instructions are not allowed in the .data section");
+    return;
+  }
+  auto It = MnemonicMap.find(Mnemonic);
+  if (It == MnemonicMap.end()) {
+    error(formatString("unknown mnemonic '%s'", Mnemonic.c_str()));
+    return;
+  }
+  PendingInsn Insn;
+  Insn.Line = CurrentLine;
+  Insn.Op = It->second;
+  Insn.Addr = CodeBase + CodeCounter;
+
+  const char *Spec = getOpcodeSpec(Insn.Op);
+  std::vector<std::string> Operands = splitOperands(Rest);
+  size_t SpecLen = std::string(Spec).size();
+  if (Operands.size() != SpecLen) {
+    error(formatString("'%s' expects %zu operand(s), got %zu", Mnemonic.c_str(),
+                       SpecLen, Operands.size()));
+    return;
+  }
+
+  unsigned FieldIndex = 0;
+  auto BindReg = [&](const std::string &Token, bool FpReg) -> bool {
+    if (FpReg) {
+      if (Token.size() < 2 || Token[0] != 'f')
+        return false;
+      int64_t Num;
+      if (!parseIntLiteral(Token.substr(1), Num) || Num < 0 ||
+          Num >= static_cast<int64_t>(NumFpRegs))
+        return false;
+      if (Num >= static_cast<int64_t>(NumGuestFpRegs) &&
+          !Options.AllowReservedRegs) {
+        error(formatString("register '%s' is reserved for instrumentation",
+                           Token.c_str()));
+        return true;
+      }
+      Insn.Fields[FieldIndex++] = static_cast<uint8_t>(Num);
+      return true;
+    }
+    auto Reg = parseRegName(Token);
+    if (!Reg)
+      return false;
+    if (*Reg >= FirstReservedReg && !Options.AllowReservedRegs) {
+      error(formatString("register '%s' is reserved for instrumentation",
+                         Token.c_str()));
+      return true; // Error already reported; keep parsing.
+    }
+    Insn.Fields[FieldIndex++] = static_cast<uint8_t>(*Reg);
+    return true;
+  };
+
+  for (size_t OpIndex = 0; OpIndex < SpecLen; ++OpIndex) {
+    const std::string &Token = Operands[OpIndex];
+    switch (Spec[OpIndex]) {
+    case 'r':
+      if (!BindReg(Token, /*FpReg=*/false))
+        error(formatString("bad register operand '%s'", Token.c_str()));
+      break;
+    case 'f':
+      if (!BindReg(Token, /*FpReg=*/true))
+        error(formatString("bad fp register operand '%s'", Token.c_str()));
+      break;
+    case 'c': {
+      auto CC = parseCondCode(Token);
+      if (!CC) {
+        error(formatString("bad condition code '%s'", Token.c_str()));
+        break;
+      }
+      Insn.Fields[FieldIndex++] = static_cast<uint8_t>(*CC);
+      break;
+    }
+    case 'i':
+      if (!parseOperandToken(Token, Insn.Imm))
+        error(formatString("bad immediate operand '%s'", Token.c_str()));
+      Insn.HasImm = true;
+      break;
+    case 'm': {
+      uint8_t Reg = 0;
+      if (!parseMemOperand(Token, Reg, Insn.Imm)) {
+        error(formatString("bad memory operand '%s'", Token.c_str()));
+        break;
+      }
+      if (Reg >= FirstReservedReg && !Options.AllowReservedRegs)
+        error(formatString("register r%u is reserved for instrumentation",
+                           Reg));
+      Insn.Fields[FieldIndex++] = Reg;
+      Insn.HasImm = true;
+      break;
+    }
+    default:
+      error("internal: bad operand spec");
+      break;
+    }
+  }
+
+  Insns.push_back(std::move(Insn));
+  CodeCounter += InsnSize;
+}
+
+void Assembler::parseLine(const std::string &RawLine) {
+  // Strip comments (respecting string literals).
+  std::string Line;
+  bool InString = false;
+  for (char Ch : RawLine) {
+    if (Ch == '"')
+      InString = !InString;
+    if ((Ch == ';' || Ch == '#') && !InString)
+      break;
+    Line += Ch;
+  }
+  Line = trim(Line);
+  if (Line.empty())
+    return;
+
+  // Peel off any leading labels.
+  for (;;) {
+    size_t Colon = Line.find(':');
+    if (Colon == std::string::npos)
+      break;
+    std::string Maybe = trim(Line.substr(0, Colon));
+    if (!isIdentifier(Maybe))
+      break;
+    defineLabel(Maybe);
+    Line = trim(Line.substr(Colon + 1));
+    if (Line.empty())
+      return;
+  }
+
+  // Split mnemonic/directive from operands.
+  size_t Space = Line.find_first_of(" \t");
+  std::string Head =
+      Space == std::string::npos ? Line : Line.substr(0, Space);
+  std::string Rest =
+      Space == std::string::npos ? std::string() : trim(Line.substr(Space));
+
+  if (Head[0] == '.')
+    parseDirective(Head, Rest);
+  else
+    parseInstruction(Head, Rest);
+}
+
+bool Assembler::resolveOperand(const PendingOperand &Operand, unsigned Line,
+                               int64_t &Value) {
+  if (!Operand.IsLabel) {
+    Value = Operand.Value;
+    return true;
+  }
+  auto It = Result.Program.Symbols.find(Operand.Label);
+  if (It == Result.Program.Symbols.end()) {
+    Result.Errors.push_back(
+        {Line, formatString("undefined label '%s'", Operand.Label.c_str())});
+    return false;
+  }
+  Value = static_cast<int64_t>(It->second);
+  return true;
+}
+
+AsmResult Assembler::run() {
+  size_t LineStart = 0;
+  CurrentLine = 0;
+  while (LineStart <= Source.size()) {
+    size_t LineEnd = Source.find('\n', LineStart);
+    if (LineEnd == std::string::npos)
+      LineEnd = Source.size();
+    ++CurrentLine;
+    parseLine(Source.substr(LineStart, LineEnd - LineStart));
+    LineStart = LineEnd + 1;
+  }
+
+  // Resolve the entry point.
+  if (EntryLabel.empty()) {
+    Result.Program.Entry = CodeBase;
+  } else {
+    auto It = Result.Program.Symbols.find(EntryLabel);
+    if (It == Result.Program.Symbols.end())
+      Result.Errors.push_back(
+          {EntryLine,
+           formatString("undefined entry label '%s'", EntryLabel.c_str())});
+    else
+      Result.Program.Entry = It->second;
+  }
+
+  // Pass 2: encode instructions with resolved operands.
+  Result.Program.Code.resize(Insns.size() * InsnSize);
+  for (size_t Index = 0; Index < Insns.size(); ++Index) {
+    const PendingInsn &Pending = Insns[Index];
+    Instruction Insn(Pending.Op, Pending.Fields[0], Pending.Fields[1],
+                     Pending.Fields[2], 0);
+    if (Pending.HasImm) {
+      int64_t Value = 0;
+      if (!resolveOperand(Pending.Imm, Pending.Line, Value))
+        continue;
+      if (Pending.Imm.IsLabel && hasBranchOffset(Pending.Op))
+        Value -= static_cast<int64_t>(Pending.Addr + InsnSize);
+      if (Value < INT32_MIN || Value > INT32_MAX) {
+        Result.Errors.push_back(
+            {Pending.Line, formatString("immediate %lld out of 32-bit range",
+                                        static_cast<long long>(Value))});
+        continue;
+      }
+      Insn.Imm = static_cast<int32_t>(Value);
+    }
+    Insn.encode(&Result.Program.Code[Index * InsnSize]);
+  }
+
+  // Resolve data fixups.
+  Result.Program.Data = std::move(DataImage);
+  for (const PendingData &Fixup : DataFixups) {
+    int64_t Value = 0;
+    if (!resolveOperand(Fixup.Value, Fixup.Line, Value))
+      continue;
+    if (Fixup.ItemKind == PendingData::Kind::Word) {
+      uint64_t Bits = static_cast<uint64_t>(Value);
+      for (unsigned ByteIndex = 0; ByteIndex < 8; ++ByteIndex)
+        Result.Program.Data[Fixup.Offset + ByteIndex] =
+            static_cast<uint8_t>(Bits >> (8 * ByteIndex));
+    } else {
+      Result.Program.Data[Fixup.Offset] = static_cast<uint8_t>(Value);
+    }
+  }
+
+  std::sort(Result.Program.CodeLabels.begin(),
+            Result.Program.CodeLabels.end());
+  return std::move(Result);
+}
+
+} // namespace
+
+AsmResult cfed::assembleProgram(const std::string &Source,
+                                const AsmOptions &Options) {
+  Assembler Asm(Source, Options);
+  return Asm.run();
+}

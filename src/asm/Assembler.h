@@ -1,0 +1,88 @@
+//===- Assembler.h - Two-pass VISA assembler --------------------*- C++ -*-===//
+//
+// Part of the CFED project (CGO'06 control-flow error detection repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A two-pass assembler for textual VISA programs. Produces the code and
+/// data images, the entry point, the symbol table, and the code-label side
+/// table that enables whole-program (eager) translation — the capability
+/// that lets this repository implement CFCSS/ECCA faithfully even though
+/// the paper's DBT could not (Section 5: "we do not implement the
+/// techniques that need the CFG").
+///
+/// Syntax:
+///   ; or # start a comment
+///   label:            defines a label at the current location
+///   .entry NAME       sets the entry point (default: start of code)
+///   .data / .code     switch sections
+///   .word A, B, ...   64-bit words; labels allowed (jump/call tables)
+///   .byte A, B, ...   bytes
+///   .space N          N zero bytes
+///   .ascii "..."      bytes with C escapes
+///   .align N          align the current section counter
+///
+/// Immediate operands accept decimal, hex (0x...), character ('c') and
+/// label references. Branch-offset instructions resolve labels
+/// PC-relative; all other uses resolve to absolute addresses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFED_ASM_ASSEMBLER_H
+#define CFED_ASM_ASSEMBLER_H
+
+#include "isa/Isa.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cfed {
+
+/// One assembly diagnostic.
+struct AsmError {
+  unsigned Line = 0;
+  std::string Message;
+};
+
+/// A fully assembled program image.
+struct AsmProgram {
+  /// Encoded code bytes, to be loaded at CodeBase.
+  std::vector<uint8_t> Code;
+  /// Data bytes, to be loaded at DataBase.
+  std::vector<uint8_t> Data;
+  /// Entry point (absolute guest address).
+  uint64_t Entry = 0;
+  /// All symbols (absolute guest addresses).
+  std::map<std::string, uint64_t> Symbols;
+  /// Sorted absolute addresses of labels in the code section: potential
+  /// basic-block leaders, including every indirect-branch target.
+  std::vector<uint64_t> CodeLabels;
+};
+
+/// Result of assembling; success iff Errors is empty.
+struct AsmResult {
+  AsmProgram Program;
+  std::vector<AsmError> Errors;
+
+  bool succeeded() const { return Errors.empty(); }
+  /// Formats all errors into one string for reporting.
+  std::string errorText() const;
+};
+
+/// Assembler options.
+struct AsmOptions {
+  /// Permit guest code to name the instrumentation-reserved registers
+  /// (r16..r19). Off by default: those registers belong to the DBT.
+  bool AllowReservedRegs = false;
+};
+
+/// Assembles \p Source into a program image.
+AsmResult assembleProgram(const std::string &Source,
+                          const AsmOptions &Options = AsmOptions());
+
+} // namespace cfed
+
+#endif // CFED_ASM_ASSEMBLER_H

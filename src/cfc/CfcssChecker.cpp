@@ -1,0 +1,253 @@
+//===- CfcssChecker.cpp - Control-flow checking by software signatures --------===//
+//
+// Classic CFCSS (Oh et al., IEEE Trans. Reliability 2002) on the binary
+// CFG. Register map: G (the run-time signature) lives in RTS, the
+// run-time adjusting register D lives in PCP, AUX is scratch.
+//
+//   entry:  G ^= d_i            where d_i = s_i xor s_basePred
+//           G ^= D              at branch-fan-in nodes
+//   check:  trap unless G == s_i
+//   exit:   D = s_j xor s_basePred(succ) for fan-in successors
+//
+// Signature assignment needs the whole-program CFG, hence eager mode
+// only (the paper's reason for excluding CFCSS from its DBT). Return
+// sites of a function are forced to share one signature so that d is
+// well-defined across return edges — the signature aliasing that costs
+// CFCSS some D/E coverage. Flags are clobbered at block entries, which
+// is safe under the repository-wide discipline that flags never live
+// across block boundaries.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfc/Checkers.h"
+
+#include "cfc/EmitUtil.h"
+#include "support/Prng.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace cfed;
+using namespace cfed::emitutil;
+
+namespace {
+
+/// Union-find over block addresses, used to merge signature classes.
+class SigClasses {
+public:
+  uint64_t find(uint64_t Addr) {
+    auto It = Parent.find(Addr);
+    if (It == Parent.end() || It->second == Addr)
+      return Addr;
+    uint64_t Root = find(It->second);
+    Parent[Addr] = Root;
+    return Root;
+  }
+  void merge(uint64_t A, uint64_t B) { Parent[find(A)] = find(B); }
+
+private:
+  std::map<uint64_t, uint64_t> Parent;
+};
+
+} // namespace
+
+bool CfcssChecker::prepare(const Cfg &Graph) {
+  Cfg Copy = Graph; // computeRetSuccessors mutates; keep caller's intact.
+  if (!Copy.computeRetSuccessors())
+    return false;
+
+  // Merge the signature classes of each ret block's successors (the
+  // return sites of one function).
+  SigClasses Classes;
+  for (const auto &[Addr, Block] : Copy.blocks())
+    for (size_t I = 1; I < Block.RetSuccessors.size(); ++I)
+      Classes.merge(Block.RetSuccessors[I], Block.RetSuccessors[0]);
+
+  // Assign distinct signatures per class (deterministic).
+  Prng Rng(0xCFC55);
+  std::map<uint64_t, uint32_t> ClassSigs;
+  std::set<uint32_t> Used;
+  auto SigOf = [&](uint64_t Addr) {
+    uint64_t Root = Classes.find(Addr);
+    auto It = ClassSigs.find(Root);
+    if (It != ClassSigs.end())
+      return It->second;
+    uint32_t Sig;
+    do {
+      Sig = static_cast<uint32_t>(Rng.nextBelow(1u << 24)) | 1u;
+    } while (!Used.insert(Sig).second);
+    ClassSigs.emplace(Root, Sig);
+    return Sig;
+  };
+
+  Infos.clear();
+  for (const auto &[Addr, Block] : Copy.blocks()) {
+    BlockInfo &BI = Infos[Addr];
+    BI.Sig = SigOf(Addr);
+  }
+  EntrySig = Infos.at(Copy.entry()).Sig;
+
+  // Predecessor analysis: base pred (smallest address) defines d_i; a
+  // node is fan-in when its predecessors carry distinct signatures.
+  std::map<uint64_t, std::vector<uint64_t>> Preds;
+  for (const auto &[Addr, Block] : Copy.blocks()) {
+    if (Block.HasTakenTarget)
+      Preds[Block.TakenTarget].push_back(Addr);
+    if (Block.HasFallThrough)
+      Preds[Block.FallThrough].push_back(Addr);
+    // Call return sites are reached via the callee's ret edges below.
+    for (uint64_t Site : Block.RetSuccessors)
+      Preds[Site].push_back(Addr);
+  }
+
+  auto BasePredSig = [&](uint64_t Addr, bool &Exists) -> uint32_t {
+    auto It = Preds.find(Addr);
+    if (It == Preds.end() || It->second.empty()) {
+      Exists = false;
+      return 0;
+    }
+    Exists = true;
+    uint64_t Base = *std::min_element(It->second.begin(), It->second.end());
+    return Infos.at(Base).Sig;
+  };
+
+  for (auto &[Addr, BI] : Infos) {
+    bool HasPreds = false;
+    uint32_t BaseSig = BasePredSig(Addr, HasPreds);
+    BI.HasEntry = HasPreds;
+    BI.Diff = HasPreds ? (BI.Sig ^ BaseSig) : 0;
+    if (!HasPreds)
+      continue;
+    std::set<uint32_t> PredSigs;
+    for (uint64_t Pred : Preds.at(Addr))
+      PredSigs.insert(Infos.at(Pred).Sig);
+    BI.FanIn = PredSigs.size() > 1;
+  }
+
+  // Each predecessor of a fan-in node must establish D for the edge it
+  // takes: D = s_self xor s_basePred(target).
+  auto DFor = [&](uint64_t From, uint64_t To) -> uint32_t {
+    bool HasPreds = false;
+    uint32_t BaseSig = BasePredSig(To, HasPreds);
+    assert(HasPreds && "fan-in node without predecessors");
+    return Infos.at(From).Sig ^ BaseSig;
+  };
+  for (const auto &[Addr, Block] : Copy.blocks()) {
+    BlockInfo &BI = Infos.at(Addr);
+    if (Block.HasTakenTarget) {
+      BI.TakenAddr = Block.TakenTarget;
+      if (Infos.at(Block.TakenTarget).FanIn) {
+        BI.DTaken = DFor(Addr, Block.TakenTarget);
+        BI.NeedDTaken = true;
+      }
+    }
+    if (Block.HasFallThrough) {
+      BI.FallAddr = Block.FallThrough;
+      if (Infos.at(Block.FallThrough).FanIn) {
+        BI.DFall = DFor(Addr, Block.FallThrough);
+        BI.NeedDFall = true;
+      }
+    }
+    if (!Block.RetSuccessors.empty()) {
+      // All sites of the function share one signature class, and their
+      // base predecessor is a function of the pred set — assume the D
+      // values agree (they do by construction: sites share sig class and
+      // pred sets are the same rets).
+      BI.DRet = DFor(Addr, Block.RetSuccessors.front());
+      BI.NeedDRet = true;
+    }
+  }
+  return true;
+}
+
+const CfcssChecker::BlockInfo &CfcssChecker::info(uint64_t L) const {
+  auto It = Infos.find(L);
+  assert(It != Infos.end() &&
+         "CFCSS emission for a block missing from prepare()");
+  return It->second;
+}
+
+void CfcssChecker::initState(CpuState &State, uint64_t) const {
+  State.Regs[RegRTS] = EntrySig; // G
+  State.Regs[RegPCP] = 0;        // D
+}
+
+void CfcssChecker::emitPrologue(std::vector<Instruction> &Out, uint64_t L,
+                                bool DoCheck) const {
+  const BlockInfo &BI = info(L);
+  if (BI.Diff != 0)
+    Out.push_back(insn::rri(Opcode::XorI, RegRTS, RegRTS,
+                            static_cast<int32_t>(BI.Diff)));
+  if (BI.FanIn)
+    Out.push_back(insn::rrr(Opcode::Xor, RegRTS, RegRTS, RegPCP));
+  if (DoCheck) {
+    Out.push_back(insn::rri(Opcode::XorI, RegAUX, RegRTS,
+                            static_cast<int32_t>(BI.Sig)));
+    emitTrapUnlessZero(Out, RegAUX);
+  }
+}
+
+void CfcssChecker::emitDPair(std::vector<Instruction> &Out,
+                             const BlockInfo &BI, Opcode BranchOp,
+                             uint8_t Reg, CondCode CC) const {
+  // Establish D for a two-successor exit without clobbering flags.
+  if (!BI.NeedDTaken && !BI.NeedDFall)
+    return;
+  if (BI.NeedDTaken && BI.NeedDFall && BI.DTaken == BI.DFall) {
+    Out.push_back(
+        insn::ri(Opcode::MovI, RegPCP, static_cast<int32_t>(BI.DTaken)));
+    return;
+  }
+  if (BI.NeedDTaken != BI.NeedDFall) {
+    // Only one successor needs D; set it unconditionally (the other
+    // successor ignores D).
+    uint32_t Value = BI.NeedDTaken ? BI.DTaken : BI.DFall;
+    Out.push_back(insn::ri(Opcode::MovI, RegPCP,
+                           static_cast<int32_t>(Value)));
+    return;
+  }
+  // Both need distinct values: choose with a flag-neutral conditional.
+  if (BranchOp == Opcode::Jcc) {
+    Out.push_back(
+        insn::ri(Opcode::MovI, RegPCP, static_cast<int32_t>(BI.DFall)));
+    Out.push_back(
+        insn::ri(Opcode::MovI, RegAUX, static_cast<int32_t>(BI.DTaken)));
+    Out.push_back(insn::cmov(RegPCP, RegAUX, CC));
+    return;
+  }
+  Out.push_back(
+      insn::ri(Opcode::MovI, RegPCP, static_cast<int32_t>(BI.DFall)));
+  emitSkipUnlessTaken(Out, BranchOp, Reg, CC);
+  Out.push_back(
+      insn::ri(Opcode::MovI, RegPCP, static_cast<int32_t>(BI.DTaken)));
+}
+
+void CfcssChecker::emitDirectUpdate(std::vector<Instruction> &Out, uint64_t L,
+                                    uint64_t Target) const {
+  const BlockInfo &BI = info(L);
+  if (BI.NeedDTaken && Target == BI.TakenAddr)
+    Out.push_back(
+        insn::ri(Opcode::MovI, RegPCP, static_cast<int32_t>(BI.DTaken)));
+  else if (BI.NeedDFall && Target == BI.FallAddr)
+    Out.push_back(
+        insn::ri(Opcode::MovI, RegPCP, static_cast<int32_t>(BI.DFall)));
+}
+
+void CfcssChecker::emitCondUpdate(std::vector<Instruction> &Out, uint64_t L,
+                                  CondCode CC, uint64_t, uint64_t) const {
+  emitDPair(Out, info(L), Opcode::Jcc, 0, CC);
+}
+
+void CfcssChecker::emitRegCondUpdate(std::vector<Instruction> &Out,
+                                     uint64_t L, Opcode BranchOp, uint8_t Reg,
+                                     uint64_t, uint64_t) const {
+  emitDPair(Out, info(L), BranchOp, Reg, CondCode::EQ);
+}
+
+void CfcssChecker::emitIndirectUpdate(std::vector<Instruction> &Out,
+                                      uint64_t L, uint8_t) const {
+  const BlockInfo &BI = info(L);
+  if (BI.NeedDRet)
+    Out.push_back(
+        insn::ri(Opcode::MovI, RegPCP, static_cast<int32_t>(BI.DRet)));
+}

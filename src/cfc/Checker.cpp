@@ -1,0 +1,108 @@
+//===- Checker.cpp - Technique interface, names, policy, factory --------------===//
+
+#include "cfc/Checker.h"
+
+#include "cfc/Checkers.h"
+#include "support/Diagnostics.h"
+
+using namespace cfed;
+
+ControlFlowChecker::~ControlFlowChecker() = default;
+
+bool ControlFlowChecker::prepare(const Cfg &Graph) {
+  (void)Graph;
+  return true;
+}
+
+const char *cfed::getTechniqueName(Technique T) {
+  switch (T) {
+  case Technique::None:
+    return "None";
+  case Technique::Cfcss:
+    return "CFCSS";
+  case Technique::Ecca:
+    return "ECCA";
+  case Technique::Ecf:
+    return "ECF";
+  case Technique::EdgCf:
+    return "EdgCF";
+  case Technique::Rcf:
+    return "RCF";
+  }
+  cfed_unreachable("covered switch");
+}
+
+const char *cfed::getUpdateFlavorName(UpdateFlavor Flavor) {
+  return Flavor == UpdateFlavor::Jcc ? "Jcc" : "CMOVcc";
+}
+
+const char *cfed::getCheckPolicyName(CheckPolicy Policy) {
+  switch (Policy) {
+  case CheckPolicy::AllBB:
+    return "ALLBB";
+  case CheckPolicy::RetBE:
+    return "RET-BE";
+  case CheckPolicy::Ret:
+    return "RET";
+  case CheckPolicy::End:
+    return "END";
+  case CheckPolicy::StoreBB:
+    return "STORE";
+  }
+  cfed_unreachable("covered switch");
+}
+
+bool cfed::opcodeStoresMemory(Opcode Op) {
+  switch (Op) {
+  case Opcode::St:
+  case Opcode::StB:
+  case Opcode::FSt:
+  case Opcode::Push:
+  case Opcode::Call:
+  case Opcode::CallR:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool cfed::policyChecksBlock(CheckPolicy Policy, OpKind TermKind,
+                             bool HasBackEdge, bool HasStore) {
+  // Every policy checks at the end of the application so that the final
+  // signature state is validated at least once (the END policy's one
+  // check).
+  if (TermKind == OpKind::Halt)
+    return true;
+  switch (Policy) {
+  case CheckPolicy::AllBB:
+    return true;
+  case CheckPolicy::RetBE:
+    return TermKind == OpKind::Ret || HasBackEdge;
+  case CheckPolicy::Ret:
+    return TermKind == OpKind::Ret;
+  case CheckPolicy::End:
+    return false;
+  case CheckPolicy::StoreBB:
+    return HasStore;
+  }
+  cfed_unreachable("covered switch");
+}
+
+std::unique_ptr<ControlFlowChecker> cfed::createChecker(Technique T,
+                                                        UpdateFlavor Flavor) {
+  switch (T) {
+  case Technique::None:
+    return std::make_unique<NoneChecker>();
+  case Technique::Cfcss:
+    return std::make_unique<CfcssChecker>();
+  case Technique::Ecca:
+    return std::make_unique<EccaChecker>();
+  case Technique::Ecf:
+    return std::make_unique<EcfChecker>(Flavor);
+  case Technique::EdgCf:
+    return std::make_unique<EdgCfChecker>(Flavor);
+  case Technique::Rcf:
+    return std::make_unique<RcfChecker>(Flavor);
+  }
+  cfed_unreachable("covered switch");
+}

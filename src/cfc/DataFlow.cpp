@@ -1,0 +1,166 @@
+//===- DataFlow.cpp - SWIFT-style data-flow checking extension -----------------===//
+
+#include "cfc/DataFlow.h"
+
+#include "support/Diagnostics.h"
+#include "vm/Interp.h"
+
+using namespace cfed;
+using namespace cfed::dfc;
+
+namespace {
+
+uint8_t shadowOf(uint8_t Reg) {
+  assert(Reg < NumGuestIntRegs && "body instruction names a reserved reg");
+  return shadowIntReg(Reg);
+}
+
+uint8_t fpShadowOf(uint8_t Reg) {
+  assert(Reg < NumGuestFpRegs && "body instruction names a reserved freg");
+  return shadowFpReg(Reg);
+}
+
+/// The duplicated form of \p I with every register operand moved into
+/// shadow space, per the opcode's operand spec.
+Instruction shadowed(const Instruction &I) {
+  Instruction S = I;
+  uint8_t *Fields[3] = {&S.A, &S.B, &S.C};
+  unsigned FieldIndex = 0;
+  for (const char *P = getOpcodeSpec(I.Op); *P; ++P) {
+    switch (*P) {
+    case 'r':
+    case 'm':
+      *Fields[FieldIndex] = shadowOf(*Fields[FieldIndex]);
+      ++FieldIndex;
+      break;
+    case 'f':
+      *Fields[FieldIndex] = fpShadowOf(*Fields[FieldIndex]);
+      ++FieldIndex;
+      break;
+    case 'c':
+      ++FieldIndex;
+      break;
+    case 'i':
+      break;
+    default:
+      cfed_unreachable("bad operand spec character");
+    }
+  }
+  return S;
+}
+
+/// Emits "trap unless Reg == its shadow". Clobbers FLAGS and AUX — legal
+/// immediately before a store/output under the flags-across-stores
+/// discipline.
+void emitIntCheck(std::vector<Instruction> &Out, uint8_t Reg) {
+  Out.push_back(insn::rrr(Opcode::Xor, RegAUX, Reg, shadowOf(Reg)));
+  Out.push_back(
+      insn::rri(Opcode::Jzr, RegAUX, 0, static_cast<int32_t>(InsnSize)));
+  Out.push_back(insn::i(Opcode::Brk, BrkDataFlowError));
+}
+
+/// Emits "trap unless FReg == its shadow" (clobbers FLAGS).
+void emitFpCheck(std::vector<Instruction> &Out, uint8_t FReg) {
+  Out.push_back(insn::rr(Opcode::FCmp, FReg, fpShadowOf(FReg)));
+  Out.push_back(insn::jcc(CondCode::EQ, static_cast<int32_t>(InsnSize)));
+  Out.push_back(insn::i(Opcode::Brk, BrkDataFlowError));
+}
+
+} // namespace
+
+Expansion cfed::dfc::expand(const Instruction &I) {
+  Expansion E;
+  switch (I.Op) {
+  // Pure computations: run the shadow copy first (the original's FLAGS
+  // result lands last, preserving guest semantics).
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::Sar:
+  case Opcode::Mul:
+  case Opcode::AddI:
+  case Opcode::AndI:
+  case Opcode::OrI:
+  case Opcode::XorI:
+  case Opcode::ShlI:
+  case Opcode::ShrI:
+  case Opcode::SarI:
+  case Opcode::MulI:
+  case Opcode::Lea:
+  case Opcode::LeaR:
+  case Opcode::Mov:
+  case Opcode::MovI:
+  case Opcode::MovHi:
+  case Opcode::Neg:
+  case Opcode::Not:
+  case Opcode::SetCC:
+  case Opcode::CMov:
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FDiv:
+  case Opcode::FMA:
+  case Opcode::FSqrt:
+  case Opcode::FAbs:
+  case Opcode::FNeg:
+  case Opcode::FMov:
+  case Opcode::FMovI:
+  case Opcode::IToF:
+  case Opcode::FToI:
+    E.Before.push_back(shadowed(I));
+    return E;
+
+  // Compares only produce FLAGS: branch checking is the control-flow
+  // checkers' job, so no duplication (SWIFT does the same).
+  case Opcode::Cmp:
+  case Opcode::CmpI:
+  case Opcode::Test:
+  case Opcode::FCmp:
+    return E;
+
+  // Potentially trapping computations re-synchronize instead of running
+  // twice, so a genuine guest div-by-zero traps at the original
+  // instruction (keeping trap attribution to guest code).
+  case Opcode::Div:
+  case Opcode::Rem:
+    E.After.push_back(insn::rr(Opcode::Mov, shadowOf(I.A), I.A));
+    return E;
+
+  // Loads trust memory (ECC in SWIFT's model): re-synchronize.
+  case Opcode::Ld:
+  case Opcode::LdB:
+  case Opcode::Pop:
+    E.After.push_back(insn::rr(Opcode::Mov, shadowOf(I.A), I.A));
+    return E;
+  case Opcode::FLd:
+    E.After.push_back(insn::rr(Opcode::FMov, fpShadowOf(I.A), I.A));
+    return E;
+
+  // Egress points: validate both the data and the address against their
+  // shadows before the value leaves the processor.
+  case Opcode::St:
+  case Opcode::StB:
+    emitIntCheck(E.Before, I.A); // Address base.
+    emitIntCheck(E.Before, I.B); // Stored value.
+    return E;
+  case Opcode::FSt:
+    emitIntCheck(E.Before, I.A);
+    emitFpCheck(E.Before, I.B);
+    return E;
+  case Opcode::Push:
+  case Opcode::Out:
+  case Opcode::OutC:
+    emitIntCheck(E.Before, I.A);
+    return E;
+
+  case Opcode::Nop:
+    return E;
+
+  default:
+    cfed_unreachable("terminator or DBT-internal opcode in a block body");
+  }
+}

@@ -1,0 +1,58 @@
+//===- DataFlow.h - SWIFT-style data-flow checking extension ----*- C++ -*-===//
+//
+// Part of the CFED project (CGO'06 control-flow error detection repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's future-work item — "we will add data flow checking into
+/// our implementation" — as a SWIFT-style (Reis et al., CGO 2005)
+/// instruction-duplication pass layered under the control-flow checkers:
+///
+///  * every guest computation is duplicated into shadow registers
+///    (r32..r47 / f16..f31 mirror the guest's r0..r15 / f0..f15);
+///  * loads re-synchronize their shadow from the loaded value (memory is
+///    assumed ECC-protected, as in SWIFT);
+///  * before any value can leave the processor (stores, pushes, Out),
+///    the original and the shadow are compared; a mismatch raises
+///    BrkDataFlowError;
+///  * compares/branches are not duplicated — branch errors are the
+///    control-flow checkers' job, which is exactly the division of labor
+///    the paper describes ("reliability is generally achieved by
+///    combining data-flow and control-flow checking", Section 1).
+///
+/// The duplicated ALU ops run *before* the originals, so the final FLAGS
+/// state is the original's and guest semantics are preserved. The
+/// compare-at-store sequences clobber FLAGS; this is sound under the
+/// repository discipline, checked by Cfg::findFlagsAcrossStoreViolations,
+/// that no conditional consumes flags produced before an intervening
+/// store.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFED_CFC_DATAFLOW_H
+#define CFED_CFC_DATAFLOW_H
+
+#include "isa/Isa.h"
+
+#include <vector>
+
+namespace cfed {
+namespace dfc {
+
+/// Instrumentation emitted around one guest body instruction: Before
+/// runs first, then the original instruction, then After.
+struct Expansion {
+  std::vector<Instruction> Before;
+  std::vector<Instruction> After;
+};
+
+/// Computes the data-flow instrumentation for guest body instruction
+/// \p I (which must not be a block terminator and must only name
+/// guest-visible registers).
+Expansion expand(const Instruction &I);
+
+} // namespace dfc
+} // namespace cfed
+
+#endif // CFED_CFC_DATAFLOW_H

@@ -1,0 +1,155 @@
+//===- EccaChecker.cpp - Enhanced control-flow checking using assertions ------===//
+//
+// ECCA (Alkhalifa et al., IEEE TPDS 1999). Each block gets a unique odd
+// prime BID; the id register (RTS) is checked at block entry with the
+// divide-based assertion
+//
+//   id = BID / ( !(id mod BID) * (id mod 2) )
+//
+// which traps with a divide-by-zero exactly when the incoming id is not
+// a (necessarily odd) multiple of BID, and otherwise normalizes id to
+// BID. The exit SET assignment
+//
+//   id = NEXT + (id - BID),  NEXT = product of successor BIDs
+//
+// admits every legal successor — which is why ECCA cannot detect
+// category A (a mistaken direction still lands on a factor of NEXT) and
+// is the expensive-div design the paper contrasts with RCF. Whole-program
+// CFG required (eager mode only).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfc/Checkers.h"
+
+#include "cfc/EmitUtil.h"
+
+using namespace cfed;
+using namespace cfed::emitutil;
+
+namespace {
+
+/// Generates the first \p Count odd primes (3, 5, 7, ...).
+std::vector<int64_t> oddPrimes(size_t Count) {
+  std::vector<int64_t> Primes;
+  for (int64_t Candidate = 3; Primes.size() < Count; Candidate += 2) {
+    bool IsPrime = true;
+    for (int64_t P : Primes) {
+      if (P * P > Candidate)
+        break;
+      if (Candidate % P == 0) {
+        IsPrime = false;
+        break;
+      }
+    }
+    if (IsPrime)
+      Primes.push_back(Candidate);
+  }
+  return Primes;
+}
+
+} // namespace
+
+bool EccaChecker::prepare(const Cfg &Graph) {
+  Cfg Copy = Graph;
+  if (!Copy.computeRetSuccessors())
+    return false;
+
+  std::vector<int64_t> Primes = oddPrimes(Copy.blocks().size());
+  Infos.clear();
+  size_t Index = 0;
+  for (const auto &[Addr, Block] : Copy.blocks())
+    Infos[Addr].Bid = Primes[Index++];
+  EntryBid = Infos.at(Copy.entry()).Bid;
+
+  constexpr int64_t MaxNext = int64_t(1) << 62;
+  for (const auto &[Addr, Block] : Copy.blocks()) {
+    BlockInfo &BI = Infos.at(Addr);
+    __int128 Next = 1;
+    bool HasSucc = false;
+    auto Mul = [&](uint64_t Succ) {
+      Next *= Infos.at(Succ).Bid;
+      HasSucc = true;
+    };
+    if (Block.HasTakenTarget && Infos.count(Block.TakenTarget))
+      Mul(Block.TakenTarget);
+    if (Block.HasFallThrough && Infos.count(Block.FallThrough))
+      Mul(Block.FallThrough);
+    for (uint64_t Site : Block.RetSuccessors)
+      Mul(Site);
+    if (Next > MaxNext)
+      return false; // Too many call sites: the product overflows.
+    BI.Next = HasSucc ? static_cast<int64_t>(Next) : 0;
+  }
+  return true;
+}
+
+const EccaChecker::BlockInfo &EccaChecker::info(uint64_t L) const {
+  auto It = Infos.find(L);
+  assert(It != Infos.end() &&
+         "ECCA emission for a block missing from prepare()");
+  return It->second;
+}
+
+void EccaChecker::initState(CpuState &State, uint64_t) const {
+  State.Regs[RegRTS] = static_cast<uint64_t>(EntryBid);
+}
+
+void EccaChecker::emitPrologue(std::vector<Instruction> &Out, uint64_t L,
+                               bool DoCheck) const {
+  // ECCA's test *is* its signature normalization: the entry assertion
+  // cannot be skipped under relaxed policies, so the check always runs
+  // (the paper only sweeps policies for RCF).
+  (void)DoCheck;
+  const BlockInfo &BI = info(L);
+  // aux  = BID
+  // aux2 = !(id mod BID)          (1 if divisible, else 0)
+  // pcp  = id mod 2               (1 expected: products of odd primes)
+  // id   = aux / (aux2 * pcp)     -> div-by-zero trap on error
+  Out.push_back(insn::ri(Opcode::MovI, RegAUX, imm32(BI.Bid)));
+  Out.push_back(insn::rrr(Opcode::Rem, RegAUX2, RegRTS, RegAUX));
+  Out.push_back(insn::ri(Opcode::CmpI, RegAUX2, 0));
+  Out.push_back(insn::setcc(RegAUX2, CondCode::EQ));
+  Out.push_back(insn::rri(Opcode::AndI, RegPCP, RegRTS, 1));
+  Out.push_back(insn::rrr(Opcode::Mul, RegAUX2, RegAUX2, RegPCP));
+  Out.push_back(insn::rrr(Opcode::Div, RegRTS, RegAUX, RegAUX2));
+}
+
+void EccaChecker::emitSet(std::vector<Instruction> &Out,
+                          const BlockInfo &BI) const {
+  // Blocks without static successors (dead code, or a ret that leaves
+  // the program) get no SET: id stays normalized, and an erroneous jump
+  // into such a block is still caught by the next entry assertion.
+  if (BI.Next == 0)
+    return;
+  // id = NEXT + (id - BID). Flag-neutral (lea/lear) so conditional
+  // branches after the update still see their flags.
+  int64_t Delta = BI.Next - BI.Bid;
+  if (Delta >= INT32_MIN && Delta <= INT32_MAX) {
+    Out.push_back(insn::rri(Opcode::Lea, RegRTS, RegRTS, imm32(Delta)));
+    return;
+  }
+  emitLoadConst64(Out, RegAUX, static_cast<uint64_t>(Delta));
+  Out.push_back(insn::rrr(Opcode::LeaR, RegRTS, RegRTS, RegAUX));
+}
+
+void EccaChecker::emitDirectUpdate(std::vector<Instruction> &Out, uint64_t L,
+                                   uint64_t) const {
+  emitSet(Out, info(L));
+}
+
+void EccaChecker::emitCondUpdate(std::vector<Instruction> &Out, uint64_t L,
+                                 CondCode, uint64_t, uint64_t) const {
+  // NEXT is the product over both successors: one unconditional update.
+  emitSet(Out, info(L));
+}
+
+void EccaChecker::emitRegCondUpdate(std::vector<Instruction> &Out, uint64_t L,
+                                    Opcode, uint8_t, uint64_t,
+                                    uint64_t) const {
+  emitSet(Out, info(L));
+}
+
+void EccaChecker::emitIndirectUpdate(std::vector<Instruction> &Out,
+                                     uint64_t L, uint8_t) const {
+  emitSet(Out, info(L));
+}

@@ -1,0 +1,86 @@
+//===- EcfChecker.cpp - ECF with run-time adjusting signature (Figure 4) ------===//
+//
+// ECF keeps the current block's signature in PC' for the whole block and
+// carries the edge delta in the run-time adjusting signature RTS:
+//
+//   inside block L : PC' == L
+//   entry:  PC' += RTS   (head update; turns the predecessor's signature
+//                         into L when RTS was set for this edge)
+//   check:  trap unless PC' == L
+//   exit:   RTS = T - L  (chosen conditionally at conditional exits)
+//
+// Because RTS is written with cheap immediate moves while EdgCF/RCF add
+// into PC', ECF has the lowest update cost — the "slight performance
+// difference" of Section 6. Its gap: a jump into the middle of the
+// current block re-joins a consistent stream (category C undetected).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfc/Checkers.h"
+
+#include "cfc/EmitUtil.h"
+
+using namespace cfed;
+using namespace cfed::emitutil;
+
+void EcfChecker::initState(CpuState &State, uint64_t EntryL) const {
+  State.Regs[RegPCP] = EntryL;
+  State.Regs[RegRTS] = 0;
+}
+
+void EcfChecker::emitPrologue(std::vector<Instruction> &Out, uint64_t L,
+                              bool DoCheck) const {
+  Out.push_back(insn::rrr(Opcode::LeaR, RegPCP, RegPCP, RegRTS));
+  if (DoCheck) {
+    // Exactly Figure 4's "cmp PC', L0; jnz .report_error". The compare
+    // clobbers FLAGS, which is safe at a block entry under the
+    // repository-wide discipline that flags never live across edges —
+    // the same liberty the paper's own sequence takes.
+    Out.push_back(insn::ri(Opcode::CmpI, RegPCP, imm32(L)));
+    Out.push_back(insn::jcc(CondCode::EQ, static_cast<int32_t>(InsnSize)));
+    Out.push_back(insn::i(Opcode::Brk, BrkControlFlowError));
+  }
+}
+
+void EcfChecker::emitDirectUpdate(std::vector<Instruction> &Out, uint64_t L,
+                                  uint64_t Target) const {
+  Out.push_back(insn::ri(
+      Opcode::MovI, RegRTS,
+      imm32(static_cast<int64_t>(Target) - static_cast<int64_t>(L))));
+}
+
+void EcfChecker::emitCondUpdate(std::vector<Instruction> &Out, uint64_t L,
+                                CondCode CC, uint64_t Taken,
+                                uint64_t Fall) const {
+  if (Flavor == UpdateFlavor::CMovcc) {
+    // Figure 4's cmovle sequence.
+    emitDirectUpdate(Out, L, Fall);
+    Out.push_back(insn::ri(
+        Opcode::MovI, RegAUX,
+        imm32(static_cast<int64_t>(Taken) - static_cast<int64_t>(L))));
+    Out.push_back(insn::cmov(RegRTS, RegAUX, CC));
+    return;
+  }
+  emitDirectUpdate(Out, L, Fall);
+  emitSkipUnlessTaken(Out, Opcode::Jcc, 0, CC);
+  Out.push_back(insn::ri(
+      Opcode::MovI, RegRTS,
+      imm32(static_cast<int64_t>(Taken) - static_cast<int64_t>(L))));
+}
+
+void EcfChecker::emitRegCondUpdate(std::vector<Instruction> &Out, uint64_t L,
+                                   Opcode BranchOp, uint8_t Reg,
+                                   uint64_t Taken, uint64_t Fall) const {
+  emitDirectUpdate(Out, L, Fall);
+  emitSkipUnlessTaken(Out, BranchOp, Reg, CondCode::EQ);
+  Out.push_back(insn::ri(
+      Opcode::MovI, RegRTS,
+      imm32(static_cast<int64_t>(Taken) - static_cast<int64_t>(L))));
+}
+
+void EcfChecker::emitIndirectUpdate(std::vector<Instruction> &Out, uint64_t L,
+                                    uint8_t TargetReg) const {
+  // RTS = dynamic target - L.
+  Out.push_back(insn::rri(Opcode::Lea, RegRTS, TargetReg,
+                          imm32(-static_cast<int64_t>(L))));
+}

@@ -1,0 +1,85 @@
+//===- EdgCfChecker.cpp - Edge control-flow checking (Section 3.1) ------------===//
+//
+// Signature algebra (GEN_SIG(x,y,z) = x - y + z, Section 4.4, implemented
+// with the flag-neutral lea, Section 5.1):
+//
+//   on an edge into block L : PC' == L
+//   inside the body of L    : PC' == 0
+//
+//   entry:  PC' -= L          (head update; 0 afterwards if correct)
+//   check:  trap unless PC' == 0
+//   exit:   PC' += T          (edge to T; conditional exits choose T with
+//                              a CMOVcc or an inserted Jcc per Figure 8)
+//   indirect exits use the dynamic target register: PC' += target, which
+//   is exactly Figure 7's "xor PC', R1; ret" in the add/sub algebra.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfc/Checkers.h"
+
+#include "cfc/EmitUtil.h"
+
+using namespace cfed;
+using namespace cfed::emitutil;
+
+void EdgCfChecker::initState(CpuState &State, uint64_t EntryL) const {
+  State.Regs[RegPCP] = EntryL;
+}
+
+void EdgCfChecker::emitPrologue(std::vector<Instruction> &Out, uint64_t L,
+                                bool DoCheck) const {
+  // Head update first, then check PC' == 0 (Figure 6). Note the check
+  // branch thus executes while PC' holds the shared in-body value 0 —
+  // the unprotected fault site RCF fixes.
+  Out.push_back(insn::rri(Opcode::Lea, RegPCP, RegPCP,
+                          imm32(-static_cast<int64_t>(L))));
+  if (DoCheck)
+    emitTrapUnlessZero(Out, RegPCP);
+}
+
+void EdgCfChecker::emitDirectUpdate(std::vector<Instruction> &Out, uint64_t,
+                                    uint64_t Target) const {
+  Out.push_back(insn::rri(Opcode::Lea, RegPCP, RegPCP,
+                          imm32(static_cast<int64_t>(Target))));
+}
+
+void EdgCfChecker::emitCondUpdate(std::vector<Instruction> &Out, uint64_t L,
+                                  CondCode CC, uint64_t Taken,
+                                  uint64_t Fall) const {
+  if (Flavor == UpdateFlavor::CMovcc) {
+    // Figure 8 in the add/sub algebra.
+    Out.push_back(insn::rr(Opcode::Mov, RegAUX, RegPCP));
+    emitDirectUpdate(Out, L, Fall);
+    Out.push_back(insn::rri(Opcode::Lea, RegAUX, RegAUX,
+                            imm32(static_cast<int64_t>(Taken))));
+    Out.push_back(insn::cmov(RegPCP, RegAUX, CC));
+    return;
+  }
+  // Jcc flavor: assume fall-through, fix up when the branch will be
+  // taken. The inserted jcc reads the same flags the original branch
+  // will read, so a later fault at the original branch is detected.
+  emitDirectUpdate(Out, L, Fall);
+  emitSkipUnlessTaken(Out, Opcode::Jcc, 0, CC);
+  Out.push_back(insn::rri(
+      Opcode::Lea, RegPCP, RegPCP,
+      imm32(static_cast<int64_t>(Taken) - static_cast<int64_t>(Fall))));
+}
+
+void EdgCfChecker::emitRegCondUpdate(std::vector<Instruction> &Out,
+                                     uint64_t L, Opcode BranchOp, uint8_t Reg,
+                                     uint64_t Taken, uint64_t Fall) const {
+  // Register-zero branches have no CMOVcc form (jcxz analogue): always
+  // the inserted-branch scheme.
+  emitDirectUpdate(Out, L, Fall);
+  emitSkipUnlessTaken(Out, BranchOp, Reg, CondCode::EQ);
+  Out.push_back(insn::rri(
+      Opcode::Lea, RegPCP, RegPCP,
+      imm32(static_cast<int64_t>(Taken) - static_cast<int64_t>(Fall))));
+}
+
+void EdgCfChecker::emitIndirectUpdate(std::vector<Instruction> &Out, uint64_t,
+                                      uint8_t TargetReg) const {
+  // PC' = 0 + dynamic target. lear keeps the recursive dependence on the
+  // previous signature value: an already-wrong PC' stays wrong.
+  Out.push_back(insn::rrr(Opcode::LeaR, RegPCP, RegPCP, TargetReg));
+}

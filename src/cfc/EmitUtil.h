@@ -1,0 +1,77 @@
+//===- EmitUtil.h - Shared emission helpers (internal) ----------*- C++ -*-===//
+//
+// Part of the CFED project (CGO'06 control-flow error detection repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Private helpers shared by the checker implementations. Not installed
+/// as a public header.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFED_CFC_EMITUTIL_H
+#define CFED_CFC_EMITUTIL_H
+
+#include "isa/Isa.h"
+#include "support/Diagnostics.h"
+#include "vm/Interp.h"
+
+#include <vector>
+
+namespace cfed {
+namespace emitutil {
+
+/// Asserts that \p Value fits a signed 32-bit immediate and returns it.
+inline int32_t imm32(int64_t Value) {
+  assert(Value >= INT32_MIN && Value <= INT32_MAX &&
+         "signature constant out of immediate range");
+  return static_cast<int32_t>(Value);
+}
+
+/// Emits `jzr Reg, +8; brk 0xCFE`: trap unless \p Reg is zero. The jzr is
+/// itself a conditional branch — the instrumentation fault site the RCF
+/// regions were designed to protect.
+inline void emitTrapUnlessZero(std::vector<Instruction> &Out, uint8_t Reg) {
+  Out.push_back(insn::rri(Opcode::Jzr, Reg, 0, static_cast<int32_t>(InsnSize)));
+  Out.push_back(insn::i(Opcode::Brk, BrkControlFlowError));
+}
+
+/// Emits the skip branch of a Jcc-flavor conditional update: jump over
+/// the next instruction when the original branch will NOT go to its taken
+/// target. For flags branches that is jcc with the negated condition; for
+/// register-zero branches, the opposite zero test.
+inline void emitSkipUnlessTaken(std::vector<Instruction> &Out,
+                                Opcode BranchOp, uint8_t Reg, CondCode CC) {
+  int32_t Skip = static_cast<int32_t>(InsnSize);
+  switch (BranchOp) {
+  case Opcode::Jcc:
+    Out.push_back(insn::jcc(negateCondCode(CC), Skip));
+    return;
+  case Opcode::Jzr:
+    Out.push_back(insn::rri(Opcode::Jnzr, Reg, 0, Skip));
+    return;
+  case Opcode::Jnzr:
+    Out.push_back(insn::rri(Opcode::Jzr, Reg, 0, Skip));
+    return;
+  default:
+    cfed_unreachable("not a conditional branch opcode");
+  }
+}
+
+/// Loads an arbitrary 64-bit constant into \p Reg (1 or 2 instructions).
+inline void emitLoadConst64(std::vector<Instruction> &Out, uint8_t Reg,
+                            uint64_t Value) {
+  int32_t Low = static_cast<int32_t>(Value & 0xffffffffULL);
+  Out.push_back(insn::ri(Opcode::MovI, Reg, Low));
+  // MovI sign-extends; fix the high half when it does not match.
+  uint32_t High = static_cast<uint32_t>(Value >> 32);
+  uint32_t SextHigh = Low < 0 ? 0xffffffffu : 0u;
+  if (High != SextHigh)
+    Out.push_back(insn::ri(Opcode::MovHi, Reg, static_cast<int32_t>(High)));
+}
+
+} // namespace emitutil
+} // namespace cfed
+
+#endif // CFED_CFC_EMITUTIL_H

@@ -1,0 +1,87 @@
+//===- RcfChecker.cpp - Region-based control-flow checking (Section 3.2) -----===//
+//
+// RCF refines EdgCF with per-block regions (Figure 9):
+//
+//   on an edge into block L       : PC' == L      (region R1E)
+//   inside the body of block L    : PC' == L + 1  (region R1)
+//
+// Block addresses are 8-aligned, so L+1 is unique per block and collides
+// with no edge signature. The prologue checks PC' *before* transitioning
+// into the body region, so the inserted check branch executes under the
+// block-unique value L, and each inserted update branch executes under
+// the distinct edge value it has just established — a fault on any
+// instrumentation branch lands somewhere its signature cannot match.
+// This is what makes RCF safe even with Jcc-flavor updates (Figure 14).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfc/Checkers.h"
+
+#include "cfc/EmitUtil.h"
+
+using namespace cfed;
+using namespace cfed::emitutil;
+
+void RcfChecker::initState(CpuState &State, uint64_t EntryL) const {
+  State.Regs[RegPCP] = EntryL;
+}
+
+void RcfChecker::emitPrologue(std::vector<Instruction> &Out, uint64_t L,
+                              bool DoCheck) const {
+  if (DoCheck) {
+    // Check in region R1E: compare into a scratch so PC' keeps the value
+    // L that protects the check branch (Figure 13 does the same with the
+    // saved-CX jcxz sequence).
+    Out.push_back(insn::rri(Opcode::Lea, RegAUX, RegPCP,
+                            imm32(-static_cast<int64_t>(L))));
+    emitTrapUnlessZero(Out, RegAUX);
+  }
+  // Transition R1E -> R1 (body region).
+  Out.push_back(insn::rri(Opcode::Lea, RegPCP, RegPCP,
+                          imm32(bodySig(L) - static_cast<int64_t>(L))));
+}
+
+void RcfChecker::emitDirectUpdate(std::vector<Instruction> &Out, uint64_t L,
+                                  uint64_t Target) const {
+  Out.push_back(insn::rri(Opcode::Lea, RegPCP, RegPCP,
+                          imm32(static_cast<int64_t>(Target) - bodySig(L))));
+}
+
+void RcfChecker::emitCondUpdate(std::vector<Instruction> &Out, uint64_t L,
+                                CondCode CC, uint64_t Taken,
+                                uint64_t Fall) const {
+  if (Flavor == UpdateFlavor::CMovcc) {
+    Out.push_back(insn::rr(Opcode::Mov, RegAUX, RegPCP));
+    emitDirectUpdate(Out, L, Fall);
+    Out.push_back(insn::rri(Opcode::Lea, RegAUX, RegAUX,
+                            imm32(static_cast<int64_t>(Taken) - bodySig(L))));
+    Out.push_back(insn::cmov(RegPCP, RegAUX, CC));
+    return;
+  }
+  // Jcc flavor: the inserted branch executes with PC' == Fall — an edge
+  // region distinct per block, so a fault on it is detected (unlike in
+  // EdgCF, where PC' would be the global body value 0).
+  emitDirectUpdate(Out, L, Fall);
+  emitSkipUnlessTaken(Out, Opcode::Jcc, 0, CC);
+  Out.push_back(insn::rri(
+      Opcode::Lea, RegPCP, RegPCP,
+      imm32(static_cast<int64_t>(Taken) - static_cast<int64_t>(Fall))));
+}
+
+void RcfChecker::emitRegCondUpdate(std::vector<Instruction> &Out, uint64_t L,
+                                   Opcode BranchOp, uint8_t Reg,
+                                   uint64_t Taken, uint64_t Fall) const {
+  emitDirectUpdate(Out, L, Fall);
+  emitSkipUnlessTaken(Out, BranchOp, Reg, CondCode::EQ);
+  Out.push_back(insn::rri(
+      Opcode::Lea, RegPCP, RegPCP,
+      imm32(static_cast<int64_t>(Taken) - static_cast<int64_t>(Fall))));
+}
+
+void RcfChecker::emitIndirectUpdate(std::vector<Instruction> &Out, uint64_t L,
+                                    uint8_t TargetReg) const {
+  // PC' += target - bodySig: two flag-neutral adds keep the recursive
+  // dependence on the previous signature.
+  Out.push_back(insn::rrr(Opcode::LeaR, RegPCP, RegPCP, TargetReg));
+  Out.push_back(insn::rri(Opcode::Lea, RegPCP, RegPCP, imm32(-bodySig(L))));
+}

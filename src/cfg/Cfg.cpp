@@ -1,0 +1,289 @@
+//===- Cfg.cpp - Binary-level control-flow graph ------------------------------===//
+
+#include "cfg/Cfg.h"
+
+#include "support/Diagnostics.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace cfed;
+
+Cfg Cfg::build(const uint8_t *Code, uint64_t Size, uint64_t Base,
+               uint64_t Entry, const std::vector<uint64_t> &ExtraLeaders) {
+  assert(Size % InsnSize == 0 && "code size must be instruction-aligned");
+  Cfg Graph;
+  Graph.Base = Base;
+  Graph.CodeSize = Size;
+  Graph.Entry = Entry;
+
+  uint64_t NumInsns = Size / InsnSize;
+  std::vector<Instruction> Decoded;
+  Decoded.reserve(NumInsns);
+  for (uint64_t Index = 0; Index < NumInsns; ++Index) {
+    auto I = Instruction::decode(Code + Index * InsnSize);
+    if (!I)
+      reportFatalError(formatString(
+          "undecodable instruction at 0x%llx while building CFG",
+          static_cast<unsigned long long>(Base + Index * InsnSize)));
+    Decoded.push_back(*I);
+  }
+
+  auto InRange = [&](uint64_t Addr) {
+    return Addr >= Base && Addr < Base + Size && (Addr - Base) % InsnSize == 0;
+  };
+
+  std::set<uint64_t> Leaders;
+  if (InRange(Entry))
+    Leaders.insert(Entry);
+  Leaders.insert(Base);
+  for (uint64_t Leader : ExtraLeaders)
+    if (InRange(Leader))
+      Leaders.insert(Leader);
+  for (uint64_t Index = 0; Index < NumInsns; ++Index) {
+    const Instruction &I = Decoded[Index];
+    uint64_t Addr = Base + Index * InsnSize;
+    if (isBlockTerminator(I.Op)) {
+      if (InRange(Addr + InsnSize))
+        Leaders.insert(Addr + InsnSize);
+      if (hasBranchOffset(I.Op)) {
+        uint64_t Target = I.branchTarget(Addr);
+        if (InRange(Target))
+          Leaders.insert(Target);
+      }
+    }
+  }
+
+  std::vector<uint64_t> Sorted(Leaders.begin(), Leaders.end());
+  for (size_t LeaderIndex = 0; LeaderIndex < Sorted.size(); ++LeaderIndex) {
+    uint64_t Start = Sorted[LeaderIndex];
+    uint64_t Limit = LeaderIndex + 1 < Sorted.size() ? Sorted[LeaderIndex + 1]
+                                                     : Base + Size;
+    BasicBlock Block;
+    Block.Addr = Start;
+    uint64_t Addr = Start;
+    while (Addr < Limit) {
+      const Instruction &I = Decoded[(Addr - Base) / InsnSize];
+      Block.Insns.push_back(I);
+      Addr += InsnSize;
+      if (isBlockTerminator(I.Op)) {
+        Block.TermKind = getOpcodeKind(I.Op);
+        break;
+      }
+    }
+    Block.Size = Addr - Start;
+    if (Block.Insns.empty())
+      continue;
+
+    const Instruction &Term = Block.Insns.back();
+    switch (Block.TermKind) {
+    case OpKind::None: // Fell into the next leader.
+      Block.FallThrough = Addr;
+      Block.HasFallThrough = InRange(Addr);
+      break;
+    case OpKind::Jump:
+      Block.TakenTarget = Term.branchTarget(Block.termAddr());
+      Block.HasTakenTarget = true;
+      break;
+    case OpKind::CondJump:
+    case OpKind::RegZeroJump:
+      Block.TakenTarget = Term.branchTarget(Block.termAddr());
+      Block.HasTakenTarget = true;
+      Block.FallThrough = Addr;
+      Block.HasFallThrough = InRange(Addr);
+      break;
+    case OpKind::Call:
+      // Control enters the callee; the return site is reached through the
+      // callee's Ret, not by falling through.
+      Block.TakenTarget = Term.branchTarget(Block.termAddr());
+      Block.HasTakenTarget = true;
+      break;
+    case OpKind::IndJump:
+    case OpKind::IndCall:
+    case OpKind::Ret:
+    case OpKind::Halt:
+    case OpKind::Trap:
+    case OpKind::DbtExit:
+    case OpKind::DbtExitInd:
+      break;
+    }
+    Graph.Blocks.emplace(Start, std::move(Block));
+  }
+  return Graph;
+}
+
+const BasicBlock *Cfg::blockAt(uint64_t Addr) const {
+  auto It = Blocks.find(Addr);
+  return It == Blocks.end() ? nullptr : &It->second;
+}
+
+const BasicBlock *Cfg::blockContaining(uint64_t Addr) const {
+  auto It = Blocks.upper_bound(Addr);
+  if (It == Blocks.begin())
+    return nullptr;
+  --It;
+  const BasicBlock &Block = It->second;
+  return Addr < Block.endAddr() ? &Block : nullptr;
+}
+
+bool Cfg::computeRetSuccessors() {
+  // Indirect control flow defeats the static call-graph analysis.
+  for (const auto &[Addr, Block] : Blocks)
+    if (Block.TermKind == OpKind::IndCall || Block.TermKind == OpKind::IndJump)
+      return false;
+
+  // Function entries: the program entry plus every direct call target.
+  // Collect the call sites per entry as we go.
+  std::map<uint64_t, std::vector<uint64_t>> ReturnSites; // entry -> sites
+  std::set<uint64_t> FuncEntries;
+  FuncEntries.insert(Entry);
+  for (const auto &[Addr, Block] : Blocks) {
+    if (Block.TermKind != OpKind::Call)
+      continue;
+    FuncEntries.insert(Block.TakenTarget);
+    ReturnSites[Block.TakenTarget].push_back(Block.endAddr());
+  }
+
+  // Flood-fill intraprocedural reachability from each function entry.
+  // Call edges are not followed (they enter another function); the return
+  // site after a call belongs to the caller.
+  std::map<uint64_t, uint64_t> Owner; // block -> function entry
+  for (uint64_t FuncEntry : FuncEntries) {
+    std::vector<uint64_t> Work = {FuncEntry};
+    while (!Work.empty()) {
+      uint64_t Addr = Work.back();
+      Work.pop_back();
+      auto It = Blocks.find(Addr);
+      if (It == Blocks.end())
+        continue;
+      auto [OwnerIt, Inserted] = Owner.emplace(Addr, FuncEntry);
+      if (!Inserted) {
+        // A block shared between two functions makes the static ret
+        // analysis ambiguous.
+        if (OwnerIt->second != FuncEntry)
+          return false;
+        continue;
+      }
+      const BasicBlock &Block = It->second;
+      if (Block.TermKind == OpKind::Call) {
+        Work.push_back(Block.endAddr()); // Return site, same function.
+        continue;
+      }
+      if (Block.HasTakenTarget)
+        Work.push_back(Block.TakenTarget);
+      if (Block.HasFallThrough)
+        Work.push_back(Block.FallThrough);
+    }
+  }
+
+  for (auto &[Addr, Block] : Blocks) {
+    Block.RetSuccessors.clear();
+    if (Block.TermKind != OpKind::Ret)
+      continue;
+    auto OwnerIt = Owner.find(Addr);
+    if (OwnerIt == Owner.end())
+      continue; // Unreachable ret block; no successors.
+    auto SitesIt = ReturnSites.find(OwnerIt->second);
+    if (SitesIt == ReturnSites.end()) {
+      // A ret in the entry function returns to the host; no successors.
+      if (OwnerIt->second == Entry)
+        continue;
+      return false;
+    }
+    Block.RetSuccessors = SitesIt->second;
+    std::sort(Block.RetSuccessors.begin(), Block.RetSuccessors.end());
+  }
+  return true;
+}
+
+std::vector<uint64_t> Cfg::predecessorsOf(uint64_t Addr) const {
+  std::vector<uint64_t> Preds;
+  for (const auto &[PredAddr, Block] : Blocks) {
+    bool IsPred = (Block.HasTakenTarget && Block.TakenTarget == Addr) ||
+                  (Block.HasFallThrough && Block.FallThrough == Addr) ||
+                  (Block.TermKind == OpKind::Call && Block.endAddr() == Addr);
+    if (!IsPred)
+      IsPred = std::binary_search(Block.RetSuccessors.begin(),
+                                  Block.RetSuccessors.end(), Addr);
+    if (IsPred)
+      Preds.push_back(PredAddr);
+  }
+  return Preds;
+}
+
+std::vector<uint64_t> Cfg::findFlagDisciplineViolations() const {
+  std::vector<uint64_t> Violations;
+  for (const auto &[Addr, Block] : Blocks) {
+    bool FlagsWritten = false;
+    uint64_t InsnAddr = Addr;
+    for (const Instruction &I : Block.Insns) {
+      bool Reads = I.Op == Opcode::Jcc || I.Op == Opcode::CMov ||
+                   I.Op == Opcode::SetCC;
+      if (Reads && !FlagsWritten)
+        Violations.push_back(InsnAddr);
+      if (opcodeWritesFlags(I.Op))
+        FlagsWritten = true;
+      InsnAddr += InsnSize;
+    }
+  }
+  return Violations;
+}
+
+std::vector<uint64_t> Cfg::findFlagsAcrossStoreViolations() const {
+  auto IsEgress = [](Opcode Op) {
+    switch (Op) {
+    case Opcode::St:
+    case Opcode::StB:
+    case Opcode::FSt:
+    case Opcode::Push:
+    case Opcode::Out:
+    case Opcode::OutC:
+      return true;
+    default:
+      return false;
+    }
+  };
+  std::vector<uint64_t> Violations;
+  for (const auto &[Addr, Block] : Blocks) {
+    bool EgressSinceWrite = false;
+    uint64_t InsnAddr = Addr;
+    for (const Instruction &I : Block.Insns) {
+      bool Reads = I.Op == Opcode::Jcc || I.Op == Opcode::CMov ||
+                   I.Op == Opcode::SetCC;
+      if (Reads && EgressSinceWrite)
+        Violations.push_back(InsnAddr);
+      if (opcodeWritesFlags(I.Op))
+        EgressSinceWrite = false;
+      else if (IsEgress(I.Op))
+        EgressSinceWrite = true;
+      InsnAddr += InsnSize;
+    }
+  }
+  return Violations;
+}
+
+std::string Cfg::toDot() const {
+  std::string Out = "digraph cfg {\n  node [shape=box fontname=monospace];\n";
+  for (const auto &[Addr, Block] : Blocks) {
+    Out += formatString("  b%llx [label=\"0x%llx (%zu insns)%s\"];\n",
+                        static_cast<unsigned long long>(Addr),
+                        static_cast<unsigned long long>(Addr),
+                        Block.Insns.size(),
+                        Block.hasBackEdge() ? "\\nback-edge" : "");
+    if (Block.HasTakenTarget)
+      Out += formatString("  b%llx -> b%llx;\n",
+                          static_cast<unsigned long long>(Addr),
+                          static_cast<unsigned long long>(Block.TakenTarget));
+    if (Block.HasFallThrough)
+      Out += formatString("  b%llx -> b%llx [style=dashed];\n",
+                          static_cast<unsigned long long>(Addr),
+                          static_cast<unsigned long long>(Block.FallThrough));
+    for (uint64_t Succ : Block.RetSuccessors)
+      Out += formatString("  b%llx -> b%llx [style=dotted];\n",
+                          static_cast<unsigned long long>(Addr),
+                          static_cast<unsigned long long>(Succ));
+  }
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,137 @@
+//===- Cfg.h - Binary-level control-flow graph ------------------*- C++ -*-===//
+//
+// Part of the CFED project (CGO'06 control-flow error detection repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Basic-block discovery and control-flow graph construction over encoded
+/// VISA code. The CFG serves three clients:
+///
+///  * the eager (whole-program) translation mode, which CFCSS and ECCA
+///    need for their compile-time signature assignment;
+///  * the RET-BE checking policy, which places checks in blocks that have
+///    back edges (Section 6);
+///  * the fault classifier, which decides whether an erroneous branch
+///    target is the beginning or the middle of the same or another block
+///    (the category B/C/D/E split of Figure 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFED_CFG_CFG_H
+#define CFED_CFG_CFG_H
+
+#include "isa/Isa.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cfed {
+
+/// One discovered basic block.
+struct BasicBlock {
+  /// Address of the first instruction.
+  uint64_t Addr = 0;
+  /// Size in bytes (always a multiple of InsnSize).
+  uint64_t Size = 0;
+  /// Decoded instructions.
+  std::vector<Instruction> Insns;
+  /// Control-flow kind of the last instruction (OpKind::None when the
+  /// block simply falls into the next leader).
+  OpKind TermKind = OpKind::None;
+  /// Direct branch / call target, 0 if none.
+  uint64_t TakenTarget = 0;
+  bool HasTakenTarget = false;
+  /// Fall-through successor address, 0 if none (unconditional transfers,
+  /// Ret, Halt, Trap have no fall-through).
+  uint64_t FallThrough = 0;
+  bool HasFallThrough = false;
+  /// Successor addresses of Ret blocks, filled in by
+  /// Cfg::computeRetSuccessors().
+  std::vector<uint64_t> RetSuccessors;
+
+  /// Address one past the last instruction.
+  uint64_t endAddr() const { return Addr + Size; }
+  /// Address of the last (terminating) instruction.
+  uint64_t termAddr() const { return Addr + Size - InsnSize; }
+  /// True if the block ends in a conditional branch.
+  bool isConditional() const {
+    return TermKind == OpKind::CondJump || TermKind == OpKind::RegZeroJump;
+  }
+  /// True if any successor lies at or before this block (a backward
+  /// branch — the binary-level back-edge test used by the RET-BE policy).
+  bool hasBackEdge() const {
+    return HasTakenTarget && TakenTarget <= Addr;
+  }
+};
+
+/// A whole-program CFG keyed by block start address.
+class Cfg {
+public:
+  /// Discovers blocks in [Base, Base+Size). Leaders are: \p Entry,
+  /// every address in \p ExtraLeaders (the assembler's code-label side
+  /// table, which covers all indirect-branch targets), every direct
+  /// branch/call target, and every instruction following a terminator.
+  static Cfg build(const uint8_t *Code, uint64_t Size, uint64_t Base,
+                   uint64_t Entry, const std::vector<uint64_t> &ExtraLeaders);
+
+  /// Blocks ordered by address.
+  const std::map<uint64_t, BasicBlock> &blocks() const { return Blocks; }
+  std::map<uint64_t, BasicBlock> &blocks() { return Blocks; }
+
+  /// Returns the block starting exactly at \p Addr, or nullptr.
+  const BasicBlock *blockAt(uint64_t Addr) const;
+
+  /// Returns the block whose byte range contains \p Addr, or nullptr.
+  const BasicBlock *blockContaining(uint64_t Addr) const;
+
+  /// Entry address used at build time.
+  uint64_t entry() const { return Entry; }
+
+  /// Start of the analyzed code region.
+  uint64_t codeBase() const { return Base; }
+  /// One past the end of the analyzed code region.
+  uint64_t codeEnd() const { return Base + CodeSize; }
+
+  /// Fills BasicBlock::RetSuccessors: a Ret block's successors are the
+  /// return sites of every call to the function containing it. Requires
+  /// all calls to be direct; returns false (leaving the CFG unchanged) if
+  /// an indirect call or an unresolvable Ret is present. Functions are
+  /// the address ranges reachable from call targets and the entry.
+  bool computeRetSuccessors();
+
+  /// Returns the addresses of every predecessor of block \p Addr
+  /// (via taken, fall-through and ret edges).
+  std::vector<uint64_t> predecessorsOf(uint64_t Addr) const;
+
+  /// Renders the CFG in Graphviz DOT format.
+  std::string toDot() const;
+
+  /// Checks the repository's flag discipline: every FLAGS-reading
+  /// instruction (Jcc, CMov, SetCC) must be preceded, within its own
+  /// basic block, by a FLAGS-writing instruction — i.e. flags never live
+  /// across block boundaries. Techniques whose prologues clobber flags
+  /// at block entries (CFCSS, ECCA, and ECF's Figure 4 check) are only
+  /// sound on programs satisfying this. Returns the addresses of
+  /// violating instructions (empty = clean).
+  std::vector<uint64_t> findFlagDisciplineViolations() const;
+
+  /// Checks the stronger discipline the data-flow checking extension
+  /// needs: no FLAGS-reading instruction may consume flags produced
+  /// before an intervening memory-egress instruction (store, push, Out)
+  /// — the compare-before-store sequences clobber FLAGS at those points.
+  /// Returns the addresses of violating flag readers (empty = clean).
+  std::vector<uint64_t> findFlagsAcrossStoreViolations() const;
+
+private:
+  std::map<uint64_t, BasicBlock> Blocks;
+  uint64_t Base = 0;
+  uint64_t CodeSize = 0;
+  uint64_t Entry = 0;
+};
+
+} // namespace cfed
+
+#endif // CFED_CFG_CFG_H

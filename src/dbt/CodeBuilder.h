@@ -1,0 +1,102 @@
+//===- CodeBuilder.h - Backend instruction buffer (internal) ----*- C++ -*-===//
+//
+// Part of the CFED project (CGO'06 control-flow error detection repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The translation buffer the frontend emits into, with the backend's
+/// peephole built in: adjacent flag-neutral signature updates
+/// (lea r, r, imm pairs on the same register) are folded into one
+/// instruction when enabled. Folding is suppressed
+///
+///   * across explicit barriers (block entry points that chained jumps
+///     may target), and
+///   * for the instruction following a one-instruction skip branch
+///     (jcc/jzr/jnzr with offset +8): merging the conditionally skipped
+///     update with its successor would change which updates the skip
+///     covers.
+///
+/// Folding is semantically legal for signature code because the algebra
+/// only requires the signature to be *checked* between updates, never
+/// observed — the same slack the relaxed checking policies exploit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFED_DBT_CODEBUILDER_H
+#define CFED_DBT_CODEBUILDER_H
+
+#include "isa/Isa.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cfed {
+
+class CodeBuilder {
+public:
+  explicit CodeBuilder(bool FoldUpdates) : Fold(FoldUpdates) {}
+
+  /// Appends \p I, possibly folding it into the previous instruction.
+  void push(const Instruction &I) {
+    bool Folded = false;
+    if (Fold && !PendingBarrier && canFoldInto(I)) {
+      Code.back().Imm += I.Imm;
+      Folded = true;
+      ++NumFolded;
+    } else {
+      Code.push_back(I);
+    }
+    PendingBarrier = false;
+    if (isSkipBranch(I)) {
+      SkippedNext = true;
+    } else if (SkippedNext) {
+      // This instruction is the conditionally skipped one; the next must
+      // not be folded into it.
+      SkippedNext = false;
+      PendingBarrier = true;
+    }
+    (void)Folded;
+  }
+
+  /// Marks the next pushed instruction as a jump target: it must exist at
+  /// its own position and cannot fold into its predecessor.
+  void markBarrier() { PendingBarrier = true; }
+
+  size_t size() const { return Code.size(); }
+  const std::vector<Instruction> &code() const { return Code; }
+  uint64_t foldedCount() const { return NumFolded; }
+
+private:
+  bool canFoldInto(const Instruction &I) const {
+    if (Code.empty())
+      return false;
+    const Instruction &Prev = Code.back();
+    if (I.Op != Opcode::Lea || Prev.Op != Opcode::Lea)
+      return false;
+    if (I.A != I.B || Prev.A != Prev.B || I.A != Prev.A)
+      return false;
+    int64_t Sum = static_cast<int64_t>(Prev.Imm) + I.Imm;
+    return Sum >= INT32_MIN && Sum <= INT32_MAX;
+  }
+
+  static bool isSkipBranch(const Instruction &I) {
+    switch (getOpcodeKind(I.Op)) {
+    case OpKind::CondJump:
+    case OpKind::RegZeroJump:
+      return I.Imm == static_cast<int32_t>(InsnSize);
+    default:
+      return false;
+    }
+  }
+
+  std::vector<Instruction> Code;
+  bool Fold;
+  bool PendingBarrier = false;
+  bool SkippedNext = false;
+  uint64_t NumFolded = 0;
+};
+
+} // namespace cfed
+
+#endif // CFED_DBT_CODEBUILDER_H

@@ -1,0 +1,430 @@
+//===- Dbt.cpp - Dynamic binary translator --------------------------------------===//
+
+#include "dbt/Dbt.h"
+
+#include "cfc/DataFlow.h"
+#include "cfg/Cfg.h"
+#include "dbt/CodeBuilder.h"
+#include "support/Diagnostics.h"
+#include "support/Format.h"
+#include "vm/Layout.h"
+#include "vm/Loader.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace cfed;
+
+namespace {
+/// Largest number of guest instructions fused into one dynamic block.
+constexpr size_t MaxBlockInsns = 4096;
+} // namespace
+
+Dbt::Dbt(Memory &Mem, DbtConfig Config)
+    : Mem(Mem), Config(Config), CacheAlloc(CacheBase) {
+  Checker = createChecker(Config.Tech, Config.Flavor);
+}
+
+Dbt::~Dbt() = default;
+
+bool Dbt::load(const AsmProgram &Program, CpuState &State) {
+  if (Checker->requiresWholeProgramCfg() && !Config.EagerTranslate)
+    return false; // The paper's on-demand limitation (Section 5).
+
+  GuestCodeBase = CodeBase;
+  GuestCodeSize = Program.Code.size();
+  GuestEntry = Program.Entry;
+  loadProgram(Program, LoadMode::Translated, Mem, State);
+
+  if (Config.EagerTranslate) {
+    Cfg Graph = Cfg::build(Program.Code.data(), Program.Code.size(),
+                           CodeBase, Program.Entry, Program.CodeLabels);
+    if (!Checker->prepare(Graph))
+      return false;
+    EagerLeaders.clear();
+    for (const auto &[Addr, Block] : Graph.blocks())
+      EagerLeaders.push_back(Addr);
+    for (uint64_t Leader : EagerLeaders)
+      if (!BlockMap.count(Leader))
+        translate(Leader);
+  }
+
+  Checker->initState(State, GuestEntry);
+  State.PC = lookupOrTranslate(GuestEntry);
+  return true;
+}
+
+StopInfo Dbt::run(Interpreter &Interp, uint64_t MaxInsns) {
+  Interp.setDbtHooks(this);
+  return Interp.run(MaxInsns);
+}
+
+void Dbt::reprotectCodePages() {
+  if (!CodePagesWritable)
+    return;
+  Mem.setPerms(GuestCodeBase, GuestCodeSize, PermR);
+  CodePagesWritable = false;
+}
+
+uint64_t Dbt::lookupOrTranslate(uint64_t GuestTarget) {
+  auto It = BlockMap.find(GuestTarget);
+  if (It != BlockMap.end())
+    return It->second.CacheAddr;
+  // Eager mode translated the whole program up front; the translation
+  // set is frozen because the whole-program techniques (CFCSS/ECCA)
+  // assigned signatures from the static CFG. A miss can only be an
+  // erroneous target: execute it raw and let the page protection trap.
+  if (Config.EagerTranslate)
+    return GuestTarget;
+  // Only instruction-aligned targets inside the code segment are
+  // translatable; anything else executes raw and traps on the guest's
+  // non-executable pages (the hardware category-F detector).
+  if (GuestTarget < GuestCodeBase ||
+      GuestTarget >= GuestCodeBase + GuestCodeSize ||
+      (GuestTarget - GuestCodeBase) % InsnSize != 0)
+    return GuestTarget;
+  return translate(GuestTarget);
+}
+
+uint64_t Dbt::translate(uint64_t EntryGuest) {
+  reprotectCodePages();
+  ++NumTranslations;
+
+  CodeBuilder Builder(Config.FoldSignatureUpdates);
+  struct SubBlock {
+    uint64_t Guest = 0;
+    size_t StartIdx = 0;
+    std::vector<std::pair<size_t, size_t>> InstrIdx;
+  };
+  std::vector<SubBlock> Subs;
+  std::set<uint64_t> InThisSuper;
+
+  uint64_t Guest = EntryGuest;
+  unsigned Fused = 0;
+  bool Done = false;
+  while (!Done) {
+    // Decode the dynamic block entered at Guest.
+    std::vector<Instruction> Body;
+    bool HasTerm = false;
+    uint64_t Addr = Guest;
+    uint64_t BlockLimit = GuestCodeBase + GuestCodeSize;
+    if (Config.EagerTranslate) {
+      // Stop at the next static leader so eager blocks match the CFG.
+      auto Next = std::upper_bound(EagerLeaders.begin(), EagerLeaders.end(),
+                                   Guest);
+      if (Next != EagerLeaders.end())
+        BlockLimit = *Next;
+    }
+    while (Addr + InsnSize <= GuestCodeBase + GuestCodeSize &&
+           Addr < BlockLimit && Body.size() < MaxBlockInsns) {
+      uint8_t Raw[InsnSize];
+      Mem.readRaw(Addr, Raw, InsnSize);
+      auto I = Instruction::decode(Raw);
+      if (!I)
+        break;
+      Body.push_back(*I);
+      Addr += InsnSize;
+      if (isBlockTerminator(I->Op)) {
+        HasTerm = true;
+        break;
+      }
+    }
+    if (Body.empty()) {
+      if (Subs.empty())
+        return EntryGuest; // Undecodable entry: execute raw and trap.
+      Builder.push(insn::i(Opcode::Tramp,
+                           static_cast<int32_t>(EntryGuest)));
+      break;
+    }
+
+    uint64_t L = Guest;
+    const Instruction *Term = HasTerm ? &Body.back() : nullptr;
+    uint64_t TermAddr = Addr - InsnSize;
+    OpKind TermKind = Term ? getOpcodeKind(Term->Op) : OpKind::None;
+    bool BackEdge = Term && hasBranchOffset(Term->Op) &&
+                    Term->branchTarget(TermAddr) <= L;
+    bool HasStore = false;
+    for (const Instruction &I : Body)
+      if (opcodeStoresMemory(I.Op))
+        HasStore = true;
+    bool DoCheck =
+        policyChecksBlock(Config.Policy, TermKind, BackEdge, HasStore);
+
+    // Inner sub-blocks stay chain targets unless folding may merge their
+    // entry instruction away (then they are not registered at all).
+    if (!Config.FoldSignatureUpdates)
+      Builder.markBarrier();
+    Subs.push_back(SubBlock{Guest, Builder.size(), {}});
+    SubBlock &Sub = Subs.back();
+
+    auto EmitChecked = [&](auto EmitFn) {
+      std::vector<Instruction> Seq;
+      EmitFn(Seq);
+      size_t Begin = Builder.size();
+      for (const Instruction &I : Seq)
+        Builder.push(I);
+      Sub.InstrIdx.emplace_back(Begin, Builder.size());
+    };
+
+    EmitChecked([&](std::vector<Instruction> &Seq) {
+      Checker->emitPrologue(Seq, L, DoCheck);
+    });
+    size_t BodyCount = Body.size() - (Term ? 1 : 0);
+    for (size_t I = 0; I < BodyCount; ++I) {
+      if (!Config.DataFlowCheck) {
+        Builder.push(Body[I]);
+        continue;
+      }
+      dfc::Expansion Expanded = dfc::expand(Body[I]);
+      EmitChecked([&](std::vector<Instruction> &Seq) {
+        Seq = std::move(Expanded.Before);
+      });
+      Builder.push(Body[I]);
+      EmitChecked([&](std::vector<Instruction> &Seq) {
+        Seq = std::move(Expanded.After);
+      });
+    }
+
+    auto EmitTramp = [&](uint64_t Target) {
+      Builder.push(insn::i(Opcode::Tramp, static_cast<int32_t>(Target)));
+    };
+
+    switch (TermKind) {
+    case OpKind::None: { // Fell into a leader / block-size cap.
+      uint64_t Target = Addr;
+      EmitChecked([&](std::vector<Instruction> &Seq) {
+        Checker->emitDirectUpdate(Seq, L, Target);
+      });
+      if (Fused + 1 < Config.SuperblockLimit && !BlockMap.count(Target) &&
+          !InThisSuper.count(Target) && Target != EntryGuest) {
+        InThisSuper.insert(Guest);
+        Guest = Target;
+        ++Fused;
+        continue;
+      }
+      EmitTramp(Target);
+      Done = true;
+      break;
+    }
+    case OpKind::Jump: {
+      uint64_t Target = Term->branchTarget(TermAddr);
+      EmitChecked([&](std::vector<Instruction> &Seq) {
+        Checker->emitDirectUpdate(Seq, L, Target);
+      });
+      if (Fused + 1 < Config.SuperblockLimit && !BlockMap.count(Target) &&
+          !InThisSuper.count(Target) && Target != EntryGuest) {
+        InThisSuper.insert(Guest);
+        Guest = Target;
+        ++Fused;
+        continue;
+      }
+      EmitTramp(Target);
+      Done = true;
+      break;
+    }
+    case OpKind::CondJump:
+    case OpKind::RegZeroJump: {
+      uint64_t Taken = Term->branchTarget(TermAddr);
+      uint64_t Fall = TermAddr + InsnSize;
+      EmitChecked([&](std::vector<Instruction> &Seq) {
+        if (TermKind == OpKind::CondJump)
+          Checker->emitCondUpdate(Seq, L, Term->cond(), Taken, Fall);
+        else
+          Checker->emitRegCondUpdate(Seq, L, Term->Op, Term->A, Taken,
+                                     Fall);
+      });
+      // jcc cc, +8 over the fall-through tramp onto the taken tramp.
+      Instruction Branch = *Term;
+      Branch.Imm = static_cast<int32_t>(InsnSize);
+      Builder.push(Branch);
+      EmitTramp(Fall);
+      EmitTramp(Taken);
+      Done = true;
+      break;
+    }
+    case OpKind::Call: {
+      uint64_t Target = Term->branchTarget(TermAddr);
+      uint64_t ReturnSite = TermAddr + InsnSize;
+      EmitChecked([&](std::vector<Instruction> &Seq) {
+        Checker->emitDirectUpdate(Seq, L, Target);
+      });
+      // Push the *guest* return address so that returns carry guest
+      // targets (free address-to-signature mapping, Section 5).
+      Builder.push(insn::ri(Opcode::MovI, RegAUX2,
+                            static_cast<int32_t>(ReturnSite)));
+      Builder.push(insn::r(Opcode::Push, RegAUX2));
+      EmitTramp(Target);
+      Done = true;
+      break;
+    }
+    case OpKind::IndCall: {
+      uint64_t ReturnSite = TermAddr + InsnSize;
+      EmitChecked([&](std::vector<Instruction> &Seq) {
+        Checker->emitIndirectUpdate(Seq, L, Term->A);
+      });
+      Builder.push(insn::ri(Opcode::MovI, RegAUX2,
+                            static_cast<int32_t>(ReturnSite)));
+      Builder.push(insn::r(Opcode::Push, RegAUX2));
+      Builder.push(insn::r(Opcode::TrampR, Term->A));
+      Done = true;
+      break;
+    }
+    case OpKind::IndJump: {
+      EmitChecked([&](std::vector<Instruction> &Seq) {
+        Checker->emitIndirectUpdate(Seq, L, Term->A);
+      });
+      Builder.push(insn::r(Opcode::TrampR, Term->A));
+      Done = true;
+      break;
+    }
+    case OpKind::Ret: {
+      Builder.push(insn::r(Opcode::Pop, RegAUX2));
+      EmitChecked([&](std::vector<Instruction> &Seq) {
+        Checker->emitIndirectUpdate(Seq, L, RegAUX2);
+      });
+      Builder.push(insn::r(Opcode::TrampR, RegAUX2));
+      Done = true;
+      break;
+    }
+    case OpKind::Halt:
+    case OpKind::Trap:
+      Builder.push(*Term);
+      Done = true;
+      break;
+    case OpKind::DbtExit:
+    case OpKind::DbtExitInd:
+      reportFatalError(formatString(
+          "DBT-internal opcode in guest code at 0x%llx",
+          static_cast<unsigned long long>(TermAddr)));
+    }
+  }
+
+  // Install into the code cache.
+  const std::vector<Instruction> &Code = Builder.code();
+  assert(!Code.empty() && "empty translation");
+  uint64_t Bytes = Code.size() * InsnSize;
+  uint64_t Base = CacheAlloc;
+  if (Base + Bytes > CacheBase + CacheMaxSize)
+    reportFatalError("code cache exhausted");
+  Mem.mapRegion(Base, Bytes, PermX);
+  std::vector<uint8_t> Encoded(Bytes);
+  for (size_t I = 0; I < Code.size(); ++I)
+    Code[I].encode(&Encoded[I * InsnSize]);
+  Mem.writeRaw(Base, Encoded.data(), Bytes);
+  CacheAlloc = Base + Bytes;
+  NumFoldedUpdates += Builder.foldedCount();
+
+  // Register sub-blocks. With folding, inner entry points may have been
+  // merged away, so only the superblock head is registered then.
+  for (size_t SubIndex = 0; SubIndex < Subs.size(); ++SubIndex) {
+    const SubBlock &Sub = Subs[SubIndex];
+    if (SubIndex > 0 && Config.FoldSignatureUpdates)
+      break;
+    TranslatedBlock TB;
+    TB.GuestAddr = Sub.Guest;
+    TB.CacheAddr = Base + Sub.StartIdx * InsnSize;
+    TB.CacheSize = Base + Bytes - TB.CacheAddr;
+    for (const auto &[BeginIdx, EndIdx] : Sub.InstrIdx)
+      TB.InstrRanges.emplace_back(Base + BeginIdx * InsnSize,
+                                  Base + EndIdx * InsnSize);
+    BlockMap.emplace(Sub.Guest, std::move(TB));
+  }
+  return Base;
+}
+
+uint64_t Dbt::onDirectExit(uint64_t SiteAddr, uint64_t GuestTarget) {
+  ++NumDispatches;
+  uint64_t Cache = lookupOrTranslate(GuestTarget);
+  bool Translated = BlockMap.count(GuestTarget) != 0;
+  if (Config.ChainDirectExits && Translated && isCacheAddr(SiteAddr)) {
+    // Patch the Tramp into a direct jump (block chaining).
+    Instruction Jump = insn::i(Opcode::Jmp,
+                               Instruction::offsetFor(SiteAddr, Cache));
+    uint8_t Raw[InsnSize];
+    Jump.encode(Raw);
+    Mem.writeRaw(SiteAddr, Raw, InsnSize);
+    Patches.push_back({SiteAddr, GuestTarget});
+  }
+  return Cache;
+}
+
+uint64_t Dbt::onIndirectExit(uint64_t SiteAddr, uint64_t GuestTarget) {
+  (void)SiteAddr;
+  ++NumDispatches;
+  return lookupOrTranslate(GuestTarget);
+}
+
+bool Dbt::onWriteViolation(uint64_t DataAddr) {
+  if (DataAddr < GuestCodeBase || DataAddr >= GuestCodeBase + GuestCodeSize)
+    return false; // A genuine protection fault, not self-modification.
+  if (Checker->requiresWholeProgramCfg())
+    reportFatalError("self-modifying code under a whole-program-CFG "
+                     "technique (CFCSS/ECCA) is not supported");
+  flushTranslations();
+  // Let the faulting store retry and future stores to this page proceed;
+  // the page is re-protected before the next translation reads it.
+  Mem.setPerms(DataAddr & ~(PageSize - 1), PageSize, PermRW);
+  CodePagesWritable = true;
+  ++NumFlushes;
+  return true;
+}
+
+void Dbt::flushTranslations() {
+  // Unchain every patched exit so stale translations always re-dispatch;
+  // the translator then picks up the modified guest code. Cache storage
+  // is not reclaimed (stale code stays fetchable until control leaves
+  // it), matching the usual DBT flush discipline.
+  for (const ChainPatch &Patch : Patches) {
+    Instruction Tramp =
+        insn::i(Opcode::Tramp, static_cast<int32_t>(Patch.GuestTarget));
+    uint8_t Raw[InsnSize];
+    Tramp.encode(Raw);
+    Mem.writeRaw(Patch.SiteAddr, Raw, InsnSize);
+  }
+  Patches.clear();
+  BlockMap.clear();
+}
+
+const TranslatedBlock *Dbt::cacheBlockContaining(uint64_t Addr) const {
+  const TranslatedBlock *Best = nullptr;
+  for (const auto &[Guest, TB] : BlockMap)
+    if (TB.containsCacheAddr(Addr))
+      if (!Best || TB.CacheAddr > Best->CacheAddr) // Innermost sub-block.
+        Best = &TB;
+  return Best;
+}
+
+std::vector<BranchSiteInfo> Dbt::enumerateBranchSites() const {
+  std::vector<BranchSiteInfo> Sites;
+  // Visit outermost blocks only: sub-blocks alias superblock bytes.
+  std::vector<const TranslatedBlock *> ByCache;
+  for (const auto &[Guest, TB] : BlockMap)
+    ByCache.push_back(&TB);
+  std::sort(ByCache.begin(), ByCache.end(),
+            [](const TranslatedBlock *A, const TranslatedBlock *B) {
+              return A->CacheAddr < B->CacheAddr;
+            });
+  uint64_t CoveredEnd = 0;
+  for (const TranslatedBlock *TB : ByCache) {
+    if (TB->CacheAddr < CoveredEnd)
+      continue;
+    CoveredEnd = TB->CacheAddr + TB->CacheSize;
+    for (uint64_t Addr = TB->CacheAddr; Addr < CoveredEnd;
+         Addr += InsnSize) {
+      uint8_t Raw[InsnSize];
+      Mem.readRaw(Addr, Raw, InsnSize);
+      auto I = Instruction::decode(Raw);
+      if (!I || !hasBranchOffset(I->Op))
+        continue;
+      BranchSiteInfo Site;
+      Site.CacheAddr = Addr;
+      Site.Op = I->Op;
+      // Instrumentation ranges live on the innermost sub-block.
+      const TranslatedBlock *Inner = cacheBlockContaining(Addr);
+      Site.IsInstrumentation = Inner && Inner->isInstrumentation(Addr);
+      Site.GuestBlock = Inner ? Inner->GuestAddr : TB->GuestAddr;
+      Sites.push_back(Site);
+    }
+  }
+  return Sites;
+}

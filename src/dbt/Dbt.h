@@ -1,0 +1,191 @@
+//===- Dbt.h - Dynamic binary translator ------------------------*- C++ -*-===//
+//
+// Part of the CFED project (CGO'06 control-flow error detection repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamic binary translator of Section 5, structured like the
+/// paper's Figure 11:
+///
+///  * Runtime  — loads the program image (guest code pages readable but
+///    not executable, so wild jumps out of the code cache trap: the
+///    category-F detector), initializes the signature registers, services
+///    code-cache exits, and handles write-protection faults from
+///    self-modifying code by flushing and unchaining translations.
+///  * Frontend — translates guest basic blocks on demand into the code
+///    cache, weaving in the configured control-flow checker's prologue
+///    and exit updates, and chains direct exits (patching the Tramp exit
+///    into a plain jmp once the target is translated). An eager mode
+///    translates the whole program up front from the CFG — what CFCSS
+///    and ECCA require and the paper's DBT could not do.
+///  * Backend  — optional optimizations: superblock formation along
+///    unconditional chains and peephole folding of adjacent signature
+///    updates (legal because signatures only need checking, not
+///    observing, between updates — the same algebraic slack the paper's
+///    relaxed checking policies exploit).
+///
+/// All control transfers in translated code go through:
+///   direct:   [updates] tramp <guest-target>        (patched to jmp)
+///   cond:     [updates] jcc cc, +8-to-taken-stub; tramp <fall>;
+///             taken-stub: tramp <taken>
+///   call:     [updates] movi aux2, <guest-return>; push aux2;
+///             tramp <callee>
+///   ret:      pop aux2; [updates]; trampr aux2
+///   indirect: [updates]; trampr <reg>   (callr also pushes the return)
+///
+/// The guest return addresses kept on the stack are guest addresses, so
+/// the block-address-as-signature scheme maps dynamic targets to
+/// signatures for free (Section 5's "the address to signature mapping has
+/// no cost").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFED_DBT_DBT_H
+#define CFED_DBT_DBT_H
+
+#include "asm/Assembler.h"
+#include "cfc/Checker.h"
+#include "vm/Interp.h"
+#include "vm/Memory.h"
+
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace cfed {
+
+/// Translator configuration.
+struct DbtConfig {
+  Technique Tech = Technique::None;
+  UpdateFlavor Flavor = UpdateFlavor::Jcc;
+  CheckPolicy Policy = CheckPolicy::AllBB;
+  /// Patch direct exits into plain jumps once the target is translated.
+  bool ChainDirectExits = true;
+  /// Translate the whole program up front from the static CFG. Required
+  /// by techniques with requiresWholeProgramCfg().
+  bool EagerTranslate = false;
+  /// Backend: maximum number of guest blocks fused into one superblock
+  /// along unconditional direct chains (1 = off).
+  unsigned SuperblockLimit = 1;
+  /// Backend: peephole-fold adjacent signature updates.
+  bool FoldSignatureUpdates = false;
+  /// Layer SWIFT-style data-flow checking under the control-flow
+  /// technique: duplicate computations into shadow registers and compare
+  /// before stores/outputs (the paper's future-work extension; see
+  /// cfc/DataFlow.h).
+  bool DataFlowCheck = false;
+};
+
+/// One translated guest block resident in the code cache.
+struct TranslatedBlock {
+  uint64_t GuestAddr = 0;
+  uint64_t CacheAddr = 0;
+  uint64_t CacheSize = 0;
+  /// Cache-address ranges [begin, end) occupied by checker-emitted
+  /// instrumentation.
+  std::vector<std::pair<uint64_t, uint64_t>> InstrRanges;
+
+  bool containsCacheAddr(uint64_t Addr) const {
+    return Addr >= CacheAddr && Addr < CacheAddr + CacheSize;
+  }
+  bool isInstrumentation(uint64_t Addr) const {
+    for (const auto &[Begin, End] : InstrRanges)
+      if (Addr >= Begin && Addr < End)
+        return true;
+    return false;
+  }
+};
+
+/// A branch fault site discovered in translated code.
+struct BranchSiteInfo {
+  uint64_t CacheAddr = 0;
+  Opcode Op = Opcode::Nop;
+  bool IsInstrumentation = false;
+  /// Guest address of the translated block containing the site.
+  uint64_t GuestBlock = 0;
+};
+
+/// The translator. Owns the code cache region inside the given Memory and
+/// acts as the interpreter's DbtHooks.
+class Dbt : public DbtHooks {
+public:
+  Dbt(Memory &Mem, DbtConfig Config);
+  ~Dbt() override;
+
+  /// Loads \p Program in translated mode, prepares the checker (eager
+  /// CFG when required), translates the entry and points \p State at it.
+  /// Returns false when the configured technique cannot instrument the
+  /// program (e.g. CFCSS with indirect calls) or is incompatible with
+  /// on-demand mode.
+  bool load(const AsmProgram &Program, CpuState &State);
+
+  /// Runs \p Interp (whose state was set up by load) to completion under
+  /// this translator's hooks.
+  StopInfo run(Interpreter &Interp, uint64_t MaxInsns);
+
+  // DbtHooks:
+  uint64_t onDirectExit(uint64_t SiteAddr, uint64_t GuestTarget) override;
+  uint64_t onIndirectExit(uint64_t SiteAddr, uint64_t GuestTarget) override;
+  bool onWriteViolation(uint64_t DataAddr) override;
+
+  /// Translated blocks keyed by guest address.
+  const std::map<uint64_t, TranslatedBlock> &blocks() const {
+    return BlockMap;
+  }
+
+  /// Returns the translated block whose cache range contains \p Addr, or
+  /// nullptr (stale translations from before a flush are not included).
+  const TranslatedBlock *cacheBlockContaining(uint64_t Addr) const;
+
+  /// Scans all live translations for offset-branch instructions — the
+  /// fault sites of the error model. Call after a warm-up run so that
+  /// chaining has stabilized the code.
+  std::vector<BranchSiteInfo> enumerateBranchSites() const;
+
+  /// Number of block translations performed (includes re-translations
+  /// after self-modification flushes).
+  uint64_t translationCount() const { return NumTranslations; }
+  /// Number of cache-exit dispatches serviced.
+  uint64_t dispatchCount() const { return NumDispatches; }
+  /// Number of full cache flushes (self-modifying code events).
+  uint64_t flushCount() const { return NumFlushes; }
+  /// Number of signature updates removed by the backend peephole.
+  uint64_t foldedUpdateCount() const { return NumFoldedUpdates; }
+
+  const DbtConfig &config() const { return Config; }
+
+private:
+  struct ChainPatch {
+    uint64_t SiteAddr;
+    uint64_t GuestTarget;
+  };
+
+  /// Translates the block entered at \p GuestAddr (and possibly
+  /// following blocks into a superblock); returns its cache address.
+  uint64_t translate(uint64_t GuestAddr);
+  uint64_t lookupOrTranslate(uint64_t GuestTarget);
+  void flushTranslations();
+  void reprotectCodePages();
+
+  Memory &Mem;
+  DbtConfig Config;
+  std::unique_ptr<ControlFlowChecker> Checker;
+  std::map<uint64_t, TranslatedBlock> BlockMap;
+  std::vector<ChainPatch> Patches;
+  uint64_t CacheAlloc;      ///< Next free cache address.
+  uint64_t GuestCodeBase = 0;
+  uint64_t GuestCodeSize = 0;
+  uint64_t GuestEntry = 0;
+  bool CodePagesWritable = false;
+  uint64_t NumTranslations = 0;
+  uint64_t NumDispatches = 0;
+  uint64_t NumFlushes = 0;
+  uint64_t NumFoldedUpdates = 0;
+  /// Leaders from the assembler side table (eager mode).
+  std::vector<uint64_t> EagerLeaders;
+};
+
+} // namespace cfed
+
+#endif // CFED_DBT_DBT_H

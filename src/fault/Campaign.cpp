@@ -1,0 +1,400 @@
+//===- Campaign.cpp - Fault-injection campaigns --------------------------------===//
+
+#include "fault/Campaign.h"
+
+#include "support/Diagnostics.h"
+#include "support/Prng.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace cfed;
+
+const char *cfed::getOutcomeName(Outcome O) {
+  switch (O) {
+  case Outcome::DetectedSignature:
+    return "det-sig";
+  case Outcome::DetectedHardware:
+    return "det-hw";
+  case Outcome::Masked:
+    return "masked";
+  case Outcome::Sdc:
+    return "SDC";
+  case Outcome::Timeout:
+    return "timeout";
+  }
+  return "?";
+}
+
+void OutcomeCounts::add(Outcome O) {
+  switch (O) {
+  case Outcome::DetectedSignature:
+    ++DetectedSig;
+    return;
+  case Outcome::DetectedHardware:
+    ++DetectedHw;
+    return;
+  case Outcome::Masked:
+    ++Masked;
+    return;
+  case Outcome::Sdc:
+    ++Sdc;
+    return;
+  case Outcome::Timeout:
+    ++Timeout;
+    return;
+  }
+  cfed_unreachable("covered switch");
+}
+
+void OutcomeCounts::merge(const OutcomeCounts &Other) {
+  DetectedSig += Other.DetectedSig;
+  DetectedHw += Other.DetectedHw;
+  Masked += Other.Masked;
+  Sdc += Other.Sdc;
+  Timeout += Other.Timeout;
+}
+
+OutcomeCounts CampaignResult::totals() const {
+  OutcomeCounts Totals;
+  for (const OutcomeCounts &Row : PerCategory)
+    Totals.merge(Row);
+  return Totals;
+}
+
+struct FaultCampaign::Instance {
+  Memory Mem;
+  Dbt Translator;
+  Interpreter Interp;
+  bool Ok;
+
+  Instance(const AsmProgram &Program, const DbtConfig &Config)
+      : Translator(Mem, Config), Interp(Mem) {
+    Ok = Translator.load(Program, Interp.state());
+  }
+};
+
+namespace {
+
+/// Shared logic: decide whether a branch will be taken given the real
+/// architectural state.
+bool branchTaken(const Instruction &I, const Flags &F,
+                 const CpuState &State) {
+  switch (getOpcodeKind(I.Op)) {
+  case OpKind::Jump:
+  case OpKind::Call:
+    return true;
+  case OpKind::CondJump:
+    return evalCondCode(I.cond(), F);
+  case OpKind::RegZeroJump:
+    return I.Op == Opcode::Jzr ? State.Regs[I.A] == 0
+                               : State.Regs[I.A] != 0;
+  default:
+    cfed_unreachable("not an offset branch");
+  }
+}
+
+/// Classifies an erroneous transfer from the cache branch at \p SiteAddr
+/// to \p Target against the translator's live block layout.
+BranchErrorCategory classifyCacheTarget(const Dbt &Translator,
+                                        uint64_t SiteAddr, uint64_t Target) {
+  const TranslatedBlock *Own = Translator.cacheBlockContaining(SiteAddr);
+  const TranslatedBlock *Dest = Translator.cacheBlockContaining(Target);
+  if (!Dest)
+    return BranchErrorCategory::F;
+  if (Own && Dest->CacheAddr == Own->CacheAddr)
+    return Target == Own->CacheAddr ? BranchErrorCategory::B
+                                    : BranchErrorCategory::C;
+  return Target == Dest->CacheAddr ? BranchErrorCategory::D
+                                   : BranchErrorCategory::E;
+}
+
+/// Determines the branch-error category a (Kind, Bit) fault would cause
+/// at this dynamic branch execution, without applying it.
+BranchErrorCategory categorize(const Dbt &Translator, uint64_t InsnAddr,
+                               const Instruction &I, const Flags &F,
+                               const CpuState &State, FaultKind Kind,
+                               unsigned Bit) {
+  if (Kind == FaultKind::FlagBit) {
+    if (I.Op != Opcode::Jcc)
+      return BranchErrorCategory::NoError;
+    bool Orig = evalCondCode(I.cond(), F);
+    bool Mutated = evalCondCode(I.cond(), F.withBitFlipped(Bit));
+    return Orig == Mutated ? BranchErrorCategory::NoError
+                           : BranchErrorCategory::A;
+  }
+  if (!branchTaken(I, F, State))
+    return BranchErrorCategory::NoError;
+  uint32_t MutatedImm = static_cast<uint32_t>(I.Imm) ^ (1u << Bit);
+  uint64_t Target = InsnAddr + InsnSize +
+                    static_cast<int64_t>(static_cast<int32_t>(MutatedImm));
+  uint64_t FallThrough = InsnAddr + InsnSize;
+  if (Target == FallThrough)
+    return BranchErrorCategory::A; // Behaves like a mistaken branch.
+  return classifyCacheTarget(Translator, InsnAddr, Target);
+}
+
+/// Counts dynamic branch executions per site (golden run).
+class CountingHook : public FaultHook {
+public:
+  std::unordered_map<uint64_t, uint64_t> PerSite;
+  void apply(uint64_t InsnAddr, Instruction &, Flags &,
+             const CpuState &) override {
+    ++PerSite[InsnAddr];
+  }
+};
+
+/// Base for hooks that index dynamic branch executions within a site
+/// class.
+class ClassCountingHook : public FaultHook {
+public:
+  ClassCountingHook(const FaultCampaign &Campaign, SiteClass Sites,
+                    const std::unordered_map<uint64_t, bool> &InstrMap)
+      : Sites(Sites), InstrMap(InstrMap) {
+    (void)Campaign;
+  }
+
+protected:
+  bool matches(uint64_t SiteAddr) const {
+    if (Sites == SiteClass::Any)
+      return true;
+    auto It = InstrMap.find(SiteAddr);
+    bool IsInstr = It != InstrMap.end() && It->second;
+    return Sites == SiteClass::InstrumentationOnly ? IsInstr : !IsInstr;
+  }
+
+  SiteClass Sites;
+  const std::unordered_map<uint64_t, bool> &InstrMap;
+  uint64_t Counter = 0;
+};
+
+/// Planning hook: at each selected instance, records the analytic
+/// category for the pre-drawn fault.
+class PlanningHook : public ClassCountingHook {
+public:
+  PlanningHook(const FaultCampaign &Campaign, SiteClass Sites,
+               const std::unordered_map<uint64_t, bool> &InstrMap,
+               const Dbt &Translator, std::vector<PlannedFault> &Faults)
+      : ClassCountingHook(Campaign, Sites, InstrMap), Translator(Translator),
+        Faults(Faults) {}
+
+  void apply(uint64_t InsnAddr, Instruction &I, Flags &F,
+             const CpuState &State) override {
+    if (!matches(InsnAddr))
+      return;
+    ++Counter;
+    while (Next < Faults.size() && Faults[Next].Instance == Counter) {
+      PlannedFault &Fault = Faults[Next];
+      Fault.Category = categorize(Translator, InsnAddr, I, F, State,
+                                  Fault.Kind, Fault.Bit);
+      auto It = InstrMap.find(InsnAddr);
+      Fault.InstrSite = It != InstrMap.end() && It->second;
+      Fault.SiteAddr = InsnAddr;
+      ++Next;
+    }
+  }
+
+private:
+  const Dbt &Translator;
+  std::vector<PlannedFault> &Faults; // Sorted by Instance.
+  size_t Next = 0;
+};
+
+/// Injection hook: applies the fault at the chosen instance.
+class InjectionHook : public ClassCountingHook {
+public:
+  InjectionHook(const FaultCampaign &Campaign, SiteClass Sites,
+                const std::unordered_map<uint64_t, bool> &InstrMap,
+                const PlannedFault &Fault, const Interpreter &Interp)
+      : ClassCountingHook(Campaign, Sites, InstrMap), Fault(Fault),
+        Interp(Interp) {}
+
+  bool Fired = false;
+  /// Dynamic instruction count at the moment the fault fired.
+  uint64_t InsnsAtFire = 0;
+
+  void apply(uint64_t InsnAddr, Instruction &I, Flags &F,
+             const CpuState &) override {
+    if (Fired || !matches(InsnAddr))
+      return;
+    if (++Counter != Fault.Instance)
+      return;
+    Fired = true;
+    InsnsAtFire = Interp.instructionCount();
+    if (Fault.Kind == FaultKind::AddrBit)
+      I.Imm = static_cast<int32_t>(static_cast<uint32_t>(I.Imm) ^
+                                   (1u << Fault.Bit));
+    else
+      F = F.withBitFlipped(Fault.Bit);
+  }
+
+private:
+  const PlannedFault &Fault;
+  const Interpreter &Interp;
+};
+
+} // namespace
+
+FaultCampaign::FaultCampaign(const AsmProgram &Program, DbtConfig Config)
+    : Program(Program), Config(Config) {}
+
+bool FaultCampaign::matchesClass(uint64_t SiteAddr, SiteClass Class) const {
+  if (Class == SiteClass::Any)
+    return true;
+  auto It = Sites.find(SiteAddr);
+  bool IsInstr = It != Sites.end() && It->second.IsInstr;
+  return Class == SiteClass::InstrumentationOnly ? IsInstr : !IsInstr;
+}
+
+bool FaultCampaign::prepare(uint64_t MaxInsns) {
+  Instance Golden(Program, Config);
+  if (!Golden.Ok)
+    return false;
+  CountingHook Hook;
+  Golden.Interp.setFaultHook(&Hook);
+  StopInfo Stop = Golden.Translator.run(Golden.Interp, MaxInsns);
+  if (Stop.Kind != StopKind::Halted)
+    return false;
+  GoldenInsns = Golden.Interp.instructionCount();
+  GoldenHash = hashOutput(Golden.Interp.output());
+  InsnBudget = GoldenInsns * 4 + 100000;
+
+  Sites.clear();
+  for (const BranchSiteInfo &Site : Golden.Translator.enumerateBranchSites())
+    Sites[Site.CacheAddr].IsInstr = Site.IsInstrumentation;
+
+  ExecAll = ExecInstr = ExecOrig = 0;
+  for (const auto &[Addr, Count] : Hook.PerSite) {
+    ExecAll += Count;
+    auto It = Sites.find(Addr);
+    if (It != Sites.end() && It->second.IsInstr)
+      ExecInstr += Count;
+    else
+      ExecOrig += Count;
+  }
+  Prepared = true;
+  return true;
+}
+
+uint64_t FaultCampaign::branchExecutions(SiteClass Class) const {
+  switch (Class) {
+  case SiteClass::Any:
+    return ExecAll;
+  case SiteClass::OriginalOnly:
+    return ExecOrig;
+  case SiteClass::InstrumentationOnly:
+    return ExecInstr;
+  }
+  cfed_unreachable("covered switch");
+}
+
+std::vector<PlannedFault> FaultCampaign::plan(uint64_t NumCandidates,
+                                              uint64_t Seed,
+                                              SiteClass Class) {
+  assert(Prepared && "call prepare() first");
+  uint64_t Population = branchExecutions(Class);
+  if (Population == 0)
+    return {};
+
+  Prng Rng(Seed);
+  std::set<uint64_t> Instances;
+  uint64_t Want = std::min(NumCandidates, Population);
+  while (Instances.size() < Want)
+    Instances.insert(1 + Rng.nextBelow(Population));
+
+  std::vector<PlannedFault> Faults;
+  Faults.reserve(Instances.size());
+  for (uint64_t InstanceIdx : Instances) {
+    PlannedFault Fault;
+    Fault.Instance = InstanceIdx;
+    Fault.Class = Class;
+    // 32 addr bits + 4 flag bits, uniformly (the Section 2 model).
+    uint64_t Pick = Rng.nextBelow(36);
+    if (Pick < 32) {
+      Fault.Kind = FaultKind::AddrBit;
+      Fault.Bit = static_cast<unsigned>(Pick);
+    } else {
+      Fault.Kind = FaultKind::FlagBit;
+      Fault.Bit = static_cast<unsigned>(Pick - 32);
+    }
+    Faults.push_back(Fault);
+  }
+
+  Instance Planner(Program, Config);
+  if (!Planner.Ok)
+    reportFatalError("planning instance failed to load after prepare()");
+  std::unordered_map<uint64_t, bool> InstrMap;
+  for (const auto &[Addr, Info] : Sites)
+    InstrMap[Addr] = Info.IsInstr;
+  PlanningHook Hook(*this, Class, InstrMap, Planner.Translator, Faults);
+  Planner.Interp.setFaultHook(&Hook);
+  Planner.Translator.run(Planner.Interp, InsnBudget);
+  return Faults;
+}
+
+Outcome FaultCampaign::inject(const PlannedFault &Fault) {
+  return injectDetailed(Fault).Result;
+}
+
+InjectionReport FaultCampaign::injectDetailed(const PlannedFault &Fault) {
+  assert(Prepared && "call prepare() first");
+  Instance Run(Program, Config);
+  if (!Run.Ok)
+    reportFatalError("injection instance failed to load after prepare()");
+  std::unordered_map<uint64_t, bool> InstrMap;
+  for (const auto &[Addr, Info] : Sites)
+    InstrMap[Addr] = Info.IsInstr;
+  InjectionHook Hook(*this, Fault.Class, InstrMap, Fault, Run.Interp);
+  Run.Interp.setFaultHook(&Hook);
+  StopInfo Stop = Run.Translator.run(Run.Interp, InsnBudget);
+
+  InjectionReport Report;
+  Report.Fired = Hook.Fired;
+  Report.LatencyInsns =
+      Hook.Fired ? Run.Interp.instructionCount() - Hook.InsnsAtFire : 0;
+
+  switch (Stop.Kind) {
+  case StopKind::Halted:
+    Report.Result = hashOutput(Run.Interp.output()) == GoldenHash
+                        ? Outcome::Masked
+                        : Outcome::Sdc;
+    return Report;
+  case StopKind::InsnLimit:
+    Report.Result = Outcome::Timeout;
+    return Report;
+  case StopKind::Trapped:
+    break;
+  }
+  Report.Result = Outcome::DetectedHardware;
+  if (Stop.Trap == TrapKind::BreakTrap &&
+      Stop.BreakCode == BrkControlFlowError) {
+    Report.Result = Outcome::DetectedSignature;
+  } else if (Stop.Trap == TrapKind::DivByZero) {
+    // ECCA reports through the div-by-zero handler: the fault is a
+    // signature detection when the div is instrumentation (Section 3.1's
+    // discussion of the ECCA exception handler).
+    const TranslatedBlock *Block =
+        Run.Translator.cacheBlockContaining(Stop.TrapAddr);
+    if (Block && Block->isInstrumentation(Stop.TrapAddr))
+      Report.Result = Outcome::DetectedSignature;
+  }
+  return Report;
+}
+
+CampaignResult FaultCampaign::run(uint64_t NumInjections, uint64_t Seed,
+                                  SiteClass Class) {
+  // Over-plan: a sizeable share of random faults are NoError.
+  std::vector<PlannedFault> Candidates =
+      plan(NumInjections * 4, Seed, Class);
+  CampaignResult Result;
+  for (const PlannedFault &Fault : Candidates) {
+    if (Fault.Category == BranchErrorCategory::NoError)
+      continue;
+    if (Result.Injections >= NumInjections)
+      break;
+    Outcome O = inject(Fault);
+    Result.of(Fault.Category).add(O);
+    ++Result.Injections;
+  }
+  return Result;
+}

@@ -1,0 +1,182 @@
+//===- Campaign.h - Fault-injection campaigns -------------------*- C++ -*-===//
+//
+// Part of the CFED project (CGO'06 control-flow error detection repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic single-bit fault-injection campaigns against translated
+/// programs — the paper's future-work item ("soft-error injection to
+/// measure the actual effectiveness"), used here to validate the
+/// coverage claims of Sections 2-3 empirically.
+///
+/// A campaign runs in three phases:
+///
+///  1. prepare(): a golden run records the reference output hash, the
+///     instruction budget, the stabilized code-cache layout and the
+///     per-site dynamic branch execution counts (translation is
+///     deterministic, so later runs reproduce the same cache layout).
+///  2. plan():    a planning run picks random dynamic branch instances
+///     and one single-bit fault each (32 offset bits + 4 flag bits, as
+///     in Section 2's model) and classifies each candidate's branch-error
+///     category analytically, enabling stratified per-category sampling.
+///  3. inject():  one fresh run per planned fault; the outcome is
+///     classified as detected-by-signature (the instrumentation's
+///     .report_error, or ECCA's div-by-zero inside instrumentation),
+///     detected-by-hardware (memory protection / illegal instruction —
+///     the category-F detectors), masked (golden output), silent data
+///     corruption, or timeout (the infinite-loop hazard of the relaxed
+///     checking policies, Section 6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFED_FAULT_CAMPAIGN_H
+#define CFED_FAULT_CAMPAIGN_H
+
+#include "asm/Assembler.h"
+#include "dbt/Dbt.h"
+#include "fault/Category.h"
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace cfed {
+
+/// Which single bit the fault flips.
+enum class FaultKind : uint8_t {
+  AddrBit, ///< One of the 32 bits of the branch's encoded offset.
+  FlagBit, ///< One of the 4 FLAGS bits the branch observes.
+};
+
+/// Which fault sites a campaign draws from.
+enum class SiteClass : uint8_t {
+  Any,                  ///< Every offset branch in translated code.
+  OriginalOnly,         ///< Branches translated from guest code.
+  InstrumentationOnly,  ///< Branches the checker inserted (the RCF-vs-
+                        ///< EdgCF safety experiment of Section 3.2).
+};
+
+/// One planned fault: flip \p Bit of \p Kind at the \p Instance-th
+/// dynamic execution of a branch in the campaign's site class.
+struct PlannedFault {
+  uint64_t Instance = 0;
+  FaultKind Kind = FaultKind::AddrBit;
+  unsigned Bit = 0;
+  /// The site class the instance index counts within.
+  SiteClass Class = SiteClass::Any;
+  /// Analytically determined branch-error category.
+  BranchErrorCategory Category = BranchErrorCategory::NoError;
+  /// The fault strikes an instrumentation-inserted branch.
+  bool InstrSite = false;
+  /// Cache address of the faulted branch.
+  uint64_t SiteAddr = 0;
+};
+
+/// How one injected run ended.
+enum class Outcome : uint8_t {
+  DetectedSignature, ///< The checking technique reported the error.
+  DetectedHardware,  ///< Memory protection / illegal instruction / trap.
+  Masked,            ///< Run completed with the golden output.
+  Sdc,               ///< Run completed with corrupted output.
+  Timeout,           ///< Run exceeded the instruction budget.
+};
+
+/// Returns a short display name for \p O.
+const char *getOutcomeName(Outcome O);
+
+/// Full record of one injected run.
+struct InjectionReport {
+  Outcome Result = Outcome::Masked;
+  /// Dynamic instructions executed between the fault firing and the run
+  /// ending — for detected outcomes, the detection latency that the
+  /// relaxed checking policies trade performance against (Section 6).
+  uint64_t LatencyInsns = 0;
+  /// The fault actually fired (always true when the instance index is
+  /// within the golden run's branch count).
+  bool Fired = false;
+};
+
+/// Outcome tallies.
+struct OutcomeCounts {
+  uint64_t DetectedSig = 0;
+  uint64_t DetectedHw = 0;
+  uint64_t Masked = 0;
+  uint64_t Sdc = 0;
+  uint64_t Timeout = 0;
+
+  uint64_t total() const {
+    return DetectedSig + DetectedHw + Masked + Sdc + Timeout;
+  }
+  void add(Outcome O);
+  void merge(const OutcomeCounts &Other);
+};
+
+/// Aggregated campaign results, bucketed by branch-error category.
+struct CampaignResult {
+  std::array<OutcomeCounts, NumBranchErrorCategories> PerCategory;
+  uint64_t Injections = 0;
+
+  OutcomeCounts &of(BranchErrorCategory Cat) {
+    return PerCategory[static_cast<unsigned>(Cat)];
+  }
+  const OutcomeCounts &of(BranchErrorCategory Cat) const {
+    return PerCategory[static_cast<unsigned>(Cat)];
+  }
+  OutcomeCounts totals() const;
+};
+
+/// A fault-injection campaign against one program under one DBT
+/// configuration.
+class FaultCampaign {
+public:
+  FaultCampaign(const AsmProgram &Program, DbtConfig Config);
+
+  /// Golden run. Returns false if the program fails to load or does not
+  /// halt within \p MaxInsns.
+  bool prepare(uint64_t MaxInsns);
+
+  /// Plans \p NumCandidates random faults over the \p Sites class.
+  /// Candidates whose fault provably does not deviate control flow are
+  /// returned with Category == NoError; callers typically filter them.
+  std::vector<PlannedFault> plan(uint64_t NumCandidates, uint64_t Seed,
+                                 SiteClass Sites);
+
+  /// Executes one planned fault and classifies the outcome.
+  Outcome inject(const PlannedFault &Fault);
+
+  /// Like inject(), additionally reporting detection latency.
+  InjectionReport injectDetailed(const PlannedFault &Fault);
+
+  /// Runs a full campaign: plan, filter out NoError candidates, inject.
+  CampaignResult run(uint64_t NumInjections, uint64_t Seed, SiteClass Sites);
+
+  uint64_t goldenInsns() const { return GoldenInsns; }
+  uint64_t goldenHash() const { return GoldenHash; }
+  /// Dynamic branch executions in the golden run for \p Sites.
+  uint64_t branchExecutions(SiteClass Sites) const;
+
+private:
+  struct SiteInfo {
+    bool IsInstr = false;
+  };
+
+  /// Creates a fresh memory/translator/interpreter trio and loads the
+  /// program; aborts on load failure (prepare() validated it).
+  struct Instance;
+  bool matchesClass(uint64_t SiteAddr, SiteClass Sites) const;
+
+  const AsmProgram &Program;
+  DbtConfig Config;
+  uint64_t GoldenInsns = 0;
+  uint64_t GoldenHash = 0;
+  uint64_t InsnBudget = 0;
+  std::unordered_map<uint64_t, SiteInfo> Sites;
+  uint64_t ExecAll = 0, ExecInstr = 0, ExecOrig = 0;
+  bool Prepared = false;
+};
+
+} // namespace cfed
+
+#endif // CFED_FAULT_CAMPAIGN_H

@@ -1,0 +1,57 @@
+//===- Category.h - Branch-error categories ---------------------*- C++ -*-===//
+//
+// Part of the CFED project (CGO'06 control-flow error detection repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The branch-error classification of Section 2 / Figure 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFED_FAULT_CATEGORY_H
+#define CFED_FAULT_CATEGORY_H
+
+#include <cstdint>
+
+namespace cfed {
+
+/// Figure 1's branch-error categories, plus NoError for faults that do
+/// not deviate the control flow (e.g. an offset bit flip on a not-taken
+/// branch).
+enum class BranchErrorCategory : uint8_t {
+  A,      ///< Mistaken branch (wrong direction).
+  B,      ///< Jump to the beginning of the same basic block.
+  C,      ///< Jump to the middle (including the end) of the same block.
+  D,      ///< Jump to the beginning of another basic block.
+  E,      ///< Jump to the middle of another basic block.
+  F,      ///< Jump to a non-code memory region.
+  NoError ///< The fault does not change the control flow.
+};
+
+inline constexpr unsigned NumBranchErrorCategories = 7;
+
+/// Returns "A".."F" or "NoError".
+inline const char *getCategoryName(BranchErrorCategory Cat) {
+  switch (Cat) {
+  case BranchErrorCategory::A:
+    return "A";
+  case BranchErrorCategory::B:
+    return "B";
+  case BranchErrorCategory::C:
+    return "C";
+  case BranchErrorCategory::D:
+    return "D";
+  case BranchErrorCategory::E:
+    return "E";
+  case BranchErrorCategory::F:
+    return "F";
+  case BranchErrorCategory::NoError:
+    return "NoError";
+  }
+  return "?";
+}
+
+} // namespace cfed
+
+#endif // CFED_FAULT_CATEGORY_H

@@ -1,0 +1,144 @@
+//===- ErrorModel.cpp - Analytic branch-error probability model ----------------===//
+
+#include "fault/ErrorModel.h"
+
+#include "support/Diagnostics.h"
+#include "vm/Layout.h"
+#include "vm/Loader.h"
+
+using namespace cfed;
+
+BranchErrorCategory cfed::classifyBranchTarget(const Cfg &Graph,
+                                               uint64_t BranchAddr,
+                                               uint64_t Target) {
+  if (Target < Graph.codeBase() || Target >= Graph.codeEnd())
+    return BranchErrorCategory::F;
+  const BasicBlock *Own = Graph.blockContaining(BranchAddr);
+  const BasicBlock *Dest = Graph.blockContaining(Target);
+  if (!Dest)
+    return BranchErrorCategory::F;
+  if (Own && Dest->Addr == Own->Addr)
+    return Target == Own->Addr ? BranchErrorCategory::B
+                               : BranchErrorCategory::C;
+  return Target == Dest->Addr ? BranchErrorCategory::D
+                              : BranchErrorCategory::E;
+}
+
+uint64_t ErrorModelResult::totalSites() const {
+  uint64_t Total = 0;
+  for (const CategoryCounts &Row : Counts)
+    Total += Row.total();
+  return Total;
+}
+
+double ErrorModelResult::probability(BranchErrorCategory Cat) const {
+  uint64_t Total = totalSites();
+  if (Total == 0)
+    return 0.0;
+  return static_cast<double>(of(Cat).total()) / static_cast<double>(Total);
+}
+
+double
+ErrorModelResult::probabilityAmongAtoE(BranchErrorCategory Cat) const {
+  uint64_t AtoE = 0;
+  for (BranchErrorCategory C :
+       {BranchErrorCategory::A, BranchErrorCategory::B,
+        BranchErrorCategory::C, BranchErrorCategory::D,
+        BranchErrorCategory::E})
+    AtoE += of(C).total();
+  if (AtoE == 0)
+    return 0.0;
+  return static_cast<double>(of(Cat).total()) / static_cast<double>(AtoE);
+}
+
+void ErrorModelResult::merge(const ErrorModelResult &Other) {
+  for (unsigned I = 0; I < NumBranchErrorCategories; ++I) {
+    Counts[I].TakenAddr += Other.Counts[I].TakenAddr;
+    Counts[I].TakenFlags += Other.Counts[I].TakenFlags;
+    Counts[I].NotTakenAddr += Other.Counts[I].NotTakenAddr;
+    Counts[I].NotTakenFlags += Other.Counts[I].NotTakenFlags;
+  }
+  BranchExecutions += Other.BranchExecutions;
+}
+
+namespace {
+
+/// The BranchObserver that evaluates all 36 single-bit faults per
+/// executed branch.
+class ModelObserver : public BranchObserver {
+public:
+  explicit ModelObserver(const Cfg &Graph) : Graph(Graph) {}
+
+  ErrorModelResult Result;
+
+  void onBranch(uint64_t InsnAddr, const Instruction &I, const Flags &F,
+                bool Taken, uint64_t NextPC) override {
+    (void)NextPC;
+    ++Result.BranchExecutions;
+    uint64_t CorrectTarget = I.branchTarget(InsnAddr);
+    uint64_t FallThrough = InsnAddr + InsnSize;
+
+    // 32 address-offset bits.
+    if (!Taken) {
+      // A not-taken branch never consumes its offset: no error.
+      Result.of(BranchErrorCategory::NoError).NotTakenAddr += 32;
+    } else {
+      for (unsigned Bit = 0; Bit < 32; ++Bit) {
+        uint32_t Mutated = static_cast<uint32_t>(I.Imm) ^ (1u << Bit);
+        uint64_t Target = InsnAddr + InsnSize +
+                          static_cast<int64_t>(static_cast<int32_t>(Mutated));
+        BranchErrorCategory Cat;
+        if (Target == CorrectTarget)
+          Cat = BranchErrorCategory::NoError; // Unreachable: bit flips move.
+        else if (Target == FallThrough)
+          Cat = BranchErrorCategory::A; // Behaves like a mistaken branch.
+        else
+          Cat = classifyBranchTarget(Graph, InsnAddr, Target);
+        Result.of(Cat).TakenAddr += 1;
+      }
+    }
+
+    // 4 flag bits. Only Jcc reads FLAGS; other branch kinds are immune,
+    // so their flag faults are NoError sites.
+    if (I.Op == Opcode::Jcc) {
+      CondCode CC = I.cond();
+      for (unsigned Bit = 0; Bit < Flags::NumFlagBits; ++Bit) {
+        bool NewDir = evalCondCode(CC, F.withBitFlipped(Bit));
+        BranchErrorCategory Cat = NewDir == Taken
+                                      ? BranchErrorCategory::NoError
+                                      : BranchErrorCategory::A;
+        if (Taken)
+          Result.of(Cat).TakenFlags += 1;
+        else
+          Result.of(Cat).NotTakenFlags += 1;
+      }
+    } else if (Taken) {
+      Result.of(BranchErrorCategory::NoError).TakenFlags +=
+          Flags::NumFlagBits;
+    } else {
+      Result.of(BranchErrorCategory::NoError).NotTakenFlags +=
+          Flags::NumFlagBits;
+    }
+  }
+
+private:
+  const Cfg &Graph;
+};
+
+} // namespace
+
+ErrorModelResult cfed::runErrorModel(const AsmProgram &Program,
+                                     uint64_t MaxInsns) {
+  Cfg Graph = Cfg::build(Program.Code.data(), Program.Code.size(), CodeBase,
+                         Program.Entry, Program.CodeLabels);
+  Memory Mem;
+  Interpreter Interp(Mem);
+  loadProgram(Program, LoadMode::Native, Mem, Interp.state());
+  ModelObserver Observer(Graph);
+  Interp.setBranchObserver(&Observer);
+  StopInfo Stop = Interp.run(MaxInsns);
+  if (Stop.Kind == StopKind::Trapped)
+    reportFatalError("error-model workload trapped; workloads must run "
+                     "clean");
+  return Observer.Result;
+}

@@ -1,0 +1,87 @@
+//===- ErrorModel.h - Analytic branch-error probability model ---*- C++ -*-===//
+//
+// Part of the CFED project (CGO'06 control-flow error detection repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The error model of Section 2: a soft error flips exactly one bit of a
+/// branch instruction's 32-bit address offset or one of the four flag
+/// bits the branch reads, with every bit equally likely, weighted by
+/// dynamic execution frequency. For every executed offset branch the
+/// model classifies all 36 possible single-bit faults analytically —
+/// without injecting them — exactly as the paper's DBT-based model does,
+/// and accumulates the Figure 2 table (categories x taken/not-taken x
+/// addr/flags) from which Figure 3 (A-E normalized) follows.
+///
+/// Indirect branches are excluded, as in the paper (they account for
+/// under 5% of branch executions and their targets are data, not encoded
+/// offsets).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFED_FAULT_ERRORMODEL_H
+#define CFED_FAULT_ERRORMODEL_H
+
+#include "asm/Assembler.h"
+#include "cfg/Cfg.h"
+#include "fault/Category.h"
+#include "vm/Interp.h"
+
+#include <array>
+#include <cstdint>
+
+namespace cfed {
+
+/// Classifies where a control transfer from the branch at \p BranchAddr
+/// to \p Target lands, relative to the block structure in \p Graph:
+/// beginning/middle of the same or another block, or outside the code
+/// region (category F). \p Target equal to the correct destination must
+/// be filtered by the caller (that is NoError, not a category).
+BranchErrorCategory classifyBranchTarget(const Cfg &Graph,
+                                         uint64_t BranchAddr,
+                                         uint64_t Target);
+
+/// One cell row of Figure 2: counts per (taken x addr/flags) fault site
+/// class.
+struct CategoryCounts {
+  uint64_t TakenAddr = 0;
+  uint64_t TakenFlags = 0;
+  uint64_t NotTakenAddr = 0;
+  uint64_t NotTakenFlags = 0;
+
+  uint64_t total() const {
+    return TakenAddr + TakenFlags + NotTakenAddr + NotTakenFlags;
+  }
+};
+
+/// The accumulated model: one row per category (A..F, NoError).
+struct ErrorModelResult {
+  std::array<CategoryCounts, NumBranchErrorCategories> Counts;
+  uint64_t BranchExecutions = 0;
+
+  CategoryCounts &of(BranchErrorCategory Cat) {
+    return Counts[static_cast<unsigned>(Cat)];
+  }
+  const CategoryCounts &of(BranchErrorCategory Cat) const {
+    return Counts[static_cast<unsigned>(Cat)];
+  }
+  /// Total number of modeled fault sites (36 per branch execution).
+  uint64_t totalSites() const;
+  /// Probability of a fault landing in \p Cat (Figure 2's Total column).
+  double probability(BranchErrorCategory Cat) const;
+  /// Probability of \p Cat among the silent-data-corruption-capable
+  /// categories A-E only (Figure 3).
+  double probabilityAmongAtoE(BranchErrorCategory Cat) const;
+
+  /// Merges another result in (suite-level aggregation).
+  void merge(const ErrorModelResult &Other);
+};
+
+/// Runs \p Program natively with the model attached and returns the
+/// accumulated Figure 2 counts. \p MaxInsns bounds the run.
+ErrorModelResult runErrorModel(const AsmProgram &Program, uint64_t MaxInsns);
+
+} // namespace cfed
+
+#endif // CFED_FAULT_ERRORMODEL_H

@@ -1,0 +1,66 @@
+//===- RegisterFault.cpp - Datapath fault injection -----------------------------===//
+
+#include "fault/RegisterFault.h"
+
+#include "support/Diagnostics.h"
+#include "support/Prng.h"
+
+using namespace cfed;
+
+OutcomeCounts cfed::runRegisterFaultCampaign(const AsmProgram &Program,
+                                             const DbtConfig &Config,
+                                             uint64_t NumInjections,
+                                             uint64_t Seed,
+                                             uint64_t MaxInsns) {
+  // Golden run.
+  uint64_t GoldenInsns = 0, GoldenHash = 0;
+  {
+    Memory Mem;
+    Interpreter Interp(Mem);
+    Dbt Translator(Mem, Config);
+    if (!Translator.load(Program, Interp.state()))
+      reportFatalError("register-fault campaign: program failed to load");
+    StopInfo Stop = Translator.run(Interp, MaxInsns);
+    if (Stop.Kind != StopKind::Halted)
+      reportFatalError("register-fault campaign: golden run did not halt");
+    GoldenInsns = Interp.instructionCount();
+    GoldenHash = hashOutput(Interp.output());
+  }
+
+  Prng Rng(Seed);
+  OutcomeCounts Totals;
+  uint64_t Budget = GoldenInsns * 4 + 100000;
+  for (uint64_t I = 0; I < NumInjections; ++I) {
+    uint64_t Instance = 1 + Rng.nextBelow(GoldenInsns);
+    uint8_t Reg = static_cast<uint8_t>(Rng.nextBelow(15)); // r0..r14.
+    unsigned Bit = static_cast<unsigned>(Rng.nextBelow(64));
+    RegisterFaultInjector Hook(Instance, Reg, Bit);
+
+    Memory Mem;
+    Interpreter Interp(Mem);
+    Dbt Translator(Mem, Config);
+    if (!Translator.load(Program, Interp.state()))
+      reportFatalError("register-fault campaign: reload failed");
+    Interp.setPreInsnHook(&Hook);
+    StopInfo Stop = Translator.run(Interp, Budget);
+
+    switch (Stop.Kind) {
+    case StopKind::Halted:
+      Totals.add(hashOutput(Interp.output()) == GoldenHash ? Outcome::Masked
+                                                           : Outcome::Sdc);
+      continue;
+    case StopKind::InsnLimit:
+      Totals.add(Outcome::Timeout);
+      continue;
+    case StopKind::Trapped:
+      break;
+    }
+    if (Stop.Trap == TrapKind::BreakTrap &&
+        (Stop.BreakCode == BrkDataFlowError ||
+         Stop.BreakCode == BrkControlFlowError))
+      Totals.add(Outcome::DetectedSignature);
+    else
+      Totals.add(Outcome::DetectedHardware);
+  }
+  return Totals;
+}

@@ -1,0 +1,60 @@
+//===- RegisterFault.h - Datapath fault injection ---------------*- C++ -*-===//
+//
+// Part of the CFED project (CGO'06 control-flow error detection repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Register-file fault injection for evaluating the data-flow checking
+/// extension: one bit of one guest register flips at one dynamic
+/// instruction (the datapath counterpart of the Section 2 branch error
+/// model). Outcomes use the same classification as the control-flow
+/// campaigns; a BrkDataFlowError report counts as a signature detection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFED_FAULT_REGISTERFAULT_H
+#define CFED_FAULT_REGISTERFAULT_H
+
+#include "asm/Assembler.h"
+#include "dbt/Dbt.h"
+#include "fault/Campaign.h"
+
+namespace cfed {
+
+/// Flips bit \p Bit of guest register \p Reg immediately before the
+/// \p Instance-th executed instruction.
+class RegisterFaultInjector : public PreInsnHook {
+public:
+  RegisterFaultInjector(uint64_t Instance, uint8_t Reg, unsigned Bit)
+      : Instance(Instance), Reg(Reg), Bit(Bit) {}
+
+  bool fired() const { return Fired; }
+
+  void onInsn(uint64_t, const Instruction &, CpuState &State) override {
+    if (Fired || ++Counter != Instance)
+      return;
+    Fired = true;
+    State.Regs[Reg] ^= uint64_t(1) << Bit;
+  }
+
+private:
+  uint64_t Instance;
+  uint8_t Reg;
+  unsigned Bit;
+  uint64_t Counter = 0;
+  bool Fired = false;
+};
+
+/// Runs \p NumInjections single-bit register faults against \p Program
+/// translated under \p Config, at uniformly random (instruction,
+/// register r0-r14, bit) coordinates. The program must halt within
+/// \p MaxInsns fault-free.
+OutcomeCounts runRegisterFaultCampaign(const AsmProgram &Program,
+                                       const DbtConfig &Config,
+                                       uint64_t NumInjections, uint64_t Seed,
+                                       uint64_t MaxInsns);
+
+} // namespace cfed
+
+#endif // CFED_FAULT_REGISTERFAULT_H

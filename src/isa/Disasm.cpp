@@ -1,0 +1,83 @@
+//===- Disasm.cpp - VISA disassembler ---------------------------------------===//
+
+#include "isa/Disasm.h"
+
+#include "support/Format.h"
+
+using namespace cfed;
+
+static std::string renderOperands(const Instruction &I) {
+  const char *Spec = getOpcodeSpec(I.Op);
+  std::string Out;
+  // Fields bind to A, B, C in order of appearance in the spec.
+  const uint8_t Fields[3] = {I.A, I.B, I.C};
+  unsigned FieldIndex = 0;
+  bool First = true;
+  auto Comma = [&]() {
+    if (!First)
+      Out += ", ";
+    First = false;
+  };
+  for (const char *P = Spec; *P; ++P) {
+    switch (*P) {
+    case 'r':
+      Comma();
+      Out += getRegName(Fields[FieldIndex++]);
+      break;
+    case 'f':
+      Comma();
+      Out += formatString("f%u", Fields[FieldIndex++]);
+      break;
+    case 'c':
+      Comma();
+      Out += getCondCodeName(static_cast<CondCode>(Fields[FieldIndex++]));
+      break;
+    case 'i':
+      Comma();
+      Out += formatString("%d", I.Imm);
+      break;
+    case 'm':
+      Comma();
+      Out += formatString("[%s%+d]", getRegName(Fields[FieldIndex]).c_str(),
+                          I.Imm);
+      ++FieldIndex;
+      break;
+    default:
+      Out += "?";
+      break;
+    }
+  }
+  return Out;
+}
+
+std::string cfed::disassemble(const Instruction &I) {
+  std::string Operands = renderOperands(I);
+  if (Operands.empty())
+    return getOpcodeMnemonic(I.Op);
+  return formatString("%s %s", getOpcodeMnemonic(I.Op), Operands.c_str());
+}
+
+std::string cfed::disassemble(const Instruction &I, uint64_t InsnAddr) {
+  std::string Text = disassemble(I);
+  if (hasBranchOffset(I.Op))
+    Text += formatString("  ; -> 0x%llx",
+                         static_cast<unsigned long long>(
+                             I.branchTarget(InsnAddr)));
+  return Text;
+}
+
+std::string cfed::disassembleRange(const uint8_t *Code, uint64_t NumBytes,
+                                   uint64_t BaseAddr) {
+  std::string Out;
+  for (uint64_t Offset = 0; Offset + InsnSize <= NumBytes;
+       Offset += InsnSize) {
+    uint64_t Addr = BaseAddr + Offset;
+    Out += formatString("%08llx:  ", static_cast<unsigned long long>(Addr));
+    if (auto I = Instruction::decode(Code + Offset))
+      Out += disassemble(*I, Addr);
+    else
+      Out += ".bad";
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,36 @@
+//===- Disasm.h - VISA disassembler -----------------------------*- C++ -*-===//
+//
+// Part of the CFED project (CGO'06 control-flow error detection repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders decoded VISA instructions back to assembly text, used by tests,
+/// debug dumps and the DBT's code-cache listings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFED_ISA_DISASM_H
+#define CFED_ISA_DISASM_H
+
+#include "isa/Isa.h"
+
+#include <string>
+
+namespace cfed {
+
+/// Disassembles one instruction. Branch offsets are printed numerically;
+/// when \p InsnAddr is provided the resolved absolute target is appended as
+/// a comment.
+std::string disassemble(const Instruction &I);
+std::string disassemble(const Instruction &I, uint64_t InsnAddr);
+
+/// Disassembles \p NumBytes of encoded code starting at \p Code, one
+/// instruction per line, prefixed with addresses starting at \p BaseAddr.
+/// Undecodable words are printed as ".bad".
+std::string disassembleRange(const uint8_t *Code, uint64_t NumBytes,
+                             uint64_t BaseAddr);
+
+} // namespace cfed
+
+#endif // CFED_ISA_DISASM_H

@@ -1,0 +1,256 @@
+//===- Isa.h - VISA instruction set definition ------------------*- C++ -*-===//
+//
+// Part of the CFED project (CGO'06 control-flow error detection repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The VISA virtual instruction set: opcodes, condition codes, the FLAGS
+/// register, the fixed 8-byte instruction word, and its encoder/decoder.
+///
+/// VISA substitutes for the paper's IA-32 guest / EM64T host pair. It keeps
+/// exactly the architectural features the control-flow checking techniques
+/// depend on; see Opcodes.def for the rationale per instruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFED_ISA_ISA_H
+#define CFED_ISA_ISA_H
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace cfed {
+
+/// Size in bytes of every encoded VISA instruction.
+inline constexpr uint64_t InsnSize = 8;
+
+/// Number of architectural integer registers. r0..r15 belong to the
+/// guest; r16..r19 are the "extra EM64T registers" the DBT reserves for
+/// signature state (Section 5.1: no spilling needed); r32..r47 are the
+/// shadow registers of the data-flow checking extension (the paper's
+/// future work), holding the duplicated computation.
+inline constexpr unsigned NumIntRegs = 64;
+/// Number of floating-point registers (f16..f31 are data-flow shadows).
+inline constexpr unsigned NumFpRegs = 32;
+
+/// Number of guest-visible integer / fp registers.
+inline constexpr unsigned NumGuestIntRegs = 16;
+inline constexpr unsigned NumGuestFpRegs = 16;
+
+/// Shadow register of guest integer register \p Reg (data-flow checking).
+inline constexpr uint8_t shadowIntReg(uint8_t Reg) {
+  return static_cast<uint8_t>(Reg + 32);
+}
+/// Shadow register of guest fp register \p Reg.
+inline constexpr uint8_t shadowFpReg(uint8_t Reg) {
+  return static_cast<uint8_t>(Reg + 16);
+}
+
+/// Guest stack pointer register (r15 by ABI convention).
+inline constexpr uint8_t RegSP = 15;
+/// PC' — the shadow program counter holding the run-time signature.
+inline constexpr uint8_t RegPCP = 16;
+/// RTS — the run-time adjusting signature register of the ECF technique.
+inline constexpr uint8_t RegRTS = 17;
+/// Scratch register for conditional signature updates (the AUX of Fig. 8).
+inline constexpr uint8_t RegAUX = 18;
+/// Second instrumentation scratch register.
+inline constexpr uint8_t RegAUX2 = 19;
+
+/// First register reserved for instrumentation; guest programs must not
+/// touch registers >= this.
+inline constexpr uint8_t FirstReservedReg = 16;
+
+/// Control-flow classes of an opcode.
+enum class OpKind : uint8_t {
+  None,        ///< Straight-line instruction.
+  Jump,        ///< Direct unconditional jump (PC-relative offset).
+  CondJump,    ///< Conditional jump reading FLAGS (Jcc).
+  RegZeroJump, ///< Conditional jump on a register, flag-free (Jzr/Jnzr).
+  IndJump,     ///< Indirect jump through a register.
+  Call,        ///< Direct call (pushes the return address).
+  IndCall,     ///< Indirect call through a register.
+  Ret,         ///< Return (pops the target).
+  Halt,        ///< Normal program termination.
+  Trap,        ///< Software trap (Brk) — used by .report_error stubs.
+  DbtExit,     ///< Code-cache exit to the translator, direct guest target.
+  DbtExitInd,  ///< Code-cache exit, guest target in a register.
+};
+
+/// VISA opcodes. Generated from Opcodes.def.
+enum class Opcode : uint8_t {
+#define HANDLE_OPCODE(ENUM, MNEMONIC, SPEC, COST, WRITES_FLAGS, KIND) ENUM,
+#include "isa/Opcodes.def"
+};
+
+/// Number of defined opcodes.
+unsigned getNumOpcodes();
+
+/// Returns the assembly mnemonic for \p Op.
+const char *getOpcodeMnemonic(Opcode Op);
+
+/// Returns the operand spec string for \p Op (see Opcodes.def).
+const char *getOpcodeSpec(Opcode Op);
+
+/// Returns the cycle cost of \p Op in the performance model.
+unsigned getOpcodeCost(Opcode Op);
+
+/// Returns true if \p Op overwrites the FLAGS register.
+bool opcodeWritesFlags(Opcode Op);
+
+/// Returns the control-flow kind of \p Op.
+OpKind getOpcodeKind(Opcode Op);
+
+/// Returns true if \p Op ends a basic block (any control transfer,
+/// including Halt and Trap).
+bool isBlockTerminator(Opcode Op);
+
+/// Returns true if \p Op is a branch with a PC-relative offset encoded in
+/// the Imm field — the "address offset" fault sites of the error model.
+bool hasBranchOffset(Opcode Op);
+
+/// Condition codes, evaluated against FLAGS exactly like their IA-32
+/// counterparts.
+enum class CondCode : uint8_t {
+  EQ, ///< ZF
+  NE, ///< !ZF
+  LT, ///< SF != OF          (signed <)
+  LE, ///< ZF || SF != OF    (signed <=)
+  GT, ///< !ZF && SF == OF   (signed >)
+  GE, ///< SF == OF          (signed >=)
+  B,  ///< CF                (unsigned <)
+  BE, ///< CF || ZF          (unsigned <=)
+  A,  ///< !CF && !ZF        (unsigned >)
+  AE, ///< !CF               (unsigned >=)
+  S,  ///< SF
+  NS, ///< !SF
+  O,  ///< OF
+  NO, ///< !OF
+};
+
+/// Number of condition codes.
+inline constexpr unsigned NumCondCodes = 14;
+
+/// Returns the textual name of \p CC (e.g. "le").
+const char *getCondCodeName(CondCode CC);
+
+/// Parses a condition code name; returns std::nullopt if unknown.
+std::optional<CondCode> parseCondCode(const std::string &Name);
+
+/// Returns the logical negation of \p CC.
+CondCode negateCondCode(CondCode CC);
+
+/// The FLAGS register: four bits, each an independent fault site in the
+/// error model ("flags which affect the branch instruction", Section 2).
+struct Flags {
+  bool ZF = false;
+  bool SF = false;
+  bool CF = false;
+  bool OF = false;
+
+  /// Packs the flags into the low 4 bits (ZF=bit0, SF=1, CF=2, OF=3).
+  uint8_t pack() const {
+    return static_cast<uint8_t>(ZF | (SF << 1) | (CF << 2) | (OF << 3));
+  }
+
+  /// Unpacks from the representation produced by pack().
+  static Flags unpack(uint8_t Bits) {
+    Flags F;
+    F.ZF = Bits & 1;
+    F.SF = Bits & 2;
+    F.CF = Bits & 4;
+    F.OF = Bits & 8;
+    return F;
+  }
+
+  /// Returns a copy with flag bit \p BitIndex (0..3) inverted — the
+  /// flag-flip fault of the error model.
+  Flags withBitFlipped(unsigned BitIndex) const {
+    assert(BitIndex < NumFlagBits && "flag bit out of range");
+    return unpack(pack() ^ static_cast<uint8_t>(1u << BitIndex));
+  }
+
+  bool operator==(const Flags &Other) const = default;
+
+  /// Number of independently flippable flag bits.
+  static constexpr unsigned NumFlagBits = 4;
+};
+
+/// Evaluates condition \p CC against \p F.
+bool evalCondCode(CondCode CC, const Flags &F);
+
+/// One decoded VISA instruction. Fields A, B and C carry register numbers
+/// or a condition code depending on the opcode's operand spec; Imm carries
+/// immediates and PC-relative branch offsets.
+struct Instruction {
+  Opcode Op = Opcode::Nop;
+  uint8_t A = 0;
+  uint8_t B = 0;
+  uint8_t C = 0;
+  int32_t Imm = 0;
+
+  Instruction() = default;
+  Instruction(Opcode Op, uint8_t A, uint8_t B, uint8_t C, int32_t Imm)
+      : Op(Op), A(A), B(B), C(C), Imm(Imm) {}
+
+  /// Encodes into 8 bytes at \p Buffer.
+  void encode(uint8_t *Buffer) const;
+
+  /// Decodes 8 bytes at \p Buffer; returns std::nullopt on an undefined
+  /// opcode byte (the interpreter turns that into an illegal-instruction
+  /// trap).
+  static std::optional<Instruction> decode(const uint8_t *Buffer);
+
+  /// For PC-relative branches: the target of the instruction located at
+  /// \p InsnAddr (offsets are relative to the next instruction, as on
+  /// IA-32).
+  uint64_t branchTarget(uint64_t InsnAddr) const {
+    assert(hasBranchOffset(Op) && "not an offset branch");
+    return InsnAddr + InsnSize + static_cast<int64_t>(Imm);
+  }
+
+  /// Returns the Imm that makes an offset branch at \p InsnAddr target
+  /// \p Target.
+  static int32_t offsetFor(uint64_t InsnAddr, uint64_t Target) {
+    int64_t Delta =
+        static_cast<int64_t>(Target) - static_cast<int64_t>(InsnAddr + InsnSize);
+    assert(Delta >= INT32_MIN && Delta <= INT32_MAX && "offset overflow");
+    return static_cast<int32_t>(Delta);
+  }
+
+  /// Condition code of a Jcc / CMov / SetCC instruction.
+  CondCode cond() const;
+
+  bool operator==(const Instruction &Other) const = default;
+};
+
+/// Convenience builders for common shapes.
+namespace insn {
+Instruction rrr(Opcode Op, uint8_t Rd, uint8_t Rs1, uint8_t Rs2);
+Instruction rri(Opcode Op, uint8_t Rd, uint8_t Rs1, int32_t Imm);
+Instruction rr(Opcode Op, uint8_t Rd, uint8_t Rs1);
+Instruction ri(Opcode Op, uint8_t Rd, int32_t Imm);
+Instruction r(Opcode Op, uint8_t Rd);
+Instruction i(Opcode Op, int32_t Imm);
+Instruction none(Opcode Op);
+/// jcc CC, offset.
+Instruction jcc(CondCode CC, int32_t Offset);
+/// cmov Rd, Rs1, CC.
+Instruction cmov(uint8_t Rd, uint8_t Rs1, CondCode CC);
+/// setcc Rd, CC.
+Instruction setcc(uint8_t Rd, CondCode CC);
+} // namespace insn
+
+/// Returns the canonical register name ("r7", "sp", "pcp", ...).
+std::string getRegName(unsigned Reg);
+
+/// Parses a register name, accepting both "rN" and the aliases sp/pcp/rts/
+/// aux/aux2; returns std::nullopt if unknown.
+std::optional<unsigned> parseRegName(const std::string &Name);
+
+} // namespace cfed
+
+#endif // CFED_ISA_ISA_H

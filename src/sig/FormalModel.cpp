@@ -1,0 +1,351 @@
+//===- FormalModel.cpp - Section 4 formal framework ----------------------------===//
+
+#include "sig/FormalModel.h"
+
+#include "support/Diagnostics.h"
+
+#include <algorithm>
+
+using namespace cfed;
+using namespace cfed::sig;
+
+Scheme::~Scheme() = default;
+
+void Scheme::prepare(const AbstractCfg &Cfg) { (void)Cfg; }
+
+bool Scheme::checkHeadEntry(State, unsigned) const { return true; }
+
+bool Scheme::checkTailEntry(State, unsigned) const { return true; }
+
+AbstractCfg AbstractCfg::random(Prng &Rng, unsigned NumBlocks) {
+  assert(NumBlocks >= 2 && "need at least an entry and an exit");
+  AbstractCfg Cfg;
+  Cfg.Succs.resize(NumBlocks);
+  // A spine guarantees connectivity and an exit at the last block.
+  for (unsigned I = 0; I + 1 < NumBlocks; ++I)
+    Cfg.Succs[I].push_back(I + 1);
+  // Random extra successors (forward or backward, never the entry — like
+  // real programs, nothing branches back to the start) on half the
+  // blocks.
+  for (unsigned I = 0; I + 1 < NumBlocks; ++I) {
+    if (!Rng.chance(1, 2))
+      continue;
+    unsigned Extra = 1 + static_cast<unsigned>(Rng.nextBelow(NumBlocks - 1));
+    if (Extra != Cfg.Succs[I][0])
+      Cfg.Succs[I].push_back(Extra);
+  }
+  return Cfg;
+}
+
+namespace {
+
+/// Unique head signature of a block: the "address of the first
+/// instruction" of Section 5, abstracted.
+uint64_t hid(unsigned Block) { return (uint64_t(Block) + 1) * 16; }
+
+//===----------------------------------------------------------------------===//
+// EdgCF: PC' is the next head signature on edges, 0 inside tails.
+//===----------------------------------------------------------------------===//
+
+class EdgCfScheme : public Scheme {
+public:
+  const char *name() const override { return "EdgCF"; }
+  State initial(const AbstractCfg &Cfg) const override {
+    return {hid(Cfg.Entry), 0};
+  }
+  State genHeadExit(State S, unsigned Block) const override {
+    S.A -= hid(Block);
+    return S;
+  }
+  State genTailExit(State S, unsigned, unsigned Target) const override {
+    S.A += hid(Target);
+    return S;
+  }
+  bool checkTailEntry(State S, unsigned) const override { return S.A == 0; }
+};
+
+//===----------------------------------------------------------------------===//
+// RCF: like EdgCF, but each tail is its own region with a unique
+// signature instead of the shared 0.
+//===----------------------------------------------------------------------===//
+
+class RcfScheme : public Scheme {
+public:
+  const char *name() const override { return "RCF"; }
+  static uint64_t tid(unsigned Block) { return hid(Block) + 1; }
+  State initial(const AbstractCfg &Cfg) const override {
+    return {hid(Cfg.Entry), 0};
+  }
+  State genHeadExit(State S, unsigned Block) const override {
+    S.A += tid(Block) - hid(Block);
+    return S;
+  }
+  State genTailExit(State S, unsigned Block, unsigned Target) const override {
+    S.A += hid(Target) - tid(Block);
+    return S;
+  }
+  bool checkTailEntry(State S, unsigned Block) const override {
+    return S.A == tid(Block);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// ECF: PC' holds the current block signature; RTS the edge delta
+// (Figure 4 / Section 4.2).
+//===----------------------------------------------------------------------===//
+
+class EcfScheme : public Scheme {
+public:
+  const char *name() const override { return "ECF"; }
+  State initial(const AbstractCfg &Cfg) const override {
+    return {hid(Cfg.Entry), 0};
+  }
+  State genHeadExit(State S, unsigned) const override {
+    S.A += S.B;
+    S.B = 0;
+    return S;
+  }
+  State genTailExit(State S, unsigned Block, unsigned Target) const override {
+    S.B = hid(Target) - hid(Block);
+    return S;
+  }
+  bool checkTailEntry(State S, unsigned Block) const override {
+    return S.A == hid(Block);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// CFCSS: compile-time xor signatures with the run-time adjusting D
+// register at branch-fan-in nodes.
+//===----------------------------------------------------------------------===//
+
+class CfcssScheme : public Scheme {
+public:
+  const char *name() const override { return "CFCSS"; }
+
+  void prepare(const AbstractCfg &Cfg) override {
+    unsigned N = Cfg.numBlocks();
+    Sig.resize(N);
+    Diff.assign(N, 0);
+    FanIn.assign(N, false);
+    BasePred.assign(N, ~0u);
+    for (unsigned I = 0; I < N; ++I)
+      Sig[I] = (uint64_t(I) + 1) * 2654435761u; // Distinct per block.
+    std::vector<std::vector<unsigned>> Preds(N);
+    for (unsigned I = 0; I < N; ++I)
+      for (unsigned Succ : Cfg.Succs[I])
+        Preds[Succ].push_back(I);
+    for (unsigned I = 0; I < N; ++I) {
+      // The entry keeps d = 0: G is initialized to its signature, and
+      // nothing branches back to the entry (AbstractCfg::random never
+      // creates such edges, matching real programs).
+      if (Preds[I].empty() || I == Cfg.Entry)
+        continue;
+      BasePred[I] =
+          *std::min_element(Preds[I].begin(), Preds[I].end());
+      Diff[I] = Sig[I] ^ Sig[BasePred[I]];
+      FanIn[I] = Preds[I].size() > 1;
+    }
+    EntrySig = Sig[Cfg.Entry];
+  }
+
+  State initial(const AbstractCfg &) const override {
+    return {EntrySig, 0};
+  }
+  State genHeadExit(State S, unsigned Block) const override {
+    S.A ^= Diff[Block];
+    if (FanIn[Block])
+      S.A ^= S.B;
+    return S;
+  }
+  State genTailExit(State S, unsigned Block, unsigned Target) const override {
+    if (FanIn[Target])
+      S.B = Sig[Block] ^ Sig[BasePred[Target]];
+    return S;
+  }
+  bool checkTailEntry(State S, unsigned Block) const override {
+    return S.A == Sig[Block];
+  }
+
+private:
+  std::vector<uint64_t> Sig;
+  std::vector<uint64_t> Diff;
+  std::vector<bool> FanIn;
+  std::vector<unsigned> BasePred;
+  uint64_t EntrySig = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// ECCA: odd prime BIDs; the entry assertion is the check, the exit SET
+// admits the product of all legal successors (hence category A escapes).
+//===----------------------------------------------------------------------===//
+
+class EccaScheme : public Scheme {
+public:
+  const char *name() const override { return "ECCA"; }
+
+  void prepare(const AbstractCfg &Cfg) override {
+    unsigned N = Cfg.numBlocks();
+    Bid.resize(N);
+    Next.assign(N, 0);
+    int64_t Candidate = 3;
+    auto NextPrime = [&Candidate]() {
+      for (;; Candidate += 2) {
+        bool Prime = true;
+        for (int64_t P = 3; P * P <= Candidate; P += 2)
+          if (Candidate % P == 0) {
+            Prime = false;
+            break;
+          }
+        if (Prime) {
+          int64_t Result = Candidate;
+          Candidate += 2;
+          return Result;
+        }
+      }
+    };
+    for (unsigned I = 0; I < N; ++I)
+      Bid[I] = NextPrime();
+    for (unsigned I = 0; I < N; ++I) {
+      int64_t Product = 1;
+      for (unsigned Succ : Cfg.Succs[I])
+        Product *= Bid[Succ];
+      Next[I] = Cfg.Succs[I].empty() ? 0 : Product;
+    }
+    EntryBid = Bid[Cfg.Entry];
+  }
+
+  State initial(const AbstractCfg &) const override {
+    return {static_cast<uint64_t>(EntryBid), 0};
+  }
+  bool checkHeadEntry(State S, unsigned Block) const override {
+    int64_t Id = static_cast<int64_t>(S.A);
+    return Id > 0 && Id % Bid[Block] == 0 && (Id & 1) != 0;
+  }
+  State genHeadExit(State S, unsigned Block) const override {
+    // The TEST normalizes id to BID (the divide).
+    S.A = static_cast<uint64_t>(Bid[Block]);
+    return S;
+  }
+  State genTailExit(State S, unsigned Block, unsigned) const override {
+    S.A = static_cast<uint64_t>(Next[Block] +
+                                (static_cast<int64_t>(S.A) - Bid[Block]));
+    return S;
+  }
+
+private:
+  std::vector<int64_t> Bid;
+  std::vector<int64_t> Next;
+  int64_t EntryBid = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Scheme> cfed::sig::makeEdgCfScheme() {
+  return std::make_unique<EdgCfScheme>();
+}
+std::unique_ptr<Scheme> cfed::sig::makeRcfScheme() {
+  return std::make_unique<RcfScheme>();
+}
+std::unique_ptr<Scheme> cfed::sig::makeEcfScheme() {
+  return std::make_unique<EcfScheme>();
+}
+std::unique_ptr<Scheme> cfed::sig::makeCfcssScheme() {
+  return std::make_unique<CfcssScheme>();
+}
+std::unique_ptr<Scheme> cfed::sig::makeEccaScheme() {
+  return std::make_unique<EccaScheme>();
+}
+
+ConditionReport cfed::sig::verifySingleErrorDetection(Scheme &S,
+                                                      const AbstractCfg &Cfg,
+                                                      unsigned PathLen,
+                                                      unsigned ContinueSteps,
+                                                      uint64_t Seed) {
+  S.prepare(Cfg);
+  ConditionReport Report;
+  Prng Rng(Seed);
+
+  // Build the correct logical path (random walk until an exit block).
+  std::vector<unsigned> Path = {Cfg.Entry};
+  while (Path.size() < PathLen) {
+    const std::vector<unsigned> &Succs = Cfg.Succs[Path.back()];
+    if (Succs.empty())
+      break;
+    Path.push_back(Succs[Rng.nextBelow(Succs.size())]);
+  }
+
+  // Necessary condition: simulate the correct path, collecting the state
+  // at each tail exit on the way.
+  std::vector<Scheme::State> ExitStates; // After genTailExit at step i.
+  Scheme::State State = S.initial(Cfg);
+  for (size_t I = 0; I < Path.size(); ++I) {
+    unsigned Block = Path[I];
+    if (!S.checkHeadEntry(State, Block))
+      ++Report.FalsePositives;
+    State = S.genHeadExit(State, Block);
+    if (!S.checkTailEntry(State, Block))
+      ++Report.FalsePositives;
+    if (I + 1 < Path.size()) {
+      State = S.genTailExit(State, Block, Path[I + 1]);
+      ExitStates.push_back(State);
+    }
+  }
+
+  // Continue deterministically from a faulted landing point; returns
+  // true if some check fails within the step budget.
+  auto ContinuationDetects = [&](Scheme::State Current, Node Landing) {
+    Node At = Landing;
+    for (unsigned Step = 0; Step < ContinueSteps; ++Step) {
+      if (At.IsHead) {
+        if (!S.checkHeadEntry(Current, At.Block))
+          return true;
+        Current = S.genHeadExit(Current, At.Block);
+        At = Node{At.Block, /*IsHead=*/false};
+        continue;
+      }
+      if (!S.checkTailEntry(Current, At.Block))
+        return true;
+      const std::vector<unsigned> &Succs = Cfg.Succs[At.Block];
+      if (Succs.empty())
+        return false; // Escaped to an exit without detection.
+      unsigned Target = Succs[Step % Succs.size()];
+      Current = S.genTailExit(Current, At.Block, Target);
+      At = Node{Target, /*IsHead=*/true};
+    }
+    return false;
+  };
+
+  // Exhaustive single errors: every tail-exit position x every wrong
+  // physical landing node.
+  for (size_t J = 0; J + 1 < Path.size(); ++J) {
+    unsigned From = Path[J];
+    unsigned Logical = Path[J + 1];
+    const Scheme::State &ExitState = ExitStates[J];
+    for (unsigned Block = 0; Block < Cfg.numBlocks(); ++Block) {
+      for (bool IsHead : {true, false}) {
+        Node Landing{Block, IsHead};
+        if (Landing == Node{Logical, true})
+          continue; // The correct transfer.
+        ++Report.ErrorsTotal;
+        if (ContinuationDetects(ExitState, Landing)) {
+          ++Report.Detected;
+          continue;
+        }
+        ++Report.Undetected;
+        const std::vector<unsigned> &Sibs = Cfg.Succs[From];
+        bool IsSibling =
+            IsHead && std::find(Sibs.begin(), Sibs.end(), Block) != Sibs.end();
+        if (IsSibling)
+          ++Report.UndetectedMistaken;
+        else if (!IsHead && Block == From)
+          ++Report.UndetectedSameTail;
+        else if (IsHead)
+          ++Report.UndetectedOtherHead;
+        else
+          ++Report.UndetectedOtherTail;
+      }
+    }
+  }
+  return Report;
+}

@@ -1,0 +1,138 @@
+//===- FormalModel.h - Section 4 formal framework ---------------*- C++ -*-===//
+//
+// Part of the CFED project (CGO'06 control-flow error detection repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An executable version of the paper's Section 4 formalization of
+/// signature-based control-flow checking:
+///
+///  * every block B is split into a head Bh and a tail Bt with an
+///    error-free fall-through edge Bh -> Bt (Figure 10);
+///  * a program execution path is a sequence of blocks where B_{i+1} is
+///    the physical target and T_{i+1} the logic target of B_i's final
+///    branch (Definition 3);
+///  * a technique is a pair (GEN_SIG, CHECK_SIG), modeled here as
+///    signature transforms at head/tail exits and predicates at
+///    head/tail entries;
+///  * the sufficient condition (any single T_j != B_j makes some later
+///    CHECK_SIG fail) and the necessary condition (no CHECK_SIG fails on
+///    a correct path) are verified by exhaustive enumeration of all
+///    single errors along execution paths of random abstract CFGs.
+///
+/// This layer proves/refutes the Section 4 claims at the algebraic
+/// granularity of the paper's proof (where the EdgCF scheme detects
+/// every single error). The instrumentation-granularity distinction
+/// between EdgCF and RCF (faults on the checking branches themselves)
+/// only exists below this abstraction and is covered by the
+/// fault-injection campaigns instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFED_SIG_FORMALMODEL_H
+#define CFED_SIG_FORMALMODEL_H
+
+#include "support/Prng.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace cfed {
+namespace sig {
+
+/// An abstract CFG: blocks 0..N-1 with successor lists; block 0 is the
+/// entry. Blocks without successors are exit blocks.
+struct AbstractCfg {
+  std::vector<std::vector<unsigned>> Succs;
+  unsigned Entry = 0;
+
+  unsigned numBlocks() const { return static_cast<unsigned>(Succs.size()); }
+
+  /// Generates a random connected CFG with \p NumBlocks blocks: a spine
+  /// from the entry plus random extra edges, every block with 0-2
+  /// successors.
+  static AbstractCfg random(Prng &Rng, unsigned NumBlocks);
+};
+
+/// A point in the split-block graph: the head or the tail of a block.
+struct Node {
+  unsigned Block = 0;
+  bool IsHead = true;
+
+  bool operator==(const Node &Other) const = default;
+};
+
+/// One signature-monitoring scheme in the formal model. State carries up
+/// to two 64-bit registers (PC' and RTS / G and D / id).
+class Scheme {
+public:
+  struct State {
+    uint64_t A = 0;
+    uint64_t B = 0;
+    bool operator==(const State &Other) const = default;
+  };
+
+  virtual ~Scheme();
+  virtual const char *name() const = 0;
+
+  /// Signature assignment; called once per CFG before simulation.
+  virtual void prepare(const AbstractCfg &Cfg);
+
+  /// Initial state on entering the entry block's head.
+  virtual State initial(const AbstractCfg &Cfg) const = 0;
+
+  /// GEN_SIG at the exit of head(Block) (the fall-through into the
+  /// tail; never faulty).
+  virtual State genHeadExit(State S, unsigned Block) const = 0;
+
+  /// GEN_SIG at the exit of tail(Block) with logic target
+  /// \p LogicalTarget (the head of the next block).
+  virtual State genTailExit(State S, unsigned Block,
+                            unsigned LogicalTarget) const = 0;
+
+  /// CHECK_SIG at the entry of head(Block); true = pass.
+  virtual bool checkHeadEntry(State S, unsigned Block) const;
+
+  /// CHECK_SIG at the entry of tail(Block); true = pass.
+  virtual bool checkTailEntry(State S, unsigned Block) const;
+};
+
+/// Creates the formal model of each technique.
+std::unique_ptr<Scheme> makeEdgCfScheme();
+std::unique_ptr<Scheme> makeRcfScheme();
+std::unique_ptr<Scheme> makeEcfScheme();
+std::unique_ptr<Scheme> makeCfcssScheme();
+std::unique_ptr<Scheme> makeEccaScheme();
+
+/// Tally of the exhaustive single-error enumeration.
+struct ConditionReport {
+  uint64_t ErrorsTotal = 0;
+  uint64_t Detected = 0;
+  uint64_t Undetected = 0;
+  /// Checks failing on the error-free path: violations of the necessary
+  /// condition (false positives).
+  uint64_t FalsePositives = 0;
+  /// Undetected errors by the shape of the wrong physical target
+  /// (the Figure 1 category analogues in the formal model).
+  uint64_t UndetectedMistaken = 0;  ///< Wrong legal successor (A).
+  uint64_t UndetectedSameTail = 0;  ///< Tail of the current block (B/C).
+  uint64_t UndetectedOtherHead = 0; ///< Head of another block (D).
+  uint64_t UndetectedOtherTail = 0; ///< Tail of another block (E).
+};
+
+/// Simulates the correct path of length at most \p PathLen from the
+/// entry (random walk seeded by \p Seed), checks the necessary
+/// condition, then enumerates *every* single control-flow error (every
+/// tail-exit position x every wrong physical node) and reports which
+/// escape all subsequent checks within \p ContinueSteps.
+ConditionReport verifySingleErrorDetection(Scheme &S, const AbstractCfg &Cfg,
+                                           unsigned PathLen,
+                                           unsigned ContinueSteps,
+                                           uint64_t Seed);
+
+} // namespace sig
+} // namespace cfed
+
+#endif // CFED_SIG_FORMALMODEL_H

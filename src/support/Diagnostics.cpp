@@ -1,0 +1,19 @@
+//===- Diagnostics.cpp - Fatal errors and unreachable markers ------------===//
+
+#include "support/Diagnostics.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace cfed;
+
+void cfed::reportFatalError(const std::string &Message) {
+  std::fprintf(stderr, "cfed fatal error: %s\n", Message.c_str());
+  std::abort();
+}
+
+void cfed::unreachableInternal(const char *Message, const char *File,
+                               unsigned Line) {
+  std::fprintf(stderr, "cfed unreachable at %s:%u: %s\n", File, Line, Message);
+  std::abort();
+}

@@ -1,0 +1,36 @@
+//===- Diagnostics.h - Fatal errors and unreachable markers ----*- C++ -*-===//
+//
+// Part of the CFED project: reproduction of Borin et al., "Software-Based
+// Transparent and Comprehensive Control-Flow Error Detection" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Process-terminating diagnostics for programmatic errors, in the spirit of
+/// LLVM's report_fatal_error / llvm_unreachable. Library code never throws;
+/// invariant violations abort with a message.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFED_SUPPORT_DIAGNOSTICS_H
+#define CFED_SUPPORT_DIAGNOSTICS_H
+
+#include <string>
+
+namespace cfed {
+
+/// Prints \p Message to stderr and aborts. Used for invariant violations
+/// that cannot be expressed as a recoverable status.
+[[noreturn]] void reportFatalError(const std::string &Message);
+
+/// Marks a point in the code that must never be reached. Aborts with the
+/// location and \p Message when executed.
+[[noreturn]] void unreachableInternal(const char *Message, const char *File,
+                                      unsigned Line);
+
+} // namespace cfed
+
+#define cfed_unreachable(MSG)                                                  \
+  ::cfed::unreachableInternal(MSG, __FILE__, __LINE__)
+
+#endif // CFED_SUPPORT_DIAGNOSTICS_H

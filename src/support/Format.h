@@ -1,0 +1,27 @@
+//===- Format.h - printf-style formatting into std::string -----*- C++ -*-===//
+//
+// Part of the CFED project (CGO'06 control-flow error detection repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny printf-to-std::string helper so that library code can build
+/// messages without <iostream>.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFED_SUPPORT_FORMAT_H
+#define CFED_SUPPORT_FORMAT_H
+
+#include <string>
+
+namespace cfed {
+
+/// Formats like std::snprintf but returns a std::string of exactly the
+/// right size.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace cfed
+
+#endif // CFED_SUPPORT_FORMAT_H

@@ -1,0 +1,63 @@
+//===- Prng.cpp - Deterministic pseudo-random number generator -----------===//
+
+#include "support/Prng.h"
+
+using namespace cfed;
+
+static uint64_t splitmix64(uint64_t &X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotl64(uint64_t X, int K) {
+  return (X << K) | (X >> (64 - K));
+}
+
+void Prng::reseed(uint64_t Seed) {
+  for (uint64_t &Word : State)
+    Word = splitmix64(Seed);
+}
+
+uint64_t Prng::next() {
+  uint64_t Result = rotl64(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl64(State[3], 45);
+  return Result;
+}
+
+uint64_t Prng::nextBelow(uint64_t Bound) {
+  assert(Bound != 0 && "nextBelow bound must be nonzero");
+  // Rejection sampling: draw until the value falls in the largest multiple
+  // of Bound that fits in 64 bits.
+  uint64_t Threshold = -Bound % Bound;
+  for (;;) {
+    uint64_t Value = next();
+    if (Value >= Threshold)
+      return Value % Bound;
+  }
+}
+
+int64_t Prng::nextInRange(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "empty range");
+  uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+  if (Span == 0) // Full 64-bit range.
+    return static_cast<int64_t>(next());
+  return Lo + static_cast<int64_t>(nextBelow(Span));
+}
+
+bool Prng::chance(uint64_t Num, uint64_t Den) {
+  assert(Den != 0 && "denominator must be nonzero");
+  return nextBelow(Den) < Num;
+}
+
+double Prng::nextDouble() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}

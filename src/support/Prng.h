@@ -1,0 +1,53 @@
+//===- Prng.h - Deterministic pseudo-random number generator ---*- C++ -*-===//
+//
+// Part of the CFED project (CGO'06 control-flow error detection repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic, seedable xoshiro256** generator. Every experiment in the
+/// repository is reproducible because all randomness flows through this
+/// class with explicit seeds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFED_SUPPORT_PRNG_H
+#define CFED_SUPPORT_PRNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace cfed {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+/// implementation), seeded via splitmix64.
+class Prng {
+public:
+  explicit Prng(uint64_t Seed) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed via splitmix64.
+  void reseed(uint64_t Seed);
+
+  /// Returns the next 64 uniformly distributed bits.
+  uint64_t next();
+
+  /// Returns a uniformly distributed value in [0, Bound). \p Bound must be
+  /// nonzero. Uses rejection sampling to avoid modulo bias.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns a uniformly distributed value in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi);
+
+  /// Returns true with probability \p Num / \p Den.
+  bool chance(uint64_t Num, uint64_t Den);
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble();
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace cfed
+
+#endif // CFED_SUPPORT_PRNG_H

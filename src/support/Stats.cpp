@@ -1,0 +1,28 @@
+//===- Stats.cpp - Small statistical helpers ------------------------------===//
+
+#include "support/Stats.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace cfed;
+
+double cfed::geometricMean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double Value : Values) {
+    assert(Value > 0.0 && "geometric mean requires positive values");
+    LogSum += std::log(Value);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+double cfed::arithmeticMean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double Value : Values)
+    Sum += Value;
+  return Sum / static_cast<double>(Values.size());
+}

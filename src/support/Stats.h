@@ -1,0 +1,29 @@
+//===- Stats.h - Small statistical helpers ----------------------*- C++ -*-===//
+//
+// Part of the CFED project (CGO'06 control-flow error detection repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Geometric and arithmetic means used when aggregating per-benchmark
+/// slowdowns the same way the paper's figures do.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFED_SUPPORT_STATS_H
+#define CFED_SUPPORT_STATS_H
+
+#include <vector>
+
+namespace cfed {
+
+/// Geometric mean of \p Values; all values must be positive. Returns 0 for
+/// an empty input.
+double geometricMean(const std::vector<double> &Values);
+
+/// Arithmetic mean of \p Values. Returns 0 for an empty input.
+double arithmeticMean(const std::vector<double> &Values);
+
+} // namespace cfed
+
+#endif // CFED_SUPPORT_STATS_H

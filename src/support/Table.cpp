@@ -1,0 +1,68 @@
+//===- Table.cpp - Aligned text table rendering ----------------------------===//
+
+#include "support/Table.h"
+
+#include <cassert>
+
+using namespace cfed;
+
+void Table::setHeader(std::vector<std::string> Cells) {
+  assert(Rows.empty() && "header must be set before rows");
+  Header = std::move(Cells);
+}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  assert(!Header.empty() && "set a header first");
+  assert(Cells.size() == Header.size() && "row width must match header");
+  Rows.push_back(std::move(Cells));
+}
+
+void Table::addSeparator() { Rows.emplace_back(); }
+
+std::string Table::render() const {
+  assert(!Header.empty() && "cannot render a table without a header");
+  std::vector<size_t> Widths(Header.size(), 0);
+  auto Widen = [&Widths](const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I < Cells.size(); ++I)
+      if (Cells[I].size() > Widths[I])
+        Widths[I] = Cells[I].size();
+  };
+  Widen(Header);
+  for (const auto &Row : Rows)
+    Widen(Row);
+
+  size_t TotalWidth = 0;
+  for (size_t Width : Widths)
+    TotalWidth += Width + 2;
+
+  auto RenderRow = [&](const std::vector<std::string> &Cells,
+                       std::string &Out) {
+    for (size_t I = 0; I < Cells.size(); ++I) {
+      size_t Pad = Widths[I] - Cells[I].size();
+      if (I == 0) { // Left-align the label column.
+        Out += Cells[I];
+        Out.append(Pad, ' ');
+      } else {
+        Out.append(Pad, ' ');
+        Out += Cells[I];
+      }
+      if (I + 1 != Cells.size())
+        Out += "  ";
+    }
+    Out += '\n';
+  };
+
+  std::string Out;
+  RenderRow(Header, Out);
+  Out.append(TotalWidth, '-');
+  Out += '\n';
+  for (const auto &Row : Rows) {
+    if (Row.empty()) {
+      Out.append(TotalWidth, '-');
+      Out += '\n';
+      continue;
+    }
+    RenderRow(Row, Out);
+  }
+  return Out;
+}

@@ -1,0 +1,46 @@
+//===- Table.h - Aligned text table rendering -------------------*- C++ -*-===//
+//
+// Part of the CFED project (CGO'06 control-flow error detection repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the paper-style result tables printed by the bench binaries:
+/// a header row, string cells, and column-aligned monospace output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFED_SUPPORT_TABLE_H
+#define CFED_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace cfed {
+
+/// A simple column-aligned table. Append a header and rows of cells, then
+/// render to a string. The first column is left-aligned, all other columns
+/// right-aligned (matching how the paper prints benchmark rows).
+class Table {
+public:
+  /// Sets the header row. Must be called before adding rows.
+  void setHeader(std::vector<std::string> Cells);
+
+  /// Appends one data row; the cell count must match the header.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a horizontal separator line.
+  void addSeparator();
+
+  /// Renders the table with padded columns.
+  std::string render() const;
+
+private:
+  std::vector<std::string> Header;
+  // A separator is encoded as an empty row.
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace cfed
+
+#endif // CFED_SUPPORT_TABLE_H

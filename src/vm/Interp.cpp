@@ -1,0 +1,530 @@
+//===- Interp.cpp - VISA interpreter -----------------------------------------===//
+
+#include "vm/Interp.h"
+
+#include "support/Diagnostics.h"
+#include "support/Format.h"
+
+#include <cmath>
+
+using namespace cfed;
+
+FaultHook::~FaultHook() = default;
+PreInsnHook::~PreInsnHook() = default;
+BranchObserver::~BranchObserver() = default;
+DbtHooks::~DbtHooks() = default;
+
+const char *cfed::getTrapKindName(TrapKind Kind) {
+  switch (Kind) {
+  case TrapKind::None:
+    return "none";
+  case TrapKind::IllegalInsn:
+    return "illegal-instruction";
+  case TrapKind::ExecViolation:
+    return "exec-violation";
+  case TrapKind::ReadViolation:
+    return "read-violation";
+  case TrapKind::WriteViolation:
+    return "write-violation";
+  case TrapKind::DivByZero:
+    return "div-by-zero";
+  case TrapKind::BreakTrap:
+    return "break";
+  }
+  cfed_unreachable("covered switch");
+}
+
+uint64_t cfed::hashOutput(const std::string &Data) {
+  uint64_t Hash = 0xcbf29ce484222325ULL;
+  for (char Ch : Data) {
+    Hash ^= static_cast<uint8_t>(Ch);
+    Hash *= 0x100000001b3ULL;
+  }
+  return Hash;
+}
+
+void Interpreter::resetCounters() {
+  Insns = 0;
+  Cycles = 0;
+  OutputBuffer.clear();
+}
+
+namespace {
+
+/// Flag computation helpers matching the IA-32 semantics documented in
+/// Opcodes.def.
+void setFlagsLogic(Flags &F, uint64_t Result) {
+  F.ZF = Result == 0;
+  F.SF = static_cast<int64_t>(Result) < 0;
+  F.CF = false;
+  F.OF = false;
+}
+
+void setFlagsAdd(Flags &F, uint64_t A, uint64_t B, uint64_t Result) {
+  F.ZF = Result == 0;
+  F.SF = static_cast<int64_t>(Result) < 0;
+  F.CF = Result < A;
+  F.OF = ((~(A ^ B) & (A ^ Result)) >> 63) != 0;
+}
+
+void setFlagsSub(Flags &F, uint64_t A, uint64_t B, uint64_t Result) {
+  F.ZF = Result == 0;
+  F.SF = static_cast<int64_t>(Result) < 0;
+  F.CF = A < B;
+  F.OF = (((A ^ B) & (A ^ Result)) >> 63) != 0;
+}
+
+void setFlagsMul(Flags &F, int64_t A, int64_t B, int64_t Result) {
+  __int128 Wide = static_cast<__int128>(A) * B;
+  bool Overflow = Wide != static_cast<__int128>(Result);
+  F.ZF = Result == 0;
+  F.SF = Result < 0;
+  F.CF = Overflow;
+  F.OF = Overflow;
+}
+
+int64_t signedDiv(int64_t A, int64_t B) {
+  if (A == INT64_MIN && B == -1)
+    return INT64_MIN; // Avoid UB; defined as wrapping in VISA.
+  return A / B;
+}
+
+int64_t signedRem(int64_t A, int64_t B) {
+  if (A == INT64_MIN && B == -1)
+    return 0;
+  return A % B;
+}
+
+} // namespace
+
+StopInfo Interpreter::run(uint64_t MaxInsns) {
+  StopInfo Stop;
+  uint64_t Budget = MaxInsns;
+
+  auto MakeTrap = [&](TrapKind Kind, uint64_t TrapAddr,
+                      int32_t BreakCode = 0) {
+    Stop.Kind = StopKind::Trapped;
+    Stop.Trap = Kind;
+    Stop.TrapAddr = TrapAddr;
+    Stop.BreakCode = BreakCode;
+    Stop.PC = State.PC;
+    return Stop;
+  };
+
+  while (Budget-- > 0) {
+    uint64_t PC = State.PC;
+    uint8_t Raw[InsnSize];
+    MemResult Fetch = Mem.fetch(PC, Raw, InsnSize);
+    if (Fetch != MemResult::Ok)
+      return MakeTrap(TrapKind::ExecViolation, PC);
+    auto Decoded = Instruction::decode(Raw);
+    if (!Decoded)
+      return MakeTrap(TrapKind::IllegalInsn, PC);
+    Instruction I = *Decoded;
+
+    ++Insns;
+    Cycles += getOpcodeCost(I.Op);
+
+    if (PreInsn)
+      PreInsn->onInsn(PC, I, State);
+
+    uint64_t *Regs = State.Regs;
+    double *Fp = State.FpRegs;
+    Flags &F = State.F;
+    uint64_t NextPC = PC + InsnSize;
+
+    // Fault injection observes the branch at the moment it executes: the
+    // hook may flip offset bits (I.Imm) or the flag bits this branch sees
+    // (BranchFlags). The architectural FLAGS register is not modified —
+    // the model is a transient upset at the branch (Section 2).
+    Flags BranchFlags = F;
+    if (Fault && hasBranchOffset(I.Op))
+      Fault->apply(PC, I, BranchFlags, State);
+
+    switch (I.Op) {
+    case Opcode::Nop:
+      break;
+    case Opcode::Halt:
+      Stop.Kind = StopKind::Halted;
+      Stop.PC = PC;
+      return Stop;
+    case Opcode::Brk:
+      return MakeTrap(TrapKind::BreakTrap, PC, I.Imm);
+    case Opcode::Out:
+      OutputBuffer += formatString(
+          "%lld\n", static_cast<long long>(Regs[I.A]));
+      break;
+    case Opcode::OutC:
+      OutputBuffer += static_cast<char>(Regs[I.A] & 0xff);
+      break;
+
+    case Opcode::Add: {
+      uint64_t A = Regs[I.B], B = Regs[I.C], R = A + B;
+      Regs[I.A] = R;
+      setFlagsAdd(F, A, B, R);
+      break;
+    }
+    case Opcode::Sub: {
+      uint64_t A = Regs[I.B], B = Regs[I.C], R = A - B;
+      Regs[I.A] = R;
+      setFlagsSub(F, A, B, R);
+      break;
+    }
+    case Opcode::And:
+      Regs[I.A] = Regs[I.B] & Regs[I.C];
+      setFlagsLogic(F, Regs[I.A]);
+      break;
+    case Opcode::Or:
+      Regs[I.A] = Regs[I.B] | Regs[I.C];
+      setFlagsLogic(F, Regs[I.A]);
+      break;
+    case Opcode::Xor:
+      Regs[I.A] = Regs[I.B] ^ Regs[I.C];
+      setFlagsLogic(F, Regs[I.A]);
+      break;
+    case Opcode::Shl:
+      Regs[I.A] = Regs[I.B] << (Regs[I.C] & 63);
+      setFlagsLogic(F, Regs[I.A]);
+      break;
+    case Opcode::Shr:
+      Regs[I.A] = Regs[I.B] >> (Regs[I.C] & 63);
+      setFlagsLogic(F, Regs[I.A]);
+      break;
+    case Opcode::Sar:
+      Regs[I.A] = static_cast<uint64_t>(static_cast<int64_t>(Regs[I.B]) >>
+                                        (Regs[I.C] & 63));
+      setFlagsLogic(F, Regs[I.A]);
+      break;
+    case Opcode::Mul: {
+      int64_t A = static_cast<int64_t>(Regs[I.B]);
+      int64_t B = static_cast<int64_t>(Regs[I.C]);
+      int64_t R = static_cast<int64_t>(static_cast<uint64_t>(A) *
+                                       static_cast<uint64_t>(B));
+      Regs[I.A] = static_cast<uint64_t>(R);
+      setFlagsMul(F, A, B, R);
+      break;
+    }
+    case Opcode::Div: {
+      int64_t B = static_cast<int64_t>(Regs[I.C]);
+      if (B == 0)
+        return MakeTrap(TrapKind::DivByZero, PC);
+      Regs[I.A] = static_cast<uint64_t>(
+          signedDiv(static_cast<int64_t>(Regs[I.B]), B));
+      break;
+    }
+    case Opcode::Rem: {
+      int64_t B = static_cast<int64_t>(Regs[I.C]);
+      if (B == 0)
+        return MakeTrap(TrapKind::DivByZero, PC);
+      Regs[I.A] = static_cast<uint64_t>(
+          signedRem(static_cast<int64_t>(Regs[I.B]), B));
+      break;
+    }
+
+    case Opcode::AddI: {
+      uint64_t A = Regs[I.B];
+      uint64_t B = static_cast<uint64_t>(static_cast<int64_t>(I.Imm));
+      uint64_t R = A + B;
+      Regs[I.A] = R;
+      setFlagsAdd(F, A, B, R);
+      break;
+    }
+    case Opcode::AndI:
+      Regs[I.A] = Regs[I.B] & static_cast<uint64_t>(static_cast<int64_t>(I.Imm));
+      setFlagsLogic(F, Regs[I.A]);
+      break;
+    case Opcode::OrI:
+      Regs[I.A] = Regs[I.B] | static_cast<uint64_t>(static_cast<int64_t>(I.Imm));
+      setFlagsLogic(F, Regs[I.A]);
+      break;
+    case Opcode::XorI:
+      Regs[I.A] = Regs[I.B] ^ static_cast<uint64_t>(static_cast<int64_t>(I.Imm));
+      setFlagsLogic(F, Regs[I.A]);
+      break;
+    case Opcode::ShlI:
+      Regs[I.A] = Regs[I.B] << (I.Imm & 63);
+      setFlagsLogic(F, Regs[I.A]);
+      break;
+    case Opcode::ShrI:
+      Regs[I.A] = Regs[I.B] >> (I.Imm & 63);
+      setFlagsLogic(F, Regs[I.A]);
+      break;
+    case Opcode::SarI:
+      Regs[I.A] = static_cast<uint64_t>(static_cast<int64_t>(Regs[I.B]) >>
+                                        (I.Imm & 63));
+      setFlagsLogic(F, Regs[I.A]);
+      break;
+    case Opcode::MulI: {
+      int64_t A = static_cast<int64_t>(Regs[I.B]);
+      int64_t B = I.Imm;
+      int64_t R = static_cast<int64_t>(static_cast<uint64_t>(A) *
+                                       static_cast<uint64_t>(B));
+      Regs[I.A] = static_cast<uint64_t>(R);
+      setFlagsMul(F, A, B, R);
+      break;
+    }
+
+    case Opcode::Lea:
+      Regs[I.A] = Regs[I.B] + static_cast<uint64_t>(static_cast<int64_t>(I.Imm));
+      break;
+    case Opcode::LeaR:
+      Regs[I.A] = Regs[I.B] + Regs[I.C];
+      break;
+    case Opcode::Mov:
+      Regs[I.A] = Regs[I.B];
+      break;
+    case Opcode::MovI:
+      Regs[I.A] = static_cast<uint64_t>(static_cast<int64_t>(I.Imm));
+      break;
+    case Opcode::MovHi:
+      Regs[I.A] = (Regs[I.A] & 0xffffffffULL) |
+                  (static_cast<uint64_t>(static_cast<uint32_t>(I.Imm)) << 32);
+      break;
+    case Opcode::Neg: {
+      uint64_t B = Regs[I.B], R = 0 - B;
+      Regs[I.A] = R;
+      setFlagsSub(F, 0, B, R);
+      break;
+    }
+    case Opcode::Not:
+      Regs[I.A] = ~Regs[I.B];
+      break;
+
+    case Opcode::Cmp: {
+      uint64_t A = Regs[I.A], B = Regs[I.B];
+      setFlagsSub(F, A, B, A - B);
+      break;
+    }
+    case Opcode::CmpI: {
+      uint64_t A = Regs[I.A];
+      uint64_t B = static_cast<uint64_t>(static_cast<int64_t>(I.Imm));
+      setFlagsSub(F, A, B, A - B);
+      break;
+    }
+    case Opcode::Test:
+      setFlagsLogic(F, Regs[I.A] & Regs[I.B]);
+      break;
+    case Opcode::SetCC:
+      Regs[I.A] = evalCondCode(I.cond(), F) ? 1 : 0;
+      break;
+    case Opcode::CMov:
+      if (evalCondCode(I.cond(), F))
+        Regs[I.A] = Regs[I.B];
+      break;
+
+    case Opcode::Ld: {
+      MemResult R = MemResult::Ok;
+      uint64_t Addr = Regs[I.B] + static_cast<int64_t>(I.Imm);
+      uint64_t Value = Mem.read64(Addr, R);
+      if (R != MemResult::Ok)
+        return MakeTrap(TrapKind::ReadViolation, Addr);
+      Regs[I.A] = Value;
+      break;
+    }
+    case Opcode::St: {
+      uint64_t Addr = Regs[I.A] + static_cast<int64_t>(I.Imm);
+      MemResult R = Mem.write64(Addr, Regs[I.B]);
+      if (R == MemResult::NoWrite && Dbt && Dbt->onWriteViolation(Addr)) {
+        State.PC = PC; // Retry the store after the DBT handled the fault.
+        continue;
+      }
+      if (R != MemResult::Ok)
+        return MakeTrap(TrapKind::WriteViolation, Addr);
+      break;
+    }
+    case Opcode::LdB: {
+      MemResult R = MemResult::Ok;
+      uint64_t Addr = Regs[I.B] + static_cast<int64_t>(I.Imm);
+      uint8_t Value = Mem.read8(Addr, R);
+      if (R != MemResult::Ok)
+        return MakeTrap(TrapKind::ReadViolation, Addr);
+      Regs[I.A] = Value;
+      break;
+    }
+    case Opcode::StB: {
+      uint64_t Addr = Regs[I.A] + static_cast<int64_t>(I.Imm);
+      MemResult R = Mem.write8(Addr, static_cast<uint8_t>(Regs[I.B]));
+      if (R == MemResult::NoWrite && Dbt && Dbt->onWriteViolation(Addr)) {
+        State.PC = PC;
+        continue;
+      }
+      if (R != MemResult::Ok)
+        return MakeTrap(TrapKind::WriteViolation, Addr);
+      break;
+    }
+    case Opcode::Push: {
+      Regs[RegSP] -= 8;
+      MemResult R = Mem.write64(Regs[RegSP], Regs[I.A]);
+      if (R != MemResult::Ok)
+        return MakeTrap(TrapKind::WriteViolation, Regs[RegSP]);
+      break;
+    }
+    case Opcode::Pop: {
+      MemResult R = MemResult::Ok;
+      uint64_t Value = Mem.read64(Regs[RegSP], R);
+      if (R != MemResult::Ok)
+        return MakeTrap(TrapKind::ReadViolation, Regs[RegSP]);
+      Regs[I.A] = Value;
+      Regs[RegSP] += 8;
+      break;
+    }
+
+    case Opcode::Jmp:
+      NextPC = I.branchTarget(PC);
+      if (Profiler)
+        Profiler->onBranch(PC, I, BranchFlags, true, NextPC);
+      break;
+    case Opcode::Jcc: {
+      bool Taken = evalCondCode(I.cond(), BranchFlags);
+      if (Taken)
+        NextPC = I.branchTarget(PC);
+      if (Profiler)
+        Profiler->onBranch(PC, I, BranchFlags, Taken, NextPC);
+      break;
+    }
+    case Opcode::Jzr: {
+      bool Taken = Regs[I.A] == 0;
+      if (Taken)
+        NextPC = I.branchTarget(PC);
+      if (Profiler)
+        Profiler->onBranch(PC, I, BranchFlags, Taken, NextPC);
+      break;
+    }
+    case Opcode::Jnzr: {
+      bool Taken = Regs[I.A] != 0;
+      if (Taken)
+        NextPC = I.branchTarget(PC);
+      if (Profiler)
+        Profiler->onBranch(PC, I, BranchFlags, Taken, NextPC);
+      break;
+    }
+    case Opcode::Call: {
+      Regs[RegSP] -= 8;
+      MemResult R = Mem.write64(Regs[RegSP], PC + InsnSize);
+      if (R != MemResult::Ok)
+        return MakeTrap(TrapKind::WriteViolation, Regs[RegSP]);
+      NextPC = I.branchTarget(PC);
+      if (Profiler)
+        Profiler->onBranch(PC, I, BranchFlags, true, NextPC);
+      break;
+    }
+    case Opcode::CallR: {
+      Regs[RegSP] -= 8;
+      MemResult R = Mem.write64(Regs[RegSP], PC + InsnSize);
+      if (R != MemResult::Ok)
+        return MakeTrap(TrapKind::WriteViolation, Regs[RegSP]);
+      NextPC = Regs[I.A];
+      break;
+    }
+    case Opcode::JmpR:
+      NextPC = Regs[I.A];
+      break;
+    case Opcode::Ret: {
+      MemResult R = MemResult::Ok;
+      uint64_t Target = Mem.read64(Regs[RegSP], R);
+      if (R != MemResult::Ok)
+        return MakeTrap(TrapKind::ReadViolation, Regs[RegSP]);
+      Regs[RegSP] += 8;
+      NextPC = Target;
+      break;
+    }
+
+    case Opcode::FAdd:
+      Fp[I.A] = Fp[I.B] + Fp[I.C];
+      break;
+    case Opcode::FSub:
+      Fp[I.A] = Fp[I.B] - Fp[I.C];
+      break;
+    case Opcode::FMul:
+      Fp[I.A] = Fp[I.B] * Fp[I.C];
+      break;
+    case Opcode::FDiv:
+      Fp[I.A] = Fp[I.B] / Fp[I.C];
+      break;
+    case Opcode::FMA:
+      Fp[I.A] = Fp[I.A] + Fp[I.B] * Fp[I.C];
+      break;
+    case Opcode::FSqrt:
+      Fp[I.A] = std::sqrt(Fp[I.B]);
+      break;
+    case Opcode::FAbs:
+      Fp[I.A] = std::fabs(Fp[I.B]);
+      break;
+    case Opcode::FNeg:
+      Fp[I.A] = -Fp[I.B];
+      break;
+    case Opcode::FMov:
+      Fp[I.A] = Fp[I.B];
+      break;
+    case Opcode::FMovI:
+      Fp[I.A] = static_cast<double>(I.Imm);
+      break;
+    case Opcode::FCmp: {
+      double A = Fp[I.A], B = Fp[I.B];
+      F.ZF = A == B;
+      F.SF = A < B;
+      F.CF = A < B;
+      F.OF = false;
+      break;
+    }
+    case Opcode::FLd: {
+      MemResult R = MemResult::Ok;
+      uint64_t Addr = Regs[I.B] + static_cast<int64_t>(I.Imm);
+      uint64_t Bits = Mem.read64(Addr, R);
+      if (R != MemResult::Ok)
+        return MakeTrap(TrapKind::ReadViolation, Addr);
+      double Value;
+      static_assert(sizeof(Value) == sizeof(Bits));
+      __builtin_memcpy(&Value, &Bits, sizeof(Value));
+      Fp[I.A] = Value;
+      break;
+    }
+    case Opcode::FSt: {
+      uint64_t Addr = Regs[I.A] + static_cast<int64_t>(I.Imm);
+      uint64_t Bits;
+      __builtin_memcpy(&Bits, &Fp[I.B], sizeof(Bits));
+      MemResult R = Mem.write64(Addr, Bits);
+      if (R == MemResult::NoWrite && Dbt && Dbt->onWriteViolation(Addr)) {
+        State.PC = PC;
+        continue;
+      }
+      if (R != MemResult::Ok)
+        return MakeTrap(TrapKind::WriteViolation, Addr);
+      break;
+    }
+    case Opcode::IToF:
+      Fp[I.A] = static_cast<double>(static_cast<int64_t>(Regs[I.B]));
+      break;
+    case Opcode::FToI: {
+      double Value = Fp[I.B];
+      int64_t Result;
+      if (!(Value > -9.2233720368547758e18 && Value < 9.2233720368547758e18))
+        Result = Value > 0 ? INT64_MAX : INT64_MIN;
+      else
+        Result = static_cast<int64_t>(Value);
+      Regs[I.A] = static_cast<uint64_t>(Result);
+      break;
+    }
+
+    case Opcode::Tramp: {
+      if (!Dbt)
+        return MakeTrap(TrapKind::IllegalInsn, PC);
+      NextPC = Dbt->onDirectExit(PC, static_cast<uint64_t>(
+                                         static_cast<int64_t>(I.Imm)));
+      break;
+    }
+    case Opcode::TrampR: {
+      if (!Dbt)
+        return MakeTrap(TrapKind::IllegalInsn, PC);
+      NextPC = Dbt->onIndirectExit(PC, Regs[I.A]);
+      break;
+    }
+    }
+
+    State.PC = NextPC;
+  }
+
+  Stop.Kind = StopKind::InsnLimit;
+  Stop.PC = State.PC;
+  return Stop;
+}

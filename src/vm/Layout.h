@@ -1,0 +1,53 @@
+//===- Layout.h - Guest address-space layout --------------------*- C++ -*-===//
+//
+// Part of the CFED project (CGO'06 control-flow error detection repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fixed guest address-space layout shared by the loader, the DBT and
+/// the fault-classification code. Keeping the regions disjoint and well
+/// known lets the branch-error classifier decide "non-code memory"
+/// (category F) by address range, exactly like the execute-disable bit
+/// decides it in hardware.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFED_VM_LAYOUT_H
+#define CFED_VM_LAYOUT_H
+
+#include <cstdint>
+
+namespace cfed {
+
+/// Page size of the guest memory system.
+inline constexpr uint64_t PageSize = 4096;
+
+/// Base address where program code is loaded.
+inline constexpr uint64_t CodeBase = 0x00010000;
+/// Maximum size of a loaded program's code segment.
+inline constexpr uint64_t CodeMaxSize = 0x00400000;
+
+/// Base address of the data segment.
+inline constexpr uint64_t DataBase = 0x01000000;
+/// Default size of the data segment.
+inline constexpr uint64_t DataDefaultSize = 0x00400000;
+
+/// Stack: grows down from StackTop.
+inline constexpr uint64_t StackTop = 0x02000000;
+inline constexpr uint64_t StackSize = 0x00100000;
+
+/// DBT code cache: the only executable region while translated code runs
+/// (pages carry the execute permission; everything else is non-executable,
+/// which is how category-F errors are caught).
+inline constexpr uint64_t CacheBase = 0x04000000;
+inline constexpr uint64_t CacheMaxSize = 0x04000000;
+
+/// Returns true if \p Addr lies inside the DBT code cache region.
+inline bool isCacheAddr(uint64_t Addr) {
+  return Addr >= CacheBase && Addr < CacheBase + CacheMaxSize;
+}
+
+} // namespace cfed
+
+#endif // CFED_VM_LAYOUT_H

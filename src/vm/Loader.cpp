@@ -1,0 +1,37 @@
+//===- Loader.cpp - Program image loader -------------------------------------===//
+
+#include "vm/Loader.h"
+
+#include "support/Diagnostics.h"
+#include "support/Format.h"
+#include "vm/Layout.h"
+
+using namespace cfed;
+
+void cfed::loadProgram(const AsmProgram &Program, LoadMode Mode, Memory &Mem,
+                       CpuState &State) {
+  if (Program.Code.size() > CodeMaxSize)
+    reportFatalError(formatString("code segment too large: %zu bytes",
+                                  Program.Code.size()));
+
+  uint8_t CodePerms = Mode == LoadMode::Native
+                          ? static_cast<uint8_t>(PermRX)
+                          : static_cast<uint8_t>(PermR);
+  uint64_t CodeSize = Program.Code.empty() ? PageSize : Program.Code.size();
+  Mem.mapRegion(CodeBase, CodeSize, CodePerms);
+  if (!Program.Code.empty())
+    Mem.writeRaw(CodeBase, Program.Code.data(), Program.Code.size());
+
+  uint64_t DataSize = Program.Data.size() > DataDefaultSize
+                          ? Program.Data.size()
+                          : DataDefaultSize;
+  Mem.mapRegion(DataBase, DataSize, PermRW);
+  if (!Program.Data.empty())
+    Mem.writeRaw(DataBase, Program.Data.data(), Program.Data.size());
+
+  Mem.mapRegion(StackTop - StackSize, StackSize, PermRW);
+
+  State = CpuState();
+  State.PC = Program.Entry;
+  State.Regs[RegSP] = StackTop;
+}

@@ -1,0 +1,44 @@
+//===- Loader.h - Program image loader --------------------------*- C++ -*-===//
+//
+// Part of the CFED project (CGO'06 control-flow error detection repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maps an assembled program into guest memory and prepares the CPU for
+/// execution, in two flavours:
+///
+///  * native: guest code pages are executable (baseline "running the
+///    binary directly");
+///  * translated: guest code pages are readable but non-executable and
+///    non-writable; only the DBT's code cache carries the execute bit.
+///    This is the paper's memory-protection setup (Section 5): category-F
+///    errors trap, and guest stores into code pages raise the
+///    write-protection fault used for self-modifying code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFED_VM_LOADER_H
+#define CFED_VM_LOADER_H
+
+#include "asm/Assembler.h"
+#include "vm/Interp.h"
+#include "vm/Memory.h"
+
+namespace cfed {
+
+/// How the guest image's code pages are protected.
+enum class LoadMode {
+  Native,     ///< Code pages R+X (direct execution).
+  Translated, ///< Code pages R only (execution happens in the code cache).
+};
+
+/// Loads \p Program into \p Mem (code, data, stack regions) and initializes
+/// \p State (PC at the entry, SP at the stack top). Pages outside these
+/// regions stay unmapped.
+void loadProgram(const AsmProgram &Program, LoadMode Mode, Memory &Mem,
+                 CpuState &State);
+
+} // namespace cfed
+
+#endif // CFED_VM_LOADER_H

@@ -1,0 +1,145 @@
+//===- Memory.cpp - Paged guest memory with permissions --------------------===//
+
+#include "vm/Memory.h"
+
+#include "support/Diagnostics.h"
+#include "support/Format.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace cfed;
+
+Memory::Page *Memory::lookup(uint64_t PageIndex) {
+  if (PageIndex == CachedIndex)
+    return CachedPage;
+  auto It = Pages.find(PageIndex);
+  Page *P = It == Pages.end() ? nullptr : It->second.get();
+  CachedIndex = PageIndex;
+  CachedPage = P;
+  return P;
+}
+
+const Memory::Page *Memory::lookup(uint64_t PageIndex) const {
+  return const_cast<Memory *>(this)->lookup(PageIndex);
+}
+
+void Memory::mapRegion(uint64_t Base, uint64_t Size, uint8_t Perms) {
+  uint64_t First = Base / PageSize;
+  uint64_t Last = (Base + Size + PageSize - 1) / PageSize;
+  for (uint64_t Index = First; Index < Last; ++Index) {
+    auto &Slot = Pages[Index];
+    if (!Slot)
+      Slot = std::make_unique<Page>();
+    Slot->Perms = Perms;
+  }
+  CachedIndex = ~0ULL;
+  CachedPage = nullptr;
+}
+
+void Memory::setPerms(uint64_t Base, uint64_t Size, uint8_t Perms) {
+  uint64_t First = Base / PageSize;
+  uint64_t Last = (Base + Size + PageSize - 1) / PageSize;
+  for (uint64_t Index = First; Index < Last; ++Index) {
+    Page *P = lookup(Index);
+    if (!P)
+      reportFatalError(formatString("setPerms on unmapped page 0x%llx",
+                                    static_cast<unsigned long long>(
+                                        Index * PageSize)));
+    P->Perms = Perms;
+  }
+}
+
+uint8_t Memory::getPerms(uint64_t Addr) const {
+  const Page *P = lookup(Addr / PageSize);
+  return P ? P->Perms : static_cast<uint8_t>(PermNone);
+}
+
+bool Memory::isMapped(uint64_t Addr) const {
+  return lookup(Addr / PageSize) != nullptr;
+}
+
+MemResult Memory::access(uint64_t Addr, void *Out, const void *In,
+                         uint64_t Size, AccessKind Kind) const {
+  auto *Self = const_cast<Memory *>(this);
+  uint64_t Done = 0;
+  while (Done < Size) {
+    uint64_t Current = Addr + Done;
+    uint64_t PageIndex = Current / PageSize;
+    uint64_t PageOffset = Current % PageSize;
+    Page *P = Self->lookup(PageIndex);
+    if (!P)
+      return MemResult::Unmapped;
+    switch (Kind) {
+    case AccessKind::Read:
+      if (!(P->Perms & PermR))
+        return MemResult::NoRead;
+      break;
+    case AccessKind::Write:
+      if (!(P->Perms & PermW))
+        return MemResult::NoWrite;
+      break;
+    case AccessKind::Fetch:
+      if (!(P->Perms & PermX))
+        return MemResult::NoExec;
+      break;
+    case AccessKind::Raw:
+      break;
+    }
+    uint64_t Chunk = std::min(Size - Done, PageSize - PageOffset);
+    if (In)
+      std::memcpy(P->Bytes + PageOffset,
+                  static_cast<const uint8_t *>(In) + Done, Chunk);
+    else
+      std::memcpy(static_cast<uint8_t *>(Out) + Done, P->Bytes + PageOffset,
+                  Chunk);
+    Done += Chunk;
+  }
+  return MemResult::Ok;
+}
+
+MemResult Memory::read(uint64_t Addr, void *Out, uint64_t Size) const {
+  return access(Addr, Out, nullptr, Size, AccessKind::Read);
+}
+
+MemResult Memory::write(uint64_t Addr, const void *In, uint64_t Size) {
+  return access(Addr, nullptr, In, Size, AccessKind::Write);
+}
+
+MemResult Memory::fetch(uint64_t Addr, void *Out, uint64_t Size) const {
+  return access(Addr, Out, nullptr, Size, AccessKind::Fetch);
+}
+
+void Memory::writeRaw(uint64_t Addr, const void *In, uint64_t Size) {
+  MemResult Result = access(Addr, nullptr, In, Size, AccessKind::Raw);
+  if (Result != MemResult::Ok)
+    reportFatalError(formatString("writeRaw to unmapped address 0x%llx",
+                                  static_cast<unsigned long long>(Addr)));
+}
+
+void Memory::readRaw(uint64_t Addr, void *Out, uint64_t Size) const {
+  MemResult Result = access(Addr, Out, nullptr, Size, AccessKind::Raw);
+  if (Result != MemResult::Ok)
+    reportFatalError(formatString("readRaw from unmapped address 0x%llx",
+                                  static_cast<unsigned long long>(Addr)));
+}
+
+uint64_t Memory::read64(uint64_t Addr, MemResult &Result) const {
+  uint64_t Value = 0;
+  Result = read(Addr, &Value, sizeof(Value));
+  return Value;
+}
+
+MemResult Memory::write64(uint64_t Addr, uint64_t Value) {
+  return write(Addr, &Value, sizeof(Value));
+}
+
+uint8_t Memory::read8(uint64_t Addr, MemResult &Result) const {
+  uint8_t Value = 0;
+  Result = read(Addr, &Value, sizeof(Value));
+  return Value;
+}
+
+MemResult Memory::write8(uint64_t Addr, uint8_t Value) {
+  return write(Addr, &Value, sizeof(Value));
+}

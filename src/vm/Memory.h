@@ -1,0 +1,107 @@
+//===- Memory.h - Paged guest memory with permissions -----------*- C++ -*-===//
+//
+// Part of the CFED project (CGO'06 control-flow error detection repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sparse paged guest memory with per-page read/write/execute permissions.
+/// The execute bit plays the role of the IA-32 execute-disable bit in the
+/// paper: wild control transfers into non-executable pages trap, which is
+/// the hardware detector for branch-error category F. The write bit
+/// implements the write-protection mechanism the DBT uses to catch
+/// self-modifying code (Section 5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFED_VM_MEMORY_H
+#define CFED_VM_MEMORY_H
+
+#include "vm/Layout.h"
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+namespace cfed {
+
+/// Page permission bits.
+enum PagePerms : uint8_t {
+  PermNone = 0,
+  PermR = 1,
+  PermW = 2,
+  PermX = 4,
+  PermRW = PermR | PermW,
+  PermRX = PermR | PermX,
+  PermRWX = PermR | PermW | PermX,
+};
+
+/// Result of a memory access.
+enum class MemResult : uint8_t {
+  Ok,
+  Unmapped,    ///< No page mapped at the address.
+  NoRead,      ///< Page lacks the read permission.
+  NoWrite,     ///< Page lacks the write permission.
+  NoExec,      ///< Page lacks the execute permission.
+};
+
+/// Sparse paged memory. All accesses are byte-granular; multi-byte
+/// accesses may straddle pages.
+class Memory {
+public:
+  /// Maps [Base, Base+Size) with \p Perms, zero-filled. Rounds outward to
+  /// page boundaries. Remapping an existing page just updates permissions.
+  void mapRegion(uint64_t Base, uint64_t Size, uint8_t Perms);
+
+  /// Changes permissions of all pages overlapping [Base, Base+Size).
+  /// The pages must already be mapped.
+  void setPerms(uint64_t Base, uint64_t Size, uint8_t Perms);
+
+  /// Returns the permissions of the page containing \p Addr, or PermNone
+  /// if unmapped.
+  uint8_t getPerms(uint64_t Addr) const;
+
+  /// Reads \p Size bytes into \p Out checking the read permission.
+  MemResult read(uint64_t Addr, void *Out, uint64_t Size) const;
+
+  /// Writes \p Size bytes from \p In checking the write permission.
+  MemResult write(uint64_t Addr, const void *In, uint64_t Size);
+
+  /// Fetches \p Size instruction bytes checking the execute permission.
+  MemResult fetch(uint64_t Addr, void *Out, uint64_t Size) const;
+
+  /// Permission-less accessors for the loader, the translator and tests.
+  /// The pages must be mapped.
+  void writeRaw(uint64_t Addr, const void *In, uint64_t Size);
+  void readRaw(uint64_t Addr, void *Out, uint64_t Size) const;
+
+  uint64_t read64(uint64_t Addr, MemResult &Result) const;
+  MemResult write64(uint64_t Addr, uint64_t Value);
+  uint8_t read8(uint64_t Addr, MemResult &Result) const;
+  MemResult write8(uint64_t Addr, uint8_t Value);
+
+  /// Returns true if any page overlapping [Base, Base+Size) is mapped.
+  bool isMapped(uint64_t Addr) const;
+
+private:
+  struct Page {
+    uint8_t Perms = PermNone;
+    uint8_t Bytes[PageSize] = {};
+  };
+
+  enum class AccessKind { Read, Write, Fetch, Raw };
+
+  Page *lookup(uint64_t PageIndex);
+  const Page *lookup(uint64_t PageIndex) const;
+  MemResult access(uint64_t Addr, void *Out, const void *In, uint64_t Size,
+                   AccessKind Kind) const;
+
+  std::unordered_map<uint64_t, std::unique_ptr<Page>> Pages;
+  // Single-entry lookup cache (pages are immovable once allocated).
+  mutable uint64_t CachedIndex = ~0ULL;
+  mutable Page *CachedPage = nullptr;
+};
+
+} // namespace cfed
+
+#endif // CFED_VM_MEMORY_H

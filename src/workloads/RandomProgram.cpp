@@ -1,0 +1,134 @@
+//===- RandomProgram.cpp - Random terminating program generator ----------------===//
+
+#include "workloads/RandomProgram.h"
+
+#include "support/Format.h"
+#include "support/Prng.h"
+
+using namespace cfed;
+
+namespace {
+
+/// Emits one random flag-safe arithmetic instruction over r1..r8 (and
+/// f1..f4 when FP is enabled).
+std::string randomArith(Prng &Rng, bool UseFp) {
+  auto Reg = [&Rng] { return formatString("r%u", 1 + unsigned(Rng.nextBelow(8))); };
+  if (UseFp && Rng.chance(1, 4)) {
+    auto FReg = [&Rng] {
+      return formatString("f%u", 1 + unsigned(Rng.nextBelow(4)));
+    };
+    switch (Rng.nextBelow(4)) {
+    case 0:
+      return formatString("  fadd %s, %s, %s\n", FReg().c_str(),
+                          FReg().c_str(), FReg().c_str());
+    case 1:
+      return formatString("  fmul %s, %s, %s\n", FReg().c_str(),
+                          FReg().c_str(), FReg().c_str());
+    case 2:
+      return formatString("  itof %s, %s\n", FReg().c_str(), Reg().c_str());
+    default:
+      return formatString("  fsub %s, %s, %s\n", FReg().c_str(),
+                          FReg().c_str(), FReg().c_str());
+    }
+  }
+  switch (Rng.nextBelow(8)) {
+  case 0:
+    return formatString("  add %s, %s, %s\n", Reg().c_str(), Reg().c_str(),
+                        Reg().c_str());
+  case 1:
+    return formatString("  sub %s, %s, %s\n", Reg().c_str(), Reg().c_str(),
+                        Reg().c_str());
+  case 2:
+    return formatString("  xor %s, %s, %s\n", Reg().c_str(), Reg().c_str(),
+                        Reg().c_str());
+  case 3:
+    return formatString("  addi %s, %s, %d\n", Reg().c_str(), Reg().c_str(),
+                        int(Rng.nextInRange(-64, 64)));
+  case 4:
+    return formatString("  muli %s, %s, %d\n", Reg().c_str(), Reg().c_str(),
+                        int(Rng.nextInRange(1, 17)));
+  case 5:
+    return formatString("  shri %s, %s, %d\n", Reg().c_str(), Reg().c_str(),
+                        int(Rng.nextInRange(0, 7)));
+  case 6:
+    return formatString("  or %s, %s, %s\n", Reg().c_str(), Reg().c_str(),
+                        Reg().c_str());
+  default:
+    return formatString("  andi %s, %s, %d\n", Reg().c_str(), Reg().c_str(),
+                        int(Rng.nextInRange(0, 4095)));
+  }
+}
+
+const char *randomSignedCond(Prng &Rng) {
+  static const char *const Conds[] = {"eq", "ne", "lt", "le", "gt", "ge"};
+  return Conds[Rng.nextBelow(6)];
+}
+
+} // namespace
+
+std::string cfed::generateRandomProgram(const RandomProgramOptions &Options) {
+  Prng Rng(Options.Seed);
+  std::string S = ".entry main\n";
+
+  // Helper functions: short arithmetic bodies, one optional diamond.
+  for (unsigned H = 0; H < Options.NumHelpers; ++H) {
+    S += formatString("helper%u:\n", H);
+    unsigned Count = 1 + unsigned(Rng.nextBelow(Options.MaxBodyInsns));
+    for (unsigned I = 0; I < Count; ++I)
+      S += randomArith(Rng, Options.UseFp);
+    if (Rng.chance(1, 2)) {
+      S += formatString("  cmp r%u, r%u\n", 1 + unsigned(Rng.nextBelow(8)),
+                        1 + unsigned(Rng.nextBelow(8)));
+      S += formatString("  jcc %s, h%u_else\n", randomSignedCond(Rng), H);
+      S += randomArith(Rng, Options.UseFp);
+      S += formatString("  jmp h%u_end\n", H);
+      S += formatString("h%u_else:\n", H);
+      S += randomArith(Rng, Options.UseFp);
+      S += formatString("h%u_end:\n", H);
+    }
+    S += "  ret\n";
+  }
+
+  S += "main:\n";
+  // Seed the working registers deterministically.
+  for (unsigned R = 1; R <= 8; ++R)
+    S += formatString("  movi r%u, %d\n", R,
+                      int(Rng.nextInRange(-1000, 1000)));
+  if (Options.UseFp)
+    for (unsigned F = 1; F <= 4; ++F)
+      S += formatString("  fmovi f%u, %d\n", F, int(Rng.nextInRange(1, 50)));
+  S += "  movi r14, 0\n"; // Checksum accumulator.
+
+  for (unsigned Seg = 0; Seg < Options.NumSegments; ++Seg) {
+    S += formatString("  movi r13, %u\n", Options.LoopTrip);
+    S += formatString("seg%u:\n", Seg);
+    unsigned Count = 1 + unsigned(Rng.nextBelow(Options.MaxBodyInsns));
+    for (unsigned I = 0; I < Count; ++I)
+      S += randomArith(Rng, Options.UseFp);
+    // A data-dependent diamond.
+    if (Rng.chance(2, 3)) {
+      S += formatString("  cmp r%u, r%u\n", 1 + unsigned(Rng.nextBelow(8)),
+                        1 + unsigned(Rng.nextBelow(8)));
+      S += formatString("  jcc %s, s%u_else\n", randomSignedCond(Rng), Seg);
+      S += randomArith(Rng, Options.UseFp);
+      S += formatString("  jmp s%u_end\n", Seg);
+      S += formatString("s%u_else:\n", Seg);
+      S += randomArith(Rng, Options.UseFp);
+      S += formatString("s%u_end:\n", Seg);
+    }
+    if (Options.NumHelpers > 0 && Rng.chance(1, 2))
+      S += formatString("  call helper%u\n",
+                        unsigned(Rng.nextBelow(Options.NumHelpers)));
+    // Fold the live registers into the checksum.
+    S += formatString("  add r14, r14, r%u\n",
+                      1 + unsigned(Rng.nextBelow(8)));
+    S += "  addi r13, r13, -1\n";
+    S += formatString("  jcc ne, seg%u\n", Seg);
+  }
+
+  S += "  out r14\n";
+  if (Options.UseFp)
+    S += "  ftoi r1, f1\n  out r1\n";
+  S += "  halt\n";
+  return S;
+}

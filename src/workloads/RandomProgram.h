@@ -1,0 +1,45 @@
+//===- RandomProgram.h - Random terminating program generator ---*- C++ -*-===//
+//
+// Part of the CFED project (CGO'06 control-flow error detection repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A generator of random, guaranteed-terminating VISA programs used by
+/// the property-based tests: translated execution must match native
+/// execution for every technique on every generated program, and injected
+/// single faults must never be detected on a fault-free run (no false
+/// positives — the necessary condition of Section 4.4).
+///
+/// Programs are structured as a sequence of counted loop segments whose
+/// bodies contain random arithmetic, random data-dependent diamonds, and
+/// optional calls into small helper functions, honoring the repository
+/// discipline that flags never live across basic-block boundaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFED_WORKLOADS_RANDOMPROGRAM_H
+#define CFED_WORKLOADS_RANDOMPROGRAM_H
+
+#include <cstdint>
+#include <string>
+
+namespace cfed {
+
+/// Tuning knobs for the generator.
+struct RandomProgramOptions {
+  unsigned NumSegments = 6;   ///< Sequential loop segments in main.
+  unsigned MaxBodyInsns = 6;  ///< Arithmetic instructions per body block.
+  unsigned LoopTrip = 12;     ///< Iterations per segment loop.
+  unsigned NumHelpers = 2;    ///< Callable helper functions (0 = none).
+  bool UseFp = false;         ///< Mix in floating-point arithmetic.
+  uint64_t Seed = 1;
+};
+
+/// Generates the assembly text of a random program. Deterministic in
+/// \p Options.Seed.
+std::string generateRandomProgram(const RandomProgramOptions &Options);
+
+} // namespace cfed
+
+#endif // CFED_WORKLOADS_RANDOMPROGRAM_H

@@ -1,0 +1,977 @@
+//===- Workloads.cpp - SPEC2000 stand-in workload suite -----------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "support/Diagnostics.h"
+#include "support/Format.h"
+
+using namespace cfed;
+
+namespace {
+
+/// Emits the linear-congruential step on register \p Reg (the same LCG
+/// every kernel uses; constants from the classic glibc generator).
+std::string lcg(const char *Reg) {
+  return formatString("  muli %s, %s, 1103515245\n"
+                      "  addi %s, %s, 12345\n",
+                      Reg, Reg, Reg, Reg);
+}
+
+//===----------------------------------------------------------------------===//
+// Integer kernels: branchy code with small basic blocks.
+//===----------------------------------------------------------------------===//
+
+/// LZ-style compression scan (gzip, bzip2): fill a buffer with skewed
+/// random symbols, then scan with a 256-entry chain hash counting
+/// back-references vs literals.
+std::string lzKernel(int N, int SymMask, int Seed) {
+  std::string S;
+  S += ".entry main\n.data\n";
+  S += formatString("buf: .space %d\n", N + 8);
+  S += "hash: .space 2048\n.code\nmain:\n";
+  S += formatString("  movi r1, buf\n  movi r2, %d\n  movi r3, %d\n", N,
+                    Seed);
+  S += "fill:\n";
+  S += lcg("r3");
+  S += formatString("  shri r4, r3, 16\n  andi r4, r4, %d\n", SymMask);
+  S += "  stb [r1], r4\n  addi r1, r1, 1\n  addi r2, r2, -1\n"
+       "  jcc ne, fill\n";
+  S += formatString("  movi r1, buf\n  movi r2, %d\n  movi r5, 0\n"
+                    "  movi r6, 0\n",
+                    N - 1);
+  S += "scan:\n"
+       "  ldb r4, [r1]\n"
+       "  ldb r7, [r1+1]\n"
+       "  shli r8, r4, 5\n"
+       "  xor r8, r8, r7\n"
+       "  andi r8, r8, 255\n"
+       "  shli r8, r8, 3\n"
+       "  movi r9, hash\n"
+       "  add r9, r9, r8\n"
+       "  ld r10, [r9]\n"
+       "  st [r9], r1\n"
+       "  jzr r10, nomatch\n"
+       "  ldb r11, [r10]\n"
+       "  cmp r11, r4\n"
+       "  jcc ne, nomatch\n"
+       "  addi r6, r6, 1\n"
+       "nomatch:\n"
+       "  muli r5, r5, 31\n"
+       "  add r5, r5, r4\n"
+       "  addi r1, r1, 1\n"
+       "  addi r2, r2, -1\n"
+       "  jcc ne, scan\n"
+       "  out r5\n"
+       "  out r6\n"
+       "  halt\n";
+  return S;
+}
+
+/// Bellman-Ford relaxation over a random graph (mcf). V must be a power
+/// of two.
+std::string bellmanKernel(int V, int E, int Rounds, int Seed) {
+  std::string S;
+  S += ".entry main\n.data\n";
+  S += formatString("edges: .space %d\n", E * 24);
+  S += formatString("dist: .space %d\n", V * 8);
+  S += ".code\nmain:\n";
+  S += formatString("  movi r1, edges\n  movi r2, %d\n  movi r3, %d\n", E,
+                    Seed);
+  S += "genloop:\n";
+  S += lcg("r3");
+  S += formatString("  shri r4, r3, 16\n  andi r4, r4, %d\n"
+                    "  st [r1], r4\n",
+                    V - 1);
+  S += lcg("r3");
+  S += formatString("  shri r5, r3, 16\n  andi r5, r5, %d\n"
+                    "  st [r1+8], r5\n",
+                    V - 1);
+  S += lcg("r3");
+  S += "  shri r6, r3, 16\n  andi r6, r6, 1023\n  addi r6, r6, 1\n"
+       "  st [r1+16], r6\n"
+       "  addi r1, r1, 24\n  addi r2, r2, -1\n  jcc ne, genloop\n";
+  S += formatString("  movi r1, dist\n  movi r2, %d\n  movi r4, 1\n"
+                    "  shli r4, r4, 40\n",
+                    V);
+  S += "initloop:\n"
+       "  st [r1], r4\n  addi r1, r1, 8\n  addi r2, r2, -1\n"
+       "  jcc ne, initloop\n"
+       "  movi r1, dist\n  movi r2, 0\n  st [r1], r2\n";
+  S += formatString("  movi r9, %d\n", Rounds);
+  S += "round:\n";
+  S += formatString("  movi r1, edges\n  movi r2, %d\n", E);
+  S += "edge:\n"
+       "  ld r4, [r1]\n"
+       "  ld r5, [r1+8]\n"
+       "  ld r6, [r1+16]\n"
+       "  movi r7, dist\n"
+       "  shli r8, r4, 3\n"
+       "  add r8, r7, r8\n"
+       "  ld r10, [r8]\n"
+       "  add r10, r10, r6\n"
+       "  shli r8, r5, 3\n"
+       "  add r8, r7, r8\n"
+       "  ld r11, [r8]\n"
+       "  cmp r10, r11\n"
+       "  jcc ge, norelax\n"
+       "  st [r8], r10\n"
+       "norelax:\n"
+       "  addi r1, r1, 24\n  addi r2, r2, -1\n  jcc ne, edge\n"
+       "  addi r9, r9, -1\n  jcc ne, round\n";
+  S += formatString("  movi r1, dist\n  movi r2, %d\n  movi r5, 0\n", V);
+  S += "cksum:\n"
+       "  ld r4, [r1]\n"
+       "  muli r5, r5, 31\n"
+       "  add r5, r5, r4\n"
+       "  addi r1, r1, 8\n  addi r2, r2, -1\n  jcc ne, cksum\n"
+       "  out r5\n  halt\n";
+  return S;
+}
+
+/// Tokenizing state machine over random text (parser).
+std::string parserKernel(int N, int Seed) {
+  std::string S;
+  S += ".entry main\n.data\n";
+  S += formatString("buf: .space %d\n", N);
+  S += ".code\nmain:\n";
+  S += formatString("  movi r1, buf\n  movi r2, %d\n  movi r3, %d\n", N,
+                    Seed);
+  S += "fillp:\n";
+  S += lcg("r3");
+  S += "  shri r4, r3, 16\n  andi r4, r4, 127\n"
+       "  stb [r1], r4\n  addi r1, r1, 1\n  addi r2, r2, -1\n"
+       "  jcc ne, fillp\n";
+  S += formatString("  movi r1, buf\n  movi r2, %d\n", N);
+  S += "  movi r5, 0\n  movi r8, 0\n  movi r9, 0\n  movi r10, 0\n"
+       "scanp:\n"
+       "  ldb r4, [r1]\n"
+       "  cmpi r4, 97\n"
+       "  jcc lt, notlower\n"
+       "  cmpi r4, 122\n"
+       "  jcc gt, notlower\n"
+       "  cmpi r5, 1\n"
+       "  jcc eq, stayword\n"
+       "  addi r8, r8, 1\n"
+       "  movi r5, 1\n"
+       "stayword:\n"
+       "  jmp nextp\n"
+       "notlower:\n"
+       "  cmpi r4, 48\n"
+       "  jcc lt, issep\n"
+       "  cmpi r4, 57\n"
+       "  jcc gt, issep\n"
+       "  cmpi r5, 2\n"
+       "  jcc eq, staynum\n"
+       "  addi r9, r9, 1\n"
+       "  movi r5, 2\n"
+       "staynum:\n"
+       "  jmp nextp\n"
+       "issep:\n"
+       "  addi r10, r10, 1\n"
+       "  movi r5, 0\n"
+       "nextp:\n"
+       "  addi r1, r1, 1\n  addi r2, r2, -1\n  jcc ne, scanp\n"
+       "  out r8\n  out r9\n  out r10\n  halt\n";
+  return S;
+}
+
+/// Recursive alpha-beta game-tree search (crafty, eon): heavy call/ret
+/// traffic with data-dependent pruning branches.
+std::string alphaBetaKernel(int Depth, int Branch, int Seed) {
+  std::string S;
+  S += ".entry main\n.code\n";
+  S += "search:\n"
+       "  jnzr r1, sint\n";
+  S += formatString("  muli r1, r2, %d\n", Seed);
+  S += "  addi r1, r1, 12345\n"
+       "  shri r1, r1, 16\n"
+       "  andi r1, r1, 1023\n"
+       "  addi r1, r1, -512\n"
+       "  ret\n"
+       "sint:\n"
+       "  movi r5, 0\n"
+       "  movi r6, -100000\n"
+       "sloop:\n";
+  S += formatString("  muli r7, r2, %d\n", Branch);
+  S += "  add r7, r7, r5\n"
+       "  addi r7, r7, 1\n"
+       "  push r1\n  push r2\n  push r3\n  push r4\n  push r5\n  push r6\n"
+       "  addi r1, r1, -1\n"
+       "  mov r2, r7\n"
+       "  mov r8, r3\n"
+       "  neg r3, r4\n"
+       "  neg r4, r8\n"
+       "  call search\n"
+       "  neg r7, r1\n"
+       "  pop r6\n  pop r5\n  pop r4\n  pop r3\n  pop r2\n  pop r1\n"
+       "  cmp r7, r6\n"
+       "  jcc le, nobest\n"
+       "  mov r6, r7\n"
+       "nobest:\n"
+       "  cmp r6, r3\n"
+       "  jcc le, noalpha\n"
+       "  mov r3, r6\n"
+       "noalpha:\n"
+       "  cmp r3, r4\n"
+       "  jcc ge, sdone\n"
+       "  addi r5, r5, 1\n";
+  S += formatString("  cmpi r5, %d\n", Branch);
+  S += "  jcc lt, sloop\n"
+       "sdone:\n"
+       "  mov r1, r6\n"
+       "  ret\n"
+       "main:\n";
+  S += formatString("  movi r1, %d\n", Depth);
+  S += "  movi r2, 1\n"
+       "  movi r3, -1000000\n"
+       "  movi r4, 1000000\n"
+       "  call search\n"
+       "  out r1\n  halt\n";
+  return S;
+}
+
+/// Shell sort plus binary searches (vpr, twolf).
+std::string sortSearchKernel(int N, int Lookups, int Seed) {
+  std::string S;
+  S += ".entry main\n.data\n";
+  S += formatString("arr: .space %d\n", N * 8);
+  S += ".code\nmain:\n";
+  S += formatString("  movi r1, arr\n  movi r4, 0\n  movi r9, %d\n", Seed);
+  S += "fills:\n";
+  S += lcg("r9");
+  S += "  shri r7, r9, 16\n"
+       "  andi r7, r7, 65535\n"
+       "  shli r8, r4, 3\n"
+       "  add r8, r1, r8\n"
+       "  st [r8], r7\n"
+       "  addi r4, r4, 1\n";
+  S += formatString("  cmpi r4, %d\n  jcc lt, fills\n", N);
+  S += formatString("  movi r3, %d\n  shri r3, r3, 1\n", N);
+  S += "gaploop:\n"
+       "  jzr r3, sorted\n"
+       "  mov r4, r3\n"
+       "iloop:\n";
+  S += formatString("  cmpi r4, %d\n  jcc ge, idone\n", N);
+  S += "  shli r8, r4, 3\n"
+       "  add r8, r1, r8\n"
+       "  ld r6, [r8]\n"
+       "  mov r5, r4\n"
+       "jloop:\n"
+       "  cmp r5, r3\n"
+       "  jcc lt, jdone\n"
+       "  sub r7, r5, r3\n"
+       "  shli r8, r7, 3\n"
+       "  add r8, r1, r8\n"
+       "  ld r12, [r8]\n"
+       "  cmp r12, r6\n"
+       "  jcc le, jdone\n"
+       "  shli r13, r5, 3\n"
+       "  add r13, r1, r13\n"
+       "  st [r13], r12\n"
+       "  mov r5, r7\n"
+       "  jmp jloop\n"
+       "jdone:\n"
+       "  shli r13, r5, 3\n"
+       "  add r13, r1, r13\n"
+       "  st [r13], r6\n"
+       "  addi r4, r4, 1\n"
+       "  jmp iloop\n"
+       "idone:\n"
+       "  shri r3, r3, 1\n"
+       "  jmp gaploop\n"
+       "sorted:\n";
+  S += formatString("  movi r11, 0\n  movi r4, %d\n", Lookups);
+  S += "bsl:\n";
+  S += lcg("r9");
+  S += "  shri r6, r9, 16\n"
+       "  andi r6, r6, 65535\n"
+       "  movi r5, 0\n";
+  S += formatString("  movi r7, %d\n", N);
+  // Note: each jcc has its compare in the same basic block (the flag
+  // discipline techniques with flag-clobbering prologues rely on).
+  S += "bsloop:\n"
+       "  cmp r5, r7\n"
+       "  jcc ge, bsdone\n"
+       "  add r8, r5, r7\n"
+       "  shri r8, r8, 1\n"
+       "  shli r12, r8, 3\n"
+       "  add r12, r1, r12\n"
+       "  ld r12, [r12]\n"
+       "  cmp r12, r6\n"
+       "  jcc lt, bright\n"
+       "  cmp r12, r6\n"
+       "  jcc eq, bfound\n"
+       "  mov r7, r8\n"
+       "  jmp bsloop\n"
+       "bright:\n"
+       "  lea r5, r8, 1\n"
+       "  jmp bsloop\n"
+       "bfound:\n"
+       "  addi r11, r11, 1\n"
+       "bsdone:\n"
+       "  addi r4, r4, -1\n"
+       "  jcc ne, bsl\n"
+       "  out r11\n  halt\n";
+  return S;
+}
+
+/// Open-addressing hash-table churn (gcc, vortex, gap). TableBits gives
+/// the power-of-two table size.
+std::string hashChurnKernel(int Inserts, int Lookups, int TableBits,
+                            int Seed) {
+  int Mask = (1 << TableBits) - 1;
+  std::string S;
+  S += ".entry main\n.data\n";
+  S += formatString("table: .space %d\n", (Mask + 1) * 8);
+  S += ".code\nmain:\n";
+  S += formatString("  movi r9, %d\n  movi r2, %d\n", Seed, Inserts);
+  S += "insl:\n";
+  S += lcg("r9");
+  S += "  shri r4, r9, 8\n"
+       "  andi r4, r4, 1048575\n"
+       "  addi r4, r4, 1\n"
+       "  muli r5, r4, 999983\n"
+       "  shri r5, r5, 8\n";
+  S += formatString("  andi r5, r5, %d\n", Mask);
+  S += "probe:\n"
+       "  shli r6, r5, 3\n"
+       "  movi r7, table\n"
+       "  add r6, r7, r6\n"
+       "  ld r8, [r6]\n"
+       "  jzr r8, insert\n"
+       "  cmp r8, r4\n"
+       "  jcc eq, nextins\n"
+       "  addi r5, r5, 1\n";
+  S += formatString("  andi r5, r5, %d\n", Mask);
+  S += "  jmp probe\n"
+       "insert:\n"
+       "  st [r6], r4\n"
+       "nextins:\n"
+       "  addi r2, r2, -1\n"
+       "  jcc ne, insl\n";
+  S += formatString("  movi r9, %d\n  movi r2, %d\n  movi r10, 0\n",
+                    Seed + 77, Lookups);
+  S += "lkl:\n";
+  S += lcg("r9");
+  S += "  shri r4, r9, 8\n"
+       "  andi r4, r4, 1048575\n"
+       "  addi r4, r4, 1\n"
+       "  muli r5, r4, 999983\n"
+       "  shri r5, r5, 8\n";
+  S += formatString("  andi r5, r5, %d\n", Mask);
+  S += "lprobe:\n"
+       "  shli r6, r5, 3\n"
+       "  movi r7, table\n"
+       "  add r6, r7, r6\n"
+       "  ld r8, [r6]\n"
+       "  jzr r8, miss\n"
+       "  cmp r8, r4\n"
+       "  jcc eq, hit\n"
+       "  addi r5, r5, 1\n";
+  S += formatString("  andi r5, r5, %d\n", Mask);
+  S += "  jmp lprobe\n"
+       "hit:\n"
+       "  addi r10, r10, 1\n"
+       "miss:\n"
+       "  addi r2, r2, -1\n"
+       "  jcc ne, lkl\n"
+       "  out r10\n  halt\n";
+  return S;
+}
+
+/// String transform / compare / substring scan loops (perlbmk).
+std::string stringOpsKernel(int Iters, int Seed) {
+  std::string S;
+  S += ".entry main\n.data\n"
+       "sa: .space 260\n"
+       "sb: .space 260\n"
+       ".code\nmain:\n";
+  S += formatString("  movi r9, %d\n  movi r1, sa\n  movi r2, 256\n", Seed);
+  S += "fa:\n";
+  S += lcg("r9");
+  // Map 0..31 into 'a'..'z' with wraparound via rem 26.
+  S += "  shri r4, r9, 16\n"
+       "  andi r4, r4, 31\n"
+       "  movi r6, 26\n"
+       "  rem r4, r4, r6\n"
+       "  addi r4, r4, 97\n"
+       "  stb [r1], r4\n"
+       "  addi r1, r1, 1\n"
+       "  addi r2, r2, -1\n"
+       "  jcc ne, fa\n";
+  S += formatString("  movi r11, %d\n  movi r10, 0\n", Iters);
+  S += "outer:\n"
+       "  movi r1, sa\n"
+       "  movi r2, sb\n"
+       "  movi r3, 256\n"
+       "  movi r5, 0\n"
+       "cp:\n"
+       "  ldb r4, [r1]\n"
+       "  movi r7, 3\n"
+       "  rem r6, r5, r7\n"
+       "  jnzr r6, keep\n"
+       "  addi r4, r4, -32\n"
+       "keep:\n"
+       "  stb [r2], r4\n"
+       "  addi r1, r1, 1\n"
+       "  addi r2, r2, 1\n"
+       "  addi r5, r5, 1\n"
+       "  addi r3, r3, -1\n"
+       "  jcc ne, cp\n"
+       "  movi r1, sa\n"
+       "  movi r3, 255\n"
+       "sc:\n"
+       "  ldb r4, [r1]\n"
+       "  cmpi r4, 97\n"
+       "  jcc ne, nsc\n"
+       "  ldb r5, [r1+1]\n"
+       "  cmpi r5, 98\n"
+       "  jcc ne, nsc\n"
+       "  addi r10, r10, 1\n"
+       "nsc:\n"
+       "  addi r1, r1, 1\n"
+       "  addi r3, r3, -1\n"
+       "  jcc ne, sc\n"
+       "  addi r11, r11, -1\n"
+       "  jcc ne, outer\n"
+       "  out r10\n  halt\n";
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Floating-point kernels: large unrolled blocks, expensive instructions.
+//===----------------------------------------------------------------------===//
+
+/// Dense matrix multiply, inner loop unrolled by four (wupwise, galgel).
+/// N must be a multiple of 4.
+std::string matMulKernel(int N, int Seed) {
+  int Row = N * 8;
+  std::string S;
+  S += ".entry main\n.data\n";
+  S += formatString("ma: .space %d\nmb: .space %d\nmc: .space %d\n", N * N * 8,
+                    N * N * 8, N * N * 8);
+  S += ".code\nmain:\n";
+  S += formatString("  movi r9, %d\n  movi r1, ma\n  movi r2, %d\n", Seed,
+                    2 * N * N);
+  S += "fi:\n";
+  S += lcg("r9");
+  S += "  shri r4, r9, 20\n"
+       "  andi r4, r4, 255\n"
+       "  itof f1, r4\n"
+       "  fst [r1], f1\n"
+       "  addi r1, r1, 8\n"
+       "  addi r2, r2, -1\n"
+       "  jcc ne, fi\n"
+       "  movi r3, 0\n"
+       "li:\n"
+       "  movi r4, 0\n"
+       "lj:\n"
+       "  fmovi f2, 0\n"
+       "  movi r5, 0\n";
+  S += formatString("  muli r6, r3, %d\n", Row);
+  S += "  movi r7, ma\n"
+       "  add r6, r7, r6\n"
+       "  movi r7, mb\n"
+       "  shli r8, r4, 3\n"
+       "  add r7, r7, r8\n"
+       "lk:\n"
+       "  fld f3, [r6]\n"
+       "  fld f4, [r7]\n"
+       "  fma f2, f3, f4\n"
+       "  fld f3, [r6+8]\n";
+  S += formatString("  fld f4, [r7+%d]\n", Row);
+  S += "  fma f2, f3, f4\n"
+       "  fld f3, [r6+16]\n";
+  S += formatString("  fld f4, [r7+%d]\n", 2 * Row);
+  S += "  fma f2, f3, f4\n"
+       "  fld f3, [r6+24]\n";
+  S += formatString("  fld f4, [r7+%d]\n", 3 * Row);
+  S += "  fma f2, f3, f4\n"
+       "  addi r6, r6, 32\n";
+  S += formatString("  addi r7, r7, %d\n", 4 * Row);
+  S += "  addi r5, r5, 4\n";
+  S += formatString("  cmpi r5, %d\n  jcc lt, lk\n", N);
+  S += formatString("  muli r8, r3, %d\n", Row);
+  S += "  movi r10, mc\n"
+       "  add r8, r10, r8\n"
+       "  shli r11, r4, 3\n"
+       "  add r8, r8, r11\n"
+       "  fst [r8], f2\n"
+       "  addi r4, r4, 1\n";
+  S += formatString("  cmpi r4, %d\n  jcc lt, lj\n", N);
+  S += "  addi r3, r3, 1\n";
+  S += formatString("  cmpi r3, %d\n  jcc lt, li\n", N);
+  S += formatString("  movi r1, mc\n  movi r2, %d\n  fmovi f5, 0\n", N * N);
+  S += "ck:\n"
+       "  fld f6, [r1]\n"
+       "  fadd f5, f5, f6\n"
+       "  addi r1, r1, 8\n"
+       "  addi r2, r2, -1\n"
+       "  jcc ne, ck\n"
+       "  ftoi r4, f5\n"
+       "  out r4\n  halt\n";
+  return S;
+}
+
+/// 5-point Jacobi stencil, unrolled by two (swim, mgrid, apsi). G must
+/// be even.
+std::string stencilKernel(int G, int T, int Seed) {
+  int Row = G * 8;
+  std::string S;
+  S += ".entry main\n.data\n";
+  S += formatString("g1: .space %d\ng2: .space %d\n", G * G * 8, G * G * 8);
+  S += ".code\nmain:\n";
+  S += formatString("  movi r9, %d\n  movi r1, g1\n  movi r2, %d\n", Seed,
+                    2 * G * G);
+  S += "si:\n";
+  S += lcg("r9");
+  S += "  shri r4, r9, 18\n"
+       "  andi r4, r4, 511\n"
+       "  itof f1, r4\n"
+       "  fst [r1], f1\n"
+       "  addi r1, r1, 8\n"
+       "  addi r2, r2, -1\n"
+       "  jcc ne, si\n"
+       "  fmovi f7, 1\n"
+       "  fmovi f8, 4\n"
+       "  fdiv f7, f7, f8\n"
+       "  movi r11, g1\n"
+       "  movi r12, g2\n";
+  S += formatString("  movi r10, %d\n", T);
+  S += "tloop:\n"
+       "  movi r3, 1\n"
+       "iloop:\n"
+       "  movi r4, 1\n";
+  S += formatString("  muli r5, r3, %d\n", Row);
+  S += "  add r5, r11, r5\n";
+  S += formatString("  muli r6, r3, %d\n", Row);
+  S += "  add r6, r12, r6\n"
+       "jloop:\n"
+       "  shli r7, r4, 3\n"
+       "  add r8, r5, r7\n"
+       "  fld f1, [r8-8]\n"
+       "  fld f2, [r8+8]\n";
+  S += formatString("  fld f3, [r8%+d]\n  fld f4, [r8%+d]\n", -Row, Row);
+  S += "  fadd f1, f1, f2\n"
+       "  fadd f3, f3, f4\n"
+       "  fadd f1, f1, f3\n"
+       "  fmul f1, f1, f7\n"
+       "  add r13, r6, r7\n"
+       "  fst [r13], f1\n"
+       "  fld f1, [r8]\n"
+       "  fld f2, [r8+16]\n";
+  S += formatString("  fld f3, [r8%+d]\n  fld f4, [r8%+d]\n", -Row + 8,
+                    Row + 8);
+  S += "  fadd f1, f1, f2\n"
+       "  fadd f3, f3, f4\n"
+       "  fadd f1, f1, f3\n"
+       "  fmul f1, f1, f7\n"
+       "  lea r13, r13, 8\n"
+       "  fst [r13], f1\n"
+       "  addi r4, r4, 2\n";
+  S += formatString("  cmpi r4, %d\n  jcc lt, jloop\n", G - 1);
+  S += "  addi r3, r3, 1\n";
+  S += formatString("  cmpi r3, %d\n  jcc lt, iloop\n", G - 1);
+  S += "  mov r13, r11\n"
+       "  mov r11, r12\n"
+       "  mov r12, r13\n"
+       "  addi r10, r10, -1\n"
+       "  jcc ne, tloop\n";
+  S += formatString("  mov r1, r11\n  movi r2, %d\n  fmovi f5, 0\n", G * G);
+  S += "ck2:\n"
+       "  fld f6, [r1]\n"
+       "  fadd f5, f5, f6\n"
+       "  addi r1, r1, 8\n"
+       "  addi r2, r2, -1\n"
+       "  jcc ne, ck2\n"
+       "  ftoi r4, f5\n"
+       "  out r4\n  halt\n";
+  return S;
+}
+
+/// All-pairs N-body forces with softening (ammp, art, sixtrack):
+/// fsqrt/fdiv-heavy straight-line inner block.
+std::string nbodyKernel(int P, int Steps, int Seed) {
+  std::string S;
+  S += ".entry main\n.data\n";
+  S += formatString("px: .space %d\npy: .space %d\npz: .space %d\n", P * 8,
+                    P * 8, P * 8);
+  S += ".code\nmain:\n";
+  S += formatString("  movi r9, %d\n  movi r1, px\n  movi r2, %d\n", Seed,
+                    3 * P);
+  S += "ni:\n";
+  S += lcg("r9");
+  S += "  shri r4, r9, 16\n"
+       "  andi r4, r4, 1023\n"
+       "  itof f1, r4\n"
+       "  fst [r1], f1\n"
+       "  addi r1, r1, 8\n"
+       "  addi r2, r2, -1\n"
+       "  jcc ne, ni\n"
+       "  fmovi f14, 1\n"          // one
+       "  fmovi f13, 1024\n"
+       "  fdiv f13, f14, f13\n"    // dt = 1/1024
+       "  fmovi f12, 0\n";         // energy-ish accumulator
+  S += formatString("  movi r10, %d\n", Steps);
+  S += "nstep:\n"
+       "  movi r3, 0\n"
+       "niloop:\n"
+       "  fmovi f9, 0\n"           // acc x
+       "  fmovi f10, 0\n"          // acc y
+       "  fmovi f11, 0\n"          // acc z
+       "  shli r5, r3, 3\n"
+       "  movi r6, px\n"
+       "  add r6, r6, r5\n"
+       "  fld f1, [r6]\n"          // xi
+       "  movi r6, py\n"
+       "  add r6, r6, r5\n"
+       "  fld f2, [r6]\n"          // yi
+       "  movi r6, pz\n"
+       "  add r6, r6, r5\n"
+       "  fld f3, [r6]\n"          // zi
+       "  movi r4, 0\n"
+       "njloop:\n"
+       "  cmp r4, r3\n"
+       "  jcc eq, nskip\n"
+       "  shli r7, r4, 3\n"
+       "  movi r8, px\n"
+       "  add r8, r8, r7\n"
+       "  fld f4, [r8]\n"
+       "  movi r8, py\n"
+       "  add r8, r8, r7\n"
+       "  fld f5, [r8]\n"
+       "  movi r8, pz\n"
+       "  add r8, r8, r7\n"
+       "  fld f6, [r8]\n"
+       "  fsub f4, f4, f1\n"       // dx
+       "  fsub f5, f5, f2\n"
+       "  fsub f6, f6, f3\n"
+       "  fmov f7, f14\n"          // softening 1
+       "  fma f7, f4, f4\n"
+       "  fma f7, f5, f5\n"
+       "  fma f7, f6, f6\n"        // r2 + 1
+       "  fsqrt f8, f7\n"
+       "  fmul f8, f8, f7\n"       // r^3
+       "  fdiv f8, f14, f8\n"      // 1/r^3
+       "  fma f9, f4, f8\n"
+       "  fma f10, f5, f8\n"
+       "  fma f11, f6, f8\n"
+       "nskip:\n"
+       "  addi r4, r4, 1\n";
+  S += formatString("  cmpi r4, %d\n  jcc lt, njloop\n", P);
+  // Integrate: x_i += dt * acc.
+  S += "  movi r6, px\n"
+       "  add r6, r6, r5\n"
+       "  fmul f9, f9, f13\n"
+       "  fadd f1, f1, f9\n"
+       "  fst [r6], f1\n"
+       "  movi r6, py\n"
+       "  add r6, r6, r5\n"
+       "  fmul f10, f10, f13\n"
+       "  fadd f2, f2, f10\n"
+       "  fst [r6], f2\n"
+       "  movi r6, pz\n"
+       "  add r6, r6, r5\n"
+       "  fmul f11, f11, f13\n"
+       "  fadd f3, f3, f11\n"
+       "  fst [r6], f3\n"
+       "  fadd f12, f12, f1\n"
+       "  addi r3, r3, 1\n";
+  S += formatString("  cmpi r3, %d\n  jcc lt, niloop\n", P);
+  S += "  addi r10, r10, -1\n"
+       "  jcc ne, nstep\n"
+       "  fmovi f4, 1000\n"
+       "  fmul f12, f12, f4\n"
+       "  ftoi r4, f12\n"
+       "  out r4\n  halt\n";
+  return S;
+}
+
+/// Walsh-Hadamard butterfly passes with per-butterfly scaling (lucas,
+/// fma3d). N must be a power of two.
+std::string butterflyKernel(int N, int Repeats, int Seed) {
+  std::string S;
+  S += ".entry main\n.data\n";
+  S += formatString("wd: .space %d\n", N * 8);
+  S += ".code\nmain:\n";
+  S += formatString("  movi r9, %d\n  movi r1, wd\n  movi r2, %d\n", Seed, N);
+  S += "wi:\n";
+  S += lcg("r9");
+  S += "  shri r4, r9, 16\n"
+       "  andi r4, r4, 255\n"
+       "  itof f1, r4\n"
+       "  fst [r1], f1\n"
+       "  addi r1, r1, 8\n"
+       "  addi r2, r2, -1\n"
+       "  jcc ne, wi\n"
+       "  fmovi f7, 1\n"
+       "  fmovi f8, 2\n"
+       "  fdiv f7, f7, f8\n";      // 0.5 scaling
+  S += formatString("  movi r10, %d\n", Repeats);
+  S += "wrep:\n"
+       "  movi r3, 1\n"            // len
+       "wlen:\n"
+       "  movi r4, 0\n"            // i
+       "wgrp:\n"
+       "  mov r5, r4\n"            // j = i
+       "wbf:\n"
+       "  shli r6, r5, 3\n"
+       "  movi r7, wd\n"
+       "  add r6, r7, r6\n"        // &d[j]
+       "  shli r8, r3, 3\n"
+       "  add r8, r6, r8\n"        // &d[j+len]
+       "  fld f1, [r6]\n"
+       "  fld f2, [r8]\n"
+       "  fadd f3, f1, f2\n"
+       "  fsub f4, f1, f2\n"
+       "  fmul f3, f3, f7\n"
+       "  fmul f4, f4, f7\n"
+       "  fst [r6], f3\n"
+       "  fst [r8], f4\n"
+       "  addi r5, r5, 1\n"
+       "  add r11, r4, r3\n"       // i + len
+       "  cmp r5, r11\n"
+       "  jcc lt, wbf\n"
+       "  shli r11, r3, 1\n"
+       "  add r4, r4, r11\n";      // i += 2*len
+  S += formatString("  cmpi r4, %d\n  jcc lt, wgrp\n", N);
+  S += "  shli r3, r3, 1\n";
+  S += formatString("  cmpi r3, %d\n  jcc lt, wlen\n", N);
+  S += "  addi r10, r10, -1\n"
+       "  jcc ne, wrep\n";
+  S += formatString("  movi r1, wd\n  movi r2, %d\n  fmovi f5, 0\n", N);
+  S += "wck:\n"
+       "  fld f6, [r1]\n"
+       "  fadd f5, f5, f6\n"
+       "  addi r1, r1, 8\n"
+       "  addi r2, r2, -1\n"
+       "  jcc ne, wck\n"
+       "  fmovi f6, 1000\n"
+       "  fmul f5, f5, f6\n"
+       "  ftoi r4, f5\n"
+       "  out r4\n  halt\n";
+  return S;
+}
+
+/// Fully unrolled Horner polynomial evaluation with a classification
+/// branch (mesa, facerec): one huge straight-line FP block per element.
+std::string polyKernel(int N, int Degree, int Seed) {
+  std::string S;
+  S += ".entry main\n.code\nmain:\n";
+  S += formatString("  movi r9, %d\n  movi r2, %d\n", Seed, N);
+  S += "  fmovi f8, 256\n"
+       "  fmovi f9, 1\n"
+       "  fdiv f8, f9, f8\n"       // 1/256
+       "  fmovi f10, 3\n"          // coefficient a
+       "  fmovi f11, -2\n"         // coefficient b
+       "  fmovi f5, 0\n"           // sum
+       "  movi r10, 0\n"           // above-threshold count
+       "ploop:\n";
+  S += lcg("r9");
+  S += "  shri r4, r9, 16\n"
+       "  andi r4, r4, 255\n"
+       "  itof f1, r4\n"
+       "  fmul f1, f1, f8\n"       // x in [0,1)
+       "  fmov f2, f10\n";         // acc = a
+  for (int I = 0; I < Degree; ++I) {
+    S += "  fmul f2, f2, f1\n";
+    S += (I % 2 == 0) ? "  fadd f2, f2, f11\n" : "  fadd f2, f2, f10\n";
+  }
+  S += "  fadd f5, f5, f2\n"
+       "  fcmp f2, f9\n"           // acc < 1 ?
+       "  jcc b, pnext\n"
+       "  addi r10, r10, 1\n"      // acc >= 1: classify as bright
+       "pnext:\n"
+       "  addi r2, r2, -1\n"
+       "  jcc ne, ploop\n"
+       "  fmovi f6, 1000\n"
+       "  fmul f5, f5, f6\n"
+       "  ftoi r4, f5\n"
+       "  out r4\n"
+       "  out r10\n  halt\n";
+  return S;
+}
+
+/// 1-D wave-equation propagation, unrolled by two (applu, equake).
+std::string waveKernel(int X, int T, int Seed) {
+  std::string S;
+  S += ".entry main\n.data\n";
+  S += formatString("u0: .space %d\nu1: .space %d\nu2: .space %d\n", X * 8,
+                    X * 8, X * 8);
+  S += ".code\nmain:\n";
+  S += formatString("  movi r9, %d\n  movi r1, u0\n  movi r2, %d\n", Seed,
+                    2 * X);
+  S += "vi:\n";
+  S += lcg("r9");
+  S += "  shri r4, r9, 16\n"
+       "  andi r4, r4, 127\n"
+       "  itof f1, r4\n"
+       "  fst [r1], f1\n"
+       "  addi r1, r1, 8\n"
+       "  addi r2, r2, -1\n"
+       "  jcc ne, vi\n"
+       "  fmovi f7, 1\n"
+       "  fmovi f8, 4\n"
+       "  fdiv f7, f7, f8\n"       // c = 0.25
+       "  fmovi f6, 2\n"
+       "  movi r11, u0\n"          // prev
+       "  movi r12, u1\n"          // cur
+       "  movi r13, u2\n";         // next
+  S += formatString("  movi r10, %d\n", T);
+  S += "wtl:\n"
+       "  movi r3, 1\n"
+       "wxl:\n"
+       "  shli r4, r3, 3\n"
+       "  add r5, r12, r4\n"       // &cur[i]
+       "  add r6, r11, r4\n"       // &prev[i]
+       "  add r7, r13, r4\n"       // &next[i]
+       "  fld f1, [r5]\n"          // u
+       "  fld f2, [r5-8]\n"
+       "  fld f3, [r5+8]\n"
+       "  fld f4, [r6]\n"          // u_prev
+       "  fmul f5, f1, f6\n"       // 2u
+       "  fsub f5, f5, f4\n"
+       "  fadd f2, f2, f3\n"
+       "  fsub f2, f2, f1\n"
+       "  fsub f2, f2, f1\n"       // laplacian
+       "  fma f5, f2, f7\n"
+       "  fst [r7], f5\n"
+       "  fld f1, [r5+8]\n"        // unrolled second point
+       "  fld f2, [r5]\n"
+       "  fld f3, [r5+16]\n"
+       "  fld f4, [r6+8]\n"
+       "  fmul f5, f1, f6\n"
+       "  fsub f5, f5, f4\n"
+       "  fadd f2, f2, f3\n"
+       "  fsub f2, f2, f1\n"
+       "  fsub f2, f2, f1\n"
+       "  fma f5, f2, f7\n"
+       "  fst [r7+8], f5\n"
+       "  addi r3, r3, 2\n";
+  S += formatString("  cmpi r3, %d\n  jcc lt, wxl\n", X - 1);
+  S += "  mov r4, r11\n"
+       "  mov r11, r12\n"
+       "  mov r12, r13\n"
+       "  mov r13, r4\n"
+       "  addi r10, r10, -1\n"
+       "  jcc ne, wtl\n";
+  S += formatString("  mov r1, r12\n  movi r2, %d\n  fmovi f5, 0\n", X);
+  S += "vck:\n"
+       "  fld f6, [r1]\n"
+       "  fadd f5, f5, f6\n"
+       "  addi r1, r1, 8\n"
+       "  addi r2, r2, -1\n"
+       "  jcc ne, vck\n"
+       "  ftoi r4, f5\n"
+       "  out r4\n  halt\n";
+  return S;
+}
+
+struct WorkloadEntry {
+  WorkloadInfo Info;
+  std::string (*Generate)();
+};
+
+// The 26 named workloads. Sizes are tuned for roughly 0.3-1M dynamic
+// instructions each: large enough for stable statistics, small enough
+// that a full campaign sweep stays laptop-scale.
+std::string genGzip() { return lzKernel(30000, 31, 9001); }
+std::string genVpr() { return sortSearchKernel(3000, 4000, 9002); }
+std::string genGcc() { return hashChurnKernel(8000, 30000, 14, 9003); }
+std::string genMcf() { return bellmanKernel(64, 512, 50, 9004); }
+std::string genCrafty() { return alphaBetaKernel(7, 5, 9005); }
+std::string genParser() { return parserKernel(40000, 9006); }
+std::string genEon() { return alphaBetaKernel(6, 7, 9007); }
+std::string genPerlbmk() { return stringOpsKernel(150, 9008); }
+std::string genGap() { return hashChurnKernel(6000, 20000, 14, 9009); }
+std::string genVortex() { return hashChurnKernel(12000, 40000, 15, 9010); }
+std::string genBzip2() { return lzKernel(36000, 15, 9011); }
+std::string genTwolf() { return sortSearchKernel(2000, 3000, 9012); }
+
+std::string genWupwise() { return matMulKernel(44, 9101); }
+std::string genSwim() { return stencilKernel(64, 10, 9102); }
+std::string genMgrid() { return stencilKernel(56, 12, 9103); }
+std::string genApplu() { return waveKernel(1536, 28, 9104); }
+std::string genMesa() { return polyKernel(15000, 16, 9105); }
+std::string genGalgel() { return matMulKernel(40, 9106); }
+std::string genArt() { return nbodyKernel(36, 10, 9107); }
+std::string genEquake() { return waveKernel(2048, 24, 9108); }
+std::string genFacerec() { return polyKernel(12000, 12, 9109); }
+std::string genAmmp() { return nbodyKernel(44, 8, 9110); }
+std::string genLucas() { return butterflyKernel(4096, 2, 9111); }
+std::string genFma3d() { return butterflyKernel(2048, 5, 9112); }
+std::string genSixtrack() { return nbodyKernel(40, 9, 9113); }
+std::string genApsi() { return stencilKernel(48, 14, 9114); }
+
+const WorkloadEntry Suite[] = {
+    {{"164.gzip", false}, genGzip},
+    {{"175.vpr", false}, genVpr},
+    {{"176.gcc", false}, genGcc},
+    {{"181.mcf", false}, genMcf},
+    {{"186.crafty", false}, genCrafty},
+    {{"197.parser", false}, genParser},
+    {{"252.eon", false}, genEon},
+    {{"253.perlbmk", false}, genPerlbmk},
+    {{"254.gap", false}, genGap},
+    {{"255.vortex", false}, genVortex},
+    {{"256.bzip2", false}, genBzip2},
+    {{"300.twolf", false}, genTwolf},
+    {{"168.wupwise", true}, genWupwise},
+    {{"171.swim", true}, genSwim},
+    {{"172.mgrid", true}, genMgrid},
+    {{"173.applu", true}, genApplu},
+    {{"177.mesa", true}, genMesa},
+    {{"178.galgel", true}, genGalgel},
+    {{"179.art", true}, genArt},
+    {{"183.equake", true}, genEquake},
+    {{"187.facerec", true}, genFacerec},
+    {{"188.ammp", true}, genAmmp},
+    {{"189.lucas", true}, genLucas},
+    {{"191.fma3d", true}, genFma3d},
+    {{"200.sixtrack", true}, genSixtrack},
+    {{"301.apsi", true}, genApsi},
+};
+
+} // namespace
+
+const std::vector<WorkloadInfo> &cfed::getWorkloadSuite() {
+  static const std::vector<WorkloadInfo> Infos = [] {
+    std::vector<WorkloadInfo> Result;
+    for (const WorkloadEntry &Entry : Suite)
+      Result.push_back(Entry.Info);
+    return Result;
+  }();
+  return Infos;
+}
+
+std::vector<std::string> cfed::getIntWorkloadNames() {
+  std::vector<std::string> Names;
+  for (const WorkloadInfo &Info : getWorkloadSuite())
+    if (!Info.IsFp)
+      Names.push_back(Info.Name);
+  return Names;
+}
+
+std::vector<std::string> cfed::getFpWorkloadNames() {
+  std::vector<std::string> Names;
+  for (const WorkloadInfo &Info : getWorkloadSuite())
+    if (Info.IsFp)
+      Names.push_back(Info.Name);
+  return Names;
+}
+
+std::string cfed::getWorkloadSource(const std::string &Name) {
+  for (const WorkloadEntry &Entry : Suite)
+    if (Entry.Info.Name == Name)
+      return Entry.Generate();
+  reportFatalError(formatString("unknown workload '%s'", Name.c_str()));
+}
+
+AsmProgram cfed::assembleWorkload(const std::string &Name) {
+  AsmResult Result = assembleProgram(getWorkloadSource(Name));
+  if (!Result.succeeded())
+    reportFatalError(formatString("workload '%s' failed to assemble:\n%s",
+                                  Name.c_str(),
+                                  Result.errorText().c_str()));
+  return std::move(Result.Program);
+}

@@ -1,0 +1,64 @@
+//===- Workloads.h - SPEC2000 stand-in workload suite -----------*- C++ -*-===//
+//
+// Part of the CFED project (CGO'06 control-flow error detection repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 26 synthetic workloads named after the SPEC2000 programs the
+/// paper evaluates on. Each is generated from one of twelve kernel
+/// families chosen so that the properties the paper's figures depend on
+/// hold:
+///
+///  * integer workloads (gzip...twolf) are branchy with small basic
+///    blocks — compression, graph relaxation, parsing state machines,
+///    game-tree search, sorting/searching, hash-table churn and string
+///    processing;
+///  * floating-point workloads (wupwise...apsi) have large unrolled
+///    blocks and expensive FP instructions — stencils, dense linear
+///    algebra, N-body forces, butterfly passes, polynomial evaluation
+///    and wave propagation.
+///
+/// These are substitutes, not ports: the figures depend on branch
+/// frequency, taken ratios, block-size distribution and instruction mix,
+/// all of which the generators control (see DESIGN.md, Substitutions).
+/// Every workload is deterministic, runs clean (no traps), and prints
+/// checksums through Out — the silent-data-corruption oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFED_WORKLOADS_WORKLOADS_H
+#define CFED_WORKLOADS_WORKLOADS_H
+
+#include "asm/Assembler.h"
+
+#include <string>
+#include <vector>
+
+namespace cfed {
+
+/// One workload of the suite.
+struct WorkloadInfo {
+  std::string Name; ///< SPEC-style name, e.g. "164.gzip".
+  bool IsFp;        ///< Belongs to the floating-point half of the suite.
+};
+
+/// All 26 workloads: the 12 integer ones first, then the 14 fp ones, in
+/// the order the paper's figures list them.
+const std::vector<WorkloadInfo> &getWorkloadSuite();
+
+/// The integer / floating-point halves.
+std::vector<std::string> getIntWorkloadNames();
+std::vector<std::string> getFpWorkloadNames();
+
+/// Returns the VISA assembly source of workload \p Name; fatal error on
+/// an unknown name.
+std::string getWorkloadSource(const std::string &Name);
+
+/// Assembles \p Name; fatal error if the generated source fails to
+/// assemble (that would be a bug in the generator).
+AsmProgram assembleWorkload(const std::string &Name);
+
+} // namespace cfed
+
+#endif // CFED_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,206 @@
+//===- AsmTest.cpp - Tests for the assembler ----------------------------------===//
+
+#include "asm/Assembler.h"
+#include "isa/Disasm.h"
+#include "vm/Layout.h"
+
+#include <gtest/gtest.h>
+
+using namespace cfed;
+
+namespace {
+
+AsmProgram assembleOk(const std::string &Source) {
+  AsmResult Result = assembleProgram(Source);
+  EXPECT_TRUE(Result.succeeded()) << Result.errorText();
+  return Result.Program;
+}
+
+Instruction decodeAt(const AsmProgram &Program, size_t Index) {
+  auto I = Instruction::decode(&Program.Code[Index * InsnSize]);
+  EXPECT_TRUE(I.has_value());
+  return *I;
+}
+
+} // namespace
+
+TEST(AsmTest, EmptyProgram) {
+  AsmProgram P = assembleOk("");
+  EXPECT_TRUE(P.Code.empty());
+  EXPECT_EQ(P.Entry, CodeBase);
+}
+
+TEST(AsmTest, SimpleInstructions) {
+  AsmProgram P = assembleOk("movi r1, 42\nadd r2, r1, r1\nhalt\n");
+  ASSERT_EQ(P.Code.size(), 3 * InsnSize);
+  EXPECT_EQ(decodeAt(P, 0), insn::ri(Opcode::MovI, 1, 42));
+  EXPECT_EQ(decodeAt(P, 1), insn::rrr(Opcode::Add, 2, 1, 1));
+  EXPECT_EQ(decodeAt(P, 2), insn::none(Opcode::Halt));
+}
+
+TEST(AsmTest, CommentsAndBlankLines) {
+  AsmProgram P = assembleOk("; header\n\n  # note\nnop ; trailing\n");
+  EXPECT_EQ(P.Code.size(), InsnSize);
+}
+
+TEST(AsmTest, LabelBranchResolution) {
+  AsmProgram P = assembleOk("start:\n  jmp start\n");
+  Instruction J = decodeAt(P, 0);
+  EXPECT_EQ(J.Op, Opcode::Jmp);
+  // Branch back to itself: offset = -(InsnSize).
+  EXPECT_EQ(J.Imm, -static_cast<int32_t>(InsnSize));
+}
+
+TEST(AsmTest, ForwardLabel) {
+  AsmProgram P = assembleOk("  jcc eq, done\n  nop\ndone:\n  halt\n");
+  Instruction J = decodeAt(P, 0);
+  EXPECT_EQ(J.branchTarget(CodeBase), CodeBase + 2 * InsnSize);
+}
+
+TEST(AsmTest, EntryDirective) {
+  AsmProgram P = assembleOk("pad: nop\nmain: halt\n.entry main\n");
+  EXPECT_EQ(P.Entry, CodeBase + InsnSize);
+}
+
+TEST(AsmTest, DataWordAndLabels) {
+  AsmProgram P = assembleOk(".data\nvals: .word 1, -2, 0x10\n.code\nhalt\n");
+  ASSERT_EQ(P.Data.size(), 24u);
+  EXPECT_EQ(P.Symbols.at("vals"), DataBase);
+  EXPECT_EQ(P.Data[0], 1);
+  EXPECT_EQ(P.Data[8], 0xfe); // -2 little-endian.
+  EXPECT_EQ(P.Data[16], 0x10);
+}
+
+TEST(AsmTest, DataWordHoldsCodeLabel) {
+  AsmProgram P = assembleOk("f: halt\n.data\ntable: .word f\n");
+  uint64_t Value = 0;
+  for (unsigned I = 0; I < 8; ++I)
+    Value |= static_cast<uint64_t>(P.Data[I]) << (8 * I);
+  EXPECT_EQ(Value, CodeBase);
+}
+
+TEST(AsmTest, AsciiAndSpace) {
+  AsmProgram P = assembleOk(".data\ns: .ascii \"hi\\n\"\nbuf: .space 4\n");
+  ASSERT_EQ(P.Data.size(), 7u);
+  EXPECT_EQ(P.Data[0], 'h');
+  EXPECT_EQ(P.Data[2], '\n');
+  EXPECT_EQ(P.Symbols.at("buf"), DataBase + 3);
+}
+
+TEST(AsmTest, AlignDirective) {
+  AsmProgram P = assembleOk(".data\n.byte 1\n.align 8\nw: .word 5\n");
+  EXPECT_EQ(P.Symbols.at("w") % 8, 0u);
+  EXPECT_EQ(P.Symbols.at("w"), DataBase + 8);
+}
+
+TEST(AsmTest, MemoryOperands) {
+  AsmProgram P = assembleOk("ld r1, [r2+16]\nst [r3-8], r4\nfld f1, [r5]\n");
+  Instruction L = decodeAt(P, 0);
+  EXPECT_EQ(L.Op, Opcode::Ld);
+  EXPECT_EQ(L.A, 1);
+  EXPECT_EQ(L.B, 2);
+  EXPECT_EQ(L.Imm, 16);
+  Instruction S = decodeAt(P, 1);
+  EXPECT_EQ(S.A, 3);
+  EXPECT_EQ(S.B, 4);
+  EXPECT_EQ(S.Imm, -8);
+  Instruction F = decodeAt(P, 2);
+  EXPECT_EQ(F.Imm, 0);
+}
+
+TEST(AsmTest, MemoryOperandWithLabel) {
+  AsmProgram P = assembleOk(".data\nv: .word 9\n.code\nld r1, [r0+v]\n");
+  Instruction L = decodeAt(P, 0);
+  EXPECT_EQ(static_cast<uint64_t>(L.Imm), DataBase);
+}
+
+TEST(AsmTest, CondCodesAndFpRegs) {
+  AsmProgram P = assembleOk(
+      "cmp r1, r2\njcc le, 0\ncmov r1, r2, gt\nfadd f1, f2, f3\n");
+  EXPECT_EQ(decodeAt(P, 1).cond(), CondCode::LE);
+  EXPECT_EQ(decodeAt(P, 2).cond(), CondCode::GT);
+  Instruction F = decodeAt(P, 3);
+  EXPECT_EQ(F.A, 1);
+  EXPECT_EQ(F.B, 2);
+  EXPECT_EQ(F.C, 3);
+}
+
+TEST(AsmTest, CharLiterals) {
+  AsmProgram P = assembleOk("movi r1, 'A'\nmovi r2, '\\n'\n");
+  EXPECT_EQ(decodeAt(P, 0).Imm, 'A');
+  EXPECT_EQ(decodeAt(P, 1).Imm, '\n');
+}
+
+TEST(AsmTest, CodeLabelSideTable) {
+  AsmProgram P = assembleOk("a: nop\nb: nop\nc: halt\n");
+  ASSERT_EQ(P.CodeLabels.size(), 3u);
+  EXPECT_EQ(P.CodeLabels[0], CodeBase);
+  EXPECT_EQ(P.CodeLabels[2], CodeBase + 2 * InsnSize);
+}
+
+TEST(AsmTest, ErrorUnknownMnemonic) {
+  AsmResult R = assembleProgram("frobnicate r1\n");
+  ASSERT_FALSE(R.succeeded());
+  EXPECT_NE(R.errorText().find("unknown mnemonic"), std::string::npos);
+  EXPECT_EQ(R.Errors[0].Line, 1u);
+}
+
+TEST(AsmTest, ErrorUndefinedLabel) {
+  AsmResult R = assembleProgram("jmp nowhere\n");
+  ASSERT_FALSE(R.succeeded());
+  EXPECT_NE(R.errorText().find("undefined label"), std::string::npos);
+}
+
+TEST(AsmTest, ErrorDuplicateLabel) {
+  AsmResult R = assembleProgram("x: nop\nx: nop\n");
+  ASSERT_FALSE(R.succeeded());
+  EXPECT_NE(R.errorText().find("duplicate label"), std::string::npos);
+}
+
+TEST(AsmTest, ErrorOperandCount) {
+  AsmResult R = assembleProgram("add r1, r2\n");
+  ASSERT_FALSE(R.succeeded());
+  EXPECT_NE(R.errorText().find("expects 3 operand"), std::string::npos);
+}
+
+TEST(AsmTest, ErrorReservedRegister) {
+  AsmResult R = assembleProgram("movi pcp, 1\n");
+  ASSERT_FALSE(R.succeeded());
+  EXPECT_NE(R.errorText().find("reserved"), std::string::npos);
+
+  AsmOptions Options;
+  Options.AllowReservedRegs = true;
+  EXPECT_TRUE(assembleProgram("movi pcp, 1\n", Options).succeeded());
+}
+
+TEST(AsmTest, ErrorBadConditionCode) {
+  AsmResult R = assembleProgram("jcc xx, 0\n");
+  ASSERT_FALSE(R.succeeded());
+}
+
+TEST(AsmTest, ErrorInstructionInData) {
+  AsmResult R = assembleProgram(".data\nnop\n");
+  ASSERT_FALSE(R.succeeded());
+}
+
+TEST(AsmTest, ErrorUndefinedEntry) {
+  AsmResult R = assembleProgram(".entry missing\nhalt\n");
+  ASSERT_FALSE(R.succeeded());
+}
+
+TEST(AsmTest, MultipleLabelsSameLine) {
+  AsmProgram P = assembleOk("a: b: halt\n");
+  EXPECT_EQ(P.Symbols.at("a"), P.Symbols.at("b"));
+}
+
+TEST(AsmTest, DisassembleRoundTrip) {
+  // Assemble, disassemble, re-assemble: encodings must match.
+  std::string Source = "movi r1, 5\nmovi r2, 3\nadd r3, r1, r2\n"
+                       "cmp r3, r1\njcc gt, 8\nsub r3, r3, r2\nhalt\n";
+  AsmProgram P1 = assembleOk(Source);
+  std::string Text;
+  for (size_t I = 0; I * InsnSize < P1.Code.size(); ++I)
+    Text += disassemble(decodeAt(P1, I)) + "\n";
+  AsmProgram P2 = assembleOk(Text);
+  EXPECT_EQ(P1.Code, P2.Code);
+}

@@ -1,0 +1,161 @@
+//===- CfgTest.cpp - Tests for CFG construction -------------------------------===//
+
+#include "asm/Assembler.h"
+#include "cfg/Cfg.h"
+#include "vm/Layout.h"
+
+#include <gtest/gtest.h>
+
+using namespace cfed;
+
+namespace {
+
+Cfg buildCfg(const std::string &Source) {
+  AsmResult Result = assembleProgram(Source);
+  EXPECT_TRUE(Result.succeeded()) << Result.errorText();
+  const AsmProgram &P = Result.Program;
+  return Cfg::build(P.Code.data(), P.Code.size(), CodeBase, P.Entry,
+                    P.CodeLabels);
+}
+
+} // namespace
+
+TEST(CfgTest, SingleBlock) {
+  Cfg G = buildCfg("movi r1, 1\nmovi r2, 2\nhalt\n");
+  ASSERT_EQ(G.blocks().size(), 1u);
+  const BasicBlock &B = G.blocks().begin()->second;
+  EXPECT_EQ(B.Addr, CodeBase);
+  EXPECT_EQ(B.Insns.size(), 3u);
+  EXPECT_EQ(B.TermKind, OpKind::Halt);
+  EXPECT_FALSE(B.HasTakenTarget);
+  EXPECT_FALSE(B.HasFallThrough);
+}
+
+TEST(CfgTest, DiamondShape) {
+  Cfg G = buildCfg("cmp r1, r2\njcc lt, left\n"
+                   "right:\nmovi r3, 1\njmp join\n"
+                   "left:\nmovi r3, 2\n"
+                   "join:\nhalt\n");
+  // Blocks: entry(cond), right, left, join.
+  ASSERT_EQ(G.blocks().size(), 4u);
+  const BasicBlock *EntryBlock = G.blockAt(CodeBase);
+  ASSERT_NE(EntryBlock, nullptr);
+  EXPECT_TRUE(EntryBlock->isConditional());
+  EXPECT_TRUE(EntryBlock->HasTakenTarget);
+  EXPECT_TRUE(EntryBlock->HasFallThrough);
+  const BasicBlock *Left = G.blockAt(EntryBlock->TakenTarget);
+  ASSERT_NE(Left, nullptr);
+  // Left block falls into join.
+  EXPECT_EQ(Left->TermKind, OpKind::None);
+  EXPECT_TRUE(Left->HasFallThrough);
+}
+
+TEST(CfgTest, LoopBackEdge) {
+  Cfg G = buildCfg("movi r1, 5\nloop:\naddi r1, r1, -1\njcc ne, loop\n"
+                   "halt\n");
+  const BasicBlock *LoopBlock = G.blockAt(CodeBase + InsnSize);
+  ASSERT_NE(LoopBlock, nullptr);
+  EXPECT_TRUE(LoopBlock->hasBackEdge());
+  const BasicBlock *EntryBlock = G.blockAt(CodeBase);
+  ASSERT_NE(EntryBlock, nullptr);
+  EXPECT_FALSE(EntryBlock->hasBackEdge());
+}
+
+TEST(CfgTest, BlockContaining) {
+  Cfg G = buildCfg("movi r1, 1\nmovi r2, 2\nmovi r3, 3\nhalt\n");
+  const BasicBlock *B = G.blockContaining(CodeBase + 2 * InsnSize);
+  ASSERT_NE(B, nullptr);
+  EXPECT_EQ(B->Addr, CodeBase);
+  EXPECT_EQ(G.blockContaining(CodeBase + 4 * InsnSize), nullptr);
+}
+
+TEST(CfgTest, LabelsCreateLeaders) {
+  // A label in the middle of straight-line code splits the block because
+  // it may be an indirect-branch target.
+  Cfg G = buildCfg("movi r1, 1\nmid:\nmovi r2, 2\nhalt\n");
+  EXPECT_EQ(G.blocks().size(), 2u);
+  const BasicBlock *First = G.blockAt(CodeBase);
+  ASSERT_NE(First, nullptr);
+  EXPECT_EQ(First->TermKind, OpKind::None);
+  EXPECT_TRUE(First->HasFallThrough);
+  EXPECT_EQ(First->FallThrough, CodeBase + InsnSize);
+}
+
+TEST(CfgTest, CallBlockHasNoFallThroughEdge) {
+  Cfg G = buildCfg(".entry main\nf:\nret\nmain:\ncall f\nhalt\n");
+  const BasicBlock *CallBlock = G.blockAt(CodeBase + InsnSize);
+  ASSERT_NE(CallBlock, nullptr);
+  EXPECT_EQ(CallBlock->TermKind, OpKind::Call);
+  EXPECT_TRUE(CallBlock->HasTakenTarget);
+  EXPECT_EQ(CallBlock->TakenTarget, CodeBase);
+  EXPECT_FALSE(CallBlock->HasFallThrough);
+}
+
+TEST(CfgTest, RetSuccessors) {
+  Cfg G = buildCfg(".entry main\n"
+                   "f:\nmovi r1, 1\nret\n"
+                   "main:\ncall f\nmovi r2, 2\ncall f\nhalt\n");
+  ASSERT_TRUE(G.computeRetSuccessors());
+  const BasicBlock *RetBlock = G.blockAt(CodeBase);
+  ASSERT_NE(RetBlock, nullptr);
+  ASSERT_EQ(RetBlock->RetSuccessors.size(), 2u);
+  // Return sites: after each call.
+  const BasicBlock *Main = G.blockAt(G.entry());
+  ASSERT_NE(Main, nullptr);
+  EXPECT_EQ(RetBlock->RetSuccessors[0], Main->endAddr());
+}
+
+TEST(CfgTest, RetSuccessorsFailsOnIndirectCall) {
+  Cfg G = buildCfg(".entry main\nf:\nret\nmain:\nmovi r1, f\ncallr r1\n"
+                   "halt\n");
+  EXPECT_FALSE(G.computeRetSuccessors());
+}
+
+TEST(CfgTest, Predecessors) {
+  Cfg G = buildCfg("a:\ncmp r1, r2\njcc eq, c\n"
+                   "b:\njmp c\n"
+                   "c:\nhalt\n");
+  const BasicBlock *C = G.blockAt(CodeBase + 3 * InsnSize);
+  ASSERT_NE(C, nullptr);
+  std::vector<uint64_t> Preds = G.predecessorsOf(C->Addr);
+  EXPECT_EQ(Preds.size(), 2u);
+}
+
+TEST(CfgTest, DotOutput) {
+  Cfg G = buildCfg("loop:\naddi r1, r1, -1\njcc ne, loop\nhalt\n");
+  std::string Dot = G.toDot();
+  EXPECT_NE(Dot.find("digraph"), std::string::npos);
+  EXPECT_NE(Dot.find("back-edge"), std::string::npos);
+}
+
+TEST(CfgTest, FlagDisciplineCleanProgram) {
+  Cfg G = buildCfg("cmp r1, r2\njcc lt, t\nmovi r3, 0\nhalt\n"
+                   "t:\ncmpi r4, 5\ncmov r5, r6, eq\nhalt\n");
+  EXPECT_TRUE(G.findFlagDisciplineViolations().empty());
+}
+
+TEST(CfgTest, FlagDisciplineViolationDetected) {
+  // The jcc in block t consumes flags set in the previous block: a
+  // cross-block flag dependence the discipline forbids.
+  Cfg G = buildCfg("cmp r1, r2\njmp t\nt:\njcc lt, u\nu:\nhalt\n");
+  std::vector<uint64_t> Violations = G.findFlagDisciplineViolations();
+  ASSERT_EQ(Violations.size(), 1u);
+  EXPECT_EQ(Violations[0], CodeBase + 2 * InsnSize);
+}
+
+TEST(CfgTest, FlagDisciplineCmovWithoutCompare) {
+  Cfg G = buildCfg("movi r1, 1\ncmov r2, r1, eq\nhalt\n");
+  EXPECT_EQ(G.findFlagDisciplineViolations().size(), 1u);
+}
+
+TEST(CfgTest, FlagDisciplineIgnoresRegisterBranches) {
+  // Jzr/Jnzr read a register, not flags: no compare needed.
+  Cfg G = buildCfg("movi r1, 0\njzr r1, t\nt:\nhalt\n");
+  EXPECT_TRUE(G.findFlagDisciplineViolations().empty());
+}
+
+TEST(CfgTest, CodeBounds) {
+  Cfg G = buildCfg("nop\nhalt\n");
+  EXPECT_EQ(G.codeBase(), CodeBase);
+  EXPECT_EQ(G.codeEnd(), CodeBase + 2 * InsnSize);
+}

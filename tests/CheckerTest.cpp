@@ -1,0 +1,496 @@
+//===- CheckerTest.cpp - Unit tests for the instrumentation emitters -----------===//
+//
+// Executes the checker-emitted sequences directly on a bare machine to
+// validate the signature algebra, the flag discipline, and the trap
+// behavior of each technique, independent of the DBT.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfc/Checker.h"
+#include "cfg/Cfg.h"
+#include "asm/Assembler.h"
+#include "vm/Layout.h"
+#include "vm/Loader.h"
+
+#include <gtest/gtest.h>
+
+using namespace cfed;
+
+namespace {
+
+/// Executes \p Code followed by Halt on a bare machine with the given
+/// initial state; returns the final state and stop info.
+struct SeqRun {
+  CpuState State;
+  StopInfo Stop;
+};
+
+SeqRun runSequence(const std::vector<Instruction> &Code,
+                   const CpuState &Initial) {
+  Memory Mem;
+  std::vector<Instruction> Full = Code;
+  Full.push_back(insn::none(Opcode::Halt));
+  Mem.mapRegion(CodeBase, Full.size() * InsnSize, PermRX);
+  std::vector<uint8_t> Bytes(Full.size() * InsnSize);
+  for (size_t I = 0; I < Full.size(); ++I)
+    Full[I].encode(&Bytes[I * InsnSize]);
+  Mem.writeRaw(CodeBase, Bytes.data(), Bytes.size());
+  Interpreter Interp(Mem);
+  Interp.state() = Initial;
+  Interp.state().PC = CodeBase;
+  SeqRun Run;
+  Run.Stop = Interp.run(1000);
+  Run.State = Interp.state();
+  return Run;
+}
+
+bool sequenceIsFlagNeutral(const std::vector<Instruction> &Code) {
+  for (const Instruction &I : Code)
+    if (opcodeWritesFlags(I.Op))
+      return false;
+  return true;
+}
+
+constexpr uint64_t L1 = 0x10000, L2 = 0x10040, L3 = 0x10080;
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Policy predicate.
+//===----------------------------------------------------------------------===//
+
+TEST(PolicyTest, ChecksBlockMatrix) {
+  // Halt blocks are checked under every policy (the final validation).
+  for (CheckPolicy P : {CheckPolicy::AllBB, CheckPolicy::RetBE,
+                        CheckPolicy::Ret, CheckPolicy::End,
+                        CheckPolicy::StoreBB})
+    EXPECT_TRUE(policyChecksBlock(P, OpKind::Halt, false, false));
+
+  EXPECT_TRUE(
+      policyChecksBlock(CheckPolicy::AllBB, OpKind::Jump, false, false));
+  EXPECT_TRUE(
+      policyChecksBlock(CheckPolicy::RetBE, OpKind::Ret, false, false));
+  EXPECT_TRUE(
+      policyChecksBlock(CheckPolicy::RetBE, OpKind::CondJump, true, false));
+  EXPECT_FALSE(policyChecksBlock(CheckPolicy::RetBE, OpKind::CondJump,
+                                 false, false));
+  EXPECT_TRUE(
+      policyChecksBlock(CheckPolicy::Ret, OpKind::Ret, false, false));
+  EXPECT_FALSE(
+      policyChecksBlock(CheckPolicy::Ret, OpKind::CondJump, true, false));
+  EXPECT_FALSE(
+      policyChecksBlock(CheckPolicy::End, OpKind::Ret, false, false));
+  EXPECT_FALSE(
+      policyChecksBlock(CheckPolicy::End, OpKind::Jump, true, true));
+  EXPECT_TRUE(
+      policyChecksBlock(CheckPolicy::StoreBB, OpKind::Jump, false, true));
+  EXPECT_FALSE(
+      policyChecksBlock(CheckPolicy::StoreBB, OpKind::Ret, true, false));
+}
+
+TEST(PolicyTest, StoreClassification) {
+  EXPECT_TRUE(opcodeStoresMemory(Opcode::St));
+  EXPECT_TRUE(opcodeStoresMemory(Opcode::StB));
+  EXPECT_TRUE(opcodeStoresMemory(Opcode::FSt));
+  EXPECT_TRUE(opcodeStoresMemory(Opcode::Push));
+  EXPECT_TRUE(opcodeStoresMemory(Opcode::Call));
+  EXPECT_FALSE(opcodeStoresMemory(Opcode::Ld));
+  EXPECT_FALSE(opcodeStoresMemory(Opcode::Pop));
+  EXPECT_FALSE(opcodeStoresMemory(Opcode::Add));
+  EXPECT_FALSE(opcodeStoresMemory(Opcode::Out));
+}
+
+//===----------------------------------------------------------------------===//
+// EdgCF algebra, executed.
+//===----------------------------------------------------------------------===//
+
+class EdgCfEmissionTest : public ::testing::TestWithParam<UpdateFlavor> {
+protected:
+  std::unique_ptr<ControlFlowChecker> Checker =
+      createChecker(Technique::EdgCf, GetParam());
+};
+
+TEST_P(EdgCfEmissionTest, PrologueAcceptsCorrectSignature) {
+  std::vector<Instruction> Code;
+  Checker->emitPrologue(Code, L1, /*DoCheck=*/true);
+  CpuState Initial;
+  Initial.Regs[RegPCP] = L1;
+  SeqRun Run = runSequence(Code, Initial);
+  EXPECT_EQ(Run.Stop.Kind, StopKind::Halted);
+  EXPECT_EQ(Run.State.Regs[RegPCP], 0u); // In-body value.
+}
+
+TEST_P(EdgCfEmissionTest, PrologueTrapsOnWrongSignature) {
+  std::vector<Instruction> Code;
+  Checker->emitPrologue(Code, L1, /*DoCheck=*/true);
+  CpuState Initial;
+  Initial.Regs[RegPCP] = L2; // Arrived from a wrong edge.
+  SeqRun Run = runSequence(Code, Initial);
+  ASSERT_EQ(Run.Stop.Kind, StopKind::Trapped);
+  EXPECT_EQ(Run.Stop.Trap, TrapKind::BreakTrap);
+  EXPECT_EQ(Run.Stop.BreakCode, BrkControlFlowError);
+}
+
+TEST_P(EdgCfEmissionTest, DirectUpdateSetsEdgeSignature) {
+  std::vector<Instruction> Code;
+  Checker->emitDirectUpdate(Code, L1, L2);
+  CpuState Initial; // In-body: PC' == 0.
+  SeqRun Run = runSequence(Code, Initial);
+  EXPECT_EQ(Run.State.Regs[RegPCP], L2);
+  EXPECT_TRUE(sequenceIsFlagNeutral(Code));
+}
+
+TEST_P(EdgCfEmissionTest, CondUpdatePicksTakenSignature) {
+  std::vector<Instruction> Code;
+  Checker->emitCondUpdate(Code, L1, CondCode::LT, L2, L3);
+  EXPECT_TRUE(sequenceIsFlagNeutral(Code));
+  CpuState Initial;
+  Initial.F.SF = true; // LT holds: branch will be taken.
+  SeqRun Run = runSequence(Code, Initial);
+  EXPECT_EQ(Run.State.Regs[RegPCP], L2);
+}
+
+TEST_P(EdgCfEmissionTest, CondUpdatePicksFallSignature) {
+  std::vector<Instruction> Code;
+  Checker->emitCondUpdate(Code, L1, CondCode::LT, L2, L3);
+  CpuState Initial; // LT does not hold.
+  SeqRun Run = runSequence(Code, Initial);
+  EXPECT_EQ(Run.State.Regs[RegPCP], L3);
+}
+
+TEST_P(EdgCfEmissionTest, RegCondUpdateFollowsRegister) {
+  std::vector<Instruction> Code;
+  Checker->emitRegCondUpdate(Code, L1, Opcode::Jzr, 5, L2, L3);
+  CpuState Taken;
+  Taken.Regs[5] = 0; // Jzr taken.
+  EXPECT_EQ(runSequence(Code, Taken).State.Regs[RegPCP], L2);
+  CpuState Fall;
+  Fall.Regs[5] = 7;
+  EXPECT_EQ(runSequence(Code, Fall).State.Regs[RegPCP], L3);
+}
+
+TEST_P(EdgCfEmissionTest, IndirectUpdateUsesDynamicTarget) {
+  std::vector<Instruction> Code;
+  Checker->emitIndirectUpdate(Code, L1, 7);
+  CpuState Initial;
+  Initial.Regs[7] = L3;
+  SeqRun Run = runSequence(Code, Initial);
+  EXPECT_EQ(Run.State.Regs[RegPCP], L3);
+  EXPECT_EQ(Run.State.Regs[7], L3); // Target register preserved.
+}
+
+TEST_P(EdgCfEmissionTest, ErrorStickyThroughUpdates) {
+  // Once PC' is wrong it stays wrong across head + exit updates
+  // (Section 6: check-at-the-end is sound).
+  std::vector<Instruction> Code;
+  Checker->emitPrologue(Code, L1, /*DoCheck=*/false);
+  Checker->emitDirectUpdate(Code, L1, L2);
+  CpuState Initial;
+  Initial.Regs[RegPCP] = L1 + 8; // Corrupted by one earlier error.
+  SeqRun Run = runSequence(Code, Initial);
+  EXPECT_EQ(Run.State.Regs[RegPCP], L2 + 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Flavors, EdgCfEmissionTest,
+                         ::testing::Values(UpdateFlavor::Jcc,
+                                           UpdateFlavor::CMovcc),
+                         [](const auto &Info) {
+                           return std::string(
+                               getUpdateFlavorName(Info.param));
+                         });
+
+//===----------------------------------------------------------------------===//
+// RCF regions, executed.
+//===----------------------------------------------------------------------===//
+
+TEST(RcfEmissionTest, PrologueKeepsEdgeValueDuringCheck) {
+  // The check compares through AUX, so PC' still holds the block-unique
+  // edge value while the inserted check branch executes — the property
+  // that protects the check branch (Section 3.2).
+  auto Checker = createChecker(Technique::Rcf, UpdateFlavor::Jcc);
+  std::vector<Instruction> Code;
+  Checker->emitPrologue(Code, L1, /*DoCheck=*/true);
+  // Find the check branch (the jzr): PC' must not have been modified
+  // before it.
+  bool SawPcpWriteBeforeBranch = false;
+  for (const Instruction &I : Code) {
+    if (getOpcodeKind(I.Op) == OpKind::RegZeroJump)
+      break;
+    if (I.Op == Opcode::Lea && I.A == RegPCP)
+      SawPcpWriteBeforeBranch = true;
+  }
+  EXPECT_FALSE(SawPcpWriteBeforeBranch);
+
+  CpuState Initial;
+  Initial.Regs[RegPCP] = L1;
+  SeqRun Run = runSequence(Code, Initial);
+  EXPECT_EQ(Run.Stop.Kind, StopKind::Halted);
+  EXPECT_EQ(Run.State.Regs[RegPCP], L1 + 1); // Body region signature.
+}
+
+TEST(RcfEmissionTest, BodySignaturesAreBlockUnique) {
+  auto Checker = createChecker(Technique::Rcf, UpdateFlavor::Jcc);
+  // Round-trip: enter L1, leave to L2, enter L2. The in-body values
+  // must differ between the blocks.
+  std::vector<Instruction> Code;
+  Checker->emitPrologue(Code, L1, true);
+  CpuState Initial;
+  Initial.Regs[RegPCP] = L1;
+  uint64_t Body1 = runSequence(Code, Initial).State.Regs[RegPCP];
+
+  Code.clear();
+  Checker->emitPrologue(Code, L2, true);
+  Initial.Regs[RegPCP] = L2;
+  uint64_t Body2 = runSequence(Code, Initial).State.Regs[RegPCP];
+  EXPECT_NE(Body1, Body2);
+  EXPECT_NE(Body1, 0u);
+}
+
+TEST(RcfEmissionTest, FullEdgeRoundTrip) {
+  auto Checker = createChecker(Technique::Rcf, UpdateFlavor::CMovcc);
+  std::vector<Instruction> Code;
+  Checker->emitPrologue(Code, L1, true);
+  Checker->emitCondUpdate(Code, L1, CondCode::EQ, L2, L3);
+  CpuState Initial;
+  Initial.Regs[RegPCP] = L1;
+  Initial.F.ZF = true; // Taken.
+  SeqRun Run = runSequence(Code, Initial);
+  EXPECT_EQ(Run.Stop.Kind, StopKind::Halted);
+  EXPECT_EQ(Run.State.Regs[RegPCP], L2);
+}
+
+//===----------------------------------------------------------------------===//
+// ECF run-time adjusting signature, executed.
+//===----------------------------------------------------------------------===//
+
+TEST(EcfEmissionTest, HeadAppliesRtsAndChecks) {
+  auto Checker = createChecker(Technique::Ecf, UpdateFlavor::Jcc);
+  std::vector<Instruction> Code;
+  Checker->emitPrologue(Code, L2, true);
+  CpuState Initial;
+  Initial.Regs[RegPCP] = L1;          // Previous block's signature.
+  Initial.Regs[RegRTS] = L2 - L1;     // Edge delta set by the exit.
+  SeqRun Run = runSequence(Code, Initial);
+  EXPECT_EQ(Run.Stop.Kind, StopKind::Halted);
+  EXPECT_EQ(Run.State.Regs[RegPCP], L2);
+}
+
+TEST(EcfEmissionTest, HeadTrapsOnWrongDelta) {
+  auto Checker = createChecker(Technique::Ecf, UpdateFlavor::Jcc);
+  std::vector<Instruction> Code;
+  Checker->emitPrologue(Code, L2, true);
+  CpuState Initial;
+  Initial.Regs[RegPCP] = L1;
+  Initial.Regs[RegRTS] = L3 - L1; // Delta for a different block.
+  SeqRun Run = runSequence(Code, Initial);
+  ASSERT_EQ(Run.Stop.Kind, StopKind::Trapped);
+  EXPECT_EQ(Run.Stop.BreakCode, BrkControlFlowError);
+}
+
+TEST(EcfEmissionTest, CondUpdateSetsRtsOnly) {
+  for (UpdateFlavor Flavor : {UpdateFlavor::Jcc, UpdateFlavor::CMovcc}) {
+    auto Checker = createChecker(Technique::Ecf, Flavor);
+    std::vector<Instruction> Code;
+    Checker->emitCondUpdate(Code, L1, CondCode::GT, L2, L3);
+    EXPECT_TRUE(sequenceIsFlagNeutral(Code));
+    CpuState Initial;
+    Initial.Regs[RegPCP] = L1;
+    Initial.F.ZF = false;
+    Initial.F.SF = false; // GT holds: taken.
+    SeqRun Run = runSequence(Code, Initial);
+    EXPECT_EQ(Run.State.Regs[RegRTS], L2 - L1);
+    EXPECT_EQ(Run.State.Regs[RegPCP], L1); // PC' untouched at exits.
+  }
+}
+
+TEST(EcfEmissionTest, IndirectUpdateComputesDelta) {
+  auto Checker = createChecker(Technique::Ecf, UpdateFlavor::Jcc);
+  std::vector<Instruction> Code;
+  Checker->emitIndirectUpdate(Code, L1, 9);
+  CpuState Initial;
+  Initial.Regs[9] = L3;
+  SeqRun Run = runSequence(Code, Initial);
+  EXPECT_EQ(Run.State.Regs[RegRTS], L3 - L1);
+}
+
+//===----------------------------------------------------------------------===//
+// CFCSS preparation and emission.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Cfg buildCfgFrom(const std::string &Source) {
+  AsmResult Result = assembleProgram(Source);
+  EXPECT_TRUE(Result.succeeded()) << Result.errorText();
+  const AsmProgram &P = Result.Program;
+  return Cfg::build(P.Code.data(), P.Code.size(), CodeBase, P.Entry,
+                    P.CodeLabels);
+}
+
+} // namespace
+
+TEST(CfcssEmissionTest, RequiresWholeProgramCfg) {
+  auto Checker = createChecker(Technique::Cfcss, UpdateFlavor::Jcc);
+  EXPECT_TRUE(Checker->requiresWholeProgramCfg());
+  auto Edg = createChecker(Technique::EdgCf, UpdateFlavor::Jcc);
+  EXPECT_FALSE(Edg->requiresWholeProgramCfg());
+}
+
+TEST(CfcssEmissionTest, PrepareRejectsIndirectControlFlow) {
+  Cfg G = buildCfgFrom(".entry main\nf: ret\nmain:\nmovi r1, f\n"
+                       "callr r1\nhalt\n");
+  auto Checker = createChecker(Technique::Cfcss, UpdateFlavor::Jcc);
+  EXPECT_FALSE(Checker->prepare(G));
+}
+
+TEST(CfcssEmissionTest, CorrectPathExecutes) {
+  // Straight-line two-block chain: prologue(L2) after exit-of-L1 must
+  // pass when G carries L1's signature.
+  Cfg G = buildCfgFrom("a:\nmovi r1, 1\njmp b\nb:\nhalt\n");
+  auto Checker = createChecker(Technique::Cfcss, UpdateFlavor::Jcc);
+  ASSERT_TRUE(Checker->prepare(G));
+  uint64_t A = CodeBase, B = CodeBase + 2 * InsnSize;
+
+  CpuState State;
+  Checker->initState(State, A);
+  std::vector<Instruction> Code;
+  Checker->emitPrologue(Code, A, true);
+  Checker->emitDirectUpdate(Code, A, B);
+  Checker->emitPrologue(Code, B, true);
+  SeqRun Run = runSequence(Code, State);
+  EXPECT_EQ(Run.Stop.Kind, StopKind::Halted);
+}
+
+TEST(CfcssEmissionTest, WrongPathTraps) {
+  // Jumping from block a directly into c (not a successor) must fail
+  // c's check.
+  Cfg G = buildCfgFrom("a:\nmovi r1, 1\njmp b\nb:\nmovi r2, 2\njmp c\n"
+                       "c:\nhalt\n");
+  auto Checker = createChecker(Technique::Cfcss, UpdateFlavor::Jcc);
+  ASSERT_TRUE(Checker->prepare(G));
+  uint64_t A = CodeBase, C = CodeBase + 4 * InsnSize;
+
+  CpuState State;
+  Checker->initState(State, A);
+  std::vector<Instruction> Code;
+  Checker->emitPrologue(Code, A, true);
+  Checker->emitDirectUpdate(Code, A, C); // No such edge statically...
+  Checker->emitPrologue(Code, C, true);  // ...so C's check must fire.
+  SeqRun Run = runSequence(Code, State);
+  ASSERT_EQ(Run.Stop.Kind, StopKind::Trapped);
+  EXPECT_EQ(Run.Stop.BreakCode, BrkControlFlowError);
+}
+
+//===----------------------------------------------------------------------===//
+// ECCA preparation and emission.
+//===----------------------------------------------------------------------===//
+
+TEST(EccaEmissionTest, CorrectPathExecutes) {
+  Cfg G = buildCfgFrom("a:\nmovi r1, 1\njmp b\nb:\nhalt\n");
+  auto Checker = createChecker(Technique::Ecca, UpdateFlavor::Jcc);
+  ASSERT_TRUE(Checker->prepare(G));
+  uint64_t A = CodeBase, B = CodeBase + 2 * InsnSize;
+
+  CpuState State;
+  Checker->initState(State, A);
+  std::vector<Instruction> Code;
+  Checker->emitPrologue(Code, A, true);
+  Checker->emitDirectUpdate(Code, A, B);
+  Checker->emitPrologue(Code, B, true);
+  SeqRun Run = runSequence(Code, State);
+  EXPECT_EQ(Run.Stop.Kind, StopKind::Halted);
+}
+
+TEST(EccaEmissionTest, WrongEntryDivTraps) {
+  // Entering a block whose BID does not divide id fires the div-by-zero
+  // assertion — ECCA's detection mechanism.
+  Cfg G = buildCfgFrom("a:\nmovi r1, 1\njmp b\nb:\nmovi r2, 2\njmp c\n"
+                       "c:\nhalt\n");
+  auto Checker = createChecker(Technique::Ecca, UpdateFlavor::Jcc);
+  ASSERT_TRUE(Checker->prepare(G));
+  uint64_t A = CodeBase, C = CodeBase + 4 * InsnSize;
+
+  CpuState State;
+  Checker->initState(State, A);
+  std::vector<Instruction> Code;
+  Checker->emitPrologue(Code, A, true);
+  Checker->emitDirectUpdate(Code, A, C);
+  Checker->emitPrologue(Code, C, true);
+  SeqRun Run = runSequence(Code, State);
+  ASSERT_EQ(Run.Stop.Kind, StopKind::Trapped);
+  EXPECT_EQ(Run.Stop.Trap, TrapKind::DivByZero);
+}
+
+TEST(EccaEmissionTest, ExitUpdateIsFlagNeutralOnConditionalExits) {
+  Cfg G = buildCfgFrom(
+      "a:\ncmpi r1, 0\njcc eq, c\nb:\nhalt\nc:\nhalt\n");
+  auto Checker = createChecker(Technique::Ecca, UpdateFlavor::Jcc);
+  ASSERT_TRUE(Checker->prepare(G));
+  std::vector<Instruction> Code;
+  Checker->emitCondUpdate(Code, CodeBase, CondCode::EQ,
+                          CodeBase + 4 * InsnSize,
+                          CodeBase + 2 * InsnSize);
+  // The SET before a conditional branch must not clobber the flags the
+  // branch reads.
+  EXPECT_TRUE(sequenceIsFlagNeutral(Code));
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-technique invariants.
+//===----------------------------------------------------------------------===//
+
+TEST(CheckerInvariantTest, NoneEmitsNothing) {
+  auto Checker = createChecker(Technique::None, UpdateFlavor::Jcc);
+  std::vector<Instruction> Code;
+  Checker->emitPrologue(Code, L1, true);
+  Checker->emitDirectUpdate(Code, L1, L2);
+  Checker->emitCondUpdate(Code, L1, CondCode::EQ, L2, L3);
+  Checker->emitIndirectUpdate(Code, L1, 3);
+  EXPECT_TRUE(Code.empty());
+}
+
+TEST(CheckerInvariantTest, CondUpdatesNeverClobberFlags) {
+  // Every technique's conditional-exit update runs between the guest's
+  // compare and the guest's branch: flag writes there would change
+  // program behavior.
+  for (Technique Tech : {Technique::Ecf, Technique::EdgCf, Technique::Rcf})
+    for (UpdateFlavor Flavor : {UpdateFlavor::Jcc, UpdateFlavor::CMovcc}) {
+      auto Checker = createChecker(Tech, Flavor);
+      std::vector<Instruction> Code;
+      Checker->emitCondUpdate(Code, L1, CondCode::LE, L2, L3);
+      EXPECT_TRUE(sequenceIsFlagNeutral(Code))
+          << getTechniqueName(Tech) << "/" << getUpdateFlavorName(Flavor);
+      Code.clear();
+      Checker->emitRegCondUpdate(Code, L1, Opcode::Jnzr, 4, L2, L3);
+      EXPECT_TRUE(sequenceIsFlagNeutral(Code)) << getTechniqueName(Tech);
+    }
+}
+
+TEST(CheckerInvariantTest, JccFlavorInsertsBranchCMovDoesNot) {
+  for (Technique Tech : {Technique::Ecf, Technique::EdgCf, Technique::Rcf}) {
+    auto CountBranches = [&](UpdateFlavor Flavor) {
+      auto Checker = createChecker(Tech, Flavor);
+      std::vector<Instruction> Code;
+      Checker->emitCondUpdate(Code, L1, CondCode::LT, L2, L3);
+      unsigned Branches = 0;
+      for (const Instruction &I : Code)
+        if (hasBranchOffset(I.Op))
+          ++Branches;
+      return Branches;
+    };
+    EXPECT_EQ(CountBranches(UpdateFlavor::Jcc), 1u)
+        << getTechniqueName(Tech);
+    EXPECT_EQ(CountBranches(UpdateFlavor::CMovcc), 0u)
+        << getTechniqueName(Tech);
+  }
+}
+
+TEST(CheckerInvariantTest, PrologueWithoutCheckHasNoTrap) {
+  for (Technique Tech : {Technique::Ecf, Technique::EdgCf, Technique::Rcf}) {
+    auto Checker = createChecker(Tech, UpdateFlavor::Jcc);
+    std::vector<Instruction> Code;
+    Checker->emitPrologue(Code, L1, /*DoCheck=*/false);
+    for (const Instruction &I : Code)
+      EXPECT_NE(I.Op, Opcode::Brk) << getTechniqueName(Tech);
+  }
+}

@@ -1,0 +1,99 @@
+//===- CodeBuilderTest.cpp - Unit tests for the backend buffer -----------------===//
+
+#include "dbt/CodeBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace cfed;
+
+namespace {
+
+Instruction leaPcp(int32_t Imm) {
+  return insn::rri(Opcode::Lea, RegPCP, RegPCP, Imm);
+}
+
+} // namespace
+
+TEST(CodeBuilderTest, FoldsAdjacentSameRegisterLea) {
+  CodeBuilder Builder(/*FoldUpdates=*/true);
+  Builder.push(leaPcp(100));
+  Builder.push(leaPcp(-30));
+  ASSERT_EQ(Builder.size(), 1u);
+  EXPECT_EQ(Builder.code()[0].Imm, 70);
+  EXPECT_EQ(Builder.foldedCount(), 1u);
+}
+
+TEST(CodeBuilderTest, NoFoldingWhenDisabled) {
+  CodeBuilder Builder(/*FoldUpdates=*/false);
+  Builder.push(leaPcp(100));
+  Builder.push(leaPcp(-30));
+  EXPECT_EQ(Builder.size(), 2u);
+  EXPECT_EQ(Builder.foldedCount(), 0u);
+}
+
+TEST(CodeBuilderTest, DoesNotFoldDifferentRegisters) {
+  CodeBuilder Builder(true);
+  Builder.push(leaPcp(1));
+  Builder.push(insn::rri(Opcode::Lea, RegAUX, RegAUX, 2));
+  EXPECT_EQ(Builder.size(), 2u);
+}
+
+TEST(CodeBuilderTest, DoesNotFoldNonAccumulatingLea) {
+  // lea rd, rs, imm with rd != rs is a move-add, not an accumulation.
+  CodeBuilder Builder(true);
+  Builder.push(insn::rri(Opcode::Lea, RegAUX, RegPCP, 1));
+  Builder.push(insn::rri(Opcode::Lea, RegAUX, RegPCP, 2));
+  EXPECT_EQ(Builder.size(), 2u);
+}
+
+TEST(CodeBuilderTest, BarrierPreventsFolding) {
+  CodeBuilder Builder(true);
+  Builder.push(leaPcp(5));
+  Builder.markBarrier(); // e.g. a chain-target block entry.
+  Builder.push(leaPcp(6));
+  EXPECT_EQ(Builder.size(), 2u);
+  // Folding resumes after the barrier consumed itself.
+  Builder.push(leaPcp(7));
+  EXPECT_EQ(Builder.size(), 2u);
+  EXPECT_EQ(Builder.code()[1].Imm, 13);
+}
+
+TEST(CodeBuilderTest, SkipBranchProtectsTheSkippedUpdate) {
+  // jcc +8 skips exactly one instruction; the update after the skipped
+  // one must not merge into it.
+  CodeBuilder Builder(true);
+  Builder.push(insn::jcc(CondCode::NE, static_cast<int32_t>(InsnSize)));
+  Builder.push(leaPcp(10)); // Conditionally skipped.
+  Builder.push(leaPcp(20)); // The skip target: must stay separate.
+  ASSERT_EQ(Builder.size(), 3u);
+  EXPECT_EQ(Builder.code()[1].Imm, 10);
+  EXPECT_EQ(Builder.code()[2].Imm, 20);
+}
+
+TEST(CodeBuilderTest, NonSkipBranchesDoNotSuppressLaterFolds) {
+  CodeBuilder Builder(true);
+  Builder.push(insn::jcc(CondCode::NE, 64)); // Not a one-insn skip.
+  Builder.push(leaPcp(10));
+  Builder.push(leaPcp(20));
+  EXPECT_EQ(Builder.size(), 2u);
+  EXPECT_EQ(Builder.code()[1].Imm, 30);
+}
+
+TEST(CodeBuilderTest, OverflowPreventsFolding) {
+  CodeBuilder Builder(true);
+  Builder.push(leaPcp(INT32_MAX));
+  Builder.push(leaPcp(1)); // Sum overflows int32: keep separate.
+  EXPECT_EQ(Builder.size(), 2u);
+  Builder.push(leaPcp(-1)); // Fits: folds into the second.
+  EXPECT_EQ(Builder.size(), 2u);
+  EXPECT_EQ(Builder.code()[1].Imm, 0);
+}
+
+TEST(CodeBuilderTest, ChainFoldsRepeatedly) {
+  CodeBuilder Builder(true);
+  for (int I = 1; I <= 10; ++I)
+    Builder.push(leaPcp(I));
+  ASSERT_EQ(Builder.size(), 1u);
+  EXPECT_EQ(Builder.code()[0].Imm, 55);
+  EXPECT_EQ(Builder.foldedCount(), 9u);
+}

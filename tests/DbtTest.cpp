@@ -1,0 +1,411 @@
+//===- DbtTest.cpp - Tests for the dynamic binary translator ------------------===//
+
+#include "asm/Assembler.h"
+#include "dbt/Dbt.h"
+#include "vm/Layout.h"
+#include "vm/Loader.h"
+
+#include <gtest/gtest.h>
+
+using namespace cfed;
+
+namespace {
+
+/// Runs a program natively and returns (output, stop).
+std::pair<std::string, StopInfo> runNative(const AsmProgram &Program,
+                                           uint64_t MaxInsns = 2000000) {
+  Memory Mem;
+  Interpreter Interp(Mem);
+  loadProgram(Program, LoadMode::Native, Mem, Interp.state());
+  StopInfo Stop = Interp.run(MaxInsns);
+  return {Interp.output(), Stop};
+}
+
+struct DbtRun {
+  Memory Mem;
+  Interpreter Interp{Mem};
+  Dbt Translator;
+  StopInfo Stop;
+  bool Loaded = false;
+
+  DbtRun(const AsmProgram &Program, DbtConfig Config,
+         uint64_t MaxInsns = 2000000)
+      : Translator(Mem, Config) {
+    Loaded = Translator.load(Program, Interp.state());
+    if (Loaded)
+      Stop = Translator.run(Interp, MaxInsns);
+  }
+};
+
+AsmProgram assembleOk(const std::string &Source) {
+  AsmResult Result = assembleProgram(Source);
+  EXPECT_TRUE(Result.succeeded()) << Result.errorText();
+  return Result.Program;
+}
+
+/// A small program exercising every control-transfer kind: loops,
+/// conditional branches, direct and indirect calls, returns, a register
+/// zero-test branch and an indirect jump through a table.
+const char *const KitchenSink = R"(
+.entry main
+double:                 ; f(x) = 2x
+  add r1, r1, r1
+  ret
+triple:                 ; f(x) = 3x
+  mov r2, r1
+  add r1, r1, r1
+  add r1, r1, r2
+  ret
+main:
+  movi r10, 5           ; loop counter
+  movi r11, 0           ; accumulator
+loop:
+  mov r1, r10
+  call double
+  add r11, r11, r1
+  movi r3, table
+  andi r4, r10, 1       ; pick an entry by parity
+  shli r4, r4, 3
+  add r3, r3, r4
+  ld r5, [r3]
+  mov r1, r10
+  callr r5
+  add r11, r11, r1
+  addi r10, r10, -1
+  jnzr r10, loop
+  out r11
+  cmpi r11, 100
+  jcc gt, big
+  movi r12, 1
+  jmp finish
+big:
+  movi r12, 2
+finish:
+  out r12
+  movi r6, done
+  jmpr r6
+  brk 1                 ; unreachable
+done:
+  halt
+.data
+table: .word double, triple
+)";
+
+} // namespace
+
+TEST(DbtTest, TranslatesAndMatchesNativeOutput) {
+  AsmProgram Program = assembleOk(KitchenSink);
+  auto [NativeOut, NativeStop] = runNative(Program);
+  ASSERT_EQ(NativeStop.Kind, StopKind::Halted);
+
+  DbtRun Run(Program, DbtConfig{});
+  ASSERT_TRUE(Run.Loaded);
+  EXPECT_EQ(Run.Stop.Kind, StopKind::Halted);
+  EXPECT_EQ(Run.Interp.output(), NativeOut);
+  EXPECT_GT(Run.Translator.translationCount(), 5u);
+}
+
+TEST(DbtTest, AllTechniquesPreserveSemantics) {
+  AsmProgram Program = assembleOk(KitchenSink);
+  auto [NativeOut, NativeStop] = runNative(Program);
+  ASSERT_EQ(NativeStop.Kind, StopKind::Halted);
+
+  for (Technique Tech : {Technique::None, Technique::Ecf, Technique::EdgCf,
+                         Technique::Rcf}) {
+    for (UpdateFlavor Flavor : {UpdateFlavor::Jcc, UpdateFlavor::CMovcc}) {
+      DbtConfig Config;
+      Config.Tech = Tech;
+      Config.Flavor = Flavor;
+      DbtRun Run(Program, Config);
+      ASSERT_TRUE(Run.Loaded);
+      EXPECT_EQ(Run.Stop.Kind, StopKind::Halted)
+          << getTechniqueName(Tech) << "/" << getUpdateFlavorName(Flavor)
+          << " trap=" << getTrapKindName(Run.Stop.Trap)
+          << " code=" << Run.Stop.BreakCode;
+      EXPECT_EQ(Run.Interp.output(), NativeOut)
+          << getTechniqueName(Tech) << "/" << getUpdateFlavorName(Flavor);
+    }
+  }
+}
+
+TEST(DbtTest, AllPoliciesPreserveSemantics) {
+  AsmProgram Program = assembleOk(KitchenSink);
+  auto [NativeOut, NativeStop] = runNative(Program);
+
+  for (CheckPolicy Policy : {CheckPolicy::AllBB, CheckPolicy::RetBE,
+                             CheckPolicy::Ret, CheckPolicy::End,
+                             CheckPolicy::StoreBB}) {
+    DbtConfig Config;
+    Config.Tech = Technique::Rcf;
+    Config.Policy = Policy;
+    DbtRun Run(Program, Config);
+    ASSERT_TRUE(Run.Loaded);
+    EXPECT_EQ(Run.Stop.Kind, StopKind::Halted)
+        << getCheckPolicyName(Policy);
+    EXPECT_EQ(Run.Interp.output(), NativeOut) << getCheckPolicyName(Policy);
+  }
+}
+
+TEST(DbtTest, RelaxedPoliciesReduceCycles) {
+  AsmProgram Program = assembleOk(KitchenSink);
+  std::vector<uint64_t> Cycles;
+  for (CheckPolicy Policy : {CheckPolicy::AllBB, CheckPolicy::RetBE,
+                             CheckPolicy::Ret, CheckPolicy::End}) {
+    DbtConfig Config;
+    Config.Tech = Technique::Rcf;
+    Config.Policy = Policy;
+    DbtRun Run(Program, Config);
+    Cycles.push_back(Run.Interp.cycleCount());
+  }
+  EXPECT_GE(Cycles[0], Cycles[1]); // ALLBB >= RET-BE
+  EXPECT_GE(Cycles[1], Cycles[2]); // RET-BE >= RET
+  EXPECT_GE(Cycles[2], Cycles[3]); // RET >= END
+  EXPECT_GT(Cycles[0], Cycles[3]); // Strictly cheaper overall.
+}
+
+TEST(DbtTest, InstrumentationCostOrdering) {
+  // RCF inserts the most work, ECF the least (Section 6).
+  AsmProgram Program = assembleOk(KitchenSink);
+  auto CyclesFor = [&](Technique Tech) {
+    DbtConfig Config;
+    Config.Tech = Tech;
+    DbtRun Run(Program, Config);
+    return Run.Interp.cycleCount();
+  };
+  uint64_t None = CyclesFor(Technique::None);
+  uint64_t Ecf = CyclesFor(Technique::Ecf);
+  uint64_t EdgCf = CyclesFor(Technique::EdgCf);
+  uint64_t Rcf = CyclesFor(Technique::Rcf);
+  // ECF and EdgCF are within a few percent of each other on any single
+  // program (the suite-level geomean ordering ECF < EdgCF < RCF is
+  // asserted in WorkloadsTest.SuiteSlowdownOrdering); RCF is always the
+  // most expensive.
+  EXPECT_LT(None, Ecf);
+  EXPECT_LT(None, EdgCf);
+  EXPECT_LT(Ecf, EdgCf + EdgCf / 20);
+  EXPECT_LE(EdgCf, Rcf);
+  EXPECT_LE(Ecf, Rcf);
+}
+
+TEST(DbtTest, CmovFlavorCostsMore) {
+  AsmProgram Program = assembleOk(KitchenSink);
+  auto CyclesFor = [&](UpdateFlavor Flavor) {
+    DbtConfig Config;
+    Config.Tech = Technique::EdgCf;
+    Config.Flavor = Flavor;
+    DbtRun Run(Program, Config);
+    return Run.Interp.cycleCount();
+  };
+  EXPECT_LT(CyclesFor(UpdateFlavor::Jcc), CyclesFor(UpdateFlavor::CMovcc));
+}
+
+TEST(DbtTest, ChainingReducesDispatches) {
+  AsmProgram Program = assembleOk(KitchenSink);
+  DbtConfig Chained;
+  DbtRun A(Program, Chained);
+  DbtConfig Unchained;
+  Unchained.ChainDirectExits = false;
+  DbtRun B(Program, Unchained);
+  EXPECT_EQ(A.Interp.output(), B.Interp.output());
+  EXPECT_LT(A.Translator.dispatchCount(), B.Translator.dispatchCount());
+  EXPECT_LT(A.Interp.cycleCount(), B.Interp.cycleCount());
+}
+
+TEST(DbtTest, EagerModeMatchesOnDemand) {
+  AsmProgram Program = assembleOk(KitchenSink);
+  auto [NativeOut, NativeStop] = runNative(Program);
+  DbtConfig Config;
+  Config.EagerTranslate = true;
+  Config.Tech = Technique::EdgCf;
+  DbtRun Run(Program, Config);
+  ASSERT_TRUE(Run.Loaded);
+  EXPECT_EQ(Run.Stop.Kind, StopKind::Halted);
+  EXPECT_EQ(Run.Interp.output(), NativeOut);
+}
+
+TEST(DbtTest, CfcssRequiresEagerMode) {
+  AsmProgram Program = assembleOk("movi r1, 1\nout r1\nhalt\n");
+  DbtConfig Config;
+  Config.Tech = Technique::Cfcss;
+  DbtRun OnDemand(Program, Config);
+  EXPECT_FALSE(OnDemand.Loaded); // The paper's Section 5 limitation.
+}
+
+TEST(DbtTest, CfcssAndEccaRunEagerly) {
+  // No indirect calls/jumps: the static CFG techniques can prepare.
+  AsmProgram Program = assembleOk(R"(
+.entry main
+inc:
+  addi r1, r1, 1
+  ret
+main:
+  movi r1, 0
+  movi r10, 4
+loop:
+  call inc
+  addi r10, r10, -1
+  cmpi r10, 0
+  jcc ne, loop
+  out r1
+  halt
+)");
+  auto [NativeOut, NativeStop] = runNative(Program);
+  ASSERT_EQ(NativeStop.Kind, StopKind::Halted);
+  for (Technique Tech : {Technique::Cfcss, Technique::Ecca}) {
+    DbtConfig Config;
+    Config.Tech = Tech;
+    Config.EagerTranslate = true;
+    DbtRun Run(Program, Config);
+    ASSERT_TRUE(Run.Loaded) << getTechniqueName(Tech);
+    EXPECT_EQ(Run.Stop.Kind, StopKind::Halted)
+        << getTechniqueName(Tech)
+        << " trap=" << getTrapKindName(Run.Stop.Trap);
+    EXPECT_EQ(Run.Interp.output(), NativeOut) << getTechniqueName(Tech);
+  }
+}
+
+TEST(DbtTest, CfcssRejectsIndirectCalls) {
+  AsmProgram Program = assembleOk(KitchenSink);
+  DbtConfig Config;
+  Config.Tech = Technique::Cfcss;
+  Config.EagerTranslate = true;
+  DbtRun Run(Program, Config);
+  EXPECT_FALSE(Run.Loaded);
+}
+
+TEST(DbtTest, SuperblocksPreserveSemantics) {
+  AsmProgram Program = assembleOk(KitchenSink);
+  auto [NativeOut, NativeStop] = runNative(Program);
+  DbtConfig Config;
+  Config.Tech = Technique::EdgCf;
+  Config.SuperblockLimit = 8;
+  DbtRun Run(Program, Config);
+  ASSERT_TRUE(Run.Loaded);
+  EXPECT_EQ(Run.Stop.Kind, StopKind::Halted);
+  EXPECT_EQ(Run.Interp.output(), NativeOut);
+}
+
+TEST(DbtTest, FoldingReducesCyclesAndPreservesSemantics) {
+  // An unconditional-jump chain of tiny blocks is where superblock
+  // formation plus update folding pays.
+  AsmProgram Program = assembleOk(R"(
+main:
+  movi r1, 0
+  jmp a
+a: addi r1, r1, 1
+   jmp b
+b: addi r1, r1, 2
+   jmp c
+c: addi r1, r1, 3
+   jmp d
+d: addi r1, r1, 4
+  out r1
+  halt
+)");
+  auto [NativeOut, NativeStop] = runNative(Program);
+  DbtConfig Plain;
+  Plain.Tech = Technique::EdgCf;
+  Plain.SuperblockLimit = 8;
+  DbtRun A(Program, Plain);
+  DbtConfig Folded = Plain;
+  Folded.FoldSignatureUpdates = true;
+  Folded.Policy = CheckPolicy::End; // No checks between updates to fold.
+  DbtRun B(Program, Folded);
+  ASSERT_TRUE(A.Loaded);
+  ASSERT_TRUE(B.Loaded);
+  EXPECT_EQ(A.Interp.output(), NativeOut);
+  EXPECT_EQ(B.Interp.output(), NativeOut);
+  EXPECT_GT(B.Translator.foldedUpdateCount(), 0u);
+  EXPECT_LT(B.Interp.cycleCount(), A.Interp.cycleCount());
+}
+
+TEST(DbtTest, SelfModifyingCodeIsRetranslated) {
+  // The program rewrites the Imm field of a movi, then re-executes it.
+  // Under the DBT this triggers the write-protection fault, a flush and
+  // a retranslation (Section 5).
+  AsmProgram Program = assembleOk(R"(
+.entry main
+main:
+  movi r1, patch        ; address of the movi below
+  movi r2, 99
+  stb [r1+4], r2        ; rewrite the low immediate byte
+  jmp cont
+cont:
+patch:
+  movi r3, 7            ; becomes movi r3, 99
+  out r3
+  halt
+)");
+  // Natively the store traps: code pages are never writable.
+  auto [NativeOut, NativeStop] = runNative(Program);
+  (void)NativeOut;
+  EXPECT_EQ(NativeStop.Kind, StopKind::Trapped);
+
+  DbtConfig Config;
+  Config.Tech = Technique::EdgCf;
+  DbtRun Run(Program, Config);
+  ASSERT_TRUE(Run.Loaded);
+  EXPECT_EQ(Run.Stop.Kind, StopKind::Halted)
+      << getTrapKindName(Run.Stop.Trap);
+  EXPECT_EQ(Run.Interp.output(), "99\n");
+  EXPECT_EQ(Run.Translator.flushCount(), 1u);
+}
+
+TEST(DbtTest, WildJumpOutOfCacheTraps) {
+  // Category F end to end: jump to a data address under the DBT.
+  AsmProgram Program = assembleOk(R"(
+.data
+d: .word 1
+.code
+main:
+  movi r1, d
+  jmpr r1
+  halt
+)");
+  DbtRun Run(Program, DbtConfig{});
+  ASSERT_TRUE(Run.Loaded);
+  EXPECT_EQ(Run.Stop.Kind, StopKind::Trapped);
+  EXPECT_EQ(Run.Stop.Trap, TrapKind::ExecViolation);
+}
+
+TEST(DbtTest, GuestCodePagesNotExecutableUnderDbt) {
+  // A jump to a raw (untranslatable, misaligned) guest code address must
+  // trap: only the code cache is executable while translated code runs.
+  // (An aligned target would simply be translated by the dispatcher.)
+  AsmProgram Program = assembleOk(R"(
+main:
+  movi r1, 0x10004      ; mid-instruction guest code address
+  jmpr r1
+  halt
+)");
+  DbtRun Run(Program, DbtConfig{});
+  ASSERT_TRUE(Run.Loaded);
+  EXPECT_EQ(Run.Stop.Kind, StopKind::Trapped);
+  EXPECT_EQ(Run.Stop.Trap, TrapKind::ExecViolation);
+}
+
+TEST(DbtTest, BranchSiteEnumeration) {
+  AsmProgram Program = assembleOk(KitchenSink);
+  DbtConfig Config;
+  Config.Tech = Technique::Rcf;
+  DbtRun Run(Program, Config);
+  ASSERT_TRUE(Run.Loaded);
+  auto Sites = Run.Translator.enumerateBranchSites();
+  ASSERT_FALSE(Sites.empty());
+  bool SawInstr = false, SawOriginal = false;
+  for (const BranchSiteInfo &Site : Sites) {
+    if (Site.IsInstrumentation)
+      SawInstr = true;
+    else
+      SawOriginal = true;
+  }
+  EXPECT_TRUE(SawInstr);   // RCF check/update branches.
+  EXPECT_TRUE(SawOriginal); // Translated guest branches + chained jumps.
+}
+
+TEST(DbtTest, NoInstrumentationSitesWithoutChecker) {
+  AsmProgram Program = assembleOk(KitchenSink);
+  DbtRun Run(Program, DbtConfig{});
+  for (const BranchSiteInfo &Site : Run.Translator.enumerateBranchSites())
+    EXPECT_FALSE(Site.IsInstrumentation);
+}

@@ -1,0 +1,226 @@
+//===- FaultTest.cpp - Unit tests for the error model and campaigns ------------===//
+
+#include "fault/Campaign.h"
+#include "fault/ErrorModel.h"
+#include "vm/Layout.h"
+#include "workloads/RandomProgram.h"
+
+#include <gtest/gtest.h>
+
+using namespace cfed;
+
+namespace {
+
+Cfg buildCfgFrom(const std::string &Source, AsmProgram &ProgramOut) {
+  AsmResult Result = assembleProgram(Source);
+  EXPECT_TRUE(Result.succeeded()) << Result.errorText();
+  ProgramOut = std::move(Result.Program);
+  return Cfg::build(ProgramOut.Code.data(), ProgramOut.Code.size(),
+                    CodeBase, ProgramOut.Entry, ProgramOut.CodeLabels);
+}
+
+} // namespace
+
+TEST(ClassifyTest, TargetCategories) {
+  AsmProgram Program;
+  Cfg G = buildCfgFrom("a:\nmovi r1, 1\nmovi r2, 2\ncmpi r1, 0\n"
+                       "jcc eq, c\n"
+                       "b:\nmovi r3, 3\njmp c\n"
+                       "c:\nmovi r4, 4\nhalt\n",
+                       Program);
+  // Block a: [CodeBase, +4 insns). Branch at +3 insns.
+  uint64_t BranchAddr = CodeBase + 3 * InsnSize;
+  uint64_t BlockB = CodeBase + 4 * InsnSize;
+  uint64_t BlockC = CodeBase + 6 * InsnSize;
+
+  // Beginning of own block: B.
+  EXPECT_EQ(classifyBranchTarget(G, BranchAddr, CodeBase),
+            BranchErrorCategory::B);
+  // Middle of own block (including the branch itself): C.
+  EXPECT_EQ(classifyBranchTarget(G, BranchAddr, CodeBase + InsnSize),
+            BranchErrorCategory::C);
+  EXPECT_EQ(classifyBranchTarget(G, BranchAddr, BranchAddr),
+            BranchErrorCategory::C);
+  // Misaligned middle of own block is still C.
+  EXPECT_EQ(classifyBranchTarget(G, BranchAddr, CodeBase + 9),
+            BranchErrorCategory::C);
+  // Beginning of another block: D.
+  EXPECT_EQ(classifyBranchTarget(G, BranchAddr, BlockB),
+            BranchErrorCategory::D);
+  EXPECT_EQ(classifyBranchTarget(G, BranchAddr, BlockC),
+            BranchErrorCategory::D);
+  // Middle of another block: E.
+  EXPECT_EQ(classifyBranchTarget(G, BranchAddr, BlockB + InsnSize),
+            BranchErrorCategory::E);
+  // Outside the code region: F.
+  EXPECT_EQ(classifyBranchTarget(G, BranchAddr, DataBase),
+            BranchErrorCategory::F);
+  EXPECT_EQ(classifyBranchTarget(G, BranchAddr, CodeBase - 8),
+            BranchErrorCategory::F);
+  EXPECT_EQ(classifyBranchTarget(G, BranchAddr, G.codeEnd()),
+            BranchErrorCategory::F);
+}
+
+TEST(ErrorModelTest, SiteAccounting) {
+  // Each executed offset branch contributes exactly 36 fault sites.
+  AsmResult R = assembleProgram(
+      "movi r1, 3\nloop:\naddi r1, r1, -1\njcc ne, loop\nhalt\n");
+  ASSERT_TRUE(R.succeeded());
+  ErrorModelResult Model = runErrorModel(R.Program, 1000);
+  EXPECT_EQ(Model.BranchExecutions, 3u); // Taken, taken, not-taken.
+  EXPECT_EQ(Model.totalSites(), 3u * 36u);
+}
+
+TEST(ErrorModelTest, NotTakenAddressFaultsAreNoError) {
+  AsmResult R = assembleProgram(
+      "movi r1, 1\ncmpi r1, 2\njcc eq, skip\nskip:\nhalt\n");
+  ASSERT_TRUE(R.succeeded());
+  ErrorModelResult Model = runErrorModel(R.Program, 1000);
+  // The branch is never taken: all 32 address sites are No Error, and
+  // its 4 flag sites split between A (direction flips) and No Error.
+  const CategoryCounts &NoError = Model.of(BranchErrorCategory::NoError);
+  EXPECT_EQ(NoError.NotTakenAddr, 32u);
+  const CategoryCounts &A = Model.of(BranchErrorCategory::A);
+  EXPECT_EQ(A.TakenAddr, 0u);
+  EXPECT_GT(A.NotTakenFlags, 0u); // Flipping ZF flips an eq branch.
+}
+
+TEST(ErrorModelTest, TakenFallthroughFaultIsCategoryA) {
+  // jmp +8 over one insn: flipping the offset to land on the
+  // fall-through behaves like a mistaken branch (category A).
+  AsmResult R = assembleProgram("jmp skip\nnop\nskip:\nhalt\n");
+  ASSERT_TRUE(R.succeeded());
+  ErrorModelResult Model = runErrorModel(R.Program, 1000);
+  const CategoryCounts &A = Model.of(BranchErrorCategory::A);
+  // Offset 8 -> flipping bit 3 gives offset 0 = fall-through.
+  EXPECT_EQ(A.TakenAddr, 1u);
+}
+
+TEST(ErrorModelTest, MergeAccumulates) {
+  AsmResult R = assembleProgram("jmp skip\nnop\nskip:\nhalt\n");
+  ASSERT_TRUE(R.succeeded());
+  ErrorModelResult A = runErrorModel(R.Program, 1000);
+  ErrorModelResult B = runErrorModel(R.Program, 1000);
+  uint64_t Single = A.totalSites();
+  A.merge(B);
+  EXPECT_EQ(A.totalSites(), 2 * Single);
+  EXPECT_EQ(A.BranchExecutions, 2u);
+}
+
+TEST(ErrorModelTest, ProbabilitiesSumToOne) {
+  RandomProgramOptions Options;
+  Options.Seed = 3;
+  AsmResult R = assembleProgram(generateRandomProgram(Options));
+  ASSERT_TRUE(R.succeeded());
+  ErrorModelResult Model = runErrorModel(R.Program, 10000000);
+  double Sum = 0;
+  for (unsigned I = 0; I < NumBranchErrorCategories; ++I)
+    Sum += Model.probability(static_cast<BranchErrorCategory>(I));
+  EXPECT_NEAR(Sum, 1.0, 1e-12);
+  double SumAtoE = 0;
+  for (BranchErrorCategory Cat :
+       {BranchErrorCategory::A, BranchErrorCategory::B,
+        BranchErrorCategory::C, BranchErrorCategory::D,
+        BranchErrorCategory::E})
+    SumAtoE += Model.probabilityAmongAtoE(Cat);
+  EXPECT_NEAR(SumAtoE, 1.0, 1e-12);
+}
+
+TEST(CampaignTest, InjectDetailedReportsLatency) {
+  RandomProgramOptions Options;
+  Options.Seed = 4;
+  AsmResult R = assembleProgram(generateRandomProgram(Options));
+  ASSERT_TRUE(R.succeeded());
+  DbtConfig Config;
+  Config.Tech = Technique::Rcf;
+  FaultCampaign Campaign(R.Program, Config);
+  ASSERT_TRUE(Campaign.prepare(10000000));
+  auto Faults = Campaign.plan(60, 11, SiteClass::OriginalOnly);
+  unsigned Checked = 0;
+  for (const PlannedFault &Fault : Faults) {
+    if (Fault.Category == BranchErrorCategory::NoError)
+      continue;
+    InjectionReport Report = Campaign.injectDetailed(Fault);
+    EXPECT_TRUE(Report.Fired);
+    if (Report.Result == Outcome::DetectedSignature) {
+      // Detection strictly after the fault, within the run budget.
+      EXPECT_GT(Report.LatencyInsns, 0u);
+      EXPECT_LT(Report.LatencyInsns, Campaign.goldenInsns() * 4 + 100000);
+      ++Checked;
+    }
+  }
+  EXPECT_GT(Checked, 0u);
+}
+
+TEST(CampaignTest, LatencyGrowsWithRelaxedPolicies) {
+  // Average signature-detection latency under ALLBB must be below the
+  // latency under END (Section 6's delay trade-off).
+  RandomProgramOptions Options;
+  Options.Seed = 8;
+  Options.LoopTrip = 20;
+  AsmResult R = assembleProgram(generateRandomProgram(Options));
+  ASSERT_TRUE(R.succeeded());
+  auto AvgLatency = [&](CheckPolicy Policy) {
+    DbtConfig Config;
+    Config.Tech = Technique::Rcf;
+    Config.Policy = Policy;
+    FaultCampaign Campaign(R.Program, Config);
+    EXPECT_TRUE(Campaign.prepare(10000000));
+    auto Faults = Campaign.plan(120, 21, SiteClass::OriginalOnly);
+    uint64_t Sum = 0, Count = 0;
+    for (const PlannedFault &Fault : Faults) {
+      if (Fault.Category == BranchErrorCategory::NoError)
+        continue;
+      InjectionReport Report = Campaign.injectDetailed(Fault);
+      if (Report.Result == Outcome::DetectedSignature) {
+        Sum += Report.LatencyInsns;
+        ++Count;
+      }
+    }
+    EXPECT_GT(Count, 0u);
+    return double(Sum) / double(Count ? Count : 1);
+  };
+  EXPECT_LT(AvgLatency(CheckPolicy::AllBB), AvgLatency(CheckPolicy::End));
+}
+
+TEST(CampaignTest, OutcomeCountsArithmetic) {
+  OutcomeCounts Counts;
+  Counts.add(Outcome::DetectedSignature);
+  Counts.add(Outcome::DetectedSignature);
+  Counts.add(Outcome::Sdc);
+  Counts.add(Outcome::Timeout);
+  Counts.add(Outcome::Masked);
+  Counts.add(Outcome::DetectedHardware);
+  EXPECT_EQ(Counts.total(), 6u);
+  EXPECT_EQ(Counts.DetectedSig, 2u);
+  OutcomeCounts Other;
+  Other.add(Outcome::Sdc);
+  Counts.merge(Other);
+  EXPECT_EQ(Counts.Sdc, 2u);
+  EXPECT_EQ(Counts.total(), 7u);
+}
+
+TEST(CampaignTest, SiteClassPartition) {
+  // Planning per class picks only matching sites.
+  RandomProgramOptions Options;
+  Options.Seed = 12;
+  AsmResult R = assembleProgram(generateRandomProgram(Options));
+  ASSERT_TRUE(R.succeeded());
+  DbtConfig Config;
+  Config.Tech = Technique::Rcf; // Plenty of instrumentation branches.
+  FaultCampaign Campaign(R.Program, Config);
+  ASSERT_TRUE(Campaign.prepare(10000000));
+  for (const PlannedFault &Fault :
+       Campaign.plan(40, 3, SiteClass::InstrumentationOnly))
+    EXPECT_TRUE(Fault.InstrSite) << std::hex << Fault.SiteAddr;
+  for (const PlannedFault &Fault :
+       Campaign.plan(40, 3, SiteClass::OriginalOnly))
+    EXPECT_FALSE(Fault.InstrSite) << std::hex << Fault.SiteAddr;
+}
+
+TEST(CampaignTest, PrepareFailsOnNonHaltingProgram) {
+  AsmResult R = assembleProgram("spin:\njmp spin\n");
+  ASSERT_TRUE(R.succeeded());
+  FaultCampaign Campaign(R.Program, DbtConfig{});
+  EXPECT_FALSE(Campaign.prepare(100000));
+}

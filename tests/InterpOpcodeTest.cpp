@@ -1,0 +1,162 @@
+//===- InterpOpcodeTest.cpp - Per-opcode semantics coverage --------------------===//
+//
+// Complements InterpTest.cpp with the opcodes and edge cases not covered
+// there: remaining ALU forms and flags, 64-bit constants, fp unary ops,
+// shift masking, wrapping arithmetic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Assembler.h"
+#include "vm/Interp.h"
+#include "vm/Loader.h"
+
+#include <gtest/gtest.h>
+
+using namespace cfed;
+
+namespace {
+
+struct Runner {
+  Memory Mem;
+  Interpreter Interp{Mem};
+  StopInfo Stop;
+
+  explicit Runner(const std::string &Source) {
+    AsmResult Result = assembleProgram(Source);
+    EXPECT_TRUE(Result.succeeded()) << Result.errorText();
+    loadProgram(Result.Program, LoadMode::Native, Mem, Interp.state());
+    Stop = Interp.run(100000);
+  }
+  uint64_t reg(unsigned Index) const { return Interp.state().Regs[Index]; }
+  double fp(unsigned Index) const { return Interp.state().FpRegs[Index]; }
+};
+
+} // namespace
+
+TEST(InterpOpcodeTest, LogicOps) {
+  Runner R("movi r1, 0xF0\nmovi r2, 0x3C\n"
+           "and r3, r1, r2\nor r4, r1, r2\nxor r5, r1, r2\n"
+           "not r6, r1\nhalt\n");
+  EXPECT_EQ(R.reg(3), 0x30u);
+  EXPECT_EQ(R.reg(4), 0xFCu);
+  EXPECT_EQ(R.reg(5), 0xCCu);
+  EXPECT_EQ(R.reg(6), ~uint64_t(0xF0));
+}
+
+TEST(InterpOpcodeTest, ImmediateAluForms) {
+  Runner R("movi r1, 10\nandi r2, r1, 6\nori r3, r1, 5\n"
+           "shli r4, r1, 2\nsari r5, r1, 1\nmuli r6, r1, -3\nhalt\n");
+  EXPECT_EQ(R.reg(2), 2u);
+  EXPECT_EQ(R.reg(3), 15u);
+  EXPECT_EQ(R.reg(4), 40u);
+  EXPECT_EQ(R.reg(5), 5u);
+  EXPECT_EQ(static_cast<int64_t>(R.reg(6)), -30);
+}
+
+TEST(InterpOpcodeTest, ShiftAmountMasked) {
+  // Shift counts are taken modulo 64, like IA-32's 64-bit shifts.
+  Runner R("movi r1, 1\nmovi r2, 65\nshl r3, r1, r2\nhalt\n");
+  EXPECT_EQ(R.reg(3), 2u);
+}
+
+TEST(InterpOpcodeTest, ArithmeticShiftKeepsSign) {
+  Runner R("movi r1, -16\nsari r2, r1, 2\nshri r3, r1, 60\nhalt\n");
+  EXPECT_EQ(static_cast<int64_t>(R.reg(2)), -4);
+  EXPECT_EQ(R.reg(3), 15u); // Logical shift brings in zeros.
+}
+
+TEST(InterpOpcodeTest, NegSetsFlags) {
+  Runner R("movi r1, 5\nneg r2, r1\nsetcc r3, s\n"
+           "movi r4, 0\nneg r5, r4\nsetcc r6, eq\nhalt\n");
+  EXPECT_EQ(static_cast<int64_t>(R.reg(2)), -5);
+  EXPECT_EQ(R.reg(3), 1u); // Negative result: SF.
+  EXPECT_EQ(R.reg(6), 1u); // neg 0 == 0: ZF.
+}
+
+TEST(InterpOpcodeTest, MovHiBuilds64BitConstants) {
+  Runner R("movi r1, 0x12345678\nmovhi r1, 0x0000ABCD\nhalt\n");
+  EXPECT_EQ(R.reg(1), 0x0000ABCD12345678ULL);
+}
+
+TEST(InterpOpcodeTest, MulWrapsAndFlagsOverflow) {
+  // (1<<62) * 4 wraps to 0 with the overflow flag set.
+  Runner R("movi r1, 1\nshli r1, r1, 62\nmovi r2, 4\n"
+           "mul r3, r1, r2\nsetcc r4, o\nhalt\n");
+  EXPECT_EQ(R.reg(3), 0u);
+  EXPECT_EQ(R.reg(4), 1u);
+}
+
+TEST(InterpOpcodeTest, MulNoOverflowClearsFlag) {
+  Runner R("movi r1, 100\nmovi r2, 100\nmul r3, r1, r2\n"
+           "setcc r4, o\nhalt\n");
+  EXPECT_EQ(R.reg(3), 10000u);
+  EXPECT_EQ(R.reg(4), 0u);
+}
+
+TEST(InterpOpcodeTest, DivMinByMinusOneIsDefined) {
+  // INT64_MIN / -1 wraps (no trap, no UB).
+  Runner R("movi r1, 1\nshli r1, r1, 63\nmovi r2, -1\n"
+           "div r3, r1, r2\nrem r4, r1, r2\nhalt\n");
+  EXPECT_EQ(R.Stop.Kind, StopKind::Halted);
+  EXPECT_EQ(R.reg(3), uint64_t(1) << 63);
+  EXPECT_EQ(R.reg(4), 0u);
+}
+
+TEST(InterpOpcodeTest, RemByZeroTraps) {
+  Runner R("movi r1, 5\nmovi r2, 0\nrem r3, r1, r2\nhalt\n");
+  EXPECT_EQ(R.Stop.Kind, StopKind::Trapped);
+  EXPECT_EQ(R.Stop.Trap, TrapKind::DivByZero);
+}
+
+TEST(InterpOpcodeTest, TestSetsFlagsWithoutWriting) {
+  Runner R("movi r1, 12\nmovi r2, 3\ntest r1, r2\nsetcc r3, eq\n"
+           "test r1, r1\nsetcc r4, ne\nhalt\n");
+  EXPECT_EQ(R.reg(3), 1u); // 12 & 3 == 0.
+  EXPECT_EQ(R.reg(4), 1u);
+  EXPECT_EQ(R.reg(1), 12u);
+}
+
+TEST(InterpOpcodeTest, FpUnaryOps) {
+  Runner R("fmovi f1, -9\nfabs f2, f1\nfneg f3, f2\nfmov f4, f3\n"
+           "fsub f5, f2, f1\nhalt\n");
+  EXPECT_DOUBLE_EQ(R.fp(2), 9.0);
+  EXPECT_DOUBLE_EQ(R.fp(3), -9.0);
+  EXPECT_DOUBLE_EQ(R.fp(4), -9.0);
+  EXPECT_DOUBLE_EQ(R.fp(5), 18.0);
+}
+
+TEST(InterpOpcodeTest, FmaAccumulates) {
+  Runner R("fmovi f1, 10\nfmovi f2, 3\nfmovi f3, 4\n"
+           "fma f1, f2, f3\nhalt\n");
+  EXPECT_DOUBLE_EQ(R.fp(1), 22.0);
+}
+
+TEST(InterpOpcodeTest, FToIClampsExtremes) {
+  Runner R("fmovi f1, 1000000\nfmul f1, f1, f1\nfmul f1, f1, f1\n"
+           "fmul f1, f1, f1\n" // 1e48: out of int64 range.
+           "ftoi r1, f1\nfneg f1, f1\nftoi r2, f1\nhalt\n");
+  EXPECT_EQ(static_cast<int64_t>(R.reg(1)), INT64_MAX);
+  EXPECT_EQ(static_cast<int64_t>(R.reg(2)), INT64_MIN);
+}
+
+TEST(InterpOpcodeTest, UnsignedAddCarry) {
+  Runner R("movi r1, -1\nmovi r2, 1\nadd r3, r1, r2\nsetcc r4, b\n"
+           "setcc r5, eq\nhalt\n");
+  EXPECT_EQ(R.reg(3), 0u);
+  EXPECT_EQ(R.reg(4), 1u); // Carry out.
+  EXPECT_EQ(R.reg(5), 1u);
+}
+
+TEST(InterpOpcodeTest, NopAndBudgetAccounting) {
+  Runner R("nop\nnop\nnop\nhalt\n");
+  EXPECT_EQ(R.Interp.instructionCount(), 4u);
+}
+
+TEST(InterpOpcodeTest, ResetCountersClearsOutput) {
+  Runner R("movi r1, 1\nout r1\nhalt\n");
+  EXPECT_FALSE(R.Interp.output().empty());
+  R.Interp.resetCounters();
+  EXPECT_TRUE(R.Interp.output().empty());
+  EXPECT_EQ(R.Interp.instructionCount(), 0u);
+  EXPECT_EQ(R.Interp.cycleCount(), 0u);
+}

@@ -1,0 +1,351 @@
+//===- InterpTest.cpp - Tests for the VISA interpreter ------------------------===//
+
+#include "asm/Assembler.h"
+#include "vm/Interp.h"
+#include "vm/Layout.h"
+#include "vm/Loader.h"
+
+#include <gtest/gtest.h>
+
+using namespace cfed;
+
+namespace {
+
+struct Runner {
+  Memory Mem;
+  Interpreter Interp{Mem};
+  StopInfo Stop;
+
+  explicit Runner(const std::string &Source, uint64_t MaxInsns = 100000) {
+    AsmResult Result = assembleProgram(Source);
+    EXPECT_TRUE(Result.succeeded()) << Result.errorText();
+    loadProgram(Result.Program, LoadMode::Native, Mem, Interp.state());
+    Stop = Interp.run(MaxInsns);
+  }
+
+  uint64_t reg(unsigned Index) const { return Interp.state().Regs[Index]; }
+  double fp(unsigned Index) const { return Interp.state().FpRegs[Index]; }
+};
+
+} // namespace
+
+TEST(InterpTest, HaltStops) {
+  Runner R("halt\n");
+  EXPECT_EQ(R.Stop.Kind, StopKind::Halted);
+  EXPECT_EQ(R.Interp.instructionCount(), 1u);
+}
+
+TEST(InterpTest, ArithmeticBasics) {
+  Runner R("movi r1, 6\nmovi r2, 7\nmul r3, r1, r2\n"
+           "sub r4, r3, r1\nhalt\n");
+  EXPECT_EQ(R.reg(3), 42u);
+  EXPECT_EQ(R.reg(4), 36u);
+}
+
+TEST(InterpTest, DivAndRem) {
+  Runner R("movi r1, 17\nmovi r2, 5\ndiv r3, r1, r2\nrem r4, r1, r2\nhalt\n");
+  EXPECT_EQ(R.reg(3), 3u);
+  EXPECT_EQ(R.reg(4), 2u);
+}
+
+TEST(InterpTest, NegativeDivTruncatesTowardZero) {
+  Runner R("movi r1, -17\nmovi r2, 5\ndiv r3, r1, r2\nrem r4, r1, r2\nhalt\n");
+  EXPECT_EQ(static_cast<int64_t>(R.reg(3)), -3);
+  EXPECT_EQ(static_cast<int64_t>(R.reg(4)), -2);
+}
+
+TEST(InterpTest, DivByZeroTraps) {
+  Runner R("movi r1, 1\nmovi r2, 0\ndiv r3, r1, r2\nhalt\n");
+  EXPECT_EQ(R.Stop.Kind, StopKind::Trapped);
+  EXPECT_EQ(R.Stop.Trap, TrapKind::DivByZero);
+}
+
+TEST(InterpTest, CompareAndConditionalBranch) {
+  Runner R("movi r1, 5\nmovi r2, 9\ncmp r1, r2\njcc lt, less\n"
+           "movi r3, 0\nhalt\nless:\nmovi r3, 1\nhalt\n");
+  EXPECT_EQ(R.reg(3), 1u);
+}
+
+TEST(InterpTest, UnsignedConditions) {
+  // -1 as unsigned is huge: "a" (unsigned >) must see -1 > 1.
+  Runner R("movi r1, -1\nmovi r2, 1\ncmp r1, r2\n"
+           "setcc r3, a\nsetcc r4, gt\nhalt\n");
+  EXPECT_EQ(R.reg(3), 1u);
+  EXPECT_EQ(R.reg(4), 0u);
+}
+
+TEST(InterpTest, OverflowFlagOnSub) {
+  // INT64_MIN - 1 overflows: lt (SF!=OF) must still be correct.
+  Runner R("movi r1, 1\nshli r2, r1, 63\n" // r2 = INT64_MIN
+           "cmp r2, r1\nsetcc r3, lt\nhalt\n");
+  EXPECT_EQ(R.reg(3), 1u);
+}
+
+TEST(InterpTest, LoopCountsDown) {
+  Runner R("movi r1, 10\nmovi r2, 0\nloop:\nadd r2, r2, r1\n"
+           "addi r1, r1, -1\njcc ne, loop\nhalt\n");
+  EXPECT_EQ(R.reg(2), 55u);
+}
+
+TEST(InterpTest, JzrJnzrIgnoreFlags) {
+  Runner R("movi r1, 0\nmovi r2, 3\ncmp r2, r2\n" // ZF set
+           "jzr r2, wrong\nmovi r3, 1\njnzr r1, wrong\nmovi r4, 1\nhalt\n"
+           "wrong:\nmovi r5, 1\nhalt\n");
+  EXPECT_EQ(R.reg(3), 1u);
+  EXPECT_EQ(R.reg(4), 1u);
+  EXPECT_EQ(R.reg(5), 0u);
+}
+
+TEST(InterpTest, CMovTakenAndNotTaken) {
+  Runner R("movi r1, 1\nmovi r2, 2\nmovi r3, 10\nmovi r4, 20\n"
+           "cmp r1, r2\ncmov r3, r4, lt\ncmov r4, r1, gt\nhalt\n");
+  EXPECT_EQ(R.reg(3), 20u);
+  EXPECT_EQ(R.reg(4), 20u);
+}
+
+TEST(InterpTest, LeaDoesNotTouchFlags) {
+  Runner R("movi r1, 1\nmovi r2, 2\ncmp r1, r2\n" // lt
+           "lea r3, r1, 100\nsetcc r4, lt\nhalt\n");
+  EXPECT_EQ(R.reg(3), 101u);
+  EXPECT_EQ(R.reg(4), 1u);
+}
+
+TEST(InterpTest, XorClobbersFlags) {
+  Runner R("movi r1, 1\nmovi r2, 2\ncmp r1, r2\n" // lt: SF set
+           "xor r3, r1, r1\nsetcc r4, eq\nhalt\n");
+  // xor set ZF (result 0), so eq is now true even though cmp said lt.
+  EXPECT_EQ(R.reg(4), 1u);
+}
+
+TEST(InterpTest, MemoryLoadStore) {
+  Runner R(".data\nbuf: .space 64\n.code\n"
+           "movi r1, buf\nmovi r2, 0x1234\nst [r1+8], r2\n"
+           "ld r3, [r1+8]\nstb [r1], r2\nldb r4, [r1]\nhalt\n");
+  EXPECT_EQ(R.reg(3), 0x1234u);
+  EXPECT_EQ(R.reg(4), 0x34u);
+}
+
+TEST(InterpTest, PushPop) {
+  Runner R("movi r1, 77\npush r1\nmovi r1, 0\npop r2\nhalt\n");
+  EXPECT_EQ(R.reg(2), 77u);
+  EXPECT_EQ(R.reg(RegSP), StackTop);
+}
+
+TEST(InterpTest, CallRet) {
+  Runner R(".entry main\n"
+           "f:\nmovi r1, 9\nret\n"
+           "main:\ncall f\nmovi r2, 1\nhalt\n");
+  EXPECT_EQ(R.reg(1), 9u);
+  EXPECT_EQ(R.reg(2), 1u);
+  EXPECT_EQ(R.Stop.Kind, StopKind::Halted);
+}
+
+TEST(InterpTest, IndirectCallThroughTable) {
+  Runner R(".entry main\n"
+           "f1:\nmovi r1, 100\nret\n"
+           "f2:\nmovi r1, 200\nret\n"
+           ".data\ntable: .word f1, f2\n.code\n"
+           "main:\nmovi r2, table\nld r3, [r2+8]\ncallr r3\nhalt\n");
+  EXPECT_EQ(R.reg(1), 200u);
+}
+
+TEST(InterpTest, OutProducesText) {
+  Runner R("movi r1, 42\nout r1\nmovi r1, 'X'\noutc r1\nhalt\n");
+  EXPECT_EQ(R.Interp.output(), "42\nX");
+}
+
+TEST(InterpTest, OutputHashDiffers) {
+  Runner A("movi r1, 1\nout r1\nhalt\n");
+  Runner B("movi r1, 2\nout r1\nhalt\n");
+  EXPECT_NE(hashOutput(A.Interp.output()), hashOutput(B.Interp.output()));
+}
+
+TEST(InterpTest, FloatingPoint) {
+  Runner R("movi r1, 2\nitof f1, r1\nfmovi f2, 3\nfmul f3, f1, f2\n"
+           "fsqrt f4, f3\nftoi r2, f3\nhalt\n");
+  EXPECT_DOUBLE_EQ(R.fp(3), 6.0);
+  EXPECT_NEAR(R.fp(4), 2.449489, 1e-5);
+  EXPECT_EQ(R.reg(2), 6u);
+}
+
+TEST(InterpTest, FCmpDrivesBranches) {
+  Runner R("fmovi f1, 2\nfmovi f2, 5\nfcmp f1, f2\nsetcc r1, lt\n"
+           "setcc r2, eq\nfcmp f2, f2\nsetcc r3, eq\nhalt\n");
+  EXPECT_EQ(R.reg(1), 1u);
+  EXPECT_EQ(R.reg(2), 0u);
+  EXPECT_EQ(R.reg(3), 1u);
+}
+
+TEST(InterpTest, FpMemory) {
+  Runner R(".data\nv: .space 16\n.code\n"
+           "fmovi f1, 7\nmovi r1, v\nfst [r1], f1\nfld f2, [r1]\nhalt\n");
+  EXPECT_DOUBLE_EQ(R.fp(2), 7.0);
+}
+
+TEST(InterpTest, InsnLimitStops) {
+  Runner R("spin: jmp spin\n", /*MaxInsns=*/500);
+  EXPECT_EQ(R.Stop.Kind, StopKind::InsnLimit);
+  EXPECT_EQ(R.Interp.instructionCount(), 500u);
+}
+
+TEST(InterpTest, BrkTrapCarriesCode) {
+  Runner R("brk 0xCFE\n");
+  EXPECT_EQ(R.Stop.Kind, StopKind::Trapped);
+  EXPECT_EQ(R.Stop.Trap, TrapKind::BreakTrap);
+  EXPECT_EQ(R.Stop.BreakCode, BrkControlFlowError);
+}
+
+TEST(InterpTest, JumpToDataTrapsAsExecViolation) {
+  // Category F in miniature: a jump into a non-executable region traps.
+  Runner R(".data\nd: .word 0\n.code\nmovi r1, d\njmpr r1\nhalt\n");
+  EXPECT_EQ(R.Stop.Kind, StopKind::Trapped);
+  EXPECT_EQ(R.Stop.Trap, TrapKind::ExecViolation);
+  EXPECT_EQ(R.Stop.TrapAddr, DataBase);
+}
+
+TEST(InterpTest, JumpToUnmappedTraps) {
+  Runner R("movi r1, 0x9000000\njmpr r1\nhalt\n");
+  EXPECT_EQ(R.Stop.Kind, StopKind::Trapped);
+  EXPECT_EQ(R.Stop.Trap, TrapKind::ExecViolation);
+}
+
+TEST(InterpTest, StoreToCodeTraps) {
+  Runner R("movi r1, 0x10000\nmovi r2, 0\nst [r1], r2\nhalt\n");
+  EXPECT_EQ(R.Stop.Kind, StopKind::Trapped);
+  EXPECT_EQ(R.Stop.Trap, TrapKind::WriteViolation);
+}
+
+TEST(InterpTest, ReadUnmappedTraps) {
+  Runner R("movi r1, 0x9000000\nld r2, [r1]\nhalt\n");
+  EXPECT_EQ(R.Stop.Kind, StopKind::Trapped);
+  EXPECT_EQ(R.Stop.Trap, TrapKind::ReadViolation);
+}
+
+TEST(InterpTest, MisalignedFetchDecodesBytes) {
+  // VISA has no alignment requirement (like IA-32): jumping into the
+  // middle of an instruction decodes whatever bytes are there.
+  Runner R("movi r1, 0x10004\njmpr r1\nhalt\n", 10);
+  // The outcome depends on the bytes; the point is it does not assert and
+  // either traps or keeps executing.
+  EXPECT_TRUE(R.Stop.Kind == StopKind::Trapped ||
+              R.Stop.Kind == StopKind::InsnLimit ||
+              R.Stop.Kind == StopKind::Halted);
+}
+
+TEST(InterpTest, CycleAccountingMatchesCosts) {
+  Runner R("movi r1, 1\nfadd f1, f2, f3\nhalt\n");
+  uint64_t Expected = getOpcodeCost(Opcode::MovI) +
+                      getOpcodeCost(Opcode::FAdd) +
+                      getOpcodeCost(Opcode::Halt);
+  EXPECT_EQ(R.Interp.cycleCount(), Expected);
+}
+
+namespace {
+
+/// Observer recording branch executions.
+struct RecordingObserver : BranchObserver {
+  struct Event {
+    uint64_t Addr;
+    bool Taken;
+    uint64_t NextPC;
+  };
+  std::vector<Event> Events;
+  void onBranch(uint64_t InsnAddr, const Instruction &, const Flags &,
+                bool Taken, uint64_t NextPC) override {
+    Events.push_back({InsnAddr, Taken, NextPC});
+  }
+};
+
+/// Hook that flips one offset bit at a given dynamic branch instance.
+struct OffsetFlipHook : FaultHook {
+  uint64_t TriggerCount;
+  unsigned Bit;
+  uint64_t Seen = 0;
+  bool Fired = false;
+  OffsetFlipHook(uint64_t TriggerCount, unsigned Bit)
+      : TriggerCount(TriggerCount), Bit(Bit) {}
+  void apply(uint64_t, Instruction &I, Flags &, const CpuState &) override {
+    if (++Seen == TriggerCount) {
+      I.Imm = static_cast<int32_t>(static_cast<uint32_t>(I.Imm) ^
+                                   (1u << Bit));
+      Fired = true;
+    }
+  }
+};
+
+/// Hook that flips one flag bit at a given dynamic branch instance.
+struct FlagFlipHook : FaultHook {
+  uint64_t TriggerCount;
+  unsigned Bit;
+  uint64_t Seen = 0;
+  FlagFlipHook(uint64_t TriggerCount, unsigned Bit)
+      : TriggerCount(TriggerCount), Bit(Bit) {}
+  void apply(uint64_t, Instruction &, Flags &F, const CpuState &) override {
+    if (++Seen == TriggerCount)
+      F = F.withBitFlipped(Bit);
+  }
+};
+
+} // namespace
+
+TEST(InterpTest, BranchObserverSeesTakenAndNotTaken) {
+  Memory Mem;
+  Interpreter Interp(Mem);
+  AsmResult Result = assembleProgram(
+      "movi r1, 2\nloop:\naddi r1, r1, -1\njcc ne, loop\nhalt\n");
+  ASSERT_TRUE(Result.succeeded());
+  loadProgram(Result.Program, LoadMode::Native, Mem, Interp.state());
+  RecordingObserver Observer;
+  Interp.setBranchObserver(&Observer);
+  Interp.run(1000);
+  ASSERT_EQ(Observer.Events.size(), 2u);
+  EXPECT_TRUE(Observer.Events[0].Taken);
+  EXPECT_FALSE(Observer.Events[1].Taken);
+}
+
+TEST(InterpTest, FaultHookFlipsBranchOffset) {
+  Memory Mem;
+  Interpreter Interp(Mem);
+  // jmp over the halt; flipping bit 3 of the offset (8) turns it into 0,
+  // landing on the halt.
+  AsmResult Result =
+      assembleProgram("jmp skip\nhalt\nskip:\nmovi r1, 1\nhalt\n");
+  ASSERT_TRUE(Result.succeeded());
+  loadProgram(Result.Program, LoadMode::Native, Mem, Interp.state());
+  OffsetFlipHook Hook(1, 3);
+  Interp.setFaultHook(&Hook);
+  StopInfo Stop = Interp.run(100);
+  EXPECT_TRUE(Hook.Fired);
+  EXPECT_EQ(Stop.Kind, StopKind::Halted);
+  EXPECT_EQ(Interp.state().Regs[1], 0u);
+}
+
+TEST(InterpTest, FaultHookFlipsFlagsTransiently) {
+  Memory Mem;
+  Interpreter Interp(Mem);
+  // r1=1, r2=1: eq. Flip ZF at the branch -> falls through. The setcc
+  // after the branch must still see the *architectural* flags (eq).
+  AsmResult Result = assembleProgram(
+      "movi r1, 1\nmovi r2, 1\ncmp r1, r2\njcc eq, taken\n"
+      "setcc r3, eq\nhalt\ntaken:\nmovi r4, 1\nhalt\n");
+  ASSERT_TRUE(Result.succeeded());
+  loadProgram(Result.Program, LoadMode::Native, Mem, Interp.state());
+  FlagFlipHook Hook(1, 0); // Flip ZF.
+  Interp.setFaultHook(&Hook);
+  Interp.run(100);
+  EXPECT_EQ(Interp.state().Regs[4], 0u); // Mistaken branch: fell through.
+  EXPECT_EQ(Interp.state().Regs[3], 1u); // Architectural flags intact.
+}
+
+TEST(InterpTest, TrampWithoutDbtHooksIsIllegal) {
+  Memory Mem;
+  Interpreter Interp(Mem);
+  Mem.mapRegion(CodeBase, PageSize, PermRX);
+  uint8_t Buffer[InsnSize];
+  insn::i(Opcode::Tramp, 0x1234).encode(Buffer);
+  Mem.writeRaw(CodeBase, Buffer, InsnSize);
+  Interp.state().PC = CodeBase;
+  StopInfo Stop = Interp.run(10);
+  EXPECT_EQ(Stop.Kind, StopKind::Trapped);
+  EXPECT_EQ(Stop.Trap, TrapKind::IllegalInsn);
+}

@@ -1,0 +1,214 @@
+//===- IsaTest.cpp - Tests for the VISA definition ----------------------------===//
+
+#include "isa/Disasm.h"
+#include "isa/Isa.h"
+
+#include <gtest/gtest.h>
+
+using namespace cfed;
+
+TEST(IsaTest, EncodeDecodeRoundTripAllOpcodes) {
+  for (unsigned OpIndex = 0; OpIndex < getNumOpcodes(); ++OpIndex) {
+    Instruction I(static_cast<Opcode>(OpIndex), 3, 7, 11, -12345);
+    uint8_t Buffer[InsnSize];
+    I.encode(Buffer);
+    auto Decoded = Instruction::decode(Buffer);
+    ASSERT_TRUE(Decoded.has_value());
+    EXPECT_EQ(*Decoded, I);
+  }
+}
+
+TEST(IsaTest, DecodeRejectsUndefinedOpcode) {
+  uint8_t Buffer[InsnSize] = {0xff, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_FALSE(Instruction::decode(Buffer).has_value());
+}
+
+TEST(IsaTest, DecodeRejectsOutOfRangeOperands) {
+  // Garbage bytes reached by wild jumps must not decode into
+  // instructions addressing nonexistent registers (the #UD analogue;
+  // also what keeps the interpreter's register file in bounds).
+  uint8_t Buffer[InsnSize];
+  insn::rrr(Opcode::Add, 1, 2, 3).encode(Buffer);
+  Buffer[1] = 200; // rd out of range.
+  EXPECT_FALSE(Instruction::decode(Buffer).has_value());
+
+  insn::rrr(Opcode::FAdd, 1, 2, 3).encode(Buffer);
+  Buffer[2] = NumFpRegs; // fp reg out of range.
+  EXPECT_FALSE(Instruction::decode(Buffer).has_value());
+
+  insn::jcc(CondCode::EQ, 8).encode(Buffer);
+  Buffer[1] = NumCondCodes; // condition code out of range.
+  EXPECT_FALSE(Instruction::decode(Buffer).has_value());
+
+  // Unused fields may hold anything (they are ignored).
+  insn::none(Opcode::Ret).encode(Buffer);
+  Buffer[1] = 0xee;
+  EXPECT_TRUE(Instruction::decode(Buffer).has_value());
+}
+
+TEST(IsaTest, ImmEncodingIsLittleEndianTwosComplement) {
+  Instruction I(Opcode::MovI, 1, 0, 0, -2);
+  uint8_t Buffer[InsnSize];
+  I.encode(Buffer);
+  EXPECT_EQ(Buffer[4], 0xfe);
+  EXPECT_EQ(Buffer[5], 0xff);
+  EXPECT_EQ(Buffer[6], 0xff);
+  EXPECT_EQ(Buffer[7], 0xff);
+}
+
+TEST(IsaTest, BranchTargetRelativeToNextInsn) {
+  Instruction J = insn::i(Opcode::Jmp, 16);
+  EXPECT_EQ(J.branchTarget(0x1000), 0x1000u + 8 + 16);
+  Instruction Back = insn::i(Opcode::Jmp, -24);
+  EXPECT_EQ(Back.branchTarget(0x1000), 0x1000u + 8 - 24);
+}
+
+TEST(IsaTest, OffsetForInvertsBranchTarget) {
+  uint64_t InsnAddr = 0x20000;
+  uint64_t Target = 0x20100;
+  int32_t Offset = Instruction::offsetFor(InsnAddr, Target);
+  Instruction J = insn::i(Opcode::Jmp, Offset);
+  EXPECT_EQ(J.branchTarget(InsnAddr), Target);
+}
+
+TEST(IsaTest, CondFieldBindings) {
+  Instruction J = insn::jcc(CondCode::LE, 8);
+  EXPECT_EQ(J.cond(), CondCode::LE);
+  Instruction M = insn::cmov(2, 3, CondCode::GT);
+  EXPECT_EQ(M.cond(), CondCode::GT);
+  EXPECT_EQ(M.A, 2);
+  EXPECT_EQ(M.B, 3);
+  Instruction S = insn::setcc(4, CondCode::NE);
+  EXPECT_EQ(S.cond(), CondCode::NE);
+}
+
+TEST(IsaTest, OpKindClassification) {
+  EXPECT_EQ(getOpcodeKind(Opcode::Add), OpKind::None);
+  EXPECT_EQ(getOpcodeKind(Opcode::Jmp), OpKind::Jump);
+  EXPECT_EQ(getOpcodeKind(Opcode::Jcc), OpKind::CondJump);
+  EXPECT_EQ(getOpcodeKind(Opcode::Jzr), OpKind::RegZeroJump);
+  EXPECT_EQ(getOpcodeKind(Opcode::Ret), OpKind::Ret);
+  EXPECT_EQ(getOpcodeKind(Opcode::Tramp), OpKind::DbtExit);
+}
+
+TEST(IsaTest, HasBranchOffset) {
+  EXPECT_TRUE(hasBranchOffset(Opcode::Jmp));
+  EXPECT_TRUE(hasBranchOffset(Opcode::Jcc));
+  EXPECT_TRUE(hasBranchOffset(Opcode::Jzr));
+  EXPECT_TRUE(hasBranchOffset(Opcode::Jnzr));
+  EXPECT_TRUE(hasBranchOffset(Opcode::Call));
+  EXPECT_FALSE(hasBranchOffset(Opcode::JmpR));
+  EXPECT_FALSE(hasBranchOffset(Opcode::Ret));
+  EXPECT_FALSE(hasBranchOffset(Opcode::Add));
+  EXPECT_FALSE(hasBranchOffset(Opcode::Tramp));
+}
+
+TEST(IsaTest, FlagNeutralInstrumentationOps) {
+  // The signature sequences rely on these not clobbering FLAGS
+  // (paper Section 5.1).
+  EXPECT_FALSE(opcodeWritesFlags(Opcode::Lea));
+  EXPECT_FALSE(opcodeWritesFlags(Opcode::Mov));
+  EXPECT_FALSE(opcodeWritesFlags(Opcode::MovI));
+  EXPECT_FALSE(opcodeWritesFlags(Opcode::CMov));
+  EXPECT_FALSE(opcodeWritesFlags(Opcode::SetCC));
+  EXPECT_FALSE(opcodeWritesFlags(Opcode::Jzr));
+  // And these do, which is why xor is not used for updates.
+  EXPECT_TRUE(opcodeWritesFlags(Opcode::Xor));
+  EXPECT_TRUE(opcodeWritesFlags(Opcode::XorI));
+}
+
+TEST(IsaTest, CondCodeNegation) {
+  for (unsigned I = 0; I < NumCondCodes; ++I) {
+    CondCode CC = static_cast<CondCode>(I);
+    EXPECT_EQ(negateCondCode(negateCondCode(CC)), CC);
+  }
+}
+
+TEST(IsaTest, CondCodeNegationIsComplementary) {
+  // For every flags value, cc and !cc must disagree.
+  for (unsigned Bits = 0; Bits < 16; ++Bits) {
+    Flags F = Flags::unpack(static_cast<uint8_t>(Bits));
+    for (unsigned I = 0; I < NumCondCodes; ++I) {
+      CondCode CC = static_cast<CondCode>(I);
+      EXPECT_NE(evalCondCode(CC, F), evalCondCode(negateCondCode(CC), F));
+    }
+  }
+}
+
+TEST(IsaTest, CondCodeParsing) {
+  for (unsigned I = 0; I < NumCondCodes; ++I) {
+    CondCode CC = static_cast<CondCode>(I);
+    auto Parsed = parseCondCode(getCondCodeName(CC));
+    ASSERT_TRUE(Parsed.has_value());
+    EXPECT_EQ(*Parsed, CC);
+  }
+  EXPECT_FALSE(parseCondCode("zz").has_value());
+}
+
+TEST(IsaTest, FlagsPackUnpackRoundTrip) {
+  for (unsigned Bits = 0; Bits < 16; ++Bits) {
+    Flags F = Flags::unpack(static_cast<uint8_t>(Bits));
+    EXPECT_EQ(F.pack(), Bits);
+  }
+}
+
+TEST(IsaTest, FlagBitFlip) {
+  Flags F;
+  Flags Flipped = F.withBitFlipped(0);
+  EXPECT_TRUE(Flipped.ZF);
+  EXPECT_EQ(Flipped.withBitFlipped(0), F);
+  EXPECT_TRUE(F.withBitFlipped(3).OF);
+}
+
+TEST(IsaTest, RegisterNames) {
+  EXPECT_EQ(getRegName(0), "r0");
+  EXPECT_EQ(getRegName(RegSP), "sp");
+  EXPECT_EQ(getRegName(RegPCP), "pcp");
+  EXPECT_EQ(getRegName(RegRTS), "rts");
+  EXPECT_EQ(parseRegName("r7").value(), 7u);
+  EXPECT_EQ(parseRegName("sp").value(), unsigned(RegSP));
+  EXPECT_EQ(parseRegName("aux").value(), unsigned(RegAUX));
+  EXPECT_EQ(parseRegName("r63").value(), 63u); // Shadow register space.
+  EXPECT_FALSE(parseRegName("r64").has_value());
+  EXPECT_FALSE(parseRegName("x1").has_value());
+  EXPECT_FALSE(parseRegName("r1x").has_value());
+}
+
+TEST(DisasmTest, BasicFormats) {
+  EXPECT_EQ(disassemble(insn::rrr(Opcode::Add, 1, 2, 3)), "add r1, r2, r3");
+  EXPECT_EQ(disassemble(insn::ri(Opcode::MovI, 4, -7)), "movi r4, -7");
+  EXPECT_EQ(disassemble(insn::jcc(CondCode::NE, 16)), "jcc ne, 16");
+  EXPECT_EQ(disassemble(insn::none(Opcode::Ret)), "ret");
+  EXPECT_EQ(disassemble(insn::cmov(1, 2, CondCode::LE)), "cmov r1, r2, le");
+  Instruction Load = insn::rri(Opcode::Ld, 1, 2, 40);
+  EXPECT_EQ(disassemble(Load), "ld r1, [r2+40]");
+  Instruction Store(Opcode::St, 2, 1, 0, -8);
+  EXPECT_EQ(disassemble(Store), "st [r2-8], r1");
+}
+
+TEST(DisasmTest, BranchTargetComment) {
+  std::string Text = disassemble(insn::i(Opcode::Jmp, 8), 0x1000);
+  EXPECT_NE(Text.find("0x1010"), std::string::npos);
+}
+
+TEST(DisasmTest, RangeMarksBadInsn) {
+  uint8_t Code[16] = {};
+  insn::none(Opcode::Nop).encode(Code);
+  Code[8] = 0xfe; // Undefined opcode.
+  std::string Text = disassembleRange(Code, sizeof(Code), 0x2000);
+  EXPECT_NE(Text.find("nop"), std::string::npos);
+  EXPECT_NE(Text.find(".bad"), std::string::npos);
+}
+
+TEST(IsaTest, CostModelShape) {
+  // The performance figures depend on these relative costs: the paper's
+  // explanation of fp benchmarks ("more time-consuming instructions") and
+  // of Jcc vs CMOVcc updates (Figure 14).
+  EXPECT_GT(getOpcodeCost(Opcode::FAdd), getOpcodeCost(Opcode::Add));
+  EXPECT_GT(getOpcodeCost(Opcode::Div), 4 * getOpcodeCost(Opcode::Add));
+  EXPECT_GT(getOpcodeCost(Opcode::CMov), getOpcodeCost(Opcode::Lea));
+  // The dependency-carrying lea chains cost more than immediate moves —
+  // the paper's reason ECF's updates are cheapest.
+  EXPECT_GT(getOpcodeCost(Opcode::Lea), getOpcodeCost(Opcode::MovI));
+  EXPECT_GE(getOpcodeCost(Opcode::TrampR), getOpcodeCost(Opcode::Tramp));
+}

@@ -1,0 +1,126 @@
+//===- MemoryTest.cpp - Unit tests for paged memory and the loader -------------===//
+
+#include "asm/Assembler.h"
+#include "vm/Layout.h"
+#include "vm/Loader.h"
+#include "vm/Memory.h"
+
+#include <gtest/gtest.h>
+
+using namespace cfed;
+
+TEST(MemoryTest, UnmappedAccessFails) {
+  Memory Mem;
+  uint8_t Byte;
+  EXPECT_EQ(Mem.read(0x1000, &Byte, 1), MemResult::Unmapped);
+  EXPECT_EQ(Mem.write(0x1000, &Byte, 1), MemResult::Unmapped);
+  EXPECT_EQ(Mem.fetch(0x1000, &Byte, 1), MemResult::Unmapped);
+  EXPECT_FALSE(Mem.isMapped(0x1000));
+  EXPECT_EQ(Mem.getPerms(0x1000), PermNone);
+}
+
+TEST(MemoryTest, PermissionEnforcement) {
+  Memory Mem;
+  Mem.mapRegion(0x1000, PageSize, PermR);
+  uint8_t Byte = 7;
+  EXPECT_EQ(Mem.read(0x1000, &Byte, 1), MemResult::Ok);
+  EXPECT_EQ(Mem.write(0x1000, &Byte, 1), MemResult::NoWrite);
+  EXPECT_EQ(Mem.fetch(0x1000, &Byte, 1), MemResult::NoExec);
+
+  Mem.setPerms(0x1000, PageSize, PermRWX);
+  EXPECT_EQ(Mem.write(0x1000, &Byte, 1), MemResult::Ok);
+  EXPECT_EQ(Mem.fetch(0x1000, &Byte, 1), MemResult::Ok);
+}
+
+TEST(MemoryTest, ReadWriteRoundTrip) {
+  Memory Mem;
+  Mem.mapRegion(0x2000, PageSize, PermRW);
+  EXPECT_EQ(Mem.write64(0x2000, 0x1122334455667788ULL), MemResult::Ok);
+  MemResult R = MemResult::Ok;
+  EXPECT_EQ(Mem.read64(0x2000, R), 0x1122334455667788ULL);
+  EXPECT_EQ(R, MemResult::Ok);
+  EXPECT_EQ(Mem.read8(0x2000, R), 0x88); // Little-endian.
+}
+
+TEST(MemoryTest, CrossPageAccess) {
+  Memory Mem;
+  Mem.mapRegion(0x3000, 2 * PageSize, PermRW);
+  uint64_t Addr = 0x3000 + PageSize - 4; // Straddles the boundary.
+  EXPECT_EQ(Mem.write64(Addr, 0xAABBCCDDEEFF0011ULL), MemResult::Ok);
+  MemResult R = MemResult::Ok;
+  EXPECT_EQ(Mem.read64(Addr, R), 0xAABBCCDDEEFF0011ULL);
+}
+
+TEST(MemoryTest, CrossPagePartialPermissionFails) {
+  Memory Mem;
+  Mem.mapRegion(0x3000, PageSize, PermRW);
+  Mem.mapRegion(0x3000 + PageSize, PageSize, PermR);
+  uint64_t Addr = 0x3000 + PageSize - 4;
+  EXPECT_EQ(Mem.write64(Addr, 1), MemResult::NoWrite);
+}
+
+TEST(MemoryTest, MapRegionRoundsOutward) {
+  Memory Mem;
+  Mem.mapRegion(0x5100, 100, PermR); // Mid-page, small.
+  EXPECT_TRUE(Mem.isMapped(0x5000));
+  EXPECT_TRUE(Mem.isMapped(0x5FFF));
+  EXPECT_FALSE(Mem.isMapped(0x6000));
+}
+
+TEST(MemoryTest, RemapKeepsContents) {
+  Memory Mem;
+  Mem.mapRegion(0x7000, PageSize, PermRW);
+  ASSERT_EQ(Mem.write64(0x7000, 42), MemResult::Ok);
+  Mem.mapRegion(0x7000, PageSize, PermR); // Permission change only.
+  MemResult R = MemResult::Ok;
+  EXPECT_EQ(Mem.read64(0x7000, R), 42u);
+}
+
+TEST(MemoryTest, RawBypassesPermissions) {
+  Memory Mem;
+  Mem.mapRegion(0x8000, PageSize, PermNone);
+  uint64_t Value = 0x55;
+  Mem.writeRaw(0x8000, &Value, sizeof(Value));
+  uint64_t Back = 0;
+  Mem.readRaw(0x8000, &Back, sizeof(Back));
+  EXPECT_EQ(Back, 0x55u);
+}
+
+TEST(LoaderTest, NativeLayout) {
+  AsmResult R = assembleProgram(".data\nv: .word 9\n.code\nmain:\nhalt\n"
+                                ".entry main\n");
+  ASSERT_TRUE(R.succeeded());
+  Memory Mem;
+  CpuState State;
+  loadProgram(R.Program, LoadMode::Native, Mem, State);
+  EXPECT_EQ(State.PC, CodeBase);
+  EXPECT_EQ(State.Regs[RegSP], StackTop);
+  EXPECT_EQ(Mem.getPerms(CodeBase), PermRX);
+  EXPECT_EQ(Mem.getPerms(DataBase), PermRW);
+  EXPECT_EQ(Mem.getPerms(StackTop - 8), PermRW);
+  MemResult Res = MemResult::Ok;
+  EXPECT_EQ(Mem.read64(DataBase, Res), 9u);
+}
+
+TEST(LoaderTest, TranslatedLayoutProtectsCode) {
+  AsmResult R = assembleProgram("halt\n");
+  ASSERT_TRUE(R.succeeded());
+  Memory Mem;
+  CpuState State;
+  loadProgram(R.Program, LoadMode::Translated, Mem, State);
+  // Guest code: readable, not executable, not writable — the
+  // category-F detector and the self-modification trap.
+  EXPECT_EQ(Mem.getPerms(CodeBase), PermR);
+}
+
+TEST(LoaderTest, ResetsCpuState) {
+  AsmResult R = assembleProgram("halt\n");
+  ASSERT_TRUE(R.succeeded());
+  Memory Mem;
+  CpuState State;
+  State.Regs[3] = 999;
+  State.F.ZF = true;
+  loadProgram(R.Program, LoadMode::Native, Mem, State);
+  EXPECT_EQ(State.Regs[3], 0u);
+  EXPECT_FALSE(State.F.ZF);
+}

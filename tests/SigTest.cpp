@@ -1,0 +1,153 @@
+//===- SigTest.cpp - Tests for the Section 4 formal framework ------------------===//
+
+#include "sig/FormalModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace cfed;
+using namespace cfed::sig;
+
+namespace {
+
+ConditionReport verify(Scheme &S, uint64_t Seed, unsigned Blocks = 12,
+                       unsigned PathLen = 40) {
+  Prng Rng(Seed);
+  AbstractCfg Cfg = AbstractCfg::random(Rng, Blocks);
+  return verifySingleErrorDetection(S, Cfg, PathLen,
+                                    /*ContinueSteps=*/4 * Blocks,
+                                    Seed * 3 + 1);
+}
+
+} // namespace
+
+TEST(AbstractCfgTest, RandomIsConnectedWithExit) {
+  Prng Rng(5);
+  AbstractCfg Cfg = AbstractCfg::random(Rng, 10);
+  ASSERT_EQ(Cfg.numBlocks(), 10u);
+  EXPECT_TRUE(Cfg.Succs.back().empty());
+  for (unsigned I = 0; I + 1 < Cfg.numBlocks(); ++I) {
+    EXPECT_FALSE(Cfg.Succs[I].empty());
+    EXPECT_LE(Cfg.Succs[I].size(), 2u);
+  }
+}
+
+/// Claim 1 of the paper: EdgCF satisfies both the sufficient and the
+/// necessary condition — every single control-flow error is detected
+/// and no check fails on a correct path. RCF (unique tail regions)
+/// inherits the property.
+class ComprehensiveSchemeTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ComprehensiveSchemeTest, EdgCfDetectsAllSingleErrors) {
+  auto S = makeEdgCfScheme();
+  ConditionReport Report = verify(*S, GetParam());
+  EXPECT_GT(Report.ErrorsTotal, 20u);
+  EXPECT_EQ(Report.Undetected, 0u) << "EdgCF missed single errors";
+  EXPECT_EQ(Report.FalsePositives, 0u);
+}
+
+TEST_P(ComprehensiveSchemeTest, RcfDetectsAllSingleErrors) {
+  auto S = makeRcfScheme();
+  ConditionReport Report = verify(*S, GetParam());
+  EXPECT_GT(Report.ErrorsTotal, 20u);
+  EXPECT_EQ(Report.Undetected, 0u) << "RCF missed single errors";
+  EXPECT_EQ(Report.FalsePositives, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ComprehensiveSchemeTest,
+                         ::testing::Range<uint64_t>(1, 26));
+
+/// The prior techniques satisfy the necessary condition but not the
+/// sufficient one (Section 4.4: "none of them can detect all possible
+/// single control-flow errors"), each with its characteristic gap.
+TEST(PriorSchemesTest, EcfMissesOnlySameTailErrors) {
+  auto S = makeEcfScheme();
+  uint64_t SameTail = 0, Other = 0, FalsePositives = 0, Total = 0;
+  for (uint64_t Seed = 1; Seed <= 25; ++Seed) {
+    ConditionReport Report = verify(*S, Seed);
+    SameTail += Report.UndetectedSameTail;
+    Other += Report.Undetected - Report.UndetectedSameTail;
+    FalsePositives += Report.FalsePositives;
+    Total += Report.ErrorsTotal;
+  }
+  EXPECT_GT(Total, 1000u);
+  EXPECT_GT(SameTail, 0u) << "ECF should miss category-C errors";
+  EXPECT_EQ(Other, 0u) << "ECF detects everything except category C";
+  EXPECT_EQ(FalsePositives, 0u);
+}
+
+TEST(PriorSchemesTest, CfcssMissesMistakenBranchesAndSameTail) {
+  auto S = makeCfcssScheme();
+  uint64_t Mistaken = 0, SameTail = 0, FalsePositives = 0;
+  for (uint64_t Seed = 1; Seed <= 25; ++Seed) {
+    ConditionReport Report = verify(*S, Seed);
+    Mistaken += Report.UndetectedMistaken;
+    SameTail += Report.UndetectedSameTail;
+    FalsePositives += Report.FalsePositives;
+  }
+  EXPECT_GT(Mistaken, 0u) << "CFCSS cannot detect category A";
+  EXPECT_GT(SameTail, 0u) << "CFCSS cannot detect category C";
+  EXPECT_EQ(FalsePositives, 0u);
+}
+
+TEST(PriorSchemesTest, EccaMissesMistakenBranches) {
+  auto S = makeEccaScheme();
+  uint64_t Mistaken = 0, FalsePositives = 0, Undetected = 0;
+  for (uint64_t Seed = 1; Seed <= 25; ++Seed) {
+    ConditionReport Report = verify(*S, Seed);
+    Mistaken += Report.UndetectedMistaken;
+    Undetected += Report.Undetected;
+    FalsePositives += Report.FalsePositives;
+  }
+  EXPECT_GT(Mistaken, 0u) << "ECCA cannot detect category A";
+  EXPECT_GE(Undetected, Mistaken);
+  EXPECT_EQ(FalsePositives, 0u);
+}
+
+TEST(SchemeAlgebraTest, EdgCfGenSigIsTheAdditiveForm) {
+  // GEN_SIG(x, y, z) = x - y + z (Section 4.4's EFLAGS-friendly choice):
+  // walking head-exit then tail-exit from state x over block y to target
+  // z must produce x - hid(y) + hid(z).
+  auto S = makeEdgCfScheme();
+  AbstractCfg Cfg;
+  Cfg.Succs = {{1}, {}};
+  S->prepare(Cfg);
+  Scheme::State X{12345, 0};
+  Scheme::State Mid = S->genHeadExit(X, 0);
+  Scheme::State Out = S->genTailExit(Mid, 0, 1);
+  EXPECT_EQ(Out.A, X.A - 16 + 32); // hid(0)=16, hid(1)=32.
+}
+
+TEST(SchemeAlgebraTest, ErrorStickiness) {
+  // Once wrong, always wrong (the property the relaxed checking
+  // policies depend on, Section 6): propagate a corrupted state along a
+  // correct path and verify every later check still fails for
+  // EdgCF/RCF.
+  for (auto Make : {makeEdgCfScheme, makeRcfScheme}) {
+    auto S = Make();
+    AbstractCfg Cfg;
+    Cfg.Succs = {{1}, {2}, {3}, {}};
+    S->prepare(Cfg);
+    Scheme::State State = S->initial(Cfg);
+    State.A += 1; // Corrupt.
+    for (unsigned Block = 0; Block < 4; ++Block) {
+      State = S->genHeadExit(State, Block);
+      EXPECT_FALSE(S->checkTailEntry(State, Block))
+          << S->name() << " block " << Block;
+      if (Block + 1 < 4)
+        State = S->genTailExit(State, Block, Block + 1);
+    }
+  }
+}
+
+TEST(SchemeAlgebraTest, CorrectPathsPassEverywhere) {
+  for (auto Make : {makeEdgCfScheme, makeRcfScheme, makeEcfScheme,
+                    makeCfcssScheme, makeEccaScheme}) {
+    auto S = Make();
+    Prng Rng(99);
+    AbstractCfg Cfg = AbstractCfg::random(Rng, 16);
+    ConditionReport Report =
+        verifySingleErrorDetection(*S, Cfg, 60, 64, 7);
+    EXPECT_EQ(Report.FalsePositives, 0u) << S->name();
+  }
+}

@@ -1,0 +1,214 @@
+//===- WorkloadsTest.cpp - Tests for the SPEC2000 stand-in suite ---------------===//
+
+#include "cfg/Cfg.h"
+#include "dbt/Dbt.h"
+#include "support/Stats.h"
+#include "vm/Loader.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace cfed;
+
+namespace {
+
+struct NativeRun {
+  std::string Output;
+  StopInfo Stop;
+  uint64_t Insns = 0;
+  uint64_t Cycles = 0;
+};
+
+NativeRun runNative(const AsmProgram &Program) {
+  Memory Mem;
+  Interpreter Interp(Mem);
+  loadProgram(Program, LoadMode::Native, Mem, Interp.state());
+  NativeRun Run;
+  Run.Stop = Interp.run(50000000ULL);
+  Run.Output = Interp.output();
+  Run.Insns = Interp.instructionCount();
+  Run.Cycles = Interp.cycleCount();
+  return Run;
+}
+
+} // namespace
+
+TEST(WorkloadsTest, SuiteShape) {
+  EXPECT_EQ(getWorkloadSuite().size(), 26u);
+  EXPECT_EQ(getIntWorkloadNames().size(), 12u);
+  EXPECT_EQ(getFpWorkloadNames().size(), 14u);
+}
+
+/// Every workload must assemble, halt cleanly, produce output, and be of
+/// a sane dynamic size.
+class WorkloadParamTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadParamTest, RunsCleanNatively) {
+  AsmProgram Program = assembleWorkload(GetParam());
+  NativeRun Run = runNative(Program);
+  EXPECT_EQ(Run.Stop.Kind, StopKind::Halted)
+      << "trap=" << getTrapKindName(Run.Stop.Trap) << " at 0x" << std::hex
+      << Run.Stop.TrapAddr;
+  EXPECT_FALSE(Run.Output.empty());
+  EXPECT_GT(Run.Insns, 100000u) << "workload too small for statistics";
+  EXPECT_LT(Run.Insns, 10000000u) << "workload too large for campaigns";
+}
+
+TEST_P(WorkloadParamTest, SatisfiesFlagDiscipline) {
+  // Flags must never live across block boundaries: the whole-program
+  // techniques clobber flags in block prologues and rely on this.
+  AsmProgram Program = assembleWorkload(GetParam());
+  Cfg G = Cfg::build(Program.Code.data(), Program.Code.size(), CodeBase,
+                     Program.Entry, Program.CodeLabels);
+  std::vector<uint64_t> Violations = G.findFlagDisciplineViolations();
+  EXPECT_TRUE(Violations.empty())
+      << Violations.size() << " flag-discipline violations, first at 0x"
+      << std::hex << (Violations.empty() ? 0 : Violations[0]);
+}
+
+TEST_P(WorkloadParamTest, DbtMatchesNative) {
+  AsmProgram Program = assembleWorkload(GetParam());
+  NativeRun Native = runNative(Program);
+  ASSERT_EQ(Native.Stop.Kind, StopKind::Halted);
+
+  // RCF is the heaviest instrumentation; ECF's check clobbers flags at
+  // block entries, so it additionally exercises the flag discipline.
+  for (Technique Tech : {Technique::Rcf, Technique::Ecf}) {
+    DbtConfig Config;
+    Config.Tech = Tech;
+    Memory Mem;
+    Interpreter Interp(Mem);
+    Dbt Translator(Mem, Config);
+    ASSERT_TRUE(Translator.load(Program, Interp.state()));
+    StopInfo Stop = Translator.run(Interp, 100000000ULL);
+    EXPECT_EQ(Stop.Kind, StopKind::Halted)
+        << getTechniqueName(Tech)
+        << " trap=" << getTrapKindName(Stop.Trap)
+        << " code=" << Stop.BreakCode;
+    EXPECT_EQ(Interp.output(), Native.Output) << getTechniqueName(Tech);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadParamTest,
+    ::testing::ValuesIn([] {
+      std::vector<std::string> Names;
+      for (const WorkloadInfo &Info : getWorkloadSuite())
+        Names.push_back(Info.Name);
+      return Names;
+    }()),
+    [](const ::testing::TestParamInfo<std::string> &Info) {
+      std::string Name = Info.param;
+      for (char &Ch : Name)
+        if (Ch == '.')
+          Ch = '_';
+      return Name;
+    });
+
+TEST(WorkloadsTest, FpWorkloadsHaveLargerBlocksAndCostlierInsns) {
+  // The property every int-vs-fp difference in the paper rests on:
+  // fp workloads have bigger blocks (fewer branches per instruction) and
+  // a higher cycle cost per instruction.
+  double IntBranchRate = 0, FpBranchRate = 0;
+  double IntCpi = 0, FpCpi = 0;
+  auto Measure = [](const std::string &Name, double &BranchRate,
+                    double &Cpi) {
+    AsmProgram Program = assembleWorkload(Name);
+    // Static branch density is a good proxy; count offset branches.
+    uint64_t Branches = 0, Total = Program.Code.size() / InsnSize;
+    for (uint64_t I = 0; I < Total; ++I) {
+      auto Insn = Instruction::decode(&Program.Code[I * InsnSize]);
+      ASSERT_TRUE(Insn.has_value());
+      if (isBlockTerminator(Insn->Op))
+        ++Branches;
+    }
+    NativeRun Run = runNative(Program);
+    BranchRate += double(Branches) / double(Total);
+    Cpi += double(Run.Cycles) / double(Run.Insns);
+  };
+  for (const std::string &Name : getIntWorkloadNames())
+    Measure(Name, IntBranchRate, IntCpi);
+  for (const std::string &Name : getFpWorkloadNames())
+    Measure(Name, FpBranchRate, FpCpi);
+  IntBranchRate /= 12;
+  FpBranchRate /= 14;
+  IntCpi /= 12;
+  FpCpi /= 14;
+  EXPECT_GT(IntBranchRate, FpBranchRate);
+  EXPECT_GT(FpCpi, IntCpi);
+}
+
+TEST(WorkloadsTest, SuiteSlowdownOrdering) {
+  // The Figure 12 ordering over a representative slice of the suite:
+  // geomean slowdown ECF < EdgCF < RCF relative to the DBT baseline.
+  const char *Names[] = {"164.gzip", "181.mcf", "197.parser", "171.swim",
+                         "188.ammp", "189.lucas"};
+  std::vector<double> Ecf, EdgCf, Rcf;
+  for (const char *Name : Names) {
+    AsmProgram Program = assembleWorkload(Name);
+    auto Cycles = [&Program](Technique Tech) {
+      DbtConfig Config;
+      Config.Tech = Tech;
+      Memory Mem;
+      Interpreter Interp(Mem);
+      Dbt Translator(Mem, Config);
+      EXPECT_TRUE(Translator.load(Program, Interp.state()));
+      Translator.run(Interp, 100000000ULL);
+      return double(Interp.cycleCount());
+    };
+    double Base = Cycles(Technique::None);
+    Ecf.push_back(Cycles(Technique::Ecf) / Base);
+    EdgCf.push_back(Cycles(Technique::EdgCf) / Base);
+    Rcf.push_back(Cycles(Technique::Rcf) / Base);
+  }
+  double GeoEcf = geometricMean(Ecf);
+  double GeoEdgCf = geometricMean(EdgCf);
+  double GeoRcf = geometricMean(Rcf);
+  EXPECT_LT(GeoEcf, GeoEdgCf);
+  EXPECT_LT(GeoEdgCf, GeoRcf);
+  EXPECT_GT(GeoEcf, 1.05);
+  EXPECT_LT(GeoRcf, 3.0);
+}
+
+TEST(WorkloadsTest, GoldenOutputHashes) {
+  // Pinned output hashes: any change here means a workload's behavior
+  // changed, which invalidates every recorded experiment. Regenerate
+  // with tools/run_workload after an intentional change.
+  const std::pair<const char *, uint64_t> Goldens[] = {
+      {"164.gzip", 0x00ec24ab946f00baULL},
+      {"175.vpr", 0xc902a3f0d1fbd9c6ULL},
+      {"176.gcc", 0x0f1da70b303ec303ULL},
+      {"181.mcf", 0x3b997e49691d5620ULL},
+      {"186.crafty", 0x5743a3182260196cULL},
+      {"197.parser", 0x595e26bc8667a081ULL},
+      {"252.eon", 0x6059ee1827a49867ULL},
+      {"253.perlbmk", 0x5cbe6cd8a1a54194ULL},
+      {"254.gap", 0x1fbc9df10322def0ULL},
+      {"255.vortex", 0x65cdcfd8a6e3caa9ULL},
+      {"256.bzip2", 0x9f7734d870c00553ULL},
+      {"300.twolf", 0x8b985b18401e28bdULL},
+      {"168.wupwise", 0x70a5b3ff9e7c170eULL},
+      {"171.swim", 0x405d958c597693e9ULL},
+      {"172.mgrid", 0xf92be02e3204647dULL},
+      {"173.applu", 0xa4995f13a535ceeeULL},
+      {"177.mesa", 0x7d2fb59bb94cf03dULL},
+      {"178.galgel", 0xc88ca5468b7fbe9fULL},
+      {"179.art", 0x8e5bfb51ca4ff60eULL},
+      {"183.equake", 0x5d95666b0e071c00ULL},
+      {"187.facerec", 0x0be44842f0b11918ULL},
+      {"188.ammp", 0xcd3911488910d0e4ULL},
+      {"189.lucas", 0x89aec35a861a6e79ULL},
+      {"191.fma3d", 0x07fc1e07b4bd2c5fULL},
+      {"200.sixtrack", 0x07656e0e4282b816ULL},
+      {"301.apsi", 0x42bda3ed2870e2b6ULL},
+  };
+  for (const auto &[Name, Expected] : Goldens) {
+    NativeRun Run = runNative(assembleWorkload(Name));
+    EXPECT_EQ(hashOutput(Run.Output), Expected) << Name;
+  }
+}
+
+TEST(WorkloadsTest, DeterministicSources) {
+  EXPECT_EQ(getWorkloadSource("164.gzip"), getWorkloadSource("164.gzip"));
+  EXPECT_NE(getWorkloadSource("164.gzip"), getWorkloadSource("256.bzip2"));
+}

@@ -1,0 +1,319 @@
+//===- cfed_run.cpp - Command-line driver for the CFED pipeline -----------------===//
+//
+// Assemble-and-run driver exposing the whole pipeline from the shell:
+//
+//   cfed-run [options] <file.s | workload name>
+//
+//   --native             run on the bare interpreter (no DBT)
+//   --tech=<t>           none|cfcss|ecca|ecf|edgcf|rcf   (default none)
+//   --flavor=<f>         jcc|cmov                        (default jcc)
+//   --policy=<p>         allbb|retbe|ret|end|store       (default allbb)
+//   --eager              whole-program translation (required for
+//                        cfcss/ecca)
+//   --dfc                layer SWIFT-style data-flow checking under the
+//                        control-flow technique
+//   --max-insns=<n>      instruction budget (default 200M)
+//   --inject=<n>         run an n-fault injection campaign instead of a
+//                        plain run
+//   --seed=<n>           campaign seed (default 1)
+//   --disasm             print the guest disassembly and exit
+//   --dump-cfg           print the guest CFG as Graphviz DOT and exit
+//   --dump-cache         print the translated code cache after the run
+//   --stats              print run statistics
+//
+// The positional argument is a path to a VISA assembly file, or the
+// name of a built-in workload (e.g. 181.mcf).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/Cfg.h"
+#include "dbt/Dbt.h"
+#include "fault/Campaign.h"
+#include "isa/Disasm.h"
+#include "support/Format.h"
+#include "support/Table.h"
+#include "vm/Layout.h"
+#include "vm/Loader.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace cfed;
+
+namespace {
+
+struct Options {
+  bool Native = false;
+  DbtConfig Config;
+  uint64_t MaxInsns = 200000000ULL;
+  uint64_t Injections = 0;
+  uint64_t Seed = 1;
+  bool Disasm = false;
+  bool DumpCfg = false;
+  bool DumpCache = false;
+  bool Stats = false;
+  std::string Input;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: cfed-run [--native] [--tech=T] [--flavor=F] "
+               "[--policy=P] [--eager] [--dfc]\n"
+               "                [--max-insns=N] [--inject=N] [--seed=N] "
+               "[--disasm] [--dump-cfg]\n"
+               "                [--dump-cache] [--stats] "
+               "<file.s | workload>\n");
+  return 2;
+}
+
+bool parseTech(const std::string &Name, Technique &Out) {
+  if (Name == "none")
+    Out = Technique::None;
+  else if (Name == "cfcss")
+    Out = Technique::Cfcss;
+  else if (Name == "ecca")
+    Out = Technique::Ecca;
+  else if (Name == "ecf")
+    Out = Technique::Ecf;
+  else if (Name == "edgcf")
+    Out = Technique::EdgCf;
+  else if (Name == "rcf")
+    Out = Technique::Rcf;
+  else
+    return false;
+  return true;
+}
+
+bool parsePolicy(const std::string &Name, CheckPolicy &Out) {
+  if (Name == "allbb")
+    Out = CheckPolicy::AllBB;
+  else if (Name == "retbe")
+    Out = CheckPolicy::RetBE;
+  else if (Name == "ret")
+    Out = CheckPolicy::Ret;
+  else if (Name == "end")
+    Out = CheckPolicy::End;
+  else if (Name == "store")
+    Out = CheckPolicy::StoreBB;
+  else
+    return false;
+  return true;
+}
+
+bool parseArgs(int Argc, char **Argv, Options &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Value = [&Arg]() { return Arg.substr(Arg.find('=') + 1); };
+    if (Arg == "--native")
+      Opts.Native = true;
+    else if (Arg.rfind("--tech=", 0) == 0) {
+      if (!parseTech(Value(), Opts.Config.Tech))
+        return false;
+    } else if (Arg.rfind("--flavor=", 0) == 0) {
+      if (Value() == "jcc")
+        Opts.Config.Flavor = UpdateFlavor::Jcc;
+      else if (Value() == "cmov")
+        Opts.Config.Flavor = UpdateFlavor::CMovcc;
+      else
+        return false;
+    } else if (Arg.rfind("--policy=", 0) == 0) {
+      if (!parsePolicy(Value(), Opts.Config.Policy))
+        return false;
+    } else if (Arg == "--eager")
+      Opts.Config.EagerTranslate = true;
+    else if (Arg == "--dfc")
+      Opts.Config.DataFlowCheck = true;
+    else if (Arg.rfind("--max-insns=", 0) == 0)
+      Opts.MaxInsns = std::strtoull(Value().c_str(), nullptr, 0);
+    else if (Arg.rfind("--inject=", 0) == 0)
+      Opts.Injections = std::strtoull(Value().c_str(), nullptr, 0);
+    else if (Arg.rfind("--seed=", 0) == 0)
+      Opts.Seed = std::strtoull(Value().c_str(), nullptr, 0);
+    else if (Arg == "--disasm")
+      Opts.Disasm = true;
+    else if (Arg == "--dump-cfg")
+      Opts.DumpCfg = true;
+    else if (Arg == "--dump-cache")
+      Opts.DumpCache = true;
+    else if (Arg == "--stats")
+      Opts.Stats = true;
+    else if (Arg.rfind("--", 0) == 0)
+      return false;
+    else if (Opts.Input.empty())
+      Opts.Input = Arg;
+    else
+      return false;
+  }
+  return !Opts.Input.empty();
+}
+
+bool loadSource(const std::string &Input, std::string &Source) {
+  for (const WorkloadInfo &Info : getWorkloadSuite()) {
+    if (Info.Name == Input) {
+      Source = getWorkloadSource(Input);
+      return true;
+    }
+  }
+  std::ifstream File(Input);
+  if (!File)
+    return false;
+  std::ostringstream Buffer;
+  Buffer << File.rdbuf();
+  Source = Buffer.str();
+  return true;
+}
+
+const char *describeStop(const StopInfo &Stop) {
+  switch (Stop.Kind) {
+  case StopKind::Halted:
+    return "halted";
+  case StopKind::InsnLimit:
+    return "instruction limit reached";
+  case StopKind::Trapped:
+    return Stop.Trap == TrapKind::BreakTrap &&
+                   Stop.BreakCode == BrkControlFlowError
+               ? "control-flow error reported"
+               : getTrapKindName(Stop.Trap);
+  }
+  return "?";
+}
+
+int runCampaign(const AsmProgram &Program, const Options &Opts) {
+  FaultCampaign Campaign(Program, Opts.Config);
+  if (!Campaign.prepare(Opts.MaxInsns)) {
+    std::fprintf(stderr, "error: golden run failed (program must halt "
+                         "and the technique must support the program)\n");
+    return 1;
+  }
+  std::printf("golden: %llu insns, %llu branch executions, hash "
+              "%016llx\n",
+              (unsigned long long)Campaign.goldenInsns(),
+              (unsigned long long)Campaign.branchExecutions(SiteClass::Any),
+              (unsigned long long)Campaign.goldenHash());
+  OutcomeCounts Totals;
+  uint64_t LatencySum = 0;
+  auto Faults =
+      Campaign.plan(Opts.Injections * 4, Opts.Seed, SiteClass::Any);
+  uint64_t Done = 0;
+  for (const PlannedFault &Fault : Faults) {
+    if (Fault.Category == BranchErrorCategory::NoError)
+      continue;
+    if (Done++ >= Opts.Injections)
+      break;
+    InjectionReport Report = Campaign.injectDetailed(Fault);
+    Totals.add(Report.Result);
+    if (Report.Result == Outcome::DetectedSignature)
+      LatencySum += Report.LatencyInsns;
+  }
+  Table T;
+  T.setHeader({"outcome", "count"});
+  T.addRow({"detected (signature)", std::to_string(Totals.DetectedSig)});
+  T.addRow({"detected (hardware)", std::to_string(Totals.DetectedHw)});
+  T.addRow({"masked", std::to_string(Totals.Masked)});
+  T.addRow({"silent data corruption", std::to_string(Totals.Sdc)});
+  T.addRow({"timeout", std::to_string(Totals.Timeout)});
+  std::printf("%s", T.render().c_str());
+  if (Totals.DetectedSig)
+    std::printf("mean signature-detection latency: %llu insns\n",
+                (unsigned long long)(LatencySum / Totals.DetectedSig));
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return usage();
+
+  std::string Source;
+  if (!loadSource(Opts.Input, Source)) {
+    std::fprintf(stderr, "error: cannot open '%s' (not a file or a "
+                         "known workload)\n",
+                 Opts.Input.c_str());
+    return 1;
+  }
+  AsmResult Assembled = assembleProgram(Source);
+  if (!Assembled.succeeded()) {
+    std::fprintf(stderr, "assembly failed:\n%s",
+                 Assembled.errorText().c_str());
+    return 1;
+  }
+  const AsmProgram &Program = Assembled.Program;
+
+  if (Opts.Disasm) {
+    std::printf("%s", disassembleRange(Program.Code.data(),
+                                       Program.Code.size(), CodeBase)
+                          .c_str());
+    return 0;
+  }
+  if (Opts.DumpCfg) {
+    Cfg Graph = Cfg::build(Program.Code.data(), Program.Code.size(),
+                           CodeBase, Program.Entry, Program.CodeLabels);
+    std::printf("%s", Graph.toDot().c_str());
+    return 0;
+  }
+  if (Opts.Injections > 0)
+    return runCampaign(Program, Opts);
+
+  Memory Mem;
+  Interpreter Interp(Mem);
+  StopInfo Stop;
+  uint64_t Translations = 0, Dispatches = 0, Flushes = 0;
+  std::unique_ptr<Dbt> Translator;
+  if (Opts.Native) {
+    loadProgram(Program, LoadMode::Native, Mem, Interp.state());
+    Stop = Interp.run(Opts.MaxInsns);
+  } else {
+    Translator = std::make_unique<Dbt>(Mem, Opts.Config);
+    if (!Translator->load(Program, Interp.state())) {
+      std::fprintf(stderr,
+                   Opts.Config.EagerTranslate
+                       ? "error: technique %s cannot instrument this "
+                         "program (indirect control flow defeats static "
+                         "signature assignment)\n"
+                       : "error: technique %s needs the whole-program "
+                         "CFG; add --eager\n",
+                   getTechniqueName(Opts.Config.Tech));
+      return 1;
+    }
+    Stop = Translator->run(Interp, Opts.MaxInsns);
+    Translations = Translator->translationCount();
+    Dispatches = Translator->dispatchCount();
+    Flushes = Translator->flushCount();
+  }
+
+  std::fputs(Interp.output().c_str(), stdout);
+  std::fprintf(stderr, "[%s after %llu insns]\n", describeStop(Stop),
+               (unsigned long long)Interp.instructionCount());
+  if (Opts.Stats) {
+    std::fprintf(stderr,
+                 "insns:        %llu\ncycles:       %llu\n"
+                 "output hash:  %016llx\n",
+                 (unsigned long long)Interp.instructionCount(),
+                 (unsigned long long)Interp.cycleCount(),
+                 (unsigned long long)hashOutput(Interp.output()));
+    if (!Opts.Native)
+      std::fprintf(stderr,
+                   "translations: %llu\ndispatches:   %llu\n"
+                   "flushes:      %llu\n",
+                   (unsigned long long)Translations,
+                   (unsigned long long)Dispatches,
+                   (unsigned long long)Flushes);
+  }
+  if (Opts.DumpCache && Translator) {
+    for (const auto &[Guest, TB] : Translator->blocks()) {
+      std::vector<uint8_t> Code(TB.CacheSize);
+      Mem.readRaw(TB.CacheAddr, Code.data(), Code.size());
+      std::printf("; guest block 0x%llx\n%s",
+                  (unsigned long long)Guest,
+                  disassembleRange(Code.data(), Code.size(), TB.CacheAddr)
+                      .c_str());
+    }
+  }
+  return Stop.Kind == StopKind::Halted ? 0 : 1;
+}

@@ -1,0 +1,49 @@
+//===- run_workload.cpp - Manual workload runner -------------------------------===//
+//
+// Development tool: runs one workload (or all) natively and under the
+// DBT, printing instruction/cycle counts and output checksums.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dbt/Dbt.h"
+#include "support/Format.h"
+#include "vm/Loader.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace cfed;
+
+static int runOne(const std::string &Name) {
+  AsmProgram Program = assembleWorkload(Name);
+  Memory Mem;
+  Interpreter Interp(Mem);
+  loadProgram(Program, LoadMode::Native, Mem, Interp.state());
+  StopInfo Stop = Interp.run(500000000ULL);
+  const char *State = Stop.Kind == StopKind::Halted    ? "halt"
+                      : Stop.Kind == StopKind::Trapped ? "TRAP"
+                                                       : "LIMIT";
+  std::printf("%-14s %-5s insns=%10llu cycles=%12llu hash=%016llx",
+              Name.c_str(), State,
+              (unsigned long long)Interp.instructionCount(),
+              (unsigned long long)Interp.cycleCount(),
+              (unsigned long long)hashOutput(Interp.output()));
+  if (Stop.Kind == StopKind::Trapped)
+    std::printf(" trap=%s@0x%llx", getTrapKindName(Stop.Trap),
+                (unsigned long long)Stop.TrapAddr);
+  std::printf("\n");
+  return Stop.Kind == StopKind::Halted ? 0 : 1;
+}
+
+int main(int Argc, char **Argv) {
+  int Failures = 0;
+  if (Argc > 1) {
+    for (int I = 1; I < Argc; ++I)
+      Failures += runOne(Argv[I]);
+  } else {
+    for (const WorkloadInfo &Info : getWorkloadSuite())
+      Failures += runOne(Info.Name);
+  }
+  return Failures == 0 ? 0 : 1;
+}
