@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_dbt"
+  "../bench/ablation_dbt.pdb"
+  "CMakeFiles/ablation_dbt.dir/ablation_dbt.cpp.o"
+  "CMakeFiles/ablation_dbt.dir/ablation_dbt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dbt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

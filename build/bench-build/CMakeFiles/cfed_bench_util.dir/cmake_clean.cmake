@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfed_bench_util.dir/BenchUtil.cpp.o"
+  "CMakeFiles/cfed_bench_util.dir/BenchUtil.cpp.o.d"
+  "libcfed_bench_util.a"
+  "libcfed_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfed_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/coverage_matrix"
+  "../bench/coverage_matrix.pdb"
+  "CMakeFiles/coverage_matrix.dir/coverage_matrix.cpp.o"
+  "CMakeFiles/coverage_matrix.dir/coverage_matrix.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_dataflow"
+  "../bench/ext_dataflow.pdb"
+  "CMakeFiles/ext_dataflow.dir/ext_dataflow.cpp.o"
+  "CMakeFiles/ext_dataflow.dir/ext_dataflow.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_slowdown"
+  "../bench/fig12_slowdown.pdb"
+  "CMakeFiles/fig12_slowdown.dir/fig12_slowdown.cpp.o"
+  "CMakeFiles/fig12_slowdown.dir/fig12_slowdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig14_update_insn.cpp" "bench-build/CMakeFiles/fig14_update_insn.dir/fig14_update_insn.cpp.o" "gcc" "bench-build/CMakeFiles/fig14_update_insn.dir/fig14_update_insn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/cfed_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/cfed_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/cfed_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbt/CMakeFiles/cfed_dbt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfc/CMakeFiles/cfed_cfc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/cfed_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/cfed_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/cfed_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cfed_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cfed_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

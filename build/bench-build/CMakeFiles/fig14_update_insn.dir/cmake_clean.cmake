@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_update_insn"
+  "../bench/fig14_update_insn.pdb"
+  "CMakeFiles/fig14_update_insn.dir/fig14_update_insn.cpp.o"
+  "CMakeFiles/fig14_update_insn.dir/fig14_update_insn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_update_insn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

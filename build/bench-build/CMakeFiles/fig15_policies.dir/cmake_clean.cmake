@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_policies"
+  "../bench/fig15_policies.pdb"
+  "CMakeFiles/fig15_policies.dir/fig15_policies.cpp.o"
+  "CMakeFiles/fig15_policies.dir/fig15_policies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_error_model"
+  "../bench/fig2_error_model.pdb"
+  "CMakeFiles/fig2_error_model.dir/fig2_error_model.cpp.o"
+  "CMakeFiles/fig2_error_model.dir/fig2_error_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_error_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_error_categories"
+  "../bench/fig3_error_categories.pdb"
+  "CMakeFiles/fig3_error_categories.dir/fig3_error_categories.cpp.o"
+  "CMakeFiles/fig3_error_categories.dir/fig3_error_categories.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_error_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

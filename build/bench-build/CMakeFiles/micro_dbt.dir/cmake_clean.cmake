@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_dbt"
+  "../bench/micro_dbt.pdb"
+  "CMakeFiles/micro_dbt.dir/micro_dbt.cpp.o"
+  "CMakeFiles/micro_dbt.dir/micro_dbt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_dbt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec6_dbt_overhead"
+  "../bench/sec6_dbt_overhead.pdb"
+  "CMakeFiles/sec6_dbt_overhead.dir/sec6_dbt_overhead.cpp.o"
+  "CMakeFiles/sec6_dbt_overhead.dir/sec6_dbt_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6_dbt_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

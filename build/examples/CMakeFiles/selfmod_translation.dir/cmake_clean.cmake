@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfmod_translation.dir/selfmod_translation.cpp.o"
+  "CMakeFiles/selfmod_translation.dir/selfmod_translation.cpp.o.d"
+  "selfmod_translation"
+  "selfmod_translation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfmod_translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfed_asm.dir/Assembler.cpp.o"
+  "CMakeFiles/cfed_asm.dir/Assembler.cpp.o.d"
+  "libcfed_asm.a"
+  "libcfed_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfed_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

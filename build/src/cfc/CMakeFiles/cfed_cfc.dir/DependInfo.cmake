@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfc/CfcssChecker.cpp" "src/cfc/CMakeFiles/cfed_cfc.dir/CfcssChecker.cpp.o" "gcc" "src/cfc/CMakeFiles/cfed_cfc.dir/CfcssChecker.cpp.o.d"
+  "/root/repo/src/cfc/Checker.cpp" "src/cfc/CMakeFiles/cfed_cfc.dir/Checker.cpp.o" "gcc" "src/cfc/CMakeFiles/cfed_cfc.dir/Checker.cpp.o.d"
+  "/root/repo/src/cfc/DataFlow.cpp" "src/cfc/CMakeFiles/cfed_cfc.dir/DataFlow.cpp.o" "gcc" "src/cfc/CMakeFiles/cfed_cfc.dir/DataFlow.cpp.o.d"
+  "/root/repo/src/cfc/EccaChecker.cpp" "src/cfc/CMakeFiles/cfed_cfc.dir/EccaChecker.cpp.o" "gcc" "src/cfc/CMakeFiles/cfed_cfc.dir/EccaChecker.cpp.o.d"
+  "/root/repo/src/cfc/EcfChecker.cpp" "src/cfc/CMakeFiles/cfed_cfc.dir/EcfChecker.cpp.o" "gcc" "src/cfc/CMakeFiles/cfed_cfc.dir/EcfChecker.cpp.o.d"
+  "/root/repo/src/cfc/EdgCfChecker.cpp" "src/cfc/CMakeFiles/cfed_cfc.dir/EdgCfChecker.cpp.o" "gcc" "src/cfc/CMakeFiles/cfed_cfc.dir/EdgCfChecker.cpp.o.d"
+  "/root/repo/src/cfc/NoneChecker.cpp" "src/cfc/CMakeFiles/cfed_cfc.dir/NoneChecker.cpp.o" "gcc" "src/cfc/CMakeFiles/cfed_cfc.dir/NoneChecker.cpp.o.d"
+  "/root/repo/src/cfc/RcfChecker.cpp" "src/cfc/CMakeFiles/cfed_cfc.dir/RcfChecker.cpp.o" "gcc" "src/cfc/CMakeFiles/cfed_cfc.dir/RcfChecker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfg/CMakeFiles/cfed_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/cfed_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cfed_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cfed_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/cfed_asm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

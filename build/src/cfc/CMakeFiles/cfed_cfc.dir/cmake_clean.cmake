@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfed_cfc.dir/CfcssChecker.cpp.o"
+  "CMakeFiles/cfed_cfc.dir/CfcssChecker.cpp.o.d"
+  "CMakeFiles/cfed_cfc.dir/Checker.cpp.o"
+  "CMakeFiles/cfed_cfc.dir/Checker.cpp.o.d"
+  "CMakeFiles/cfed_cfc.dir/DataFlow.cpp.o"
+  "CMakeFiles/cfed_cfc.dir/DataFlow.cpp.o.d"
+  "CMakeFiles/cfed_cfc.dir/EccaChecker.cpp.o"
+  "CMakeFiles/cfed_cfc.dir/EccaChecker.cpp.o.d"
+  "CMakeFiles/cfed_cfc.dir/EcfChecker.cpp.o"
+  "CMakeFiles/cfed_cfc.dir/EcfChecker.cpp.o.d"
+  "CMakeFiles/cfed_cfc.dir/EdgCfChecker.cpp.o"
+  "CMakeFiles/cfed_cfc.dir/EdgCfChecker.cpp.o.d"
+  "CMakeFiles/cfed_cfc.dir/NoneChecker.cpp.o"
+  "CMakeFiles/cfed_cfc.dir/NoneChecker.cpp.o.d"
+  "CMakeFiles/cfed_cfc.dir/RcfChecker.cpp.o"
+  "CMakeFiles/cfed_cfc.dir/RcfChecker.cpp.o.d"
+  "libcfed_cfc.a"
+  "libcfed_cfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfed_cfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfed_cfg.dir/Cfg.cpp.o"
+  "CMakeFiles/cfed_cfg.dir/Cfg.cpp.o.d"
+  "libcfed_cfg.a"
+  "libcfed_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfed_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcfed_cfg.a"
+)

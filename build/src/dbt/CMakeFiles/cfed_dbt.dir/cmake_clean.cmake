@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfed_dbt.dir/Dbt.cpp.o"
+  "CMakeFiles/cfed_dbt.dir/Dbt.cpp.o.d"
+  "libcfed_dbt.a"
+  "libcfed_dbt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfed_dbt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cfed_dbt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/Campaign.cpp" "src/fault/CMakeFiles/cfed_fault.dir/Campaign.cpp.o" "gcc" "src/fault/CMakeFiles/cfed_fault.dir/Campaign.cpp.o.d"
+  "/root/repo/src/fault/ErrorModel.cpp" "src/fault/CMakeFiles/cfed_fault.dir/ErrorModel.cpp.o" "gcc" "src/fault/CMakeFiles/cfed_fault.dir/ErrorModel.cpp.o.d"
+  "/root/repo/src/fault/RegisterFault.cpp" "src/fault/CMakeFiles/cfed_fault.dir/RegisterFault.cpp.o" "gcc" "src/fault/CMakeFiles/cfed_fault.dir/RegisterFault.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dbt/CMakeFiles/cfed_dbt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfc/CMakeFiles/cfed_cfc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/cfed_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/cfed_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/cfed_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cfed_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cfed_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfed_fault.dir/Campaign.cpp.o"
+  "CMakeFiles/cfed_fault.dir/Campaign.cpp.o.d"
+  "CMakeFiles/cfed_fault.dir/ErrorModel.cpp.o"
+  "CMakeFiles/cfed_fault.dir/ErrorModel.cpp.o.d"
+  "CMakeFiles/cfed_fault.dir/RegisterFault.cpp.o"
+  "CMakeFiles/cfed_fault.dir/RegisterFault.cpp.o.d"
+  "libcfed_fault.a"
+  "libcfed_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfed_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

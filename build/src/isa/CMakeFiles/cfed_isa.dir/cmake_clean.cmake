@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfed_isa.dir/Disasm.cpp.o"
+  "CMakeFiles/cfed_isa.dir/Disasm.cpp.o.d"
+  "CMakeFiles/cfed_isa.dir/Isa.cpp.o"
+  "CMakeFiles/cfed_isa.dir/Isa.cpp.o.d"
+  "libcfed_isa.a"
+  "libcfed_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfed_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfed_sig.dir/FormalModel.cpp.o"
+  "CMakeFiles/cfed_sig.dir/FormalModel.cpp.o.d"
+  "libcfed_sig.a"
+  "libcfed_sig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfed_sig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfed_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/cfed_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/cfed_support.dir/Format.cpp.o"
+  "CMakeFiles/cfed_support.dir/Format.cpp.o.d"
+  "CMakeFiles/cfed_support.dir/Prng.cpp.o"
+  "CMakeFiles/cfed_support.dir/Prng.cpp.o.d"
+  "CMakeFiles/cfed_support.dir/Stats.cpp.o"
+  "CMakeFiles/cfed_support.dir/Stats.cpp.o.d"
+  "CMakeFiles/cfed_support.dir/Table.cpp.o"
+  "CMakeFiles/cfed_support.dir/Table.cpp.o.d"
+  "libcfed_support.a"
+  "libcfed_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfed_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

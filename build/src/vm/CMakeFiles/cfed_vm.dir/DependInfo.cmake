@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/Interp.cpp" "src/vm/CMakeFiles/cfed_vm.dir/Interp.cpp.o" "gcc" "src/vm/CMakeFiles/cfed_vm.dir/Interp.cpp.o.d"
+  "/root/repo/src/vm/Loader.cpp" "src/vm/CMakeFiles/cfed_vm.dir/Loader.cpp.o" "gcc" "src/vm/CMakeFiles/cfed_vm.dir/Loader.cpp.o.d"
+  "/root/repo/src/vm/Memory.cpp" "src/vm/CMakeFiles/cfed_vm.dir/Memory.cpp.o" "gcc" "src/vm/CMakeFiles/cfed_vm.dir/Memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asm/CMakeFiles/cfed_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cfed_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cfed_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

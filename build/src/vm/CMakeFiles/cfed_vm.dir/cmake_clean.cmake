@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfed_vm.dir/Interp.cpp.o"
+  "CMakeFiles/cfed_vm.dir/Interp.cpp.o.d"
+  "CMakeFiles/cfed_vm.dir/Loader.cpp.o"
+  "CMakeFiles/cfed_vm.dir/Loader.cpp.o.d"
+  "CMakeFiles/cfed_vm.dir/Memory.cpp.o"
+  "CMakeFiles/cfed_vm.dir/Memory.cpp.o.d"
+  "libcfed_vm.a"
+  "libcfed_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfed_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfed_workloads.dir/RandomProgram.cpp.o"
+  "CMakeFiles/cfed_workloads.dir/RandomProgram.cpp.o.d"
+  "CMakeFiles/cfed_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/cfed_workloads.dir/Workloads.cpp.o.d"
+  "libcfed_workloads.a"
+  "libcfed_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfed_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

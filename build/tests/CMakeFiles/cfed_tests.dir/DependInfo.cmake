@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AsmTest.cpp" "tests/CMakeFiles/cfed_tests.dir/AsmTest.cpp.o" "gcc" "tests/CMakeFiles/cfed_tests.dir/AsmTest.cpp.o.d"
+  "/root/repo/tests/CfgTest.cpp" "tests/CMakeFiles/cfed_tests.dir/CfgTest.cpp.o" "gcc" "tests/CMakeFiles/cfed_tests.dir/CfgTest.cpp.o.d"
+  "/root/repo/tests/CheckerTest.cpp" "tests/CMakeFiles/cfed_tests.dir/CheckerTest.cpp.o" "gcc" "tests/CMakeFiles/cfed_tests.dir/CheckerTest.cpp.o.d"
+  "/root/repo/tests/CodeBuilderTest.cpp" "tests/CMakeFiles/cfed_tests.dir/CodeBuilderTest.cpp.o" "gcc" "tests/CMakeFiles/cfed_tests.dir/CodeBuilderTest.cpp.o.d"
+  "/root/repo/tests/DataFlowTest.cpp" "tests/CMakeFiles/cfed_tests.dir/DataFlowTest.cpp.o" "gcc" "tests/CMakeFiles/cfed_tests.dir/DataFlowTest.cpp.o.d"
+  "/root/repo/tests/DbtTest.cpp" "tests/CMakeFiles/cfed_tests.dir/DbtTest.cpp.o" "gcc" "tests/CMakeFiles/cfed_tests.dir/DbtTest.cpp.o.d"
+  "/root/repo/tests/FaultTest.cpp" "tests/CMakeFiles/cfed_tests.dir/FaultTest.cpp.o" "gcc" "tests/CMakeFiles/cfed_tests.dir/FaultTest.cpp.o.d"
+  "/root/repo/tests/InterpOpcodeTest.cpp" "tests/CMakeFiles/cfed_tests.dir/InterpOpcodeTest.cpp.o" "gcc" "tests/CMakeFiles/cfed_tests.dir/InterpOpcodeTest.cpp.o.d"
+  "/root/repo/tests/InterpTest.cpp" "tests/CMakeFiles/cfed_tests.dir/InterpTest.cpp.o" "gcc" "tests/CMakeFiles/cfed_tests.dir/InterpTest.cpp.o.d"
+  "/root/repo/tests/IsaTest.cpp" "tests/CMakeFiles/cfed_tests.dir/IsaTest.cpp.o" "gcc" "tests/CMakeFiles/cfed_tests.dir/IsaTest.cpp.o.d"
+  "/root/repo/tests/MemoryTest.cpp" "tests/CMakeFiles/cfed_tests.dir/MemoryTest.cpp.o" "gcc" "tests/CMakeFiles/cfed_tests.dir/MemoryTest.cpp.o.d"
+  "/root/repo/tests/PropertyTest.cpp" "tests/CMakeFiles/cfed_tests.dir/PropertyTest.cpp.o" "gcc" "tests/CMakeFiles/cfed_tests.dir/PropertyTest.cpp.o.d"
+  "/root/repo/tests/SigTest.cpp" "tests/CMakeFiles/cfed_tests.dir/SigTest.cpp.o" "gcc" "tests/CMakeFiles/cfed_tests.dir/SigTest.cpp.o.d"
+  "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/cfed_tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/cfed_tests.dir/SupportTest.cpp.o.d"
+  "/root/repo/tests/WorkloadsTest.cpp" "tests/CMakeFiles/cfed_tests.dir/WorkloadsTest.cpp.o" "gcc" "tests/CMakeFiles/cfed_tests.dir/WorkloadsTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/cfed_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sig/CMakeFiles/cfed_sig.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/cfed_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbt/CMakeFiles/cfed_dbt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfc/CMakeFiles/cfed_cfc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/cfed_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/cfed_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/cfed_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cfed_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cfed_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfed-run.dir/cfed_run.cpp.o"
+  "CMakeFiles/cfed-run.dir/cfed_run.cpp.o.d"
+  "cfed-run"
+  "cfed-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfed-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
