@@ -4,7 +4,15 @@
 
 #include "support/Diagnostics.h"
 #include "support/Format.h"
+#include "support/ThreadPool.h"
 #include "vm/Loader.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
 
 using namespace cfed;
 using namespace cfed::bench;
@@ -21,6 +29,113 @@ uint64_t cfed::bench::runDbtCycles(const AsmProgram &Program,
     reportFatalError(formatString("bench workload did not halt (%s)",
                                   getTrapKindName(Stop.Trap)));
   return Interp.cycleCount();
+}
+
+RunMetrics cfed::bench::runDbtMetrics(const AsmProgram &Program,
+                                      const DbtConfig &Config) {
+  Memory Mem;
+  Interpreter Interp(Mem);
+  Dbt Translator(Mem, Config);
+  if (!Translator.load(Program, Interp.state()))
+    reportFatalError("bench workload failed to load under the DBT");
+  StopInfo Stop = Translator.run(Interp, RunBudget);
+  if (Stop.Kind != StopKind::Halted)
+    reportFatalError(formatString("bench workload did not halt (%s)",
+                                  getTrapKindName(Stop.Trap)));
+  RunMetrics Metrics;
+  Metrics.Cycles = Interp.cycleCount();
+  Metrics.Dispatches = Translator.dispatchCount();
+  Metrics.PredecodeHits = Mem.predecodeHitCount();
+  Metrics.PredecodeMisses = Mem.predecodeMissCount();
+  Metrics.IbtcHits = Translator.ibtcHitCount();
+  Metrics.IbtcMisses = Translator.ibtcMissCount();
+  return Metrics;
+}
+
+unsigned cfed::bench::parseJobs(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    const char *Value = nullptr;
+    if (std::strncmp(Arg, "--jobs=", 7) == 0)
+      Value = Arg + 7;
+    else if (std::strcmp(Arg, "--jobs") == 0 && I + 1 < Argc)
+      Value = Argv[I + 1];
+    if (Value) {
+      long Parsed = std::strtol(Value, nullptr, 10);
+      if (Parsed >= 1)
+        return static_cast<unsigned>(Parsed);
+      reportFatalError(formatString("invalid --jobs value '%s'", Value));
+    }
+  }
+  return ThreadPool::defaultJobCount();
+}
+
+PerfReport::PerfReport(std::string BenchName)
+    : BenchName(std::move(BenchName)), Start(std::chrono::steady_clock::now()) {
+}
+
+void PerfReport::set(const std::string &Key, double Value) {
+  Fields.emplace_back(Key, formatString("%.4f", Value));
+}
+
+void PerfReport::set(const std::string &Key, uint64_t Value) {
+  Fields.emplace_back(Key,
+                      formatString("%llu", (unsigned long long)Value));
+}
+
+PerfReport::~PerfReport() {
+  double WallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+
+  std::ostringstream Entry;
+  Entry << "{\"wall_seconds\": " << formatString("%.3f", WallSeconds);
+  for (const auto &[Key, Value] : Fields)
+    Entry << ", \"" << Key << "\": " << Value;
+  Entry << "}";
+
+  const char *Path = std::getenv("CFED_PERF_JSON");
+  if (!Path)
+    Path = "BENCH_perf.json";
+
+  // Merge with existing entries: the file is one entry per line, so other
+  // benches' results survive a rerun of this one.
+  std::map<std::string, std::string> Entries;
+  {
+    std::ifstream In(Path);
+    std::string Line;
+    while (std::getline(In, Line)) {
+      size_t NameBegin = Line.find('"');
+      if (NameBegin == std::string::npos)
+        continue;
+      size_t NameEnd = Line.find('"', NameBegin + 1);
+      size_t Colon = Line.find(':', NameEnd);
+      if (NameEnd == std::string::npos || Colon == std::string::npos)
+        continue;
+      std::string Body = Line.substr(Colon + 1);
+      while (!Body.empty() && (Body.back() == ',' || Body.back() == ' '))
+        Body.pop_back();
+      size_t BodyBegin = Body.find_first_not_of(' ');
+      if (BodyBegin == std::string::npos || Body[BodyBegin] != '{')
+        continue;
+      Entries[Line.substr(NameBegin + 1, NameEnd - NameBegin - 1)] =
+          Body.substr(BodyBegin);
+    }
+  }
+  Entries[BenchName] = Entry.str();
+
+  std::ofstream Out(Path, std::ios::trunc);
+  if (!Out)
+    return;
+  Out << "{\n";
+  size_t I = 0;
+  for (const auto &[Name, Body] : Entries) {
+    Out << "  \"" << Name << "\": " << Body;
+    if (++I < Entries.size())
+      Out << ",";
+    Out << "\n";
+  }
+  Out << "}\n";
 }
 
 uint64_t cfed::bench::runNativeCycles(const AsmProgram &Program) {

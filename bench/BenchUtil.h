@@ -18,8 +18,11 @@
 #include "dbt/Dbt.h"
 #include "workloads/Workloads.h"
 
+#include <chrono>
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace cfed {
 namespace bench {
@@ -33,6 +36,59 @@ uint64_t runDbtCycles(const AsmProgram &Program, const DbtConfig &Config);
 
 /// Cycles of one native (non-translated) run.
 uint64_t runNativeCycles(const AsmProgram &Program);
+
+/// Hot-path counters from one DBT run: where the interpreter's fetches
+/// and the translator's indirect dispatches were answered from.
+struct RunMetrics {
+  uint64_t Cycles = 0;
+  uint64_t Dispatches = 0;
+  uint64_t PredecodeHits = 0;
+  uint64_t PredecodeMisses = 0;
+  uint64_t IbtcHits = 0;
+  uint64_t IbtcMisses = 0;
+
+  double predecodeHitRate() const {
+    uint64_t Total = PredecodeHits + PredecodeMisses;
+    return Total ? double(PredecodeHits) / double(Total) : 0.0;
+  }
+  double ibtcHitRate() const {
+    uint64_t Total = IbtcHits + IbtcMisses;
+    return Total ? double(IbtcHits) / double(Total) : 0.0;
+  }
+};
+
+/// Like runDbtCycles, additionally reporting the hot-path counters.
+RunMetrics runDbtMetrics(const AsmProgram &Program, const DbtConfig &Config);
+
+/// Worker count for campaign benches: the value of a "--jobs N" (or
+/// "--jobs=N") argument if present, else CFED_JOBS, else the hardware
+/// thread count.
+unsigned parseJobs(int Argc, char **Argv);
+
+/// Accumulates one bench binary's machine-readable results and merges
+/// them into BENCH_perf.json (CFED_PERF_JSON overrides the path) on
+/// destruction, alongside the wall-clock seconds since construction.
+/// The file is a flat JSON object with one entry per bench binary;
+/// entries from other benches are preserved.
+class PerfReport {
+public:
+  explicit PerfReport(std::string BenchName);
+  ~PerfReport();
+
+  PerfReport(const PerfReport &) = delete;
+  PerfReport &operator=(const PerfReport &) = delete;
+
+  void set(const std::string &Key, double Value);
+  void set(const std::string &Key, uint64_t Value);
+  void set(const std::string &Key, unsigned Value) {
+    set(Key, static_cast<uint64_t>(Value));
+  }
+
+private:
+  std::string BenchName;
+  std::chrono::steady_clock::time_point Start;
+  std::vector<std::pair<std::string, std::string>> Fields;
+};
 
 /// Strips the numeric SPEC prefix for display ("164.gzip" -> "gzip").
 std::string shortName(const std::string &Name);

@@ -17,14 +17,18 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/BenchUtil.h"
 #include "fault/Campaign.h"
 #include "support/Format.h"
 #include "support/Table.h"
+#include "support/ThreadPool.h"
 #include "workloads/RandomProgram.h"
 
 #include <cstdio>
 
 using namespace cfed;
+using cfed::bench::parseJobs;
+using cfed::bench::PerfReport;
 
 namespace {
 
@@ -64,7 +68,8 @@ bool isMisalignedFault(const PlannedFault &Fault) {
 
 CampaignResult runTech(const std::vector<AsmProgram> &Programs,
                        const TechSpec &Spec, SiteClass Sites,
-                       uint64_t InjectionsPerProgram, bool AlignedOnly) {
+                       uint64_t InjectionsPerProgram, bool AlignedOnly,
+                       ThreadPool &Pool) {
   CampaignResult Total;
   for (size_t PI = 0; PI < Programs.size(); ++PI) {
     DbtConfig Config;
@@ -76,15 +81,25 @@ CampaignResult runTech(const std::vector<AsmProgram> &Programs,
       continue;
     std::vector<PlannedFault> Candidates =
         Campaign.plan(InjectionsPerProgram * 5, 1000 + PI * 37, Sites);
-    uint64_t Done = 0;
+
+    // Serial selection, parallel injection, in-order merge: the tallies
+    // are identical for any job count.
+    std::vector<const PlannedFault *> Selected;
     for (const PlannedFault &Fault : Candidates) {
       if (Fault.Category == BranchErrorCategory::NoError)
         continue;
       if (AlignedOnly && isMisalignedFault(Fault))
         continue;
-      if (Done++ >= InjectionsPerProgram)
+      if (Selected.size() >= InjectionsPerProgram)
         break;
-      Total.of(Fault.Category).add(Campaign.inject(Fault));
+      Selected.push_back(&Fault);
+    }
+    std::vector<Outcome> Outcomes(Selected.size());
+    Pool.parallelFor(Selected.size(), [&](uint64_t I) {
+      Outcomes[I] = Campaign.inject(*Selected[I]);
+    });
+    for (size_t I = 0; I < Selected.size(); ++I) {
+      Total.of(Selected[I]->Category).add(Outcomes[I]);
       ++Total.Injections;
     }
   }
@@ -101,11 +116,16 @@ std::string cell(const OutcomeCounts &Counts) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  unsigned Jobs = parseJobs(argc, argv);
+  ThreadPool Pool(Jobs);
+  PerfReport Report("coverage_matrix");
+  Report.set("jobs", Jobs);
   std::printf("=== Coverage matrix: signature-detection rate per "
               "branch-error category ===\n(percentage of injected "
               "errors reported by the technique's check; sample size in "
-              "parentheses)\n\n");
+              "parentheses; %u injection jobs)\n\n",
+              Jobs);
   std::vector<AsmProgram> Programs = campaignPrograms();
   if (Programs.empty()) {
     std::printf("failed to generate campaign programs\n");
@@ -127,7 +147,7 @@ int main() {
         {"Technique", "A", "B", "C", "D", "E", "F", "SDC", "timeout"});
     for (const TechSpec &Spec : Specs) {
       CampaignResult R = runTech(Programs, Spec, SiteClass::OriginalOnly,
-                                 PerProgram, AlignedOnly);
+                                 PerProgram, AlignedOnly, Pool);
       OutcomeCounts Totals = R.totals();
       T.addRow({getTechniqueName(Spec.Tech),
                 cell(R.of(BranchErrorCategory::A)),
@@ -161,7 +181,7 @@ int main() {
     TechSpec Spec{Tech, UpdateFlavor::Jcc, false};
     CampaignResult R = runTech(Programs, Spec,
                                SiteClass::InstrumentationOnly, 90,
-                               /*AlignedOnly=*/true);
+                               /*AlignedOnly=*/true, Pool);
     OutcomeCounts Totals = R.totals();
     auto Cell = [&](uint64_t Value) {
       return formatString("%llu", (unsigned long long)Value);

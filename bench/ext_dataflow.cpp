@@ -24,7 +24,10 @@
 using namespace cfed;
 using namespace cfed::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  unsigned Jobs = parseJobs(argc, argv);
+  PerfReport Report("ext_dataflow");
+  Report.set("jobs", Jobs);
   std::printf("=== Extension: SWIFT-style data-flow checking under the "
               "DBT ===\n\n");
 
@@ -55,7 +58,8 @@ int main() {
 
   // Effectiveness under register faults.
   std::printf("=== Register-fault campaign (single bit in r0-r14 at a "
-              "random instruction) ===\n\n");
+              "random instruction; %u jobs) ===\n\n",
+              Jobs);
   Table T2;
   T2.setHeader({"Config", "det-sig", "det-hw", "masked", "SDC",
                 "timeout"});
@@ -76,7 +80,7 @@ int main() {
       Config.Tech = Technique::EdgCf;
       Config.DataFlowCheck = Dfc;
       OutcomeCounts R = runRegisterFaultCampaign(Programs[PI], Config, 150,
-                                                 500 + PI, 50000000ULL);
+                                                 500 + PI, 50000000ULL, Jobs);
       Totals.merge(R);
     }
     auto Cell = [](uint64_t Value) { return std::to_string(Value); };

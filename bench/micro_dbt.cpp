@@ -2,19 +2,31 @@
 //
 // Host-time microbenchmarks of the infrastructure itself (the only
 // bench measuring wall-clock rather than model cycles): assembler
-// throughput, encode/decode, interpreter dispatch, and whole-program
-// translation.
+// throughput, encode/decode, interpreter dispatch, whole-program
+// translation, the predecode and IBTC hot paths, and fault-campaign
+// throughput per job count.
 //
 //===----------------------------------------------------------------------===//
 
 #include "asm/Assembler.h"
+#include "bench/BenchUtil.h"
 #include "dbt/Dbt.h"
+#include "fault/Campaign.h"
+#include "support/ThreadPool.h"
 #include "vm/Loader.h"
+#include "workloads/RandomProgram.h"
 #include "workloads/Workloads.h"
 
 #include <benchmark/benchmark.h>
 
 using namespace cfed;
+
+namespace {
+// Filled by the hot-path benchmarks, recorded into BENCH_perf.json at
+// exit.
+double GPredecodeHitRate = 0.0;
+double GIbtcHitRate = 0.0;
+} // namespace
 
 static void BM_Assembler(benchmark::State &State) {
   std::string Source = getWorkloadSource("164.gzip");
@@ -50,6 +62,98 @@ static void BM_InterpreterDispatch(benchmark::State &State) {
 }
 BENCHMARK(BM_InterpreterDispatch);
 
+/// Interpreter fetch through the predecoded-page cache: reports the share
+/// of fetches answered from the decoded side arrays.
+static void BM_PredecodedFetch(benchmark::State &State) {
+  AsmProgram Program = assembleWorkload("181.mcf");
+  double HitRate = 0.0;
+  for (auto _ : State) {
+    Memory Mem;
+    Interpreter Interp(Mem);
+    loadProgram(Program, LoadMode::Native, Mem, Interp.state());
+    Interp.run(100000);
+    benchmark::DoNotOptimize(Interp.cycleCount());
+    uint64_t Hits = Mem.predecodeHitCount();
+    uint64_t Misses = Mem.predecodeMissCount();
+    HitRate = Hits + Misses ? double(Hits) / double(Hits + Misses) : 0.0;
+  }
+  GPredecodeHitRate = HitRate;
+  State.counters["predecode_hit_rate"] = HitRate;
+  State.SetItemsProcessed(int64_t(State.iterations()) * 100000);
+}
+BENCHMARK(BM_PredecodedFetch);
+
+/// Indirect-branch dispatch on a call-heavy program: every ret exits
+/// through TrampR, so the IBTC answers the repeats.
+static void BM_IbtcDispatch(benchmark::State &State) {
+  RandomProgramOptions Options;
+  Options.Seed = 97;
+  Options.NumSegments = 8;
+  Options.NumHelpers = 4;
+  Options.LoopTrip = 32;
+  AsmResult Result = assembleProgram(generateRandomProgram(Options));
+  if (!Result.succeeded()) {
+    State.SkipWithError("random program failed to assemble");
+    return;
+  }
+  double HitRate = 0.0;
+  uint64_t Dispatches = 0;
+  for (auto _ : State) {
+    Memory Mem;
+    Interpreter Interp(Mem);
+    Dbt Translator(Mem, DbtConfig{});
+    if (!Translator.load(Result.Program, Interp.state())) {
+      State.SkipWithError("program failed to load under the DBT");
+      return;
+    }
+    Translator.run(Interp, 10000000);
+    benchmark::DoNotOptimize(Interp.cycleCount());
+    uint64_t Hits = Translator.ibtcHitCount();
+    uint64_t Misses = Translator.ibtcMissCount();
+    HitRate = Hits + Misses ? double(Hits) / double(Hits + Misses) : 0.0;
+    Dispatches = Translator.dispatchCount();
+  }
+  GIbtcHitRate = HitRate;
+  State.counters["ibtc_hit_rate"] = HitRate;
+  State.SetItemsProcessed(int64_t(State.iterations()) *
+                          int64_t(Dispatches));
+}
+BENCHMARK(BM_IbtcDispatch);
+
+/// Full fault-injection campaign throughput (injections/second) at the
+/// given job count.
+static void BM_CampaignThroughput(benchmark::State &State) {
+  unsigned Jobs = static_cast<unsigned>(State.range(0));
+  RandomProgramOptions Options;
+  Options.Seed = 31;
+  Options.NumSegments = 6;
+  Options.LoopTrip = 12;
+  AsmResult Result = assembleProgram(generateRandomProgram(Options));
+  if (!Result.succeeded()) {
+    State.SkipWithError("random program failed to assemble");
+    return;
+  }
+  DbtConfig Config;
+  Config.Tech = Technique::EdgCf;
+  FaultCampaign Campaign(Result.Program, Config);
+  if (!Campaign.prepare(50000000ULL)) {
+    State.SkipWithError("campaign prepare failed");
+    return;
+  }
+  uint64_t Injections = 0;
+  for (auto _ : State) {
+    CampaignResult R = Campaign.run(40, 1234, SiteClass::Any, Jobs);
+    benchmark::DoNotOptimize(R.Injections);
+    Injections += R.Injections;
+  }
+  State.counters["jobs"] = double(Jobs);
+  State.SetItemsProcessed(int64_t(Injections));
+}
+BENCHMARK(BM_CampaignThroughput)
+    ->ArgName("jobs")
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 static void BM_Translation(benchmark::State &State) {
   AsmProgram Program = assembleWorkload("176.gcc");
   for (auto _ : State) {
@@ -67,4 +171,21 @@ static void BM_Translation(benchmark::State &State) {
 }
 BENCHMARK(BM_Translation);
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  if (unsigned Jobs = ThreadPool::defaultJobCount(); Jobs > 1)
+    benchmark::RegisterBenchmark("BM_CampaignThroughput", BM_CampaignThroughput)
+        ->ArgName("jobs")
+        ->Arg(static_cast<int64_t>(Jobs))
+        ->Unit(benchmark::kMillisecond);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  {
+    bench::PerfReport Report("micro_dbt");
+    benchmark::RunSpecifiedBenchmarks();
+    Report.set("predecode_hit_rate", GPredecodeHitRate);
+    Report.set("ibtc_hit_rate", GIbtcHitRate);
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,102 @@
+//===- BlockTable.h - Flat guest-address block index ------------*- C++ -*-===//
+//
+// Part of the CFED project (CGO'06 control-flow error detection repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A flat open-addressing hash from guest address to TranslatedBlock,
+/// replacing the std::map on the code-cache exit path: every unchained
+/// Tramp/TrampR dispatch performs exactly one lookup here, so it must be
+/// a couple of cache lines, not a red-black-tree walk.
+///
+/// Blocks live in a deque (stable references across insertion); the index
+/// holds (key, pool-position) pairs probed linearly from a multiplicative
+/// hash. There is no erase: translations only die wholesale at a
+/// self-modification flush, which clears the table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFED_DBT_BLOCKTABLE_H
+#define CFED_DBT_BLOCKTABLE_H
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace cfed {
+
+/// Flat hash of translated blocks keyed by guest address. BlockT needs a
+/// GuestAddr member; iteration yields blocks in translation order.
+template <typename BlockT> class BlockTable {
+public:
+  BlockTable() { Slots.resize(InitialSlots, Empty); }
+
+  /// Inserts \p Block under \p GuestAddr, which must not be present yet.
+  /// The reference stays valid until clear().
+  BlockT &insert(uint64_t GuestAddr, BlockT &&Block) {
+    assert(!find(GuestAddr) && "duplicate guest address");
+    if ((Pool.size() + 1) * 10 >= Slots.size() * 7)
+      grow();
+    Pool.push_back(std::move(Block));
+    placeIndex(GuestAddr, static_cast<uint32_t>(Pool.size() - 1));
+    return Pool.back();
+  }
+
+  /// Returns the block translated at \p GuestAddr, or nullptr.
+  const BlockT *find(uint64_t GuestAddr) const {
+    uint64_t Mask = Slots.size() - 1;
+    for (uint64_t Slot = hash(GuestAddr);; Slot = (Slot + 1) & Mask) {
+      uint32_t Pos = Slots[Slot & Mask];
+      if (Pos == Empty)
+        return nullptr;
+      if (Pool[Pos].GuestAddr == GuestAddr)
+        return &Pool[Pos];
+    }
+  }
+
+  bool contains(uint64_t GuestAddr) const { return find(GuestAddr); }
+
+  void clear() {
+    Pool.clear();
+    Slots.assign(InitialSlots, Empty);
+  }
+
+  size_t size() const { return Pool.size(); }
+  bool empty() const { return Pool.empty(); }
+
+  auto begin() const { return Pool.begin(); }
+  auto end() const { return Pool.end(); }
+
+private:
+  static constexpr uint32_t Empty = UINT32_MAX;
+  static constexpr size_t InitialSlots = 256; // Power of two.
+
+  uint64_t hash(uint64_t Key) const {
+    // Guest addresses are 8-aligned; mix so consecutive blocks spread.
+    Key *= 0x9e3779b97f4a7c15ULL;
+    return (Key >> 32) & (Slots.size() - 1);
+  }
+
+  void placeIndex(uint64_t GuestAddr, uint32_t Pos) {
+    uint64_t Mask = Slots.size() - 1;
+    uint64_t Slot = hash(GuestAddr);
+    while (Slots[Slot] != Empty)
+      Slot = (Slot + 1) & Mask;
+    Slots[Slot] = Pos;
+  }
+
+  void grow() {
+    Slots.assign(Slots.size() * 2, Empty);
+    for (uint32_t Pos = 0; Pos < Pool.size(); ++Pos)
+      placeIndex(Pool[Pos].GuestAddr, Pos);
+  }
+
+  std::deque<BlockT> Pool;
+  std::vector<uint32_t> Slots;
+};
+
+} // namespace cfed
+
+#endif // CFED_DBT_BLOCKTABLE_H

@@ -45,7 +45,7 @@ bool Dbt::load(const AsmProgram &Program, CpuState &State) {
     for (const auto &[Addr, Block] : Graph.blocks())
       EagerLeaders.push_back(Addr);
     for (uint64_t Leader : EagerLeaders)
-      if (!BlockMap.count(Leader))
+      if (!BlockMap.contains(Leader))
         translate(Leader);
   }
 
@@ -67,9 +67,8 @@ void Dbt::reprotectCodePages() {
 }
 
 uint64_t Dbt::lookupOrTranslate(uint64_t GuestTarget) {
-  auto It = BlockMap.find(GuestTarget);
-  if (It != BlockMap.end())
-    return It->second.CacheAddr;
+  if (const TranslatedBlock *TB = BlockMap.find(GuestTarget))
+    return TB->CacheAddr;
   // Eager mode translated the whole program up front; the translation
   // set is frozen because the whole-program techniques (CFCSS/ECCA)
   // assigned signatures from the static CFG. A miss can only be an
@@ -195,7 +194,7 @@ uint64_t Dbt::translate(uint64_t EntryGuest) {
       EmitChecked([&](std::vector<Instruction> &Seq) {
         Checker->emitDirectUpdate(Seq, L, Target);
       });
-      if (Fused + 1 < Config.SuperblockLimit && !BlockMap.count(Target) &&
+      if (Fused + 1 < Config.SuperblockLimit && !BlockMap.contains(Target) &&
           !InThisSuper.count(Target) && Target != EntryGuest) {
         InThisSuper.insert(Guest);
         Guest = Target;
@@ -211,7 +210,7 @@ uint64_t Dbt::translate(uint64_t EntryGuest) {
       EmitChecked([&](std::vector<Instruction> &Seq) {
         Checker->emitDirectUpdate(Seq, L, Target);
       });
-      if (Fused + 1 < Config.SuperblockLimit && !BlockMap.count(Target) &&
+      if (Fused + 1 < Config.SuperblockLimit && !BlockMap.contains(Target) &&
           !InThisSuper.count(Target) && Target != EntryGuest) {
         InThisSuper.insert(Guest);
         Guest = Target;
@@ -327,7 +326,7 @@ uint64_t Dbt::translate(uint64_t EntryGuest) {
     for (const auto &[BeginIdx, EndIdx] : Sub.InstrIdx)
       TB.InstrRanges.emplace_back(Base + BeginIdx * InsnSize,
                                   Base + EndIdx * InsnSize);
-    BlockMap.emplace(Sub.Guest, std::move(TB));
+    BlockMap.insert(Sub.Guest, std::move(TB));
   }
   return Base;
 }
@@ -335,7 +334,7 @@ uint64_t Dbt::translate(uint64_t EntryGuest) {
 uint64_t Dbt::onDirectExit(uint64_t SiteAddr, uint64_t GuestTarget) {
   ++NumDispatches;
   uint64_t Cache = lookupOrTranslate(GuestTarget);
-  bool Translated = BlockMap.count(GuestTarget) != 0;
+  bool Translated = BlockMap.contains(GuestTarget);
   if (Config.ChainDirectExits && Translated && isCacheAddr(SiteAddr)) {
     // Patch the Tramp into a direct jump (block chaining).
     Instruction Jump = insn::i(Opcode::Jmp,
@@ -351,7 +350,19 @@ uint64_t Dbt::onDirectExit(uint64_t SiteAddr, uint64_t GuestTarget) {
 uint64_t Dbt::onIndirectExit(uint64_t SiteAddr, uint64_t GuestTarget) {
   (void)SiteAddr;
   ++NumDispatches;
-  return lookupOrTranslate(GuestTarget);
+  // Indirect-branch translation cache: one direct-mapped probe before the
+  // full lookup. Only committed translations enter the table, so a hit
+  // can never swallow a trap a raw (untranslated) target would raise.
+  IbtcEntry &Entry = Ibtc[(GuestTarget / InsnSize) % IbtcSlots];
+  if (Entry.Guest == GuestTarget) {
+    ++NumIbtcHits;
+    return Entry.Cache;
+  }
+  ++NumIbtcMisses;
+  uint64_t Cache = lookupOrTranslate(GuestTarget);
+  if (BlockMap.contains(GuestTarget))
+    Entry = {GuestTarget, Cache};
+  return Cache;
 }
 
 bool Dbt::onWriteViolation(uint64_t DataAddr) {
@@ -383,11 +394,17 @@ void Dbt::flushTranslations() {
   }
   Patches.clear();
   BlockMap.clear();
+  // Stale guest→cache mappings must not short-circuit re-dispatch.
+  Ibtc.fill(IbtcEntry{});
+  // The unchaining writes above already dropped the predecode arrays of
+  // the pages they touched; drop the whole cache region explicitly so no
+  // stale decode survives a flush.
+  Mem.invalidatePredecode(CacheBase, CacheAlloc - CacheBase);
 }
 
 const TranslatedBlock *Dbt::cacheBlockContaining(uint64_t Addr) const {
   const TranslatedBlock *Best = nullptr;
-  for (const auto &[Guest, TB] : BlockMap)
+  for (const TranslatedBlock &TB : BlockMap)
     if (TB.containsCacheAddr(Addr))
       if (!Best || TB.CacheAddr > Best->CacheAddr) // Innermost sub-block.
         Best = &TB;
@@ -398,7 +415,7 @@ std::vector<BranchSiteInfo> Dbt::enumerateBranchSites() const {
   std::vector<BranchSiteInfo> Sites;
   // Visit outermost blocks only: sub-blocks alias superblock bytes.
   std::vector<const TranslatedBlock *> ByCache;
-  for (const auto &[Guest, TB] : BlockMap)
+  for (const TranslatedBlock &TB : BlockMap)
     ByCache.push_back(&TB);
   std::sort(ByCache.begin(), ByCache.end(),
             [](const TranslatedBlock *A, const TranslatedBlock *B) {

@@ -46,10 +46,11 @@
 
 #include "asm/Assembler.h"
 #include "cfc/Checker.h"
+#include "dbt/BlockTable.h"
 #include "vm/Interp.h"
 #include "vm/Memory.h"
 
-#include <map>
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -129,10 +130,9 @@ public:
   uint64_t onIndirectExit(uint64_t SiteAddr, uint64_t GuestTarget) override;
   bool onWriteViolation(uint64_t DataAddr) override;
 
-  /// Translated blocks keyed by guest address.
-  const std::map<uint64_t, TranslatedBlock> &blocks() const {
-    return BlockMap;
-  }
+  /// Live translated blocks, in translation order. Use
+  /// blocks().find(GuestAddr) for keyed lookup.
+  const BlockTable<TranslatedBlock> &blocks() const { return BlockMap; }
 
   /// Returns the translated block whose cache range contains \p Addr, or
   /// nullptr (stale translations from before a flush are not included).
@@ -148,6 +148,11 @@ public:
   uint64_t translationCount() const { return NumTranslations; }
   /// Number of cache-exit dispatches serviced.
   uint64_t dispatchCount() const { return NumDispatches; }
+  /// Indirect-branch translation cache hits: TrampR exits answered from
+  /// the direct-mapped guest→cache table without a block-table lookup.
+  uint64_t ibtcHitCount() const { return NumIbtcHits; }
+  /// Indirect-branch dispatches that fell through to the full lookup.
+  uint64_t ibtcMissCount() const { return NumIbtcMisses; }
   /// Number of full cache flushes (self-modifying code events).
   uint64_t flushCount() const { return NumFlushes; }
   /// Number of signature updates removed by the backend peephole.
@@ -168,10 +173,20 @@ private:
   void flushTranslations();
   void reprotectCodePages();
 
+  /// One entry of the indirect-branch translation cache: a direct-mapped
+  /// guest→cache-address table consulted before the block-table lookup on
+  /// every TrampR exit (the DBT analogue of a hardware BTB).
+  struct IbtcEntry {
+    uint64_t Guest = ~0ULL;
+    uint64_t Cache = 0;
+  };
+  static constexpr size_t IbtcSlots = 512; // Power of two.
+
   Memory &Mem;
   DbtConfig Config;
   std::unique_ptr<ControlFlowChecker> Checker;
-  std::map<uint64_t, TranslatedBlock> BlockMap;
+  BlockTable<TranslatedBlock> BlockMap;
+  std::array<IbtcEntry, IbtcSlots> Ibtc;
   std::vector<ChainPatch> Patches;
   uint64_t CacheAlloc;      ///< Next free cache address.
   uint64_t GuestCodeBase = 0;
@@ -180,6 +195,8 @@ private:
   bool CodePagesWritable = false;
   uint64_t NumTranslations = 0;
   uint64_t NumDispatches = 0;
+  uint64_t NumIbtcHits = 0;
+  uint64_t NumIbtcMisses = 0;
   uint64_t NumFlushes = 0;
   uint64_t NumFoldedUpdates = 0;
   /// Leaders from the assembler side table (eager mode).

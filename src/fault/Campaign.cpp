@@ -4,6 +4,7 @@
 
 #include "support/Diagnostics.h"
 #include "support/Prng.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <set>
@@ -260,8 +261,11 @@ bool FaultCampaign::prepare(uint64_t MaxInsns) {
   InsnBudget = GoldenInsns * 4 + 100000;
 
   Sites.clear();
-  for (const BranchSiteInfo &Site : Golden.Translator.enumerateBranchSites())
+  InstrMap.clear();
+  for (const BranchSiteInfo &Site : Golden.Translator.enumerateBranchSites()) {
     Sites[Site.CacheAddr].IsInstr = Site.IsInstrumentation;
+    InstrMap[Site.CacheAddr] = Site.IsInstrumentation;
+  }
 
   ExecAll = ExecInstr = ExecOrig = 0;
   for (const auto &[Addr, Count] : Hook.PerSite) {
@@ -323,27 +327,21 @@ std::vector<PlannedFault> FaultCampaign::plan(uint64_t NumCandidates,
   Instance Planner(Program, Config);
   if (!Planner.Ok)
     reportFatalError("planning instance failed to load after prepare()");
-  std::unordered_map<uint64_t, bool> InstrMap;
-  for (const auto &[Addr, Info] : Sites)
-    InstrMap[Addr] = Info.IsInstr;
   PlanningHook Hook(*this, Class, InstrMap, Planner.Translator, Faults);
   Planner.Interp.setFaultHook(&Hook);
   Planner.Translator.run(Planner.Interp, InsnBudget);
   return Faults;
 }
 
-Outcome FaultCampaign::inject(const PlannedFault &Fault) {
+Outcome FaultCampaign::inject(const PlannedFault &Fault) const {
   return injectDetailed(Fault).Result;
 }
 
-InjectionReport FaultCampaign::injectDetailed(const PlannedFault &Fault) {
+InjectionReport FaultCampaign::injectDetailed(const PlannedFault &Fault) const {
   assert(Prepared && "call prepare() first");
   Instance Run(Program, Config);
   if (!Run.Ok)
     reportFatalError("injection instance failed to load after prepare()");
-  std::unordered_map<uint64_t, bool> InstrMap;
-  for (const auto &[Addr, Info] : Sites)
-    InstrMap[Addr] = Info.IsInstr;
   InjectionHook Hook(*this, Fault.Class, InstrMap, Fault, Run.Interp);
   Run.Interp.setFaultHook(&Hook);
   StopInfo Stop = Run.Translator.run(Run.Interp, InsnBudget);
@@ -382,18 +380,35 @@ InjectionReport FaultCampaign::injectDetailed(const PlannedFault &Fault) {
 }
 
 CampaignResult FaultCampaign::run(uint64_t NumInjections, uint64_t Seed,
-                                  SiteClass Class) {
+                                  SiteClass Class, unsigned Jobs) {
   // Over-plan: a sizeable share of random faults are NoError.
   std::vector<PlannedFault> Candidates =
       plan(NumInjections * 4, Seed, Class);
-  CampaignResult Result;
+
+  // Serial selection: the first NumInjections candidates that can
+  // actually deviate control flow, in plan order.
+  std::vector<const PlannedFault *> Selected;
+  Selected.reserve(std::min<uint64_t>(NumInjections, Candidates.size()));
   for (const PlannedFault &Fault : Candidates) {
     if (Fault.Category == BranchErrorCategory::NoError)
       continue;
-    if (Result.Injections >= NumInjections)
+    if (Selected.size() >= NumInjections)
       break;
-    Outcome O = inject(Fault);
-    Result.of(Fault.Category).add(O);
+    Selected.push_back(&Fault);
+  }
+
+  // Parallel injection into position-indexed slots. Each worker touches
+  // only its own slot, and the merge below walks slots in selection
+  // order, so the tallies match the serial run exactly.
+  std::vector<Outcome> Outcomes(Selected.size());
+  ThreadPool Pool(Jobs);
+  Pool.parallelFor(Selected.size(), [&](uint64_t I) {
+    Outcomes[I] = inject(*Selected[I]);
+  });
+
+  CampaignResult Result;
+  for (size_t I = 0; I < Selected.size(); ++I) {
+    Result.of(Selected[I]->Category).add(Outcomes[I]);
     ++Result.Injections;
   }
   return Result;

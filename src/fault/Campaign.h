@@ -111,6 +111,15 @@ struct OutcomeCounts {
   }
   void add(Outcome O);
   void merge(const OutcomeCounts &Other);
+
+  bool operator==(const OutcomeCounts &Other) const {
+    return DetectedSig == Other.DetectedSig && DetectedHw == Other.DetectedHw &&
+           Masked == Other.Masked && Sdc == Other.Sdc &&
+           Timeout == Other.Timeout;
+  }
+  bool operator!=(const OutcomeCounts &Other) const {
+    return !(*this == Other);
+  }
 };
 
 /// Aggregated campaign results, bucketed by branch-error category.
@@ -125,6 +134,13 @@ struct CampaignResult {
     return PerCategory[static_cast<unsigned>(Cat)];
   }
   OutcomeCounts totals() const;
+
+  bool operator==(const CampaignResult &Other) const {
+    return Injections == Other.Injections && PerCategory == Other.PerCategory;
+  }
+  bool operator!=(const CampaignResult &Other) const {
+    return !(*this == Other);
+  }
 };
 
 /// A fault-injection campaign against one program under one DBT
@@ -143,14 +159,20 @@ public:
   std::vector<PlannedFault> plan(uint64_t NumCandidates, uint64_t Seed,
                                  SiteClass Sites);
 
-  /// Executes one planned fault and classifies the outcome.
-  Outcome inject(const PlannedFault &Fault);
+  /// Executes one planned fault and classifies the outcome. Thread-safe
+  /// after prepare(): every injection runs in a fresh Memory/Dbt/Interp
+  /// instance and only reads campaign state.
+  Outcome inject(const PlannedFault &Fault) const;
 
   /// Like inject(), additionally reporting detection latency.
-  InjectionReport injectDetailed(const PlannedFault &Fault);
+  InjectionReport injectDetailed(const PlannedFault &Fault) const;
 
   /// Runs a full campaign: plan, filter out NoError candidates, inject.
-  CampaignResult run(uint64_t NumInjections, uint64_t Seed, SiteClass Sites);
+  /// With \p Jobs > 1 the injections execute on a thread pool; the fault
+  /// selection and the merge stay serial and position-indexed, so the
+  /// result is identical to the serial run for any job count.
+  CampaignResult run(uint64_t NumInjections, uint64_t Seed, SiteClass Sites,
+                     unsigned Jobs = 1);
 
   uint64_t goldenInsns() const { return GoldenInsns; }
   uint64_t goldenHash() const { return GoldenHash; }
@@ -173,6 +195,9 @@ private:
   uint64_t GoldenHash = 0;
   uint64_t InsnBudget = 0;
   std::unordered_map<uint64_t, SiteInfo> Sites;
+  /// Site → is-instrumentation, in the shape the per-run hooks consume.
+  /// Built once in prepare() instead of per injection.
+  std::unordered_map<uint64_t, bool> InstrMap;
   uint64_t ExecAll = 0, ExecInstr = 0, ExecOrig = 0;
   bool Prepared = false;
 };

@@ -4,6 +4,9 @@
 
 #include "support/Diagnostics.h"
 #include "support/Prng.h"
+#include "support/ThreadPool.h"
+
+#include <vector>
 
 using namespace cfed;
 
@@ -11,7 +14,8 @@ OutcomeCounts cfed::runRegisterFaultCampaign(const AsmProgram &Program,
                                              const DbtConfig &Config,
                                              uint64_t NumInjections,
                                              uint64_t Seed,
-                                             uint64_t MaxInsns) {
+                                             uint64_t MaxInsns,
+                                             unsigned Jobs) {
   // Golden run.
   uint64_t GoldenInsns = 0, GoldenHash = 0;
   {
@@ -27,15 +31,31 @@ OutcomeCounts cfed::runRegisterFaultCampaign(const AsmProgram &Program,
     GoldenHash = hashOutput(Interp.output());
   }
 
+  // Draw every fault's coordinates up front: the Prng is consumed in the
+  // same serial order regardless of job count, so only the injections
+  // themselves run concurrently.
+  struct FaultCoords {
+    uint64_t Instance;
+    uint8_t Reg;
+    unsigned Bit;
+  };
   Prng Rng(Seed);
-  OutcomeCounts Totals;
-  uint64_t Budget = GoldenInsns * 4 + 100000;
+  std::vector<FaultCoords> Coords;
+  Coords.reserve(NumInjections);
   for (uint64_t I = 0; I < NumInjections; ++I) {
-    uint64_t Instance = 1 + Rng.nextBelow(GoldenInsns);
-    uint8_t Reg = static_cast<uint8_t>(Rng.nextBelow(15)); // r0..r14.
-    unsigned Bit = static_cast<unsigned>(Rng.nextBelow(64));
-    RegisterFaultInjector Hook(Instance, Reg, Bit);
+    FaultCoords C;
+    C.Instance = 1 + Rng.nextBelow(GoldenInsns);
+    C.Reg = static_cast<uint8_t>(Rng.nextBelow(15)); // r0..r14.
+    C.Bit = static_cast<unsigned>(Rng.nextBelow(64));
+    Coords.push_back(C);
+  }
 
+  uint64_t Budget = GoldenInsns * 4 + 100000;
+  std::vector<Outcome> Outcomes(Coords.size());
+  ThreadPool Pool(Jobs);
+  Pool.parallelFor(Coords.size(), [&](uint64_t I) {
+    RegisterFaultInjector Hook(Coords[I].Instance, Coords[I].Reg,
+                               Coords[I].Bit);
     Memory Mem;
     Interpreter Interp(Mem);
     Dbt Translator(Mem, Config);
@@ -46,21 +66,25 @@ OutcomeCounts cfed::runRegisterFaultCampaign(const AsmProgram &Program,
 
     switch (Stop.Kind) {
     case StopKind::Halted:
-      Totals.add(hashOutput(Interp.output()) == GoldenHash ? Outcome::Masked
-                                                           : Outcome::Sdc);
-      continue;
+      Outcomes[I] = hashOutput(Interp.output()) == GoldenHash ? Outcome::Masked
+                                                              : Outcome::Sdc;
+      return;
     case StopKind::InsnLimit:
-      Totals.add(Outcome::Timeout);
-      continue;
+      Outcomes[I] = Outcome::Timeout;
+      return;
     case StopKind::Trapped:
       break;
     }
     if (Stop.Trap == TrapKind::BreakTrap &&
         (Stop.BreakCode == BrkDataFlowError ||
          Stop.BreakCode == BrkControlFlowError))
-      Totals.add(Outcome::DetectedSignature);
+      Outcomes[I] = Outcome::DetectedSignature;
     else
-      Totals.add(Outcome::DetectedHardware);
-  }
+      Outcomes[I] = Outcome::DetectedHardware;
+  });
+
+  OutcomeCounts Totals;
+  for (Outcome O : Outcomes)
+    Totals.add(O);
   return Totals;
 }

@@ -49,11 +49,13 @@ private:
 /// Runs \p NumInjections single-bit register faults against \p Program
 /// translated under \p Config, at uniformly random (instruction,
 /// register r0-r14, bit) coordinates. The program must halt within
-/// \p MaxInsns fault-free.
+/// \p MaxInsns fault-free. All fault coordinates are drawn up front from
+/// \p Seed, so with \p Jobs > 1 the injections run on a thread pool and
+/// still tally identically to the serial campaign.
 OutcomeCounts runRegisterFaultCampaign(const AsmProgram &Program,
                                        const DbtConfig &Config,
                                        uint64_t NumInjections, uint64_t Seed,
-                                       uint64_t MaxInsns);
+                                       uint64_t MaxInsns, unsigned Jobs = 1);
 
 } // namespace cfed
 

@@ -1,0 +1,140 @@
+//===- ThreadPool.h - Fixed-size thread pool --------------------*- C++ -*-===//
+//
+// Part of the CFED project (CGO'06 control-flow error detection repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed pool of worker threads driving an index-space parallel-for.
+/// Built for fault-injection campaigns: thousands of fully independent
+/// runs whose results land in per-index slots, so scheduling order never
+/// affects the merged outcome. Work distribution is a single atomic
+/// cursor (no per-worker queues, no stealing); with one job, or one item,
+/// everything runs inline on the caller with zero thread traffic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFED_SUPPORT_THREADPOOL_H
+#define CFED_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cfed {
+
+class ThreadPool {
+public:
+  /// Creates \p Jobs workers (including the calling thread; 0 is treated
+  /// as 1, so only Jobs - 1 threads are actually spawned).
+  explicit ThreadPool(unsigned Jobs) : NumJobs(Jobs < 1 ? 1 : Jobs) {
+    for (unsigned I = 1; I < NumJobs; ++I)
+      Workers.emplace_back([this] { workerLoop(); });
+  }
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Stopping = true;
+      ++Generation;
+    }
+    WakeCV.notify_all();
+    for (std::thread &T : Workers)
+      T.join();
+  }
+
+  unsigned jobCount() const { return NumJobs; }
+
+  /// Runs Fn(I) for every I in [0, Count), spread over the pool. Blocks
+  /// until all indices are done. Must not be called re-entrantly.
+  void parallelFor(uint64_t Count, const std::function<void(uint64_t)> &Fn) {
+    if (Workers.empty() || Count <= 1) {
+      for (uint64_t I = 0; I < Count; ++I)
+        Fn(I);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Task = &Fn;
+      TaskCount = Count;
+      Cursor.store(0, std::memory_order_relaxed);
+      Pending = Workers.size();
+      ++Generation;
+    }
+    WakeCV.notify_all();
+    drainTask(Fn);
+    std::unique_lock<std::mutex> Lock(M);
+    DoneCV.wait(Lock, [this] { return Pending == 0; });
+    Task = nullptr;
+  }
+
+  /// Job count for "use the machine" callers: the CFED_JOBS environment
+  /// variable if set, otherwise the hardware thread count.
+  static unsigned defaultJobCount() {
+    if (const char *Env = std::getenv("CFED_JOBS")) {
+      long Value = std::strtol(Env, nullptr, 10);
+      if (Value >= 1)
+        return static_cast<unsigned>(Value);
+    }
+    unsigned Hw = std::thread::hardware_concurrency();
+    return Hw < 1 ? 1 : Hw;
+  }
+
+private:
+  void drainTask(const std::function<void(uint64_t)> &Fn) {
+    for (;;) {
+      uint64_t I = Cursor.fetch_add(1, std::memory_order_relaxed);
+      if (I >= TaskCount)
+        return;
+      Fn(I);
+    }
+  }
+
+  void workerLoop() {
+    uint64_t SeenGeneration = 0;
+    for (;;) {
+      const std::function<void(uint64_t)> *Fn = nullptr;
+      {
+        std::unique_lock<std::mutex> Lock(M);
+        WakeCV.wait(Lock, [&] {
+          return Stopping || Generation != SeenGeneration;
+        });
+        if (Stopping)
+          return;
+        SeenGeneration = Generation;
+        Fn = Task;
+      }
+      if (Fn)
+        drainTask(*Fn);
+      {
+        std::lock_guard<std::mutex> Lock(M);
+        if (--Pending == 0)
+          DoneCV.notify_all();
+      }
+    }
+  }
+
+  unsigned NumJobs;
+  std::vector<std::thread> Workers;
+  std::mutex M;
+  std::condition_variable WakeCV;
+  std::condition_variable DoneCV;
+  const std::function<void(uint64_t)> *Task = nullptr;
+  uint64_t TaskCount = 0;
+  std::atomic<uint64_t> Cursor{0};
+  size_t Pending = 0;
+  uint64_t Generation = 0;
+  bool Stopping = false;
+};
+
+} // namespace cfed
+
+#endif // CFED_SUPPORT_THREADPOOL_H

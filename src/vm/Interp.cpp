@@ -3,7 +3,6 @@
 #include "vm/Interp.h"
 
 #include "support/Diagnostics.h"
-#include "support/Format.h"
 
 #include <cmath>
 
@@ -113,14 +112,27 @@ StopInfo Interpreter::run(uint64_t MaxInsns) {
 
   while (Budget-- > 0) {
     uint64_t PC = State.PC;
-    uint8_t Raw[InsnSize];
-    MemResult Fetch = Mem.fetch(PC, Raw, InsnSize);
+    // Fast path: the predecode cache hands back a decoded record for
+    // aligned PCs on executable pages without touching the bytes.
+    MemResult Fetch = MemResult::Ok;
+    const Instruction *Pre = Mem.fetchDecoded(PC, Fetch);
     if (Fetch != MemResult::Ok)
       return MakeTrap(TrapKind::ExecViolation, PC);
-    auto Decoded = Instruction::decode(Raw);
-    if (!Decoded)
-      return MakeTrap(TrapKind::IllegalInsn, PC);
-    Instruction I = *Decoded;
+    Instruction I;
+    if (Pre) {
+      I = *Pre;
+    } else {
+      // Slow path: misaligned PC (may straddle pages) or bytes that do
+      // not decode. Reproduces the exact trap semantics of a raw fetch.
+      uint8_t Raw[InsnSize];
+      Fetch = Mem.fetch(PC, Raw, InsnSize);
+      if (Fetch != MemResult::Ok)
+        return MakeTrap(TrapKind::ExecViolation, PC);
+      auto Decoded = Instruction::decode(Raw);
+      if (!Decoded)
+        return MakeTrap(TrapKind::IllegalInsn, PC);
+      I = *Decoded;
+    }
 
     ++Insns;
     Cycles += getOpcodeCost(I.Op);
@@ -150,10 +162,25 @@ StopInfo Interpreter::run(uint64_t MaxInsns) {
       return Stop;
     case Opcode::Brk:
       return MakeTrap(TrapKind::BreakTrap, PC, I.Imm);
-    case Opcode::Out:
-      OutputBuffer += formatString(
-          "%lld\n", static_cast<long long>(Regs[I.A]));
+    case Opcode::Out: {
+      // Decimal append without the printf round-trip: Out sits inside the
+      // run loop of every workload.
+      char Buf[24]; // "-9223372036854775808\n" is 21 chars.
+      char *End = Buf + sizeof(Buf);
+      char *P = End;
+      *--P = '\n';
+      int64_t V = static_cast<int64_t>(Regs[I.A]);
+      uint64_t U = V < 0 ? 0 - static_cast<uint64_t>(V)
+                         : static_cast<uint64_t>(V);
+      do {
+        *--P = static_cast<char>('0' + U % 10);
+        U /= 10;
+      } while (U != 0);
+      if (V < 0)
+        *--P = '-';
+      OutputBuffer.append(P, static_cast<size_t>(End - P));
       break;
+    }
     case Opcode::OutC:
       OutputBuffer += static_cast<char>(Regs[I.A] & 0xff);
       break;

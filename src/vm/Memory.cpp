@@ -87,10 +87,13 @@ MemResult Memory::access(uint64_t Addr, void *Out, const void *In,
       break;
     }
     uint64_t Chunk = std::min(Size - Done, PageSize - PageOffset);
-    if (In)
+    if (In) {
       std::memcpy(P->Bytes + PageOffset,
                   static_cast<const uint8_t *>(In) + Done, Chunk);
-    else
+      // Keep the predecode side array coherent with the bytes; writes to
+      // non-executable pages reset a null pointer, which is free.
+      P->Decoded.reset();
+    } else
       std::memcpy(static_cast<uint8_t *>(Out) + Done, P->Bytes + PageOffset,
                   Chunk);
     Done += Chunk;
@@ -108,6 +111,53 @@ MemResult Memory::write(uint64_t Addr, const void *In, uint64_t Size) {
 
 MemResult Memory::fetch(uint64_t Addr, void *Out, uint64_t Size) const {
   return access(Addr, Out, nullptr, Size, AccessKind::Fetch);
+}
+
+const Instruction *Memory::fetchDecoded(uint64_t Addr, MemResult &Result) {
+  if (Addr % InsnSize != 0) {
+    // Misaligned PCs (wild landings) straddle slots and possibly pages:
+    // byte-level slow path.
+    ++PredecodeSlow;
+    Result = MemResult::Ok;
+    return nullptr;
+  }
+  Page *P = lookup(Addr / PageSize);
+  if (!P) {
+    Result = MemResult::Unmapped;
+    return nullptr;
+  }
+  if (!(P->Perms & PermX)) {
+    Result = MemResult::NoExec;
+    return nullptr;
+  }
+  if (!P->Decoded) {
+    ++PredecodeDecodes;
+    auto Decoded = std::make_unique<DecodedPage>();
+    for (uint64_t Slot = 0; Slot < DecodedPage::NumSlots; ++Slot) {
+      auto I = Instruction::decode(P->Bytes + Slot * InsnSize);
+      if (I)
+        Decoded->Insns[Slot] = *I;
+      else
+        Decoded->Illegal[Slot / 64] |= 1ULL << (Slot % 64);
+    }
+    P->Decoded = std::move(Decoded);
+  }
+  Result = MemResult::Ok;
+  uint64_t Slot = (Addr % PageSize) / InsnSize;
+  if (P->Decoded->isIllegal(Slot)) {
+    ++PredecodeSlow;
+    return nullptr; // Slow path re-decodes and traps IllegalInsn.
+  }
+  ++PredecodeHits;
+  return &P->Decoded->Insns[Slot];
+}
+
+void Memory::invalidatePredecode(uint64_t Base, uint64_t Size) {
+  uint64_t First = Base / PageSize;
+  uint64_t Last = (Base + Size + PageSize - 1) / PageSize;
+  for (uint64_t Index = First; Index < Last; ++Index)
+    if (Page *P = lookup(Index))
+      P->Decoded.reset();
 }
 
 void Memory::writeRaw(uint64_t Addr, const void *In, uint64_t Size) {

@@ -12,11 +12,20 @@
 /// implements the write-protection mechanism the DBT uses to catch
 /// self-modifying code (Section 5).
 ///
+/// Executable pages additionally carry a predecoded-instruction side array
+/// (one Instruction record per aligned 8-byte slot, indexed by PC >> 3)
+/// so the interpreter's run loop fetches decoded instructions directly
+/// instead of re-decoding bytes on every dynamic instruction. Any byte
+/// write to a page — guest stores, the DBT installing or chain-patching
+/// translations, flush unchaining — drops that page's side array, which
+/// preserves self-modifying-code semantics.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CFED_VM_MEMORY_H
 #define CFED_VM_MEMORY_H
 
+#include "isa/Isa.h"
 #include "vm/Layout.h"
 
 #include <cstdint>
@@ -70,6 +79,30 @@ public:
   /// Fetches \p Size instruction bytes checking the execute permission.
   MemResult fetch(uint64_t Addr, void *Out, uint64_t Size) const;
 
+  /// Fast instruction fetch through the predecode cache. For an aligned
+  /// \p Addr on an executable page, returns the predecoded instruction
+  /// (decoding the whole page into the side array on first touch).
+  /// Returns nullptr with \p Result == Ok when the caller must take the
+  /// byte-level slow path: misaligned \p Addr or undecodable bytes (the
+  /// slow path then raises the same illegal-instruction trap a raw decode
+  /// would). Permission failures are reported through \p Result exactly
+  /// like fetch().
+  const Instruction *fetchDecoded(uint64_t Addr, MemResult &Result);
+
+  /// Drops predecoded side arrays for all pages overlapping
+  /// [Base, Base+Size). Writes invalidate automatically; this is for
+  /// callers that change what an address range means without writing it
+  /// (e.g. the DBT's flush path, belt and braces).
+  void invalidatePredecode(uint64_t Base, uint64_t Size);
+
+  /// Predecode-cache hits: aligned fetches served from a live side array.
+  uint64_t predecodeHitCount() const { return PredecodeHits; }
+  /// Predecode-cache misses: page decode events plus slow-path fetches
+  /// (misaligned or undecodable).
+  uint64_t predecodeMissCount() const {
+    return PredecodeDecodes + PredecodeSlow;
+  }
+
   /// Permission-less accessors for the loader, the translator and tests.
   /// The pages must be mapped.
   void writeRaw(uint64_t Addr, const void *In, uint64_t Size);
@@ -84,9 +117,23 @@ public:
   bool isMapped(uint64_t Addr) const;
 
 private:
+  /// Predecoded view of one executable page: Insns[Slot] caches
+  /// Instruction::decode of the 8 bytes at Slot * InsnSize; Illegal marks
+  /// slots whose bytes do not decode.
+  struct DecodedPage {
+    static constexpr uint64_t NumSlots = PageSize / InsnSize;
+    Instruction Insns[NumSlots];
+    uint64_t Illegal[NumSlots / 64] = {};
+
+    bool isIllegal(uint64_t Slot) const {
+      return (Illegal[Slot / 64] >> (Slot % 64)) & 1;
+    }
+  };
+
   struct Page {
     uint8_t Perms = PermNone;
     uint8_t Bytes[PageSize] = {};
+    std::unique_ptr<DecodedPage> Decoded;
   };
 
   enum class AccessKind { Read, Write, Fetch, Raw };
@@ -100,6 +147,9 @@ private:
   // Single-entry lookup cache (pages are immovable once allocated).
   mutable uint64_t CachedIndex = ~0ULL;
   mutable Page *CachedPage = nullptr;
+  uint64_t PredecodeHits = 0;
+  uint64_t PredecodeDecodes = 0;
+  uint64_t PredecodeSlow = 0;
 };
 
 } // namespace cfed

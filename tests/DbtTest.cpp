@@ -409,3 +409,72 @@ TEST(DbtTest, NoInstrumentationSitesWithoutChecker) {
   for (const BranchSiteInfo &Site : Run.Translator.enumerateBranchSites())
     EXPECT_FALSE(Site.IsInstrumentation);
 }
+
+TEST(DbtTest, IbtcServesRepeatedIndirectBranches) {
+  // A loop calling through a function-pointer table: every ret and every
+  // callr is a TrampR exit. After the first dispatch per target, the
+  // indirect-branch translation cache must answer.
+  AsmProgram Program = assembleOk(R"(
+.data
+table: .word f
+.code
+main:
+  movi r5, 20
+loop:
+  movi r1, table
+  ld r2, [r1+0]
+  callr r2
+  addi r3, r3, 1
+  addi r5, r5, -1
+  jnzr r5, loop
+  out r3
+  halt
+f:
+  ret
+)");
+  DbtRun Run(Program, DbtConfig{});
+  ASSERT_TRUE(Run.Loaded);
+  EXPECT_EQ(Run.Stop.Kind, StopKind::Halted);
+  EXPECT_EQ(Run.Interp.output(), "20\n");
+  // 20 callr + 20 ret dispatches; only the first of each target misses.
+  EXPECT_GT(Run.Translator.ibtcHitCount(), 30u);
+  EXPECT_LT(Run.Translator.ibtcMissCount(), 10u);
+  // Every IBTC consultation is one TrampR dispatch; direct Tramp
+  // dispatches account for the rest.
+  EXPECT_LE(Run.Translator.ibtcHitCount() + Run.Translator.ibtcMissCount(),
+            Run.Translator.dispatchCount());
+}
+
+TEST(DbtTest, FlushClearsIbtcAndPredecode) {
+  // Self-modifying code between indirect branches: the flush must drop
+  // both the IBTC (stale cache addresses) and the predecoded pages of
+  // the code cache, and the rerun must still produce the right output.
+  AsmProgram Program = assembleOk(R"(
+.entry main
+main:
+  movi r6, helper
+  callr r6              ; warm the IBTC
+  movi r1, patch
+  movi r2, 99
+  stb [r1+4], r2        ; rewrite the low immediate byte -> flush
+  movi r6, helper
+  callr r6              ; indirect again, after the flush
+patch:
+  movi r3, 7            ; becomes movi r3, 99
+  out r3
+  halt
+helper:
+  ret
+)");
+  DbtConfig Config;
+  Config.Tech = Technique::EdgCf;
+  DbtRun Run(Program, Config);
+  ASSERT_TRUE(Run.Loaded);
+  EXPECT_EQ(Run.Stop.Kind, StopKind::Halted)
+      << getTrapKindName(Run.Stop.Trap);
+  EXPECT_EQ(Run.Interp.output(), "99\n");
+  EXPECT_EQ(Run.Translator.flushCount(), 1u);
+  // The post-flush callr re-translated rather than jumping to a stale
+  // cache address: dispatches resumed and the run produced golden output.
+  EXPECT_GT(Run.Translator.ibtcMissCount(), 0u);
+}

@@ -224,3 +224,27 @@ TEST(CampaignTest, PrepareFailsOnNonHaltingProgram) {
   FaultCampaign Campaign(R.Program, DbtConfig{});
   EXPECT_FALSE(Campaign.prepare(100000));
 }
+
+TEST(CampaignTest, ParallelRunMatchesSerial) {
+  // The thread-pool campaign must produce tallies identical to the
+  // serial one: selection and merge are serial and position-indexed, so
+  // the job count can only change scheduling, never results.
+  RandomProgramOptions Options;
+  Options.Seed = 19;
+  AsmResult R = assembleProgram(generateRandomProgram(Options));
+  ASSERT_TRUE(R.succeeded());
+  DbtConfig Config;
+  Config.Tech = Technique::EdgCf;
+  FaultCampaign Campaign(R.Program, Config);
+  ASSERT_TRUE(Campaign.prepare(10000000));
+
+  CampaignResult Serial = Campaign.run(30, 77, SiteClass::Any, 1);
+  CampaignResult Parallel = Campaign.run(30, 77, SiteClass::Any, 4);
+  EXPECT_GT(Serial.Injections, 0u);
+  EXPECT_TRUE(Serial == Parallel);
+  EXPECT_TRUE(Serial.totals() == Parallel.totals());
+
+  // Rerunning with the same seed and yet another job count stays stable.
+  CampaignResult Again = Campaign.run(30, 77, SiteClass::Any, 3);
+  EXPECT_TRUE(Serial == Again);
+}

@@ -5,6 +5,7 @@
 #include "vm/Layout.h"
 #include "vm/Loader.h"
 
+#include <cstring>
 #include <gtest/gtest.h>
 
 using namespace cfed;
@@ -348,4 +349,43 @@ TEST(InterpTest, TrampWithoutDbtHooksIsIllegal) {
   StopInfo Stop = Interp.run(10);
   EXPECT_EQ(Stop.Kind, StopKind::Trapped);
   EXPECT_EQ(Stop.Trap, TrapKind::IllegalInsn);
+}
+
+TEST(InterpTest, SelfModifyingCodeSeesNewBytes) {
+  // The program overwrites one of its own instructions through a plain
+  // store, then executes it: the predecoded-page cache must observe the
+  // write and serve the new bytes.
+  Memory Mem;
+  Interpreter Interp(Mem);
+  constexpr uint64_t Base = 0x10000;
+  Mem.mapRegion(Base, PageSize, PermRWX);
+
+  auto Poke = [&](uint64_t Addr, const Instruction &I) {
+    uint8_t Buffer[InsnSize];
+    I.encode(Buffer);
+    Mem.writeRaw(Addr, Buffer, InsnSize);
+  };
+
+  // The encoding of "movi r2, 99", split into halves a movi can carry.
+  uint8_t NewBytes[InsnSize];
+  insn::ri(Opcode::MovI, 2, 99).encode(NewBytes);
+  uint32_t Low = 0, High = 0;
+  std::memcpy(&Low, NewBytes, 4);
+  std::memcpy(&High, NewBytes + 4, 4);
+
+  Poke(Base + 0x00, insn::ri(Opcode::MovI, 1, static_cast<int32_t>(Low)));
+  Poke(Base + 0x08, insn::ri(Opcode::MovI, 4, static_cast<int32_t>(High)));
+  Poke(Base + 0x10, insn::rri(Opcode::ShlI, 4, 4, 32));
+  Poke(Base + 0x18, insn::rrr(Opcode::Or, 1, 1, 4));
+  Poke(Base + 0x20, insn::ri(Opcode::MovI, 5, static_cast<int32_t>(Base + 0x30)));
+  Poke(Base + 0x28, insn::rri(Opcode::St, 5, 1, 0));
+  Poke(Base + 0x30, insn::ri(Opcode::MovI, 2, 1)); // Overwritten above.
+  Poke(Base + 0x38, insn::none(Opcode::Halt));
+
+  Interp.state().PC = Base;
+  StopInfo Stop = Interp.run(100);
+  EXPECT_EQ(Stop.Kind, StopKind::Halted);
+  EXPECT_EQ(Interp.state().Regs[2], 99u);
+  // The store forced a second whole-page decode.
+  EXPECT_GE(Mem.predecodeMissCount(), 2u);
 }

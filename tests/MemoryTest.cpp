@@ -86,6 +86,98 @@ TEST(MemoryTest, RawBypassesPermissions) {
   EXPECT_EQ(Back, 0x55u);
 }
 
+namespace {
+
+/// Encodes \p I into memory at \p Addr, bypassing permissions.
+void pokeInsn(Memory &Mem, uint64_t Addr, const Instruction &I) {
+  uint8_t Buffer[InsnSize];
+  I.encode(Buffer);
+  Mem.writeRaw(Addr, Buffer, InsnSize);
+}
+
+} // namespace
+
+TEST(MemoryTest, FetchDecodedReturnsDecodedInstruction) {
+  Memory Mem;
+  Mem.mapRegion(0x1000, PageSize, PermRWX);
+  pokeInsn(Mem, 0x1000, insn::rri(Opcode::AddI, 3, 4, 77));
+  MemResult R = MemResult::Unmapped;
+  const Instruction *I = Mem.fetchDecoded(0x1000, R);
+  EXPECT_EQ(R, MemResult::Ok);
+  ASSERT_NE(I, nullptr);
+  EXPECT_EQ(I->Op, Opcode::AddI);
+  EXPECT_EQ(I->A, 3);
+  EXPECT_EQ(I->B, 4);
+  EXPECT_EQ(I->Imm, 77);
+  // The second fetch is a pure side-array hit.
+  uint64_t Hits = Mem.predecodeHitCount();
+  EXPECT_EQ(Mem.fetchDecoded(0x1000, R), I);
+  EXPECT_EQ(Mem.predecodeHitCount(), Hits + 1);
+}
+
+TEST(MemoryTest, FetchDecodedHonorsPermissions) {
+  Memory Mem;
+  Mem.mapRegion(0x1000, PageSize, PermRW);
+  pokeInsn(Mem, 0x1000, insn::rri(Opcode::AddI, 1, 1, 1));
+  MemResult R = MemResult::Ok;
+  EXPECT_EQ(Mem.fetchDecoded(0x1000, R), nullptr);
+  EXPECT_EQ(R, MemResult::NoExec);
+  EXPECT_EQ(Mem.fetchDecoded(0x9000, R), nullptr);
+  EXPECT_EQ(R, MemResult::Unmapped);
+}
+
+TEST(MemoryTest, FetchDecodedMisalignedFallsBack) {
+  Memory Mem;
+  Mem.mapRegion(0x1000, PageSize, PermRWX);
+  // A misaligned PC is legal input: the caller must take the byte-fetch
+  // slow path so trap semantics stay exact.
+  MemResult R = MemResult::Unmapped;
+  EXPECT_EQ(Mem.fetchDecoded(0x1004, R), nullptr);
+  EXPECT_EQ(R, MemResult::Ok);
+}
+
+TEST(MemoryTest, FetchDecodedIllegalSlotFallsBack) {
+  Memory Mem;
+  Mem.mapRegion(0x1000, PageSize, PermRWX);
+  uint8_t Garbage[InsnSize] = {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF};
+  Mem.writeRaw(0x1000, Garbage, InsnSize);
+  MemResult R = MemResult::Unmapped;
+  EXPECT_EQ(Mem.fetchDecoded(0x1000, R), nullptr);
+  EXPECT_EQ(R, MemResult::Ok); // Caller decodes and traps IllegalInsn.
+}
+
+TEST(MemoryTest, WriteInvalidatesPredecodedPage) {
+  Memory Mem;
+  Mem.mapRegion(0x1000, PageSize, PermRWX);
+  pokeInsn(Mem, 0x1000, insn::rri(Opcode::AddI, 1, 1, 10));
+  MemResult R = MemResult::Ok;
+  const Instruction *I = Mem.fetchDecoded(0x1000, R);
+  ASSERT_NE(I, nullptr);
+  EXPECT_EQ(I->Imm, 10);
+
+  // A permission-checked write through the normal path must invalidate
+  // the page's side array (self-modifying code coherence).
+  uint8_t Buffer[InsnSize];
+  insn::rri(Opcode::AddI, 1, 1, 99).encode(Buffer);
+  ASSERT_EQ(Mem.write(0x1000, Buffer, InsnSize), MemResult::Ok);
+  I = Mem.fetchDecoded(0x1000, R);
+  ASSERT_NE(I, nullptr);
+  EXPECT_EQ(I->Imm, 99);
+}
+
+TEST(MemoryTest, InvalidatePredecodeDropsSideArrays) {
+  Memory Mem;
+  Mem.mapRegion(0x1000, 2 * PageSize, PermRWX);
+  pokeInsn(Mem, 0x1000, insn::rri(Opcode::AddI, 1, 1, 5));
+  MemResult R = MemResult::Ok;
+  ASSERT_NE(Mem.fetchDecoded(0x1000, R), nullptr);
+  uint64_t DecodesBefore = Mem.predecodeMissCount();
+  Mem.invalidatePredecode(0x1000, 2 * PageSize);
+  ASSERT_NE(Mem.fetchDecoded(0x1000, R), nullptr);
+  // The page had to be re-decoded after the explicit invalidation.
+  EXPECT_GT(Mem.predecodeMissCount(), DecodesBefore);
+}
+
 TEST(LoaderTest, NativeLayout) {
   AsmResult R = assembleProgram(".data\nv: .word 9\n.code\nmain:\nhalt\n"
                                 ".entry main\n");

@@ -4,10 +4,14 @@
 #include "support/Prng.h"
 #include "support/Stats.h"
 #include "support/Table.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <set>
+#include <vector>
 
 using namespace cfed;
 
@@ -112,4 +116,50 @@ TEST(TableTest, Separator) {
   size_t First = Text.find("---");
   ASSERT_NE(First, std::string::npos);
   EXPECT_NE(Text.find("---", First + 3), std::string::npos);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool Pool(4);
+  std::vector<std::atomic<int>> Touched(1000);
+  Pool.parallelFor(Touched.size(),
+                   [&](uint64_t I) { Touched[I].fetch_add(1); });
+  for (const auto &Count : Touched)
+    EXPECT_EQ(Count.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossCalls) {
+  ThreadPool Pool(3);
+  for (int Round = 0; Round < 5; ++Round) {
+    std::atomic<uint64_t> Sum{0};
+    Pool.parallelFor(100, [&](uint64_t I) { Sum.fetch_add(I + 1); });
+    EXPECT_EQ(Sum.load(), 5050u);
+  }
+}
+
+TEST(ThreadPoolTest, SingleJobRunsInline) {
+  ThreadPool Pool(1);
+  EXPECT_EQ(Pool.jobCount(), 1u);
+  std::vector<uint64_t> Order;
+  // With one job there are no workers: iteration order is sequential.
+  Pool.parallelFor(10, [&](uint64_t I) { Order.push_back(I); });
+  ASSERT_EQ(Order.size(), 10u);
+  for (uint64_t I = 0; I < Order.size(); ++I)
+    EXPECT_EQ(Order[I], I);
+}
+
+TEST(ThreadPoolTest, MoreJobsThanWork) {
+  ThreadPool Pool(8);
+  std::atomic<int> Calls{0};
+  Pool.parallelFor(3, [&](uint64_t) { Calls.fetch_add(1); });
+  EXPECT_EQ(Calls.load(), 3);
+  Pool.parallelFor(0, [&](uint64_t) { Calls.fetch_add(1); });
+  EXPECT_EQ(Calls.load(), 3);
+}
+
+TEST(ThreadPoolTest, DefaultJobCountHonorsEnv) {
+  // CFED_JOBS wins over hardware_concurrency when set.
+  setenv("CFED_JOBS", "7", 1);
+  EXPECT_EQ(ThreadPool::defaultJobCount(), 7u);
+  unsetenv("CFED_JOBS");
+  EXPECT_GE(ThreadPool::defaultJobCount(), 1u);
 }

@@ -36,6 +36,7 @@
 #include "vm/Loader.h"
 #include "workloads/Workloads.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -264,6 +265,7 @@ int main(int Argc, char **Argv) {
   Interpreter Interp(Mem);
   StopInfo Stop;
   uint64_t Translations = 0, Dispatches = 0, Flushes = 0;
+  uint64_t IbtcHits = 0, IbtcMisses = 0;
   std::unique_ptr<Dbt> Translator;
   if (Opts.Native) {
     loadProgram(Program, LoadMode::Native, Mem, Interp.state());
@@ -284,6 +286,8 @@ int main(int Argc, char **Argv) {
     Stop = Translator->run(Interp, Opts.MaxInsns);
     Translations = Translator->translationCount();
     Dispatches = Translator->dispatchCount();
+    IbtcHits = Translator->ibtcHitCount();
+    IbtcMisses = Translator->ibtcMissCount();
     Flushes = Translator->flushCount();
   }
 
@@ -300,18 +304,28 @@ int main(int Argc, char **Argv) {
     if (!Opts.Native)
       std::fprintf(stderr,
                    "translations: %llu\ndispatches:   %llu\n"
+                   "ibtc:         %llu hits / %llu misses\n"
                    "flushes:      %llu\n",
                    (unsigned long long)Translations,
                    (unsigned long long)Dispatches,
+                   (unsigned long long)IbtcHits,
+                   (unsigned long long)IbtcMisses,
                    (unsigned long long)Flushes);
   }
   if (Opts.DumpCache && Translator) {
-    for (const auto &[Guest, TB] : Translator->blocks()) {
-      std::vector<uint8_t> Code(TB.CacheSize);
-      Mem.readRaw(TB.CacheAddr, Code.data(), Code.size());
+    std::vector<const TranslatedBlock *> Sorted;
+    for (const TranslatedBlock &TB : Translator->blocks())
+      Sorted.push_back(&TB);
+    std::sort(Sorted.begin(), Sorted.end(),
+              [](const TranslatedBlock *A, const TranslatedBlock *B) {
+                return A->GuestAddr < B->GuestAddr;
+              });
+    for (const TranslatedBlock *TB : Sorted) {
+      std::vector<uint8_t> Code(TB->CacheSize);
+      Mem.readRaw(TB->CacheAddr, Code.data(), Code.size());
       std::printf("; guest block 0x%llx\n%s",
-                  (unsigned long long)Guest,
-                  disassembleRange(Code.data(), Code.size(), TB.CacheAddr)
+                  (unsigned long long)TB->GuestAddr,
+                  disassembleRange(Code.data(), Code.size(), TB->CacheAddr)
                       .c_str());
     }
   }
