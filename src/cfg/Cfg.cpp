@@ -24,9 +24,8 @@ Cfg Cfg::build(const uint8_t *Code, uint64_t Size, uint64_t Base,
   for (uint64_t Index = 0; Index < NumInsns; ++Index) {
     auto I = Instruction::decode(Code + Index * InsnSize);
     if (!I)
-      reportFatalError(formatString(
-          "undecodable instruction at 0x%llx while building CFG",
-          static_cast<unsigned long long>(Base + Index * InsnSize)));
+      reportFatalErrorf("undecodable instruction at 0x%llx while building CFG",
+                        static_cast<unsigned long long>(Base + Index * InsnSize));
     Decoded.push_back(*I);
   }
 

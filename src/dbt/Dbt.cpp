@@ -28,19 +28,29 @@ Dbt::Dbt(Memory &Mem, DbtConfig Config)
 Dbt::~Dbt() = default;
 
 bool Dbt::load(const AsmProgram &Program, CpuState &State) {
-  if (Checker->requiresWholeProgramCfg() && !Config.EagerTranslate)
-    return false; // The paper's on-demand limitation (Section 5).
+  LoadError.clear();
+  if (Checker->requiresWholeProgramCfg() && !Config.EagerTranslate) {
+    // The paper's on-demand limitation (Section 5).
+    LoadError = "technique requires whole-program CFG but eager translation "
+                "is off";
+    return false;
+  }
 
   GuestCodeBase = CodeBase;
   GuestCodeSize = Program.Code.size();
   GuestEntry = Program.Entry;
-  loadProgram(Program, LoadMode::Translated, Mem, State);
+  if (!loadProgramChecked(Program, LoadMode::Translated, Mem, State,
+                          LoadError))
+    return false;
 
   if (Config.EagerTranslate) {
     Cfg Graph = Cfg::build(Program.Code.data(), Program.Code.size(),
                            CodeBase, Program.Entry, Program.CodeLabels);
-    if (!Checker->prepare(Graph))
+    if (!Checker->prepare(Graph)) {
+      LoadError = "checker cannot instrument this program (indirect "
+                  "control flow outside the static CFG)";
       return false;
+    }
     EagerLeaders.clear();
     for (const auto &[Addr, Block] : Graph.blocks())
       EagerLeaders.push_back(Addr);
@@ -71,10 +81,17 @@ uint64_t Dbt::lookupOrTranslate(uint64_t GuestTarget) {
     return TB->CacheAddr;
   // Eager mode translated the whole program up front; the translation
   // set is frozen because the whole-program techniques (CFCSS/ECCA)
-  // assigned signatures from the static CFG. A miss can only be an
-  // erroneous target: execute it raw and let the page protection trap.
-  if (Config.EagerTranslate)
+  // assigned signatures from the static CFG. A miss on a static leader
+  // can only mean the cache was flushed (degradation rollback) — the
+  // signature assignment is still valid, so retranslate it. Any other
+  // miss is an erroneous target: execute it raw and let the page
+  // protection trap.
+  if (Config.EagerTranslate) {
+    if (std::binary_search(EagerLeaders.begin(), EagerLeaders.end(),
+                           GuestTarget))
+      return translate(GuestTarget);
     return GuestTarget;
+  }
   // Only instruction-aligned targets inside the code segment are
   // translatable; anything else executes raw and traps on the guest's
   // non-executable pages (the hardware category-F detector).
@@ -94,6 +111,7 @@ uint64_t Dbt::translate(uint64_t EntryGuest) {
     uint64_t Guest = 0;
     size_t StartIdx = 0;
     std::vector<std::pair<size_t, size_t>> InstrIdx;
+    bool Checked = false;
   };
   std::vector<SubBlock> Subs;
   std::set<uint64_t> InThisSuper;
@@ -153,7 +171,7 @@ uint64_t Dbt::translate(uint64_t EntryGuest) {
     // entry instruction away (then they are not registered at all).
     if (!Config.FoldSignatureUpdates)
       Builder.markBarrier();
-    Subs.push_back(SubBlock{Guest, Builder.size(), {}});
+    Subs.push_back(SubBlock{Guest, Builder.size(), {}, DoCheck});
     SubBlock &Sub = Subs.back();
 
     auto EmitChecked = [&](auto EmitFn) {
@@ -292,9 +310,8 @@ uint64_t Dbt::translate(uint64_t EntryGuest) {
       break;
     case OpKind::DbtExit:
     case OpKind::DbtExitInd:
-      reportFatalError(formatString(
-          "DBT-internal opcode in guest code at 0x%llx",
-          static_cast<unsigned long long>(TermAddr)));
+      reportFatalErrorf("DBT-internal opcode in guest code at 0x%llx",
+                        static_cast<unsigned long long>(TermAddr));
     }
   }
 
@@ -326,6 +343,10 @@ uint64_t Dbt::translate(uint64_t EntryGuest) {
     for (const auto &[BeginIdx, EndIdx] : Sub.InstrIdx)
       TB.InstrRanges.emplace_back(Base + BeginIdx * InsnSize,
                                   Base + EndIdx * InsnSize);
+    // The prologue start of a registered sub-block is a guest-consistent
+    // re-entry point: record it for the recovery subsystem.
+    SafePoints[TB.CacheAddr] = SafePointInfo{Sub.Guest, Sub.Checked};
+    NumCheckSites += Sub.Checked;
     BlockMap.insert(Sub.Guest, std::move(TB));
   }
   return Base;
@@ -371,6 +392,12 @@ bool Dbt::onWriteViolation(uint64_t DataAddr) {
   if (Checker->requiresWholeProgramCfg())
     reportFatalError("self-modifying code under a whole-program-CFG "
                      "technique (CFCSS/ECCA) is not supported");
+  // Self-modification invalidates the static CFG an eager translator
+  // worked from: fall back to on-demand translation of the new code.
+  if (Config.EagerTranslate) {
+    Config.EagerTranslate = false;
+    EagerLeaders.clear();
+  }
   flushTranslations();
   // Let the faulting store retry and future stores to this page proceed;
   // the page is re-protected before the next translation reads it.
@@ -394,12 +421,31 @@ void Dbt::flushTranslations() {
   }
   Patches.clear();
   BlockMap.clear();
+  SafePoints.clear();
+  NumCheckSites = 0;
   // Stale guest→cache mappings must not short-circuit re-dispatch.
   Ibtc.fill(IbtcEntry{});
   // The unchaining writes above already dropped the predecode arrays of
   // the pages they touched; drop the whole cache region explicitly so no
   // stale decode survives a flush.
   Mem.invalidatePredecode(CacheBase, CacheAlloc - CacheBase);
+}
+
+void Dbt::degradeToConservative() {
+  flushTranslations();
+  Config.ChainDirectExits = false;
+  Config.SuperblockLimit = 1;
+  Config.FoldSignatureUpdates = false;
+  Config.Policy = CheckPolicy::AllBB;
+  ++NumDegrades;
+}
+
+uint64_t Dbt::guestPCFor(uint64_t PC) const {
+  if (!isCacheAddr(PC))
+    return PC;
+  if (const TranslatedBlock *TB = cacheBlockContaining(PC))
+    return TB->GuestAddr;
+  return PC;
 }
 
 const TranslatedBlock *Dbt::cacheBlockContaining(uint64_t Addr) const {

@@ -52,6 +52,8 @@
 
 #include <array>
 #include <memory>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace cfed {
@@ -98,6 +100,20 @@ struct TranslatedBlock {
   }
 };
 
+/// A guest-consistent re-entry point in the code cache: the first
+/// instruction of a registered sub-block's prologue. At these cache
+/// addresses all architectural state is guest state (no partially
+/// executed block), so the recovery subsystem may checkpoint there and
+/// resume from the corresponding guest address after a rollback.
+struct SafePointInfo {
+  /// Guest address of the sub-block entered here.
+  uint64_t GuestAddr = 0;
+  /// True when the checker emitted a signature *check* (not just an
+  /// update) in this prologue — the anchors the errant-flow watchdog
+  /// counts instructions between.
+  bool Checked = false;
+};
+
 /// A branch fault site discovered in translated code.
 struct BranchSiteInfo {
   uint64_t CacheAddr = 0;
@@ -137,6 +153,46 @@ public:
   /// Returns the translated block whose cache range contains \p Addr, or
   /// nullptr (stale translations from before a flush are not included).
   const TranslatedBlock *cacheBlockContaining(uint64_t Addr) const;
+
+  /// Safe points of all live translations, keyed by cache address.
+  /// Cleared on flush; repopulated as blocks retranslate.
+  const std::unordered_map<uint64_t, SafePointInfo> &safePoints() const {
+    return SafePoints;
+  }
+
+  /// True when at least one live safe point carries a signature check —
+  /// the precondition for the errant-flow watchdog to be meaningful.
+  bool hasCheckSites() const { return NumCheckSites > 0; }
+
+  /// Public lookup for the recovery subsystem: cache address to resume at
+  /// for \p GuestAddr (translating on demand if needed), or \p GuestAddr
+  /// itself when it is not translatable.
+  uint64_t resolveGuestTarget(uint64_t GuestAddr) {
+    return lookupOrTranslate(GuestAddr);
+  }
+
+  /// Best-effort guest attribution of a stop: maps a code-cache PC back
+  /// to the guest address of the innermost sub-block containing it;
+  /// non-cache PCs pass through unchanged.
+  uint64_t guestPCFor(uint64_t PC) const;
+
+  /// Flushes all translations and permanently reconfigures this
+  /// translator conservatively: chaining off, superblocks off, signature
+  /// folding off, AllBB check policy. The degradation ladder's first
+  /// rung — subsequent retranslations maximize detection latency bounds
+  /// at the cost of throughput.
+  void degradeToConservative();
+
+  /// Number of degradeToConservative() calls.
+  uint64_t degradeCount() const { return NumDegrades; }
+
+  /// Guest program entry and code segment, as captured by load().
+  uint64_t guestEntry() const { return GuestEntry; }
+  uint64_t guestCodeBase() const { return GuestCodeBase; }
+  uint64_t guestCodeSize() const { return GuestCodeSize; }
+
+  /// Descriptive reason for the most recent load() failure.
+  const std::string &loadError() const { return LoadError; }
 
   /// Scans all live translations for offset-branch instructions — the
   /// fault sites of the error model. Call after a warm-up run so that
@@ -186,6 +242,10 @@ private:
   DbtConfig Config;
   std::unique_ptr<ControlFlowChecker> Checker;
   BlockTable<TranslatedBlock> BlockMap;
+  std::unordered_map<uint64_t, SafePointInfo> SafePoints;
+  uint64_t NumCheckSites = 0;
+  uint64_t NumDegrades = 0;
+  std::string LoadError;
   std::array<IbtcEntry, IbtcSlots> Ibtc;
   std::vector<ChainPatch> Patches;
   uint64_t CacheAlloc;      ///< Next free cache address.

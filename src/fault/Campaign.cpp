@@ -23,6 +23,10 @@ const char *cfed::getOutcomeName(Outcome O) {
     return "SDC";
   case Outcome::Timeout:
     return "timeout";
+  case Outcome::Recovered:
+    return "recovered";
+  case Outcome::RecoveryFailed:
+    return "rec-fail";
   }
   return "?";
 }
@@ -44,6 +48,12 @@ void OutcomeCounts::add(Outcome O) {
   case Outcome::Timeout:
     ++Timeout;
     return;
+  case Outcome::Recovered:
+    ++Recovered;
+    return;
+  case Outcome::RecoveryFailed:
+    ++RecoveryFailed;
+    return;
   }
   cfed_unreachable("covered switch");
 }
@@ -54,6 +64,8 @@ void OutcomeCounts::merge(const OutcomeCounts &Other) {
   Masked += Other.Masked;
   Sdc += Other.Sdc;
   Timeout += Other.Timeout;
+  Recovered += Other.Recovered;
+  RecoveryFailed += Other.RecoveryFailed;
 }
 
 OutcomeCounts CampaignResult::totals() const {
@@ -379,14 +391,46 @@ InjectionReport FaultCampaign::injectDetailed(const PlannedFault &Fault) const {
   return Report;
 }
 
-CampaignResult FaultCampaign::run(uint64_t NumInjections, uint64_t Seed,
-                                  SiteClass Class, unsigned Jobs) {
-  // Over-plan: a sizeable share of random faults are NoError.
-  std::vector<PlannedFault> Candidates =
-      plan(NumInjections * 4, Seed, Class);
+FaultCampaign::RecoveryInjection
+FaultCampaign::injectWithRecovery(const PlannedFault &Fault,
+                                  const RecoveryConfig &Recovery) const {
+  assert(Prepared && "call prepare() first");
+  Instance Run(Program, Config);
+  if (!Run.Ok)
+    reportFatalError("injection instance failed to load after prepare()");
+  InjectionHook Hook(*this, Fault.Class, InstrMap, Fault, Run.Interp);
+  Run.Interp.setFaultHook(&Hook);
+  RecoveryManager Manager(Run.Interp, Run.Translator, Recovery);
+  RecoveryReport Report = Manager.run(InsnBudget);
 
-  // Serial selection: the first NumInjections candidates that can
-  // actually deviate control flow, in plan order.
+  RecoveryInjection Injection;
+  Injection.Fired = Hook.Fired;
+  if (Report.Completed) {
+    bool Golden = hashOutput(Run.Interp.output()) == GoldenHash;
+    if (Report.NumRollbacks > 0)
+      Injection.Result = Golden ? Outcome::Recovered : Outcome::RecoveryFailed;
+    else
+      Injection.Result = Golden ? Outcome::Masked : Outcome::Sdc;
+  } else if (Report.FinalStop.Kind == StopKind::InsnLimit) {
+    Injection.Result = Report.NumRollbacks > 0 ? Outcome::RecoveryFailed
+                                               : Outcome::Timeout;
+  } else {
+    // A final trap means even the interpreter fallback could not make
+    // progress: the ladder is exhausted.
+    Injection.Result = Outcome::RecoveryFailed;
+  }
+  Injection.Recovery = std::move(Report);
+  return Injection;
+}
+
+namespace {
+
+/// Serial selection shared by run() and runWithRecovery(): the first
+/// NumInjections candidates that can actually deviate control flow, in
+/// plan order — keeping the two phases' fault sets identical.
+std::vector<const PlannedFault *>
+selectFaults(const std::vector<PlannedFault> &Candidates,
+             uint64_t NumInjections) {
   std::vector<const PlannedFault *> Selected;
   Selected.reserve(std::min<uint64_t>(NumInjections, Candidates.size()));
   for (const PlannedFault &Fault : Candidates) {
@@ -396,6 +440,18 @@ CampaignResult FaultCampaign::run(uint64_t NumInjections, uint64_t Seed,
       break;
     Selected.push_back(&Fault);
   }
+  return Selected;
+}
+
+} // namespace
+
+CampaignResult FaultCampaign::run(uint64_t NumInjections, uint64_t Seed,
+                                  SiteClass Class, unsigned Jobs) {
+  // Over-plan: a sizeable share of random faults are NoError.
+  std::vector<PlannedFault> Candidates =
+      plan(NumInjections * 4, Seed, Class);
+  std::vector<const PlannedFault *> Selected =
+      selectFaults(Candidates, NumInjections);
 
   // Parallel injection into position-indexed slots. Each worker touches
   // only its own slot, and the merge below walks slots in selection
@@ -404,6 +460,29 @@ CampaignResult FaultCampaign::run(uint64_t NumInjections, uint64_t Seed,
   ThreadPool Pool(Jobs);
   Pool.parallelFor(Selected.size(), [&](uint64_t I) {
     Outcomes[I] = inject(*Selected[I]);
+  });
+
+  CampaignResult Result;
+  for (size_t I = 0; I < Selected.size(); ++I) {
+    Result.of(Selected[I]->Category).add(Outcomes[I]);
+    ++Result.Injections;
+  }
+  return Result;
+}
+
+CampaignResult FaultCampaign::runWithRecovery(uint64_t NumInjections,
+                                              uint64_t Seed, SiteClass Class,
+                                              const RecoveryConfig &Recovery,
+                                              unsigned Jobs) {
+  std::vector<PlannedFault> Candidates =
+      plan(NumInjections * 4, Seed, Class);
+  std::vector<const PlannedFault *> Selected =
+      selectFaults(Candidates, NumInjections);
+
+  std::vector<Outcome> Outcomes(Selected.size());
+  ThreadPool Pool(Jobs);
+  Pool.parallelFor(Selected.size(), [&](uint64_t I) {
+    Outcomes[I] = injectWithRecovery(*Selected[I], Recovery).Result;
   });
 
   CampaignResult Result;

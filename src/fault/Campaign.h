@@ -36,6 +36,7 @@
 #include "asm/Assembler.h"
 #include "dbt/Dbt.h"
 #include "fault/Category.h"
+#include "recovery/Recovery.h"
 
 #include <array>
 #include <cstdint>
@@ -81,6 +82,10 @@ enum class Outcome : uint8_t {
   Masked,            ///< Run completed with the golden output.
   Sdc,               ///< Run completed with corrupted output.
   Timeout,           ///< Run exceeded the instruction budget.
+  Recovered,         ///< Detected, rolled back, completed with the golden
+                     ///< output (recovery campaigns only).
+  RecoveryFailed,    ///< Detected and rolled back, but the run did not
+                     ///< reproduce the golden output.
 };
 
 /// Returns a short display name for \p O.
@@ -105,9 +110,12 @@ struct OutcomeCounts {
   uint64_t Masked = 0;
   uint64_t Sdc = 0;
   uint64_t Timeout = 0;
+  uint64_t Recovered = 0;
+  uint64_t RecoveryFailed = 0;
 
   uint64_t total() const {
-    return DetectedSig + DetectedHw + Masked + Sdc + Timeout;
+    return DetectedSig + DetectedHw + Masked + Sdc + Timeout + Recovered +
+           RecoveryFailed;
   }
   void add(Outcome O);
   void merge(const OutcomeCounts &Other);
@@ -115,7 +123,8 @@ struct OutcomeCounts {
   bool operator==(const OutcomeCounts &Other) const {
     return DetectedSig == Other.DetectedSig && DetectedHw == Other.DetectedHw &&
            Masked == Other.Masked && Sdc == Other.Sdc &&
-           Timeout == Other.Timeout;
+           Timeout == Other.Timeout && Recovered == Other.Recovered &&
+           RecoveryFailed == Other.RecoveryFailed;
   }
   bool operator!=(const OutcomeCounts &Other) const {
     return !(*this == Other);
@@ -166,6 +175,31 @@ public:
 
   /// Like inject(), additionally reporting detection latency.
   InjectionReport injectDetailed(const PlannedFault &Fault) const;
+
+  /// Outcome of one injected run executed under a RecoveryManager.
+  struct RecoveryInjection {
+    Outcome Result = Outcome::Masked;
+    /// The fault actually fired.
+    bool Fired = false;
+    /// Full recovery-subsystem record of the run.
+    RecoveryReport Recovery;
+  };
+
+  /// Executes one planned fault under checkpoint/rollback recovery. A run
+  /// that detects, rolls back and reproduces the golden output classifies
+  /// as Recovered; a rolled-back run with wrong output or no forward
+  /// progress classifies as RecoveryFailed. Thread-safe like inject().
+  RecoveryInjection injectWithRecovery(const PlannedFault &Fault,
+                                       const RecoveryConfig &Recovery) const;
+
+  /// The recovery-effectiveness phase: same plan and serial selection as
+  /// run() (the fault sets are identical for equal NumInjections, Seed
+  /// and Sites), but every injection executes under recovery. Results are
+  /// byte-identical for any \p Jobs value.
+  CampaignResult runWithRecovery(uint64_t NumInjections, uint64_t Seed,
+                                 SiteClass Sites,
+                                 const RecoveryConfig &Recovery,
+                                 unsigned Jobs = 1);
 
   /// Runs a full campaign: plan, filter out NoError candidates, inject.
   /// With \p Jobs > 1 the injections execute on a thread pool; the fault

@@ -1,0 +1,238 @@
+//===- Recovery.cpp - Checkpoint/rollback error recovery -------------------===//
+
+#include "recovery/Recovery.h"
+
+#include "support/Format.h"
+#include "vm/Layout.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+using namespace cfed;
+
+RecoveryManager::RecoveryManager(Interpreter &Interp, Dbt &Translator,
+                                 RecoveryConfig Config)
+    : Interp(Interp), Translator(Translator), Config(Config) {
+  if (this->Config.MaxCheckpoints == 0)
+    this->Config.MaxCheckpoints = 1;
+}
+
+RecoveryManager::~RecoveryManager() = default;
+
+void RecoveryManager::onPageDirtied(uint64_t PageBase,
+                                    const uint8_t *OldBytes) {
+  if (InRestore || Checkpoints.empty())
+    return;
+  Checkpoint &CP = Checkpoints.back();
+  auto [It, Inserted] = CP.UndoLog.try_emplace(PageBase);
+  if (!Inserted)
+    return; // Already have this page's pre-image for this checkpoint.
+  It->second.assign(OldBytes, OldBytes + PageSize);
+  CP.UndoBytes += PageSize;
+}
+
+void RecoveryManager::onInsn(uint64_t InsnAddr, const Instruction &I,
+                             CpuState &State) {
+  if (!Fallback) {
+    const auto &Points = Translator.safePoints();
+    auto It = Points.find(InsnAddr);
+    if (It != Points.end()) {
+      const SafePointInfo &SP = It->second;
+      // The hook runs after the counters were charged for this
+      // instruction but before it executes; the checkpointed counts must
+      // not include it (it re-executes after a rollback).
+      uint64_t InsnsNow = Interp.instructionCount() - 1;
+      uint64_t CyclesNow = Interp.cycleCount() - getOpcodeCost(I.Op);
+      if (SP.Checked)
+        LastCheck = InsnsNow;
+      bool IntervalDue =
+          InsnsNow - CheckpointInsns >= Config.CheckpointInterval;
+      bool BudgetDue = totalUndoBytes() > Config.MemoryBudget;
+      if (Checkpoints.empty() || IntervalDue || BudgetDue)
+        takeCheckpoint(SP.GuestAddr, InsnsNow, CyclesNow);
+    }
+  }
+  if (SavedHook)
+    SavedHook->onInsn(InsnAddr, I, State);
+}
+
+uint64_t RecoveryManager::totalUndoBytes() const {
+  uint64_t Total = 0;
+  for (const Checkpoint &CP : Checkpoints)
+    Total += CP.UndoBytes;
+  return Total;
+}
+
+void RecoveryManager::takeCheckpoint(uint64_t GuestPC, uint64_t InsnsNow,
+                                     uint64_t CyclesNow) {
+  Checkpoints.emplace_back();
+  Checkpoint &CP = Checkpoints.back();
+  CP.GuestPC = GuestPC;
+  CP.State = Interp.state();
+  CP.Insns = InsnsNow;
+  CP.Cycles = CyclesNow;
+  CP.OutputLen = Interp.output().size();
+  while (Checkpoints.size() > Config.MaxCheckpoints)
+    Checkpoints.pop_front();
+  // New epoch: the next write to any tracked page lands in this
+  // checkpoint's undo log.
+  Interp.memory().resetWriteEpoch();
+  CheckpointInsns = InsnsNow;
+  ++Report.NumCheckpoints;
+}
+
+uint64_t RecoveryManager::rollbackTo(size_t Depth) {
+  assert(!Checkpoints.empty() && "rollback without a checkpoint");
+  Depth = std::min(Depth, Checkpoints.size());
+  size_t Target = Checkpoints.size() - Depth;
+
+  // Apply undo logs newest-first so that where logs overlap the older
+  // pre-image (the state at the older checkpoint) wins.
+  Memory &Mem = Interp.memory();
+  InRestore = true;
+  for (size_t Index = Checkpoints.size(); Index-- > Target;)
+    for (const auto &[PageBase, Bytes] : Checkpoints[Index].UndoLog)
+      Mem.writeRaw(PageBase, Bytes.data(), PageSize);
+  InRestore = false;
+
+  Checkpoints.resize(Target + 1);
+  Checkpoint &CP = Checkpoints.back();
+  CP.UndoLog.clear();
+  CP.UndoBytes = 0;
+  Mem.resetWriteEpoch();
+
+  CpuState Restored = CP.State;
+  Restored.PC = Translator.resolveGuestTarget(CP.GuestPC);
+  Interp.state() = Restored;
+  Interp.restoreProgress(CP.Insns, CP.Cycles, CP.OutputLen);
+  CheckpointInsns = CP.Insns;
+  LastCheck = CP.Insns; // The checkpoint is the new watchdog anchor.
+  return CP.GuestPC;
+}
+
+void RecoveryManager::enterInterpreterFallback() {
+  uint64_t GuestPC = rollbackTo(Checkpoints.size());
+  // Abandon translation: run the guest pages directly. Translated calls
+  // pushed *guest* return addresses, so the guest stack is directly
+  // consumable by raw guest code.
+  if (Translator.guestCodeSize() > 0)
+    Interp.memory().setPerms(Translator.guestCodeBase(),
+                             Translator.guestCodeSize(), PermRX);
+  Interp.state().PC = GuestPC;
+  Fallback = true;
+  Report.InterpreterFallback = true;
+}
+
+void RecoveryManager::recover(uint64_t SiteKey) {
+  ++TotalRollbacks;
+  ++Report.NumRollbacks;
+  if (TotalRollbacks > Config.MaxTotalRollbacks) {
+    enterInterpreterFallback();
+    return;
+  }
+  unsigned &SiteCount = SiteRollbacks[SiteKey];
+  ++SiteCount;
+  if (SiteCount > Config.MaxSiteRollbacks) {
+    // Same region keeps failing: flush and retranslate conservatively,
+    // and roll back as deep as the ring allows in case a corrupted
+    // checkpoint is what keeps bringing us back here.
+    Translator.degradeToConservative();
+    Report.Degraded = true;
+    SiteRollbacks.clear();
+    rollbackTo(Checkpoints.size());
+    return;
+  }
+  rollbackTo(1);
+}
+
+RecoveryReport RecoveryManager::run(uint64_t MaxInsns) {
+  Report = RecoveryReport();
+  Checkpoints.clear();
+  SiteRollbacks.clear();
+  TotalRollbacks = 0;
+  Fallback = false;
+
+  Memory &Mem = Interp.memory();
+  // Splice in front of any existing per-instruction hook (a fault
+  // injector, typically) and forward to it from onInsn.
+  SavedHook = Interp.preInsnHook();
+  Interp.setPreInsnHook(this);
+  Interp.setDbtHooks(&Translator);
+  Mem.setWriteObserver(this, CacheBase);
+
+  // Seed checkpoint: the program entry is trivially a safe point.
+  takeCheckpoint(Translator.guestEntry(), Interp.instructionCount(),
+                 Interp.cycleCount());
+
+  uint64_t TotalBudgetFactor = Config.MaxTotalRollbacks + 2ull;
+  uint64_t TotalBudget = MaxInsns > ~0ull / TotalBudgetFactor
+                             ? ~0ull
+                             : MaxInsns * TotalBudgetFactor;
+
+  StopInfo Stop;
+  for (;;) {
+    uint64_t Progress = Interp.instructionCount();
+    if (Progress >= MaxInsns) {
+      Stop.Kind = StopKind::InsnLimit;
+      Stop.Trap = TrapKind::None;
+      Stop.PC = Interp.state().PC;
+      break;
+    }
+    uint64_t Slice = MaxInsns - Progress;
+    // Armed whenever a checking technique is configured — not gated on
+    // translated-so-far check sites: under on-demand translation with a
+    // relaxed policy the first checked block may only be translated near
+    // the end of the run, and a flow spinning check-free before that is
+    // exactly what the watchdog must bound.
+    bool WatchdogOn = !Fallback && Config.WatchdogBound > 0 &&
+                      Translator.config().Tech != Technique::None;
+    if (WatchdogOn)
+      Slice = std::min(Slice, Config.WatchdogBound);
+
+    uint64_t Before = Interp.instructionCount();
+    Stop = Interp.run(Slice);
+    Report.TotalExecuted += Interp.instructionCount() - Before;
+
+    if (Stop.Kind == StopKind::Halted)
+      break;
+    if (Report.TotalExecuted >= TotalBudget)
+      break; // Livelock guard: stop with whatever the last slice said.
+
+    if (Stop.Kind == StopKind::Trapped) {
+      uint64_t GuestPC = Translator.guestPCFor(Stop.PC);
+      if (Report.FirstDetection.empty())
+        Report.FirstDetection =
+            formatTrapDiagnostic(Stop, Interp.state(), GuestPC);
+      if (Fallback)
+        break; // No further containment below the interpreter.
+      recover(GuestPC);
+      continue;
+    }
+
+    // InsnLimit inside a slice: check the watchdog, then keep running.
+    if (WatchdogOn &&
+        Interp.instructionCount() - LastCheck > Config.WatchdogBound) {
+      ++Report.NumWatchdogFires;
+      uint64_t GuestPC = Translator.guestPCFor(Interp.state().PC);
+      if (Report.FirstDetection.empty())
+        Report.FirstDetection = formatString(
+            "watchdog: %llu instructions since last signature check, "
+            "guest-pc=0x%llx",
+            static_cast<unsigned long long>(Interp.instructionCount() -
+                                            LastCheck),
+            static_cast<unsigned long long>(GuestPC));
+      recover(GuestPC);
+    }
+  }
+
+  Report.Completed = Stop.Kind == StopKind::Halted;
+  Report.FinalStop = Stop;
+  Report.GuestStopPC = Translator.guestPCFor(Stop.PC);
+
+  Mem.setWriteObserver(nullptr, 0);
+  Interp.setPreInsnHook(SavedHook);
+  SavedHook = nullptr;
+  Checkpoints.clear();
+  return Report;
+}

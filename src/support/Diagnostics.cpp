@@ -2,6 +2,7 @@
 
 #include "support/Diagnostics.h"
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 
@@ -9,6 +10,16 @@ using namespace cfed;
 
 void cfed::reportFatalError(const std::string &Message) {
   std::fprintf(stderr, "cfed fatal error: %s\n", Message.c_str());
+  std::abort();
+}
+
+void cfed::reportFatalErrorf(const char *Fmt, ...) {
+  std::fprintf(stderr, "cfed fatal error: ");
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vfprintf(stderr, Fmt, Args);
+  va_end(Args);
+  std::fprintf(stderr, "\n");
   std::abort();
 }
 

@@ -23,6 +23,12 @@ namespace cfed {
 /// that cannot be expressed as a recoverable status.
 [[noreturn]] void reportFatalError(const std::string &Message);
 
+/// printf-style variant of reportFatalError, so invariant messages are
+/// formatted through one helper instead of ad-hoc
+/// reportFatalError(formatString(...)) pairs at every call site.
+[[noreturn]] void reportFatalErrorf(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
 /// Marks a point in the code that must never be reached. Aborts with the
 /// location and \p Message when executed.
 [[noreturn]] void unreachableInternal(const char *Message, const char *File,

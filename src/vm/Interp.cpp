@@ -3,7 +3,9 @@
 #include "vm/Interp.h"
 
 #include "support/Diagnostics.h"
+#include "support/Format.h"
 
+#include <cassert>
 #include <cmath>
 
 using namespace cfed;
@@ -46,6 +48,41 @@ void Interpreter::resetCounters() {
   Insns = 0;
   Cycles = 0;
   OutputBuffer.clear();
+}
+
+void Interpreter::restoreProgress(uint64_t NewInsns, uint64_t NewCycles,
+                                  size_t OutputLen) {
+  assert(OutputLen <= OutputBuffer.size() &&
+         "rollback cannot grow the output");
+  Insns = NewInsns;
+  Cycles = NewCycles;
+  OutputBuffer.resize(OutputLen);
+}
+
+std::string cfed::formatTrapDiagnostic(const StopInfo &Stop,
+                                       const CpuState &State,
+                                       uint64_t GuestPC) {
+  const char *Kind = Stop.Kind == StopKind::Halted      ? "halted"
+                     : Stop.Kind == StopKind::InsnLimit ? "insn-limit"
+                                                        : "trap";
+  std::string Text = formatString(
+      "%s: %s guest-pc=0x%llx", Kind, getTrapKindName(Stop.Trap),
+      static_cast<unsigned long long>(GuestPC));
+  if (Stop.Trap == TrapKind::ReadViolation ||
+      Stop.Trap == TrapKind::WriteViolation ||
+      Stop.Trap == TrapKind::ExecViolation)
+    Text += formatString(" fault-addr=0x%llx",
+                         static_cast<unsigned long long>(Stop.TrapAddr));
+  if (Stop.Trap == TrapKind::BreakTrap)
+    Text += formatString(" break-code=0x%x",
+                         static_cast<unsigned>(Stop.BreakCode));
+  Text += formatString(
+      " sig[pcp=0x%llx rts=0x%llx aux=0x%llx aux2=0x%llx]",
+      static_cast<unsigned long long>(State.Regs[RegPCP]),
+      static_cast<unsigned long long>(State.Regs[RegRTS]),
+      static_cast<unsigned long long>(State.Regs[RegAUX]),
+      static_cast<unsigned long long>(State.Regs[RegAUX2]));
+  return Text;
 }
 
 namespace {

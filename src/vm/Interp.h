@@ -62,6 +62,18 @@ enum class TrapKind : uint8_t {
 /// Returns a human-readable name for \p Kind.
 const char *getTrapKindName(TrapKind Kind);
 
+struct CpuState;
+struct StopInfo;
+
+/// Formats a one-line structured diagnostic for a stopped run: stop/trap
+/// kind, guest PC, faulting address, break code, and the live values of
+/// the reserved signature registers (pcp/rts/aux/aux2) the checkers key
+/// on. \p GuestPC is the guest-level PC the caller attributes the stop to
+/// (under the DBT, Stop.PC is a code-cache address; callers translate it
+/// back before reporting).
+std::string formatTrapDiagnostic(const StopInfo &Stop, const CpuState &State,
+                                 uint64_t GuestPC);
+
 /// Break code used by instrumentation-inserted .report_error stubs: a
 /// BreakTrap with this code means "control-flow error detected by the
 /// signature check".
@@ -147,6 +159,9 @@ public:
   void setFaultHook(FaultHook *Hook) { Fault = Hook; }
   /// Installs / clears the per-instruction hook.
   void setPreInsnHook(PreInsnHook *Hook) { PreInsn = Hook; }
+  /// Currently installed per-instruction hook (so wrappers like the
+  /// recovery manager can splice themselves in front and forward).
+  PreInsnHook *preInsnHook() const { return PreInsn; }
   /// Installs / clears the branch profiler.
   void setBranchObserver(BranchObserver *Observer) { Profiler = Observer; }
   /// Installs / clears the DBT service hooks.
@@ -165,6 +180,13 @@ public:
 
   /// Resets counters and output, keeping memory and CPU state.
   void resetCounters();
+
+  /// Rewinds progress counters and truncates buffered output back to a
+  /// checkpointed position. \p OutputLen must not exceed the current
+  /// output length. Used by the recovery subsystem's rollback path; CPU
+  /// state and memory are restored separately by the caller.
+  void restoreProgress(uint64_t NewInsns, uint64_t NewCycles,
+                       size_t OutputLen);
 
 private:
   Memory &Mem;

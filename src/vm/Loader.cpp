@@ -6,14 +6,18 @@
 #include "support/Format.h"
 #include "vm/Layout.h"
 
+#include <cstring>
+
 using namespace cfed;
 
-void cfed::loadProgram(const AsmProgram &Program, LoadMode Mode, Memory &Mem,
-                       CpuState &State) {
-  if (Program.Code.size() > CodeMaxSize)
-    reportFatalError(formatString("code segment too large: %zu bytes",
-                                  Program.Code.size()));
+namespace {
 
+/// Maximum guest address the data segment may reach: the stack region
+/// starts at StackTop - StackSize and must stay disjoint.
+constexpr uint64_t DataLimit = StackTop - StackSize;
+
+void mapAndInit(const AsmProgram &Program, LoadMode Mode, Memory &Mem,
+                CpuState &State) {
   uint8_t CodePerms = Mode == LoadMode::Native
                           ? static_cast<uint8_t>(PermRX)
                           : static_cast<uint8_t>(PermR);
@@ -34,4 +38,223 @@ void cfed::loadProgram(const AsmProgram &Program, LoadMode Mode, Memory &Mem,
   State = CpuState();
   State.PC = Program.Entry;
   State.Regs[RegSP] = StackTop;
+}
+
+void appendLE32(std::vector<uint8_t> &Out, uint32_t Value) {
+  for (int Shift = 0; Shift < 32; Shift += 8)
+    Out.push_back(static_cast<uint8_t>(Value >> Shift));
+}
+
+void appendLE64(std::vector<uint8_t> &Out, uint64_t Value) {
+  for (int Shift = 0; Shift < 64; Shift += 8)
+    Out.push_back(static_cast<uint8_t>(Value >> Shift));
+}
+
+uint32_t readLE32(const uint8_t *P) {
+  uint32_t Value = 0;
+  for (int Index = 3; Index >= 0; --Index)
+    Value = (Value << 8) | P[Index];
+  return Value;
+}
+
+uint64_t readLE64(const uint8_t *P) {
+  uint64_t Value = 0;
+  for (int Index = 7; Index >= 0; --Index)
+    Value = (Value << 8) | P[Index];
+  return Value;
+}
+
+struct ParsedSection {
+  uint32_t Kind = 0;
+  uint64_t LoadAddr = 0;
+  uint64_t FileOffset = 0;
+  uint64_t Size = 0;
+};
+
+} // namespace
+
+bool cfed::validateProgram(const AsmProgram &Program, std::string &Error) {
+  if (Program.Code.size() > CodeMaxSize) {
+    Error = formatString("code segment too large: %zu bytes (max %llu)",
+                         Program.Code.size(),
+                         static_cast<unsigned long long>(CodeMaxSize));
+    return false;
+  }
+  if (Program.Code.size() % InsnSize != 0) {
+    Error = formatString("code segment size %zu not a multiple of the %llu"
+                         "-byte instruction size",
+                         Program.Code.size(),
+                         static_cast<unsigned long long>(InsnSize));
+    return false;
+  }
+  if (Program.Data.size() > DataLimit - DataBase) {
+    Error = formatString("data segment too large: %zu bytes (max %llu)",
+                         Program.Data.size(),
+                         static_cast<unsigned long long>(DataLimit - DataBase));
+    return false;
+  }
+  uint64_t CodeEnd = CodeBase + Program.Code.size();
+  if (!Program.Code.empty() &&
+      (Program.Entry < CodeBase || Program.Entry >= CodeEnd ||
+       Program.Entry % InsnSize != 0)) {
+    Error = formatString("entry point 0x%llx outside code [0x%llx, 0x%llx)",
+                         static_cast<unsigned long long>(Program.Entry),
+                         static_cast<unsigned long long>(CodeBase),
+                         static_cast<unsigned long long>(CodeEnd));
+    return false;
+  }
+  return true;
+}
+
+bool cfed::loadProgramChecked(const AsmProgram &Program, LoadMode Mode,
+                              Memory &Mem, CpuState &State,
+                              std::string &Error) {
+  if (!validateProgram(Program, Error))
+    return false;
+  mapAndInit(Program, Mode, Mem, State);
+  return true;
+}
+
+void cfed::loadProgram(const AsmProgram &Program, LoadMode Mode, Memory &Mem,
+                       CpuState &State) {
+  std::string Error;
+  if (!loadProgramChecked(Program, Mode, Mem, State, Error))
+    reportFatalErrorf("loadProgram: %s", Error.c_str());
+}
+
+std::vector<uint8_t> cfed::serializeProgram(const AsmProgram &Program) {
+  std::vector<uint8_t> Image;
+  uint32_t NumSections =
+      1 + (Program.Data.empty() ? 0 : 1); // code always, data if present
+  appendLE32(Image, ImageMagic);
+  appendLE32(Image, ImageVersion);
+  appendLE64(Image, Program.Entry);
+  appendLE32(Image, NumSections);
+  appendLE32(Image, 0); // reserved
+
+  uint64_t PayloadOffset =
+      ImageHeaderSize + NumSections * ImageSectionHeaderSize;
+  // Code section header.
+  appendLE32(Image, ImageSectionCode);
+  appendLE32(Image, 0);
+  appendLE64(Image, CodeBase);
+  appendLE64(Image, PayloadOffset);
+  appendLE64(Image, Program.Code.size());
+  PayloadOffset += Program.Code.size();
+  if (!Program.Data.empty()) {
+    appendLE32(Image, ImageSectionData);
+    appendLE32(Image, 0);
+    appendLE64(Image, DataBase);
+    appendLE64(Image, PayloadOffset);
+    appendLE64(Image, Program.Data.size());
+  }
+  Image.insert(Image.end(), Program.Code.begin(), Program.Code.end());
+  Image.insert(Image.end(), Program.Data.begin(), Program.Data.end());
+  return Image;
+}
+
+bool cfed::loadProgramImage(const uint8_t *Data, size_t Size, LoadMode Mode,
+                            Memory &Mem, CpuState &State, std::string &Error) {
+  if (Size < ImageHeaderSize) {
+    Error = formatString("truncated header: %zu bytes, need %llu", Size,
+                         static_cast<unsigned long long>(ImageHeaderSize));
+    return false;
+  }
+  uint32_t Magic = readLE32(Data);
+  if (Magic != ImageMagic) {
+    Error = formatString("bad magic 0x%08x (expected 0x%08x)", Magic,
+                         ImageMagic);
+    return false;
+  }
+  uint32_t Version = readLE32(Data + 4);
+  if (Version != ImageVersion) {
+    Error = formatString("unsupported image version %u (expected %u)",
+                         Version, ImageVersion);
+    return false;
+  }
+  uint64_t Entry = readLE64(Data + 8);
+  uint32_t NumSections = readLE32(Data + 16);
+  uint64_t TableEnd =
+      ImageHeaderSize + static_cast<uint64_t>(NumSections) *
+                            ImageSectionHeaderSize;
+  if (NumSections > Size || TableEnd > Size) {
+    Error = formatString("truncated section table: %u sections need %llu "
+                         "bytes, image has %zu",
+                         NumSections,
+                         static_cast<unsigned long long>(TableEnd), Size);
+    return false;
+  }
+
+  std::vector<ParsedSection> Sections(NumSections);
+  for (uint32_t Index = 0; Index < NumSections; ++Index) {
+    const uint8_t *H = Data + ImageHeaderSize + Index * ImageSectionHeaderSize;
+    ParsedSection &S = Sections[Index];
+    S.Kind = readLE32(H);
+    S.LoadAddr = readLE64(H + 8);
+    S.FileOffset = readLE64(H + 16);
+    S.Size = readLE64(H + 24);
+    if (S.Kind != ImageSectionCode && S.Kind != ImageSectionData) {
+      Error = formatString("section %u: unknown kind %u", Index, S.Kind);
+      return false;
+    }
+    if (S.FileOffset > Size || S.Size > Size - S.FileOffset) {
+      Error = formatString("section %u: payload [0x%llx, +0x%llx) reaches "
+                           "past end of %zu-byte image",
+                           Index,
+                           static_cast<unsigned long long>(S.FileOffset),
+                           static_cast<unsigned long long>(S.Size), Size);
+      return false;
+    }
+    uint64_t RegionBase = S.Kind == ImageSectionCode ? CodeBase : DataBase;
+    uint64_t RegionEnd =
+        S.Kind == ImageSectionCode ? CodeBase + CodeMaxSize : DataLimit;
+    if (S.LoadAddr < RegionBase || S.LoadAddr > RegionEnd ||
+        S.Size > RegionEnd - S.LoadAddr) {
+      Error = formatString("section %u: load range [0x%llx, +0x%llx) outside "
+                           "%s region [0x%llx, 0x%llx)",
+                           Index,
+                           static_cast<unsigned long long>(S.LoadAddr),
+                           static_cast<unsigned long long>(S.Size),
+                           S.Kind == ImageSectionCode ? "code" : "data",
+                           static_cast<unsigned long long>(RegionBase),
+                           static_cast<unsigned long long>(RegionEnd));
+      return false;
+    }
+    // Overlap check is page-granular: two sections sharing a page would
+    // clobber each other's bytes and permissions.
+    for (uint32_t Prev = 0; Prev < Index; ++Prev) {
+      const ParsedSection &P = Sections[Prev];
+      if (P.Size == 0 || S.Size == 0)
+        continue;
+      uint64_t PFirst = P.LoadAddr / PageSize;
+      uint64_t PLast = (P.LoadAddr + P.Size - 1) / PageSize;
+      uint64_t SFirst = S.LoadAddr / PageSize;
+      uint64_t SLast = (S.LoadAddr + S.Size - 1) / PageSize;
+      if (SFirst <= PLast && PFirst <= SLast) {
+        Error = formatString("section %u pages [0x%llx, 0x%llx] overlap "
+                             "section %u pages [0x%llx, 0x%llx]",
+                             Index,
+                             static_cast<unsigned long long>(SFirst),
+                             static_cast<unsigned long long>(SLast), Prev,
+                             static_cast<unsigned long long>(PFirst),
+                             static_cast<unsigned long long>(PLast));
+        return false;
+      }
+    }
+  }
+
+  // Reassemble an AsmProgram view so entry validation and region mapping
+  // share one code path with loadProgramChecked.
+  AsmProgram Program;
+  Program.Entry = Entry;
+  for (const ParsedSection &S : Sections) {
+    auto &Segment = S.Kind == ImageSectionCode ? Program.Code : Program.Data;
+    uint64_t RegionBase = S.Kind == ImageSectionCode ? CodeBase : DataBase;
+    uint64_t End = S.LoadAddr - RegionBase + S.Size;
+    if (Segment.size() < End)
+      Segment.resize(End);
+    std::memcpy(Segment.data() + (S.LoadAddr - RegionBase),
+                Data + S.FileOffset, S.Size);
+  }
+  return loadProgramChecked(Program, Mode, Mem, State, Error);
 }

@@ -16,6 +16,12 @@
 ///    errors trap, and guest stores into code pages raise the
 ///    write-protection fault used for self-modifying code.
 ///
+/// Programs can also round-trip through a flat binary image format (a
+/// minimal ELF stand-in: header + section table + payload). The image
+/// loader validates everything before touching guest memory — truncated
+/// headers, out-of-range sections and overlapping pages come back as a
+/// descriptive error status, never a mid-parse abort.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CFED_VM_LOADER_H
@@ -24,6 +30,10 @@
 #include "asm/Assembler.h"
 #include "vm/Interp.h"
 #include "vm/Memory.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
 
 namespace cfed {
 
@@ -35,9 +45,51 @@ enum class LoadMode {
 
 /// Loads \p Program into \p Mem (code, data, stack regions) and initializes
 /// \p State (PC at the entry, SP at the stack top). Pages outside these
-/// regions stay unmapped.
+/// regions stay unmapped. Aborts on a malformed program; use
+/// loadProgramChecked where the caller wants an error status instead.
 void loadProgram(const AsmProgram &Program, LoadMode Mode, Memory &Mem,
                  CpuState &State);
+
+/// Checked variant of loadProgram: validates \p Program first and returns
+/// false with a descriptive message in \p Error (leaving \p Mem and
+/// \p State untouched) instead of aborting.
+bool loadProgramChecked(const AsmProgram &Program, LoadMode Mode, Memory &Mem,
+                        CpuState &State, std::string &Error);
+
+/// Validates \p Program against the guest address-space layout without
+/// loading it: code-segment size cap, instruction alignment, entry point
+/// inside the code segment. Returns false with a message in \p Error.
+bool validateProgram(const AsmProgram &Program, std::string &Error);
+
+/// Flat binary program image ("CFED image"). Layout, all little-endian:
+///
+///   ImageHeader   { u32 Magic; u32 Version; u64 Entry; u32 NumSections;
+///                   u32 Reserved; }                          (24 bytes)
+///   ImageSection  { u32 Kind; u32 Reserved; u64 LoadAddr;
+///                   u64 FileOffset; u64 Size; }   (32 bytes, NumSections x)
+///   payload bytes referenced by the section table
+///
+/// Kind 0 = code (loads inside the code region), kind 1 = data (loads
+/// inside the data region).
+inline constexpr uint32_t ImageMagic = 0x44454643; // "CFED" LE
+inline constexpr uint32_t ImageVersion = 1;
+inline constexpr uint32_t ImageSectionCode = 0;
+inline constexpr uint32_t ImageSectionData = 1;
+inline constexpr uint64_t ImageHeaderSize = 24;
+inline constexpr uint64_t ImageSectionHeaderSize = 32;
+
+/// Serializes \p Program into a flat image (one code section at CodeBase,
+/// one data section at DataBase when non-empty).
+std::vector<uint8_t> serializeProgram(const AsmProgram &Program);
+
+/// Parses and loads a flat image. All validation happens before any page
+/// is mapped: a false return (with a descriptive \p Error) leaves \p Mem
+/// and \p State untouched. Rejects truncated headers and section tables,
+/// payloads reaching past the end of the image, sections outside their
+/// region, images whose sections overlap in guest pages, and entry points
+/// outside the loaded code.
+bool loadProgramImage(const uint8_t *Data, size_t Size, LoadMode Mode,
+                      Memory &Mem, CpuState &State, std::string &Error);
 
 } // namespace cfed
 

@@ -43,9 +43,8 @@ void Memory::setPerms(uint64_t Base, uint64_t Size, uint8_t Perms) {
   for (uint64_t Index = First; Index < Last; ++Index) {
     Page *P = lookup(Index);
     if (!P)
-      reportFatalError(formatString("setPerms on unmapped page 0x%llx",
-                                    static_cast<unsigned long long>(
-                                        Index * PageSize)));
+      reportFatalErrorf("setPerms on unmapped page 0x%llx",
+                        static_cast<unsigned long long>(Index * PageSize));
     P->Perms = Perms;
   }
 }
@@ -88,6 +87,10 @@ MemResult Memory::access(uint64_t Addr, void *Out, const void *In,
     }
     uint64_t Chunk = std::min(Size - Done, PageSize - PageOffset);
     if (In) {
+      uint64_t PageBase = PageIndex * PageSize;
+      if (Self->WriteObserver && PageBase < Self->WriteObserverLimit &&
+          Self->EpochDirty.insert(PageIndex).second)
+        Self->WriteObserver->onPageDirtied(PageBase, P->Bytes);
       std::memcpy(P->Bytes + PageOffset,
                   static_cast<const uint8_t *>(In) + Done, Chunk);
       // Keep the predecode side array coherent with the bytes; writes to
@@ -160,18 +163,27 @@ void Memory::invalidatePredecode(uint64_t Base, uint64_t Size) {
       P->Decoded.reset();
 }
 
+void Memory::setWriteObserver(PageWriteObserver *Observer,
+                              uint64_t LimitAddr) {
+  WriteObserver = Observer;
+  WriteObserverLimit = Observer ? LimitAddr : 0;
+  EpochDirty.clear();
+}
+
+void Memory::resetWriteEpoch() { EpochDirty.clear(); }
+
 void Memory::writeRaw(uint64_t Addr, const void *In, uint64_t Size) {
   MemResult Result = access(Addr, nullptr, In, Size, AccessKind::Raw);
   if (Result != MemResult::Ok)
-    reportFatalError(formatString("writeRaw to unmapped address 0x%llx",
-                                  static_cast<unsigned long long>(Addr)));
+    reportFatalErrorf("writeRaw to unmapped address 0x%llx",
+                      static_cast<unsigned long long>(Addr));
 }
 
 void Memory::readRaw(uint64_t Addr, void *Out, uint64_t Size) const {
   MemResult Result = access(Addr, Out, nullptr, Size, AccessKind::Raw);
   if (Result != MemResult::Ok)
-    reportFatalError(formatString("readRaw from unmapped address 0x%llx",
-                                  static_cast<unsigned long long>(Addr)));
+    reportFatalErrorf("readRaw from unmapped address 0x%llx",
+                      static_cast<unsigned long long>(Addr));
 }
 
 uint64_t Memory::read64(uint64_t Addr, MemResult &Result) const {

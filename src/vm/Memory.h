@@ -31,8 +31,23 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 
 namespace cfed {
+
+/// Observer of first-write-per-epoch page dirtying. The recovery subsystem
+/// implements this to capture copy-on-write pre-images for its undo log:
+/// onPageDirtied fires once per page per epoch, *before* the new bytes
+/// land, with the page's current (pre-write) contents.
+class PageWriteObserver {
+public:
+  virtual ~PageWriteObserver() = default;
+
+  /// \p PageBase is the page-aligned guest address; \p OldBytes points at
+  /// the page's PageSize bytes as they are about to be overwritten. The
+  /// pointer is only valid for the duration of the call.
+  virtual void onPageDirtied(uint64_t PageBase, const uint8_t *OldBytes) = 0;
+};
 
 /// Page permission bits.
 enum PagePerms : uint8_t {
@@ -103,6 +118,17 @@ public:
     return PredecodeDecodes + PredecodeSlow;
   }
 
+  /// Installs (or clears, with nullptr) the page-write observer. Only
+  /// pages whose base address is below \p LimitAddr are tracked — the
+  /// recovery subsystem passes CacheBase so code-cache churn (translation
+  /// installs, chain patching) never inflates the undo log. Installing an
+  /// observer starts a fresh epoch.
+  void setWriteObserver(PageWriteObserver *Observer, uint64_t LimitAddr);
+
+  /// Starts a new write epoch: every tracked page reports its next write
+  /// to the observer again. Called after a checkpoint or rollback.
+  void resetWriteEpoch();
+
   /// Permission-less accessors for the loader, the translator and tests.
   /// The pages must be mapped.
   void writeRaw(uint64_t Addr, const void *In, uint64_t Size);
@@ -147,6 +173,10 @@ private:
   // Single-entry lookup cache (pages are immovable once allocated).
   mutable uint64_t CachedIndex = ~0ULL;
   mutable Page *CachedPage = nullptr;
+  PageWriteObserver *WriteObserver = nullptr;
+  uint64_t WriteObserverLimit = 0;
+  // Page indices already reported to the observer this epoch.
+  std::unordered_set<uint64_t> EpochDirty;
   uint64_t PredecodeHits = 0;
   uint64_t PredecodeDecodes = 0;
   uint64_t PredecodeSlow = 0;

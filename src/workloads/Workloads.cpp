@@ -964,14 +964,13 @@ std::string cfed::getWorkloadSource(const std::string &Name) {
   for (const WorkloadEntry &Entry : Suite)
     if (Entry.Info.Name == Name)
       return Entry.Generate();
-  reportFatalError(formatString("unknown workload '%s'", Name.c_str()));
+  reportFatalErrorf("unknown workload '%s'", Name.c_str());
 }
 
 AsmProgram cfed::assembleWorkload(const std::string &Name) {
   AsmResult Result = assembleProgram(getWorkloadSource(Name));
   if (!Result.succeeded())
-    reportFatalError(formatString("workload '%s' failed to assemble:\n%s",
-                                  Name.c_str(),
-                                  Result.errorText().c_str()));
+    reportFatalErrorf("workload '%s' failed to assemble:\n%s", Name.c_str(),
+                      Result.errorText().c_str());
   return std::move(Result.Program);
 }

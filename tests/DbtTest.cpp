@@ -478,3 +478,103 @@ helper:
   // cache address: dispatches resumed and the run produced golden output.
   EXPECT_GT(Run.Translator.ibtcMissCount(), 0u);
 }
+
+TEST(DbtTest, SelfModifyingCodeUnderEagerTranslationDegradesToOnDemand) {
+  // Eager mode froze the translation set from the static CFG; a store
+  // into guest code invalidates that CFG. The write-violation handler
+  // must drop to on-demand translation (legal for EdgCF, which needs no
+  // whole-program CFG), flush, and let the store retry.
+  AsmProgram Program = assembleOk(R"(
+.entry main
+main:
+  movi r1, patch        ; address of the movi below
+  movi r2, 99
+  stb [r1+4], r2        ; rewrite the low immediate byte
+  jmp cont
+cont:
+patch:
+  movi r3, 7            ; becomes movi r3, 99
+  out r3
+  halt
+)");
+  DbtConfig Config;
+  Config.Tech = Technique::EdgCf;
+  Config.EagerTranslate = true;
+  DbtRun Run(Program, Config);
+  ASSERT_TRUE(Run.Loaded) << Run.Translator.loadError();
+  EXPECT_EQ(Run.Stop.Kind, StopKind::Halted)
+      << getTrapKindName(Run.Stop.Trap);
+  EXPECT_EQ(Run.Interp.output(), "99\n");
+  EXPECT_EQ(Run.Translator.flushCount(), 1u);
+  EXPECT_FALSE(Run.Translator.config().EagerTranslate);
+}
+
+TEST(DbtTest, JumpOneBytePastLastCodePageTraps) {
+  // An errant target one byte past the last mapped code page: the
+  // dispatcher refuses to translate it (outside the code segment and
+  // misaligned), control lands on unmapped memory and the fetch raises
+  // the category-F ExecViolation with the exact faulting address.
+  AsmProgram Program = assembleOk(R"(
+main:
+  movi r1, 0
+  halt
+)");
+  uint64_t CodePages =
+      (Program.Code.size() + PageSize - 1) / PageSize * PageSize;
+  uint64_t Target = CodeBase + CodePages + 1;
+  AsmProgram Jumper = assembleOk(
+      "main:\n  movi r1, " + std::to_string(Target) + "\n  jmpr r1\n  halt\n");
+  DbtRun Run(Jumper, DbtConfig{});
+  ASSERT_TRUE(Run.Loaded);
+  EXPECT_EQ(Run.Stop.Kind, StopKind::Trapped);
+  EXPECT_EQ(Run.Stop.Trap, TrapKind::ExecViolation);
+  EXPECT_EQ(Run.Stop.TrapAddr, Target);
+}
+
+TEST(DbtTest, JumpPastCodeEndInsideMappedPageTraps) {
+  // The last code page is mapped beyond the program's final instruction
+  // (page-granular mapping). A target past the code end but inside that
+  // page must still trap: guest pages carry no execute permission.
+  AsmProgram Program = assembleOk(R"(
+main:
+  movi r1, end
+  addi r1, r1, 8        ; one instruction past the last one
+  jmpr r1
+end:
+  halt
+)");
+  uint64_t Target = CodeBase + Program.Code.size();
+  DbtRun Run(Program, DbtConfig{});
+  ASSERT_TRUE(Run.Loaded);
+  EXPECT_EQ(Run.Stop.Kind, StopKind::Trapped);
+  EXPECT_EQ(Run.Stop.Trap, TrapKind::ExecViolation);
+  EXPECT_EQ(Run.Stop.TrapAddr, Target);
+}
+
+TEST(DbtTest, DegradeAfterFlushRetranslatesAndCompletes) {
+  // degradeToConservative mid-run: the next dispatch retranslates with
+  // AllBB checks and no chaining, and the program still completes with
+  // identical output.
+  AsmProgram Program = assembleOk(KitchenSink);
+  auto [NativeOut, NativeStop] = runNative(Program);
+  ASSERT_EQ(NativeStop.Kind, StopKind::Halted);
+
+  DbtConfig Config;
+  Config.Tech = Technique::EdgCf;
+  Config.Policy = CheckPolicy::End;
+  Config.SuperblockLimit = 4;
+  Memory Mem;
+  Interpreter Interp(Mem);
+  Dbt Translator(Mem, Config);
+  ASSERT_TRUE(Translator.load(Program, Interp.state()));
+  StopInfo Stop = Translator.run(Interp, 40); // Part-way in.
+  ASSERT_EQ(Stop.Kind, StopKind::InsnLimit);
+
+  Translator.degradeToConservative();
+  // The flush unchained every patched exit, so the interrupted stale
+  // block re-dispatches on its next exit and control flows into freshly
+  // translated conservative code mid-run.
+  Stop = Translator.run(Interp, 2000000);
+  EXPECT_EQ(Stop.Kind, StopKind::Halted) << getTrapKindName(Stop.Trap);
+  EXPECT_EQ(Interp.output(), NativeOut);
+}

@@ -389,3 +389,53 @@ TEST(InterpTest, SelfModifyingCodeSeesNewBytes) {
   // The store forced a second whole-page decode.
   EXPECT_GE(Mem.predecodeMissCount(), 2u);
 }
+
+TEST(InterpTest, ImageRoundTripExecutesIdentically) {
+  // serialize -> loadProgramImage -> run must match a direct load.
+  const char *Source = ".data\nv: .word 5\n.code\nmain:\n"
+                       "movi r1, v\nld r2, [r1]\nout r2\nhalt\n"
+                       ".entry main\n";
+  Runner Direct(Source);
+  ASSERT_EQ(Direct.Stop.Kind, StopKind::Halted);
+
+  AsmResult Result = assembleProgram(Source);
+  ASSERT_TRUE(Result.succeeded());
+  std::vector<uint8_t> Image = serializeProgram(Result.Program);
+  Memory Mem;
+  Interpreter Interp(Mem);
+  std::string Error;
+  ASSERT_TRUE(loadProgramImage(Image.data(), Image.size(), LoadMode::Native,
+                               Mem, Interp.state(), Error))
+      << Error;
+  StopInfo Stop = Interp.run(100000);
+  EXPECT_EQ(Stop.Kind, StopKind::Halted);
+  EXPECT_EQ(Interp.output(), Direct.Interp.output());
+}
+
+TEST(InterpTest, CheckedLoadRejectsEntryOutsideCode) {
+  AsmResult Result = assembleProgram("main:\nhalt\n");
+  ASSERT_TRUE(Result.succeeded());
+  Result.Program.Entry = DataBase; // Entry must lie inside the code segment.
+  Memory Mem;
+  Interpreter Interp(Mem);
+  std::string Error;
+  EXPECT_FALSE(loadProgramChecked(Result.Program, LoadMode::Native, Mem,
+                                  Interp.state(), Error));
+  EXPECT_NE(Error.find("entry"), std::string::npos) << Error;
+  // Nothing was mapped: the interpreter has nothing to run.
+  EXPECT_FALSE(Mem.isMapped(CodeBase));
+}
+
+TEST(InterpTest, CheckedLoadRejectsOversizedData) {
+  AsmResult Result = assembleProgram("main:\nhalt\n");
+  ASSERT_TRUE(Result.succeeded());
+  // Data reaching into the stack region must be rejected, not mapped.
+  Result.Program.Data.resize(StackTop - StackSize - DataBase + 1);
+  Memory Mem;
+  Interpreter Interp(Mem);
+  std::string Error;
+  EXPECT_FALSE(loadProgramChecked(Result.Program, LoadMode::Native, Mem,
+                                  Interp.state(), Error));
+  EXPECT_FALSE(Error.empty());
+  EXPECT_FALSE(Mem.isMapped(DataBase));
+}

@@ -5,6 +5,7 @@
 #include "vm/Loader.h"
 #include "vm/Memory.h"
 
+#include <cstring>
 #include <gtest/gtest.h>
 
 using namespace cfed;
@@ -178,6 +179,76 @@ TEST(MemoryTest, InvalidatePredecodeDropsSideArrays) {
   EXPECT_GT(Mem.predecodeMissCount(), DecodesBefore);
 }
 
+namespace {
+
+/// Records every onPageDirtied callback: page base plus the first
+/// pre-image byte (enough to prove the snapshot predates the write).
+class RecordingObserver : public PageWriteObserver {
+public:
+  struct Event {
+    uint64_t PageBase;
+    uint8_t FirstOldByte;
+  };
+  std::vector<Event> Events;
+
+  void onPageDirtied(uint64_t PageBase, const uint8_t *OldBytes) override {
+    Events.push_back({PageBase, OldBytes[0]});
+  }
+};
+
+} // namespace
+
+TEST(MemoryTest, WriteObserverFiresOncePerPagePerEpoch) {
+  Memory Mem;
+  Mem.mapRegion(0x1000, PageSize, PermRW);
+  ASSERT_EQ(Mem.write8(0x1000, 0xAA), MemResult::Ok);
+
+  RecordingObserver Observer;
+  Mem.setWriteObserver(&Observer, CacheBase);
+  ASSERT_EQ(Mem.write8(0x1001, 0x11), MemResult::Ok);
+  ASSERT_EQ(Mem.write8(0x1002, 0x22), MemResult::Ok); // Same page, same epoch.
+  ASSERT_EQ(Mem.write8(0x1003, 0x33), MemResult::Ok);
+  ASSERT_EQ(Observer.Events.size(), 1u);
+  EXPECT_EQ(Observer.Events[0].PageBase, 0x1000u);
+  // The pre-image is the page *before* the epoch's first write.
+  EXPECT_EQ(Observer.Events[0].FirstOldByte, 0xAA);
+
+  Mem.resetWriteEpoch();
+  ASSERT_EQ(Mem.write8(0x1004, 0x44), MemResult::Ok);
+  ASSERT_EQ(Observer.Events.size(), 2u);
+  EXPECT_EQ(Observer.Events[1].PageBase, 0x1000u);
+
+  Mem.setWriteObserver(nullptr, 0);
+  ASSERT_EQ(Mem.write8(0x1005, 0x55), MemResult::Ok);
+  EXPECT_EQ(Observer.Events.size(), 2u);
+}
+
+TEST(MemoryTest, WriteObserverIgnoresPagesAtOrAboveLimit) {
+  Memory Mem;
+  Mem.mapRegion(0x1000, PageSize, PermRW);
+  Mem.mapRegion(CacheBase, PageSize, PermRW);
+  RecordingObserver Observer;
+  Mem.setWriteObserver(&Observer, CacheBase);
+  // Code-cache churn (installs, chain patching) must not reach the
+  // observer — only guest-visible pages below the limit do.
+  ASSERT_EQ(Mem.write8(CacheBase, 1), MemResult::Ok);
+  EXPECT_TRUE(Observer.Events.empty());
+  ASSERT_EQ(Mem.write8(0x1000, 1), MemResult::Ok);
+  EXPECT_EQ(Observer.Events.size(), 1u);
+}
+
+TEST(MemoryTest, WriteObserverSeesCrossPageWriteOncePerPage) {
+  Memory Mem;
+  Mem.mapRegion(0x1000, 2 * PageSize, PermRW);
+  RecordingObserver Observer;
+  Mem.setWriteObserver(&Observer, CacheBase);
+  uint64_t Straddle = 0x1000 + PageSize - 4;
+  ASSERT_EQ(Mem.write64(Straddle, ~0ull), MemResult::Ok);
+  ASSERT_EQ(Observer.Events.size(), 2u);
+  EXPECT_EQ(Observer.Events[0].PageBase, 0x1000u);
+  EXPECT_EQ(Observer.Events[1].PageBase, 0x1000u + PageSize);
+}
+
 TEST(LoaderTest, NativeLayout) {
   AsmResult R = assembleProgram(".data\nv: .word 9\n.code\nmain:\nhalt\n"
                                 ".entry main\n");
@@ -215,4 +286,194 @@ TEST(LoaderTest, ResetsCpuState) {
   loadProgram(R.Program, LoadMode::Native, Mem, State);
   EXPECT_EQ(State.Regs[3], 0u);
   EXPECT_FALSE(State.F.ZF);
+}
+
+namespace {
+
+AsmProgram trivialProgram() {
+  AsmResult R = assembleProgram(".data\nv: .word 7\n.code\nmain:\nhalt\n"
+                                ".entry main\n");
+  EXPECT_TRUE(R.succeeded());
+  return R.Program;
+}
+
+void patchLE32(std::vector<uint8_t> &Image, size_t Offset, uint32_t Value) {
+  ASSERT_LE(Offset + 4, Image.size());
+  for (unsigned Byte = 0; Byte < 4; ++Byte)
+    Image[Offset + Byte] = static_cast<uint8_t>(Value >> (8 * Byte));
+}
+
+void patchLE64(std::vector<uint8_t> &Image, size_t Offset, uint64_t Value) {
+  ASSERT_LE(Offset + 8, Image.size());
+  for (unsigned Byte = 0; Byte < 8; ++Byte)
+    Image[Offset + Byte] = static_cast<uint8_t>(Value >> (8 * Byte));
+}
+
+/// Loads \p Image expecting failure; returns the error message and checks
+/// that neither memory nor CPU state was touched.
+std::string expectImageRejected(const std::vector<uint8_t> &Image) {
+  Memory Mem;
+  CpuState State;
+  std::string Error;
+  EXPECT_FALSE(loadProgramImage(Image.data(), Image.size(),
+                                LoadMode::Native, Mem, State, Error));
+  EXPECT_FALSE(Error.empty());
+  EXPECT_FALSE(Mem.isMapped(CodeBase));
+  EXPECT_FALSE(Mem.isMapped(DataBase));
+  EXPECT_EQ(State.PC, 0u);
+  return Error;
+}
+
+} // namespace
+
+TEST(LoaderTest, ImageRoundTrip) {
+  AsmProgram Program = trivialProgram();
+  std::vector<uint8_t> Image = serializeProgram(Program);
+  ASSERT_GE(Image.size(),
+            ImageHeaderSize + 2 * ImageSectionHeaderSize);
+
+  Memory Mem;
+  CpuState State;
+  std::string Error;
+  ASSERT_TRUE(loadProgramImage(Image.data(), Image.size(), LoadMode::Native,
+                               Mem, State, Error))
+      << Error;
+  EXPECT_EQ(State.PC, Program.Entry);
+  EXPECT_EQ(State.Regs[RegSP], StackTop);
+  MemResult R = MemResult::Ok;
+  EXPECT_EQ(Mem.read64(DataBase, R), 7u);
+  uint8_t FirstInsn[InsnSize];
+  ASSERT_EQ(Mem.read(CodeBase, FirstInsn, InsnSize), MemResult::Ok);
+  EXPECT_EQ(std::memcmp(FirstInsn, Program.Code.data(), InsnSize), 0);
+}
+
+TEST(LoaderTest, ImageTruncatedHeaderRejected) {
+  std::vector<uint8_t> Image = serializeProgram(trivialProgram());
+  Image.resize(ImageHeaderSize - 1);
+  std::string Error = expectImageRejected(Image);
+  EXPECT_NE(Error.find("truncated"), std::string::npos) << Error;
+}
+
+TEST(LoaderTest, ImageBadMagicRejected) {
+  std::vector<uint8_t> Image = serializeProgram(trivialProgram());
+  patchLE32(Image, 0, 0xDEADBEEF);
+  std::string Error = expectImageRejected(Image);
+  EXPECT_NE(Error.find("magic"), std::string::npos) << Error;
+}
+
+TEST(LoaderTest, ImageBadVersionRejected) {
+  std::vector<uint8_t> Image = serializeProgram(trivialProgram());
+  patchLE32(Image, 4, ImageVersion + 1);
+  std::string Error = expectImageRejected(Image);
+  EXPECT_NE(Error.find("version"), std::string::npos) << Error;
+}
+
+TEST(LoaderTest, ImageTruncatedSectionTableRejected) {
+  std::vector<uint8_t> Image = serializeProgram(trivialProgram());
+  Image.resize(ImageHeaderSize + ImageSectionHeaderSize / 2);
+  std::string Error = expectImageRejected(Image);
+  EXPECT_NE(Error.find("section"), std::string::npos) << Error;
+}
+
+TEST(LoaderTest, ImagePayloadPastEndRejected) {
+  std::vector<uint8_t> Image = serializeProgram(trivialProgram());
+  // Point the first section's payload past the end of the file.
+  patchLE64(Image, ImageHeaderSize + 16, Image.size());
+  std::string Error = expectImageRejected(Image);
+  EXPECT_NE(Error.find("past"), std::string::npos) << Error;
+}
+
+TEST(LoaderTest, ImageSectionOutsideRegionRejected) {
+  std::vector<uint8_t> Image = serializeProgram(trivialProgram());
+  // Relocate the code section outside the code region.
+  patchLE64(Image, ImageHeaderSize + 8, CodeBase + CodeMaxSize);
+  std::string Error = expectImageRejected(Image);
+  EXPECT_NE(Error.find("region"), std::string::npos) << Error;
+}
+
+TEST(LoaderTest, ImageUnknownSectionKindRejected) {
+  std::vector<uint8_t> Image = serializeProgram(trivialProgram());
+  patchLE32(Image, ImageHeaderSize, 7);
+  std::string Error = expectImageRejected(Image);
+  EXPECT_NE(Error.find("kind"), std::string::npos) << Error;
+}
+
+TEST(LoaderTest, ImageOverlappingSectionsRejected) {
+  // Two data sections landing on the same guest page.
+  AsmProgram Program = trivialProgram();
+  std::vector<uint8_t> Image = serializeProgram(Program);
+  uint32_t NumSections = 0;
+  std::memcpy(&NumSections, Image.data() + 16, sizeof(NumSections));
+  ASSERT_EQ(NumSections, 2u);
+  // Duplicate the data section header (the second one) verbatim: same
+  // LoadAddr, same payload — a page-granular overlap.
+  std::vector<uint8_t> DataHeader(
+      Image.begin() + ImageHeaderSize + ImageSectionHeaderSize,
+      Image.begin() + ImageHeaderSize + 2 * ImageSectionHeaderSize);
+  std::vector<uint8_t> Rebuilt;
+  Rebuilt.insert(Rebuilt.end(), Image.begin(),
+                 Image.begin() + ImageHeaderSize +
+                     2 * ImageSectionHeaderSize);
+  Rebuilt.insert(Rebuilt.end(), DataHeader.begin(), DataHeader.end());
+  Rebuilt.insert(Rebuilt.end(),
+                 Image.begin() + ImageHeaderSize + 2 * ImageSectionHeaderSize,
+                 Image.end());
+  patchLE32(Rebuilt, 16, 3);
+  // Payload offsets moved by one section header; fix all three.
+  for (unsigned Section = 0; Section < 3; ++Section) {
+    size_t HeaderOff = ImageHeaderSize + Section * ImageSectionHeaderSize;
+    uint64_t FileOffset = 0;
+    std::memcpy(&FileOffset, Rebuilt.data() + HeaderOff + 16,
+                sizeof(FileOffset));
+    patchLE64(Rebuilt, HeaderOff + 16, FileOffset + ImageSectionHeaderSize);
+  }
+  std::string Error = expectImageRejected(Rebuilt);
+  EXPECT_NE(Error.find("overlap"), std::string::npos) << Error;
+}
+
+TEST(LoaderTest, ImageEntryOutsideCodeRejected) {
+  std::vector<uint8_t> Image = serializeProgram(trivialProgram());
+  patchLE64(Image, 8, CodeBase - InsnSize);
+  std::string Error = expectImageRejected(Image);
+  EXPECT_NE(Error.find("entry"), std::string::npos) << Error;
+}
+
+TEST(LoaderTest, CheckedLoadRejectsMisalignedCode) {
+  AsmProgram Program = trivialProgram();
+  Program.Code.resize(Program.Code.size() + 3); // No longer insn-granular.
+  Memory Mem;
+  CpuState State;
+  std::string Error;
+  EXPECT_FALSE(
+      loadProgramChecked(Program, LoadMode::Native, Mem, State, Error));
+  EXPECT_FALSE(Error.empty());
+  EXPECT_FALSE(Mem.isMapped(CodeBase));
+}
+
+TEST(LoaderTest, CheckedLoadRejectsMisalignedEntry) {
+  AsmProgram Program = trivialProgram();
+  Program.Entry = CodeBase + 3;
+  Memory Mem;
+  CpuState State;
+  std::string Error;
+  EXPECT_FALSE(
+      loadProgramChecked(Program, LoadMode::Native, Mem, State, Error));
+  EXPECT_NE(Error.find("entry"), std::string::npos) << Error;
+}
+
+TEST(LoaderTest, CheckedLoadRejectsOversizedCode) {
+  AsmProgram Program = trivialProgram();
+  Program.Code.resize(CodeMaxSize + InsnSize);
+  Memory Mem;
+  CpuState State;
+  std::string Error;
+  EXPECT_FALSE(
+      loadProgramChecked(Program, LoadMode::Native, Mem, State, Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(LoaderTest, ValidateProgramAcceptsWellFormed) {
+  AsmProgram Program = trivialProgram();
+  std::string Error;
+  EXPECT_TRUE(validateProgram(Program, Error)) << Error;
 }

@@ -13,6 +13,13 @@
 //   --dfc                layer SWIFT-style data-flow checking under the
 //                        control-flow technique
 //   --max-insns=<n>      instruction budget (default 200M)
+//   --recover            run under checkpoint/rollback recovery: detections
+//                        roll back and re-execute instead of terminating
+//                        (with --inject: classify Recovered/RecoveryFailed)
+//   --watchdog=<n>       errant-flow watchdog bound in instructions
+//                        (0 disables; default 1M; needs --recover)
+//   --ckpt-interval=<n>  instructions between checkpoints (default 10000;
+//                        needs --recover)
 //   --inject=<n>         run an n-fault injection campaign instead of a
 //                        plain run
 //   --seed=<n>           campaign seed (default 1)
@@ -30,6 +37,7 @@
 #include "dbt/Dbt.h"
 #include "fault/Campaign.h"
 #include "isa/Disasm.h"
+#include "recovery/Recovery.h"
 #include "support/Format.h"
 #include "support/Table.h"
 #include "vm/Layout.h"
@@ -51,6 +59,8 @@ struct Options {
   bool Native = false;
   DbtConfig Config;
   uint64_t MaxInsns = 200000000ULL;
+  bool Recover = false;
+  RecoveryConfig Recovery;
   uint64_t Injections = 0;
   uint64_t Seed = 1;
   bool Disasm = false;
@@ -64,7 +74,9 @@ int usage() {
   std::fprintf(stderr,
                "usage: cfed-run [--native] [--tech=T] [--flavor=F] "
                "[--policy=P] [--eager] [--dfc]\n"
-               "                [--max-insns=N] [--inject=N] [--seed=N] "
+               "                [--max-insns=N] [--recover] [--watchdog=N] "
+               "[--ckpt-interval=N]\n"
+               "                [--inject=N] [--seed=N] "
                "[--disasm] [--dump-cfg]\n"
                "                [--dump-cache] [--stats] "
                "<file.s | workload>\n");
@@ -130,6 +142,13 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.Config.DataFlowCheck = true;
     else if (Arg.rfind("--max-insns=", 0) == 0)
       Opts.MaxInsns = std::strtoull(Value().c_str(), nullptr, 0);
+    else if (Arg == "--recover")
+      Opts.Recover = true;
+    else if (Arg.rfind("--watchdog=", 0) == 0)
+      Opts.Recovery.WatchdogBound = std::strtoull(Value().c_str(), nullptr, 0);
+    else if (Arg.rfind("--ckpt-interval=", 0) == 0)
+      Opts.Recovery.CheckpointInterval =
+          std::strtoull(Value().c_str(), nullptr, 0);
     else if (Arg.rfind("--inject=", 0) == 0)
       Opts.Injections = std::strtoull(Value().c_str(), nullptr, 0);
     else if (Arg.rfind("--seed=", 0) == 0)
@@ -195,6 +214,20 @@ int runCampaign(const AsmProgram &Program, const Options &Opts) {
               (unsigned long long)Campaign.goldenInsns(),
               (unsigned long long)Campaign.branchExecutions(SiteClass::Any),
               (unsigned long long)Campaign.goldenHash());
+  if (Opts.Recover) {
+    CampaignResult Result = Campaign.runWithRecovery(
+        Opts.Injections, Opts.Seed, SiteClass::Any, Opts.Recovery);
+    OutcomeCounts Totals = Result.totals();
+    Table T;
+    T.setHeader({"outcome", "count"});
+    T.addRow({"recovered", std::to_string(Totals.Recovered)});
+    T.addRow({"masked", std::to_string(Totals.Masked)});
+    T.addRow({"recovery failed", std::to_string(Totals.RecoveryFailed)});
+    T.addRow({"silent data corruption", std::to_string(Totals.Sdc)});
+    T.addRow({"timeout", std::to_string(Totals.Timeout)});
+    std::printf("%s", T.render().c_str());
+    return 0;
+  }
   OutcomeCounts Totals;
   uint64_t LatencySum = 0;
   auto Faults =
@@ -283,7 +316,24 @@ int main(int Argc, char **Argv) {
                    getTechniqueName(Opts.Config.Tech));
       return 1;
     }
-    Stop = Translator->run(Interp, Opts.MaxInsns);
+    if (Opts.Recover) {
+      RecoveryManager Manager(Interp, *Translator, Opts.Recovery);
+      RecoveryReport Report = Manager.run(Opts.MaxInsns);
+      Stop = Report.FinalStop;
+      if (!Report.FirstDetection.empty())
+        std::fprintf(stderr, "[first detection: %s]\n",
+                     Report.FirstDetection.c_str());
+      std::fprintf(stderr,
+                   "[recovery: %llu checkpoints, %llu rollbacks, "
+                   "%llu watchdog fires%s%s]\n",
+                   (unsigned long long)Report.NumCheckpoints,
+                   (unsigned long long)Report.NumRollbacks,
+                   (unsigned long long)Report.NumWatchdogFires,
+                   Report.Degraded ? ", degraded" : "",
+                   Report.InterpreterFallback ? ", interpreter fallback"
+                                              : "");
+    } else
+      Stop = Translator->run(Interp, Opts.MaxInsns);
     Translations = Translator->translationCount();
     Dispatches = Translator->dispatchCount();
     IbtcHits = Translator->ibtcHitCount();
@@ -294,6 +344,12 @@ int main(int Argc, char **Argv) {
   std::fputs(Interp.output().c_str(), stdout);
   std::fprintf(stderr, "[%s after %llu insns]\n", describeStop(Stop),
                (unsigned long long)Interp.instructionCount());
+  if (Stop.Kind == StopKind::Trapped) {
+    uint64_t GuestPC =
+        Translator ? Translator->guestPCFor(Stop.PC) : Stop.PC;
+    std::fprintf(stderr, "[%s]\n",
+                 formatTrapDiagnostic(Stop, Interp.state(), GuestPC).c_str());
+  }
   if (Opts.Stats) {
     std::fprintf(stderr,
                  "insns:        %llu\ncycles:       %llu\n"
