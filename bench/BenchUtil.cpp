@@ -71,8 +71,9 @@ unsigned cfed::bench::parseJobs(int Argc, char **Argv) {
 }
 
 PerfReport::PerfReport(std::string BenchName)
-    : BenchName(std::move(BenchName)), Start(std::chrono::steady_clock::now()) {
-}
+    : BenchName(std::move(BenchName)),
+      Wall(std::make_unique<telemetry::PhaseProfiler::Scope>(
+          &Profiler, telemetry::Phase::Wall)) {}
 
 void PerfReport::set(const std::string &Key, double Value) {
   Fields.emplace_back(Key, formatString("%.4f", Value));
@@ -83,10 +84,14 @@ void PerfReport::set(const std::string &Key, uint64_t Value) {
                       formatString("%llu", (unsigned long long)Value));
 }
 
+void PerfReport::setRegistry(const telemetry::RegistrySnapshot &Snap) {
+  Fields.emplace_back("registry", Snap.toJson());
+}
+
 PerfReport::~PerfReport() {
+  Wall.reset();
   double WallSeconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
-          .count();
+      double(Profiler.totalNs(telemetry::Phase::Wall)) / 1e9;
 
   std::ostringstream Entry;
   Entry << "{\"wall_seconds\": " << formatString("%.3f", WallSeconds);

@@ -16,10 +16,12 @@
 #define CFED_BENCH_BENCHUTIL_H
 
 #include "dbt/Dbt.h"
+#include "telemetry/Metrics.h"
+#include "telemetry/Profile.h"
 #include "workloads/Workloads.h"
 
-#include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -84,9 +86,15 @@ public:
     set(Key, static_cast<uint64_t>(Value));
   }
 
+  /// Embeds a telemetry-registry snapshot as the entry's "registry"
+  /// field. Snapshot JSON is single-line, which the line-based merge
+  /// above depends on.
+  void setRegistry(const telemetry::RegistrySnapshot &Snap);
+
 private:
   std::string BenchName;
-  std::chrono::steady_clock::time_point Start;
+  telemetry::PhaseProfiler Profiler;
+  std::unique_ptr<telemetry::PhaseProfiler::Scope> Wall;
   std::vector<std::pair<std::string, std::string>> Fields;
 };
 

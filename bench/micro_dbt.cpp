@@ -13,11 +13,16 @@
 #include "dbt/Dbt.h"
 #include "fault/Campaign.h"
 #include "support/ThreadPool.h"
+#include "telemetry/Metrics.h"
+#include "telemetry/Profile.h"
+#include "telemetry/Trace.h"
 #include "vm/Loader.h"
 #include "workloads/RandomProgram.h"
 #include "workloads/Workloads.h"
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
 
 using namespace cfed;
 
@@ -26,6 +31,7 @@ namespace {
 // exit.
 double GPredecodeHitRate = 0.0;
 double GIbtcHitRate = 0.0;
+double GTelemetryOverhead = 0.0;
 } // namespace
 
 static void BM_Assembler(benchmark::State &State) {
@@ -154,6 +160,51 @@ BENCHMARK(BM_CampaignThroughput)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
+/// Cost of full telemetry (event tracer + phase profiler attached) over
+/// the disabled default (registry counters only, no tracer/profiler) on
+/// the same DBT run. Reports the relative overhead; the hard <=2% gate
+/// on the *disabled* configuration lives in TelemetryTest.
+static void BM_TelemetryOverhead(benchmark::State &State) {
+  AsmProgram Program = assembleWorkload("181.mcf");
+  auto RunOnce = [&Program](bool Enabled) {
+    Memory Mem;
+    Interpreter Interp(Mem);
+    telemetry::MetricsRegistry Registry;
+    Dbt Translator(Mem, DbtConfig{}, &Registry);
+    telemetry::EventTracer Tracer(4096);
+    telemetry::PhaseProfiler Profiler;
+    if (Enabled) {
+      Translator.setTracer(&Tracer);
+      Translator.setProfiler(&Profiler);
+    }
+    if (!Translator.load(Program, Interp.state()))
+      return -1.0;
+    auto Begin = std::chrono::steady_clock::now();
+    Translator.run(Interp, 1000000);
+    auto End = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(Interp.cycleCount());
+    return std::chrono::duration<double>(End - Begin).count();
+  };
+  double BestDisabled = -1.0, BestEnabled = -1.0;
+  for (auto _ : State) {
+    double Disabled = RunOnce(false);
+    double Enabled = RunOnce(true);
+    if (Disabled < 0 || Enabled < 0) {
+      State.SkipWithError("program failed to load under the DBT");
+      return;
+    }
+    if (BestDisabled < 0 || Disabled < BestDisabled)
+      BestDisabled = Disabled;
+    if (BestEnabled < 0 || Enabled < BestEnabled)
+      BestEnabled = Enabled;
+  }
+  GTelemetryOverhead =
+      BestDisabled > 0 ? BestEnabled / BestDisabled - 1.0 : 0.0;
+  State.counters["telemetry_overhead"] = GTelemetryOverhead;
+  State.SetItemsProcessed(int64_t(State.iterations()) * 2000000);
+}
+BENCHMARK(BM_TelemetryOverhead);
+
 static void BM_Translation(benchmark::State &State) {
   AsmProgram Program = assembleWorkload("176.gcc");
   for (auto _ : State) {
@@ -185,6 +236,21 @@ int main(int argc, char **argv) {
     benchmark::RunSpecifiedBenchmarks();
     Report.set("predecode_hit_rate", GPredecodeHitRate);
     Report.set("ibtc_hit_rate", GIbtcHitRate);
+    Report.set("telemetry_overhead", GTelemetryOverhead);
+    // One deterministic reference run whose registry snapshot goes into
+    // BENCH_perf.json alongside the timing fields.
+    {
+      AsmProgram Program = assembleWorkload("181.mcf");
+      Memory Mem;
+      Interpreter Interp(Mem);
+      telemetry::MetricsRegistry Registry;
+      Dbt Translator(Mem, DbtConfig{}, &Registry);
+      if (Translator.load(Program, Interp.state())) {
+        Translator.run(Interp, bench::RunBudget);
+        Interp.publishMetrics(Registry);
+        Report.setRegistry(Registry.snapshot());
+      }
+    }
   }
   benchmark::Shutdown();
   return 0;

@@ -172,7 +172,7 @@ void CfcssChecker::initState(CpuState &State, uint64_t) const {
   State.Regs[RegPCP] = 0;        // D
 }
 
-void CfcssChecker::emitPrologue(std::vector<Instruction> &Out, uint64_t L,
+void CfcssChecker::prologueImpl(std::vector<Instruction> &Out, uint64_t L,
                                 bool DoCheck) const {
   const BlockInfo &BI = info(L);
   if (BI.Diff != 0)
@@ -222,7 +222,7 @@ void CfcssChecker::emitDPair(std::vector<Instruction> &Out,
       insn::ri(Opcode::MovI, RegPCP, static_cast<int32_t>(BI.DTaken)));
 }
 
-void CfcssChecker::emitDirectUpdate(std::vector<Instruction> &Out, uint64_t L,
+void CfcssChecker::directUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
                                     uint64_t Target) const {
   const BlockInfo &BI = info(L);
   if (BI.NeedDTaken && Target == BI.TakenAddr)
@@ -233,18 +233,18 @@ void CfcssChecker::emitDirectUpdate(std::vector<Instruction> &Out, uint64_t L,
         insn::ri(Opcode::MovI, RegPCP, static_cast<int32_t>(BI.DFall)));
 }
 
-void CfcssChecker::emitCondUpdate(std::vector<Instruction> &Out, uint64_t L,
+void CfcssChecker::condUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
                                   CondCode CC, uint64_t, uint64_t) const {
   emitDPair(Out, info(L), Opcode::Jcc, 0, CC);
 }
 
-void CfcssChecker::emitRegCondUpdate(std::vector<Instruction> &Out,
+void CfcssChecker::regCondUpdateImpl(std::vector<Instruction> &Out,
                                      uint64_t L, Opcode BranchOp, uint8_t Reg,
                                      uint64_t, uint64_t) const {
   emitDPair(Out, info(L), BranchOp, Reg, CondCode::EQ);
 }
 
-void CfcssChecker::emitIndirectUpdate(std::vector<Instruction> &Out,
+void CfcssChecker::indirectUpdateImpl(std::vector<Instruction> &Out,
                                       uint64_t L, uint8_t) const {
   const BlockInfo &BI = info(L);
   if (BI.NeedDRet)

@@ -14,6 +14,61 @@ bool ControlFlowChecker::prepare(const Cfg &Graph) {
   return true;
 }
 
+void ControlFlowChecker::bindMetrics(telemetry::MetricsRegistry &Registry) {
+  std::string Prefix = std::string("cfc.") + name() + '.';
+  CheckSigEmitted = &Registry.counter(Prefix + "check_sig_emitted");
+  GenSigEmitted = &Registry.counter(Prefix + "gen_sig_emitted");
+  InstrInsns = &Registry.counter(Prefix + "instr_insns");
+}
+
+void ControlFlowChecker::chargeEmission(telemetry::Counter *SigCounter,
+                                        size_t Emitted) const {
+  if (!Emitted || !InstrInsns)
+    return;
+  InstrInsns->inc(Emitted);
+  if (SigCounter)
+    SigCounter->inc();
+}
+
+void ControlFlowChecker::emitPrologue(std::vector<Instruction> &Out,
+                                      uint64_t L, bool DoCheck) const {
+  size_t Before = Out.size();
+  prologueImpl(Out, L, DoCheck);
+  chargeEmission(DoCheck ? CheckSigEmitted : nullptr, Out.size() - Before);
+}
+
+void ControlFlowChecker::emitDirectUpdate(std::vector<Instruction> &Out,
+                                          uint64_t L, uint64_t Target) const {
+  size_t Before = Out.size();
+  directUpdateImpl(Out, L, Target);
+  chargeEmission(GenSigEmitted, Out.size() - Before);
+}
+
+void ControlFlowChecker::emitCondUpdate(std::vector<Instruction> &Out,
+                                        uint64_t L, CondCode CC,
+                                        uint64_t Taken, uint64_t Fall) const {
+  size_t Before = Out.size();
+  condUpdateImpl(Out, L, CC, Taken, Fall);
+  chargeEmission(GenSigEmitted, Out.size() - Before);
+}
+
+void ControlFlowChecker::emitRegCondUpdate(std::vector<Instruction> &Out,
+                                           uint64_t L, Opcode BranchOp,
+                                           uint8_t Reg, uint64_t Taken,
+                                           uint64_t Fall) const {
+  size_t Before = Out.size();
+  regCondUpdateImpl(Out, L, BranchOp, Reg, Taken, Fall);
+  chargeEmission(GenSigEmitted, Out.size() - Before);
+}
+
+void ControlFlowChecker::emitIndirectUpdate(std::vector<Instruction> &Out,
+                                            uint64_t L,
+                                            uint8_t TargetReg) const {
+  size_t Before = Out.size();
+  indirectUpdateImpl(Out, L, TargetReg);
+  chargeEmission(GenSigEmitted, Out.size() - Before);
+}
+
 const char *cfed::getTechniqueName(Technique T) {
   switch (T) {
   case Technique::None:

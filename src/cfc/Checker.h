@@ -40,6 +40,7 @@
 
 #include "cfg/Cfg.h"
 #include "isa/Isa.h"
+#include "telemetry/Metrics.h"
 #include "vm/Interp.h"
 
 #include <memory>
@@ -109,34 +110,68 @@ public:
   /// entry block has signature \p EntryL.
   virtual void initState(CpuState &State, uint64_t EntryL) const = 0;
 
+  /// Registers this checker's emission counters
+  /// ("cfc.<tech>.check_sig_emitted", "cfc.<tech>.gen_sig_emitted",
+  /// "cfc.<tech>.instr_insns") in \p Registry. Until bound, the emit
+  /// wrappers below skip counting.
+  void bindMetrics(telemetry::MetricsRegistry &Registry);
+
   /// Emits the block prologue for the block with signature \p L. When
   /// \p DoCheck is false (relaxed policies) only the entry update is
-  /// emitted.
-  virtual void emitPrologue(std::vector<Instruction> &Out, uint64_t L,
-                            bool DoCheck) const = 0;
+  /// emitted. Counts CHECK_SIG emissions when metrics are bound.
+  void emitPrologue(std::vector<Instruction> &Out, uint64_t L,
+                    bool DoCheck) const;
 
   /// Emits the exit update for an unconditional direct edge L -> Target.
-  virtual void emitDirectUpdate(std::vector<Instruction> &Out, uint64_t L,
-                                uint64_t Target) const = 0;
+  /// This and the remaining emit wrappers count GEN_SIG emissions.
+  void emitDirectUpdate(std::vector<Instruction> &Out, uint64_t L,
+                        uint64_t Target) const;
 
   /// Emits the exit update for a conditional (flags) branch: control goes
   /// to \p Taken when \p CC holds, else to \p Fall. Emitted immediately
   /// before the branch; must not clobber FLAGS.
-  virtual void emitCondUpdate(std::vector<Instruction> &Out, uint64_t L,
-                              CondCode CC, uint64_t Taken,
-                              uint64_t Fall) const = 0;
+  void emitCondUpdate(std::vector<Instruction> &Out, uint64_t L, CondCode CC,
+                      uint64_t Taken, uint64_t Fall) const;
 
   /// Like emitCondUpdate for register-zero branches (Jzr/Jnzr on
   /// \p Reg). These have no CMOVcc equivalent (like jcxz on IA-32), so
   /// every flavor uses an inserted register-zero jump.
-  virtual void emitRegCondUpdate(std::vector<Instruction> &Out, uint64_t L,
-                                 Opcode BranchOp, uint8_t Reg,
-                                 uint64_t Taken, uint64_t Fall) const = 0;
+  void emitRegCondUpdate(std::vector<Instruction> &Out, uint64_t L,
+                         Opcode BranchOp, uint8_t Reg, uint64_t Taken,
+                         uint64_t Fall) const;
 
   /// Emits the exit update for an indirect edge whose guest target is in
   /// \p TargetReg (Figure 7). Must not clobber \p TargetReg.
-  virtual void emitIndirectUpdate(std::vector<Instruction> &Out, uint64_t L,
+  void emitIndirectUpdate(std::vector<Instruction> &Out, uint64_t L,
+                          uint8_t TargetReg) const;
+
+protected:
+  // Technique implementations. Techniques that reuse their direct-edge
+  // sequence internally (ECF/EdgCF/RCF call directUpdateImpl from their
+  // conditional updates) call the Impl directly so no emission is
+  // double-counted by the public wrappers.
+  virtual void prologueImpl(std::vector<Instruction> &Out, uint64_t L,
+                            bool DoCheck) const = 0;
+  virtual void directUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
+                                uint64_t Target) const = 0;
+  virtual void condUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
+                              CondCode CC, uint64_t Taken,
+                              uint64_t Fall) const = 0;
+  virtual void regCondUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
+                                 Opcode BranchOp, uint8_t Reg,
+                                 uint64_t Taken, uint64_t Fall) const = 0;
+  virtual void indirectUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
                                   uint8_t TargetReg) const = 0;
+
+private:
+  /// Charges \p Emitted instructions to the instrumentation counters and
+  /// \p SigCounter (when anything was emitted and metrics are bound).
+  void chargeEmission(telemetry::Counter *SigCounter, size_t Emitted) const;
+
+  // Bound by bindMetrics(); null until then.
+  telemetry::Counter *CheckSigEmitted = nullptr;
+  telemetry::Counter *GenSigEmitted = nullptr;
+  telemetry::Counter *InstrInsns = nullptr;
 };
 
 /// Creates a checker for \p T with conditional updates in \p Flavor.

@@ -25,16 +25,16 @@ class NoneChecker : public ControlFlowChecker {
 public:
   Technique technique() const override { return Technique::None; }
   void initState(CpuState &State, uint64_t EntryL) const override;
-  void emitPrologue(std::vector<Instruction> &Out, uint64_t L,
+  void prologueImpl(std::vector<Instruction> &Out, uint64_t L,
                     bool DoCheck) const override;
-  void emitDirectUpdate(std::vector<Instruction> &Out, uint64_t L,
+  void directUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
                         uint64_t Target) const override;
-  void emitCondUpdate(std::vector<Instruction> &Out, uint64_t L, CondCode CC,
+  void condUpdateImpl(std::vector<Instruction> &Out, uint64_t L, CondCode CC,
                       uint64_t Taken, uint64_t Fall) const override;
-  void emitRegCondUpdate(std::vector<Instruction> &Out, uint64_t L,
+  void regCondUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
                          Opcode BranchOp, uint8_t Reg, uint64_t Taken,
                          uint64_t Fall) const override;
-  void emitIndirectUpdate(std::vector<Instruction> &Out, uint64_t L,
+  void indirectUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
                           uint8_t TargetReg) const override;
 };
 
@@ -48,16 +48,16 @@ public:
   explicit EdgCfChecker(UpdateFlavor Flavor) : Flavor(Flavor) {}
   Technique technique() const override { return Technique::EdgCf; }
   void initState(CpuState &State, uint64_t EntryL) const override;
-  void emitPrologue(std::vector<Instruction> &Out, uint64_t L,
+  void prologueImpl(std::vector<Instruction> &Out, uint64_t L,
                     bool DoCheck) const override;
-  void emitDirectUpdate(std::vector<Instruction> &Out, uint64_t L,
+  void directUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
                         uint64_t Target) const override;
-  void emitCondUpdate(std::vector<Instruction> &Out, uint64_t L, CondCode CC,
+  void condUpdateImpl(std::vector<Instruction> &Out, uint64_t L, CondCode CC,
                       uint64_t Taken, uint64_t Fall) const override;
-  void emitRegCondUpdate(std::vector<Instruction> &Out, uint64_t L,
+  void regCondUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
                          Opcode BranchOp, uint8_t Reg, uint64_t Taken,
                          uint64_t Fall) const override;
-  void emitIndirectUpdate(std::vector<Instruction> &Out, uint64_t L,
+  void indirectUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
                           uint8_t TargetReg) const override;
 
 private:
@@ -76,16 +76,16 @@ public:
   explicit RcfChecker(UpdateFlavor Flavor) : Flavor(Flavor) {}
   Technique technique() const override { return Technique::Rcf; }
   void initState(CpuState &State, uint64_t EntryL) const override;
-  void emitPrologue(std::vector<Instruction> &Out, uint64_t L,
+  void prologueImpl(std::vector<Instruction> &Out, uint64_t L,
                     bool DoCheck) const override;
-  void emitDirectUpdate(std::vector<Instruction> &Out, uint64_t L,
+  void directUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
                         uint64_t Target) const override;
-  void emitCondUpdate(std::vector<Instruction> &Out, uint64_t L, CondCode CC,
+  void condUpdateImpl(std::vector<Instruction> &Out, uint64_t L, CondCode CC,
                       uint64_t Taken, uint64_t Fall) const override;
-  void emitRegCondUpdate(std::vector<Instruction> &Out, uint64_t L,
+  void regCondUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
                          Opcode BranchOp, uint8_t Reg, uint64_t Taken,
                          uint64_t Fall) const override;
-  void emitIndirectUpdate(std::vector<Instruction> &Out, uint64_t L,
+  void indirectUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
                           uint8_t TargetReg) const override;
 
 private:
@@ -107,16 +107,16 @@ public:
   explicit EcfChecker(UpdateFlavor Flavor) : Flavor(Flavor) {}
   Technique technique() const override { return Technique::Ecf; }
   void initState(CpuState &State, uint64_t EntryL) const override;
-  void emitPrologue(std::vector<Instruction> &Out, uint64_t L,
+  void prologueImpl(std::vector<Instruction> &Out, uint64_t L,
                     bool DoCheck) const override;
-  void emitDirectUpdate(std::vector<Instruction> &Out, uint64_t L,
+  void directUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
                         uint64_t Target) const override;
-  void emitCondUpdate(std::vector<Instruction> &Out, uint64_t L, CondCode CC,
+  void condUpdateImpl(std::vector<Instruction> &Out, uint64_t L, CondCode CC,
                       uint64_t Taken, uint64_t Fall) const override;
-  void emitRegCondUpdate(std::vector<Instruction> &Out, uint64_t L,
+  void regCondUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
                          Opcode BranchOp, uint8_t Reg, uint64_t Taken,
                          uint64_t Fall) const override;
-  void emitIndirectUpdate(std::vector<Instruction> &Out, uint64_t L,
+  void indirectUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
                           uint8_t TargetReg) const override;
 
 private:
@@ -137,16 +137,16 @@ public:
   bool requiresWholeProgramCfg() const override { return true; }
   bool prepare(const Cfg &Graph) override;
   void initState(CpuState &State, uint64_t EntryL) const override;
-  void emitPrologue(std::vector<Instruction> &Out, uint64_t L,
+  void prologueImpl(std::vector<Instruction> &Out, uint64_t L,
                     bool DoCheck) const override;
-  void emitDirectUpdate(std::vector<Instruction> &Out, uint64_t L,
+  void directUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
                         uint64_t Target) const override;
-  void emitCondUpdate(std::vector<Instruction> &Out, uint64_t L, CondCode CC,
+  void condUpdateImpl(std::vector<Instruction> &Out, uint64_t L, CondCode CC,
                       uint64_t Taken, uint64_t Fall) const override;
-  void emitRegCondUpdate(std::vector<Instruction> &Out, uint64_t L,
+  void regCondUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
                          Opcode BranchOp, uint8_t Reg, uint64_t Taken,
                          uint64_t Fall) const override;
-  void emitIndirectUpdate(std::vector<Instruction> &Out, uint64_t L,
+  void indirectUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
                           uint8_t TargetReg) const override;
 
 private:
@@ -158,7 +158,7 @@ private:
     /// D values each exit must establish (0 = no update needed).
     uint32_t DTaken = 0, DFall = 0, DRet = 0;
     bool NeedDTaken = false, NeedDFall = false, NeedDRet = false;
-    /// Guest addresses of the exits, to map emitDirectUpdate targets back
+    /// Guest addresses of the exits, to map directUpdateImpl targets back
     /// to the taken/fall slots.
     uint64_t TakenAddr = 0, FallAddr = 0;
   };
@@ -184,16 +184,16 @@ public:
   bool requiresWholeProgramCfg() const override { return true; }
   bool prepare(const Cfg &Graph) override;
   void initState(CpuState &State, uint64_t EntryL) const override;
-  void emitPrologue(std::vector<Instruction> &Out, uint64_t L,
+  void prologueImpl(std::vector<Instruction> &Out, uint64_t L,
                     bool DoCheck) const override;
-  void emitDirectUpdate(std::vector<Instruction> &Out, uint64_t L,
+  void directUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
                         uint64_t Target) const override;
-  void emitCondUpdate(std::vector<Instruction> &Out, uint64_t L, CondCode CC,
+  void condUpdateImpl(std::vector<Instruction> &Out, uint64_t L, CondCode CC,
                       uint64_t Taken, uint64_t Fall) const override;
-  void emitRegCondUpdate(std::vector<Instruction> &Out, uint64_t L,
+  void regCondUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
                          Opcode BranchOp, uint8_t Reg, uint64_t Taken,
                          uint64_t Fall) const override;
-  void emitIndirectUpdate(std::vector<Instruction> &Out, uint64_t L,
+  void indirectUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
                           uint8_t TargetReg) const override;
 
 private:

@@ -94,7 +94,7 @@ void EccaChecker::initState(CpuState &State, uint64_t) const {
   State.Regs[RegRTS] = static_cast<uint64_t>(EntryBid);
 }
 
-void EccaChecker::emitPrologue(std::vector<Instruction> &Out, uint64_t L,
+void EccaChecker::prologueImpl(std::vector<Instruction> &Out, uint64_t L,
                                bool DoCheck) const {
   // ECCA's test *is* its signature normalization: the entry assertion
   // cannot be skipped under relaxed policies, so the check always runs
@@ -132,24 +132,24 @@ void EccaChecker::emitSet(std::vector<Instruction> &Out,
   Out.push_back(insn::rrr(Opcode::LeaR, RegRTS, RegRTS, RegAUX));
 }
 
-void EccaChecker::emitDirectUpdate(std::vector<Instruction> &Out, uint64_t L,
+void EccaChecker::directUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
                                    uint64_t) const {
   emitSet(Out, info(L));
 }
 
-void EccaChecker::emitCondUpdate(std::vector<Instruction> &Out, uint64_t L,
+void EccaChecker::condUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
                                  CondCode, uint64_t, uint64_t) const {
   // NEXT is the product over both successors: one unconditional update.
   emitSet(Out, info(L));
 }
 
-void EccaChecker::emitRegCondUpdate(std::vector<Instruction> &Out, uint64_t L,
+void EccaChecker::regCondUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
                                     Opcode, uint8_t, uint64_t,
                                     uint64_t) const {
   emitSet(Out, info(L));
 }
 
-void EccaChecker::emitIndirectUpdate(std::vector<Instruction> &Out,
+void EccaChecker::indirectUpdateImpl(std::vector<Instruction> &Out,
                                      uint64_t L, uint8_t) const {
   emitSet(Out, info(L));
 }

@@ -28,7 +28,7 @@ void EcfChecker::initState(CpuState &State, uint64_t EntryL) const {
   State.Regs[RegRTS] = 0;
 }
 
-void EcfChecker::emitPrologue(std::vector<Instruction> &Out, uint64_t L,
+void EcfChecker::prologueImpl(std::vector<Instruction> &Out, uint64_t L,
                               bool DoCheck) const {
   Out.push_back(insn::rrr(Opcode::LeaR, RegPCP, RegPCP, RegRTS));
   if (DoCheck) {
@@ -42,43 +42,43 @@ void EcfChecker::emitPrologue(std::vector<Instruction> &Out, uint64_t L,
   }
 }
 
-void EcfChecker::emitDirectUpdate(std::vector<Instruction> &Out, uint64_t L,
+void EcfChecker::directUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
                                   uint64_t Target) const {
   Out.push_back(insn::ri(
       Opcode::MovI, RegRTS,
       imm32(static_cast<int64_t>(Target) - static_cast<int64_t>(L))));
 }
 
-void EcfChecker::emitCondUpdate(std::vector<Instruction> &Out, uint64_t L,
+void EcfChecker::condUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
                                 CondCode CC, uint64_t Taken,
                                 uint64_t Fall) const {
   if (Flavor == UpdateFlavor::CMovcc) {
     // Figure 4's cmovle sequence.
-    emitDirectUpdate(Out, L, Fall);
+    directUpdateImpl(Out, L, Fall);
     Out.push_back(insn::ri(
         Opcode::MovI, RegAUX,
         imm32(static_cast<int64_t>(Taken) - static_cast<int64_t>(L))));
     Out.push_back(insn::cmov(RegRTS, RegAUX, CC));
     return;
   }
-  emitDirectUpdate(Out, L, Fall);
+  directUpdateImpl(Out, L, Fall);
   emitSkipUnlessTaken(Out, Opcode::Jcc, 0, CC);
   Out.push_back(insn::ri(
       Opcode::MovI, RegRTS,
       imm32(static_cast<int64_t>(Taken) - static_cast<int64_t>(L))));
 }
 
-void EcfChecker::emitRegCondUpdate(std::vector<Instruction> &Out, uint64_t L,
+void EcfChecker::regCondUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
                                    Opcode BranchOp, uint8_t Reg,
                                    uint64_t Taken, uint64_t Fall) const {
-  emitDirectUpdate(Out, L, Fall);
+  directUpdateImpl(Out, L, Fall);
   emitSkipUnlessTaken(Out, BranchOp, Reg, CondCode::EQ);
   Out.push_back(insn::ri(
       Opcode::MovI, RegRTS,
       imm32(static_cast<int64_t>(Taken) - static_cast<int64_t>(L))));
 }
 
-void EcfChecker::emitIndirectUpdate(std::vector<Instruction> &Out, uint64_t L,
+void EcfChecker::indirectUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
                                     uint8_t TargetReg) const {
   // RTS = dynamic target - L.
   Out.push_back(insn::rri(Opcode::Lea, RegRTS, TargetReg,

@@ -26,7 +26,7 @@ void EdgCfChecker::initState(CpuState &State, uint64_t EntryL) const {
   State.Regs[RegPCP] = EntryL;
 }
 
-void EdgCfChecker::emitPrologue(std::vector<Instruction> &Out, uint64_t L,
+void EdgCfChecker::prologueImpl(std::vector<Instruction> &Out, uint64_t L,
                                 bool DoCheck) const {
   // Head update first, then check PC' == 0 (Figure 6). Note the check
   // branch thus executes while PC' holds the shared in-body value 0 —
@@ -37,19 +37,19 @@ void EdgCfChecker::emitPrologue(std::vector<Instruction> &Out, uint64_t L,
     emitTrapUnlessZero(Out, RegPCP);
 }
 
-void EdgCfChecker::emitDirectUpdate(std::vector<Instruction> &Out, uint64_t,
+void EdgCfChecker::directUpdateImpl(std::vector<Instruction> &Out, uint64_t,
                                     uint64_t Target) const {
   Out.push_back(insn::rri(Opcode::Lea, RegPCP, RegPCP,
                           imm32(static_cast<int64_t>(Target))));
 }
 
-void EdgCfChecker::emitCondUpdate(std::vector<Instruction> &Out, uint64_t L,
+void EdgCfChecker::condUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
                                   CondCode CC, uint64_t Taken,
                                   uint64_t Fall) const {
   if (Flavor == UpdateFlavor::CMovcc) {
     // Figure 8 in the add/sub algebra.
     Out.push_back(insn::rr(Opcode::Mov, RegAUX, RegPCP));
-    emitDirectUpdate(Out, L, Fall);
+    directUpdateImpl(Out, L, Fall);
     Out.push_back(insn::rri(Opcode::Lea, RegAUX, RegAUX,
                             imm32(static_cast<int64_t>(Taken))));
     Out.push_back(insn::cmov(RegPCP, RegAUX, CC));
@@ -58,26 +58,26 @@ void EdgCfChecker::emitCondUpdate(std::vector<Instruction> &Out, uint64_t L,
   // Jcc flavor: assume fall-through, fix up when the branch will be
   // taken. The inserted jcc reads the same flags the original branch
   // will read, so a later fault at the original branch is detected.
-  emitDirectUpdate(Out, L, Fall);
+  directUpdateImpl(Out, L, Fall);
   emitSkipUnlessTaken(Out, Opcode::Jcc, 0, CC);
   Out.push_back(insn::rri(
       Opcode::Lea, RegPCP, RegPCP,
       imm32(static_cast<int64_t>(Taken) - static_cast<int64_t>(Fall))));
 }
 
-void EdgCfChecker::emitRegCondUpdate(std::vector<Instruction> &Out,
+void EdgCfChecker::regCondUpdateImpl(std::vector<Instruction> &Out,
                                      uint64_t L, Opcode BranchOp, uint8_t Reg,
                                      uint64_t Taken, uint64_t Fall) const {
   // Register-zero branches have no CMOVcc form (jcxz analogue): always
   // the inserted-branch scheme.
-  emitDirectUpdate(Out, L, Fall);
+  directUpdateImpl(Out, L, Fall);
   emitSkipUnlessTaken(Out, BranchOp, Reg, CondCode::EQ);
   Out.push_back(insn::rri(
       Opcode::Lea, RegPCP, RegPCP,
       imm32(static_cast<int64_t>(Taken) - static_cast<int64_t>(Fall))));
 }
 
-void EdgCfChecker::emitIndirectUpdate(std::vector<Instruction> &Out, uint64_t,
+void EdgCfChecker::indirectUpdateImpl(std::vector<Instruction> &Out, uint64_t,
                                       uint8_t TargetReg) const {
   // PC' = 0 + dynamic target. lear keeps the recursive dependence on the
   // previous signature value: an already-wrong PC' stays wrong.

@@ -6,18 +6,18 @@ using namespace cfed;
 
 void NoneChecker::initState(CpuState &, uint64_t) const {}
 
-void NoneChecker::emitPrologue(std::vector<Instruction> &, uint64_t,
+void NoneChecker::prologueImpl(std::vector<Instruction> &, uint64_t,
                                bool) const {}
 
-void NoneChecker::emitDirectUpdate(std::vector<Instruction> &, uint64_t,
+void NoneChecker::directUpdateImpl(std::vector<Instruction> &, uint64_t,
                                    uint64_t) const {}
 
-void NoneChecker::emitCondUpdate(std::vector<Instruction> &, uint64_t,
+void NoneChecker::condUpdateImpl(std::vector<Instruction> &, uint64_t,
                                  CondCode, uint64_t, uint64_t) const {}
 
-void NoneChecker::emitRegCondUpdate(std::vector<Instruction> &, uint64_t,
+void NoneChecker::regCondUpdateImpl(std::vector<Instruction> &, uint64_t,
                                     Opcode, uint8_t, uint64_t,
                                     uint64_t) const {}
 
-void NoneChecker::emitIndirectUpdate(std::vector<Instruction> &, uint64_t,
+void NoneChecker::indirectUpdateImpl(std::vector<Instruction> &, uint64_t,
                                      uint8_t) const {}

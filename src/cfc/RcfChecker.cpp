@@ -26,7 +26,7 @@ void RcfChecker::initState(CpuState &State, uint64_t EntryL) const {
   State.Regs[RegPCP] = EntryL;
 }
 
-void RcfChecker::emitPrologue(std::vector<Instruction> &Out, uint64_t L,
+void RcfChecker::prologueImpl(std::vector<Instruction> &Out, uint64_t L,
                               bool DoCheck) const {
   if (DoCheck) {
     // Check in region R1E: compare into a scratch so PC' keeps the value
@@ -41,18 +41,18 @@ void RcfChecker::emitPrologue(std::vector<Instruction> &Out, uint64_t L,
                           imm32(bodySig(L) - static_cast<int64_t>(L))));
 }
 
-void RcfChecker::emitDirectUpdate(std::vector<Instruction> &Out, uint64_t L,
+void RcfChecker::directUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
                                   uint64_t Target) const {
   Out.push_back(insn::rri(Opcode::Lea, RegPCP, RegPCP,
                           imm32(static_cast<int64_t>(Target) - bodySig(L))));
 }
 
-void RcfChecker::emitCondUpdate(std::vector<Instruction> &Out, uint64_t L,
+void RcfChecker::condUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
                                 CondCode CC, uint64_t Taken,
                                 uint64_t Fall) const {
   if (Flavor == UpdateFlavor::CMovcc) {
     Out.push_back(insn::rr(Opcode::Mov, RegAUX, RegPCP));
-    emitDirectUpdate(Out, L, Fall);
+    directUpdateImpl(Out, L, Fall);
     Out.push_back(insn::rri(Opcode::Lea, RegAUX, RegAUX,
                             imm32(static_cast<int64_t>(Taken) - bodySig(L))));
     Out.push_back(insn::cmov(RegPCP, RegAUX, CC));
@@ -61,24 +61,24 @@ void RcfChecker::emitCondUpdate(std::vector<Instruction> &Out, uint64_t L,
   // Jcc flavor: the inserted branch executes with PC' == Fall — an edge
   // region distinct per block, so a fault on it is detected (unlike in
   // EdgCF, where PC' would be the global body value 0).
-  emitDirectUpdate(Out, L, Fall);
+  directUpdateImpl(Out, L, Fall);
   emitSkipUnlessTaken(Out, Opcode::Jcc, 0, CC);
   Out.push_back(insn::rri(
       Opcode::Lea, RegPCP, RegPCP,
       imm32(static_cast<int64_t>(Taken) - static_cast<int64_t>(Fall))));
 }
 
-void RcfChecker::emitRegCondUpdate(std::vector<Instruction> &Out, uint64_t L,
+void RcfChecker::regCondUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
                                    Opcode BranchOp, uint8_t Reg,
                                    uint64_t Taken, uint64_t Fall) const {
-  emitDirectUpdate(Out, L, Fall);
+  directUpdateImpl(Out, L, Fall);
   emitSkipUnlessTaken(Out, BranchOp, Reg, CondCode::EQ);
   Out.push_back(insn::rri(
       Opcode::Lea, RegPCP, RegPCP,
       imm32(static_cast<int64_t>(Taken) - static_cast<int64_t>(Fall))));
 }
 
-void RcfChecker::emitIndirectUpdate(std::vector<Instruction> &Out, uint64_t L,
+void RcfChecker::indirectUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
                                     uint8_t TargetReg) const {
   // PC' += target - bodySig: two flag-neutral adds keep the recursive
   // dependence on the previous signature.

@@ -20,9 +20,22 @@ namespace {
 constexpr size_t MaxBlockInsns = 4096;
 } // namespace
 
-Dbt::Dbt(Memory &Mem, DbtConfig Config)
-    : Mem(Mem), Config(Config), CacheAlloc(CacheBase) {
+Dbt::Dbt(Memory &Mem, DbtConfig Config, telemetry::MetricsRegistry *Metrics)
+    : Mem(Mem), Config(Config),
+      OwnedMetrics(Metrics ? nullptr
+                           : std::make_unique<telemetry::MetricsRegistry>()),
+      Metrics(Metrics ? Metrics : OwnedMetrics.get()), CacheAlloc(CacheBase),
+      Translations(this->Metrics->counter("dbt.translations")),
+      Dispatches(this->Metrics->counter("dbt.dispatches")),
+      Chains(this->Metrics->counter("dbt.chains")),
+      IbtcHits(this->Metrics->counter("dbt.ibtc_hits")),
+      IbtcMisses(this->Metrics->counter("dbt.ibtc_misses")),
+      Flushes(this->Metrics->counter("dbt.flushes")),
+      FoldedUpdates(this->Metrics->counter("dbt.folded_updates")),
+      SuperblockFusions(this->Metrics->counter("dbt.superblock_fusions")),
+      Degrades(this->Metrics->counter("dbt.degrades")) {
   Checker = createChecker(Config.Tech, Config.Flavor);
+  Checker->bindMetrics(*this->Metrics);
 }
 
 Dbt::~Dbt() = default;
@@ -66,6 +79,11 @@ bool Dbt::load(const AsmProgram &Program, CpuState &State) {
 
 StopInfo Dbt::run(Interpreter &Interp, uint64_t MaxInsns) {
   Interp.setDbtHooks(this);
+  ClockSource = &Interp;
+  // Execute encloses the run: translate time spent servicing exits is
+  // charged to both, so exclusive execute time is execute - translate.
+  telemetry::PhaseProfiler::Scope Timer(Profiler,
+                                        telemetry::Phase::Execute);
   return Interp.run(MaxInsns);
 }
 
@@ -104,7 +122,9 @@ uint64_t Dbt::lookupOrTranslate(uint64_t GuestTarget) {
 
 uint64_t Dbt::translate(uint64_t EntryGuest) {
   reprotectCodePages();
-  ++NumTranslations;
+  Translations.inc();
+  telemetry::PhaseProfiler::Scope Timer(Profiler,
+                                        telemetry::Phase::Translate);
 
   CodeBuilder Builder(Config.FoldSignatureUpdates);
   struct SubBlock {
@@ -217,6 +237,7 @@ uint64_t Dbt::translate(uint64_t EntryGuest) {
         InThisSuper.insert(Guest);
         Guest = Target;
         ++Fused;
+        SuperblockFusions.inc();
         continue;
       }
       EmitTramp(Target);
@@ -233,6 +254,7 @@ uint64_t Dbt::translate(uint64_t EntryGuest) {
         InThisSuper.insert(Guest);
         Guest = Target;
         ++Fused;
+        SuperblockFusions.inc();
         continue;
       }
       EmitTramp(Target);
@@ -328,7 +350,10 @@ uint64_t Dbt::translate(uint64_t EntryGuest) {
     Code[I].encode(&Encoded[I * InsnSize]);
   Mem.writeRaw(Base, Encoded.data(), Bytes);
   CacheAlloc = Base + Bytes;
-  NumFoldedUpdates += Builder.foldedCount();
+  FoldedUpdates.inc(Builder.foldedCount());
+  if (Tracer)
+    Tracer->record(now(), telemetry::TraceEventKind::BlockTranslated,
+                   nullptr, EntryGuest, Code.size());
 
   // Register sub-blocks. With folding, inner entry points may have been
   // merged away, so only the superblock head is registered then.
@@ -353,7 +378,7 @@ uint64_t Dbt::translate(uint64_t EntryGuest) {
 }
 
 uint64_t Dbt::onDirectExit(uint64_t SiteAddr, uint64_t GuestTarget) {
-  ++NumDispatches;
+  Dispatches.inc();
   uint64_t Cache = lookupOrTranslate(GuestTarget);
   bool Translated = BlockMap.contains(GuestTarget);
   if (Config.ChainDirectExits && Translated && isCacheAddr(SiteAddr)) {
@@ -364,22 +389,26 @@ uint64_t Dbt::onDirectExit(uint64_t SiteAddr, uint64_t GuestTarget) {
     Jump.encode(Raw);
     Mem.writeRaw(SiteAddr, Raw, InsnSize);
     Patches.push_back({SiteAddr, GuestTarget});
+    Chains.inc();
+    if (Tracer)
+      Tracer->record(now(), telemetry::TraceEventKind::BlockChained, nullptr,
+                     GuestTarget);
   }
   return Cache;
 }
 
 uint64_t Dbt::onIndirectExit(uint64_t SiteAddr, uint64_t GuestTarget) {
   (void)SiteAddr;
-  ++NumDispatches;
+  Dispatches.inc();
   // Indirect-branch translation cache: one direct-mapped probe before the
   // full lookup. Only committed translations enter the table, so a hit
   // can never swallow a trap a raw (untranslated) target would raise.
   IbtcEntry &Entry = Ibtc[(GuestTarget / InsnSize) % IbtcSlots];
   if (Entry.Guest == GuestTarget) {
-    ++NumIbtcHits;
+    IbtcHits.inc();
     return Entry.Cache;
   }
-  ++NumIbtcMisses;
+  IbtcMisses.inc();
   uint64_t Cache = lookupOrTranslate(GuestTarget);
   if (BlockMap.contains(GuestTarget))
     Entry = {GuestTarget, Cache};
@@ -403,7 +432,10 @@ bool Dbt::onWriteViolation(uint64_t DataAddr) {
   // the page is re-protected before the next translation reads it.
   Mem.setPerms(DataAddr & ~(PageSize - 1), PageSize, PermRW);
   CodePagesWritable = true;
-  ++NumFlushes;
+  Flushes.inc();
+  if (Tracer)
+    Tracer->record(now(), telemetry::TraceEventKind::CacheFlush, "smc",
+                   DataAddr);
   return true;
 }
 
@@ -437,7 +469,10 @@ void Dbt::degradeToConservative() {
   Config.SuperblockLimit = 1;
   Config.FoldSignatureUpdates = false;
   Config.Policy = CheckPolicy::AllBB;
-  ++NumDegrades;
+  Degrades.inc();
+  if (Tracer)
+    Tracer->record(now(), telemetry::TraceEventKind::DegradationStep,
+                   "conservative-retranslate");
 }
 
 uint64_t Dbt::guestPCFor(uint64_t PC) const {

@@ -47,6 +47,9 @@
 #include "asm/Assembler.h"
 #include "cfc/Checker.h"
 #include "dbt/BlockTable.h"
+#include "telemetry/Metrics.h"
+#include "telemetry/Profile.h"
+#include "telemetry/Trace.h"
 #include "vm/Interp.h"
 #include "vm/Memory.h"
 
@@ -127,7 +130,13 @@ struct BranchSiteInfo {
 /// acts as the interpreter's DbtHooks.
 class Dbt : public DbtHooks {
 public:
-  Dbt(Memory &Mem, DbtConfig Config);
+  /// \p Metrics is the registry this translator publishes its counters
+  /// into; when null the translator owns a private registry, which keeps
+  /// per-instance counts isolated (parallel fault campaigns create many
+  /// concurrent translators). The CLI tools pass
+  /// telemetry::MetricsRegistry::global().
+  Dbt(Memory &Mem, DbtConfig Config,
+      telemetry::MetricsRegistry *Metrics = nullptr);
   ~Dbt() override;
 
   /// Loads \p Program in translated mode, prepares the checker (eager
@@ -184,7 +193,7 @@ public:
   void degradeToConservative();
 
   /// Number of degradeToConservative() calls.
-  uint64_t degradeCount() const { return NumDegrades; }
+  uint64_t degradeCount() const { return Degrades.value(); }
 
   /// Guest program entry and code segment, as captured by load().
   uint64_t guestEntry() const { return GuestEntry; }
@@ -200,19 +209,40 @@ public:
   std::vector<BranchSiteInfo> enumerateBranchSites() const;
 
   /// Number of block translations performed (includes re-translations
-  /// after self-modification flushes).
-  uint64_t translationCount() const { return NumTranslations; }
-  /// Number of cache-exit dispatches serviced.
-  uint64_t dispatchCount() const { return NumDispatches; }
+  /// after self-modification flushes). Served from the metrics registry
+  /// ("dbt.translations"), as are all the counters below.
+  uint64_t translationCount() const { return Translations.value(); }
+  /// Number of cache-exit dispatches serviced ("dbt.dispatches").
+  uint64_t dispatchCount() const { return Dispatches.value(); }
   /// Indirect-branch translation cache hits: TrampR exits answered from
-  /// the direct-mapped guest→cache table without a block-table lookup.
-  uint64_t ibtcHitCount() const { return NumIbtcHits; }
-  /// Indirect-branch dispatches that fell through to the full lookup.
-  uint64_t ibtcMissCount() const { return NumIbtcMisses; }
-  /// Number of full cache flushes (self-modifying code events).
-  uint64_t flushCount() const { return NumFlushes; }
-  /// Number of signature updates removed by the backend peephole.
-  uint64_t foldedUpdateCount() const { return NumFoldedUpdates; }
+  /// the direct-mapped guest→cache table without a block-table lookup
+  /// ("dbt.ibtc_hits").
+  uint64_t ibtcHitCount() const { return IbtcHits.value(); }
+  /// Indirect-branch dispatches that fell through to the full lookup
+  /// ("dbt.ibtc_misses").
+  uint64_t ibtcMissCount() const { return IbtcMisses.value(); }
+  /// Number of full cache flushes ("dbt.flushes").
+  uint64_t flushCount() const { return Flushes.value(); }
+  /// Number of signature updates removed by the backend peephole
+  /// ("dbt.folded_updates").
+  uint64_t foldedUpdateCount() const { return FoldedUpdates.value(); }
+  /// Number of direct exits patched into plain jumps ("dbt.chains").
+  uint64_t chainCount() const { return Chains.value(); }
+
+  /// The registry this translator's counters live in (the injected one,
+  /// or the private default).
+  telemetry::MetricsRegistry &metrics() { return *Metrics; }
+  const telemetry::MetricsRegistry &metrics() const { return *Metrics; }
+
+  /// Attaches/detaches a structured event tracer. Null disables tracing
+  /// (the default); events are timestamped with the interpreter's guest
+  /// instruction count once run() binds one.
+  void setTracer(telemetry::EventTracer *T) { Tracer = T; }
+  telemetry::EventTracer *tracer() const { return Tracer; }
+
+  /// Attaches/detaches a phase profiler (translate/execute scopes).
+  void setProfiler(telemetry::PhaseProfiler *P) { Profiler = P; }
+  telemetry::PhaseProfiler *profiler() const { return Profiler; }
 
   const DbtConfig &config() const { return Config; }
 
@@ -229,6 +259,11 @@ private:
   void flushTranslations();
   void reprotectCodePages();
 
+  /// Trace timestamp: the bound interpreter's instruction count.
+  uint64_t now() const {
+    return ClockSource ? ClockSource->instructionCount() : 0;
+  }
+
   /// One entry of the indirect-branch translation cache: a direct-mapped
   /// guest→cache-address table consulted before the block-table lookup on
   /// every TrampR exit (the DBT analogue of a hardware BTB).
@@ -240,11 +275,13 @@ private:
 
   Memory &Mem;
   DbtConfig Config;
+  /// Owned storage when no registry was injected.
+  std::unique_ptr<telemetry::MetricsRegistry> OwnedMetrics;
+  telemetry::MetricsRegistry *Metrics;
   std::unique_ptr<ControlFlowChecker> Checker;
   BlockTable<TranslatedBlock> BlockMap;
   std::unordered_map<uint64_t, SafePointInfo> SafePoints;
   uint64_t NumCheckSites = 0;
-  uint64_t NumDegrades = 0;
   std::string LoadError;
   std::array<IbtcEntry, IbtcSlots> Ibtc;
   std::vector<ChainPatch> Patches;
@@ -253,12 +290,20 @@ private:
   uint64_t GuestCodeSize = 0;
   uint64_t GuestEntry = 0;
   bool CodePagesWritable = false;
-  uint64_t NumTranslations = 0;
-  uint64_t NumDispatches = 0;
-  uint64_t NumIbtcHits = 0;
-  uint64_t NumIbtcMisses = 0;
-  uint64_t NumFlushes = 0;
-  uint64_t NumFoldedUpdates = 0;
+  // Registry-backed counters, cached once at construction so the hot
+  // paths bump them without name lookups.
+  telemetry::Counter &Translations;
+  telemetry::Counter &Dispatches;
+  telemetry::Counter &Chains;
+  telemetry::Counter &IbtcHits;
+  telemetry::Counter &IbtcMisses;
+  telemetry::Counter &Flushes;
+  telemetry::Counter &FoldedUpdates;
+  telemetry::Counter &SuperblockFusions;
+  telemetry::Counter &Degrades;
+  telemetry::EventTracer *Tracer = nullptr;
+  telemetry::PhaseProfiler *Profiler = nullptr;
+  const Interpreter *ClockSource = nullptr;
   /// Leaders from the assembler side table (eager mode).
   std::vector<uint64_t> EagerLeaders;
 };

@@ -7,6 +7,7 @@
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <array>
 #include <set>
 
 using namespace cfed;
@@ -29,6 +30,27 @@ const char *cfed::getOutcomeName(Outcome O) {
     return "rec-fail";
   }
   return "?";
+}
+
+std::string cfed::getOutcomeCounterName(BranchErrorCategory Cat, Outcome O) {
+  return std::string("fault.cat_") + getCategoryName(Cat) + '.' +
+         getOutcomeName(O);
+}
+
+CampaignResult
+cfed::campaignResultFromSnapshot(const telemetry::RegistrySnapshot &Snap) {
+  CampaignResult Result;
+  for (unsigned C = 0; C < NumBranchErrorCategories; ++C) {
+    auto Cat = static_cast<BranchErrorCategory>(C);
+    for (unsigned O = 0; O < NumOutcomes; ++O) {
+      auto Out = static_cast<Outcome>(O);
+      uint64_t N = Snap.counterOr(getOutcomeCounterName(Cat, Out));
+      for (uint64_t I = 0; I < N; ++I)
+        Result.of(Cat).add(Out);
+    }
+  }
+  Result.Injections = Snap.counterOr("fault.injections");
+  return Result;
 }
 
 void OutcomeCounts::add(Outcome O) {
@@ -445,6 +467,26 @@ selectFaults(const std::vector<PlannedFault> &Candidates,
 
 } // namespace
 
+CampaignResult
+FaultCampaign::tallyOutcomes(const std::vector<const PlannedFault *> &Sel,
+                             const std::vector<Outcome> &Outcomes) {
+  // Serial tally from position-indexed slots: workers never touch shared
+  // counters, so the registry contents — and the result rebuilt from
+  // them — are identical for any job count.
+  telemetry::MetricsRegistry RunMetrics;
+  for (size_t I = 0; I < Sel.size(); ++I) {
+    RunMetrics.counter(getOutcomeCounterName(Sel[I]->Category, Outcomes[I]))
+        .inc();
+    RunMetrics.counter("fault.injections").inc();
+  }
+  telemetry::RegistrySnapshot Snap = RunMetrics.snapshot();
+  Metrics.merge(Snap);
+  CampaignResult Result = campaignResultFromSnapshot(Snap);
+  assert(Result.totals().total() == Result.Injections &&
+         "registry tallies must cover every injection");
+  return Result;
+}
+
 CampaignResult FaultCampaign::run(uint64_t NumInjections, uint64_t Seed,
                                   SiteClass Class, unsigned Jobs) {
   // Over-plan: a sizeable share of random faults are NoError.
@@ -454,20 +496,13 @@ CampaignResult FaultCampaign::run(uint64_t NumInjections, uint64_t Seed,
       selectFaults(Candidates, NumInjections);
 
   // Parallel injection into position-indexed slots. Each worker touches
-  // only its own slot, and the merge below walks slots in selection
-  // order, so the tallies match the serial run exactly.
+  // only its own slot; the merge into the registry stays serial.
   std::vector<Outcome> Outcomes(Selected.size());
   ThreadPool Pool(Jobs);
   Pool.parallelFor(Selected.size(), [&](uint64_t I) {
     Outcomes[I] = inject(*Selected[I]);
   });
-
-  CampaignResult Result;
-  for (size_t I = 0; I < Selected.size(); ++I) {
-    Result.of(Selected[I]->Category).add(Outcomes[I]);
-    ++Result.Injections;
-  }
-  return Result;
+  return tallyOutcomes(Selected, Outcomes);
 }
 
 CampaignResult FaultCampaign::runWithRecovery(uint64_t NumInjections,
@@ -479,16 +514,34 @@ CampaignResult FaultCampaign::runWithRecovery(uint64_t NumInjections,
   std::vector<const PlannedFault *> Selected =
       selectFaults(Candidates, NumInjections);
 
+  // Position-indexed slots for the outcome and the recovery ladder's
+  // activity, so the serial sums below are jobs-invariant.
   std::vector<Outcome> Outcomes(Selected.size());
+  std::vector<std::array<uint64_t, 5>> Ladder(Selected.size());
   ThreadPool Pool(Jobs);
   Pool.parallelFor(Selected.size(), [&](uint64_t I) {
-    Outcomes[I] = injectWithRecovery(*Selected[I], Recovery).Result;
+    RecoveryInjection Inj = injectWithRecovery(*Selected[I], Recovery);
+    Outcomes[I] = Inj.Result;
+    Ladder[I] = {Inj.Recovery.NumCheckpoints, Inj.Recovery.NumRollbacks,
+                 Inj.Recovery.NumWatchdogFires,
+                 Inj.Recovery.Degraded ? uint64_t(1) : 0,
+                 Inj.Recovery.InterpreterFallback ? uint64_t(1) : 0};
   });
+  CampaignResult Result = tallyOutcomes(Selected, Outcomes);
 
-  CampaignResult Result;
-  for (size_t I = 0; I < Selected.size(); ++I) {
-    Result.of(Selected[I]->Category).add(Outcomes[I]);
-    ++Result.Injections;
+  // Each injection's RecoveryManager counted into its own worker
+  // registry, which dies with the worker; re-aggregate the per-slot
+  // records under the same names so campaign-level snapshots carry the
+  // recovery story too.
+  static const char *const LadderNames[5] = {
+      "recovery.checkpoints", "recovery.rollbacks",
+      "recovery.watchdog_fires", "recovery.degradations",
+      "recovery.interp_fallbacks"};
+  for (unsigned K = 0; K < 5; ++K) {
+    uint64_t Sum = 0;
+    for (const auto &Slot : Ladder)
+      Sum += Slot[K];
+    Metrics.counter(LadderNames[K]).inc(Sum);
   }
   return Result;
 }

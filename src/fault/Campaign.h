@@ -75,7 +75,7 @@ struct PlannedFault {
   uint64_t SiteAddr = 0;
 };
 
-/// How one injected run ended.
+/// How one injected run ended. Keep NumOutcomes in sync.
 enum class Outcome : uint8_t {
   DetectedSignature, ///< The checking technique reported the error.
   DetectedHardware,  ///< Memory protection / illegal instruction / trap.
@@ -88,8 +88,21 @@ enum class Outcome : uint8_t {
                      ///< reproduce the golden output.
 };
 
+inline constexpr unsigned NumOutcomes = 7;
+
 /// Returns a short display name for \p O.
 const char *getOutcomeName(Outcome O);
+
+/// The registry counter name tallying \p O for faults of category
+/// \p Cat: "fault.cat_<category>.<outcome>".
+std::string getOutcomeCounterName(BranchErrorCategory Cat, Outcome O);
+
+/// Rebuilds per-category outcome tallies from the
+/// "fault.cat_*.*" counters of \p Snap — the inverse of the tally pass
+/// campaigns use, so results and telemetry can never disagree.
+struct CampaignResult;
+CampaignResult campaignResultFromSnapshot(
+    const telemetry::RegistrySnapshot &Snap);
 
 /// Full record of one injected run.
 struct InjectionReport {
@@ -213,6 +226,13 @@ public:
   /// Dynamic branch executions in the golden run for \p Sites.
   uint64_t branchExecutions(SiteClass Sites) const;
 
+  /// Cumulative outcome telemetry across every run()/runWithRecovery()
+  /// call on this campaign: "fault.cat_<category>.<outcome>" counters
+  /// plus "fault.injections". Tallied serially from position-indexed
+  /// per-injection slots, so the counters are identical for any job
+  /// count.
+  const telemetry::MetricsRegistry &metrics() const { return Metrics; }
+
 private:
   struct SiteInfo {
     bool IsInstr = false;
@@ -223,8 +243,14 @@ private:
   struct Instance;
   bool matchesClass(uint64_t SiteAddr, SiteClass Sites) const;
 
+  /// Tallies one run's outcome slots into a fresh registry, folds it
+  /// into Metrics, and returns the result rebuilt from the snapshot.
+  CampaignResult tallyOutcomes(const std::vector<const PlannedFault *> &Sel,
+                               const std::vector<Outcome> &Outcomes);
+
   const AsmProgram &Program;
   DbtConfig Config;
+  telemetry::MetricsRegistry Metrics;
   uint64_t GoldenInsns = 0;
   uint64_t GoldenHash = 0;
   uint64_t InsnBudget = 0;

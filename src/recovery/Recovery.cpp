@@ -13,7 +13,14 @@ using namespace cfed;
 
 RecoveryManager::RecoveryManager(Interpreter &Interp, Dbt &Translator,
                                  RecoveryConfig Config)
-    : Interp(Interp), Translator(Translator), Config(Config) {
+    : Interp(Interp), Translator(Translator), Config(Config),
+      CkptCounter(Translator.metrics().counter("recovery.checkpoints")),
+      RollbackCounter(Translator.metrics().counter("recovery.rollbacks")),
+      WatchdogCounter(
+          Translator.metrics().counter("recovery.watchdog_fires")),
+      DegradeCounter(Translator.metrics().counter("recovery.degradations")),
+      FallbackCounter(
+          Translator.metrics().counter("recovery.interp_fallbacks")) {
   if (this->Config.MaxCheckpoints == 0)
     this->Config.MaxCheckpoints = 1;
 }
@@ -80,6 +87,10 @@ void RecoveryManager::takeCheckpoint(uint64_t GuestPC, uint64_t InsnsNow,
   Interp.memory().resetWriteEpoch();
   CheckpointInsns = InsnsNow;
   ++Report.NumCheckpoints;
+  CkptCounter.inc();
+  if (telemetry::EventTracer *T = Translator.tracer())
+    T->record(InsnsNow, telemetry::TraceEventKind::CheckpointTaken, nullptr,
+              GuestPC, Checkpoints.size());
 }
 
 uint64_t RecoveryManager::rollbackTo(size_t Depth) {
@@ -112,6 +123,10 @@ uint64_t RecoveryManager::rollbackTo(size_t Depth) {
 }
 
 void RecoveryManager::enterInterpreterFallback() {
+  FallbackCounter.inc();
+  if (telemetry::EventTracer *T = Translator.tracer())
+    T->record(Interp.instructionCount(),
+              telemetry::TraceEventKind::InterpreterFallback);
   uint64_t GuestPC = rollbackTo(Checkpoints.size());
   // Abandon translation: run the guest pages directly. Translated calls
   // pushed *guest* return addresses, so the guest stack is directly
@@ -125,8 +140,14 @@ void RecoveryManager::enterInterpreterFallback() {
 }
 
 void RecoveryManager::recover(uint64_t SiteKey) {
+  telemetry::PhaseProfiler::Scope Timer(Translator.profiler(),
+                                        telemetry::Phase::Recover);
   ++TotalRollbacks;
   ++Report.NumRollbacks;
+  RollbackCounter.inc();
+  if (telemetry::EventTracer *T = Translator.tracer())
+    T->record(Interp.instructionCount(), telemetry::TraceEventKind::Rollback,
+              nullptr, SiteKey, TotalRollbacks);
   if (TotalRollbacks > Config.MaxTotalRollbacks) {
     enterInterpreterFallback();
     return;
@@ -139,6 +160,7 @@ void RecoveryManager::recover(uint64_t SiteKey) {
     // checkpoint is what keeps bringing us back here.
     Translator.degradeToConservative();
     Report.Degraded = true;
+    DegradeCounter.inc();
     SiteRollbacks.clear();
     rollbackTo(Checkpoints.size());
     return;
@@ -201,6 +223,13 @@ RecoveryReport RecoveryManager::run(uint64_t MaxInsns) {
 
     if (Stop.Kind == StopKind::Trapped) {
       uint64_t GuestPC = Translator.guestPCFor(Stop.PC);
+      Translator.metrics()
+          .counter(std::string("trap.") + getTrapKindName(Stop.Trap))
+          .inc();
+      if (telemetry::EventTracer *T = Translator.tracer())
+        T->record(Interp.instructionCount(),
+                  telemetry::TraceEventKind::TrapRaised,
+                  getTrapKindName(Stop.Trap), GuestPC);
       if (Report.FirstDetection.empty())
         Report.FirstDetection =
             formatTrapDiagnostic(Stop, Interp.state(), GuestPC);
@@ -214,7 +243,12 @@ RecoveryReport RecoveryManager::run(uint64_t MaxInsns) {
     if (WatchdogOn &&
         Interp.instructionCount() - LastCheck > Config.WatchdogBound) {
       ++Report.NumWatchdogFires;
+      WatchdogCounter.inc();
       uint64_t GuestPC = Translator.guestPCFor(Interp.state().PC);
+      if (telemetry::EventTracer *T = Translator.tracer())
+        T->record(Interp.instructionCount(),
+                  telemetry::TraceEventKind::WatchdogFire, nullptr, GuestPC,
+                  Interp.instructionCount() - LastCheck);
       if (Report.FirstDetection.empty())
         Report.FirstDetection = formatString(
             "watchdog: %llu instructions since last signature check, "

@@ -146,6 +146,15 @@ private:
   RecoveryConfig Config;
   RecoveryReport Report;
 
+  // Registry-backed counters (the translator's registry), cached once.
+  // The per-run RecoveryReport fields are kept alongside: the report is
+  // this run's result object, the registry the cumulative telemetry.
+  telemetry::Counter &CkptCounter;
+  telemetry::Counter &RollbackCounter;
+  telemetry::Counter &WatchdogCounter;
+  telemetry::Counter &DegradeCounter;
+  telemetry::Counter &FallbackCounter;
+
   std::deque<Checkpoint> Checkpoints;
   std::unordered_map<uint64_t, unsigned> SiteRollbacks;
   unsigned TotalRollbacks = 0;

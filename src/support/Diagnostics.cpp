@@ -23,6 +23,19 @@ void cfed::reportFatalErrorf(const char *Fmt, ...) {
   std::abort();
 }
 
+void cfed::reportNote(const std::string &Message) {
+  std::fprintf(stderr, "[cfed] %s\n", Message.c_str());
+}
+
+void cfed::reportNotef(const char *Fmt, ...) {
+  std::fprintf(stderr, "[cfed] ");
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vfprintf(stderr, Fmt, Args);
+  va_end(Args);
+  std::fprintf(stderr, "\n");
+}
+
 void cfed::unreachableInternal(const char *Message, const char *File,
                                unsigned Line) {
   std::fprintf(stderr, "cfed unreachable at %s:%u: %s\n", File, Line, Message);

@@ -34,6 +34,14 @@ namespace cfed {
 [[noreturn]] void unreachableInternal(const char *Message, const char *File,
                                       unsigned Line);
 
+/// Prints an informational "[cfed] ..." line to stderr. The single
+/// routing point for tool status output (final stats reports, stop
+/// summaries), keeping diagnostics off stdout where tools emit data.
+void reportNote(const std::string &Message);
+
+/// printf-style variant of reportNote.
+void reportNotef(const char *Fmt, ...) __attribute__((format(printf, 1, 2)));
+
 } // namespace cfed
 
 #define cfed_unreachable(MSG)                                                  \

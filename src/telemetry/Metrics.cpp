@@ -1,0 +1,266 @@
+//===- Metrics.cpp - Named counters, gauges, and histograms ----------------===//
+
+#include "telemetry/Metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace cfed;
+using namespace cfed::telemetry;
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+Histogram::Histogram(std::vector<uint64_t> UpperBounds)
+    : Bounds(std::move(UpperBounds)), Buckets(Bounds.size() + 1) {
+  std::sort(Bounds.begin(), Bounds.end());
+  Bounds.erase(std::unique(Bounds.begin(), Bounds.end()), Bounds.end());
+  if (Buckets.size() != Bounds.size() + 1) {
+    std::vector<std::atomic<uint64_t>> Fixed(Bounds.size() + 1);
+    Buckets.swap(Fixed);
+  }
+}
+
+void Histogram::observe(uint64_t Sample) {
+  size_t Index =
+      std::lower_bound(Bounds.begin(), Bounds.end(), Sample) - Bounds.begin();
+  Buckets[Index].fetch_add(1, std::memory_order_relaxed);
+  Count.fetch_add(1, std::memory_order_relaxed);
+  Sum.fetch_add(Sample, std::memory_order_relaxed);
+}
+
+void Histogram::add(const std::vector<uint64_t> &OtherBuckets,
+                    uint64_t OtherCount, uint64_t OtherSum) {
+  size_t N = std::min(OtherBuckets.size(), Buckets.size());
+  for (size_t I = 0; I < N; ++I)
+    Buckets[I].fetch_add(OtherBuckets[I], std::memory_order_relaxed);
+  // Shape mismatch (different bounds): fold the tail into the overflow
+  // bucket so Count stays consistent with the bucket total.
+  for (size_t I = N; I < OtherBuckets.size(); ++I)
+    Buckets.back().fetch_add(OtherBuckets[I], std::memory_order_relaxed);
+  Count.fetch_add(OtherCount, std::memory_order_relaxed);
+  Sum.fetch_add(OtherSum, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::bucketCounts() const {
+  std::vector<uint64_t> Out(Buckets.size());
+  for (size_t I = 0; I < Buckets.size(); ++I)
+    Out[I] = Buckets[I].load(std::memory_order_relaxed);
+  return Out;
+}
+
+void Histogram::reset() {
+  for (auto &B : Buckets)
+    B.store(0, std::memory_order_relaxed);
+  Count.store(0, std::memory_order_relaxed);
+  Sum.store(0, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// RegistrySnapshot
+//===----------------------------------------------------------------------===//
+
+uint64_t RegistrySnapshot::counterOr(const std::string &Name,
+                                     uint64_t Default) const {
+  for (const auto &[N, V] : Counters)
+    if (N == Name)
+      return V;
+  return Default;
+}
+
+double RegistrySnapshot::gaugeOr(const std::string &Name,
+                                 double Default) const {
+  for (const auto &[N, V] : Gauges)
+    if (N == Name)
+      return V;
+  return Default;
+}
+
+namespace {
+
+void appendJsonString(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    if (C == '"' || C == '\\') {
+      Out += '\\';
+      Out += C;
+    } else if (static_cast<unsigned char>(C) < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+      Out += Buf;
+    } else {
+      Out += C;
+    }
+  }
+  Out += '"';
+}
+
+std::string formatDouble(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  return Buf;
+}
+
+} // namespace
+
+std::string RegistrySnapshot::toJson() const {
+  std::string Out = "{\"counters\":{";
+  bool First = true;
+  for (const auto &[Name, Value] : Counters) {
+    if (!First)
+      Out += ',';
+    First = false;
+    appendJsonString(Out, Name);
+    Out += ':';
+    Out += std::to_string(Value);
+  }
+  Out += "},\"gauges\":{";
+  First = true;
+  for (const auto &[Name, Value] : Gauges) {
+    if (!First)
+      Out += ',';
+    First = false;
+    appendJsonString(Out, Name);
+    Out += ':';
+    Out += formatDouble(Value);
+  }
+  Out += "},\"histograms\":{";
+  First = true;
+  for (const auto &[Name, H] : Histograms) {
+    if (!First)
+      Out += ',';
+    First = false;
+    appendJsonString(Out, Name);
+    Out += ":{\"bounds\":[";
+    for (size_t I = 0; I < H.Bounds.size(); ++I) {
+      if (I)
+        Out += ',';
+      Out += std::to_string(H.Bounds[I]);
+    }
+    Out += "],\"buckets\":[";
+    for (size_t I = 0; I < H.Buckets.size(); ++I) {
+      if (I)
+        Out += ',';
+      Out += std::to_string(H.Buckets[I]);
+    }
+    Out += "],\"count\":";
+    Out += std::to_string(H.Count);
+    Out += ",\"sum\":";
+    Out += std::to_string(H.Sum);
+    Out += '}';
+  }
+  Out += "}}";
+  return Out;
+}
+
+std::string RegistrySnapshot::toCsv() const {
+  std::string Out = "kind,name,value\n";
+  for (const auto &[Name, Value] : Counters)
+    Out += "counter," + Name + ',' + std::to_string(Value) + '\n';
+  for (const auto &[Name, Value] : Gauges)
+    Out += "gauge," + Name + ',' + formatDouble(Value) + '\n';
+  for (const auto &[Name, H] : Histograms)
+    Out += "histogram," + Name + ',' + std::to_string(H.Count) + '\n';
+  return Out;
+}
+
+std::string RegistrySnapshot::toText() const {
+  size_t Width = 0;
+  for (const auto &[Name, Value] : Counters)
+    Width = std::max(Width, Name.size());
+  for (const auto &[Name, Value] : Gauges)
+    Width = std::max(Width, Name.size());
+  for (const auto &[Name, H] : Histograms)
+    Width = std::max(Width, Name.size());
+
+  std::string Out;
+  for (const auto &[Name, Value] : Counters) {
+    Out += "  " + Name + std::string(Width - Name.size() + 2, ' ') +
+           std::to_string(Value) + '\n';
+  }
+  for (const auto &[Name, Value] : Gauges) {
+    Out += "  " + Name + std::string(Width - Name.size() + 2, ' ') +
+           formatDouble(Value) + '\n';
+  }
+  for (const auto &[Name, H] : Histograms) {
+    Out += "  " + Name + std::string(Width - Name.size() + 2, ' ') +
+           "count=" + std::to_string(H.Count) +
+           " sum=" + std::to_string(H.Sum) + '\n';
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsRegistry
+//===----------------------------------------------------------------------===//
+
+MetricsRegistry &MetricsRegistry::global() {
+  static MetricsRegistry Registry;
+  return Registry;
+}
+
+Counter &MetricsRegistry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto &Slot = Counters[Name];
+  if (!Slot)
+    Slot = std::make_unique<Counter>();
+  return *Slot;
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto &Slot = Gauges[Name];
+  if (!Slot)
+    Slot = std::make_unique<Gauge>();
+  return *Slot;
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &Name,
+                                      std::vector<uint64_t> UpperBounds) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto &Slot = Histograms[Name];
+  if (!Slot)
+    Slot = std::make_unique<Histogram>(std::move(UpperBounds));
+  return *Slot;
+}
+
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  RegistrySnapshot Snap;
+  Snap.Counters.reserve(Counters.size());
+  for (const auto &[Name, C] : Counters)
+    Snap.Counters.emplace_back(Name, C->value());
+  Snap.Gauges.reserve(Gauges.size());
+  for (const auto &[Name, G] : Gauges)
+    Snap.Gauges.emplace_back(Name, G->value());
+  Snap.Histograms.reserve(Histograms.size());
+  for (const auto &[Name, H] : Histograms) {
+    RegistrySnapshot::HistogramValue V;
+    V.Bounds = H->bounds();
+    V.Buckets = H->bucketCounts();
+    V.Count = H->count();
+    V.Sum = H->sum();
+    Snap.Histograms.emplace_back(Name, std::move(V));
+  }
+  return Snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto &[Name, C] : Counters)
+    C->reset();
+  for (auto &[Name, G] : Gauges)
+    G->reset();
+  for (auto &[Name, H] : Histograms)
+    H->reset();
+}
+
+void MetricsRegistry::merge(const RegistrySnapshot &Delta) {
+  for (const auto &[Name, Value] : Delta.Counters)
+    counter(Name).inc(Value);
+  for (const auto &[Name, Value] : Delta.Gauges)
+    gauge(Name).set(Value);
+  for (const auto &[Name, V] : Delta.Histograms)
+    histogram(Name, V.Bounds).add(V.Buckets, V.Count, V.Sum);
+}

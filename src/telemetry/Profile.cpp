@@ -1,0 +1,44 @@
+//===- Profile.cpp - Scoped phase profiling --------------------------------===//
+
+#include "telemetry/Profile.h"
+
+#include "telemetry/Metrics.h"
+
+#include <string>
+
+using namespace cfed;
+using namespace cfed::telemetry;
+
+const char *cfed::telemetry::getPhaseName(Phase P) {
+  switch (P) {
+  case Phase::Translate:
+    return "translate";
+  case Phase::Execute:
+    return "execute";
+  case Phase::Check:
+    return "check";
+  case Phase::Recover:
+    return "recover";
+  case Phase::Wall:
+    return "wall";
+  }
+  return "?";
+}
+
+void PhaseProfiler::reset() {
+  for (unsigned I = 0; I < NumPhases; ++I) {
+    Accum[I].store(0, std::memory_order_relaxed);
+    Calls[I].store(0, std::memory_order_relaxed);
+  }
+}
+
+void PhaseProfiler::publishTo(MetricsRegistry &Registry) const {
+  for (unsigned I = 0; I < NumPhases; ++I) {
+    Phase P = static_cast<Phase>(I);
+    if (callCount(P) == 0)
+      continue;
+    std::string Prefix = std::string("profile.") + getPhaseName(P);
+    Registry.gauge(Prefix + ".ns").set(static_cast<double>(totalNs(P)));
+    Registry.gauge(Prefix + ".calls").set(static_cast<double>(callCount(P)));
+  }
+}

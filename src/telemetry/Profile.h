@@ -1,0 +1,92 @@
+//===- Profile.h - Scoped phase profiling -----------------------*- C++ -*-===//
+//
+// Part of the CFED project (CGO'06 control-flow error detection repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock accounting by pipeline phase. Subsystems open an RAII
+/// Scope around translate/execute/check/recover regions; accumulated
+/// nanoseconds are published into a MetricsRegistry as gauges, which
+/// is what bench/ consumes instead of private stopwatches.
+///
+/// Scopes tolerate a null profiler (zero work), so instrumented code
+/// needs no branches of its own around profiling being detached.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFED_TELEMETRY_PROFILE_H
+#define CFED_TELEMETRY_PROFILE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace cfed {
+namespace telemetry {
+
+class MetricsRegistry;
+
+enum class Phase : uint8_t {
+  Translate, ///< Guest decode + instrumentation + cache emission.
+  Execute,   ///< Running translated code (encloses nested phases).
+  Check,     ///< Signature checking outside generated code.
+  Recover,   ///< Checkpoint/rollback machinery.
+  Wall       ///< Whole-run wall clock (bench harnesses).
+};
+
+inline constexpr unsigned NumPhases = 5;
+
+const char *getPhaseName(Phase P);
+
+/// Accumulates per-phase wall time and entry counts. Thread-safe
+/// accumulation (relaxed atomics); typical use is single-threaded.
+class PhaseProfiler {
+public:
+  void add(Phase P, uint64_t Ns) {
+    Accum[static_cast<size_t>(P)].fetch_add(Ns, std::memory_order_relaxed);
+    Calls[static_cast<size_t>(P)].fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t totalNs(Phase P) const {
+    return Accum[static_cast<size_t>(P)].load(std::memory_order_relaxed);
+  }
+  uint64_t callCount(Phase P) const {
+    return Calls[static_cast<size_t>(P)].load(std::memory_order_relaxed);
+  }
+  void reset();
+
+  /// Writes gauges "profile.<phase>.ns" and "profile.<phase>.calls"
+  /// for every phase with at least one entry.
+  void publishTo(MetricsRegistry &Registry) const;
+
+  /// RAII timer charging its phase on destruction. Null profiler: no-op.
+  class Scope {
+  public:
+    Scope(PhaseProfiler *Prof, Phase P) : Prof(Prof), P(P) {
+      if (Prof)
+        Start = std::chrono::steady_clock::now();
+    }
+    ~Scope() {
+      if (Prof)
+        Prof->add(P, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - Start)
+                         .count());
+    }
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    PhaseProfiler *Prof;
+    Phase P;
+    std::chrono::steady_clock::time_point Start;
+  };
+
+private:
+  std::atomic<uint64_t> Accum[NumPhases]{};
+  std::atomic<uint64_t> Calls[NumPhases]{};
+};
+
+} // namespace telemetry
+} // namespace cfed
+
+#endif // CFED_TELEMETRY_PROFILE_H

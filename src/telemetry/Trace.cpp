@@ -1,0 +1,127 @@
+//===- Trace.cpp - Structured event tracing --------------------------------===//
+
+#include "telemetry/Trace.h"
+
+#include <cstdio>
+
+using namespace cfed;
+using namespace cfed::telemetry;
+
+const char *cfed::telemetry::getTraceEventName(TraceEventKind Kind) {
+  switch (Kind) {
+  case TraceEventKind::BlockTranslated:
+    return "block-translated";
+  case TraceEventKind::BlockChained:
+    return "block-chained";
+  case TraceEventKind::CacheFlush:
+    return "cache-flush";
+  case TraceEventKind::TrapRaised:
+    return "trap-raised";
+  case TraceEventKind::CheckpointTaken:
+    return "checkpoint-taken";
+  case TraceEventKind::Rollback:
+    return "rollback";
+  case TraceEventKind::WatchdogFire:
+    return "watchdog-fire";
+  case TraceEventKind::DegradationStep:
+    return "degradation-step";
+  case TraceEventKind::InterpreterFallback:
+    return "interpreter-fallback";
+  case TraceEventKind::CampaignInjection:
+    return "campaign-injection";
+  }
+  return "?";
+}
+
+EventTracer::EventTracer(size_t Capacity) : Cap(Capacity ? Capacity : 1) {
+  Buf.resize(Cap);
+}
+
+void EventTracer::record(uint64_t Ts, TraceEventKind Kind,
+                         const char *Category, uint64_t Addr, uint64_t Arg) {
+  TraceEvent &Slot = Buf[Total % Cap];
+  Slot.Ts = Ts;
+  Slot.Kind = Kind;
+  Slot.Category = Category;
+  Slot.Addr = Addr;
+  Slot.Arg = Arg;
+  ++Total;
+}
+
+std::vector<TraceEvent> EventTracer::events() const {
+  std::vector<TraceEvent> Out;
+  size_t N = size();
+  Out.reserve(N);
+  size_t Start = Total < Cap ? 0 : Total % Cap;
+  for (size_t I = 0; I < N; ++I)
+    Out.push_back(Buf[(Start + I) % Cap]);
+  return Out;
+}
+
+std::string EventTracer::renderText() const {
+  std::string Out;
+  char Line[160];
+  for (const TraceEvent &E : events()) {
+    std::snprintf(Line, sizeof(Line), "ts=%llu %s addr=0x%llx",
+                  static_cast<unsigned long long>(E.Ts),
+                  getTraceEventName(E.Kind),
+                  static_cast<unsigned long long>(E.Addr));
+    Out += Line;
+    if (E.Category) {
+      Out += " cat=";
+      Out += E.Category;
+    }
+    if (E.Arg) {
+      std::snprintf(Line, sizeof(Line), " arg=%llu",
+                    static_cast<unsigned long long>(E.Arg));
+      Out += Line;
+    }
+    Out += '\n';
+  }
+  if (uint64_t D = dropped()) {
+    std::snprintf(Line, sizeof(Line), "(%llu earlier events dropped)\n",
+                  static_cast<unsigned long long>(D));
+    Out += Line;
+  }
+  return Out;
+}
+
+std::string EventTracer::renderChromeJson() const {
+  // Instant events; ts is the guest instruction count, which the viewer
+  // displays as microseconds — deterministic and monotonic, which is
+  // what matters for ordering.
+  std::string Out = "{\"traceEvents\":[";
+  char Buf[256];
+  bool First = true;
+  for (const TraceEvent &E : events()) {
+    if (!First)
+      Out += ",\n";
+    First = false;
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%llu,\"pid\":1,"
+                  "\"tid\":1,\"s\":\"g\",\"args\":{\"addr\":\"0x%llx\"",
+                  getTraceEventName(E.Kind),
+                  static_cast<unsigned long long>(E.Ts),
+                  static_cast<unsigned long long>(E.Addr));
+    Out += Buf;
+    if (E.Category) {
+      Out += ",\"cat\":\"";
+      Out += E.Category; // Category names are static identifiers.
+      Out += '"';
+    }
+    if (E.Arg) {
+      std::snprintf(Buf, sizeof(Buf), ",\"arg\":%llu",
+                    static_cast<unsigned long long>(E.Arg));
+      Out += Buf;
+    }
+    Out += "}}";
+  }
+  Out += "],\"displayTimeUnit\":\"ms\"";
+  if (uint64_t D = dropped()) {
+    std::snprintf(Buf, sizeof(Buf), ",\"droppedEvents\":%llu",
+                  static_cast<unsigned long long>(D));
+    Out += Buf;
+  }
+  Out += "}";
+  return Out;
+}

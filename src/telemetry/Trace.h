@@ -1,0 +1,91 @@
+//===- Trace.h - Structured event tracing -----------------------*- C++ -*-===//
+//
+// Part of the CFED project (CGO'06 control-flow error detection repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded ring buffer of typed trace records. Subsystems append
+/// events (block translated, block chained, trap raised, checkpoint,
+/// rollback, degradation step, ...) timestamped with the guest
+/// instruction count, which keeps traces deterministic across runs.
+/// The buffer can be rendered as plain text or as Chrome
+/// `trace_event` JSON loadable in about://tracing / Perfetto.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFED_TELEMETRY_TRACE_H
+#define CFED_TELEMETRY_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cfed {
+namespace telemetry {
+
+enum class TraceEventKind : uint8_t {
+  BlockTranslated,     ///< A guest block was translated into the cache.
+  BlockChained,        ///< A trampoline exit was patched to a direct jump.
+  CacheFlush,          ///< The code cache was invalidated.
+  TrapRaised,          ///< A detection fired (Category carries A-F).
+  CheckpointTaken,     ///< Recovery saved a safe-point checkpoint.
+  Rollback,            ///< Recovery restored a checkpoint.
+  WatchdogFire,        ///< The errant-flow watchdog expired.
+  DegradationStep,     ///< The degradation ladder advanced a rung.
+  InterpreterFallback, ///< Translation abandoned; interpreting guest code.
+  CampaignInjection    ///< A fault-campaign injection completed.
+};
+
+/// Stable lowercase names used in both sinks.
+const char *getTraceEventName(TraceEventKind Kind);
+
+struct TraceEvent {
+  uint64_t Ts = 0; ///< Guest instructions executed when recorded.
+  TraceEventKind Kind = TraceEventKind::BlockTranslated;
+  /// Kind-specific tag: branch-error category name for TrapRaised,
+  /// outcome name for CampaignInjection, ladder rung for
+  /// DegradationStep. May be null.
+  const char *Category = nullptr;
+  uint64_t Addr = 0; ///< Guest address the event concerns (0 if none).
+  uint64_t Arg = 0;  ///< Kind-specific payload (size, depth, count...).
+
+  bool operator==(const TraceEvent &) const = default;
+};
+
+/// Fixed-capacity ring of TraceEvents. Oldest records are overwritten
+/// once the buffer is full; dropped() reports how many were lost.
+/// Single-threaded by design: each Dbt/campaign instance owns at most
+/// one tracer and records from its own thread only.
+class EventTracer {
+public:
+  explicit EventTracer(size_t Capacity);
+
+  void record(uint64_t Ts, TraceEventKind Kind, const char *Category = nullptr,
+              uint64_t Addr = 0, uint64_t Arg = 0);
+
+  /// Buffered events, oldest first.
+  std::vector<TraceEvent> events() const;
+  size_t size() const { return Total < Cap ? Total : Cap; }
+  size_t capacity() const { return Cap; }
+  /// Events overwritten because the ring was full.
+  uint64_t dropped() const { return Total < Cap ? 0 : Total - Cap; }
+  uint64_t totalRecorded() const { return Total; }
+  void clear() { Total = 0; }
+
+  /// One line per event: "ts=N kind addr=0x... [cat] [arg=N]".
+  std::string renderText() const;
+  /// Chrome trace_event JSON: {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  /// Events are instant events ("ph":"i") with ts in guest instructions.
+  std::string renderChromeJson() const;
+
+private:
+  size_t Cap;
+  uint64_t Total = 0;
+  std::vector<TraceEvent> Buf;
+};
+
+} // namespace telemetry
+} // namespace cfed
+
+#endif // CFED_TELEMETRY_TRACE_H

@@ -4,6 +4,7 @@
 
 #include "support/Diagnostics.h"
 #include "support/Format.h"
+#include "telemetry/Metrics.h"
 
 #include <cassert>
 #include <cmath>
@@ -35,6 +36,21 @@ const char *cfed::getTrapKindName(TrapKind Kind) {
   cfed_unreachable("covered switch");
 }
 
+const char *cfed::describeStop(const StopInfo &Stop) {
+  switch (Stop.Kind) {
+  case StopKind::Halted:
+    return "halted";
+  case StopKind::InsnLimit:
+    return "instruction limit reached";
+  case StopKind::Trapped:
+    return Stop.Trap == TrapKind::BreakTrap &&
+                   Stop.BreakCode == BrkControlFlowError
+               ? "control-flow error reported"
+               : getTrapKindName(Stop.Trap);
+  }
+  return "?";
+}
+
 uint64_t cfed::hashOutput(const std::string &Data) {
   uint64_t Hash = 0xcbf29ce484222325ULL;
   for (char Ch : Data) {
@@ -57,6 +73,17 @@ void Interpreter::restoreProgress(uint64_t NewInsns, uint64_t NewCycles,
   Insns = NewInsns;
   Cycles = NewCycles;
   OutputBuffer.resize(OutputLen);
+}
+
+void Interpreter::publishMetrics(telemetry::MetricsRegistry &Registry) const {
+  Registry.gauge("interp.insns").set(static_cast<double>(Insns));
+  Registry.gauge("interp.cycles").set(static_cast<double>(Cycles));
+  double Hits = static_cast<double>(Mem.predecodeHitCount());
+  double Misses = static_cast<double>(Mem.predecodeMissCount());
+  Registry.gauge("vm.predecode_hits").set(Hits);
+  Registry.gauge("vm.predecode_misses").set(Misses);
+  if (Hits + Misses > 0)
+    Registry.gauge("vm.predecode_hit_rate").set(Hits / (Hits + Misses));
 }
 
 std::string cfed::formatTrapDiagnostic(const StopInfo &Stop,

@@ -65,6 +65,15 @@ const char *getTrapKindName(TrapKind Kind);
 struct CpuState;
 struct StopInfo;
 
+namespace telemetry {
+class MetricsRegistry;
+} // namespace telemetry
+
+/// Short human-readable phrase for why a run stopped ("halted",
+/// "instruction limit reached", "control-flow error reported", or the
+/// trap kind name). The single stop-description used by all tools.
+const char *describeStop(const StopInfo &Stop);
+
 /// Formats a one-line structured diagnostic for a stopped run: stop/trap
 /// kind, guest PC, faulting address, break code, and the live values of
 /// the reserved signature registers (pcp/rts/aux/aux2) the checkers key
@@ -187,6 +196,13 @@ public:
   /// state and memory are restored separately by the caller.
   void restoreProgress(uint64_t NewInsns, uint64_t NewCycles,
                        size_t OutputLen);
+
+  /// Publishes the per-instruction counters (instructions, cycles, and
+  /// the memory predecode-cache hit statistics) into \p Registry as
+  /// gauges. The hot dispatch loop keeps plain fields and publishes only
+  /// at synchronization points like this one, per the overhead policy in
+  /// DESIGN.md §8.
+  void publishMetrics(telemetry::MetricsRegistry &Registry) const;
 
 private:
   Memory &Mem;

@@ -578,3 +578,75 @@ TEST(DbtTest, DegradeAfterFlushRetranslatesAndCompletes) {
   EXPECT_EQ(Stop.Kind, StopKind::Halted) << getTrapKindName(Stop.Trap);
   EXPECT_EQ(Interp.output(), NativeOut);
 }
+
+TEST(DbtTest, RegistryCountersMatchRunBehavior) {
+  // A caller-supplied registry receives the DBT's counters under their
+  // well-known names, agreeing with the accessors and with an attached
+  // tracer's event stream.
+  AsmProgram Program = assembleOk(KitchenSink);
+  telemetry::MetricsRegistry Registry;
+  telemetry::EventTracer Tracer(1024);
+  Memory Mem;
+  Interpreter Interp(Mem);
+  Dbt Translator(Mem, DbtConfig{}, &Registry);
+  Translator.setTracer(&Tracer);
+  ASSERT_TRUE(Translator.load(Program, Interp.state()));
+  StopInfo Stop = Translator.run(Interp, 2000000);
+  ASSERT_EQ(Stop.Kind, StopKind::Halted) << getTrapKindName(Stop.Trap);
+
+  telemetry::RegistrySnapshot Snap = Registry.snapshot();
+  EXPECT_GT(Snap.counterOr("dbt.translations"), 0u);
+  EXPECT_EQ(Snap.counterOr("dbt.translations"),
+            Translator.translationCount());
+  EXPECT_EQ(Snap.counterOr("dbt.dispatches"), Translator.dispatchCount());
+  EXPECT_GT(Snap.counterOr("dbt.chains"), 0u);
+  EXPECT_EQ(Snap.counterOr("dbt.chains"), Translator.chainCount());
+  EXPECT_EQ(Snap.counterOr("dbt.flushes"), 0u);
+
+  // The tracer saw exactly one block-translated event per translation
+  // and one block-chained event per patched exit.
+  uint64_t Translated = 0, Chained = 0;
+  for (const telemetry::TraceEvent &E : Tracer.events()) {
+    if (E.Kind == telemetry::TraceEventKind::BlockTranslated)
+      ++Translated;
+    if (E.Kind == telemetry::TraceEventKind::BlockChained)
+      ++Chained;
+  }
+  EXPECT_EQ(Translated, Translator.translationCount());
+  EXPECT_EQ(Chained, Translator.chainCount());
+}
+
+TEST(DbtTest, RegistryCountsFlushes) {
+  // Same self-modifying program as FlushClearsIbtcAndPredecode: the one
+  // SMC flush must show up as dbt.flushes == 1 in the shared registry.
+  AsmProgram Program = assembleOk(R"(
+.entry main
+main:
+  movi r6, helper
+  callr r6
+  movi r1, patch
+  movi r2, 99
+  stb [r1+4], r2
+  movi r6, helper
+  callr r6
+patch:
+  movi r3, 7
+  out r3
+  halt
+helper:
+  ret
+)");
+  telemetry::MetricsRegistry Registry;
+  Memory Mem;
+  Interpreter Interp(Mem);
+  Dbt Translator(Mem, DbtConfig{}, &Registry);
+  ASSERT_TRUE(Translator.load(Program, Interp.state()));
+  StopInfo Stop = Translator.run(Interp, 2000000);
+  ASSERT_EQ(Stop.Kind, StopKind::Halted) << getTrapKindName(Stop.Trap);
+  ASSERT_EQ(Interp.output(), "99\n");
+
+  telemetry::RegistrySnapshot Snap = Registry.snapshot();
+  EXPECT_EQ(Snap.counterOr("dbt.flushes"), 1u);
+  EXPECT_EQ(Snap.counterOr("dbt.ibtc_misses"), Translator.ibtcMissCount());
+  EXPECT_GT(Snap.counterOr("dbt.ibtc_misses"), 0u);
+}

@@ -247,4 +247,38 @@ TEST(CampaignTest, ParallelRunMatchesSerial) {
   // Rerunning with the same seed and yet another job count stays stable.
   CampaignResult Again = Campaign.run(30, 77, SiteClass::Any, 3);
   EXPECT_TRUE(Serial == Again);
+
+  // Tallies flow through the campaign's metrics registry; the three
+  // identical runs merged to exactly three times one run's counts, and
+  // the result round-trips from the cumulative snapshot.
+  telemetry::RegistrySnapshot Snap = Campaign.metrics().snapshot();
+  EXPECT_EQ(Snap.counterOr("fault.injections"), 3 * Serial.Injections);
+  CampaignResult Cumulative = campaignResultFromSnapshot(Snap);
+  EXPECT_EQ(Cumulative.Injections, 3 * Serial.Injections);
+  EXPECT_EQ(Cumulative.totals().total(), 3 * Serial.totals().total());
+}
+
+TEST(CampaignTest, MetricsRegistryIsJobsInvariant) {
+  // Two fresh campaigns over the same program and seed, differing only
+  // in job count, must leave byte-identical registry snapshots: the
+  // parallel path tallies through the same serial merge.
+  RandomProgramOptions Options;
+  Options.Seed = 19;
+  AsmResult R = assembleProgram(generateRandomProgram(Options));
+  ASSERT_TRUE(R.succeeded());
+  DbtConfig Config;
+  Config.Tech = Technique::EdgCf;
+
+  FaultCampaign SerialCampaign(R.Program, Config);
+  ASSERT_TRUE(SerialCampaign.prepare(10000000));
+  CampaignResult Serial = SerialCampaign.run(30, 77, SiteClass::Any, 1);
+
+  FaultCampaign ParallelCampaign(R.Program, Config);
+  ASSERT_TRUE(ParallelCampaign.prepare(10000000));
+  CampaignResult Parallel = ParallelCampaign.run(30, 77, SiteClass::Any, 4);
+
+  EXPECT_GT(Serial.Injections, 0u);
+  EXPECT_TRUE(Serial == Parallel);
+  EXPECT_TRUE(SerialCampaign.metrics().snapshot() ==
+              ParallelCampaign.metrics().snapshot());
 }

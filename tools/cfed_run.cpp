@@ -26,7 +26,11 @@
 //   --disasm             print the guest disassembly and exit
 //   --dump-cfg           print the guest CFG as Graphviz DOT and exit
 //   --dump-cache         print the translated code cache after the run
-//   --stats              print run statistics
+//   --stats[=json|csv]   emit the telemetry-registry snapshot: human text
+//                        on stderr (default), or JSON / CSV on stdout
+//   --trace=<file>       write the structured event trace as Chrome
+//                        trace_event JSON (open in about://tracing)
+//   --trace-buffer=<n>   event ring-buffer capacity (default 65536)
 //
 // The positional argument is a path to a VISA assembly file, or the
 // name of a built-in workload (e.g. 181.mcf).
@@ -38,8 +42,12 @@
 #include "fault/Campaign.h"
 #include "isa/Disasm.h"
 #include "recovery/Recovery.h"
+#include "support/Diagnostics.h"
 #include "support/Format.h"
 #include "support/Table.h"
+#include "telemetry/Metrics.h"
+#include "telemetry/Profile.h"
+#include "telemetry/Trace.h"
 #include "vm/Layout.h"
 #include "vm/Loader.h"
 #include "workloads/Workloads.h"
@@ -48,12 +56,15 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 using namespace cfed;
 
 namespace {
+
+enum class StatsMode : uint8_t { Off, Text, Json, Csv };
 
 struct Options {
   bool Native = false;
@@ -66,7 +77,9 @@ struct Options {
   bool Disasm = false;
   bool DumpCfg = false;
   bool DumpCache = false;
-  bool Stats = false;
+  StatsMode Stats = StatsMode::Off;
+  std::string TraceFile;
+  uint64_t TraceBuffer = 65536;
   std::string Input;
 };
 
@@ -78,8 +91,9 @@ int usage() {
                "[--ckpt-interval=N]\n"
                "                [--inject=N] [--seed=N] "
                "[--disasm] [--dump-cfg]\n"
-               "                [--dump-cache] [--stats] "
-               "<file.s | workload>\n");
+               "                [--dump-cache] [--stats[=json|csv]] "
+               "[--trace=FILE] [--trace-buffer=N]\n"
+               "                <file.s | workload>\n");
   return 2;
 }
 
@@ -160,7 +174,15 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
     else if (Arg == "--dump-cache")
       Opts.DumpCache = true;
     else if (Arg == "--stats")
-      Opts.Stats = true;
+      Opts.Stats = StatsMode::Text;
+    else if (Arg == "--stats=json")
+      Opts.Stats = StatsMode::Json;
+    else if (Arg == "--stats=csv")
+      Opts.Stats = StatsMode::Csv;
+    else if (Arg.rfind("--trace=", 0) == 0)
+      Opts.TraceFile = Value();
+    else if (Arg.rfind("--trace-buffer=", 0) == 0)
+      Opts.TraceBuffer = std::strtoull(Value().c_str(), nullptr, 0);
     else if (Arg.rfind("--", 0) == 0)
       return false;
     else if (Opts.Input.empty())
@@ -187,22 +209,84 @@ bool loadSource(const std::string &Input, std::string &Source) {
   return true;
 }
 
-const char *describeStop(const StopInfo &Stop) {
-  switch (Stop.Kind) {
-  case StopKind::Halted:
-    return "halted";
-  case StopKind::InsnLimit:
-    return "instruction limit reached";
-  case StopKind::Trapped:
-    return Stop.Trap == TrapKind::BreakTrap &&
-                   Stop.BreakCode == BrkControlFlowError
-               ? "control-flow error reported"
-               : getTrapKindName(Stop.Trap);
-  }
-  return "?";
+/// Pre-registers the counters every stats report must contain even when
+/// they stayed zero, so consumers can rely on the keys being present.
+void registerWellKnownKeys(telemetry::MetricsRegistry &Registry) {
+  for (const char *Key :
+       {"dbt.translations", "dbt.dispatches", "dbt.chains", "dbt.ibtc_hits",
+        "dbt.ibtc_misses", "dbt.flushes", "recovery.checkpoints",
+        "recovery.rollbacks"})
+    Registry.counter(Key);
+  for (unsigned C = 0; C + 1 < NumBranchErrorCategories; ++C)
+    Registry.counter(std::string("trap.category_") +
+                     getCategoryName(static_cast<BranchErrorCategory>(C)));
 }
 
-int runCampaign(const AsmProgram &Program, const Options &Opts) {
+/// Publishes derived gauges and prints the registry snapshot in the
+/// requested mode: machine formats on stdout, text through Diagnostics.
+void emitStats(const Options &Opts, telemetry::MetricsRegistry &Registry) {
+  if (Opts.Stats == StatsMode::Off)
+    return;
+  telemetry::RegistrySnapshot Snap = Registry.snapshot();
+  uint64_t Hits = Snap.counterOr("dbt.ibtc_hits");
+  uint64_t Misses = Snap.counterOr("dbt.ibtc_misses");
+  if (Hits + Misses > 0) {
+    Registry.gauge("dbt.ibtc_hit_rate")
+        .set(static_cast<double>(Hits) / static_cast<double>(Hits + Misses));
+    Snap = Registry.snapshot();
+  }
+  switch (Opts.Stats) {
+  case StatsMode::Json:
+    std::printf("%s\n", Snap.toJson().c_str());
+    break;
+  case StatsMode::Csv:
+    std::printf("%s", Snap.toCsv().c_str());
+    break;
+  case StatsMode::Text: {
+    reportNote("run statistics:");
+    std::string Text = Snap.toText();
+    size_t Pos = 0;
+    while (Pos < Text.size()) {
+      size_t End = Text.find('\n', Pos);
+      reportNote(Text.substr(Pos, End - Pos));
+      Pos = End == std::string::npos ? Text.size() : End + 1;
+    }
+    break;
+  }
+  case StatsMode::Off:
+    break;
+  }
+}
+
+/// Writes the event ring as Chrome trace_event JSON.
+void writeTrace(const Options &Opts, const telemetry::EventTracer *Tracer) {
+  if (!Tracer || Opts.TraceFile.empty())
+    return;
+  std::ofstream File(Opts.TraceFile);
+  if (!File) {
+    std::fprintf(stderr, "error: cannot write trace file '%s'\n",
+                 Opts.TraceFile.c_str());
+    return;
+  }
+  File << Tracer->renderChromeJson() << '\n';
+  reportNotef("trace: %llu events written to %s (%llu dropped)",
+              static_cast<unsigned long long>(Tracer->size()),
+              Opts.TraceFile.c_str(),
+              static_cast<unsigned long long>(Tracer->dropped()));
+}
+
+/// Per-category trap counter for detected campaign outcomes.
+void countDetection(telemetry::MetricsRegistry &Registry,
+                    BranchErrorCategory Cat, uint64_t N = 1) {
+  if (Cat == BranchErrorCategory::NoError || N == 0)
+    return;
+  Registry.counter(std::string("trap.category_") + getCategoryName(Cat))
+      .inc(N);
+}
+
+int runCampaign(const AsmProgram &Program, const Options &Opts,
+                telemetry::MetricsRegistry &Registry,
+                telemetry::EventTracer *Tracer) {
   FaultCampaign Campaign(Program, Opts.Config);
   if (!Campaign.prepare(Opts.MaxInsns)) {
     std::fprintf(stderr, "error: golden run failed (program must halt "
@@ -215,9 +299,40 @@ int runCampaign(const AsmProgram &Program, const Options &Opts) {
               (unsigned long long)Campaign.branchExecutions(SiteClass::Any),
               (unsigned long long)Campaign.goldenHash());
   if (Opts.Recover) {
-    CampaignResult Result = Campaign.runWithRecovery(
-        Opts.Injections, Opts.Seed, SiteClass::Any, Opts.Recovery);
-    OutcomeCounts Totals = Result.totals();
+    OutcomeCounts Totals;
+    auto Faults =
+        Campaign.plan(Opts.Injections * 4, Opts.Seed, SiteClass::Any);
+    uint64_t Done = 0;
+    uint64_t Ckpts = 0, Rollbacks = 0, Watchdogs = 0;
+    for (const PlannedFault &Fault : Faults) {
+      if (Fault.Category == BranchErrorCategory::NoError)
+        continue;
+      if (Done++ >= Opts.Injections)
+        break;
+      FaultCampaign::RecoveryInjection Inj =
+          Campaign.injectWithRecovery(Fault, Opts.Recovery);
+      Totals.add(Inj.Result);
+      Registry.counter(getOutcomeCounterName(Fault.Category, Inj.Result))
+          .inc();
+      Registry.counter("fault.injections").inc();
+      // Recovered and RecoveryFailed runs went through a detection
+      // before rolling back; count them toward the category's traps.
+      if (Inj.Result == Outcome::DetectedSignature ||
+          Inj.Result == Outcome::DetectedHardware ||
+          Inj.Result == Outcome::Recovered ||
+          Inj.Result == Outcome::RecoveryFailed)
+        countDetection(Registry, Fault.Category);
+      Ckpts += Inj.Recovery.NumCheckpoints;
+      Rollbacks += Inj.Recovery.NumRollbacks;
+      Watchdogs += Inj.Recovery.NumWatchdogFires;
+      if (Tracer)
+        Tracer->record(Done, telemetry::TraceEventKind::CampaignInjection,
+                       getOutcomeName(Inj.Result), Fault.SiteAddr,
+                       Inj.Recovery.NumRollbacks);
+    }
+    Registry.counter("recovery.checkpoints").inc(Ckpts);
+    Registry.counter("recovery.rollbacks").inc(Rollbacks);
+    Registry.counter("recovery.watchdog_fires").inc(Watchdogs);
     Table T;
     T.setHeader({"outcome", "count"});
     T.addRow({"recovered", std::to_string(Totals.Recovered)});
@@ -226,6 +341,8 @@ int runCampaign(const AsmProgram &Program, const Options &Opts) {
     T.addRow({"silent data corruption", std::to_string(Totals.Sdc)});
     T.addRow({"timeout", std::to_string(Totals.Timeout)});
     std::printf("%s", T.render().c_str());
+    emitStats(Opts, Registry);
+    writeTrace(Opts, Tracer);
     return 0;
   }
   OutcomeCounts Totals;
@@ -240,6 +357,16 @@ int runCampaign(const AsmProgram &Program, const Options &Opts) {
       break;
     InjectionReport Report = Campaign.injectDetailed(Fault);
     Totals.add(Report.Result);
+    Registry.counter(getOutcomeCounterName(Fault.Category, Report.Result))
+        .inc();
+    Registry.counter("fault.injections").inc();
+    if (Report.Result == Outcome::DetectedSignature ||
+        Report.Result == Outcome::DetectedHardware)
+      countDetection(Registry, Fault.Category);
+    if (Tracer)
+      Tracer->record(Done, telemetry::TraceEventKind::CampaignInjection,
+                     getOutcomeName(Report.Result), Fault.SiteAddr,
+                     Report.LatencyInsns);
     if (Report.Result == Outcome::DetectedSignature)
       LatencySum += Report.LatencyInsns;
   }
@@ -254,6 +381,8 @@ int runCampaign(const AsmProgram &Program, const Options &Opts) {
   if (Totals.DetectedSig)
     std::printf("mean signature-detection latency: %llu insns\n",
                 (unsigned long long)(LatencySum / Totals.DetectedSig));
+  emitStats(Opts, Registry);
+  writeTrace(Opts, Tracer);
   return 0;
 }
 
@@ -291,20 +420,30 @@ int main(int Argc, char **Argv) {
     std::printf("%s", Graph.toDot().c_str());
     return 0;
   }
+
+  telemetry::MetricsRegistry &Registry = telemetry::MetricsRegistry::global();
+  registerWellKnownKeys(Registry);
+  std::unique_ptr<telemetry::EventTracer> Tracer;
+  if (!Opts.TraceFile.empty())
+    Tracer = std::make_unique<telemetry::EventTracer>(Opts.TraceBuffer);
+
   if (Opts.Injections > 0)
-    return runCampaign(Program, Opts);
+    return runCampaign(Program, Opts, Registry, Tracer.get());
 
   Memory Mem;
   Interpreter Interp(Mem);
   StopInfo Stop;
-  uint64_t Translations = 0, Dispatches = 0, Flushes = 0;
-  uint64_t IbtcHits = 0, IbtcMisses = 0;
+  telemetry::PhaseProfiler Profiler;
   std::unique_ptr<Dbt> Translator;
   if (Opts.Native) {
     loadProgram(Program, LoadMode::Native, Mem, Interp.state());
+    telemetry::PhaseProfiler::Scope Timer(&Profiler,
+                                          telemetry::Phase::Execute);
     Stop = Interp.run(Opts.MaxInsns);
   } else {
-    Translator = std::make_unique<Dbt>(Mem, Opts.Config);
+    Translator = std::make_unique<Dbt>(Mem, Opts.Config, &Registry);
+    Translator->setTracer(Tracer.get());
+    Translator->setProfiler(&Profiler);
     if (!Translator->load(Program, Interp.state())) {
       std::fprintf(stderr,
                    Opts.Config.EagerTranslate
@@ -321,53 +460,48 @@ int main(int Argc, char **Argv) {
       RecoveryReport Report = Manager.run(Opts.MaxInsns);
       Stop = Report.FinalStop;
       if (!Report.FirstDetection.empty())
-        std::fprintf(stderr, "[first detection: %s]\n",
-                     Report.FirstDetection.c_str());
-      std::fprintf(stderr,
-                   "[recovery: %llu checkpoints, %llu rollbacks, "
-                   "%llu watchdog fires%s%s]\n",
-                   (unsigned long long)Report.NumCheckpoints,
-                   (unsigned long long)Report.NumRollbacks,
-                   (unsigned long long)Report.NumWatchdogFires,
-                   Report.Degraded ? ", degraded" : "",
-                   Report.InterpreterFallback ? ", interpreter fallback"
-                                              : "");
+        reportNotef("first detection: %s", Report.FirstDetection.c_str());
+      reportNotef("recovery: %llu checkpoints, %llu rollbacks, "
+                  "%llu watchdog fires%s%s",
+                  (unsigned long long)Report.NumCheckpoints,
+                  (unsigned long long)Report.NumRollbacks,
+                  (unsigned long long)Report.NumWatchdogFires,
+                  Report.Degraded ? ", degraded" : "",
+                  Report.InterpreterFallback ? ", interpreter fallback" : "");
     } else
       Stop = Translator->run(Interp, Opts.MaxInsns);
-    Translations = Translator->translationCount();
-    Dispatches = Translator->dispatchCount();
-    IbtcHits = Translator->ibtcHitCount();
-    IbtcMisses = Translator->ibtcMissCount();
-    Flushes = Translator->flushCount();
+  }
+
+  // Recovery runs count their traps at each detection; the plain paths
+  // count the single final trap here. An exec-violation is the
+  // hardware's category-F detector (a jump landing outside code).
+  if (Stop.Kind == StopKind::Trapped && !Opts.Recover) {
+    Registry.counter(std::string("trap.") + getTrapKindName(Stop.Trap)).inc();
+    if (Stop.Trap == TrapKind::ExecViolation)
+      countDetection(Registry, BranchErrorCategory::F);
+    if (Tracer)
+      Tracer->record(Interp.instructionCount(),
+                     telemetry::TraceEventKind::TrapRaised,
+                     getTrapKindName(Stop.Trap),
+                     Translator ? Translator->guestPCFor(Stop.PC) : Stop.PC);
   }
 
   std::fputs(Interp.output().c_str(), stdout);
-  std::fprintf(stderr, "[%s after %llu insns]\n", describeStop(Stop),
-               (unsigned long long)Interp.instructionCount());
+  reportNotef("%s after %llu insns", describeStop(Stop),
+              (unsigned long long)Interp.instructionCount());
   if (Stop.Kind == StopKind::Trapped) {
     uint64_t GuestPC =
         Translator ? Translator->guestPCFor(Stop.PC) : Stop.PC;
-    std::fprintf(stderr, "[%s]\n",
-                 formatTrapDiagnostic(Stop, Interp.state(), GuestPC).c_str());
+    reportNote(formatTrapDiagnostic(Stop, Interp.state(), GuestPC));
   }
-  if (Opts.Stats) {
-    std::fprintf(stderr,
-                 "insns:        %llu\ncycles:       %llu\n"
-                 "output hash:  %016llx\n",
-                 (unsigned long long)Interp.instructionCount(),
-                 (unsigned long long)Interp.cycleCount(),
-                 (unsigned long long)hashOutput(Interp.output()));
-    if (!Opts.Native)
-      std::fprintf(stderr,
-                   "translations: %llu\ndispatches:   %llu\n"
-                   "ibtc:         %llu hits / %llu misses\n"
-                   "flushes:      %llu\n",
-                   (unsigned long long)Translations,
-                   (unsigned long long)Dispatches,
-                   (unsigned long long)IbtcHits,
-                   (unsigned long long)IbtcMisses,
-                   (unsigned long long)Flushes);
-  }
+
+  Interp.publishMetrics(Registry);
+  Profiler.publishTo(Registry);
+  Registry.gauge("run.output_hash")
+      .set(static_cast<double>(hashOutput(Interp.output()) >> 11));
+  emitStats(Opts, Registry);
+  writeTrace(Opts, Tracer.get());
+
   if (Opts.DumpCache && Translator) {
     std::vector<const TranslatedBlock *> Sorted;
     for (const TranslatedBlock &TB : Translator->blocks())

@@ -30,8 +30,8 @@ static int runOne(const std::string &Name) {
               (unsigned long long)Interp.cycleCount(),
               (unsigned long long)hashOutput(Interp.output()));
   if (Stop.Kind == StopKind::Trapped)
-    std::printf(" trap=%s@0x%llx", getTrapKindName(Stop.Trap),
-                (unsigned long long)Stop.TrapAddr);
+    std::printf(" %s",
+                formatTrapDiagnostic(Stop, Interp.state(), Stop.PC).c_str());
   std::printf("\n");
   return Stop.Kind == StopKind::Halted ? 0 : 1;
 }
