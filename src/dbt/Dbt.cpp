@@ -5,6 +5,7 @@
 #include "cfc/DataFlow.h"
 #include "cfg/Cfg.h"
 #include "dbt/CodeBuilder.h"
+#include "isa/Disasm.h"
 #include "support/Diagnostics.h"
 #include "support/Format.h"
 #include "vm/Layout.h"
@@ -79,6 +80,8 @@ bool Dbt::load(const AsmProgram &Program, CpuState &State) {
 
 StopInfo Dbt::run(Interpreter &Interp, uint64_t MaxInsns) {
   Interp.setDbtHooks(this);
+  if (Profile)
+    Interp.setBlockProfile(Profile);
   ClockSource = &Interp;
   // Execute encloses the run: translate time spent servicing exits is
   // charged to both, so exclusive execute time is execute - translate.
@@ -132,9 +135,24 @@ uint64_t Dbt::translate(uint64_t EntryGuest) {
     size_t StartIdx = 0;
     std::vector<std::pair<size_t, size_t>> InstrIdx;
     bool Checked = false;
+    uint64_t GuestEnd = 0;
+    uint64_t GuestInsns = 0;
   };
   std::vector<SubBlock> Subs;
   std::set<uint64_t> InThisSuper;
+
+  // Once the attached profile has observed executions, superblock fusion
+  // extends only into blocks it knows to be hot; until it warms up,
+  // first-seen order stands in for hotness.
+  const bool ProfileWarm = Profile && Profile->hasExecutions();
+  auto WantsFusion = [&](uint64_t Target) {
+    return !Profile || !ProfileWarm || Profile->isHot(Target);
+  };
+  auto EmitEdgeProf = [&](uint64_t From, uint64_t To) {
+    if (Profile)
+      Builder.push(insn::i(
+          Opcode::Prof, static_cast<int32_t>(Profile->edgeSlot(From, To))));
+  };
 
   uint64_t Guest = EntryGuest;
   unsigned Fused = 0;
@@ -191,8 +209,14 @@ uint64_t Dbt::translate(uint64_t EntryGuest) {
     // entry instruction away (then they are not registered at all).
     if (!Config.FoldSignatureUpdates)
       Builder.markBarrier();
-    Subs.push_back(SubBlock{Guest, Builder.size(), {}, DoCheck});
+    Subs.push_back(SubBlock{Guest, Builder.size(), {}, DoCheck, Addr,
+                            Body.size()});
     SubBlock &Sub = Subs.back();
+    // The counter bump leads the prologue so that chained jumps (which
+    // land on StartIdx) are attributed too.
+    if (Profile)
+      Builder.push(insn::i(Opcode::Prof,
+                           static_cast<int32_t>(Profile->blockSlot(Guest))));
 
     auto EmitChecked = [&](auto EmitFn) {
       std::vector<Instruction> Seq;
@@ -232,8 +256,10 @@ uint64_t Dbt::translate(uint64_t EntryGuest) {
       EmitChecked([&](std::vector<Instruction> &Seq) {
         Checker->emitDirectUpdate(Seq, L, Target);
       });
+      EmitEdgeProf(L, Target);
       if (Fused + 1 < Config.SuperblockLimit && !BlockMap.contains(Target) &&
-          !InThisSuper.count(Target) && Target != EntryGuest) {
+          !InThisSuper.count(Target) && Target != EntryGuest &&
+          WantsFusion(Target)) {
         InThisSuper.insert(Guest);
         Guest = Target;
         ++Fused;
@@ -249,8 +275,10 @@ uint64_t Dbt::translate(uint64_t EntryGuest) {
       EmitChecked([&](std::vector<Instruction> &Seq) {
         Checker->emitDirectUpdate(Seq, L, Target);
       });
+      EmitEdgeProf(L, Target);
       if (Fused + 1 < Config.SuperblockLimit && !BlockMap.contains(Target) &&
-          !InThisSuper.count(Target) && Target != EntryGuest) {
+          !InThisSuper.count(Target) && Target != EntryGuest &&
+          WantsFusion(Target)) {
         InThisSuper.insert(Guest);
         Guest = Target;
         ++Fused;
@@ -273,10 +301,14 @@ uint64_t Dbt::translate(uint64_t EntryGuest) {
                                      Fall);
       });
       // jcc cc, +8 over the fall-through tramp onto the taken tramp.
+      // With profiling, each stub grows a leading edge bump and the skip
+      // widens to +16.
       Instruction Branch = *Term;
-      Branch.Imm = static_cast<int32_t>(InsnSize);
+      Branch.Imm = static_cast<int32_t>(Profile ? 2 * InsnSize : InsnSize);
       Builder.push(Branch);
+      EmitEdgeProf(L, Fall);
       EmitTramp(Fall);
+      EmitEdgeProf(L, Taken);
       EmitTramp(Taken);
       Done = true;
       break;
@@ -292,6 +324,7 @@ uint64_t Dbt::translate(uint64_t EntryGuest) {
       Builder.push(insn::ri(Opcode::MovI, RegAUX2,
                             static_cast<int32_t>(ReturnSite)));
       Builder.push(insn::r(Opcode::Push, RegAUX2));
+      EmitEdgeProf(L, Target);
       EmitTramp(Target);
       Done = true;
       break;
@@ -354,6 +387,19 @@ uint64_t Dbt::translate(uint64_t EntryGuest) {
   if (Tracer)
     Tracer->record(now(), telemetry::TraceEventKind::BlockTranslated,
                    nullptr, EntryGuest, Code.size());
+
+  if (Profile) {
+    for (size_t SubIndex = 0; SubIndex < Subs.size(); ++SubIndex) {
+      const SubBlock &Sub = Subs[SubIndex];
+      size_t EndIdx = SubIndex + 1 < Subs.size() ? Subs[SubIndex + 1].StartIdx
+                                                 : Code.size();
+      uint64_t InstrBytes = 0;
+      for (const auto &[BeginIdx, EndI] : Sub.InstrIdx)
+        InstrBytes += (EndI - BeginIdx) * InsnSize;
+      Profile->noteBlock(Sub.Guest, Sub.GuestEnd, Sub.GuestInsns, InstrBytes,
+                         (EndIdx - Sub.StartIdx) * InsnSize);
+    }
+  }
 
   // Register sub-blocks. With folding, inner entry points may have been
   // merged away, so only the superblock head is registered then.
@@ -525,4 +571,70 @@ std::vector<BranchSiteInfo> Dbt::enumerateBranchSites() const {
     }
   }
   return Sites;
+}
+
+telemetry::PostMortem Dbt::buildPostMortem(const char *Reason,
+                                           const StopInfo &Stop,
+                                           const Interpreter &Interp) const {
+  telemetry::PostMortem PM;
+  PM.Reason = Reason;
+  switch (Stop.Kind) {
+  case StopKind::Halted:
+    PM.StopKind = "halted";
+    break;
+  case StopKind::Trapped:
+    PM.StopKind = "trap";
+    PM.TrapName = getTrapKindName(Stop.Trap);
+    break;
+  case StopKind::InsnLimit:
+    PM.StopKind = "insn-limit";
+    break;
+  }
+  PM.Description = describeStop(Stop);
+  PM.GuestPC = guestPCFor(Stop.PC);
+  PM.CachePC = Stop.PC;
+  PM.TrapAddr = Stop.TrapAddr;
+  PM.BreakCode = Stop.BreakCode;
+  PM.Insns = Interp.instructionCount();
+  PM.Cycles = Interp.cycleCount();
+
+  const CpuState &State = Interp.state();
+  PM.Regs.assign(State.Regs, State.Regs + NumIntRegs);
+  PM.FlagBits = State.F.pack();
+
+  if (Tracer)
+    PM.Events = Tracer->events();
+  PM.Registry = Metrics->snapshot();
+
+  // Disassemble the faulting block: the guest view from the sub-block's
+  // entry, and the code-cache view including the woven instrumentation.
+  constexpr uint64_t MaxGuestInsns = 16;
+  constexpr uint64_t MaxHostInsns = 32;
+  if (const TranslatedBlock *TB = cacheBlockContaining(Stop.PC)) {
+    uint64_t GStart = TB->GuestAddr;
+    uint64_t GEnd = std::min(GuestCodeBase + GuestCodeSize,
+                             GStart + MaxGuestInsns * InsnSize);
+    if (GStart >= GuestCodeBase && GStart < GEnd) {
+      std::vector<uint8_t> Buf(GEnd - GStart);
+      Mem.readRaw(GStart, Buf.data(), Buf.size());
+      PM.GuestDisasm = disassembleRange(Buf.data(), Buf.size(), GStart);
+    }
+    uint64_t HBytes = std::min<uint64_t>(TB->CacheSize,
+                                         MaxHostInsns * InsnSize);
+    std::vector<uint8_t> HBuf(HBytes);
+    Mem.readRaw(TB->CacheAddr, HBuf.data(), HBytes);
+    PM.HostDisasm = disassembleRange(HBuf.data(), HBytes, TB->CacheAddr);
+  } else if (PM.GuestPC >= GuestCodeBase &&
+             PM.GuestPC < GuestCodeBase + GuestCodeSize) {
+    // Stopped outside the cache (interpreter fallback, raw execution):
+    // disassemble the guest code around the stop PC instead.
+    uint64_t GStart =
+        PM.GuestPC - (PM.GuestPC - GuestCodeBase) % InsnSize;
+    uint64_t GEnd = std::min(GuestCodeBase + GuestCodeSize,
+                             GStart + MaxGuestInsns * InsnSize);
+    std::vector<uint8_t> Buf(GEnd - GStart);
+    Mem.readRaw(GStart, Buf.data(), Buf.size());
+    PM.GuestDisasm = disassembleRange(Buf.data(), Buf.size(), GStart);
+  }
+  return PM;
 }

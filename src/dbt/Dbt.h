@@ -47,6 +47,8 @@
 #include "asm/Assembler.h"
 #include "cfc/Checker.h"
 #include "dbt/BlockTable.h"
+#include "telemetry/BlockProfile.h"
+#include "telemetry/FlightRecorder.h"
 #include "telemetry/Metrics.h"
 #include "telemetry/Profile.h"
 #include "telemetry/Trace.h"
@@ -244,6 +246,24 @@ public:
   void setProfiler(telemetry::PhaseProfiler *P) { Profiler = P; }
   telemetry::PhaseProfiler *profiler() const { return Profiler; }
 
+  /// Attaches/detaches a block-execution profile. When attached, every
+  /// translated sub-block gets a Prof counter bump in its prologue and
+  /// each direct exit stub gets an edge bump, and superblock fusion only
+  /// extends into targets the profile has observed as hot (first-seen
+  /// order until the profile warms up). Null (the default) emits nothing
+  /// and costs nothing.
+  void setBlockProfile(telemetry::BlockProfile *P) { Profile = P; }
+  telemetry::BlockProfile *blockProfile() const { return Profile; }
+
+  /// Assembles a post-mortem bundle for \p Stop: stop classification,
+  /// guest-attributed PC, CPU state, trace events (when a tracer is
+  /// attached), a metrics snapshot, and guest/host disassembly of the
+  /// faulting block. Callers add recovery status and annotations before
+  /// handing the bundle to a FlightRecorder.
+  telemetry::PostMortem buildPostMortem(const char *Reason,
+                                        const StopInfo &Stop,
+                                        const Interpreter &Interp) const;
+
   const DbtConfig &config() const { return Config; }
 
 private:
@@ -303,6 +323,7 @@ private:
   telemetry::Counter &Degrades;
   telemetry::EventTracer *Tracer = nullptr;
   telemetry::PhaseProfiler *Profiler = nullptr;
+  telemetry::BlockProfile *Profile = nullptr;
   const Interpreter *ClockSource = nullptr;
   /// Leaders from the assembler side table (eager mode).
   std::vector<uint64_t> EagerLeaders;

@@ -371,13 +371,41 @@ Outcome FaultCampaign::inject(const PlannedFault &Fault) const {
   return injectDetailed(Fault).Result;
 }
 
-InjectionReport FaultCampaign::injectDetailed(const PlannedFault &Fault) const {
+namespace {
+
+/// Annotates and writes one "campaign-injection" bundle.
+void writeInjectionBundle(telemetry::FlightRecorder &Recorder, Dbt &Translator,
+                          Interpreter &Interp, const StopInfo &Stop,
+                          const PlannedFault &Fault, bool Fired,
+                          Outcome Result) {
+  telemetry::PostMortem PM =
+      Translator.buildPostMortem("campaign-injection", Stop, Interp);
+  PM.Annotations.emplace_back("instance", Fault.Instance);
+  PM.Annotations.emplace_back("bit", Fault.Bit);
+  PM.Annotations.emplace_back(
+      "flag_bit_fault", Fault.Kind == FaultKind::FlagBit ? 1 : 0);
+  PM.Annotations.emplace_back("site_addr", Fault.SiteAddr);
+  PM.Annotations.emplace_back("fired", Fired ? 1 : 0);
+  PM.Note = getOutcomeName(Result);
+  Recorder.write(PM);
+}
+
+} // namespace
+
+InjectionReport
+FaultCampaign::injectDetailed(const PlannedFault &Fault,
+                              telemetry::FlightRecorder *Recorder) const {
   assert(Prepared && "call prepare() first");
   Instance Run(Program, Config);
   if (!Run.Ok)
     reportFatalError("injection instance failed to load after prepare()");
   InjectionHook Hook(*this, Fault.Class, InstrMap, Fault, Run.Interp);
   Run.Interp.setFaultHook(&Hook);
+  std::unique_ptr<telemetry::EventTracer> Tracer;
+  if (Recorder) {
+    Tracer = std::make_unique<telemetry::EventTracer>(Recorder->maxEvents());
+    Run.Translator.setTracer(Tracer.get());
+  }
   StopInfo Stop = Run.Translator.run(Run.Interp, InsnBudget);
 
   InjectionReport Report;
@@ -390,38 +418,48 @@ InjectionReport FaultCampaign::injectDetailed(const PlannedFault &Fault) const {
     Report.Result = hashOutput(Run.Interp.output()) == GoldenHash
                         ? Outcome::Masked
                         : Outcome::Sdc;
-    return Report;
+    break;
   case StopKind::InsnLimit:
     Report.Result = Outcome::Timeout;
-    return Report;
-  case StopKind::Trapped:
+    break;
+  case StopKind::Trapped: {
+    Report.Result = Outcome::DetectedHardware;
+    if (Stop.Trap == TrapKind::BreakTrap &&
+        Stop.BreakCode == BrkControlFlowError) {
+      Report.Result = Outcome::DetectedSignature;
+    } else if (Stop.Trap == TrapKind::DivByZero) {
+      // ECCA reports through the div-by-zero handler: the fault is a
+      // signature detection when the div is instrumentation (Section 3.1's
+      // discussion of the ECCA exception handler).
+      const TranslatedBlock *Block =
+          Run.Translator.cacheBlockContaining(Stop.TrapAddr);
+      if (Block && Block->isInstrumentation(Stop.TrapAddr))
+        Report.Result = Outcome::DetectedSignature;
+    }
     break;
   }
-  Report.Result = Outcome::DetectedHardware;
-  if (Stop.Trap == TrapKind::BreakTrap &&
-      Stop.BreakCode == BrkControlFlowError) {
-    Report.Result = Outcome::DetectedSignature;
-  } else if (Stop.Trap == TrapKind::DivByZero) {
-    // ECCA reports through the div-by-zero handler: the fault is a
-    // signature detection when the div is instrumentation (Section 3.1's
-    // discussion of the ECCA exception handler).
-    const TranslatedBlock *Block =
-        Run.Translator.cacheBlockContaining(Stop.TrapAddr);
-    if (Block && Block->isInstrumentation(Stop.TrapAddr))
-      Report.Result = Outcome::DetectedSignature;
   }
+  if (Recorder)
+    writeInjectionBundle(*Recorder, Run.Translator, Run.Interp, Stop, Fault,
+                         Hook.Fired, Report.Result);
   return Report;
 }
 
 FaultCampaign::RecoveryInjection
 FaultCampaign::injectWithRecovery(const PlannedFault &Fault,
-                                  const RecoveryConfig &Recovery) const {
+                                  const RecoveryConfig &Recovery,
+                                  telemetry::FlightRecorder *Recorder) const {
   assert(Prepared && "call prepare() first");
   Instance Run(Program, Config);
   if (!Run.Ok)
     reportFatalError("injection instance failed to load after prepare()");
   InjectionHook Hook(*this, Fault.Class, InstrMap, Fault, Run.Interp);
   Run.Interp.setFaultHook(&Hook);
+  std::unique_ptr<telemetry::EventTracer> Tracer;
+  if (Recorder) {
+    Tracer = std::make_unique<telemetry::EventTracer>(Recorder->maxEvents());
+    Run.Translator.setTracer(Tracer.get());
+  }
   RecoveryManager Manager(Run.Interp, Run.Translator, Recovery);
   RecoveryReport Report = Manager.run(InsnBudget);
 
@@ -440,6 +478,24 @@ FaultCampaign::injectWithRecovery(const PlannedFault &Fault,
     // A final trap means even the interpreter fallback could not make
     // progress: the ladder is exhausted.
     Injection.Result = Outcome::RecoveryFailed;
+  }
+  if (Recorder) {
+    telemetry::PostMortem PM = Run.Translator.buildPostMortem(
+        "campaign-injection", Report.FinalStop, Run.Interp);
+    PM.Recovery.Present = true;
+    PM.Recovery.Checkpoints = Report.NumCheckpoints;
+    PM.Recovery.Rollbacks = Report.NumRollbacks;
+    PM.Recovery.WatchdogFires = Report.NumWatchdogFires;
+    PM.Recovery.Degraded = Report.Degraded;
+    PM.Recovery.InterpreterFallback = Report.InterpreterFallback;
+    PM.Annotations.emplace_back("instance", Fault.Instance);
+    PM.Annotations.emplace_back("bit", Fault.Bit);
+    PM.Annotations.emplace_back(
+        "flag_bit_fault", Fault.Kind == FaultKind::FlagBit ? 1 : 0);
+    PM.Annotations.emplace_back("site_addr", Fault.SiteAddr);
+    PM.Annotations.emplace_back("fired", Hook.Fired ? 1 : 0);
+    PM.Note = getOutcomeName(Injection.Result);
+    Recorder->write(PM);
   }
   Injection.Recovery = std::move(Report);
   return Injection;

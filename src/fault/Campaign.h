@@ -186,8 +186,13 @@ public:
   /// instance and only reads campaign state.
   Outcome inject(const PlannedFault &Fault) const;
 
-  /// Like inject(), additionally reporting detection latency.
-  InjectionReport injectDetailed(const PlannedFault &Fault) const;
+  /// Like inject(), additionally reporting detection latency. With a
+  /// \p Recorder the run is traced and one post-mortem bundle (reason
+  /// "campaign-injection", annotated with the fault parameters and the
+  /// outcome) is written per injection. Recorder use is serial-only.
+  InjectionReport
+  injectDetailed(const PlannedFault &Fault,
+                 telemetry::FlightRecorder *Recorder = nullptr) const;
 
   /// Outcome of one injected run executed under a RecoveryManager.
   struct RecoveryInjection {
@@ -202,8 +207,10 @@ public:
   /// that detects, rolls back and reproduces the golden output classifies
   /// as Recovered; a rolled-back run with wrong output or no forward
   /// progress classifies as RecoveryFailed. Thread-safe like inject().
-  RecoveryInjection injectWithRecovery(const PlannedFault &Fault,
-                                       const RecoveryConfig &Recovery) const;
+  RecoveryInjection
+  injectWithRecovery(const PlannedFault &Fault,
+                     const RecoveryConfig &Recovery,
+                     telemetry::FlightRecorder *Recorder = nullptr) const;
 
   /// The recovery-effectiveness phase: same plan and serial selection as
   /// run() (the fault sets are identical for equal NumInjections, Seed

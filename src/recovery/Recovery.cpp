@@ -122,7 +122,22 @@ uint64_t RecoveryManager::rollbackTo(size_t Depth) {
   return CP.GuestPC;
 }
 
-void RecoveryManager::enterInterpreterFallback() {
+void RecoveryManager::dumpPostMortem(const char *Reason,
+                                     const StopInfo &Stop) {
+  if (!Recorder)
+    return;
+  telemetry::PostMortem PM = Translator.buildPostMortem(Reason, Stop, Interp);
+  PM.Recovery.Present = true;
+  PM.Recovery.Checkpoints = Report.NumCheckpoints;
+  PM.Recovery.Rollbacks = Report.NumRollbacks;
+  PM.Recovery.WatchdogFires = Report.NumWatchdogFires;
+  PM.Recovery.RingDepth = Checkpoints.size();
+  PM.Recovery.Degraded = Report.Degraded;
+  PM.Recovery.InterpreterFallback = Report.InterpreterFallback;
+  Recorder->write(PM);
+}
+
+void RecoveryManager::enterInterpreterFallback(const StopInfo &Stop) {
   FallbackCounter.inc();
   if (telemetry::EventTracer *T = Translator.tracer())
     T->record(Interp.instructionCount(),
@@ -137,9 +152,10 @@ void RecoveryManager::enterInterpreterFallback() {
   Interp.state().PC = GuestPC;
   Fallback = true;
   Report.InterpreterFallback = true;
+  dumpPostMortem("interpreter-fallback", Stop);
 }
 
-void RecoveryManager::recover(uint64_t SiteKey) {
+void RecoveryManager::recover(uint64_t SiteKey, const StopInfo &Stop) {
   telemetry::PhaseProfiler::Scope Timer(Translator.profiler(),
                                         telemetry::Phase::Recover);
   ++TotalRollbacks;
@@ -149,7 +165,7 @@ void RecoveryManager::recover(uint64_t SiteKey) {
     T->record(Interp.instructionCount(), telemetry::TraceEventKind::Rollback,
               nullptr, SiteKey, TotalRollbacks);
   if (TotalRollbacks > Config.MaxTotalRollbacks) {
-    enterInterpreterFallback();
+    enterInterpreterFallback(Stop);
     return;
   }
   unsigned &SiteCount = SiteRollbacks[SiteKey];
@@ -162,6 +178,7 @@ void RecoveryManager::recover(uint64_t SiteKey) {
     Report.Degraded = true;
     DegradeCounter.inc();
     SiteRollbacks.clear();
+    dumpPostMortem("degradation", Stop);
     rollbackTo(Checkpoints.size());
     return;
   }
@@ -233,9 +250,10 @@ RecoveryReport RecoveryManager::run(uint64_t MaxInsns) {
       if (Report.FirstDetection.empty())
         Report.FirstDetection =
             formatTrapDiagnostic(Stop, Interp.state(), GuestPC);
+      dumpPostMortem("trap", Stop);
       if (Fallback)
         break; // No further containment below the interpreter.
-      recover(GuestPC);
+      recover(GuestPC, Stop);
       continue;
     }
 
@@ -256,7 +274,8 @@ RecoveryReport RecoveryManager::run(uint64_t MaxInsns) {
             static_cast<unsigned long long>(Interp.instructionCount() -
                                             LastCheck),
             static_cast<unsigned long long>(GuestPC));
-      recover(GuestPC);
+      dumpPostMortem("watchdog", Stop);
+      recover(GuestPC, Stop);
     }
   }
 

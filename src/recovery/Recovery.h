@@ -111,6 +111,11 @@ public:
   /// is additionally bounded by MaxInsns * (MaxTotalRollbacks + 2).
   RecoveryReport run(uint64_t MaxInsns);
 
+  /// Attaches/detaches a flight recorder: every detection (trap,
+  /// watchdog fire) and every ladder escalation (degradation,
+  /// interpreter fallback) then writes a post-mortem bundle.
+  void setFlightRecorder(telemetry::FlightRecorder *FR) { Recorder = FR; }
+
   // PreInsnHook: safe-point bookkeeping (checkpoints, watchdog anchors).
   void onInsn(uint64_t InsnAddr, const Instruction &I,
               CpuState &State) override;
@@ -136,9 +141,12 @@ private:
   /// of the restored checkpoint.
   uint64_t rollbackTo(size_t Depth);
   /// Handles one detection attributed to \p SiteKey; climbs the
-  /// degradation ladder as counters dictate.
-  void recover(uint64_t SiteKey);
-  void enterInterpreterFallback();
+  /// degradation ladder as counters dictate. \p Stop is the interpreter
+  /// stop that triggered the detection (post-mortem context).
+  void recover(uint64_t SiteKey, const StopInfo &Stop);
+  void enterInterpreterFallback(const StopInfo &Stop);
+  /// Writes a post-mortem bundle when a recorder is attached.
+  void dumpPostMortem(const char *Reason, const StopInfo &Stop);
   uint64_t totalUndoBytes() const;
 
   Interpreter &Interp;
@@ -165,6 +173,7 @@ private:
   bool Fallback = false;
   bool InRestore = false;
   PreInsnHook *SavedHook = nullptr;
+  telemetry::FlightRecorder *Recorder = nullptr;
 };
 
 } // namespace cfed

@@ -1,0 +1,168 @@
+//===- FlightRecorder.cpp - Post-mortem bundle serialization --------------===//
+
+#include "telemetry/FlightRecorder.h"
+
+#include "support/Format.h"
+
+#include <cstdio>
+#include <filesystem>
+
+using namespace cfed;
+using namespace cfed::telemetry;
+
+namespace {
+
+void appendEscaped(std::string &Out, const std::string &S) {
+  for (char C : S) {
+    switch (C) {
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      Out += C;
+    }
+  }
+}
+
+void appendStringField(std::string &Out, const char *Key,
+                       const std::string &Value, bool Comma = true) {
+  Out += formatString("  \"%s\": \"", Key);
+  appendEscaped(Out, Value);
+  Out += Comma ? "\",\n" : "\"\n";
+}
+
+std::string hexString(uint64_t V) {
+  return formatString("0x%llx", static_cast<unsigned long long>(V));
+}
+
+} // namespace
+
+std::string FlightRecorder::renderJson(const PostMortem &PM,
+                                       size_t MaxEvents) {
+  std::string Out = "{\n";
+  Out += "  \"version\": 1,\n";
+  appendStringField(Out, "reason", PM.Reason);
+
+  Out += "  \"stop\": {";
+  Out += "\"kind\": \"";
+  appendEscaped(Out, PM.StopKind);
+  Out += "\", \"trap\": \"";
+  appendEscaped(Out, PM.TrapName);
+  Out += "\", \"description\": \"";
+  appendEscaped(Out, PM.Description);
+  Out += "\"},\n";
+
+  appendStringField(Out, "guest_pc", hexString(PM.GuestPC));
+  appendStringField(Out, "cache_pc", hexString(PM.CachePC));
+  appendStringField(Out, "trap_addr", hexString(PM.TrapAddr));
+  Out += formatString("  \"break_code\": %lld,\n",
+                      static_cast<long long>(PM.BreakCode));
+  Out += formatString("  \"insns\": %llu,\n",
+                      static_cast<unsigned long long>(PM.Insns));
+  Out += formatString("  \"cycles\": %llu,\n",
+                      static_cast<unsigned long long>(PM.Cycles));
+
+  Out += "  \"cpu\": {\"flags\": ";
+  Out += std::to_string(PM.FlagBits);
+  Out += ", \"regs\": [";
+  for (size_t I = 0; I < PM.Regs.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += "\"" + hexString(PM.Regs[I]) + "\"";
+  }
+  Out += "]},\n";
+
+  size_t First = 0;
+  if (MaxEvents && PM.Events.size() > MaxEvents)
+    First = PM.Events.size() - MaxEvents;
+  Out += "  \"events\": [\n";
+  for (size_t I = First; I < PM.Events.size(); ++I) {
+    const TraceEvent &E = PM.Events[I];
+    Out += formatString(
+        "    {\"ts\": %llu, \"kind\": \"%s\", \"category\": \"",
+        static_cast<unsigned long long>(E.Ts), getTraceEventName(E.Kind));
+    appendEscaped(Out, E.Category ? E.Category : "");
+    Out += formatString("\", \"addr\": \"%s\", \"arg\": %llu}",
+                        hexString(E.Addr).c_str(),
+                        static_cast<unsigned long long>(E.Arg));
+    Out += I + 1 < PM.Events.size() ? ",\n" : "\n";
+  }
+  Out += "  ],\n";
+
+  Out += "  \"registry\": " + PM.Registry.toJson() + ",\n";
+
+  Out += formatString(
+      "  \"recovery\": {\"present\": %s, \"checkpoints\": %llu, "
+      "\"rollbacks\": %llu, \"watchdog_fires\": %llu, \"ring_depth\": %llu, "
+      "\"degraded\": %s, \"interpreter_fallback\": %s},\n",
+      PM.Recovery.Present ? "true" : "false",
+      static_cast<unsigned long long>(PM.Recovery.Checkpoints),
+      static_cast<unsigned long long>(PM.Recovery.Rollbacks),
+      static_cast<unsigned long long>(PM.Recovery.WatchdogFires),
+      static_cast<unsigned long long>(PM.Recovery.RingDepth),
+      PM.Recovery.Degraded ? "true" : "false",
+      PM.Recovery.InterpreterFallback ? "true" : "false");
+
+  appendStringField(Out, "guest_disasm", PM.GuestDisasm);
+  appendStringField(Out, "host_disasm", PM.HostDisasm);
+
+  Out += "  \"annotations\": {";
+  for (size_t I = 0; I < PM.Annotations.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += "\"";
+    appendEscaped(Out, PM.Annotations[I].first);
+    Out += formatString(
+        "\": %llu",
+        static_cast<unsigned long long>(PM.Annotations[I].second));
+  }
+  Out += "},\n";
+
+  appendStringField(Out, "note", PM.Note, /*Comma=*/false);
+  Out += "}\n";
+  return Out;
+}
+
+std::string FlightRecorder::write(const PostMortem &PM) {
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  if (EC) {
+    LastError = formatString("cannot create directory '%s': %s", Dir.c_str(),
+                             EC.message().c_str());
+    return "";
+  }
+
+  std::string Path =
+      formatString("%s/%s%04llu.json", Dir.c_str(), Prefix.c_str(),
+                   static_cast<unsigned long long>(Seq));
+  std::string Json = renderJson(PM, MaxEvents);
+
+  FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    LastError = formatString("cannot open '%s' for writing", Path.c_str());
+    return "";
+  }
+  size_t Written = std::fwrite(Json.data(), 1, Json.size(), F);
+  std::fclose(F);
+  if (Written != Json.size()) {
+    LastError = formatString("short write to '%s'", Path.c_str());
+    return "";
+  }
+
+  ++Seq;
+  LastPath = Path;
+  LastError.clear();
+  return Path;
+}

@@ -1,0 +1,129 @@
+//===- FlightRecorder.h - Post-mortem bundle serialization ------*- C++ -*-===//
+//
+// Part of the CFED project (CGO'06 control-flow error detection repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Crash-time observability: when a trap fires, the watchdog trips, or the
+/// recovery ladder escalates, the runtime assembles a PostMortem — the last
+/// N trace events, a full metrics snapshot, the CPU state, guest/host
+/// disassembly of the faulting block, and recovery ring status — and the
+/// FlightRecorder serializes it as one JSON bundle per incident.
+///
+/// PostMortem is a plain data bag on purpose: the telemetry library sits
+/// below vm/dbt in the link order, so producers (Dbt::buildPostMortem,
+/// RecoveryManager, FaultCampaign) translate their own types into strings
+/// and integers before handing the bundle over.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFED_TELEMETRY_FLIGHTRECORDER_H
+#define CFED_TELEMETRY_FLIGHTRECORDER_H
+
+#include "telemetry/Metrics.h"
+#include "telemetry/Trace.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cfed {
+namespace telemetry {
+
+/// Recovery-subsystem state at bundle time. Present only when a
+/// RecoveryManager was driving the run.
+struct PostMortemRecovery {
+  bool Present = false;
+  uint64_t Checkpoints = 0;
+  uint64_t Rollbacks = 0;
+  uint64_t WatchdogFires = 0;
+  /// Checkpoints currently live in the ring.
+  uint64_t RingDepth = 0;
+  bool Degraded = false;
+  bool InterpreterFallback = false;
+};
+
+/// Everything a bundle records. All fields optional; empty strings and
+/// zero values serialize as such.
+struct PostMortem {
+  /// Why the bundle exists: "trap", "watchdog", "degradation",
+  /// "interpreter-fallback", "campaign-injection", ...
+  std::string Reason;
+  /// Stop classification: "halted", "trap", "insn-limit".
+  std::string StopKind;
+  /// Trap kind name when StopKind == "trap" (e.g. "break").
+  std::string TrapName;
+  /// Human-readable one-line description of the stop.
+  std::string Description;
+
+  uint64_t GuestPC = 0;
+  uint64_t CachePC = 0;
+  uint64_t TrapAddr = 0;
+  int64_t BreakCode = 0;
+  uint64_t Insns = 0;
+  uint64_t Cycles = 0;
+
+  /// Integer register file snapshot.
+  std::vector<uint64_t> Regs;
+  /// Packed FLAGS bits (ZF=bit0, SF=1, CF=2, OF=3).
+  unsigned FlagBits = 0;
+
+  /// Last-N trace events, oldest first.
+  std::vector<TraceEvent> Events;
+  RegistrySnapshot Registry;
+  PostMortemRecovery Recovery;
+
+  /// Disassembly of the faulting block (guest view and code-cache view).
+  std::string GuestDisasm;
+  std::string HostDisasm;
+
+  /// Free-form key/value annotations (campaign metadata and the like).
+  std::vector<std::pair<std::string, uint64_t>> Annotations;
+  /// Free-form note (e.g. injection outcome).
+  std::string Note;
+};
+
+/// Writes PostMortem bundles as numbered JSON files under one directory.
+/// Not thread-safe: parallel fault campaigns keep their recorders on the
+/// serial paths.
+class FlightRecorder {
+public:
+  explicit FlightRecorder(std::string Dir, size_t MaxEvents = 256)
+      : Dir(std::move(Dir)), MaxEvents(MaxEvents) {}
+
+  const std::string &dir() const { return Dir; }
+  size_t maxEvents() const { return MaxEvents; }
+
+  /// Filename prefix for the numbered bundles (default "postmortem_").
+  void setPrefix(std::string P) { Prefix = std::move(P); }
+  const std::string &prefix() const { return Prefix; }
+
+  /// Renders \p PM as a JSON document. When \p MaxEvents is nonzero only
+  /// the last MaxEvents trace events are emitted.
+  static std::string renderJson(const PostMortem &PM, size_t MaxEvents = 0);
+
+  /// Serializes \p PM to "<dir>/<prefix><seq>.json", creating the
+  /// directory on first use. Returns the path written, or "" on failure
+  /// (see lastError()).
+  std::string write(const PostMortem &PM);
+
+  /// Bundles successfully written so far.
+  uint64_t bundleCount() const { return Seq; }
+  const std::string &lastPath() const { return LastPath; }
+  const std::string &lastError() const { return LastError; }
+
+private:
+  std::string Dir;
+  size_t MaxEvents;
+  std::string Prefix = "postmortem_";
+  uint64_t Seq = 0;
+  std::string LastPath;
+  std::string LastError;
+};
+
+} // namespace telemetry
+} // namespace cfed
+
+#endif // CFED_TELEMETRY_FLIGHTRECORDER_H

@@ -4,6 +4,7 @@
 
 #include "support/Diagnostics.h"
 #include "support/Format.h"
+#include "telemetry/BlockProfile.h"
 #include "telemetry/Metrics.h"
 
 #include <cassert>
@@ -608,6 +609,12 @@ StopInfo Interpreter::run(uint64_t MaxInsns) {
       if (!Dbt)
         return MakeTrap(TrapKind::IllegalInsn, PC);
       NextPC = Dbt->onIndirectExit(PC, Regs[I.A]);
+      break;
+    }
+    case Opcode::Prof: {
+      // Attribution bump; acts as a nop when no profile is attached.
+      if (BlockProf)
+        BlockProf->bump(static_cast<uint32_t>(I.Imm));
       break;
     }
     }

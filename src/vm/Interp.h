@@ -66,6 +66,7 @@ struct CpuState;
 struct StopInfo;
 
 namespace telemetry {
+class BlockProfile;
 class MetricsRegistry;
 } // namespace telemetry
 
@@ -175,6 +176,11 @@ public:
   void setBranchObserver(BranchObserver *Observer) { Profiler = Observer; }
   /// Installs / clears the DBT service hooks.
   void setDbtHooks(DbtHooks *Hooks) { Dbt = Hooks; }
+  /// Binds / clears the block-execution profile that Prof instructions
+  /// bump. With no profile bound, Prof is a nop.
+  void setBlockProfile(telemetry::BlockProfile *Profile) {
+    BlockProf = Profile;
+  }
 
   /// Runs until Halt, a trap, or \p MaxInsns executed instructions.
   StopInfo run(uint64_t MaxInsns);
@@ -211,6 +217,7 @@ private:
   PreInsnHook *PreInsn = nullptr;
   BranchObserver *Profiler = nullptr;
   DbtHooks *Dbt = nullptr;
+  telemetry::BlockProfile *BlockProf = nullptr;
   uint64_t Insns = 0;
   uint64_t Cycles = 0;
   std::string OutputBuffer;

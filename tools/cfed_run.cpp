@@ -31,6 +31,11 @@
 //   --trace=<file>       write the structured event trace as Chrome
 //                        trace_event JSON (open in about://tracing)
 //   --trace-buffer=<n>   event ring-buffer capacity (default 65536)
+//   --profile-blocks[=N] attach a block-execution profile and print the
+//                        top-N hot-block report after the run (default 10)
+//   --postmortem-dir=DIR write flight-recorder post-mortem bundles (one
+//                        JSON file per trap / watchdog fire / ladder
+//                        escalation; per-injection bundles with --inject)
 //
 // The positional argument is a path to a VISA assembly file, or the
 // name of a built-in workload (e.g. 181.mcf).
@@ -45,6 +50,8 @@
 #include "support/Diagnostics.h"
 #include "support/Format.h"
 #include "support/Table.h"
+#include "telemetry/BlockProfile.h"
+#include "telemetry/FlightRecorder.h"
 #include "telemetry/Metrics.h"
 #include "telemetry/Profile.h"
 #include "telemetry/Trace.h"
@@ -80,6 +87,9 @@ struct Options {
   StatsMode Stats = StatsMode::Off;
   std::string TraceFile;
   uint64_t TraceBuffer = 65536;
+  bool ProfileBlocks = false;
+  uint64_t ProfileTopN = 10;
+  std::string PostmortemDir;
   std::string Input;
 };
 
@@ -93,6 +103,8 @@ int usage() {
                "[--disasm] [--dump-cfg]\n"
                "                [--dump-cache] [--stats[=json|csv]] "
                "[--trace=FILE] [--trace-buffer=N]\n"
+               "                [--profile-blocks[=N]] "
+               "[--postmortem-dir=DIR]\n"
                "                <file.s | workload>\n");
   return 2;
 }
@@ -183,7 +195,18 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.TraceFile = Value();
     else if (Arg.rfind("--trace-buffer=", 0) == 0)
       Opts.TraceBuffer = std::strtoull(Value().c_str(), nullptr, 0);
-    else if (Arg.rfind("--", 0) == 0)
+    else if (Arg == "--profile-blocks")
+      Opts.ProfileBlocks = true;
+    else if (Arg.rfind("--profile-blocks=", 0) == 0) {
+      Opts.ProfileBlocks = true;
+      Opts.ProfileTopN = std::strtoull(Value().c_str(), nullptr, 0);
+      if (Opts.ProfileTopN == 0)
+        return false;
+    } else if (Arg.rfind("--postmortem-dir=", 0) == 0) {
+      Opts.PostmortemDir = Value();
+      if (Opts.PostmortemDir.empty())
+        return false;
+    } else if (Arg.rfind("--", 0) == 0)
       return false;
     else if (Opts.Input.empty())
       Opts.Input = Arg;
@@ -293,6 +316,12 @@ int runCampaign(const AsmProgram &Program, const Options &Opts,
                          "and the technique must support the program)\n");
     return 1;
   }
+  std::unique_ptr<telemetry::FlightRecorder> Recorder;
+  if (!Opts.PostmortemDir.empty()) {
+    Recorder = std::make_unique<telemetry::FlightRecorder>(
+        Opts.PostmortemDir, Opts.TraceBuffer < 256 ? Opts.TraceBuffer : 256);
+    Recorder->setPrefix("injection_");
+  }
   std::printf("golden: %llu insns, %llu branch executions, hash "
               "%016llx\n",
               (unsigned long long)Campaign.goldenInsns(),
@@ -310,7 +339,7 @@ int runCampaign(const AsmProgram &Program, const Options &Opts,
       if (Done++ >= Opts.Injections)
         break;
       FaultCampaign::RecoveryInjection Inj =
-          Campaign.injectWithRecovery(Fault, Opts.Recovery);
+          Campaign.injectWithRecovery(Fault, Opts.Recovery, Recorder.get());
       Totals.add(Inj.Result);
       Registry.counter(getOutcomeCounterName(Fault.Category, Inj.Result))
           .inc();
@@ -341,6 +370,10 @@ int runCampaign(const AsmProgram &Program, const Options &Opts,
     T.addRow({"silent data corruption", std::to_string(Totals.Sdc)});
     T.addRow({"timeout", std::to_string(Totals.Timeout)});
     std::printf("%s", T.render().c_str());
+    if (Recorder)
+      reportNotef("post-mortem: %llu bundles written under %s",
+                  (unsigned long long)Recorder->bundleCount(),
+                  Recorder->dir().c_str());
     emitStats(Opts, Registry);
     writeTrace(Opts, Tracer);
     return 0;
@@ -355,7 +388,7 @@ int runCampaign(const AsmProgram &Program, const Options &Opts,
       continue;
     if (Done++ >= Opts.Injections)
       break;
-    InjectionReport Report = Campaign.injectDetailed(Fault);
+    InjectionReport Report = Campaign.injectDetailed(Fault, Recorder.get());
     Totals.add(Report.Result);
     Registry.counter(getOutcomeCounterName(Fault.Category, Report.Result))
         .inc();
@@ -381,6 +414,10 @@ int runCampaign(const AsmProgram &Program, const Options &Opts,
   if (Totals.DetectedSig)
     std::printf("mean signature-detection latency: %llu insns\n",
                 (unsigned long long)(LatencySum / Totals.DetectedSig));
+  if (Recorder)
+    reportNotef("post-mortem: %llu bundles written under %s",
+                (unsigned long long)Recorder->bundleCount(),
+                Recorder->dir().c_str());
   emitStats(Opts, Registry);
   writeTrace(Opts, Tracer);
   return 0;
@@ -434,8 +471,15 @@ int main(int Argc, char **Argv) {
   Interpreter Interp(Mem);
   StopInfo Stop;
   telemetry::PhaseProfiler Profiler;
+  telemetry::BlockProfile Profile;
+  std::unique_ptr<telemetry::FlightRecorder> Recorder;
+  if (!Opts.PostmortemDir.empty())
+    Recorder = std::make_unique<telemetry::FlightRecorder>(
+        Opts.PostmortemDir, Opts.TraceBuffer < 256 ? Opts.TraceBuffer : 256);
   std::unique_ptr<Dbt> Translator;
   if (Opts.Native) {
+    if (Opts.ProfileBlocks)
+      reportNote("--profile-blocks needs the DBT; ignored with --native");
     loadProgram(Program, LoadMode::Native, Mem, Interp.state());
     telemetry::PhaseProfiler::Scope Timer(&Profiler,
                                           telemetry::Phase::Execute);
@@ -444,6 +488,12 @@ int main(int Argc, char **Argv) {
     Translator = std::make_unique<Dbt>(Mem, Opts.Config, &Registry);
     Translator->setTracer(Tracer.get());
     Translator->setProfiler(&Profiler);
+    if (Opts.ProfileBlocks) {
+      Translator->setBlockProfile(&Profile);
+      // The recovery path drives Interp.run directly, bypassing
+      // Dbt::run's binding; attach to the interpreter here too.
+      Interp.setBlockProfile(&Profile);
+    }
     if (!Translator->load(Program, Interp.state())) {
       std::fprintf(stderr,
                    Opts.Config.EagerTranslate
@@ -457,6 +507,7 @@ int main(int Argc, char **Argv) {
     }
     if (Opts.Recover) {
       RecoveryManager Manager(Interp, *Translator, Opts.Recovery);
+      Manager.setFlightRecorder(Recorder.get());
       RecoveryReport Report = Manager.run(Opts.MaxInsns);
       Stop = Report.FinalStop;
       if (!Report.FirstDetection.empty())
@@ -484,6 +535,37 @@ int main(int Argc, char **Argv) {
                      telemetry::TraceEventKind::TrapRaised,
                      getTrapKindName(Stop.Trap),
                      Translator ? Translator->guestPCFor(Stop.PC) : Stop.PC);
+    if (Recorder) {
+      telemetry::PostMortem PM;
+      if (Translator) {
+        PM = Translator->buildPostMortem("trap", Stop, Interp);
+      } else {
+        // Native run: no translator to attribute through; record the
+        // architectural state directly.
+        PM.Reason = "trap";
+        PM.StopKind = "trap";
+        PM.TrapName = getTrapKindName(Stop.Trap);
+        PM.Description = describeStop(Stop);
+        PM.GuestPC = Stop.PC;
+        PM.CachePC = Stop.PC;
+        PM.TrapAddr = Stop.TrapAddr;
+        PM.BreakCode = Stop.BreakCode;
+        PM.Insns = Interp.instructionCount();
+        PM.Cycles = Interp.cycleCount();
+        const CpuState &State = Interp.state();
+        PM.Regs.assign(State.Regs, State.Regs + NumIntRegs);
+        PM.FlagBits = State.F.pack();
+        if (Tracer)
+          PM.Events = Tracer->events();
+        PM.Registry = Registry.snapshot();
+      }
+      std::string Path = Recorder->write(PM);
+      if (!Path.empty())
+        reportNotef("post-mortem: bundle written to %s", Path.c_str());
+      else
+        reportNotef("post-mortem: write failed: %s",
+                    Recorder->lastError().c_str());
+    }
   }
 
   std::fputs(Interp.output().c_str(), stdout);
@@ -499,6 +581,15 @@ int main(int Argc, char **Argv) {
   Profiler.publishTo(Registry);
   Registry.gauge("run.output_hash")
       .set(static_cast<double>(hashOutput(Interp.output()) >> 11));
+  if (Opts.ProfileBlocks && Translator) {
+    Profile.publishTo(Registry);
+    std::printf("%s", Profile.renderReport(Opts.ProfileTopN).c_str());
+    reportNotef("block profile: %llu block executions vs %llu dbt "
+                "dispatches (chained and fused transfers are counted "
+                "inline, not dispatched)",
+                (unsigned long long)Profile.totalBlockExecs(),
+                (unsigned long long)Translator->dispatchCount());
+  }
   emitStats(Opts, Registry);
   writeTrace(Opts, Tracer.get());
 

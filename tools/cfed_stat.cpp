@@ -1,0 +1,455 @@
+//===- cfed_stat.cpp - Offline telemetry analysis CLI ---------------------===//
+//
+// Part of the CFED project (CGO'06 control-flow error detection repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Post-hoc analysis of the artifacts the runtime leaves behind:
+///
+///   cfed-stat top FILE [-n N]            hottest counters/gauges of a
+///                                        registry snapshot (or of the
+///                                        registry embedded in a
+///                                        flight-recorder bundle)
+///   cfed-stat diff A B                   counter/gauge deltas between two
+///                                        registry snapshots
+///   cfed-stat postmortem FILE            render a flight-recorder bundle
+///                                        as a human-readable report
+///   cfed-stat bench-diff A B [--threshold P]
+///                                        compare two BENCH_perf.json files
+///                                        and fail (exit 1) on any metric
+///                                        regressing by more than P percent
+///                                        (default 10) — the CI gate used
+///                                        by tools/check_bench_regression.sh
+///
+/// Everything here is read-only over JSON files; the tool links only the
+/// support library and the shared mini JSON reader.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+#include "support/Json.h"
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace cfed;
+using cfed::json::JsonParser;
+using cfed::json::JsonValue;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: cfed-stat <command> ...\n"
+      "\n"
+      "commands:\n"
+      "  top FILE [-n N]                 top-N counters and gauges of a\n"
+      "                                  registry snapshot JSON (also accepts\n"
+      "                                  a flight-recorder bundle; default 20)\n"
+      "  diff A B                        counter/gauge deltas between two\n"
+      "                                  registry snapshots\n"
+      "  postmortem FILE                 render a flight-recorder bundle\n"
+      "  bench-diff A B [--threshold P]  compare BENCH_perf.json files; exit\n"
+      "                                  1 if any metric regresses by more\n"
+      "                                  than P%% (default 10)\n");
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    std::fprintf(stderr, "cfed-stat: cannot open '%s'\n", Path.c_str());
+    return false;
+  }
+  char Buf[4096];
+  size_t N;
+  Out.clear();
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  std::fclose(F);
+  return true;
+}
+
+bool parseFile(const std::string &Path, JsonValue &Out) {
+  std::string Text;
+  if (!readFile(Path, Text))
+    return false;
+  JsonParser Parser(Text);
+  if (!Parser.parse(Out)) {
+    std::fprintf(stderr, "cfed-stat: '%s' is not parseable JSON\n",
+                 Path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Returns the registry object of \p Root: the root itself when it has a
+/// "counters" member, or the "registry" member of a flight-recorder
+/// bundle. Null when neither shape matches.
+const JsonValue &findRegistry(const JsonValue &Root) {
+  static const JsonValue Missing;
+  if (Root["counters"].K == JsonValue::Object)
+    return Root;
+  if (Root["registry"]["counters"].K == JsonValue::Object)
+    return Root["registry"];
+  return Missing;
+}
+
+std::string formatCount(double V) {
+  if (V == static_cast<double>(static_cast<long long>(V)))
+    return formatString("%lld", static_cast<long long>(V));
+  return formatString("%.4f", V);
+}
+
+//===----------------------------------------------------------------------===//
+// top
+//===----------------------------------------------------------------------===//
+
+int cmdTop(int Argc, char **Argv) {
+  std::string Path;
+  size_t TopN = 20;
+  for (int I = 0; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "-n") == 0 && I + 1 < Argc) {
+      TopN = std::strtoull(Argv[++I], nullptr, 10);
+      if (!TopN) {
+        std::fprintf(stderr, "cfed-stat: -n needs a positive count\n");
+        return 2;
+      }
+    } else if (Path.empty()) {
+      Path = Argv[I];
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (Path.empty()) {
+    usage();
+    return 2;
+  }
+
+  JsonValue Root;
+  if (!parseFile(Path, Root))
+    return 2;
+  const JsonValue &Reg = findRegistry(Root);
+  if (Reg.K != JsonValue::Object) {
+    std::fprintf(stderr,
+                 "cfed-stat: '%s' has no registry snapshot (no \"counters\" "
+                 "object at the root or under \"registry\")\n",
+                 Path.c_str());
+    return 2;
+  }
+
+  std::vector<std::pair<std::string, double>> Counters;
+  for (const auto &[Name, Val] : Reg["counters"].Fields)
+    Counters.emplace_back(Name, Val.Num);
+  std::sort(Counters.begin(), Counters.end(), [](const auto &A, const auto &B) {
+    if (A.second != B.second)
+      return A.second > B.second;
+    return A.first < B.first;
+  });
+
+  Table T;
+  T.setHeader({"counter", "value"});
+  size_t Shown = 0;
+  for (const auto &[Name, Val] : Counters) {
+    if (Shown++ == TopN)
+      break;
+    T.addRow({Name, formatCount(Val)});
+  }
+  std::printf("%s", T.render().c_str());
+  if (Counters.size() > TopN)
+    std::printf("(%zu of %zu counters shown)\n", TopN, Counters.size());
+
+  if (!Reg["gauges"].Fields.empty()) {
+    Table G;
+    G.setHeader({"gauge", "value"});
+    for (const auto &[Name, Val] : Reg["gauges"].Fields)
+      G.addRow({Name, formatString("%.4f", Val.Num)});
+    std::printf("\n%s", G.render().c_str());
+  }
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// diff
+//===----------------------------------------------------------------------===//
+
+int cmdDiff(int Argc, char **Argv) {
+  if (Argc != 2) {
+    usage();
+    return 2;
+  }
+  JsonValue RootA, RootB;
+  if (!parseFile(Argv[0], RootA) || !parseFile(Argv[1], RootB))
+    return 2;
+  const JsonValue &RegA = findRegistry(RootA);
+  const JsonValue &RegB = findRegistry(RootB);
+  if (RegA.K != JsonValue::Object || RegB.K != JsonValue::Object) {
+    std::fprintf(stderr, "cfed-stat: both inputs must be registry snapshots "
+                         "or flight-recorder bundles\n");
+    return 2;
+  }
+
+  // Union of counter names, in sorted order (std::map keeps them sorted).
+  Table T;
+  T.setHeader({"counter", "old", "new", "delta"});
+  auto Emit = [&](const std::string &Name, double Old, double New) {
+    T.addRow({Name, formatCount(Old), formatCount(New),
+              formatString("%+lld", static_cast<long long>(New - Old))});
+  };
+  for (const auto &[Name, Val] : RegA["counters"].Fields) {
+    const JsonValue &Other = RegB["counters"][Name];
+    double New = Other.K == JsonValue::Number ? Other.Num : 0.0;
+    if (Val.Num != New)
+      Emit(Name, Val.Num, New);
+  }
+  for (const auto &[Name, Val] : RegB["counters"].Fields)
+    if (RegA["counters"][Name].K != JsonValue::Number && Val.Num != 0.0)
+      Emit(Name, 0.0, Val.Num);
+  std::printf("%s", T.render().c_str());
+
+  bool GaugeHeader = false;
+  Table G;
+  G.setHeader({"gauge", "old", "new"});
+  for (const auto &[Name, Val] : RegA["gauges"].Fields) {
+    const JsonValue &Other = RegB["gauges"][Name];
+    double New = Other.K == JsonValue::Number ? Other.Num : 0.0;
+    if (Val.Num != New) {
+      G.addRow({Name, formatString("%.4f", Val.Num),
+                formatString("%.4f", New)});
+      GaugeHeader = true;
+    }
+  }
+  if (GaugeHeader)
+    std::printf("\n%s", G.render().c_str());
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// postmortem
+//===----------------------------------------------------------------------===//
+
+/// Signature-register names for the checker-owned registers; everything
+/// else renders as rNN.
+const char *specialRegName(size_t Index) {
+  switch (Index) {
+  case 15: return "sp";
+  case 16: return "pcp";
+  case 17: return "rts";
+  case 18: return "aux";
+  case 19: return "aux2";
+  default: return nullptr;
+  }
+}
+
+int cmdPostmortem(int Argc, char **Argv) {
+  if (Argc != 1) {
+    usage();
+    return 2;
+  }
+  JsonValue PM;
+  if (!parseFile(Argv[0], PM))
+    return 2;
+  if (PM["version"].K != JsonValue::Number ||
+      PM["reason"].K != JsonValue::String) {
+    std::fprintf(stderr,
+                 "cfed-stat: '%s' is not a flight-recorder bundle\n", Argv[0]);
+    return 2;
+  }
+
+  std::printf("post-mortem bundle: %s (schema v%d)\n", Argv[0],
+              static_cast<int>(PM["version"].Num));
+  std::printf("reason:    %s\n", PM["reason"].Str.c_str());
+  const JsonValue &Stop = PM["stop"];
+  std::printf("stop:      %s%s%s%s\n", Stop["kind"].Str.c_str(),
+              Stop["trap"].Str.empty() ? "" : " / ",
+              Stop["trap"].Str.c_str(),
+              Stop["description"].Str.empty()
+                  ? ""
+                  : ("  (" + Stop["description"].Str + ")").c_str());
+  std::printf("guest pc:  %s   cache pc: %s   trap addr: %s\n",
+              PM["guest_pc"].Str.c_str(), PM["cache_pc"].Str.c_str(),
+              PM["trap_addr"].Str.c_str());
+  std::printf("executed:  %lld insns, %lld cycles\n",
+              static_cast<long long>(PM["insns"].Num),
+              static_cast<long long>(PM["cycles"].Num));
+
+  if (!PM["note"].Str.empty())
+    std::printf("note:      %s\n", PM["note"].Str.c_str());
+  if (!PM["annotations"].Fields.empty()) {
+    std::printf("annotations:");
+    for (const auto &[Name, Val] : PM["annotations"].Fields)
+      std::printf(" %s=%lld", Name.c_str(), static_cast<long long>(Val.Num));
+    std::printf("\n");
+  }
+
+  const JsonValue &Recovery = PM["recovery"];
+  if (Recovery["present"].B)
+    std::printf("recovery:  checkpoints=%lld rollbacks=%lld watchdog=%lld "
+                "ring_depth=%lld degraded=%s interp_fallback=%s\n",
+                static_cast<long long>(Recovery["checkpoints"].Num),
+                static_cast<long long>(Recovery["rollbacks"].Num),
+                static_cast<long long>(Recovery["watchdog_fires"].Num),
+                static_cast<long long>(Recovery["ring_depth"].Num),
+                Recovery["degraded"].B ? "yes" : "no",
+                Recovery["interpreter_fallback"].B ? "yes" : "no");
+
+  // CPU state: flags plus the non-zero registers, signature registers
+  // called out by name.
+  std::printf("\ncpu flags: %lld\n",
+              static_cast<long long>(PM["cpu"]["flags"].Num));
+  const auto &Regs = PM["cpu"]["regs"].Items;
+  for (size_t I = 0; I < Regs.size(); ++I) {
+    const std::string &Hex = Regs[I].Str;
+    if (Hex == "0x0" && !specialRegName(I))
+      continue;
+    if (const char *Name = specialRegName(I))
+      std::printf("  r%-2zu (%s)%*s = %s\n", I, Name,
+                  static_cast<int>(4 - std::strlen(Name)), "", Hex.c_str());
+    else
+      std::printf("  r%-2zu        = %s\n", I, Hex.c_str());
+  }
+
+  const auto &Events = PM["events"].Items;
+  std::printf("\nlast %zu trace events:\n", Events.size());
+  for (const auto &E : Events)
+    std::printf("  [%8lld] %-18s %-10s addr=%s arg=%lld\n",
+                static_cast<long long>(E["ts"].Num), E["kind"].Str.c_str(),
+                E["category"].Str.c_str(), E["addr"].Str.c_str(),
+                static_cast<long long>(E["arg"].Num));
+
+  if (!PM["guest_disasm"].Str.empty())
+    std::printf("\nguest code around the fault:\n%s",
+                PM["guest_disasm"].Str.c_str());
+  if (!PM["host_disasm"].Str.empty())
+    std::printf("\ntranslated block (code cache):\n%s",
+                PM["host_disasm"].Str.c_str());
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// bench-diff
+//===----------------------------------------------------------------------===//
+
+/// Metric direction for BENCH_perf.json fields. Returns +1 when larger is
+/// better (hit rates), -1 when smaller is better (times, slowdowns,
+/// overheads), 0 for fields that are configuration rather than performance
+/// (jobs, dispatch counts) and so are not gated.
+int metricDirection(const std::string &Field) {
+  if (Field.find("hit_rate") != std::string::npos)
+    return +1;
+  if (Field == "wall_seconds" || Field.find("slowdown") != std::string::npos ||
+      Field.find("overhead") != std::string::npos ||
+      Field.find("seconds") != std::string::npos)
+    return -1;
+  return 0;
+}
+
+int cmdBenchDiff(int Argc, char **Argv) {
+  std::string PathA, PathB;
+  double Threshold = 10.0;
+  for (int I = 0; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strcmp(Arg, "--threshold") == 0 && I + 1 < Argc) {
+      Threshold = std::strtod(Argv[++I], nullptr);
+    } else if (std::strncmp(Arg, "--threshold=", 12) == 0) {
+      Threshold = std::strtod(Arg + 12, nullptr);
+    } else if (PathA.empty()) {
+      PathA = Arg;
+    } else if (PathB.empty()) {
+      PathB = Arg;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (PathB.empty() || Threshold <= 0.0) {
+    usage();
+    return 2;
+  }
+
+  JsonValue Base, Fresh;
+  if (!parseFile(PathA, Base) || !parseFile(PathB, Fresh))
+    return 2;
+  if (Base.K != JsonValue::Object || Fresh.K != JsonValue::Object) {
+    std::fprintf(stderr, "cfed-stat: bench-diff inputs must be "
+                         "BENCH_perf.json objects\n");
+    return 2;
+  }
+
+  Table T;
+  T.setHeader({"metric", "baseline", "current", "change", "verdict"});
+  unsigned Regressions = 0, Compared = 0;
+  for (const auto &[Bench, Fields] : Base.Fields) {
+    if (Fields.K != JsonValue::Object)
+      continue;
+    const JsonValue &Other = Fresh[Bench];
+    if (Other.K != JsonValue::Object)
+      continue;
+    for (const auto &[Field, Val] : Fields.Fields) {
+      int Dir = metricDirection(Field);
+      if (!Dir || Val.K != JsonValue::Number)
+        continue;
+      const JsonValue &NewVal = Other[Field];
+      if (NewVal.K != JsonValue::Number)
+        continue;
+      ++Compared;
+      std::string Name = Bench + "." + Field;
+      double Old = Val.Num, New = NewVal.Num;
+      // Guard tiny baselines: a 0.000-second baseline would turn any
+      // measurable time into an infinite regression.
+      double ChangePct =
+          std::abs(Old) > 1e-9 ? (New - Old) / Old * 100.0 : 0.0;
+      // A regression is the metric moving against its direction by more
+      // than the threshold.
+      bool Regressed = Dir > 0 ? ChangePct < -Threshold
+                               : ChangePct > Threshold;
+      if (Regressed)
+        ++Regressions;
+      T.addRow({Name, formatString("%.4f", Old), formatString("%.4f", New),
+                formatString("%+.1f%%", ChangePct),
+                Regressed ? "REGRESSED" : "ok"});
+    }
+  }
+  std::printf("%s", T.render().c_str());
+  if (!Compared) {
+    std::fprintf(stderr, "cfed-stat: no comparable metrics between '%s' and "
+                         "'%s'\n",
+                 PathA.c_str(), PathB.c_str());
+    return 2;
+  }
+  if (Regressions) {
+    std::printf("bench-diff: %u of %u metrics regressed beyond %.1f%%\n",
+                Regressions, Compared, Threshold);
+    return 1;
+  }
+  std::printf("bench-diff: %u metrics within %.1f%% of baseline\n", Compared,
+              Threshold);
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    usage();
+    return 2;
+  }
+  const char *Cmd = Argv[1];
+  if (std::strcmp(Cmd, "top") == 0)
+    return cmdTop(Argc - 2, Argv + 2);
+  if (std::strcmp(Cmd, "diff") == 0)
+    return cmdDiff(Argc - 2, Argv + 2);
+  if (std::strcmp(Cmd, "postmortem") == 0)
+    return cmdPostmortem(Argc - 2, Argv + 2);
+  if (std::strcmp(Cmd, "bench-diff") == 0)
+    return cmdBenchDiff(Argc - 2, Argv + 2);
+  usage();
+  return 2;
+}

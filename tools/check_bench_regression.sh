@@ -1,0 +1,41 @@
+#!/bin/sh
+# check_bench_regression.sh - CI gate over the checked-in perf baseline.
+#
+# Runs the fast micro_dbt subset into a scratch BENCH_perf.json and compares
+# it against the checked-in baseline with cfed-stat bench-diff. Exits 1 when
+# any comparable metric (wall time, slowdown, overhead, hit rate) regresses
+# by more than the threshold percentage.
+#
+# usage: tools/check_bench_regression.sh [BUILD_DIR] [BASELINE]
+#   BUILD_DIR  cmake build tree holding bench/micro_dbt and tools/cfed-stat
+#              (default: build)
+#   BASELINE   baseline perf JSON (default: BENCH_perf.json)
+# environment:
+#   CFED_BENCH_THRESHOLD  regression threshold in percent (default: 10)
+
+set -eu
+
+BUILD=${1:-build}
+BASELINE=${2:-BENCH_perf.json}
+THRESHOLD=${CFED_BENCH_THRESHOLD:-10}
+
+if [ ! -x "$BUILD/bench/micro_dbt" ] || [ ! -x "$BUILD/tools/cfed-stat" ]; then
+  echo "check_bench_regression: build '$BUILD' is missing bench/micro_dbt" \
+       "or tools/cfed-stat (build the project first)" >&2
+  exit 2
+fi
+if [ ! -f "$BASELINE" ]; then
+  echo "check_bench_regression: baseline '$BASELINE' not found" >&2
+  exit 2
+fi
+
+FRESH=$(mktemp)
+trap 'rm -f "$FRESH"' EXIT INT TERM
+
+# The fast deterministic subset; the publishing code derives hit rates from
+# its own reference runs, so the filter does not zero them out.
+CFED_PERF_JSON=$FRESH "$BUILD/bench/micro_dbt" \
+  --benchmark_filter='BM_EncodeDecode|BM_PredecodedFetch' >/dev/null
+
+exec "$BUILD/tools/cfed-stat" bench-diff "$BASELINE" "$FRESH" \
+  --threshold "$THRESHOLD"
