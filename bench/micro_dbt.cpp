@@ -32,6 +32,29 @@ namespace {
 double GPredecodeHitRate = 0.0;
 double GIbtcHitRate = 0.0;
 double GTelemetryOverhead = 0.0;
+double GScrubOverhead = 0.0;
+
+/// The configurations the scrub-overhead comparison runs: the unchained
+/// dispatch loop (every block exit goes through the dispatcher, so the
+/// scrubber and dispatch verifier actually run at their configured
+/// cadence) with the self-integrity machinery off versus on.
+DbtConfig scrubBaselineConfig() {
+  DbtConfig Config;
+  Config.ChainDirectExits = false;
+  return Config;
+}
+
+DbtConfig scrubEnabledConfig() {
+  DbtConfig Config = scrubBaselineConfig();
+  // A moderate periodic cadence: a full-cache scrub every 1024
+  // dispatches plus one block rehash per 64 dispatch hits. The fault
+  // campaigns crank both down to intervals of 1-16 to catch faults
+  // within their short windows; that assurance configuration is
+  // deliberately not what the overhead gate measures.
+  Config.ScrubInterval = 1024;
+  Config.VerifyDispatchInterval = 64;
+  return Config;
+}
 } // namespace
 
 static void BM_Assembler(benchmark::State &State) {
@@ -205,6 +228,44 @@ static void BM_TelemetryOverhead(benchmark::State &State) {
 }
 BENCHMARK(BM_TelemetryOverhead);
 
+/// Cost of the self-integrity machinery (periodic code-cache scrubbing
+/// every 64 dispatches + lazy dispatch verification every 8th hit) over
+/// the same unchained dispatch loop with integrity off. Reports the
+/// relative overhead; tools/check_bench_regression.sh gates it at
+/// CFED_SCRUB_OVERHEAD_MAX (default 0.15).
+static void BM_ScrubOverhead(benchmark::State &State) {
+  AsmProgram Program = assembleWorkload("181.mcf");
+  auto RunOnce = [&Program](const DbtConfig &Config) {
+    Memory Mem;
+    Interpreter Interp(Mem);
+    Dbt Translator(Mem, Config);
+    if (!Translator.load(Program, Interp.state()))
+      return -1.0;
+    auto Begin = std::chrono::steady_clock::now();
+    Translator.run(Interp, 1000000);
+    auto End = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(Interp.cycleCount());
+    return std::chrono::duration<double>(End - Begin).count();
+  };
+  double BestOff = -1.0, BestOn = -1.0;
+  for (auto _ : State) {
+    double Off = RunOnce(scrubBaselineConfig());
+    double On = RunOnce(scrubEnabledConfig());
+    if (Off < 0 || On < 0) {
+      State.SkipWithError("program failed to load under the DBT");
+      return;
+    }
+    if (BestOff < 0 || Off < BestOff)
+      BestOff = Off;
+    if (BestOn < 0 || On < BestOn)
+      BestOn = On;
+  }
+  GScrubOverhead = BestOff > 0 ? BestOn / BestOff - 1.0 : 0.0;
+  State.counters["scrub_overhead"] = GScrubOverhead;
+  State.SetItemsProcessed(int64_t(State.iterations()) * 2000000);
+}
+BENCHMARK(BM_ScrubOverhead);
+
 static void BM_Translation(benchmark::State &State) {
   AsmProgram Program = assembleWorkload("176.gcc");
   for (auto _ : State) {
@@ -281,6 +342,37 @@ int main(int argc, char **argv) {
                        double(Hits) / double(Hits + Misses));
         }
       }
+    }
+    {
+      // Reference run 3: scrub overhead measured deterministically
+      // (best of three off/on pairs), independent of any
+      // --benchmark_filter that skips BM_ScrubOverhead.
+      AsmProgram Program = assembleWorkload("181.mcf");
+      auto RunOnce = [&Program](const DbtConfig &Config) {
+        Memory Mem;
+        Interpreter Interp(Mem);
+        Dbt Translator(Mem, Config);
+        if (!Translator.load(Program, Interp.state()))
+          return -1.0;
+        auto Begin = std::chrono::steady_clock::now();
+        Translator.run(Interp, 1000000);
+        auto End = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(Interp.cycleCount());
+        return std::chrono::duration<double>(End - Begin).count();
+      };
+      double BestOff = -1.0, BestOn = -1.0;
+      for (int I = 0; I < 3; ++I) {
+        double Off = RunOnce(scrubBaselineConfig());
+        double On = RunOnce(scrubEnabledConfig());
+        if (Off < 0 || On < 0)
+          break;
+        if (BestOff < 0 || Off < BestOff)
+          BestOff = Off;
+        if (BestOn < 0 || On < BestOn)
+          BestOn = On;
+      }
+      if (BestOff > 0 && BestOn > 0)
+        Report.set("scrub_overhead", BestOn / BestOff - 1.0);
     }
   }
   benchmark::Shutdown();

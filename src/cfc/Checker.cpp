@@ -30,10 +30,90 @@ void ControlFlowChecker::chargeEmission(telemetry::Counter *SigCounter,
     SigCounter->inc();
 }
 
+namespace {
+
+uint8_t shadowSigReg(uint8_t Reg) {
+  if (Reg == RegPCP)
+    return RegPCPShadow;
+  if (Reg == RegRTS)
+    return RegRTSShadow;
+  return Reg;
+}
+
+/// Renames PCP/RTS to their shadow registers in \p I's register operands.
+/// Spec-aware: fields bind to A/B/C in order of appearance, 'i' consumes
+/// no field, and fp/condition fields are skipped.
+Instruction substituteShadowRegs(Instruction I) {
+  uint8_t *Fields[3] = {&I.A, &I.B, &I.C};
+  unsigned FieldIndex = 0;
+  for (const char *P = getOpcodeSpec(I.Op); *P; ++P) {
+    switch (*P) {
+    case 'r':
+    case 'm':
+      *Fields[FieldIndex] = shadowSigReg(*Fields[FieldIndex]);
+      ++FieldIndex;
+      break;
+    case 'f':
+    case 'c':
+      ++FieldIndex;
+      break;
+    default:
+      break;
+    }
+  }
+  return I;
+}
+
+} // namespace
+
+void ControlFlowChecker::seedShadowState(CpuState &State) const {
+  State.Regs[RegPCPShadow] = State.Regs[RegPCP];
+  State.Regs[RegRTSShadow] = State.Regs[RegRTS];
+}
+
+void ControlFlowChecker::appendShadowCopy(std::vector<Instruction> &Out,
+                                          size_t Begin) const {
+  size_t End = Out.size();
+  Out.reserve(End + (End - Begin));
+  for (size_t I = Begin; I < End; ++I) {
+    Instruction Copy = substituteShadowRegs(Out[I]);
+    // A duplicated check sequence traps on the *shadow* value: if it
+    // fires while the primary check passed, the shadow diverged — that
+    // is monitor corruption (0x5EC), never a guest CFE. Primary flips
+    // are caught earlier by the cross-check, so 0xCFE stays reserved
+    // for faults in the guest's own control flow.
+    if (Copy.Op == Opcode::Brk && Copy.Imm == BrkControlFlowError)
+      Copy.Imm = BrkMonitorCorruption;
+    Out.push_back(Copy);
+  }
+}
+
+void ControlFlowChecker::emitCrossCheck(std::vector<Instruction> &Out) const {
+  auto CheckPair = [&Out](uint8_t Primary, uint8_t Shadow) {
+    // AUX = Primary - Shadow via two's complement: the ISA has no
+    // flag-neutral register subtract, and FLAGS are live at block entry.
+    Out.push_back(insn::rr(Opcode::Not, RegAUX, Shadow));
+    Out.push_back(insn::rri(Opcode::Lea, RegAUX, RegAUX, 1));
+    Out.push_back(insn::rrr(Opcode::LeaR, RegAUX, Primary, RegAUX));
+    Out.push_back(insn::rri(Opcode::Jzr, RegAUX, 0,
+                            static_cast<int32_t>(InsnSize)));
+    Out.push_back(insn::i(Opcode::Brk, BrkMonitorCorruption));
+  };
+  CheckPair(RegPCP, RegPCPShadow);
+  CheckPair(RegRTS, RegRTSShadow);
+}
+
 void ControlFlowChecker::emitPrologue(std::vector<Instruction> &Out,
                                       uint64_t L, bool DoCheck) const {
   size_t Before = Out.size();
+  // The cross-check precedes the technique's own check so that a flipped
+  // signature register reports 0x5EC (monitor corruption), never 0xCFE.
+  if (ShadowSig && DoCheck)
+    emitCrossCheck(Out);
+  size_t Primary = Out.size();
   prologueImpl(Out, L, DoCheck);
+  if (ShadowSig)
+    appendShadowCopy(Out, Primary);
   chargeEmission(DoCheck ? CheckSigEmitted : nullptr, Out.size() - Before);
 }
 
@@ -41,6 +121,8 @@ void ControlFlowChecker::emitDirectUpdate(std::vector<Instruction> &Out,
                                           uint64_t L, uint64_t Target) const {
   size_t Before = Out.size();
   directUpdateImpl(Out, L, Target);
+  if (ShadowSig)
+    appendShadowCopy(Out, Before);
   chargeEmission(GenSigEmitted, Out.size() - Before);
 }
 
@@ -49,6 +131,8 @@ void ControlFlowChecker::emitCondUpdate(std::vector<Instruction> &Out,
                                         uint64_t Taken, uint64_t Fall) const {
   size_t Before = Out.size();
   condUpdateImpl(Out, L, CC, Taken, Fall);
+  if (ShadowSig)
+    appendShadowCopy(Out, Before);
   chargeEmission(GenSigEmitted, Out.size() - Before);
 }
 
@@ -58,6 +142,8 @@ void ControlFlowChecker::emitRegCondUpdate(std::vector<Instruction> &Out,
                                            uint64_t Fall) const {
   size_t Before = Out.size();
   regCondUpdateImpl(Out, L, BranchOp, Reg, Taken, Fall);
+  if (ShadowSig)
+    appendShadowCopy(Out, Before);
   chargeEmission(GenSigEmitted, Out.size() - Before);
 }
 
@@ -66,6 +152,8 @@ void ControlFlowChecker::emitIndirectUpdate(std::vector<Instruction> &Out,
                                             uint8_t TargetReg) const {
   size_t Before = Out.size();
   indirectUpdateImpl(Out, L, TargetReg);
+  if (ShadowSig)
+    appendShadowCopy(Out, Before);
   chargeEmission(GenSigEmitted, Out.size() - Before);
 }
 

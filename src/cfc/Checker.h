@@ -116,6 +116,21 @@ public:
   /// wrappers below skip counting.
   void bindMetrics(telemetry::MetricsRegistry &Registry);
 
+  /// Enables shadow-signature duplication (the self-integrity
+  /// extension): every emitted signature sequence is re-applied to
+  /// shadow copies of PCP/RTS (RegPCPShadow/RegRTSShadow), and checked
+  /// prologues are preceded by a cross-check that traps with
+  /// BrkMonitorCorruption (0x5EC) when a signature register diverges
+  /// from its shadow — distinguishing a flipped signature variable from
+  /// a real control-flow error.
+  void setShadowSignature(bool Enabled) { ShadowSig = Enabled; }
+  bool shadowSignature() const { return ShadowSig; }
+
+  /// Copies the live signature registers into their shadow copies.
+  /// Callers invoke this right after initState() when shadow signatures
+  /// are enabled.
+  void seedShadowState(CpuState &State) const;
+
   /// Emits the block prologue for the block with signature \p L. When
   /// \p DoCheck is false (relaxed policies) only the entry update is
   /// emitted. Counts CHECK_SIG emissions when metrics are bound.
@@ -167,6 +182,18 @@ private:
   /// Charges \p Emitted instructions to the instrumentation counters and
   /// \p SigCounter (when anything was emitted and metrics are bound).
   void chargeEmission(telemetry::Counter *SigCounter, size_t Emitted) const;
+
+  /// Re-emits Out[Begin..) with PCP/RTS renamed to their shadow
+  /// registers, appended after the primary sequence. Emitted sequences
+  /// are position-independent (internal branches skip a fixed number of
+  /// following instructions), so the copy stays correct.
+  void appendShadowCopy(std::vector<Instruction> &Out, size_t Begin) const;
+
+  /// Emits the PCP==PCP' and RTS==RTS' cross-checks (trap 0x5EC on
+  /// divergence). Flag-neutral; clobbers only AUX.
+  void emitCrossCheck(std::vector<Instruction> &Out) const;
+
+  bool ShadowSig = false;
 
   // Bound by bindMetrics(); null until then.
   telemetry::Counter *CheckSigEmitted = nullptr;

@@ -12,8 +12,10 @@
 ///
 /// Blocks live in a deque (stable references across insertion); the index
 /// holds (key, pool-position) pairs probed linearly from a multiplicative
-/// hash. There is no erase: translations only die wholesale at a
-/// self-modification flush, which clears the table.
+/// hash. There is no per-key erase on the hot path: translations die
+/// wholesale at a self-modification flush (clear()) or in batches when
+/// the integrity scrubber quarantines a unit (eraseIf(), which rebuilds
+/// the index — cold-path only).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -34,7 +36,7 @@ public:
   BlockTable() { Slots.resize(InitialSlots, Empty); }
 
   /// Inserts \p Block under \p GuestAddr, which must not be present yet.
-  /// The reference stays valid until clear().
+  /// The reference stays valid until clear() or eraseIf().
   BlockT &insert(uint64_t GuestAddr, BlockT &&Block) {
     assert(!find(GuestAddr) && "duplicate guest address");
     if ((Pool.size() + 1) * 10 >= Slots.size() * 7)
@@ -58,6 +60,35 @@ public:
 
   bool contains(uint64_t GuestAddr) const { return find(GuestAddr); }
 
+  /// Mutable lookup for bookkeeping fields (dispatch hit counts,
+  /// integrity words). The key must not change through the result.
+  BlockT *findMutable(uint64_t GuestAddr) {
+    return const_cast<BlockT *>(
+        static_cast<const BlockTable *>(this)->find(GuestAddr));
+  }
+
+  /// Removes every block \p Pred accepts and rebuilds the index. O(n)
+  /// and invalidates references — quarantine path only, never dispatch.
+  /// Returns the number of blocks removed.
+  template <typename PredT> size_t eraseIf(PredT Pred) {
+    std::deque<BlockT> Kept;
+    size_t Removed = 0;
+    for (BlockT &Block : Pool) {
+      if (Pred(static_cast<const BlockT &>(Block)))
+        ++Removed;
+      else
+        Kept.push_back(std::move(Block));
+    }
+    Pool = std::move(Kept);
+    size_t NewSlots = InitialSlots;
+    while ((Pool.size() + 1) * 10 >= NewSlots * 7)
+      NewSlots *= 2;
+    Slots.assign(NewSlots, Empty);
+    for (uint32_t Pos = 0; Pos < Pool.size(); ++Pos)
+      placeIndex(Pool[Pos].GuestAddr, Pos);
+    return Removed;
+  }
+
   void clear() {
     Pool.clear();
     Slots.assign(InitialSlots, Empty);
@@ -68,6 +99,8 @@ public:
 
   auto begin() const { return Pool.begin(); }
   auto end() const { return Pool.end(); }
+  auto begin() { return Pool.begin(); }
+  auto end() { return Pool.end(); }
 
 private:
   static constexpr uint32_t Empty = UINT32_MAX;

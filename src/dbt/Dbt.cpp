@@ -34,8 +34,13 @@ Dbt::Dbt(Memory &Mem, DbtConfig Config, telemetry::MetricsRegistry *Metrics)
       Flushes(this->Metrics->counter("dbt.flushes")),
       FoldedUpdates(this->Metrics->counter("dbt.folded_updates")),
       SuperblockFusions(this->Metrics->counter("dbt.superblock_fusions")),
-      Degrades(this->Metrics->counter("dbt.degrades")) {
+      Degrades(this->Metrics->counter("dbt.degrades")),
+      IntegrityScrubs(this->Metrics->counter("integrity.scrubs")),
+      IntegrityMismatches(this->Metrics->counter("integrity.mismatches")),
+      IntegrityRetranslations(
+          this->Metrics->counter("integrity.retranslations")) {
   Checker = createChecker(Config.Tech, Config.Flavor);
+  Checker->setShadowSignature(this->Config.ShadowSignature);
   Checker->bindMetrics(*this->Metrics);
 }
 
@@ -74,6 +79,8 @@ bool Dbt::load(const AsmProgram &Program, CpuState &State) {
   }
 
   Checker->initState(State, GuestEntry);
+  if (Config.ShadowSignature)
+    Checker->seedShadowState(State);
   State.PC = lookupOrTranslate(GuestEntry);
   return true;
 }
@@ -418,6 +425,8 @@ uint64_t Dbt::translate(uint64_t EntryGuest) {
     // re-entry point: record it for the recovery subsystem.
     SafePoints[TB.CacheAddr] = SafePointInfo{Sub.Guest, Sub.Checked};
     NumCheckSites += Sub.Checked;
+    if (integrityEnabled())
+      TB.IntegrityWord = computeIntegrityWord(TB);
     BlockMap.insert(Sub.Guest, std::move(TB));
   }
   return Base;
@@ -425,7 +434,12 @@ uint64_t Dbt::translate(uint64_t EntryGuest) {
 
 uint64_t Dbt::onDirectExit(uint64_t SiteAddr, uint64_t GuestTarget) {
   Dispatches.inc();
+  maybeScrub();
   uint64_t Cache = lookupOrTranslate(GuestTarget);
+  // Verify before chaining: a corrupted target must be healed, not
+  // wired into the fast path.
+  if (Config.VerifyDispatchInterval && dispatchVerify(GuestTarget))
+    Cache = lookupOrTranslate(GuestTarget);
   bool Translated = BlockMap.contains(GuestTarget);
   if (Config.ChainDirectExits && Translated && isCacheAddr(SiteAddr)) {
     // Patch the Tramp into a direct jump (block chaining).
@@ -436,6 +450,10 @@ uint64_t Dbt::onDirectExit(uint64_t SiteAddr, uint64_t GuestTarget) {
     Mem.writeRaw(SiteAddr, Raw, InsnSize);
     Patches.push_back({SiteAddr, GuestTarget});
     Chains.inc();
+    // The patch legitimately mutated cache bytes: reseal the blocks
+    // whose integrity words cover the site.
+    if (integrityEnabled())
+      resealBlocksContaining(SiteAddr);
     if (Tracer)
       Tracer->record(now(), telemetry::TraceEventKind::BlockChained, nullptr,
                      GuestTarget);
@@ -446,18 +464,32 @@ uint64_t Dbt::onDirectExit(uint64_t SiteAddr, uint64_t GuestTarget) {
 uint64_t Dbt::onIndirectExit(uint64_t SiteAddr, uint64_t GuestTarget) {
   (void)SiteAddr;
   Dispatches.inc();
+  maybeScrub();
   // Indirect-branch translation cache: one direct-mapped probe before the
   // full lookup. Only committed translations enter the table, so a hit
   // can never swallow a trap a raw (untranslated) target would raise.
   IbtcEntry &Entry = Ibtc[(GuestTarget / InsnSize) % IbtcSlots];
   if (Entry.Guest == GuestTarget) {
-    IbtcHits.inc();
-    return Entry.Cache;
+    // A flipped entry would redirect control silently; with integrity
+    // checking on, drop any entry whose seal no longer matches and fall
+    // through to the full lookup (self-heal).
+    if (integrityEnabled() &&
+        Entry.Check != ibtcCheckWord(Entry.Guest, Entry.Cache)) {
+      IntegrityMismatches.inc();
+      Entry = IbtcEntry{};
+    } else {
+      IbtcHits.inc();
+      if (Config.VerifyDispatchInterval && dispatchVerify(GuestTarget))
+        return lookupOrTranslate(GuestTarget);
+      return Entry.Cache;
+    }
   }
   IbtcMisses.inc();
   uint64_t Cache = lookupOrTranslate(GuestTarget);
+  if (Config.VerifyDispatchInterval && dispatchVerify(GuestTarget))
+    Cache = lookupOrTranslate(GuestTarget);
   if (BlockMap.contains(GuestTarget))
-    Entry = {GuestTarget, Cache};
+    Entry = {GuestTarget, Cache, ibtcCheckWord(GuestTarget, Cache)};
   return Cache;
 }
 
@@ -483,6 +515,278 @@ bool Dbt::onWriteViolation(uint64_t DataAddr) {
     Tracer->record(now(), telemetry::TraceEventKind::CacheFlush, "smc",
                    DataAddr);
   return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Self-integrity: integrity words, dispatch verification, scrubbing, and
+// quarantine (DESIGN.md §10).
+//===----------------------------------------------------------------------===//
+
+uint64_t Dbt::ibtcCheckWord(uint64_t Guest, uint64_t Cache) {
+  uint64_t H = Guest * 0x9e3779b97f4a7c15ULL;
+  H ^= H >> 32;
+  H += Cache * 0xff51afd7ed558ccdULL;
+  H ^= H >> 29;
+  return H | 1;
+}
+
+namespace {
+
+constexpr uint64_t FnvOffset = 1469598103934665603ULL;
+constexpr uint64_t FnvPrime = 1099511628211ULL;
+
+void fnvFold(uint64_t &H, const uint8_t *Data, size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    H = (H ^ Data[I]) * FnvPrime;
+}
+
+void fnvFold64(uint64_t &H, uint64_t V) {
+  uint8_t Bytes[8];
+  for (unsigned I = 0; I < 8; ++I)
+    Bytes[I] = static_cast<uint8_t>(V >> (I * 8));
+  fnvFold(H, Bytes, 8);
+}
+
+} // namespace
+
+uint64_t Dbt::computeIntegrityWord(const TranslatedBlock &TB) const {
+  uint64_t H = FnvOffset;
+  uint8_t Buf[256];
+  uint64_t End = TB.CacheAddr + TB.CacheSize;
+  for (uint64_t Addr = TB.CacheAddr; Addr < End;) {
+    uint64_t Chunk = std::min<uint64_t>(sizeof(Buf), End - Addr);
+    Mem.readRaw(Addr, Buf, Chunk);
+    fnvFold(H, Buf, Chunk);
+    Addr += Chunk;
+  }
+  // Sealed header: the entry metadata a flipped BlockTable slot would
+  // change. Folding it into the same word makes one verification cover
+  // both the emitted code and the table entry describing it.
+  fnvFold64(H, TB.GuestAddr);
+  fnvFold64(H, TB.CacheAddr);
+  fnvFold64(H, TB.CacheSize);
+  return H;
+}
+
+bool Dbt::verifyIntegrityWord(const TranslatedBlock &TB) const {
+  // Plausibility before hashing: a flipped CacheAddr/CacheSize could
+  // point the hash walk outside the mapped cache region.
+  if (TB.CacheAddr < CacheBase || TB.CacheSize == 0 ||
+      TB.CacheAddr + TB.CacheSize < TB.CacheAddr ||
+      TB.CacheAddr + TB.CacheSize > CacheAlloc)
+    return false;
+  return computeIntegrityWord(TB) == TB.IntegrityWord;
+}
+
+void Dbt::resealBlocksContaining(uint64_t CacheAddr) {
+  for (TranslatedBlock &TB : BlockMap)
+    if (TB.containsCacheAddr(CacheAddr))
+      TB.IntegrityWord = computeIntegrityWord(TB);
+}
+
+bool Dbt::dispatchVerify(uint64_t GuestTarget) {
+  TranslatedBlock *TB = BlockMap.findMutable(GuestTarget);
+  if (!TB)
+    return false;
+  if (++TB->Hits % Config.VerifyDispatchInterval != 0)
+    return false;
+  if (verifyIntegrityWord(*TB))
+    return false;
+  IntegrityMismatches.inc();
+  quarantineUnit(TB->CacheAddr + TB->CacheSize, "dispatch-verify");
+  return true;
+}
+
+void Dbt::maybeScrub() {
+  if (!Config.ScrubInterval)
+    return;
+  if (++DispatchesSinceScrub < Config.ScrubInterval)
+    return;
+  DispatchesSinceScrub = 0;
+  scrubCodeCache();
+}
+
+size_t Dbt::scrubCodeCache() {
+  if (!integrityEnabled())
+    return 0; // Blocks were never sealed; nothing to verify against.
+  telemetry::PhaseProfiler::Scope Timer(Profiler, telemetry::Phase::Scrub);
+  IntegrityScrubs.inc();
+  // Collect corrupted units first: quarantining mutates the table, so
+  // no eviction happens mid-iteration.
+  std::vector<uint64_t> BadUnits;
+  size_t BadBlocks = 0;
+  for (const TranslatedBlock &TB : BlockMap) {
+    if (verifyIntegrityWord(TB))
+      continue;
+    ++BadBlocks;
+    IntegrityMismatches.inc();
+    uint64_t UnitEnd = TB.CacheAddr + TB.CacheSize;
+    if (std::find(BadUnits.begin(), BadUnits.end(), UnitEnd) ==
+        BadUnits.end())
+      BadUnits.push_back(UnitEnd);
+  }
+  if (Tracer)
+    Tracer->record(now(), telemetry::TraceEventKind::IntegrityScrub, nullptr,
+                   0, BlockMap.size());
+  for (uint64_t UnitEnd : BadUnits)
+    quarantineUnit(UnitEnd, "scrub");
+  return BadBlocks;
+}
+
+bool Dbt::verifyGuestBlock(uint64_t GuestAddr) const {
+  const TranslatedBlock *TB = BlockMap.find(GuestAddr);
+  if (!TB || !integrityEnabled())
+    return true;
+  return verifyIntegrityWord(*TB);
+}
+
+bool Dbt::quarantineGuestBlock(uint64_t GuestAddr) {
+  const TranslatedBlock *TB = BlockMap.find(GuestAddr);
+  if (!TB)
+    return false;
+  quarantineUnit(TB->CacheAddr + TB->CacheSize, "recovery");
+  return true;
+}
+
+bool Dbt::faultFlipBlockMetaBit(size_t Index, unsigned Word, unsigned Bit) {
+  if (BlockMap.empty())
+    return false;
+  auto It = BlockMap.begin();
+  std::advance(It, Index % BlockMap.size());
+  TranslatedBlock &TB = *It;
+  uint64_t Mask = 1ull << (Bit % 64);
+  switch (Word % 3) {
+  case 0:
+    TB.GuestAddr ^= Mask;
+    break;
+  case 1:
+    TB.CacheAddr ^= Mask;
+    break;
+  default:
+    TB.CacheSize ^= Mask;
+    break;
+  }
+  return true;
+}
+
+bool Dbt::faultFlipIbtcBit(size_t Index, unsigned Bit) {
+  std::vector<IbtcEntry *> Occupied;
+  for (IbtcEntry &Entry : Ibtc)
+    if (Entry.Guest != ~0ULL)
+      Occupied.push_back(&Entry);
+  if (Occupied.empty())
+    return false;
+  Occupied[Index % Occupied.size()]->Cache ^= 1ull << (Bit % 64);
+  return true;
+}
+
+void Dbt::quarantineUnit(uint64_t UnitEnd, const char *Origin) {
+  // All sub-blocks of one translation unit share the unit's end address
+  // (each CacheSize extends to it), which identifies the unit's members
+  // even when one entry's other metadata is corrupted.
+  std::vector<uint64_t> Guests;
+  uint64_t UnitStart = UnitEnd;
+  uint64_t HeadGuest = 0;
+  for (const TranslatedBlock &TB : BlockMap) {
+    if (TB.CacheAddr + TB.CacheSize != UnitEnd)
+      continue;
+    Guests.push_back(TB.GuestAddr);
+    if (TB.CacheAddr <= UnitStart) {
+      UnitStart = TB.CacheAddr;
+      HeadGuest = TB.GuestAddr;
+    }
+  }
+  if (Guests.empty())
+    return;
+  // Clamp the cleanup range to the live cache: corrupted metadata can
+  // push the nominal range out of bounds.
+  uint64_t RangeBegin = std::max(UnitStart, CacheBase);
+  uint64_t RangeEnd = std::min(UnitEnd, CacheAlloc);
+
+  // Post-mortem before eviction so the bundle still disassembles the
+  // corrupt host bytes.
+  if (Recorder && ClockSource) {
+    StopInfo S;
+    S.Kind = StopKind::Halted;
+    S.PC = RangeBegin;
+    telemetry::PostMortem PM = buildPostMortem("quarantine", S, *ClockSource);
+    PM.Note = Origin;
+    PM.Annotations.emplace_back("guest_addr", HeadGuest);
+    PM.Annotations.emplace_back("unit_start", UnitStart);
+    PM.Annotations.emplace_back("unit_end", UnitEnd);
+    PM.Annotations.emplace_back("blocks", Guests.size());
+    Recorder->write(PM);
+  }
+  if (Tracer)
+    Tracer->record(now(), telemetry::TraceEventKind::BlockQuarantined, Origin,
+                   HeadGuest, Guests.size());
+
+  // Safe points (and the check-site census) of the evicted range.
+  if (RangeBegin < RangeEnd)
+    for (auto It = SafePoints.begin(); It != SafePoints.end();) {
+      if (It->first >= RangeBegin && It->first < RangeEnd) {
+        NumCheckSites -= It->second.Checked;
+        It = SafePoints.erase(It);
+      } else {
+        ++It;
+      }
+    }
+
+  // IBTC entries keyed by an evicted guest or pointing into the unit.
+  for (IbtcEntry &Entry : Ibtc) {
+    if (Entry.Guest == ~0ULL)
+      continue;
+    bool InRange = Entry.Cache >= RangeBegin && Entry.Cache < RangeEnd;
+    bool EvictedGuest = std::find(Guests.begin(), Guests.end(),
+                                  Entry.Guest) != Guests.end();
+    if (InRange || EvictedGuest)
+      Entry = IbtcEntry{};
+  }
+
+  // Unchain predecessors jumping into the unit (restore their Tramp so
+  // they re-dispatch into the fresh translation) and drop bookkeeping
+  // for patch sites inside the unit (their bytes are stale).
+  std::vector<uint64_t> UnchainedSites;
+  std::vector<ChainPatch> Kept;
+  for (const ChainPatch &Patch : Patches) {
+    bool SiteInUnit =
+        Patch.SiteAddr >= RangeBegin && Patch.SiteAddr < RangeEnd;
+    bool TargetsUnit = std::find(Guests.begin(), Guests.end(),
+                                 Patch.GuestTarget) != Guests.end();
+    if (SiteInUnit)
+      continue;
+    if (TargetsUnit) {
+      Instruction Tramp =
+          insn::i(Opcode::Tramp, static_cast<int32_t>(Patch.GuestTarget));
+      uint8_t Raw[InsnSize];
+      Tramp.encode(Raw);
+      Mem.writeRaw(Patch.SiteAddr, Raw, InsnSize);
+      UnchainedSites.push_back(Patch.SiteAddr);
+      continue;
+    }
+    Kept.push_back(Patch);
+  }
+  Patches = std::move(Kept);
+
+  // Evict the unit's blocks and any stale decode of its bytes.
+  BlockMap.eraseIf([UnitEnd](const TranslatedBlock &TB) {
+    return TB.CacheAddr + TB.CacheSize == UnitEnd;
+  });
+  if (RangeBegin < RangeEnd)
+    Mem.invalidatePredecode(RangeBegin, RangeEnd - RangeBegin);
+
+  // The unchaining writes mutated live predecessor blocks: reseal them.
+  for (uint64_t Site : UnchainedSites)
+    resealBlocksContaining(Site);
+
+  // Self-heal: retranslate the unit head when it is still a
+  // translatable guest target. (A flipped GuestAddr falls back to lazy
+  // retranslation at the next dispatch of the real address.)
+  if (!BlockMap.contains(HeadGuest)) {
+    uint64_t Cache = lookupOrTranslate(HeadGuest);
+    if (isCacheAddr(Cache))
+      IntegrityRetranslations.inc();
+  }
 }
 
 void Dbt::flushTranslations() {

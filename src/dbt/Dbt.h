@@ -83,6 +83,17 @@ struct DbtConfig {
   /// before stores/outputs (the paper's future-work extension; see
   /// cfc/DataFlow.h).
   bool DataFlowCheck = false;
+  /// Self-integrity: lazily verify a translated block's integrity word
+  /// every N dispatches that land on it (0 = off).
+  uint64_t VerifyDispatchInterval = 0;
+  /// Self-integrity: eagerly verify every live translation (the
+  /// scrubber) once per N cache-exit dispatches (0 = off).
+  uint64_t ScrubInterval = 0;
+  /// Self-integrity: duplicate the runtime signature into shadow
+  /// registers (RegPCPShadow/RegRTSShadow) and cross-check at CHECK_SIG
+  /// sites, so a flipped signature variable reports monitor corruption
+  /// (0x5EC) instead of a guest control-flow error.
+  bool ShadowSignature = false;
 };
 
 /// One translated guest block resident in the code cache.
@@ -90,6 +101,14 @@ struct TranslatedBlock {
   uint64_t GuestAddr = 0;
   uint64_t CacheAddr = 0;
   uint64_t CacheSize = 0;
+  /// FNV-1a over the block's emitted cache bytes plus a sealed header of
+  /// its entry metadata (GuestAddr/CacheAddr/CacheSize), computed when
+  /// self-integrity checking is enabled and resealed after legitimate
+  /// cache mutation (chain patches). 0 when integrity is off.
+  uint64_t IntegrityWord = 0;
+  /// Dispatches that landed on this block; drives the lazy
+  /// every-N-dispatches verification.
+  uint64_t Hits = 0;
   /// Cache-address ranges [begin, end) occupied by checker-emitted
   /// instrumentation.
   std::vector<std::pair<uint64_t, uint64_t>> InstrRanges;
@@ -197,6 +216,59 @@ public:
   /// Number of degradeToConservative() calls.
   uint64_t degradeCount() const { return Degrades.value(); }
 
+  /// True when any self-integrity verification is configured (the
+  /// dispatch verifier or the scrubber).
+  bool integrityEnabled() const {
+    return Config.VerifyDispatchInterval > 0 || Config.ScrubInterval > 0;
+  }
+
+  /// One eager scrubber pass: verifies every live translation's
+  /// integrity word between sub-block safe points, quarantining and
+  /// retranslating any corrupted unit. Returns the number of corrupted
+  /// blocks found. Runs automatically every Config.ScrubInterval
+  /// dispatches; public for tools and tests.
+  size_t scrubCodeCache();
+
+  /// Side-effect-free integrity probe of the translation of
+  /// \p GuestAddr: no counters, no quarantine. Returns false when the
+  /// integrity word does not match, true when the block is clean or not
+  /// translated. The healing paths are dispatch verification, the
+  /// scrubber and quarantineGuestBlock().
+  bool verifyGuestBlock(uint64_t GuestAddr) const;
+
+  /// Quarantines the translation unit containing the translation of
+  /// \p GuestAddr: evicts its blocks, unchains patched predecessors,
+  /// drops its IBTC entries, and retranslates the unit head. Returns
+  /// true if a unit was quarantined. The recovery ladder uses this as
+  /// the rung before degradeToConservative().
+  bool quarantineGuestBlock(uint64_t GuestAddr);
+
+  /// Scrubber passes completed ("integrity.scrubs").
+  uint64_t integrityScrubCount() const { return IntegrityScrubs.value(); }
+  /// Integrity-word / IBTC check-word mismatches found
+  /// ("integrity.mismatches").
+  uint64_t integrityMismatchCount() const {
+    return IntegrityMismatches.value();
+  }
+  /// Self-healing retranslations after quarantine
+  /// ("integrity.retranslations").
+  uint64_t integrityRetranslationCount() const {
+    return IntegrityRetranslations.value();
+  }
+
+  /// Attaches/detaches a flight recorder that receives a "quarantine"
+  /// post-mortem bundle whenever an integrity mismatch evicts a unit.
+  void setFlightRecorder(telemetry::FlightRecorder *R) { Recorder = R; }
+
+  /// Fault surface for the checker-targeted injection campaigns: flips
+  /// bit \p Bit of metadata word \p Word (0 = GuestAddr, 1 = CacheAddr,
+  /// 2 = CacheSize) of the \p Index-th live translated block
+  /// (translation order). Returns false when no block exists.
+  bool faultFlipBlockMetaBit(size_t Index, unsigned Word, unsigned Bit);
+  /// Flips bit \p Bit of the cached target address of the \p Index-th
+  /// occupied IBTC entry. Returns false when the IBTC is empty.
+  bool faultFlipIbtcBit(size_t Index, unsigned Bit);
+
   /// Guest program entry and code segment, as captured by load().
   uint64_t guestEntry() const { return GuestEntry; }
   uint64_t guestCodeBase() const { return GuestCodeBase; }
@@ -286,12 +358,42 @@ private:
 
   /// One entry of the indirect-branch translation cache: a direct-mapped
   /// guest→cache-address table consulted before the block-table lookup on
-  /// every TrampR exit (the DBT analogue of a hardware BTB).
+  /// every TrampR exit (the DBT analogue of a hardware BTB). Check seals
+  /// the (Guest, Cache) pair so that a flipped entry is dropped on hit
+  /// instead of redirecting control (verified only when self-integrity
+  /// checking is enabled).
   struct IbtcEntry {
     uint64_t Guest = ~0ULL;
     uint64_t Cache = 0;
+    uint64_t Check = 0;
   };
   static constexpr size_t IbtcSlots = 512; // Power of two.
+
+  /// Seals an IBTC entry: a cheap two-multiply mix of (Guest, Cache),
+  /// never zero so a cleared entry cannot masquerade as sealed.
+  static uint64_t ibtcCheckWord(uint64_t Guest, uint64_t Cache);
+
+  /// FNV-1a over the block's cache byte range plus its sealed entry
+  /// metadata (guest address, cache address, size).
+  uint64_t computeIntegrityWord(const TranslatedBlock &TB) const;
+  /// Plausibility-checks \p TB's metadata and recomputes its integrity
+  /// word. False means the block (or its table entry) is corrupted.
+  bool verifyIntegrityWord(const TranslatedBlock &TB) const;
+  /// Recomputes the integrity words of every live block whose range
+  /// contains \p CacheAddr (after a legitimate chain-patch write).
+  void resealBlocksContaining(uint64_t CacheAddr);
+  /// Lazy per-dispatch verification of \p GuestTarget's block. Returns
+  /// true when a mismatch was found and the unit was quarantined (the
+  /// caller must re-resolve its cache address).
+  bool dispatchVerify(uint64_t GuestTarget);
+  /// Runs a scrubber pass when the dispatch-count interval expired.
+  void maybeScrub();
+  /// Evicts the translation unit ending at \p UnitEnd: drops its blocks,
+  /// safe points, IBTC entries, and chain bookkeeping, unchains patched
+  /// predecessors, and retranslates the unit head when possible.
+  /// \p Origin tags the flight-recorder bundle ("scrub",
+  /// "dispatch-verify", "recovery").
+  void quarantineUnit(uint64_t UnitEnd, const char *Origin);
 
   Memory &Mem;
   DbtConfig Config;
@@ -321,6 +423,12 @@ private:
   telemetry::Counter &FoldedUpdates;
   telemetry::Counter &SuperblockFusions;
   telemetry::Counter &Degrades;
+  telemetry::Counter &IntegrityScrubs;
+  telemetry::Counter &IntegrityMismatches;
+  telemetry::Counter &IntegrityRetranslations;
+  /// Cache-exit dispatches since the last scrubber pass.
+  uint64_t DispatchesSinceScrub = 0;
+  telemetry::FlightRecorder *Recorder = nullptr;
   telemetry::EventTracer *Tracer = nullptr;
   telemetry::PhaseProfiler *Profiler = nullptr;
   telemetry::BlockProfile *Profile = nullptr;

@@ -1,0 +1,226 @@
+//===- IntegrityFault.cpp - Checker-targeted fault injection -------------------===//
+
+#include "fault/IntegrityFault.h"
+
+#include "support/Diagnostics.h"
+#include "support/Prng.h"
+#include "support/ThreadPool.h"
+
+#include <vector>
+
+using namespace cfed;
+
+const char *cfed::getIntegrityTargetName(IntegrityTarget T) {
+  switch (T) {
+  case IntegrityTarget::CodeByte:
+    return "code";
+  case IntegrityTarget::TableEntry:
+    return "meta";
+  case IntegrityTarget::SigState:
+    return "sig";
+  }
+  cfed_unreachable("covered switch");
+}
+
+std::string cfed::getIntegrityOutcomeCounterName(IntegrityTarget T,
+                                                 Outcome O) {
+  return std::string("fault.int_") + getIntegrityTargetName(T) + '.' +
+         getOutcomeName(O);
+}
+
+OutcomeCounts IntegrityCampaignResult::totals() const {
+  OutcomeCounts Totals;
+  for (const OutcomeCounts &Counts : PerTarget)
+    Totals.merge(Counts);
+  return Totals;
+}
+
+void IntegrityFaultInjector::onInsn(uint64_t InsnAddr, const Instruction &,
+                                    CpuState &State) {
+  if (Fired)
+    return;
+  if (++Counter < Instance)
+    return;
+  // Armed: fire at the first instruction with an eligible victim.
+  switch (Target) {
+  case IntegrityTarget::CodeByte:
+    fireCodeByte(InsnAddr);
+    return;
+  case IntegrityTarget::TableEntry:
+    fireTableEntry();
+    return;
+  case IntegrityTarget::SigState:
+    fireSigState(State);
+    return;
+  }
+}
+
+void IntegrityFaultInjector::fireCodeByte(uint64_t InsnAddr) {
+  // Exclude the translation unit currently executing: dispatch
+  // verification happens at unit boundaries, so corruption inside the
+  // running unit could execute before any check sees it.
+  const TranslatedBlock *Current = Translator.cacheBlockContaining(InsnAddr);
+  uint64_t CurrentUnit = Current ? Current->CacheAddr + Current->CacheSize : 0;
+  std::vector<const TranslatedBlock *> Eligible;
+  for (const TranslatedBlock &TB : Translator.blocks())
+    if (TB.CacheAddr + TB.CacheSize != CurrentUnit)
+      Eligible.push_back(&TB);
+  if (Eligible.empty())
+    return;
+  const TranslatedBlock *Victim = Eligible[Pick % Eligible.size()];
+  uint64_t Addr = Victim->CacheAddr + (Pick >> 8) % Victim->CacheSize;
+  uint8_t Byte;
+  Mem.readRaw(Addr, &Byte, 1);
+  Byte ^= static_cast<uint8_t>(1u << (Bit % 8));
+  Mem.writeRaw(Addr, &Byte, 1);
+  Mem.invalidatePredecode(Addr, 1);
+  Fired = true;
+}
+
+void IntegrityFaultInjector::fireTableEntry() {
+  size_t Index = static_cast<size_t>(Pick >> 1);
+  unsigned Word = static_cast<unsigned>(Pick >> 33);
+  if ((Pick & 1) != 0) {
+    if (Translator.faultFlipIbtcBit(Index, Bit) ||
+        Translator.faultFlipBlockMetaBit(Index, Word, Bit))
+      Fired = true;
+    return;
+  }
+  if (Translator.faultFlipBlockMetaBit(Index, Word, Bit) ||
+      Translator.faultFlipIbtcBit(Index, Bit))
+    Fired = true;
+}
+
+void IntegrityFaultInjector::fireSigState(CpuState &State) {
+  static constexpr uint8_t Candidates[4] = {RegPCP, RegRTS, RegPCPShadow,
+                                            RegRTSShadow};
+  unsigned NumCandidates = Translator.config().ShadowSignature ? 4 : 2;
+  State.Regs[Candidates[Pick % NumCandidates]] ^= 1ull << (Bit % 64);
+  Fired = true;
+}
+
+namespace {
+
+/// Classifies a run executed without recovery. A golden-output run in
+/// which the integrity machinery found (and healed) a mismatch is
+/// Recovered, not Masked: the corruption was real and cured, not
+/// harmless.
+Outcome classifyPlain(const StopInfo &Stop, const Interpreter &Interp,
+                      const Dbt &Translator, uint64_t GoldenHash) {
+  switch (Stop.Kind) {
+  case StopKind::Halted:
+    if (hashOutput(Interp.output()) != GoldenHash)
+      return Outcome::Sdc;
+    return Translator.integrityMismatchCount() > 0 ? Outcome::Recovered
+                                                   : Outcome::Masked;
+  case StopKind::InsnLimit:
+    return Outcome::Timeout;
+  case StopKind::Trapped:
+    break;
+  }
+  if (Stop.Trap == TrapKind::BreakTrap &&
+      (Stop.BreakCode == BrkMonitorCorruption ||
+       Stop.BreakCode == BrkControlFlowError ||
+       Stop.BreakCode == BrkDataFlowError))
+    return Outcome::DetectedSignature;
+  return Outcome::DetectedHardware;
+}
+
+/// Classifies a run executed under a RecoveryManager, mirroring the
+/// branch campaigns' recovery classification.
+Outcome classifyRecovered(const RecoveryReport &Report,
+                          const Interpreter &Interp, const Dbt &Translator,
+                          uint64_t GoldenHash) {
+  if (Report.Completed) {
+    if (hashOutput(Interp.output()) == GoldenHash)
+      return Report.NumRollbacks > 0 ||
+                     Translator.integrityMismatchCount() > 0
+                 ? Outcome::Recovered
+                 : Outcome::Masked;
+    return Report.NumRollbacks > 0 ? Outcome::RecoveryFailed : Outcome::Sdc;
+  }
+  if (Report.FinalStop.Kind == StopKind::InsnLimit)
+    return Report.NumRollbacks > 0 ? Outcome::RecoveryFailed
+                                   : Outcome::Timeout;
+  return Outcome::RecoveryFailed;
+}
+
+} // namespace
+
+IntegrityCampaignResult cfed::runIntegrityCampaign(
+    const AsmProgram &Program, const DbtConfig &Config, uint64_t PerTarget,
+    uint64_t Seed, uint64_t MaxInsns, unsigned Jobs,
+    const RecoveryConfig *Recovery, telemetry::MetricsRegistry *Metrics) {
+  // Golden run.
+  uint64_t GoldenInsns = 0, GoldenHash = 0;
+  {
+    Memory Mem;
+    Interpreter Interp(Mem);
+    Dbt Translator(Mem, Config);
+    if (!Translator.load(Program, Interp.state()))
+      reportFatalError("integrity campaign: program failed to load");
+    StopInfo Stop = Translator.run(Interp, MaxInsns);
+    if (Stop.Kind != StopKind::Halted)
+      reportFatalError("integrity campaign: golden run did not halt");
+    GoldenInsns = Interp.instructionCount();
+    GoldenHash = hashOutput(Interp.output());
+  }
+
+  // Draw every fault's coordinates up front in serial order, so only
+  // the injections themselves run concurrently.
+  struct Coords {
+    IntegrityTarget Target;
+    uint64_t Instance;
+    uint64_t Pick;
+    unsigned Bit;
+  };
+  Prng Rng(Seed);
+  std::vector<Coords> Plan;
+  Plan.reserve(PerTarget * NumIntegrityTargets);
+  for (IntegrityTarget Target : AllIntegrityTargets)
+    for (uint64_t I = 0; I < PerTarget; ++I) {
+      Coords C;
+      C.Target = Target;
+      C.Instance = 1 + Rng.nextBelow(GoldenInsns);
+      C.Pick = Rng.next();
+      C.Bit = static_cast<unsigned>(Rng.nextBelow(64));
+      Plan.push_back(C);
+    }
+
+  uint64_t Budget = GoldenInsns * 4 + 100000;
+  std::vector<Outcome> Outcomes(Plan.size());
+  ThreadPool Pool(Jobs);
+  Pool.parallelFor(Plan.size(), [&](uint64_t I) {
+    const Coords &C = Plan[I];
+    Memory Mem;
+    Interpreter Interp(Mem);
+    Dbt Translator(Mem, Config);
+    if (!Translator.load(Program, Interp.state()))
+      reportFatalError("integrity campaign: reload failed");
+    IntegrityFaultInjector Hook(Mem, Translator, C.Target, C.Instance, C.Pick,
+                                C.Bit);
+    Interp.setPreInsnHook(&Hook);
+    if (Recovery) {
+      RecoveryManager Manager(Interp, Translator, *Recovery);
+      RecoveryReport Report = Manager.run(Budget);
+      Outcomes[I] = classifyRecovered(Report, Interp, Translator, GoldenHash);
+    } else {
+      StopInfo Stop = Translator.run(Interp, Budget);
+      Outcomes[I] = classifyPlain(Stop, Interp, Translator, GoldenHash);
+    }
+  });
+
+  // Serial, position-indexed tally: identical for any job count.
+  IntegrityCampaignResult Result;
+  Result.Injections = Plan.size();
+  for (size_t I = 0; I < Plan.size(); ++I)
+    Result.of(Plan[I].Target).add(Outcomes[I]);
+  if (Metrics) {
+    for (size_t I = 0; I < Plan.size(); ++I)
+      Metrics->counter(
+          getIntegrityOutcomeCounterName(Plan[I].Target, Outcomes[I]))
+          .inc();
+    Metrics->counter("fault.int_injections").inc(Plan.size());
+  }
+  return Result;
+}

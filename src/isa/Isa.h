@@ -59,6 +59,14 @@ inline constexpr uint8_t RegRTS = 17;
 inline constexpr uint8_t RegAUX = 18;
 /// Second instrumentation scratch register.
 inline constexpr uint8_t RegAUX2 = 19;
+/// Shadow copy of PC' kept by the self-integrity extension: every
+/// signature update is re-applied to this register so a flipped PCP can
+/// be told apart from a real control-flow error. Lives above the
+/// data-flow-checking shadow range (r32..r47), which never reaches the
+/// reserved registers.
+inline constexpr uint8_t RegPCPShadow = 48;
+/// Shadow copy of RTS (see RegPCPShadow).
+inline constexpr uint8_t RegRTSShadow = 49;
 
 /// First register reserved for instrumentation; guest programs must not
 /// touch registers >= this.

@@ -171,6 +171,18 @@ void RecoveryManager::recover(uint64_t SiteKey, const StopInfo &Stop) {
   unsigned &SiteCount = SiteRollbacks[SiteKey];
   ++SiteCount;
   if (SiteCount > Config.MaxSiteRollbacks) {
+    // Self-integrity rung: before the whole-cache degradation, try to
+    // surgically quarantine and retranslate just the failing site's
+    // translation unit — this cures persistent corruption confined to
+    // one translation (flipped code-cache bytes, a mangled table
+    // entry). Granted once per site; a repeat escalation climbs on.
+    if (!Fallback && QuarantinedSites.insert(SiteKey).second &&
+        Translator.quarantineGuestBlock(SiteKey)) {
+      SiteCount = 0;
+      dumpPostMortem("quarantine-retranslate", Stop);
+      rollbackTo(Checkpoints.size());
+      return;
+    }
     // Same region keeps failing: flush and retranslate conservatively,
     // and roll back as deep as the ring allows in case a corrupted
     // checkpoint is what keeps bringing us back here.
@@ -189,6 +201,7 @@ RecoveryReport RecoveryManager::run(uint64_t MaxInsns) {
   Report = RecoveryReport();
   Checkpoints.clear();
   SiteRollbacks.clear();
+  QuarantinedSites.clear();
   TotalRollbacks = 0;
   Fallback = false;
 

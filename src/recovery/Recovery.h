@@ -26,8 +26,11 @@
 ///  * Graceful degradation — rollback + re-execute cures transient faults.
 ///    For persistent ones the manager climbs a ladder: after
 ///    MaxSiteRollbacks rollbacks attributed to the same guest code region
-///    it flushes the code cache and retranslates conservatively (chaining
-///    and superblocks off, AllBB checks); after MaxTotalRollbacks total it
+///    it first quarantines and retranslates just that region's translation
+///    unit (the self-integrity rung: a corrupted translation is surgically
+///    replaced); if the same site keeps failing it flushes the code cache
+///    and retranslates conservatively (chaining and superblocks off, AllBB
+///    checks); after MaxTotalRollbacks total it
 ///    abandons translation entirely and finishes the run under the plain
 ///    interpreter on the guest pages, reporting a structured
 ///    RecoveryReport instead of dying in reportFatalError.
@@ -45,6 +48,7 @@
 #include <deque>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace cfed {
@@ -112,9 +116,14 @@ public:
   RecoveryReport run(uint64_t MaxInsns);
 
   /// Attaches/detaches a flight recorder: every detection (trap,
-  /// watchdog fire) and every ladder escalation (degradation,
-  /// interpreter fallback) then writes a post-mortem bundle.
-  void setFlightRecorder(telemetry::FlightRecorder *FR) { Recorder = FR; }
+  /// watchdog fire) and every ladder escalation (quarantine,
+  /// degradation, interpreter fallback) then writes a post-mortem
+  /// bundle. Also forwarded to the translator so integrity quarantines
+  /// found by its scrubber/dispatch verifier are bundled too.
+  void setFlightRecorder(telemetry::FlightRecorder *FR) {
+    Recorder = FR;
+    Translator.setFlightRecorder(FR);
+  }
 
   // PreInsnHook: safe-point bookkeeping (checkpoints, watchdog anchors).
   void onInsn(uint64_t InsnAddr, const Instruction &I,
@@ -165,6 +174,9 @@ private:
 
   std::deque<Checkpoint> Checkpoints;
   std::unordered_map<uint64_t, unsigned> SiteRollbacks;
+  /// Sites already given the quarantine-retranslate rung; a second
+  /// escalation at such a site climbs to degradeToConservative().
+  std::unordered_set<uint64_t> QuarantinedSites;
   unsigned TotalRollbacks = 0;
   /// Instruction count at the newest checkpoint.
   uint64_t CheckpointInsns = 0;

@@ -349,3 +349,105 @@ ConditionReport cfed::sig::verifySingleErrorDetection(Scheme &S,
   }
   return Report;
 }
+
+namespace {
+
+/// One operation of the linearized correct execution.
+enum class EventKind : uint8_t { CheckHead, GenHead, CheckTail, GenTail };
+
+struct PathEvent {
+  EventKind Kind;
+  unsigned Block;
+  unsigned Target; // GenTail only.
+};
+
+} // namespace
+
+MonitorCorruptionReport cfed::sig::verifyMonitorCorruptionDetection(
+    Scheme &S, const AbstractCfg &Cfg, unsigned PathLen, uint64_t Seed) {
+  S.prepare(Cfg);
+  Prng Rng(Seed);
+
+  std::vector<unsigned> Path = {Cfg.Entry};
+  while (Path.size() < PathLen) {
+    const std::vector<unsigned> &Succs = Cfg.Succs[Path.back()];
+    if (Succs.empty())
+      break;
+    Path.push_back(Succs[Rng.nextBelow(Succs.size())]);
+  }
+
+  // Linearize the correct execution into events, recording the clean
+  // state after each — that clean state doubles as the shadow copy,
+  // which by construction evolves exactly like an uncorrupted primary.
+  std::vector<PathEvent> Events;
+  std::vector<Scheme::State> CleanAfter;
+  Scheme::State State = S.initial(Cfg);
+  auto Push = [&](EventKind Kind, unsigned Block, unsigned Target) {
+    Events.push_back({Kind, Block, Target});
+    CleanAfter.push_back(State);
+  };
+  for (size_t I = 0; I < Path.size(); ++I) {
+    unsigned Block = Path[I];
+    Push(EventKind::CheckHead, Block, 0);
+    State = S.genHeadExit(State, Block);
+    Push(EventKind::GenHead, Block, 0);
+    Push(EventKind::CheckTail, Block, 0);
+    if (I + 1 < Path.size()) {
+      State = S.genTailExit(State, Block, Path[I + 1]);
+      Push(EventKind::GenTail, Block, Path[I + 1]);
+    }
+  }
+
+  MonitorCorruptionReport Report;
+  for (size_t E = 0; E < Events.size(); ++E) {
+    for (unsigned Bit = 0; Bit < 128; ++Bit) {
+      Scheme::State Corrupt = CleanAfter[E];
+      if (Bit < 64)
+        Corrupt.A ^= 1ull << Bit;
+      else
+        Corrupt.B ^= 1ull << (Bit - 64);
+      ++Report.FlipsTotal;
+
+      // The guest's control flow is untouched: the walk continues on
+      // the correct path carrying a corrupted monitor state.
+      bool Flagged = false;
+      bool Misclassified = false;
+      for (size_t F = E + 1; F < Events.size(); ++F) {
+        const PathEvent &Ev = Events[F];
+        switch (Ev.Kind) {
+        case EventKind::CheckHead:
+        case EventKind::CheckTail: {
+          // Shadow cross-check first, matching the emitted order: any
+          // divergence from the duplicate is monitor corruption.
+          if (!Flagged && !(Corrupt == CleanAfter[F]))
+            Flagged = true;
+          // Hypothetical no-shadow deployment: the scheme's own check
+          // runs on the corrupted state and a failure is misreported
+          // as a guest control-flow error.
+          bool Pass = Ev.Kind == EventKind::CheckHead
+                          ? S.checkHeadEntry(Corrupt, Ev.Block)
+                          : S.checkTailEntry(Corrupt, Ev.Block);
+          if (!Pass)
+            Misclassified = true;
+          break;
+        }
+        case EventKind::GenHead:
+          Corrupt = S.genHeadExit(Corrupt, Ev.Block);
+          break;
+        case EventKind::GenTail:
+          Corrupt = S.genTailExit(Corrupt, Ev.Block, Ev.Target);
+          break;
+        }
+        if (Flagged && Misclassified)
+          break;
+      }
+      if (Flagged)
+        ++Report.FlaggedAsMonitor;
+      else
+        ++Report.SilentlyMasked;
+      if (Misclassified)
+        ++Report.MisclassifiedWithoutShadow;
+    }
+  }
+  return Report;
+}

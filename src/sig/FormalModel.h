@@ -132,6 +132,38 @@ ConditionReport verifySingleErrorDetection(Scheme &S, const AbstractCfg &Cfg,
                                            unsigned ContinueSteps,
                                            uint64_t Seed);
 
+/// Tally of the exhaustive corrupted-monitor enumeration: faults that
+/// hit the *checker's own state* (the signature registers) instead of
+/// the guest's control flow.
+struct MonitorCorruptionReport {
+  /// Single-bit flips enumerated (every path position x every bit of
+  /// the two state registers).
+  uint64_t FlipsTotal = 0;
+  /// Flips a shadow duplicate of the state exposes: the corrupted
+  /// primary diverges from the shadow at a later check position and the
+  /// cross-check classifies the fault as monitor corruption.
+  uint64_t FlaggedAsMonitor = 0;
+  /// Flips that re-converge (a later GEN_SIG overwrites the corrupted
+  /// register) or outlive the last check position — dead state, benign.
+  uint64_t SilentlyMasked = 0;
+  /// Flips that, *without* the shadow, make the scheme's own CHECK_SIG
+  /// fail: a monitor fault misreported as a guest control-flow error.
+  /// The shadow cross-check runs first and reclassifies every one.
+  uint64_t MisclassifiedWithoutShadow = 0;
+};
+
+/// The corrupted-monitor condition: simulates the correct path (random
+/// walk of length at most \p PathLen seeded by \p Seed), then flips
+/// every bit of the monitor state at every position along it. Guest
+/// control flow is untouched — the walk continues on the correct path —
+/// so every detection must come from the state duplicate, never from a
+/// (spurious) control-flow-error verdict. Invariant checked by the
+/// tests: FlaggedAsMonitor + SilentlyMasked == FlipsTotal.
+MonitorCorruptionReport verifyMonitorCorruptionDetection(Scheme &S,
+                                                         const AbstractCfg &Cfg,
+                                                         unsigned PathLen,
+                                                         uint64_t Seed);
+
 } // namespace sig
 } // namespace cfed
 

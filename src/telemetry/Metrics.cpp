@@ -2,6 +2,8 @@
 
 #include "telemetry/Metrics.h"
 
+#include "support/Diagnostics.h"
+
 #include <algorithm>
 #include <cstdio>
 
@@ -14,12 +16,18 @@ using namespace cfed::telemetry;
 
 Histogram::Histogram(std::vector<uint64_t> UpperBounds)
     : Bounds(std::move(UpperBounds)), Buckets(Bounds.size() + 1) {
-  std::sort(Bounds.begin(), Bounds.end());
-  Bounds.erase(std::unique(Bounds.begin(), Bounds.end()), Bounds.end());
-  if (Buckets.size() != Bounds.size() + 1) {
-    std::vector<std::atomic<uint64_t>> Fixed(Bounds.size() + 1);
-    Buckets.swap(Fixed);
-  }
+  // Bucket edges are part of the instrument's identity: silently
+  // repairing a bad configuration would make the caller's reading of
+  // the bucket counts wrong. Reject it at registration instead.
+  if (Bounds.empty())
+    reportFatalError("histogram bucket bounds must not be empty");
+  for (size_t I = 1; I < Bounds.size(); ++I)
+    if (Bounds[I] <= Bounds[I - 1])
+      reportFatalErrorf("histogram bucket bounds must be strictly "
+                        "increasing: bound[%zu]=%llu does not exceed "
+                        "bound[%zu]=%llu",
+                        I, static_cast<unsigned long long>(Bounds[I]), I - 1,
+                        static_cast<unsigned long long>(Bounds[I - 1]));
 }
 
 void Histogram::observe(uint64_t Sample) {

@@ -19,6 +19,8 @@ const char *cfed::telemetry::getPhaseName(Phase P) {
     return "check";
   case Phase::Recover:
     return "recover";
+  case Phase::Scrub:
+    return "scrub";
   case Phase::Wall:
     return "wall";
   }

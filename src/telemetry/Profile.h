@@ -32,10 +32,11 @@ enum class Phase : uint8_t {
   Execute,   ///< Running translated code (encloses nested phases).
   Check,     ///< Signature checking outside generated code.
   Recover,   ///< Checkpoint/rollback machinery.
+  Scrub,     ///< Code-cache integrity scrubbing (self-integrity subsystem).
   Wall       ///< Whole-run wall clock (bench harnesses).
 };
 
-inline constexpr unsigned NumPhases = 5;
+inline constexpr unsigned NumPhases = 6;
 
 const char *getPhaseName(Phase P);
 

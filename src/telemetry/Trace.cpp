@@ -29,6 +29,10 @@ const char *cfed::telemetry::getTraceEventName(TraceEventKind Kind) {
     return "interpreter-fallback";
   case TraceEventKind::CampaignInjection:
     return "campaign-injection";
+  case TraceEventKind::IntegrityScrub:
+    return "integrity-scrub";
+  case TraceEventKind::BlockQuarantined:
+    return "block-quarantined";
   }
   return "?";
 }

@@ -34,7 +34,9 @@ enum class TraceEventKind : uint8_t {
   WatchdogFire,        ///< The errant-flow watchdog expired.
   DegradationStep,     ///< The degradation ladder advanced a rung.
   InterpreterFallback, ///< Translation abandoned; interpreting guest code.
-  CampaignInjection    ///< A fault-campaign injection completed.
+  CampaignInjection,   ///< A fault-campaign injection completed.
+  IntegrityScrub,      ///< The scrubber walked the code cache.
+  BlockQuarantined     ///< An integrity mismatch evicted a cached block.
 };
 
 /// Stable lowercase names used in both sinks.

@@ -96,6 +96,11 @@ inline constexpr int32_t BrkDataFlowError = 0xDFE;
 /// Break code used by the DBT's internal assertion stubs.
 inline constexpr int32_t BrkDbtInternal = 0xDB;
 
+/// Break code raised by the self-integrity cross-check: the monitor's own
+/// signature state diverged from its shadow copy. Distinguishes checker
+/// corruption from a guest control-flow error (which reports 0xCFE).
+inline constexpr int32_t BrkMonitorCorruption = 0x5EC;
+
 /// Final state of a run() call.
 struct StopInfo {
   StopKind Kind = StopKind::Halted;

@@ -650,3 +650,114 @@ helper:
   EXPECT_EQ(Snap.counterOr("dbt.ibtc_misses"), Translator.ibtcMissCount());
   EXPECT_GT(Snap.counterOr("dbt.ibtc_misses"), 0u);
 }
+
+namespace {
+
+/// Flips one bit of a signature register at the Nth executed
+/// instruction (the SigState leg of the checker-targeted fault model).
+struct FlipSigRegAt : PreInsnHook {
+  uint64_t At;
+  uint8_t Reg;
+  uint64_t Count = 0;
+  bool Fired = false;
+
+  FlipSigRegAt(uint64_t At, uint8_t Reg) : At(At), Reg(Reg) {}
+
+  void onInsn(uint64_t, const Instruction &, CpuState &State) override {
+    if (!Fired && ++Count == At) {
+      State.Regs[Reg] ^= 1ull << 3;
+      Fired = true;
+    }
+  }
+};
+
+} // namespace
+
+TEST(DbtTest, IntegrityQuarantineRetranslateRechain) {
+  // Corrupt one translated block between two runs sharing the
+  // translator: the scrubber must quarantine the unit (unchaining its
+  // predecessors), eagerly retranslate it, and the second run must
+  // re-chain through dispatch and still produce the native output.
+  AsmProgram Program = assembleOk(KitchenSink);
+  auto [NativeOut, NativeStop] = runNative(Program);
+  ASSERT_EQ(NativeStop.Kind, StopKind::Halted);
+
+  DbtConfig Config;
+  Config.ScrubInterval = 64;
+  Config.VerifyDispatchInterval = 4;
+  Memory Mem;
+  Interpreter Interp(Mem);
+  Dbt Translator(Mem, Config);
+  ASSERT_TRUE(Translator.load(Program, Interp.state()));
+  StopInfo Stop = Translator.run(Interp, 2000000);
+  ASSERT_EQ(Stop.Kind, StopKind::Halted) << getTrapKindName(Stop.Trap);
+  ASSERT_EQ(Interp.output(), NativeOut);
+  ASSERT_GT(Translator.chainCount(), 0u);
+
+  ASSERT_FALSE(Translator.blocks().empty());
+  const TranslatedBlock &Victim = *Translator.blocks().begin();
+  uint64_t Guest = Victim.GuestAddr;
+  uint64_t Addr = Victim.CacheAddr + Victim.CacheSize / 2;
+  uint8_t Byte;
+  Mem.readRaw(Addr, &Byte, 1);
+  Byte ^= 0x04;
+  Mem.writeRaw(Addr, &Byte, 1);
+
+  EXPECT_GE(Translator.scrubCodeCache(), 1u);
+  EXPECT_GT(Translator.integrityMismatchCount(), 0u);
+  EXPECT_GT(Translator.integrityRetranslationCount(), 0u);
+  EXPECT_TRUE(Translator.verifyGuestBlock(Guest));
+
+  // Unchained predecessor exits fall back to Tramp dispatch; the re-run
+  // re-chains them and the whole cache still verifies clean.
+  uint64_t ChainsBefore = Translator.chainCount();
+  Interpreter Rerun(Mem);
+  ASSERT_TRUE(Translator.load(Program, Rerun.state()));
+  Stop = Translator.run(Rerun, 2000000);
+  ASSERT_EQ(Stop.Kind, StopKind::Halted) << getTrapKindName(Stop.Trap);
+  EXPECT_EQ(Rerun.output(), NativeOut);
+  EXPECT_GE(Translator.chainCount(), ChainsBefore);
+  EXPECT_EQ(Translator.scrubCodeCache(), 0u);
+}
+
+TEST(DbtTest, ShadowSigDivergenceIsMonitorCorruptionNotCfe) {
+  // With shadow signatures on, a flipped live signature register is a
+  // *monitor* fault: the cross-check at the next CHECK_SIG site raises
+  // 0x5EC before the technique's own check can misreport it as a guest
+  // control-flow error. Flips after the last check site may be
+  // overwritten (masked) — but no flip may surface as 0xCFE.
+  AsmProgram Program = assembleOk(KitchenSink);
+  auto [NativeOut, NativeStop] = runNative(Program);
+  ASSERT_EQ(NativeStop.Kind, StopKind::Halted);
+
+  DbtConfig Config;
+  Config.Tech = Technique::EdgCf;
+  Config.Flavor = UpdateFlavor::CMovcc;
+  Config.ShadowSignature = true;
+  unsigned Trapped5ec = 0, Masked = 0;
+  for (uint64_t At : {20, 40, 60, 80, 100, 140}) {
+    for (uint8_t Reg : {RegPCP, RegRTS, RegPCPShadow, RegRTSShadow}) {
+      Memory Mem;
+      Interpreter Interp(Mem);
+      Dbt Translator(Mem, Config);
+      ASSERT_TRUE(Translator.load(Program, Interp.state()));
+      FlipSigRegAt Hook(At, Reg);
+      Interp.setPreInsnHook(&Hook);
+      StopInfo Stop = Translator.run(Interp, 2000000);
+      if (Stop.Kind == StopKind::Halted) {
+        EXPECT_EQ(Interp.output(), NativeOut);
+        ++Masked;
+        continue;
+      }
+      ASSERT_EQ(Stop.Kind, StopKind::Trapped);
+      ASSERT_EQ(Stop.Trap, TrapKind::BreakTrap);
+      EXPECT_NE(Stop.BreakCode, BrkControlFlowError)
+          << "shadow divergence misclassified as guest CFE (flip at "
+          << At << ", r" << unsigned(Reg) << ")";
+      EXPECT_EQ(Stop.BreakCode, BrkMonitorCorruption);
+      ++Trapped5ec;
+    }
+  }
+  // The sweep is not vacuous: some flips land between check sites.
+  EXPECT_GT(Trapped5ec, 0u);
+}

@@ -248,3 +248,52 @@ TEST(CampaignTest, UninstrumentedProgramsSufferSdcOrWorse) {
   EXPECT_EQ(Totals.DetectedSig, 0u);
   EXPECT_GT(Totals.Sdc + Totals.Timeout + Totals.DetectedHw, 0u);
 }
+
+TEST(IntegrityPropertyTest, AnySingleBitFlipInTranslatedBytesIsDetected) {
+  // The self-integrity property behind both the scrubber and the
+  // dispatch verifier: the integrity word (FNV-1a over the block's
+  // cache bytes plus its sealed header) changes for ANY single-bit flip
+  // of the emitted bytes. FNV-1a's chained odd-prime multiplies are
+  // injective mod 2^64, so a dense sample over every block stands in
+  // for the exhaustive claim.
+  for (uint64_t Seed : {3u, 17u}) {
+    AsmProgram Program = assembleRandom(Seed);
+    DbtConfig Config;
+    Config.Tech = Technique::EdgCf;
+    Config.ScrubInterval = 64;
+    Config.VerifyDispatchInterval = 4;
+    Memory Mem;
+    Interpreter Interp(Mem);
+    Dbt Translator(Mem, Config);
+    ASSERT_TRUE(Translator.load(Program, Interp.state()));
+    StopInfo Stop = Translator.run(Interp, 10000000ULL);
+    ASSERT_EQ(Stop.Kind, StopKind::Halted) << getTrapKindName(Stop.Trap);
+    ASSERT_FALSE(Translator.blocks().empty());
+
+    uint64_t Flips = 0;
+    for (const TranslatedBlock &TB : Translator.blocks()) {
+      ASSERT_TRUE(Translator.verifyGuestBlock(TB.GuestAddr));
+      // Every byte of small blocks; a fixed-stride sample of large
+      // ones. The flipped bit rotates with the offset so all eight bit
+      // positions appear.
+      uint64_t Stride = TB.CacheSize <= 64 ? 1 : TB.CacheSize / 64;
+      for (uint64_t Off = 0; Off < TB.CacheSize; Off += Stride) {
+        uint64_t Addr = TB.CacheAddr + Off;
+        uint8_t Orig, Flipped;
+        Mem.readRaw(Addr, &Orig, 1);
+        Flipped = Orig ^ static_cast<uint8_t>(1u << (Off % 8));
+        Mem.writeRaw(Addr, &Flipped, 1);
+        EXPECT_FALSE(Translator.verifyGuestBlock(TB.GuestAddr))
+            << "undetected flip at +" << Off << " of block 0x" << std::hex
+            << TB.GuestAddr;
+        Mem.writeRaw(Addr, &Orig, 1);
+        ++Flips;
+      }
+      ASSERT_TRUE(Translator.verifyGuestBlock(TB.GuestAddr));
+    }
+    EXPECT_GT(Flips, 0u);
+    // The cache is byte-for-byte restored: a full scrub quarantines
+    // nothing.
+    EXPECT_EQ(Translator.scrubCodeCache(), 0u);
+  }
+}

@@ -58,8 +58,7 @@ TEST(MetricsTest, GaugeBasics) {
 
 TEST(MetricsTest, HistogramBuckets) {
   MetricsRegistry Registry;
-  // Unsorted with a duplicate: the ctor sorts and uniques.
-  Histogram &H = Registry.histogram("lat", {100, 10, 100, 1000});
+  Histogram &H = Registry.histogram("lat", {10, 100, 1000});
   EXPECT_EQ(H.bounds(), (std::vector<uint64_t>{10, 100, 1000}));
   H.observe(5);     // <= 10
   H.observe(10);    // <= 10 (inclusive)
@@ -72,6 +71,14 @@ TEST(MetricsTest, HistogramBuckets) {
   H.reset();
   EXPECT_EQ(H.count(), 0u);
   EXPECT_EQ(H.bucketCounts(), (std::vector<uint64_t>{0, 0, 0, 0}));
+}
+
+TEST(MetricsDeathTest, HistogramRejectsBadBounds) {
+  // Misconfigured bucket edges are a programming error reported at
+  // registration, not silently repaired.
+  EXPECT_DEATH({ Histogram H(std::vector<uint64_t>{}); }, "must not be empty");
+  EXPECT_DEATH({ Histogram H({100, 10}); }, "strictly increasing");
+  EXPECT_DEATH({ Histogram H({10, 10, 100}); }, "strictly increasing");
 }
 
 TEST(MetricsTest, SnapshotAndReset) {

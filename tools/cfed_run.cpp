@@ -13,6 +13,15 @@
 //   --dfc                layer SWIFT-style data-flow checking under the
 //                        control-flow technique
 //   --max-insns=<n>      instruction budget (default 200M)
+//   --scrub[=<n>]        self-integrity: scrub the code cache (verify
+//                        every live translation's integrity word) once
+//                        per n cache-exit dispatches (default 64)
+//   --verify-dispatch=<n> self-integrity: lazily verify a block's
+//                        integrity word every n dispatches landing on it
+//   --shadow-sig         self-integrity: duplicate the runtime signature
+//                        into shadow registers and cross-check at
+//                        CHECK_SIG sites (flipped signature state traps
+//                        as monitor corruption, 0x5EC)
 //   --recover            run under checkpoint/rollback recovery: detections
 //                        roll back and re-execute instead of terminating
 //                        (with --inject: classify Recovered/RecoveryFailed)
@@ -47,6 +56,7 @@
 #include "fault/Campaign.h"
 #include "isa/Disasm.h"
 #include "recovery/Recovery.h"
+#include "support/CliArgs.h"
 #include "support/Diagnostics.h"
 #include "support/Format.h"
 #include "support/Table.h"
@@ -97,7 +107,9 @@ int usage() {
   std::fprintf(stderr,
                "usage: cfed-run [--native] [--tech=T] [--flavor=F] "
                "[--policy=P] [--eager] [--dfc]\n"
-               "                [--max-insns=N] [--recover] [--watchdog=N] "
+               "                [--max-insns=N] [--scrub[=N]] "
+               "[--verify-dispatch=N] [--shadow-sig]\n"
+               "                [--recover] [--watchdog=N] "
                "[--ckpt-interval=N]\n"
                "                [--inject=N] [--seed=N] "
                "[--disasm] [--dump-cfg]\n"
@@ -146,74 +158,122 @@ bool parsePolicy(const std::string &Name, CheckPolicy &Out) {
 bool parseArgs(int Argc, char **Argv, Options &Opts) {
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
-    auto Value = [&Arg]() { return Arg.substr(Arg.find('=') + 1); };
-    if (Arg == "--native")
-      Opts.Native = true;
-    else if (Arg.rfind("--tech=", 0) == 0) {
-      if (!parseTech(Value(), Opts.Config.Tech))
+    cli::Flag F;
+    if (!cli::splitFlag(Arg, F)) {
+      if (!Opts.Input.empty())
+        return cli::extraPositional(Arg);
+      Opts.Input = Arg;
+      continue;
+    }
+    // A bare flag: "--eager=5" is an error, not a silent mismatch.
+    auto Bare = [&F](bool &Out) {
+      if (F.HasValue)
+        return cli::unexpectedValue(F.Name);
+      Out = true;
+      return true;
+    };
+    // A flag with a required strictly-parsed number.
+    auto Uint = [&F](uint64_t &Out, const char *What) {
+      if (!F.HasValue || !cli::parseUint(F.Value, Out))
+        return cli::badValue(F.Name, What, F.Value);
+      return true;
+    };
+    if (F.Name == "--native") {
+      if (!Bare(Opts.Native))
         return false;
-    } else if (Arg.rfind("--flavor=", 0) == 0) {
-      if (Value() == "jcc")
+    } else if (F.Name == "--tech") {
+      if (!F.HasValue || !parseTech(F.Value, Opts.Config.Tech))
+        return cli::badValue(F.Name, "none|cfcss|ecca|ecf|edgcf|rcf",
+                             F.Value);
+    } else if (F.Name == "--flavor") {
+      if (F.Value == "jcc")
         Opts.Config.Flavor = UpdateFlavor::Jcc;
-      else if (Value() == "cmov")
+      else if (F.Value == "cmov")
         Opts.Config.Flavor = UpdateFlavor::CMovcc;
       else
+        return cli::badValue(F.Name, "jcc|cmov", F.Value);
+    } else if (F.Name == "--policy") {
+      if (!F.HasValue || !parsePolicy(F.Value, Opts.Config.Policy))
+        return cli::badValue(F.Name, "allbb|retbe|ret|end|store", F.Value);
+    } else if (F.Name == "--eager") {
+      if (!Bare(Opts.Config.EagerTranslate))
         return false;
-    } else if (Arg.rfind("--policy=", 0) == 0) {
-      if (!parsePolicy(Value(), Opts.Config.Policy))
+    } else if (F.Name == "--dfc") {
+      if (!Bare(Opts.Config.DataFlowCheck))
         return false;
-    } else if (Arg == "--eager")
-      Opts.Config.EagerTranslate = true;
-    else if (Arg == "--dfc")
-      Opts.Config.DataFlowCheck = true;
-    else if (Arg.rfind("--max-insns=", 0) == 0)
-      Opts.MaxInsns = std::strtoull(Value().c_str(), nullptr, 0);
-    else if (Arg == "--recover")
-      Opts.Recover = true;
-    else if (Arg.rfind("--watchdog=", 0) == 0)
-      Opts.Recovery.WatchdogBound = std::strtoull(Value().c_str(), nullptr, 0);
-    else if (Arg.rfind("--ckpt-interval=", 0) == 0)
-      Opts.Recovery.CheckpointInterval =
-          std::strtoull(Value().c_str(), nullptr, 0);
-    else if (Arg.rfind("--inject=", 0) == 0)
-      Opts.Injections = std::strtoull(Value().c_str(), nullptr, 0);
-    else if (Arg.rfind("--seed=", 0) == 0)
-      Opts.Seed = std::strtoull(Value().c_str(), nullptr, 0);
-    else if (Arg == "--disasm")
-      Opts.Disasm = true;
-    else if (Arg == "--dump-cfg")
-      Opts.DumpCfg = true;
-    else if (Arg == "--dump-cache")
-      Opts.DumpCache = true;
-    else if (Arg == "--stats")
-      Opts.Stats = StatsMode::Text;
-    else if (Arg == "--stats=json")
-      Opts.Stats = StatsMode::Json;
-    else if (Arg == "--stats=csv")
-      Opts.Stats = StatsMode::Csv;
-    else if (Arg.rfind("--trace=", 0) == 0)
-      Opts.TraceFile = Value();
-    else if (Arg.rfind("--trace-buffer=", 0) == 0)
-      Opts.TraceBuffer = std::strtoull(Value().c_str(), nullptr, 0);
-    else if (Arg == "--profile-blocks")
+    } else if (F.Name == "--max-insns") {
+      if (!Uint(Opts.MaxInsns, "<count>"))
+        return false;
+    } else if (F.Name == "--scrub") {
+      Opts.Config.ScrubInterval = 64;
+      if (F.HasValue &&
+          (!cli::parseUint(F.Value, Opts.Config.ScrubInterval) ||
+           Opts.Config.ScrubInterval == 0))
+        return cli::badValue(F.Name, "<dispatch interval >= 1>", F.Value);
+    } else if (F.Name == "--verify-dispatch") {
+      if (!Uint(Opts.Config.VerifyDispatchInterval, "<dispatch interval>"))
+        return false;
+    } else if (F.Name == "--shadow-sig") {
+      if (!Bare(Opts.Config.ShadowSignature))
+        return false;
+    } else if (F.Name == "--recover") {
+      if (!Bare(Opts.Recover))
+        return false;
+    } else if (F.Name == "--watchdog") {
+      if (!Uint(Opts.Recovery.WatchdogBound, "<instruction bound>"))
+        return false;
+    } else if (F.Name == "--ckpt-interval") {
+      if (!Uint(Opts.Recovery.CheckpointInterval, "<instruction interval>"))
+        return false;
+    } else if (F.Name == "--inject") {
+      if (!Uint(Opts.Injections, "<count>"))
+        return false;
+    } else if (F.Name == "--seed") {
+      if (!Uint(Opts.Seed, "<seed>"))
+        return false;
+    } else if (F.Name == "--disasm") {
+      if (!Bare(Opts.Disasm))
+        return false;
+    } else if (F.Name == "--dump-cfg") {
+      if (!Bare(Opts.DumpCfg))
+        return false;
+    } else if (F.Name == "--dump-cache") {
+      if (!Bare(Opts.DumpCache))
+        return false;
+    } else if (F.Name == "--stats") {
+      if (!F.HasValue)
+        Opts.Stats = StatsMode::Text;
+      else if (F.Value == "json")
+        Opts.Stats = StatsMode::Json;
+      else if (F.Value == "csv")
+        Opts.Stats = StatsMode::Csv;
+      else
+        return cli::badValue(F.Name, "json|csv", F.Value);
+    } else if (F.Name == "--trace") {
+      if (!F.HasValue || F.Value.empty())
+        return cli::badValue(F.Name, "<file>", F.Value);
+      Opts.TraceFile = F.Value;
+    } else if (F.Name == "--trace-buffer") {
+      if (!Uint(Opts.TraceBuffer, "<capacity>"))
+        return false;
+    } else if (F.Name == "--profile-blocks") {
       Opts.ProfileBlocks = true;
-    else if (Arg.rfind("--profile-blocks=", 0) == 0) {
-      Opts.ProfileBlocks = true;
-      Opts.ProfileTopN = std::strtoull(Value().c_str(), nullptr, 0);
-      if (Opts.ProfileTopN == 0)
-        return false;
-    } else if (Arg.rfind("--postmortem-dir=", 0) == 0) {
-      Opts.PostmortemDir = Value();
-      if (Opts.PostmortemDir.empty())
-        return false;
-    } else if (Arg.rfind("--", 0) == 0)
-      return false;
-    else if (Opts.Input.empty())
-      Opts.Input = Arg;
-    else
-      return false;
+      if (F.HasValue && (!cli::parseUint(F.Value, Opts.ProfileTopN) ||
+                         Opts.ProfileTopN == 0))
+        return cli::badValue(F.Name, "<top-N >= 1>", F.Value);
+    } else if (F.Name == "--postmortem-dir") {
+      if (!F.HasValue || F.Value.empty())
+        return cli::badValue(F.Name, "<directory>", F.Value);
+      Opts.PostmortemDir = F.Value;
+    } else {
+      return cli::unknownOption(Arg);
+    }
   }
-  return !Opts.Input.empty();
+  if (Opts.Input.empty()) {
+    std::fprintf(stderr, "error: missing <file.s | workload> argument\n");
+    return false;
+  }
+  return true;
 }
 
 bool loadSource(const std::string &Input, std::string &Source) {
@@ -488,6 +548,7 @@ int main(int Argc, char **Argv) {
     Translator = std::make_unique<Dbt>(Mem, Opts.Config, &Registry);
     Translator->setTracer(Tracer.get());
     Translator->setProfiler(&Profiler);
+    Translator->setFlightRecorder(Recorder.get());
     if (Opts.ProfileBlocks) {
       Translator->setBlockProfile(&Profile);
       // The recovery path drives Interp.run directly, bypassing
@@ -577,6 +638,12 @@ int main(int Argc, char **Argv) {
     reportNote(formatTrapDiagnostic(Stop, Interp.state(), GuestPC));
   }
 
+  if (Translator && Translator->integrityEnabled())
+    reportNotef("integrity: %llu scrubs, %llu mismatches, "
+                "%llu retranslations",
+                (unsigned long long)Translator->integrityScrubCount(),
+                (unsigned long long)Translator->integrityMismatchCount(),
+                (unsigned long long)Translator->integrityRetranslationCount());
   Interp.publishMetrics(Registry);
   Profiler.publishTo(Registry);
   Registry.gauge("run.output_hash")

@@ -27,6 +27,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "support/CliArgs.h"
 #include "support/Format.h"
 #include "support/Json.h"
 #include "support/Table.h"
@@ -113,22 +114,31 @@ std::string formatCount(double V) {
 
 int cmdTop(int Argc, char **Argv) {
   std::string Path;
-  size_t TopN = 20;
+  uint64_t TopN = 20;
   for (int I = 0; I < Argc; ++I) {
-    if (std::strcmp(Argv[I], "-n") == 0 && I + 1 < Argc) {
-      TopN = std::strtoull(Argv[++I], nullptr, 10);
-      if (!TopN) {
-        std::fprintf(stderr, "cfed-stat: -n needs a positive count\n");
+    std::string Arg = Argv[I];
+    cli::Flag F;
+    if (Arg == "-n") {
+      std::string Value = I + 1 < Argc ? Argv[++I] : "";
+      if (!cli::parseUint(Value, TopN) || !TopN) {
+        cli::badValue("-n", "a positive <count>", Value);
+        usage();
         return 2;
       }
+    } else if (cli::splitFlag(Arg, F)) {
+      cli::unknownOption(F.Name);
+      usage();
+      return 2;
     } else if (Path.empty()) {
-      Path = Argv[I];
+      Path = Arg;
     } else {
+      cli::extraPositional(Arg);
       usage();
       return 2;
     }
   }
   if (Path.empty()) {
+    std::fprintf(stderr, "error: missing <file> argument\n");
     usage();
     return 2;
   }
@@ -181,6 +191,14 @@ int cmdTop(int Argc, char **Argv) {
 //===----------------------------------------------------------------------===//
 
 int cmdDiff(int Argc, char **Argv) {
+  for (int I = 0; I < Argc; ++I) {
+    cli::Flag F;
+    if (cli::splitFlag(Argv[I], F)) {
+      cli::unknownOption(F.Name);
+      usage();
+      return 2;
+    }
+  }
   if (Argc != 2) {
     usage();
     return 2;
@@ -249,6 +267,14 @@ const char *specialRegName(size_t Index) {
 }
 
 int cmdPostmortem(int Argc, char **Argv) {
+  for (int I = 0; I < Argc; ++I) {
+    cli::Flag F;
+    if (cli::splitFlag(Argv[I], F)) {
+      cli::unknownOption(F.Name);
+      usage();
+      return 2;
+    }
+  }
   if (Argc != 1) {
     usage();
     return 2;
@@ -355,21 +381,34 @@ int cmdBenchDiff(int Argc, char **Argv) {
   std::string PathA, PathB;
   double Threshold = 10.0;
   for (int I = 0; I < Argc; ++I) {
-    const char *Arg = Argv[I];
-    if (std::strcmp(Arg, "--threshold") == 0 && I + 1 < Argc) {
-      Threshold = std::strtod(Argv[++I], nullptr);
-    } else if (std::strncmp(Arg, "--threshold=", 12) == 0) {
-      Threshold = std::strtod(Arg + 12, nullptr);
+    std::string Arg = Argv[I];
+    cli::Flag F;
+    if (cli::splitFlag(Arg, F)) {
+      if (F.Name != "--threshold") {
+        cli::unknownOption(F.Name);
+        usage();
+        return 2;
+      }
+      std::string Value =
+          F.HasValue ? F.Value : (I + 1 < Argc ? Argv[++I] : "");
+      if (!cli::parseDouble(Value, Threshold) || Threshold <= 0.0) {
+        cli::badValue(F.Name, "a positive <percent>", Value);
+        usage();
+        return 2;
+      }
     } else if (PathA.empty()) {
       PathA = Arg;
     } else if (PathB.empty()) {
       PathB = Arg;
     } else {
+      cli::extraPositional(Arg);
       usage();
       return 2;
     }
   }
-  if (PathB.empty() || Threshold <= 0.0) {
+  if (PathB.empty()) {
+    std::fprintf(stderr, "error: bench-diff needs two BENCH_perf.json "
+                         "paths\n");
     usage();
     return 2;
   }

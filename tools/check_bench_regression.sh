@@ -11,13 +11,21 @@
 #              (default: build)
 #   BASELINE   baseline perf JSON (default: BENCH_perf.json)
 # environment:
-#   CFED_BENCH_THRESHOLD  regression threshold in percent (default: 10)
+#   CFED_BENCH_THRESHOLD    regression threshold in percent (default: 10)
+#   CFED_SCRUB_OVERHEAD_MAX absolute ceiling on the self-integrity
+#                           scrub_overhead ratio measured by micro_dbt's
+#                           reference run (default: 0.15, i.e. 15%). An
+#                           absolute gate, not a baseline diff: the
+#                           scrubbing cadence is fixed, so its cost
+#                           budget is documented here rather than
+#                           ratcheted from a checked-in number.
 
 set -eu
 
 BUILD=${1:-build}
 BASELINE=${2:-BENCH_perf.json}
 THRESHOLD=${CFED_BENCH_THRESHOLD:-10}
+SCRUB_MAX=${CFED_SCRUB_OVERHEAD_MAX:-0.15}
 
 if [ ! -x "$BUILD/bench/micro_dbt" ] || [ ! -x "$BUILD/tools/cfed-stat" ]; then
   echo "check_bench_regression: build '$BUILD' is missing bench/micro_dbt" \
@@ -32,10 +40,28 @@ fi
 FRESH=$(mktemp)
 trap 'rm -f "$FRESH"' EXIT INT TERM
 
-# The fast deterministic subset; the publishing code derives hit rates from
-# its own reference runs, so the filter does not zero them out.
+# The fast deterministic subset; the publishing code derives hit rates and
+# the scrub overhead from its own reference runs, so the filter does not
+# zero them out.
 CFED_PERF_JSON=$FRESH "$BUILD/bench/micro_dbt" \
   --benchmark_filter='BM_EncodeDecode|BM_PredecodedFetch' >/dev/null
+
+# Absolute gate on the self-integrity scrubbing cost (see
+# CFED_SCRUB_OVERHEAD_MAX above). scrub_overhead is deliberately NOT in
+# the checked-in baseline, so the relative bench-diff below never sees it.
+SCRUB=$(sed -n 's/.*"scrub_overhead": *\([0-9.eE+-]*\).*/\1/p' "$FRESH" \
+        | head -n 1)
+if [ -n "$SCRUB" ]; then
+  if awk -v s="$SCRUB" -v max="$SCRUB_MAX" 'BEGIN { exit !(s > max) }'; then
+    echo "check_bench_regression: scrub_overhead $SCRUB exceeds" \
+         "CFED_SCRUB_OVERHEAD_MAX=$SCRUB_MAX" >&2
+    exit 1
+  fi
+  echo "scrub_overhead $SCRUB within CFED_SCRUB_OVERHEAD_MAX=$SCRUB_MAX"
+else
+  echo "check_bench_regression: no scrub_overhead in fresh run" >&2
+  exit 2
+fi
 
 exec "$BUILD/tools/cfed-stat" bench-diff "$BASELINE" "$FRESH" \
   --threshold "$THRESHOLD"
