@@ -49,6 +49,10 @@ RunMetrics cfed::bench::runDbtMetrics(const AsmProgram &Program,
   Metrics.PredecodeMisses = Mem.predecodeMissCount();
   Metrics.IbtcHits = Translator.ibtcHitCount();
   Metrics.IbtcMisses = Translator.ibtcMissCount();
+  Metrics.TracePromotions = Translator.tracePromotionCount();
+  Metrics.TracesFormed = Translator.traceCount();
+  Metrics.TraceCondFusions = Translator.traceCondFusionCount();
+  Metrics.ChecksElided = Translator.checksElidedCount();
   return Metrics;
 }
 

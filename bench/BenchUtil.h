@@ -48,6 +48,18 @@ struct RunMetrics {
   uint64_t PredecodeMisses = 0;
   uint64_t IbtcHits = 0;
   uint64_t IbtcMisses = 0;
+  // Opt-tier counters; zero under the base tier.
+  uint64_t TracePromotions = 0;
+  uint64_t TracesFormed = 0;
+  uint64_t TraceCondFusions = 0;
+  uint64_t ChecksElided = 0;
+
+  /// Share of trace promotions that produced a multi-block trace
+  /// (conditional seams or straight-line fusion past the first block).
+  double traceFusionRate() const {
+    return TracePromotions ? double(TracesFormed) / double(TracePromotions)
+                           : 0.0;
+  }
 
   double predecodeHitRate() const {
     uint64_t Total = PredecodeHits + PredecodeMisses;

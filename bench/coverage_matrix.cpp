@@ -29,6 +29,13 @@
 //     shape is zero SDC: every checker fault is detected, healed, or
 //     provably masked.
 //
+//  5. Adaptive-policy tier comparison: the same original-site campaigns
+//     under the base tier (ALLBB everywhere) versus the optimizing
+//     trace tier (hot regions relax to RET-BE, updates fold along the
+//     trace spine). The acceptance shape is zero SDC regression: check
+//     sinking delays detection but every discrepancy still reaches a
+//     checking block (updates run in every block under every policy).
+//
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
@@ -71,6 +78,7 @@ struct TechSpec {
   Technique Tech;
   UpdateFlavor Flavor;
   bool Eager;
+  DbtTier Tier = DbtTier::Base;
 };
 
 /// A fault whose flipped target is misaligned: real branch targets are
@@ -92,6 +100,7 @@ CampaignResult runTech(const std::vector<AsmProgram> &Programs,
     Config.Tech = Spec.Tech;
     Config.Flavor = Spec.Flavor;
     Config.EagerTranslate = Spec.Eager;
+    Config.Tier = Spec.Tier;
     FaultCampaign Campaign(Programs[PI], Config);
     if (!Campaign.prepare(PrepBudget))
       continue;
@@ -234,6 +243,49 @@ int main(int argc, char **argv) {
               "(masked + SDC + timeout) than EdgCF\non its own inserted "
               "branches (Section 3.2: the region around the check "
               "branch).\n\n");
+
+  std::printf("=== Adaptive check placement: base tier vs optimizing "
+              "trace tier ===\n(same original-site fault sets; opt tier "
+              "relaxes hot regions to RET-BE and folds\nupdates along "
+              "trace spines; acceptance shape is zero SDC regression)\n\n");
+  Table TAdapt;
+  TAdapt.setHeader({"Technique", "tier", "det-sig", "det-hw", "masked",
+                    "SDC", "timeout"});
+  bool AdaptiveRegression = false;
+  for (Technique Tech : {Technique::EdgCf, Technique::Rcf}) {
+    uint64_t BaseSdc = 0;
+    for (DbtTier Tier : {DbtTier::Base, DbtTier::Opt}) {
+      TechSpec Spec{Tech, UpdateFlavor::CMovcc, false, Tier};
+      CampaignResult R = runTech(Programs, Spec, SiteClass::OriginalOnly,
+                                 90, /*AlignedOnly=*/true, Pool);
+      OutcomeCounts Totals = R.totals();
+      auto Cell = [&](uint64_t Value) {
+        return formatString("%llu", (unsigned long long)Value);
+      };
+      TAdapt.addRow({getTechniqueName(Tech), getDbtTierName(Tier),
+                     Cell(Totals.DetectedSig), Cell(Totals.DetectedHw),
+                     Cell(Totals.Masked), Cell(Totals.Sdc),
+                     Cell(Totals.Timeout)});
+      Report.set(formatString("adaptive_%s_%s_sdc", getTechniqueName(Tech),
+                              getDbtTierName(Tier)),
+                 Totals.Sdc);
+      if (Tier == DbtTier::Base)
+        BaseSdc = Totals.Sdc;
+      else if (Totals.Sdc > BaseSdc)
+        AdaptiveRegression = true;
+    }
+  }
+  std::printf("%s\n", TAdapt.render().c_str());
+  std::printf("Expected shape: identical or better SDC under the opt "
+              "tier — updates are emitted\nin every block under every "
+              "policy, so a wrong-signature state persists until the\n"
+              "next checking block (back-edge or return) instead of "
+              "escaping.\n\n");
+  if (AdaptiveRegression) {
+    std::printf("FAIL: the optimizing tier's adaptive check placement "
+                "regressed SDC\n");
+    return 1;
+  }
 
   std::printf("=== Recovery effectiveness: survival per category under "
               "checkpoint/rollback ===\n(fraction of injected faults "

@@ -4,7 +4,10 @@
 // on DBT is about 12%." This bench measures the uninstrumented DBT
 // against native execution per benchmark and in geometric mean, and
 // reports where the overhead comes from (unchained indirect-branch
-// dispatches).
+// dispatches). The optimizing trace tier is run alongside the base
+// translator: hot units are retranslated into multi-block traces, which
+// recovers part of the dispatch/chaining overhead (tools/
+// check_bench_regression.sh gates the opt geomean at CFED_GEOMEAN_MAX).
 //
 //===----------------------------------------------------------------------===//
 
@@ -23,38 +26,58 @@ int main() {
   PerfReport Report("sec6_dbt_overhead");
   std::printf("=== Section 6: DBT overhead over native execution ===\n\n");
   Table T;
-  T.setHeader({"Benchmark", "native Mcycles", "DBT Mcycles", "slowdown",
-               "dispatches", "predecode", "IBTC"});
+  T.setHeader({"Benchmark", "native Mcycles", "base slowdown", "opt slowdown",
+               "traces", "dispatches", "predecode", "IBTC"});
   std::vector<double> Slowdowns;
+  std::vector<double> OptSlowdowns;
   RunMetrics Sums;
+  uint64_t OptTraces = 0, OptPromotions = 0, OptCondFusions = 0;
   for (const WorkloadInfo &Info : getWorkloadSuite()) {
     AsmProgram Program = assembleWorkload(Info.Name);
     uint64_t Native = runNativeCycles(Program);
     RunMetrics M = runDbtMetrics(Program, DbtConfig{});
+    DbtConfig OptConfig;
+    OptConfig.Tier = DbtTier::Opt;
+    RunMetrics Opt = runDbtMetrics(Program, OptConfig);
     double Slowdown = double(M.Cycles) / double(Native);
+    double OptSlowdown = double(Opt.Cycles) / double(Native);
     Slowdowns.push_back(Slowdown);
+    OptSlowdowns.push_back(OptSlowdown);
     Sums.Dispatches += M.Dispatches;
     Sums.PredecodeHits += M.PredecodeHits;
     Sums.PredecodeMisses += M.PredecodeMisses;
     Sums.IbtcHits += M.IbtcHits;
     Sums.IbtcMisses += M.IbtcMisses;
+    OptTraces += Opt.TracesFormed;
+    OptPromotions += Opt.TracePromotions;
+    OptCondFusions += Opt.TraceCondFusions;
     T.addRow({shortName(Info.Name),
-              formatString("%.2f", Native / 1e6),
-              formatString("%.2f", M.Cycles / 1e6), formatSlowdown(Slowdown),
+              formatString("%.2f", Native / 1e6), formatSlowdown(Slowdown),
+              formatSlowdown(OptSlowdown),
+              formatString("%llu", (unsigned long long)Opt.TracesFormed),
               formatString("%llu", (unsigned long long)M.Dispatches),
               formatPercent(M.predecodeHitRate()),
               formatPercent(M.ibtcHitRate())});
   }
   T.addSeparator();
-  T.addRow({"geomean", "", "", formatSlowdown(geometricMean(Slowdowns)), "",
+  T.addRow({"geomean", "", formatSlowdown(geometricMean(Slowdowns)),
+            formatSlowdown(geometricMean(OptSlowdowns)), "", "",
             formatPercent(Sums.predecodeHitRate()),
             formatPercent(Sums.ibtcHitRate())});
   std::printf("%s\n", T.render().c_str());
   std::printf("Paper reference: about 12%% average DBT overhead.\n"
-              "predecode/IBTC: share of instruction fetches answered by "
-              "the predecoded-page\ncache and of TrampR dispatches "
-              "answered by the indirect-branch translation cache.\n");
+              "opt slowdown: the optimizing trace tier (hot units "
+              "retranslated into\nmulti-block traces with folded updates); "
+              "traces: multi-block traces formed.\npredecode/IBTC: share of "
+              "instruction fetches answered by the predecoded-page\ncache "
+              "and of TrampR dispatches answered by the indirect-branch "
+              "translation cache.\n");
   Report.set("geomean_slowdown", geometricMean(Slowdowns));
+  Report.set("geomean_slowdown_opt", geometricMean(OptSlowdowns));
+  Report.set("trace_fusion_rate",
+             OptPromotions ? double(OptTraces) / double(OptPromotions) : 0.0);
+  Report.set("traces_formed", OptTraces);
+  Report.set("trace_cond_fusions", OptCondFusions);
   Report.set("predecode_hit_rate", Sums.predecodeHitRate());
   Report.set("ibtc_hit_rate", Sums.ibtcHitRate());
   Report.set("dispatches", Sums.Dispatches);

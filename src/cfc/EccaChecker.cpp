@@ -122,10 +122,11 @@ void EccaChecker::emitSet(std::vector<Instruction> &Out,
   if (BI.Next == 0)
     return;
   // id = NEXT + (id - BID). Flag-neutral (lea/lear) so conditional
-  // branches after the update still see their flags.
+  // branches after the update still see their flags. A zero delta
+  // (self-loop: NEXT == BID) strength-reduces to nothing.
   int64_t Delta = BI.Next - BI.Bid;
   if (Delta >= INT32_MIN && Delta <= INT32_MAX) {
-    Out.push_back(insn::rri(Opcode::Lea, RegRTS, RegRTS, imm32(Delta)));
+    emitSignatureAdd(Out, RegRTS, Delta);
     return;
   }
   emitLoadConst64(Out, RegAUX, static_cast<uint64_t>(Delta));

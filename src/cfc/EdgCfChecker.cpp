@@ -39,8 +39,7 @@ void EdgCfChecker::prologueImpl(std::vector<Instruction> &Out, uint64_t L,
 
 void EdgCfChecker::directUpdateImpl(std::vector<Instruction> &Out, uint64_t,
                                     uint64_t Target) const {
-  Out.push_back(insn::rri(Opcode::Lea, RegPCP, RegPCP,
-                          imm32(static_cast<int64_t>(Target))));
+  emitSignatureAdd(Out, RegPCP, static_cast<int64_t>(Target));
 }
 
 void EdgCfChecker::condUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
@@ -58,11 +57,14 @@ void EdgCfChecker::condUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
   // Jcc flavor: assume fall-through, fix up when the branch will be
   // taken. The inserted jcc reads the same flags the original branch
   // will read, so a later fault at the original branch is detected.
+  // Degenerate branches (both arms reach the same block) need no fixup,
+  // so the skip branch goes away with it.
   directUpdateImpl(Out, L, Fall);
+  int64_t Delta = static_cast<int64_t>(Taken) - static_cast<int64_t>(Fall);
+  if (Delta == 0)
+    return;
   emitSkipUnlessTaken(Out, Opcode::Jcc, 0, CC);
-  Out.push_back(insn::rri(
-      Opcode::Lea, RegPCP, RegPCP,
-      imm32(static_cast<int64_t>(Taken) - static_cast<int64_t>(Fall))));
+  emitSignatureAdd(Out, RegPCP, Delta);
 }
 
 void EdgCfChecker::regCondUpdateImpl(std::vector<Instruction> &Out,
@@ -71,10 +73,11 @@ void EdgCfChecker::regCondUpdateImpl(std::vector<Instruction> &Out,
   // Register-zero branches have no CMOVcc form (jcxz analogue): always
   // the inserted-branch scheme.
   directUpdateImpl(Out, L, Fall);
+  int64_t Delta = static_cast<int64_t>(Taken) - static_cast<int64_t>(Fall);
+  if (Delta == 0)
+    return;
   emitSkipUnlessTaken(Out, BranchOp, Reg, CondCode::EQ);
-  Out.push_back(insn::rri(
-      Opcode::Lea, RegPCP, RegPCP,
-      imm32(static_cast<int64_t>(Taken) - static_cast<int64_t>(Fall))));
+  emitSignatureAdd(Out, RegPCP, Delta);
 }
 
 void EdgCfChecker::indirectUpdateImpl(std::vector<Instruction> &Out, uint64_t,

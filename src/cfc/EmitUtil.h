@@ -59,6 +59,20 @@ inline void emitSkipUnlessTaken(std::vector<Instruction> &Out,
   }
 }
 
+/// Emits the flag-neutral signature update `lea Reg, Reg, +Delta`,
+/// dropping the instruction entirely when the delta is zero — a zero add
+/// cannot move the signature, so the strength-reduced form is the empty
+/// sequence. Returns true when an instruction was emitted; callers that
+/// guard the update with a skip branch must elide the branch too when
+/// nothing follows it.
+inline bool emitSignatureAdd(std::vector<Instruction> &Out, uint8_t Reg,
+                             int64_t Delta) {
+  if (Delta == 0)
+    return false;
+  Out.push_back(insn::rri(Opcode::Lea, Reg, Reg, imm32(Delta)));
+  return true;
+}
+
 /// Loads an arbitrary 64-bit constant into \p Reg (1 or 2 instructions).
 inline void emitLoadConst64(std::vector<Instruction> &Out, uint8_t Reg,
                             uint64_t Value) {

@@ -43,8 +43,7 @@ void RcfChecker::prologueImpl(std::vector<Instruction> &Out, uint64_t L,
 
 void RcfChecker::directUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
                                   uint64_t Target) const {
-  Out.push_back(insn::rri(Opcode::Lea, RegPCP, RegPCP,
-                          imm32(static_cast<int64_t>(Target) - bodySig(L))));
+  emitSignatureAdd(Out, RegPCP, static_cast<int64_t>(Target) - bodySig(L));
 }
 
 void RcfChecker::condUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
@@ -60,22 +59,25 @@ void RcfChecker::condUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
   }
   // Jcc flavor: the inserted branch executes with PC' == Fall — an edge
   // region distinct per block, so a fault on it is detected (unlike in
-  // EdgCF, where PC' would be the global body value 0).
+  // EdgCF, where PC' would be the global body value 0). Degenerate
+  // branches (both arms reach the same block) need no fixup or skip.
   directUpdateImpl(Out, L, Fall);
+  int64_t Delta = static_cast<int64_t>(Taken) - static_cast<int64_t>(Fall);
+  if (Delta == 0)
+    return;
   emitSkipUnlessTaken(Out, Opcode::Jcc, 0, CC);
-  Out.push_back(insn::rri(
-      Opcode::Lea, RegPCP, RegPCP,
-      imm32(static_cast<int64_t>(Taken) - static_cast<int64_t>(Fall))));
+  emitSignatureAdd(Out, RegPCP, Delta);
 }
 
 void RcfChecker::regCondUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
                                    Opcode BranchOp, uint8_t Reg,
                                    uint64_t Taken, uint64_t Fall) const {
   directUpdateImpl(Out, L, Fall);
+  int64_t Delta = static_cast<int64_t>(Taken) - static_cast<int64_t>(Fall);
+  if (Delta == 0)
+    return;
   emitSkipUnlessTaken(Out, BranchOp, Reg, CondCode::EQ);
-  Out.push_back(insn::rri(
-      Opcode::Lea, RegPCP, RegPCP,
-      imm32(static_cast<int64_t>(Taken) - static_cast<int64_t>(Fall))));
+  emitSignatureAdd(Out, RegPCP, Delta);
 }
 
 void RcfChecker::indirectUpdateImpl(std::vector<Instruction> &Out, uint64_t L,

@@ -6,16 +6,27 @@
 ///
 /// \file
 /// The translation buffer the frontend emits into, with the backend's
-/// peephole built in: adjacent flag-neutral signature updates
-/// (lea r, r, imm pairs on the same register) are folded into one
-/// instruction when enabled. Folding is suppressed
+/// peephole built in. When folding is enabled, a signature update
+/// (lea r, r, imm) merges into the nearest earlier update of the same
+/// register, looking back through a small window of instructions that
+/// neither touch the register nor transfer control (profiling bumps,
+/// nops, and disjoint flag-neutral moves/updates — the shapes the
+/// checkers interleave between a block's exit update and its successor's
+/// entry update). Folding is suppressed
 ///
 ///   * across explicit barriers (block entry points that chained jumps
-///     may target), and
+///     may target),
 ///   * for the instruction following a one-instruction skip branch
 ///     (jcc/jzr/jnzr with offset +8): merging the conditionally skipped
 ///     update with its successor would change which updates the skip
-///     covers.
+///     covers, and
+///   * across any control-flow instruction (the lookback stops there),
+///     so updates never migrate past a check, a branch, or an exit.
+///
+/// Two cleanups ride on the fold machinery: an update whose immediate
+/// folds to zero is a dead update and is rewritten to a nop in place
+/// (positions of already-emitted instructions never move), and
+/// `movi r, k; lea r, r, d` strength-reduces to `movi r, k+d`.
 ///
 /// Folding is semantically legal for signature code because the algebra
 /// only requires the signature to be *checked* between updates, never
@@ -37,13 +48,20 @@ class CodeBuilder {
 public:
   explicit CodeBuilder(bool FoldUpdates) : Fold(FoldUpdates) {}
 
-  /// Appends \p I, possibly folding it into the previous instruction.
+  /// Appends \p I, possibly folding it into an earlier instruction.
   void push(const Instruction &I) {
-    bool Folded = false;
-    if (Fold && !PendingBarrier && canFoldInto(I)) {
-      Code.back().Imm += I.Imm;
-      Folded = true;
-      ++NumFolded;
+    if (Fold && !PendingBarrier && tryFold(I)) {
+      PendingBarrier = false;
+      // A folded instruction occupies no position, so the skip-branch
+      // bookkeeping is unchanged: a skip branch is never a fold
+      // candidate, and the skipped successor is barrier-protected.
+      return;
+    }
+    // An update that is already the identity contributes nothing but a
+    // cycle; emit a nop in its place so positions stay stable.
+    if (Fold && isSelfUpdate(I) && I.Imm == 0) {
+      Code.push_back(insn::none(Opcode::Nop));
+      ++NumDead;
     } else {
       Code.push_back(I);
     }
@@ -52,32 +70,90 @@ public:
       SkippedNext = true;
     } else if (SkippedNext) {
       // This instruction is the conditionally skipped one; the next must
-      // not be folded into it.
+      // not be folded into it, and no fold may reach past it.
       SkippedNext = false;
       PendingBarrier = true;
+      FoldFloor = Code.size();
     }
-    (void)Folded;
   }
 
   /// Marks the next pushed instruction as a jump target: it must exist at
-  /// its own position and cannot fold into its predecessor.
-  void markBarrier() { PendingBarrier = true; }
+  /// its own position and cannot fold into its predecessor. Later
+  /// updates may still fold *into* it, but never past it.
+  void markBarrier() {
+    PendingBarrier = true;
+    FoldFloor = Code.size();
+  }
 
   size_t size() const { return Code.size(); }
   const std::vector<Instruction> &code() const { return Code; }
   uint64_t foldedCount() const { return NumFolded; }
+  /// Updates that folded to the identity and were rewritten to nops.
+  uint64_t deadCount() const { return NumDead; }
 
 private:
-  bool canFoldInto(const Instruction &I) const {
-    if (Code.empty())
+  /// How far back a fold may look for a matching update.
+  static constexpr size_t LookbackWindow = 6;
+
+  static bool isSelfUpdate(const Instruction &I) {
+    return I.Op == Opcode::Lea && I.A == I.B;
+  }
+
+  /// True when \p P neither reads nor writes \p Reg and has no control
+  /// or memory effect — a fold may look back through it.
+  static bool isTransparentFor(const Instruction &P, uint8_t Reg) {
+    switch (P.Op) {
+    case Opcode::Nop:
+    case Opcode::Prof:
+      return true;
+    case Opcode::Lea: // lea A, B, imm: writes A, reads B.
+    case Opcode::Mov: // mov A, B: writes A, reads B.
+      return P.A != Reg && P.B != Reg;
+    case Opcode::MovI: // movi/movhi A, imm: writes A.
+    case Opcode::MovHi:
+      return P.A != Reg;
+    default:
       return false;
-    const Instruction &Prev = Code.back();
-    if (I.Op != Opcode::Lea || Prev.Op != Opcode::Lea)
+    }
+  }
+
+  /// Attempts to fold \p I into an earlier instruction. Returns true
+  /// when \p I was absorbed and must not be appended.
+  bool tryFold(const Instruction &I) {
+    if (!isSelfUpdate(I))
       return false;
-    if (I.A != I.B || Prev.A != Prev.B || I.A != Prev.A)
-      return false;
-    int64_t Sum = static_cast<int64_t>(Prev.Imm) + I.Imm;
-    return Sum >= INT32_MIN && Sum <= INT32_MAX;
+    size_t Steps = 0;
+    for (size_t Pos = Code.size(); Pos > FoldFloor && Steps < LookbackWindow;
+         --Pos, ++Steps) {
+      Instruction &Prev = Code[Pos - 1];
+      if (isSelfUpdate(Prev) && Prev.A == I.A) {
+        int64_t Sum = static_cast<int64_t>(Prev.Imm) + I.Imm;
+        if (Sum < INT32_MIN || Sum > INT32_MAX)
+          return false;
+        Prev.Imm = static_cast<int32_t>(Sum);
+        ++NumFolded;
+        if (Prev.Imm == 0) {
+          // The pair cancelled: the earlier update is now dead weight.
+          Prev = insn::none(Opcode::Nop);
+          ++NumDead;
+        }
+        return true;
+      }
+      // Strength reduction: movi r, k directly below the update absorbs
+      // it (movi sign-extends, so the merged constant must stay in
+      // range — guaranteed by the same sum check).
+      if (Pos == Code.size() && Prev.Op == Opcode::MovI && Prev.A == I.A) {
+        int64_t Sum = static_cast<int64_t>(Prev.Imm) + I.Imm;
+        if (Sum < INT32_MIN || Sum > INT32_MAX)
+          return false;
+        Prev.Imm = static_cast<int32_t>(Sum);
+        ++NumFolded;
+        return true;
+      }
+      if (!isTransparentFor(Prev, I.A))
+        return false;
+    }
+    return false;
   }
 
   static bool isSkipBranch(const Instruction &I) {
@@ -94,7 +170,11 @@ private:
   bool Fold;
   bool PendingBarrier = false;
   bool SkippedNext = false;
+  /// Folds may not reach instructions below this position (set at
+  /// barriers and after conditionally skipped instructions).
+  size_t FoldFloor = 0;
   uint64_t NumFolded = 0;
+  uint64_t NumDead = 0;
 };
 
 } // namespace cfed

@@ -21,6 +21,16 @@ namespace {
 constexpr size_t MaxBlockInsns = 4096;
 } // namespace
 
+const char *cfed::getDbtTierName(DbtTier Tier) {
+  switch (Tier) {
+  case DbtTier::Base:
+    return "base";
+  case DbtTier::Opt:
+    return "opt";
+  }
+  return "?";
+}
+
 Dbt::Dbt(Memory &Mem, DbtConfig Config, telemetry::MetricsRegistry *Metrics)
     : Mem(Mem), Config(Config),
       OwnedMetrics(Metrics ? nullptr
@@ -38,7 +48,12 @@ Dbt::Dbt(Memory &Mem, DbtConfig Config, telemetry::MetricsRegistry *Metrics)
       IntegrityScrubs(this->Metrics->counter("integrity.scrubs")),
       IntegrityMismatches(this->Metrics->counter("integrity.mismatches")),
       IntegrityRetranslations(
-          this->Metrics->counter("integrity.retranslations")) {
+          this->Metrics->counter("integrity.retranslations")),
+      TracePromotions(this->Metrics->counter("trace.promotions")),
+      TracesFormed(this->Metrics->counter("trace.formed")),
+      TraceCondFusions(this->Metrics->counter("trace.cond_fusions")),
+      TraceChecksElided(this->Metrics->counter("trace.checks_elided")),
+      TraceDeadUpdates(this->Metrics->counter("trace.dead_updates")) {
   Checker = createChecker(Config.Tech, Config.Flavor);
   Checker->setShadowSignature(this->Config.ShadowSignature);
   Checker->bindMetrics(*this->Metrics);
@@ -53,6 +68,15 @@ bool Dbt::load(const AsmProgram &Program, CpuState &State) {
     LoadError = "technique requires whole-program CFG but eager translation "
                 "is off";
     return false;
+  }
+
+  // The optimizing tier re-forms hot units from profile data, which the
+  // frozen translation set of eager mode cannot accommodate.
+  if (Config.EagerTranslate)
+    Config.Tier = DbtTier::Base;
+  if (Config.Tier == DbtTier::Opt && !Profile) {
+    OwnedProfile = std::make_unique<telemetry::BlockProfile>();
+    Profile = OwnedProfile.get();
   }
 
   GuestCodeBase = CodeBase;
@@ -136,7 +160,10 @@ uint64_t Dbt::translate(uint64_t EntryGuest) {
   telemetry::PhaseProfiler::Scope Timer(Profiler,
                                         telemetry::Phase::Translate);
 
-  CodeBuilder Builder(Config.FoldSignatureUpdates);
+  // Promoted translations always run the folding backend: their inner
+  // sub-blocks are never registered as chain targets, so the spine can
+  // fold freely across seams.
+  CodeBuilder Builder(Config.FoldSignatureUpdates || Promoting);
   struct SubBlock {
     uint64_t Guest = 0;
     size_t StartIdx = 0;
@@ -147,13 +174,32 @@ uint64_t Dbt::translate(uint64_t EntryGuest) {
   };
   std::vector<SubBlock> Subs;
   std::set<uint64_t> InThisSuper;
+  uint32_t CondSeamsFormed = 0;
 
   // Once the attached profile has observed executions, superblock fusion
   // extends only into blocks it knows to be hot; until it warms up,
   // first-seen order stands in for hotness.
   const bool ProfileWarm = Profile && Profile->hasExecutions();
+  // Promoted traces may fuse past the superblock cap, up to the trace
+  // limit, and may tail-duplicate already-translated successors.
+  const unsigned FuseLimit =
+      Promoting ? std::max(Config.SuperblockLimit, Config.TraceLimit)
+                : Config.SuperblockLimit;
+  // Adaptive per-region check placement: one policy per translation
+  // unit, decided from the unit head's measured hotness.
+  const CheckPolicy RegionPol = regionPolicy(EntryGuest);
   auto WantsFusion = [&](uint64_t Target) {
     return !Profile || !ProfileWarm || Profile->isHot(Target);
+  };
+  auto CanFuseInto = [&](uint64_t Target) {
+    if (Target == EntryGuest || InThisSuper.count(Target))
+      return false;
+    if (Target < GuestCodeBase || Target >= GuestCodeBase + GuestCodeSize ||
+        (Target - GuestCodeBase) % InsnSize != 0)
+      return false;
+    if (!Promoting && BlockMap.contains(Target))
+      return false;
+    return WantsFusion(Target);
   };
   auto EmitEdgeProf = [&](uint64_t From, uint64_t To) {
     if (Profile)
@@ -210,11 +256,15 @@ uint64_t Dbt::translate(uint64_t EntryGuest) {
       if (opcodeStoresMemory(I.Op))
         HasStore = true;
     bool DoCheck =
-        policyChecksBlock(Config.Policy, TermKind, BackEdge, HasStore);
+        policyChecksBlock(RegionPol, TermKind, BackEdge, HasStore);
+    if (RegionPol != Config.Policy && !DoCheck &&
+        policyChecksBlock(Config.Policy, TermKind, BackEdge, HasStore))
+      TraceChecksElided.inc();
 
     // Inner sub-blocks stay chain targets unless folding may merge their
     // entry instruction away (then they are not registered at all).
-    if (!Config.FoldSignatureUpdates)
+    // Promoted traces never register inner sub-blocks, so no barrier.
+    if (!Config.FoldSignatureUpdates && !Promoting)
       Builder.markBarrier();
     Subs.push_back(SubBlock{Guest, Builder.size(), {}, DoCheck, Addr,
                             Body.size()});
@@ -264,9 +314,7 @@ uint64_t Dbt::translate(uint64_t EntryGuest) {
         Checker->emitDirectUpdate(Seq, L, Target);
       });
       EmitEdgeProf(L, Target);
-      if (Fused + 1 < Config.SuperblockLimit && !BlockMap.contains(Target) &&
-          !InThisSuper.count(Target) && Target != EntryGuest &&
-          WantsFusion(Target)) {
+      if (Fused + 1 < FuseLimit && CanFuseInto(Target)) {
         InThisSuper.insert(Guest);
         Guest = Target;
         ++Fused;
@@ -283,9 +331,7 @@ uint64_t Dbt::translate(uint64_t EntryGuest) {
         Checker->emitDirectUpdate(Seq, L, Target);
       });
       EmitEdgeProf(L, Target);
-      if (Fused + 1 < Config.SuperblockLimit && !BlockMap.contains(Target) &&
-          !InThisSuper.count(Target) && Target != EntryGuest &&
-          WantsFusion(Target)) {
+      if (Fused + 1 < FuseLimit && CanFuseInto(Target)) {
         InThisSuper.insert(Guest);
         Guest = Target;
         ++Fused;
@@ -307,14 +353,46 @@ uint64_t Dbt::translate(uint64_t EntryGuest) {
           Checker->emitRegCondUpdate(Seq, L, Term->Op, Term->A, Taken,
                                      Fall);
       });
+      // Trace formation across the seam (promoted translations only):
+      // continue inline along the measured-hotter side, leaving the cold
+      // side as an exit stub. When the fall side wins, the branch is
+      // inverted so the taken target becomes the stub.
+      bool FuseTaken = false, FuseFall = false;
+      if (Promoting && ProfileWarm && Fused + 1 < FuseLimit) {
+        uint64_t TakenCount = Profile->edgeCount(L, Taken);
+        uint64_t FallCount = Profile->edgeCount(L, Fall);
+        FuseTaken = TakenCount > 0 && TakenCount >= FallCount &&
+                    CanFuseInto(Taken);
+        FuseFall = !FuseTaken && FallCount > 0 && CanFuseInto(Fall);
+      }
       // jcc cc, +8 over the fall-through tramp onto the taken tramp.
       // With profiling, each stub grows a leading edge bump and the skip
       // widens to +16.
+      int32_t Skip = static_cast<int32_t>(Profile ? 2 * InsnSize : InsnSize);
       Instruction Branch = *Term;
-      Branch.Imm = static_cast<int32_t>(Profile ? 2 * InsnSize : InsnSize);
+      Branch.Imm = Skip;
+      if (FuseFall) {
+        if (TermKind == OpKind::CondJump)
+          Branch = insn::jcc(negateCondCode(Term->cond()), Skip);
+        else
+          Branch = insn::rri(Term->Op == Opcode::Jzr ? Opcode::Jnzr
+                                                     : Opcode::Jzr,
+                             Term->A, 0, Skip);
+      }
       Builder.push(Branch);
-      EmitEdgeProf(L, Fall);
-      EmitTramp(Fall);
+      uint64_t StubTarget = FuseFall ? Taken : Fall;
+      EmitEdgeProf(L, StubTarget);
+      EmitTramp(StubTarget);
+      if (FuseTaken || FuseFall) {
+        uint64_t InlineTarget = FuseFall ? Fall : Taken;
+        EmitEdgeProf(L, InlineTarget);
+        InThisSuper.insert(Guest);
+        Guest = InlineTarget;
+        ++Fused;
+        ++CondSeamsFormed;
+        TraceCondFusions.inc();
+        continue;
+      }
       EmitEdgeProf(L, Taken);
       EmitTramp(Taken);
       Done = true;
@@ -391,6 +469,9 @@ uint64_t Dbt::translate(uint64_t EntryGuest) {
   Mem.writeRaw(Base, Encoded.data(), Bytes);
   CacheAlloc = Base + Bytes;
   FoldedUpdates.inc(Builder.foldedCount());
+  TraceDeadUpdates.inc(Builder.deadCount());
+  if (Promoting && Subs.size() > 1)
+    TracesFormed.inc();
   if (Tracer)
     Tracer->record(now(), telemetry::TraceEventKind::BlockTranslated,
                    nullptr, EntryGuest, Code.size());
@@ -409,18 +490,33 @@ uint64_t Dbt::translate(uint64_t EntryGuest) {
   }
 
   // Register sub-blocks. With folding, inner entry points may have been
-  // merged away, so only the superblock head is registered then.
+  // merged away, so only the superblock head is registered then; a
+  // promoted trace registers only its head for the same reason (its
+  // inner blocks are tail-duplicated copies, and the primary
+  // translations — where they exist — stand on their own).
+  bool HeadOnly = Config.FoldSignatureUpdates || Promoting;
   for (size_t SubIndex = 0; SubIndex < Subs.size(); ++SubIndex) {
     const SubBlock &Sub = Subs[SubIndex];
-    if (SubIndex > 0 && Config.FoldSignatureUpdates)
+    if (SubIndex > 0 && HeadOnly)
       break;
     TranslatedBlock TB;
     TB.GuestAddr = Sub.Guest;
     TB.CacheAddr = Base + Sub.StartIdx * InsnSize;
     TB.CacheSize = Base + Bytes - TB.CacheAddr;
-    for (const auto &[BeginIdx, EndIdx] : Sub.InstrIdx)
-      TB.InstrRanges.emplace_back(Base + BeginIdx * InsnSize,
-                                  Base + EndIdx * InsnSize);
+    TB.UnitHead = EntryGuest;
+    TB.UnitBlocks = static_cast<uint32_t>(Subs.size());
+    TB.CondSeams = CondSeamsFormed;
+    TB.Promoted = Promoting;
+    // When only the head is registered, its entry covers the whole
+    // unit's bytes — so it must also carry every inner sub-block's
+    // instrumentation ranges, or checker-emitted branches deep in the
+    // trace would classify as original-program sites (fault campaigns
+    // and --dump-cache both key off these ranges).
+    size_t LastSub = HeadOnly ? Subs.size() : SubIndex + 1;
+    for (size_t Inner = SubIndex; Inner < LastSub; ++Inner)
+      for (const auto &[BeginIdx, EndIdx] : Subs[Inner].InstrIdx)
+        TB.InstrRanges.emplace_back(Base + BeginIdx * InsnSize,
+                                    Base + EndIdx * InsnSize);
     // The prologue start of a registered sub-block is a guest-consistent
     // re-entry point: record it for the recovery subsystem.
     SafePoints[TB.CacheAddr] = SafePointInfo{Sub.Guest, Sub.Checked};
@@ -440,7 +536,19 @@ uint64_t Dbt::onDirectExit(uint64_t SiteAddr, uint64_t GuestTarget) {
   // wired into the fast path.
   if (Config.VerifyDispatchInterval && dispatchVerify(GuestTarget))
     Cache = lookupOrTranslate(GuestTarget);
+  if (Config.Tier == DbtTier::Opt)
+    Cache = maybePromote(GuestTarget, Cache);
   bool Translated = BlockMap.contains(GuestTarget);
+  if (Config.Tier == DbtTier::Opt && Translated) {
+    // Hold chaining until the target's unit is promoted: a chain patch
+    // would freeze this edge on the unoptimized translation and starve
+    // the promoter of the dispatches it watches. Every edge pays at
+    // most PromoteThreshold trampoline dispatches before its target
+    // either promotes (then chains) or proves cold.
+    const TranslatedBlock *TB = BlockMap.find(GuestTarget);
+    if (TB && !TB->Promoted)
+      Translated = false;
+  }
   if (Config.ChainDirectExits && Translated && isCacheAddr(SiteAddr)) {
     // Patch the Tramp into a direct jump (block chaining).
     Instruction Jump = insn::i(Opcode::Jmp,
@@ -481,6 +589,10 @@ uint64_t Dbt::onIndirectExit(uint64_t SiteAddr, uint64_t GuestTarget) {
       IbtcHits.inc();
       if (Config.VerifyDispatchInterval && dispatchVerify(GuestTarget))
         return lookupOrTranslate(GuestTarget);
+      // Indirect-only targets would otherwise hit here forever and
+      // never promote; the check is two hash probes on the hit path.
+      if (Config.Tier == DbtTier::Opt)
+        return maybePromote(GuestTarget, Entry.Cache);
       return Entry.Cache;
     }
   }
@@ -488,6 +600,8 @@ uint64_t Dbt::onIndirectExit(uint64_t SiteAddr, uint64_t GuestTarget) {
   uint64_t Cache = lookupOrTranslate(GuestTarget);
   if (Config.VerifyDispatchInterval && dispatchVerify(GuestTarget))
     Cache = lookupOrTranslate(GuestTarget);
+  if (Config.Tier == DbtTier::Opt)
+    Cache = maybePromote(GuestTarget, Cache);
   if (BlockMap.contains(GuestTarget))
     Entry = {GuestTarget, Cache, ibtcCheckWord(GuestTarget, Cache)};
   return Cache;
@@ -515,6 +629,71 @@ bool Dbt::onWriteViolation(uint64_t DataAddr) {
     Tracer->record(now(), telemetry::TraceEventKind::CacheFlush, "smc",
                    DataAddr);
   return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Optimizing tier: hot-trace promotion and adaptive check placement
+// (DESIGN.md §11).
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// How many checks a policy sinks, for choosing the laxer of two.
+unsigned policyLaxity(CheckPolicy P) {
+  switch (P) {
+  case CheckPolicy::AllBB:
+    return 0;
+  case CheckPolicy::StoreBB:
+    return 1;
+  case CheckPolicy::RetBE:
+    return 2;
+  case CheckPolicy::Ret:
+    return 3;
+  case CheckPolicy::End:
+    return 4;
+  }
+  return 0;
+}
+} // namespace
+
+CheckPolicy Dbt::regionPolicy(uint64_t RegionHead) const {
+  if (Config.Tier != DbtTier::Opt || !Profile)
+    return Config.Policy;
+  // Only ever relax relative to the configured policy, and only once
+  // the region is measurably hot. Updates are emitted under every
+  // policy, so sinking a check delays detection to the region's next
+  // checking block; it never loses it (DESIGN.md §11).
+  if (Profile->execCount(RegionHead) < Config.PromoteThreshold)
+    return Config.Policy;
+  return policyLaxity(Config.HotPolicy) > policyLaxity(Config.Policy)
+             ? Config.HotPolicy
+             : Config.Policy;
+}
+
+uint64_t Dbt::maybePromote(uint64_t GuestTarget, uint64_t Cache) {
+  if (Config.Tier != DbtTier::Opt || !Profile || Promoting)
+    return Cache;
+  TranslatedBlock *TB = BlockMap.findMutable(GuestTarget);
+  if (!TB || TB->Promoted)
+    return Cache;
+  // Heat is judged at the unit head (the retranslation entry), but an
+  // inner member crossing the threshold also qualifies the unit — its
+  // head may sit outside the hot loop.
+  if (Profile->execCount(TB->UnitHead) < Config.PromoteThreshold &&
+      Profile->execCount(GuestTarget) < Config.PromoteThreshold)
+    return Cache;
+  telemetry::PhaseProfiler::Scope Timer(Profiler, telemetry::Phase::Trace);
+  uint64_t Head = evictUnit(TB->CacheAddr + TB->CacheSize);
+  if (Head == ~0ULL)
+    return Cache;
+  TracePromotions.inc();
+  Promoting = true;
+  translate(Head);
+  Promoting = false;
+  uint64_t NewCache = lookupOrTranslate(GuestTarget);
+  if (Tracer)
+    Tracer->record(now(), telemetry::TraceEventKind::TracePromoted, nullptr,
+                   Head, Profile->execCount(Head));
+  return NewCache;
 }
 
 //===----------------------------------------------------------------------===//
@@ -681,6 +860,53 @@ bool Dbt::faultFlipIbtcBit(size_t Index, unsigned Bit) {
 }
 
 void Dbt::quarantineUnit(uint64_t UnitEnd, const char *Origin) {
+  // Enumerate the members before eviction for the diagnostics.
+  std::vector<uint64_t> Guests;
+  uint64_t UnitStart = UnitEnd;
+  uint64_t HeadGuest = 0;
+  for (const TranslatedBlock &TB : BlockMap) {
+    if (TB.CacheAddr + TB.CacheSize != UnitEnd)
+      continue;
+    Guests.push_back(TB.GuestAddr);
+    if (TB.CacheAddr <= UnitStart) {
+      UnitStart = TB.CacheAddr;
+      HeadGuest = TB.GuestAddr;
+    }
+  }
+  if (Guests.empty())
+    return;
+
+  // Post-mortem before eviction so the bundle still disassembles the
+  // corrupt host bytes.
+  if (Recorder && ClockSource) {
+    StopInfo S;
+    S.Kind = StopKind::Halted;
+    S.PC = std::max(UnitStart, CacheBase);
+    telemetry::PostMortem PM = buildPostMortem("quarantine", S, *ClockSource);
+    PM.Note = Origin;
+    PM.Annotations.emplace_back("guest_addr", HeadGuest);
+    PM.Annotations.emplace_back("unit_start", UnitStart);
+    PM.Annotations.emplace_back("unit_end", UnitEnd);
+    PM.Annotations.emplace_back("blocks", Guests.size());
+    Recorder->write(PM);
+  }
+  if (Tracer)
+    Tracer->record(now(), telemetry::TraceEventKind::BlockQuarantined, Origin,
+                   HeadGuest, Guests.size());
+
+  evictUnit(UnitEnd);
+
+  // Self-heal: retranslate the unit head when it is still a
+  // translatable guest target. (A flipped GuestAddr falls back to lazy
+  // retranslation at the next dispatch of the real address.)
+  if (!BlockMap.contains(HeadGuest)) {
+    uint64_t Cache = lookupOrTranslate(HeadGuest);
+    if (isCacheAddr(Cache))
+      IntegrityRetranslations.inc();
+  }
+}
+
+uint64_t Dbt::evictUnit(uint64_t UnitEnd) {
   // All sub-blocks of one translation unit share the unit's end address
   // (each CacheSize extends to it), which identifies the unit's members
   // even when one entry's other metadata is corrupted.
@@ -697,29 +923,11 @@ void Dbt::quarantineUnit(uint64_t UnitEnd, const char *Origin) {
     }
   }
   if (Guests.empty())
-    return;
+    return ~0ULL;
   // Clamp the cleanup range to the live cache: corrupted metadata can
   // push the nominal range out of bounds.
   uint64_t RangeBegin = std::max(UnitStart, CacheBase);
   uint64_t RangeEnd = std::min(UnitEnd, CacheAlloc);
-
-  // Post-mortem before eviction so the bundle still disassembles the
-  // corrupt host bytes.
-  if (Recorder && ClockSource) {
-    StopInfo S;
-    S.Kind = StopKind::Halted;
-    S.PC = RangeBegin;
-    telemetry::PostMortem PM = buildPostMortem("quarantine", S, *ClockSource);
-    PM.Note = Origin;
-    PM.Annotations.emplace_back("guest_addr", HeadGuest);
-    PM.Annotations.emplace_back("unit_start", UnitStart);
-    PM.Annotations.emplace_back("unit_end", UnitEnd);
-    PM.Annotations.emplace_back("blocks", Guests.size());
-    Recorder->write(PM);
-  }
-  if (Tracer)
-    Tracer->record(now(), telemetry::TraceEventKind::BlockQuarantined, Origin,
-                   HeadGuest, Guests.size());
 
   // Safe points (and the check-site census) of the evicted range.
   if (RangeBegin < RangeEnd)
@@ -768,6 +976,23 @@ void Dbt::quarantineUnit(uint64_t UnitEnd, const char *Origin) {
   }
   Patches = std::move(Kept);
 
+  // Retire the unit's byte range before dropping its blocks: the bytes
+  // stay allocated (cache storage is never reused), and branch-site
+  // classification must keep seeing the old translation's
+  // instrumentation ranges for executions that happened before the
+  // eviction.
+  if (RangeBegin < RangeEnd) {
+    RetiredRange RR;
+    RR.Begin = RangeBegin;
+    RR.End = RangeEnd;
+    RR.GuestHead = HeadGuest;
+    for (const TranslatedBlock &TB : BlockMap)
+      if (TB.CacheAddr + TB.CacheSize == UnitEnd)
+        for (const auto &Range : TB.InstrRanges)
+          RR.InstrRanges.push_back(Range);
+    Retired.push_back(std::move(RR));
+  }
+
   // Evict the unit's blocks and any stale decode of its bytes.
   BlockMap.eraseIf([UnitEnd](const TranslatedBlock &TB) {
     return TB.CacheAddr + TB.CacheSize == UnitEnd;
@@ -778,15 +1003,7 @@ void Dbt::quarantineUnit(uint64_t UnitEnd, const char *Origin) {
   // The unchaining writes mutated live predecessor blocks: reseal them.
   for (uint64_t Site : UnchainedSites)
     resealBlocksContaining(Site);
-
-  // Self-heal: retranslate the unit head when it is still a
-  // translatable guest target. (A flipped GuestAddr falls back to lazy
-  // retranslation at the next dispatch of the real address.)
-  if (!BlockMap.contains(HeadGuest)) {
-    uint64_t Cache = lookupOrTranslate(HeadGuest);
-    if (isCacheAddr(Cache))
-      IntegrityRetranslations.inc();
-  }
+  return HeadGuest;
 }
 
 void Dbt::flushTranslations() {
@@ -819,6 +1036,9 @@ void Dbt::degradeToConservative() {
   Config.SuperblockLimit = 1;
   Config.FoldSignatureUpdates = false;
   Config.Policy = CheckPolicy::AllBB;
+  // The optimizing tier is the first thing to go: no trace re-forming,
+  // no check sinking on a translator that is already misbehaving.
+  Config.Tier = DbtTier::Base;
   Degrades.inc();
   if (Tracer)
     Tracer->record(now(), telemetry::TraceEventKind::DegradationStep,
@@ -871,6 +1091,28 @@ std::vector<BranchSiteInfo> Dbt::enumerateBranchSites() const {
       const TranslatedBlock *Inner = cacheBlockContaining(Addr);
       Site.IsInstrumentation = Inner && Inner->isInstrumentation(Addr);
       Site.GuestBlock = Inner ? Inner->GuestAddr : TB->GuestAddr;
+      Sites.push_back(Site);
+    }
+  }
+  // Retired ranges: translations evicted by promotion or quarantine.
+  // Their storage is never reused, so the ranges are disjoint from every
+  // live block and from each other.
+  for (const RetiredRange &RR : Retired) {
+    for (uint64_t Addr = RR.Begin; Addr < RR.End; Addr += InsnSize) {
+      uint8_t Raw[InsnSize];
+      Mem.readRaw(Addr, Raw, InsnSize);
+      auto I = Instruction::decode(Raw);
+      if (!I || !hasBranchOffset(I->Op))
+        continue;
+      BranchSiteInfo Site;
+      Site.CacheAddr = Addr;
+      Site.Op = I->Op;
+      for (const auto &[Begin, End] : RR.InstrRanges)
+        if (Addr >= Begin && Addr < End) {
+          Site.IsInstrumentation = true;
+          break;
+        }
+      Site.GuestBlock = RR.GuestHead;
       Sites.push_back(Site);
     }
   }

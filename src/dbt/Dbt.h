@@ -63,6 +63,20 @@
 
 namespace cfed {
 
+/// Translation tiers. Base translates block-at-a-time on first dispatch
+/// (plus optional superblock fusion along unconditional chains). Opt
+/// starts every block at Base and, once the attached block profile shows
+/// a unit's head crossing the promotion threshold, retranslates the unit
+/// as an optimized *trace*: multi-block fusion across the hotter side of
+/// conditional branches (tail duplication), spine signature-update
+/// folding with dead-update elimination, and adaptive per-region check
+/// placement. (An interpreter-only "interp" tier exists at the CLI
+/// level; it is the absence of a translator.)
+enum class DbtTier : uint8_t { Base, Opt };
+
+/// Returns "base" or "opt".
+const char *getDbtTierName(DbtTier Tier);
+
 /// Translator configuration.
 struct DbtConfig {
   Technique Tech = Technique::None;
@@ -94,6 +108,25 @@ struct DbtConfig {
   /// sites, so a flipped signature variable reports monitor corruption
   /// (0x5EC) instead of a guest control-flow error.
   bool ShadowSignature = false;
+  /// Translation tier (see DbtTier). Opt is incompatible with eager
+  /// translation (the whole-program techniques freeze the translation
+  /// set); load() silently falls back to Base there.
+  DbtTier Tier = DbtTier::Base;
+  /// Opt tier: maximum number of guest blocks fused into one trace
+  /// (conditional and unconditional edges combined). Also raises the
+  /// effective superblock limit for promoted translations.
+  unsigned TraceLimit = 8;
+  /// Opt tier: executions a unit head must accumulate before the unit
+  /// is evicted and retranslated as an optimized trace.
+  uint64_t PromoteThreshold = 16;
+  /// Opt tier: the relaxed check policy applied to regions the profile
+  /// has measured as hot (cold regions keep Policy). The default RetBE
+  /// retains back-edge and return checks, so every loop still contains
+  /// a checking block and the errant-flow watchdog stays anchored;
+  /// sinking the remaining checks is detection-preserving because
+  /// signature *updates* are still emitted in every block (the
+  /// discrepancy persists until the next check — DESIGN.md §11).
+  CheckPolicy HotPolicy = CheckPolicy::RetBE;
 };
 
 /// One translated guest block resident in the code cache.
@@ -112,6 +145,20 @@ struct TranslatedBlock {
   /// Cache-address ranges [begin, end) occupied by checker-emitted
   /// instrumentation.
   std::vector<std::pair<uint64_t, uint64_t>> InstrRanges;
+  /// Guest address of the head block of the translation unit this entry
+  /// belongs to. Sub-blocks of one superblock/trace share a head (and a
+  /// unit end), which makes the unit enumerable from any member —
+  /// quarantine, flight-recorder bundles and --dump-cache all see
+  /// traces as chained units.
+  uint64_t UnitHead = 0;
+  /// Guest blocks fused into this translation unit (1 = unfused).
+  uint32_t UnitBlocks = 1;
+  /// Conditional-branch seams fused along the unit's spine (nonzero
+  /// only for traces formed by the optimizing tier).
+  uint32_t CondSeams = 0;
+  /// True when this unit was produced by the optimizing tier's
+  /// promotion pass (hot-trace retranslation).
+  bool Promoted = false;
 
   bool containsCacheAddr(uint64_t Addr) const {
     return Addr >= CacheAddr && Addr < CacheAddr + CacheSize;
@@ -302,6 +349,20 @@ public:
   uint64_t foldedUpdateCount() const { return FoldedUpdates.value(); }
   /// Number of direct exits patched into plain jumps ("dbt.chains").
   uint64_t chainCount() const { return Chains.value(); }
+  /// Hot units retranslated as optimized traces ("trace.promotions").
+  uint64_t tracePromotionCount() const { return TracePromotions.value(); }
+  /// Promoted translations that fused at least two guest blocks
+  /// ("trace.formed").
+  uint64_t traceCount() const { return TracesFormed.value(); }
+  /// Conditional-branch seams fused into trace spines
+  /// ("trace.cond_fusions").
+  uint64_t traceCondFusionCount() const { return TraceCondFusions.value(); }
+  /// Signature checks elided by adaptive per-region check placement
+  /// relative to the configured policy ("trace.checks_elided").
+  uint64_t checksElidedCount() const { return TraceChecksElided.value(); }
+  /// Signature updates that folded to identity and were rewritten to
+  /// Nop by the backend ("trace.dead_updates").
+  uint64_t deadUpdateCount() const { return TraceDeadUpdates.value(); }
 
   /// The registry this translator's counters live in (the injected one,
   /// or the private default).
@@ -345,11 +406,23 @@ private:
   };
 
   /// Translates the block entered at \p GuestAddr (and possibly
-  /// following blocks into a superblock); returns its cache address.
+  /// following blocks into a superblock or, when Promoting, a trace);
+  /// returns its cache address.
   uint64_t translate(uint64_t GuestAddr);
   uint64_t lookupOrTranslate(uint64_t GuestTarget);
   void flushTranslations();
   void reprotectCodePages();
+
+  /// Opt tier: when \p GuestTarget's unit head has crossed the
+  /// promotion threshold, evicts the unit and retranslates it as an
+  /// optimized trace. Returns the (possibly new) cache address to
+  /// dispatch to.
+  uint64_t maybePromote(uint64_t GuestTarget, uint64_t Cache);
+  /// Chooses the check policy for the region headed at \p RegionHead:
+  /// the configured policy for cold regions, the relaxed HotPolicy once
+  /// the profile shows the head past the promotion threshold (opt tier
+  /// only).
+  CheckPolicy regionPolicy(uint64_t RegionHead) const;
 
   /// Trace timestamp: the bound interpreter's instruction count.
   uint64_t now() const {
@@ -394,6 +467,11 @@ private:
   /// \p Origin tags the flight-recorder bundle ("scrub",
   /// "dispatch-verify", "recovery").
   void quarantineUnit(uint64_t UnitEnd, const char *Origin);
+  /// The eviction half of quarantineUnit, shared with trace promotion
+  /// (which evicts clean units without diagnostics or retranslation).
+  /// Returns the unit's head guest address, or ~0 when no live block
+  /// belongs to the unit.
+  uint64_t evictUnit(uint64_t UnitEnd);
 
   Memory &Mem;
   DbtConfig Config;
@@ -403,6 +481,19 @@ private:
   std::unique_ptr<ControlFlowChecker> Checker;
   BlockTable<TranslatedBlock> BlockMap;
   std::unordered_map<uint64_t, SafePointInfo> SafePoints;
+  /// Cache ranges whose translations were evicted (trace promotion,
+  /// quarantine) but whose bytes stay allocated. Branch-site
+  /// enumeration still reports them: a fault campaign's golden run
+  /// executes the pre-promotion translation during warm-up, so its
+  /// instrumentation branches must keep classifying as instrumentation
+  /// after the promoted trace replaces them in the block table.
+  struct RetiredRange {
+    uint64_t Begin = 0;
+    uint64_t End = 0;
+    uint64_t GuestHead = 0;
+    std::vector<std::pair<uint64_t, uint64_t>> InstrRanges;
+  };
+  std::vector<RetiredRange> Retired;
   uint64_t NumCheckSites = 0;
   std::string LoadError;
   std::array<IbtcEntry, IbtcSlots> Ibtc;
@@ -426,12 +517,24 @@ private:
   telemetry::Counter &IntegrityScrubs;
   telemetry::Counter &IntegrityMismatches;
   telemetry::Counter &IntegrityRetranslations;
+  telemetry::Counter &TracePromotions;
+  telemetry::Counter &TracesFormed;
+  telemetry::Counter &TraceCondFusions;
+  telemetry::Counter &TraceChecksElided;
+  telemetry::Counter &TraceDeadUpdates;
   /// Cache-exit dispatches since the last scrubber pass.
   uint64_t DispatchesSinceScrub = 0;
+  /// True while translate() runs on behalf of a trace promotion: fusion
+  /// crosses hot conditional seams (with tail duplication), the backend
+  /// folds the spine, and only the unit head is registered.
+  bool Promoting = false;
   telemetry::FlightRecorder *Recorder = nullptr;
   telemetry::EventTracer *Tracer = nullptr;
   telemetry::PhaseProfiler *Profiler = nullptr;
   telemetry::BlockProfile *Profile = nullptr;
+  /// The opt tier needs hotness data to promote; when no profile was
+  /// attached, load() creates this private one.
+  std::unique_ptr<telemetry::BlockProfile> OwnedProfile;
   const Interpreter *ClockSource = nullptr;
   /// Leaders from the assembler side table (eager mode).
   std::vector<uint64_t> EagerLeaders;

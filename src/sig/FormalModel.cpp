@@ -257,11 +257,24 @@ std::unique_ptr<Scheme> cfed::sig::makeEccaScheme() {
   return std::make_unique<EccaScheme>();
 }
 
-ConditionReport cfed::sig::verifySingleErrorDetection(Scheme &S,
-                                                      const AbstractCfg &Cfg,
-                                                      unsigned PathLen,
-                                                      unsigned ContinueSteps,
-                                                      uint64_t Seed) {
+std::vector<bool> cfed::sig::backEdgeAndExitMask(const AbstractCfg &Cfg) {
+  std::vector<bool> Mask(Cfg.numBlocks(), false);
+  for (unsigned Block = 0; Block < Cfg.numBlocks(); ++Block) {
+    if (Cfg.Succs[Block].empty()) {
+      Mask[Block] = true; // Exit: the END check every policy keeps.
+      continue;
+    }
+    for (unsigned Succ : Cfg.Succs[Block])
+      if (Succ <= Block)
+        Mask[Block] = true; // Loop latch: RET-BE's back-edge check.
+  }
+  return Mask;
+}
+
+ConditionReport cfed::sig::verifySingleErrorDetection(
+    Scheme &S, const AbstractCfg &Cfg, unsigned PathLen,
+    unsigned ContinueSteps, uint64_t Seed,
+    const std::vector<bool> *CheckMask) {
   S.prepare(Cfg);
   ConditionReport Report;
   Prng Rng(Seed);
@@ -275,16 +288,20 @@ ConditionReport cfed::sig::verifySingleErrorDetection(Scheme &S,
     Path.push_back(Succs[Rng.nextBelow(Succs.size())]);
   }
 
+  auto Checks = [&](unsigned Block) {
+    return !CheckMask || (*CheckMask)[Block];
+  };
+
   // Necessary condition: simulate the correct path, collecting the state
   // at each tail exit on the way.
   std::vector<Scheme::State> ExitStates; // After genTailExit at step i.
   Scheme::State State = S.initial(Cfg);
   for (size_t I = 0; I < Path.size(); ++I) {
     unsigned Block = Path[I];
-    if (!S.checkHeadEntry(State, Block))
+    if (Checks(Block) && !S.checkHeadEntry(State, Block))
       ++Report.FalsePositives;
     State = S.genHeadExit(State, Block);
-    if (!S.checkTailEntry(State, Block))
+    if (Checks(Block) && !S.checkTailEntry(State, Block))
       ++Report.FalsePositives;
     if (I + 1 < Path.size()) {
       State = S.genTailExit(State, Block, Path[I + 1]);
@@ -298,13 +315,13 @@ ConditionReport cfed::sig::verifySingleErrorDetection(Scheme &S,
     Node At = Landing;
     for (unsigned Step = 0; Step < ContinueSteps; ++Step) {
       if (At.IsHead) {
-        if (!S.checkHeadEntry(Current, At.Block))
+        if (Checks(At.Block) && !S.checkHeadEntry(Current, At.Block))
           return true;
         Current = S.genHeadExit(Current, At.Block);
         At = Node{At.Block, /*IsHead=*/false};
         continue;
       }
-      if (!S.checkTailEntry(Current, At.Block))
+      if (Checks(At.Block) && !S.checkTailEntry(Current, At.Block))
         return true;
       const std::vector<unsigned> &Succs = Cfg.Succs[At.Block];
       if (Succs.empty())

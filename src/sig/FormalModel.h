@@ -127,10 +127,21 @@ struct ConditionReport {
 /// condition, then enumerates *every* single control-flow error (every
 /// tail-exit position x every wrong physical node) and reports which
 /// escape all subsequent checks within \p ContinueSteps.
-ConditionReport verifySingleErrorDetection(Scheme &S, const AbstractCfg &Cfg,
-                                           unsigned PathLen,
-                                           unsigned ContinueSteps,
-                                           uint64_t Seed);
+///
+/// \p CheckMask, when given, models a relaxed checking policy: one entry
+/// per block, and CHECK_SIG only runs at blocks whose entry is true
+/// (GEN_SIG still runs everywhere — the Section 6 policies and the
+/// optimizing tier's adaptive placement only move checks, never
+/// updates). Null means check in every block (ALLBB).
+ConditionReport verifySingleErrorDetection(
+    Scheme &S, const AbstractCfg &Cfg, unsigned PathLen,
+    unsigned ContinueSteps, uint64_t Seed,
+    const std::vector<bool> *CheckMask = nullptr);
+
+/// The RET-BE-analogue mask for \p Cfg: back-edge blocks (some successor
+/// has an index no larger than the block's — every cycle contains one)
+/// plus exit blocks (no successors; the END check every policy keeps).
+std::vector<bool> backEdgeAndExitMask(const AbstractCfg &Cfg);
 
 /// Tally of the exhaustive corrupted-monitor enumeration: faults that
 /// hit the *checker's own state* (the signature registers) instead of

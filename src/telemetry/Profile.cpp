@@ -21,6 +21,8 @@ const char *cfed::telemetry::getPhaseName(Phase P) {
     return "recover";
   case Phase::Scrub:
     return "scrub";
+  case Phase::Trace:
+    return "trace";
   case Phase::Wall:
     return "wall";
   }

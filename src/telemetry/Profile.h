@@ -33,10 +33,11 @@ enum class Phase : uint8_t {
   Check,     ///< Signature checking outside generated code.
   Recover,   ///< Checkpoint/rollback machinery.
   Scrub,     ///< Code-cache integrity scrubbing (self-integrity subsystem).
+  Trace,     ///< Opt-tier trace promotion (eviction + retranslation).
   Wall       ///< Whole-run wall clock (bench harnesses).
 };
 
-inline constexpr unsigned NumPhases = 6;
+inline constexpr unsigned NumPhases = 7;
 
 const char *getPhaseName(Phase P);
 

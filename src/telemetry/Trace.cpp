@@ -33,6 +33,8 @@ const char *cfed::telemetry::getTraceEventName(TraceEventKind Kind) {
     return "integrity-scrub";
   case TraceEventKind::BlockQuarantined:
     return "block-quarantined";
+  case TraceEventKind::TracePromoted:
+    return "trace-promoted";
   }
   return "?";
 }

@@ -36,7 +36,9 @@ enum class TraceEventKind : uint8_t {
   InterpreterFallback, ///< Translation abandoned; interpreting guest code.
   CampaignInjection,   ///< A fault-campaign injection completed.
   IntegrityScrub,      ///< The scrubber walked the code cache.
-  BlockQuarantined     ///< An integrity mismatch evicted a cached block.
+  BlockQuarantined,    ///< An integrity mismatch evicted a cached block.
+  TracePromoted        ///< A hot unit was retranslated as an optimized
+                       ///< trace by the opt tier.
 };
 
 /// Stable lowercase names used in both sinks.

@@ -161,6 +161,27 @@ int64_t signedRem(int64_t A, int64_t B) {
 
 } // namespace
 
+// Dispatch strategy. On compilers with labels-as-values (GCC/Clang) the run
+// loop is direct-threaded: each opcode body ends with an indexed goto through
+// a label table built from Opcodes.def, so the hardware branch predictor sees
+// one indirect jump per handler instead of a single shared switch dispatch.
+// Other compilers (or -DCFED_NO_COMPUTED_GOTO) fall back to the plain switch;
+// both expansions share the same handler bodies via OP_CASE/OP_BREAK.
+#if (defined(__GNUC__) || defined(__clang__)) && !defined(CFED_NO_COMPUTED_GOTO)
+#define CFED_COMPUTED_GOTO 1
+#else
+#define CFED_COMPUTED_GOTO 0
+#endif
+
+#if CFED_COMPUTED_GOTO
+#define OP_CASE(NAME) lbl_##NAME
+#else
+#define OP_CASE(NAME) case Opcode::NAME
+#endif
+// Both modes leave the handler body by jumping to the loop tail; the switch
+// fallback simply has no fall-out path.
+#define OP_BREAK goto next_insn
+
 StopInfo Interpreter::run(uint64_t MaxInsns) {
   StopInfo Stop;
   uint64_t Budget = MaxInsns;
@@ -218,16 +239,28 @@ StopInfo Interpreter::run(uint64_t MaxInsns) {
     if (Fault && hasBranchOffset(I.Op))
       Fault->apply(PC, I, BranchFlags, State);
 
+#if CFED_COMPUTED_GOTO
+    // One entry per opcode, in Opcodes.def order — identical to the
+    // Opcode enumerator values. Decode has already validated the opcode
+    // byte, so the indexed goto cannot escape the table.
+    static const void *const OpLabels[] = {
+#define HANDLE_OPCODE(ENUM, MNEMONIC, SPEC, COST, WRITES_FLAGS, KIND)          \
+  &&lbl_##ENUM,
+#include "isa/Opcodes.def"
+    };
+    goto *OpLabels[static_cast<size_t>(I.Op)];
+#else
     switch (I.Op) {
-    case Opcode::Nop:
-      break;
-    case Opcode::Halt:
+#endif
+    OP_CASE(Nop):
+      OP_BREAK;
+    OP_CASE(Halt):
       Stop.Kind = StopKind::Halted;
       Stop.PC = PC;
       return Stop;
-    case Opcode::Brk:
+    OP_CASE(Brk):
       return MakeTrap(TrapKind::BreakTrap, PC, I.Imm);
-    case Opcode::Out: {
+    OP_CASE(Out): {
       // Decimal append without the printf round-trip: Out sits inside the
       // run loop of every workload.
       char Buf[24]; // "-9223372036854775808\n" is 21 chars.
@@ -244,176 +277,176 @@ StopInfo Interpreter::run(uint64_t MaxInsns) {
       if (V < 0)
         *--P = '-';
       OutputBuffer.append(P, static_cast<size_t>(End - P));
-      break;
+      OP_BREAK;
     }
-    case Opcode::OutC:
+    OP_CASE(OutC):
       OutputBuffer += static_cast<char>(Regs[I.A] & 0xff);
-      break;
+      OP_BREAK;
 
-    case Opcode::Add: {
+    OP_CASE(Add): {
       uint64_t A = Regs[I.B], B = Regs[I.C], R = A + B;
       Regs[I.A] = R;
       setFlagsAdd(F, A, B, R);
-      break;
+      OP_BREAK;
     }
-    case Opcode::Sub: {
+    OP_CASE(Sub): {
       uint64_t A = Regs[I.B], B = Regs[I.C], R = A - B;
       Regs[I.A] = R;
       setFlagsSub(F, A, B, R);
-      break;
+      OP_BREAK;
     }
-    case Opcode::And:
+    OP_CASE(And):
       Regs[I.A] = Regs[I.B] & Regs[I.C];
       setFlagsLogic(F, Regs[I.A]);
-      break;
-    case Opcode::Or:
+      OP_BREAK;
+    OP_CASE(Or):
       Regs[I.A] = Regs[I.B] | Regs[I.C];
       setFlagsLogic(F, Regs[I.A]);
-      break;
-    case Opcode::Xor:
+      OP_BREAK;
+    OP_CASE(Xor):
       Regs[I.A] = Regs[I.B] ^ Regs[I.C];
       setFlagsLogic(F, Regs[I.A]);
-      break;
-    case Opcode::Shl:
+      OP_BREAK;
+    OP_CASE(Shl):
       Regs[I.A] = Regs[I.B] << (Regs[I.C] & 63);
       setFlagsLogic(F, Regs[I.A]);
-      break;
-    case Opcode::Shr:
+      OP_BREAK;
+    OP_CASE(Shr):
       Regs[I.A] = Regs[I.B] >> (Regs[I.C] & 63);
       setFlagsLogic(F, Regs[I.A]);
-      break;
-    case Opcode::Sar:
+      OP_BREAK;
+    OP_CASE(Sar):
       Regs[I.A] = static_cast<uint64_t>(static_cast<int64_t>(Regs[I.B]) >>
                                         (Regs[I.C] & 63));
       setFlagsLogic(F, Regs[I.A]);
-      break;
-    case Opcode::Mul: {
+      OP_BREAK;
+    OP_CASE(Mul): {
       int64_t A = static_cast<int64_t>(Regs[I.B]);
       int64_t B = static_cast<int64_t>(Regs[I.C]);
       int64_t R = static_cast<int64_t>(static_cast<uint64_t>(A) *
                                        static_cast<uint64_t>(B));
       Regs[I.A] = static_cast<uint64_t>(R);
       setFlagsMul(F, A, B, R);
-      break;
+      OP_BREAK;
     }
-    case Opcode::Div: {
+    OP_CASE(Div): {
       int64_t B = static_cast<int64_t>(Regs[I.C]);
       if (B == 0)
         return MakeTrap(TrapKind::DivByZero, PC);
       Regs[I.A] = static_cast<uint64_t>(
           signedDiv(static_cast<int64_t>(Regs[I.B]), B));
-      break;
+      OP_BREAK;
     }
-    case Opcode::Rem: {
+    OP_CASE(Rem): {
       int64_t B = static_cast<int64_t>(Regs[I.C]);
       if (B == 0)
         return MakeTrap(TrapKind::DivByZero, PC);
       Regs[I.A] = static_cast<uint64_t>(
           signedRem(static_cast<int64_t>(Regs[I.B]), B));
-      break;
+      OP_BREAK;
     }
 
-    case Opcode::AddI: {
+    OP_CASE(AddI): {
       uint64_t A = Regs[I.B];
       uint64_t B = static_cast<uint64_t>(static_cast<int64_t>(I.Imm));
       uint64_t R = A + B;
       Regs[I.A] = R;
       setFlagsAdd(F, A, B, R);
-      break;
+      OP_BREAK;
     }
-    case Opcode::AndI:
+    OP_CASE(AndI):
       Regs[I.A] = Regs[I.B] & static_cast<uint64_t>(static_cast<int64_t>(I.Imm));
       setFlagsLogic(F, Regs[I.A]);
-      break;
-    case Opcode::OrI:
+      OP_BREAK;
+    OP_CASE(OrI):
       Regs[I.A] = Regs[I.B] | static_cast<uint64_t>(static_cast<int64_t>(I.Imm));
       setFlagsLogic(F, Regs[I.A]);
-      break;
-    case Opcode::XorI:
+      OP_BREAK;
+    OP_CASE(XorI):
       Regs[I.A] = Regs[I.B] ^ static_cast<uint64_t>(static_cast<int64_t>(I.Imm));
       setFlagsLogic(F, Regs[I.A]);
-      break;
-    case Opcode::ShlI:
+      OP_BREAK;
+    OP_CASE(ShlI):
       Regs[I.A] = Regs[I.B] << (I.Imm & 63);
       setFlagsLogic(F, Regs[I.A]);
-      break;
-    case Opcode::ShrI:
+      OP_BREAK;
+    OP_CASE(ShrI):
       Regs[I.A] = Regs[I.B] >> (I.Imm & 63);
       setFlagsLogic(F, Regs[I.A]);
-      break;
-    case Opcode::SarI:
+      OP_BREAK;
+    OP_CASE(SarI):
       Regs[I.A] = static_cast<uint64_t>(static_cast<int64_t>(Regs[I.B]) >>
                                         (I.Imm & 63));
       setFlagsLogic(F, Regs[I.A]);
-      break;
-    case Opcode::MulI: {
+      OP_BREAK;
+    OP_CASE(MulI): {
       int64_t A = static_cast<int64_t>(Regs[I.B]);
       int64_t B = I.Imm;
       int64_t R = static_cast<int64_t>(static_cast<uint64_t>(A) *
                                        static_cast<uint64_t>(B));
       Regs[I.A] = static_cast<uint64_t>(R);
       setFlagsMul(F, A, B, R);
-      break;
+      OP_BREAK;
     }
 
-    case Opcode::Lea:
+    OP_CASE(Lea):
       Regs[I.A] = Regs[I.B] + static_cast<uint64_t>(static_cast<int64_t>(I.Imm));
-      break;
-    case Opcode::LeaR:
+      OP_BREAK;
+    OP_CASE(LeaR):
       Regs[I.A] = Regs[I.B] + Regs[I.C];
-      break;
-    case Opcode::Mov:
+      OP_BREAK;
+    OP_CASE(Mov):
       Regs[I.A] = Regs[I.B];
-      break;
-    case Opcode::MovI:
+      OP_BREAK;
+    OP_CASE(MovI):
       Regs[I.A] = static_cast<uint64_t>(static_cast<int64_t>(I.Imm));
-      break;
-    case Opcode::MovHi:
+      OP_BREAK;
+    OP_CASE(MovHi):
       Regs[I.A] = (Regs[I.A] & 0xffffffffULL) |
                   (static_cast<uint64_t>(static_cast<uint32_t>(I.Imm)) << 32);
-      break;
-    case Opcode::Neg: {
+      OP_BREAK;
+    OP_CASE(Neg): {
       uint64_t B = Regs[I.B], R = 0 - B;
       Regs[I.A] = R;
       setFlagsSub(F, 0, B, R);
-      break;
+      OP_BREAK;
     }
-    case Opcode::Not:
+    OP_CASE(Not):
       Regs[I.A] = ~Regs[I.B];
-      break;
+      OP_BREAK;
 
-    case Opcode::Cmp: {
+    OP_CASE(Cmp): {
       uint64_t A = Regs[I.A], B = Regs[I.B];
       setFlagsSub(F, A, B, A - B);
-      break;
+      OP_BREAK;
     }
-    case Opcode::CmpI: {
+    OP_CASE(CmpI): {
       uint64_t A = Regs[I.A];
       uint64_t B = static_cast<uint64_t>(static_cast<int64_t>(I.Imm));
       setFlagsSub(F, A, B, A - B);
-      break;
+      OP_BREAK;
     }
-    case Opcode::Test:
+    OP_CASE(Test):
       setFlagsLogic(F, Regs[I.A] & Regs[I.B]);
-      break;
-    case Opcode::SetCC:
+      OP_BREAK;
+    OP_CASE(SetCC):
       Regs[I.A] = evalCondCode(I.cond(), F) ? 1 : 0;
-      break;
-    case Opcode::CMov:
+      OP_BREAK;
+    OP_CASE(CMov):
       if (evalCondCode(I.cond(), F))
         Regs[I.A] = Regs[I.B];
-      break;
+      OP_BREAK;
 
-    case Opcode::Ld: {
+    OP_CASE(Ld): {
       MemResult R = MemResult::Ok;
       uint64_t Addr = Regs[I.B] + static_cast<int64_t>(I.Imm);
       uint64_t Value = Mem.read64(Addr, R);
       if (R != MemResult::Ok)
         return MakeTrap(TrapKind::ReadViolation, Addr);
       Regs[I.A] = Value;
-      break;
+      OP_BREAK;
     }
-    case Opcode::St: {
+    OP_CASE(St): {
       uint64_t Addr = Regs[I.A] + static_cast<int64_t>(I.Imm);
       MemResult R = Mem.write64(Addr, Regs[I.B]);
       if (R == MemResult::NoWrite && Dbt && Dbt->onWriteViolation(Addr)) {
@@ -422,18 +455,18 @@ StopInfo Interpreter::run(uint64_t MaxInsns) {
       }
       if (R != MemResult::Ok)
         return MakeTrap(TrapKind::WriteViolation, Addr);
-      break;
+      OP_BREAK;
     }
-    case Opcode::LdB: {
+    OP_CASE(LdB): {
       MemResult R = MemResult::Ok;
       uint64_t Addr = Regs[I.B] + static_cast<int64_t>(I.Imm);
       uint8_t Value = Mem.read8(Addr, R);
       if (R != MemResult::Ok)
         return MakeTrap(TrapKind::ReadViolation, Addr);
       Regs[I.A] = Value;
-      break;
+      OP_BREAK;
     }
-    case Opcode::StB: {
+    OP_CASE(StB): {
       uint64_t Addr = Regs[I.A] + static_cast<int64_t>(I.Imm);
       MemResult R = Mem.write8(Addr, static_cast<uint8_t>(Regs[I.B]));
       if (R == MemResult::NoWrite && Dbt && Dbt->onWriteViolation(Addr)) {
@@ -442,55 +475,55 @@ StopInfo Interpreter::run(uint64_t MaxInsns) {
       }
       if (R != MemResult::Ok)
         return MakeTrap(TrapKind::WriteViolation, Addr);
-      break;
+      OP_BREAK;
     }
-    case Opcode::Push: {
+    OP_CASE(Push): {
       Regs[RegSP] -= 8;
       MemResult R = Mem.write64(Regs[RegSP], Regs[I.A]);
       if (R != MemResult::Ok)
         return MakeTrap(TrapKind::WriteViolation, Regs[RegSP]);
-      break;
+      OP_BREAK;
     }
-    case Opcode::Pop: {
+    OP_CASE(Pop): {
       MemResult R = MemResult::Ok;
       uint64_t Value = Mem.read64(Regs[RegSP], R);
       if (R != MemResult::Ok)
         return MakeTrap(TrapKind::ReadViolation, Regs[RegSP]);
       Regs[I.A] = Value;
       Regs[RegSP] += 8;
-      break;
+      OP_BREAK;
     }
 
-    case Opcode::Jmp:
+    OP_CASE(Jmp):
       NextPC = I.branchTarget(PC);
       if (Profiler)
         Profiler->onBranch(PC, I, BranchFlags, true, NextPC);
-      break;
-    case Opcode::Jcc: {
+      OP_BREAK;
+    OP_CASE(Jcc): {
       bool Taken = evalCondCode(I.cond(), BranchFlags);
       if (Taken)
         NextPC = I.branchTarget(PC);
       if (Profiler)
         Profiler->onBranch(PC, I, BranchFlags, Taken, NextPC);
-      break;
+      OP_BREAK;
     }
-    case Opcode::Jzr: {
+    OP_CASE(Jzr): {
       bool Taken = Regs[I.A] == 0;
       if (Taken)
         NextPC = I.branchTarget(PC);
       if (Profiler)
         Profiler->onBranch(PC, I, BranchFlags, Taken, NextPC);
-      break;
+      OP_BREAK;
     }
-    case Opcode::Jnzr: {
+    OP_CASE(Jnzr): {
       bool Taken = Regs[I.A] != 0;
       if (Taken)
         NextPC = I.branchTarget(PC);
       if (Profiler)
         Profiler->onBranch(PC, I, BranchFlags, Taken, NextPC);
-      break;
+      OP_BREAK;
     }
-    case Opcode::Call: {
+    OP_CASE(Call): {
       Regs[RegSP] -= 8;
       MemResult R = Mem.write64(Regs[RegSP], PC + InsnSize);
       if (R != MemResult::Ok)
@@ -498,68 +531,68 @@ StopInfo Interpreter::run(uint64_t MaxInsns) {
       NextPC = I.branchTarget(PC);
       if (Profiler)
         Profiler->onBranch(PC, I, BranchFlags, true, NextPC);
-      break;
+      OP_BREAK;
     }
-    case Opcode::CallR: {
+    OP_CASE(CallR): {
       Regs[RegSP] -= 8;
       MemResult R = Mem.write64(Regs[RegSP], PC + InsnSize);
       if (R != MemResult::Ok)
         return MakeTrap(TrapKind::WriteViolation, Regs[RegSP]);
       NextPC = Regs[I.A];
-      break;
+      OP_BREAK;
     }
-    case Opcode::JmpR:
+    OP_CASE(JmpR):
       NextPC = Regs[I.A];
-      break;
-    case Opcode::Ret: {
+      OP_BREAK;
+    OP_CASE(Ret): {
       MemResult R = MemResult::Ok;
       uint64_t Target = Mem.read64(Regs[RegSP], R);
       if (R != MemResult::Ok)
         return MakeTrap(TrapKind::ReadViolation, Regs[RegSP]);
       Regs[RegSP] += 8;
       NextPC = Target;
-      break;
+      OP_BREAK;
     }
 
-    case Opcode::FAdd:
+    OP_CASE(FAdd):
       Fp[I.A] = Fp[I.B] + Fp[I.C];
-      break;
-    case Opcode::FSub:
+      OP_BREAK;
+    OP_CASE(FSub):
       Fp[I.A] = Fp[I.B] - Fp[I.C];
-      break;
-    case Opcode::FMul:
+      OP_BREAK;
+    OP_CASE(FMul):
       Fp[I.A] = Fp[I.B] * Fp[I.C];
-      break;
-    case Opcode::FDiv:
+      OP_BREAK;
+    OP_CASE(FDiv):
       Fp[I.A] = Fp[I.B] / Fp[I.C];
-      break;
-    case Opcode::FMA:
+      OP_BREAK;
+    OP_CASE(FMA):
       Fp[I.A] = Fp[I.A] + Fp[I.B] * Fp[I.C];
-      break;
-    case Opcode::FSqrt:
+      OP_BREAK;
+    OP_CASE(FSqrt):
       Fp[I.A] = std::sqrt(Fp[I.B]);
-      break;
-    case Opcode::FAbs:
+      OP_BREAK;
+    OP_CASE(FAbs):
       Fp[I.A] = std::fabs(Fp[I.B]);
-      break;
-    case Opcode::FNeg:
+      OP_BREAK;
+    OP_CASE(FNeg):
       Fp[I.A] = -Fp[I.B];
-      break;
-    case Opcode::FMov:
+      OP_BREAK;
+    OP_CASE(FMov):
       Fp[I.A] = Fp[I.B];
-      break;
-    case Opcode::FMovI:
+      OP_BREAK;
+    OP_CASE(FMovI):
       Fp[I.A] = static_cast<double>(I.Imm);
-      break;
-    case Opcode::FCmp: {
+      OP_BREAK;
+    OP_CASE(FCmp): {
       double A = Fp[I.A], B = Fp[I.B];
       F.ZF = A == B;
       F.SF = A < B;
       F.CF = A < B;
       F.OF = false;
-      break;
+      OP_BREAK;
     }
-    case Opcode::FLd: {
+    OP_CASE(FLd): {
       MemResult R = MemResult::Ok;
       uint64_t Addr = Regs[I.B] + static_cast<int64_t>(I.Imm);
       uint64_t Bits = Mem.read64(Addr, R);
@@ -569,9 +602,9 @@ StopInfo Interpreter::run(uint64_t MaxInsns) {
       static_assert(sizeof(Value) == sizeof(Bits));
       __builtin_memcpy(&Value, &Bits, sizeof(Value));
       Fp[I.A] = Value;
-      break;
+      OP_BREAK;
     }
-    case Opcode::FSt: {
+    OP_CASE(FSt): {
       uint64_t Addr = Regs[I.A] + static_cast<int64_t>(I.Imm);
       uint64_t Bits;
       __builtin_memcpy(&Bits, &Fp[I.B], sizeof(Bits));
@@ -582,12 +615,12 @@ StopInfo Interpreter::run(uint64_t MaxInsns) {
       }
       if (R != MemResult::Ok)
         return MakeTrap(TrapKind::WriteViolation, Addr);
-      break;
+      OP_BREAK;
     }
-    case Opcode::IToF:
+    OP_CASE(IToF):
       Fp[I.A] = static_cast<double>(static_cast<int64_t>(Regs[I.B]));
-      break;
-    case Opcode::FToI: {
+      OP_BREAK;
+    OP_CASE(FToI): {
       double Value = Fp[I.B];
       int64_t Result;
       if (!(Value > -9.2233720368547758e18 && Value < 9.2233720368547758e18))
@@ -595,30 +628,33 @@ StopInfo Interpreter::run(uint64_t MaxInsns) {
       else
         Result = static_cast<int64_t>(Value);
       Regs[I.A] = static_cast<uint64_t>(Result);
-      break;
+      OP_BREAK;
     }
 
-    case Opcode::Tramp: {
+    OP_CASE(Tramp): {
       if (!Dbt)
         return MakeTrap(TrapKind::IllegalInsn, PC);
       NextPC = Dbt->onDirectExit(PC, static_cast<uint64_t>(
                                          static_cast<int64_t>(I.Imm)));
-      break;
+      OP_BREAK;
     }
-    case Opcode::TrampR: {
+    OP_CASE(TrampR): {
       if (!Dbt)
         return MakeTrap(TrapKind::IllegalInsn, PC);
       NextPC = Dbt->onIndirectExit(PC, Regs[I.A]);
-      break;
+      OP_BREAK;
     }
-    case Opcode::Prof: {
+    OP_CASE(Prof): {
       // Attribution bump; acts as a nop when no profile is attached.
       if (BlockProf)
         BlockProf->bump(static_cast<uint32_t>(I.Imm));
-      break;
+      OP_BREAK;
     }
+#if !CFED_COMPUTED_GOTO
     }
+#endif
 
+  next_insn:
     State.PC = NextPC;
   }
 
@@ -626,3 +662,6 @@ StopInfo Interpreter::run(uint64_t MaxInsns) {
   Stop.PC = State.PC;
   return Stop;
 }
+
+#undef OP_CASE
+#undef OP_BREAK

@@ -1,0 +1,287 @@
+//===- TraceTierTest.cpp - Tests for the optimizing trace tier -----------------===//
+//
+// End-to-end properties of the second translation tier: hot-trace
+// promotion must coexist with self-modifying code, quarantine and the
+// watchdog, and the adaptive check placement must lose no coverage
+// against per-block checking (proved over the Section 4 formal model).
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Assembler.h"
+#include "dbt/Dbt.h"
+#include "recovery/Recovery.h"
+#include "sig/FormalModel.h"
+#include "vm/Loader.h"
+#include "workloads/RandomProgram.h"
+
+#include <gtest/gtest.h>
+
+using namespace cfed;
+
+namespace {
+
+AsmProgram assembleOk(const std::string &Source) {
+  AsmResult Result = assembleProgram(Source);
+  EXPECT_TRUE(Result.succeeded()) << Result.errorText();
+  return Result.Program;
+}
+
+AsmProgram assembleRandom(uint64_t Seed, unsigned Segments = 6) {
+  RandomProgramOptions Options;
+  Options.Seed = Seed;
+  Options.NumSegments = Segments;
+  Options.LoopTrip = 12;
+  AsmResult Result = assembleProgram(generateRandomProgram(Options));
+  EXPECT_TRUE(Result.succeeded()) << Result.errorText();
+  return Result.Program;
+}
+
+struct DbtRun {
+  Memory Mem;
+  Interpreter Interp{Mem};
+  Dbt Translator;
+  StopInfo Stop;
+  bool Loaded = false;
+
+  DbtRun(const AsmProgram &Program, DbtConfig Config,
+         uint64_t MaxInsns = 10000000)
+      : Translator(Mem, Config) {
+    Loaded = Translator.load(Program, Interp.state());
+    if (Loaded)
+      Stop = Translator.run(Interp, MaxInsns);
+  }
+};
+
+DbtConfig optConfig(Technique Tech = Technique::EdgCf) {
+  DbtConfig Config;
+  Config.Tech = Tech;
+  Config.Tier = DbtTier::Opt;
+  Config.PromoteThreshold = 4; // Promote early so small tests form traces.
+  return Config;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Trace formation
+//===----------------------------------------------------------------------===//
+
+TEST(TraceTierTest, HotLoopPromotesToTraceWithSameOutput) {
+  AsmProgram Program = assembleRandom(21);
+  DbtConfig Base;
+  Base.Tech = Technique::EdgCf;
+  DbtRun BaseRun(Program, Base);
+  ASSERT_TRUE(BaseRun.Loaded);
+  ASSERT_EQ(BaseRun.Stop.Kind, StopKind::Halted);
+
+  DbtRun OptRun(Program, optConfig());
+  ASSERT_TRUE(OptRun.Loaded);
+  ASSERT_EQ(OptRun.Stop.Kind, StopKind::Halted)
+      << getTrapKindName(OptRun.Stop.Trap);
+  EXPECT_EQ(OptRun.Interp.output(), BaseRun.Interp.output());
+  EXPECT_GT(OptRun.Translator.tracePromotionCount(), 0u);
+
+  bool SawPromoted = false;
+  for (const TranslatedBlock &TB : OptRun.Translator.blocks())
+    SawPromoted |= TB.Promoted;
+  EXPECT_TRUE(SawPromoted);
+}
+
+TEST(TraceTierTest, PromotedTraceBranchSitesClassifyAsInstrumentation) {
+  // Regression test: a promoted trace registers only its head block, so
+  // the head's entry must carry every inner sub-block's instrumentation
+  // ranges — otherwise check branches deep in the trace enumerate as
+  // original-program sites and fault campaigns misclassify them. Every
+  // branch reading the signature register is checker-emitted by
+  // construction, whether in a live block or a retired (pre-promotion)
+  // translation.
+  DbtRun Run(assembleRandom(22), optConfig());
+  ASSERT_TRUE(Run.Loaded);
+  ASSERT_EQ(Run.Stop.Kind, StopKind::Halted);
+  ASSERT_GT(Run.Translator.tracePromotionCount(), 0u);
+
+  unsigned SignatureBranches = 0;
+  for (const BranchSiteInfo &Site : Run.Translator.enumerateBranchSites()) {
+    uint8_t Raw[InsnSize];
+    Run.Mem.readRaw(Site.CacheAddr, Raw, InsnSize);
+    auto I = Instruction::decode(Raw);
+    ASSERT_TRUE(I.has_value());
+    if (getOpcodeKind(I->Op) == OpKind::RegZeroJump && I->A == RegPCP) {
+      ++SignatureBranches;
+      EXPECT_TRUE(Site.IsInstrumentation)
+          << "check branch at 0x" << std::hex << Site.CacheAddr
+          << " classified as an original-program site";
+    }
+  }
+  EXPECT_GT(SignatureBranches, 0u);
+}
+
+TEST(TraceTierTest, ChecksElidedUnderAdaptivePlacement) {
+  // Under ALLBB with a laxer hot policy, hot regions must actually
+  // drop checks (counted per elision) while cold regions keep them.
+  DbtConfig Config = optConfig();
+  Config.Policy = CheckPolicy::AllBB;
+  Config.HotPolicy = CheckPolicy::RetBE;
+  DbtRun Run(assembleRandom(23), Config);
+  ASSERT_TRUE(Run.Loaded);
+  ASSERT_EQ(Run.Stop.Kind, StopKind::Halted);
+  EXPECT_GT(Run.Translator.checksElidedCount(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// SMC, quarantine and the watchdog against promoted traces
+//===----------------------------------------------------------------------===//
+
+TEST(TraceTierTest, SelfModifyingCodeInvalidatesPromotedTrace) {
+  // The first pass runs the loop hot enough to promote it into a trace;
+  // the program then rewrites an immediate *inside* the promoted loop
+  // body and re-enters it. The write-protection fault must flush the
+  // trace along with everything else, and the retranslated loop must
+  // see the patched code.
+  AsmProgram Program = assembleOk(R"(
+.entry main
+main:
+  movi r10, 24          ; first-pass trip: far above PromoteThreshold
+  movi r9, 0
+  movi r8, 0            ; 0 = patch still pending
+loop:
+patch:
+  movi r3, 7            ; becomes movi r3, 99 after the patch
+  add r9, r9, r3
+  addi r10, r10, -1
+  jnzr r10, loop
+  jnzr r8, done
+  movi r8, 1
+  movi r1, patch
+  movi r2, 99
+  stb [r1+4], r2        ; rewrite the low immediate byte
+  movi r10, 2
+  jmp loop
+done:
+  out r9
+  halt
+)");
+  DbtRun Run(Program, optConfig());
+  ASSERT_TRUE(Run.Loaded);
+  ASSERT_EQ(Run.Stop.Kind, StopKind::Halted)
+      << getTrapKindName(Run.Stop.Trap);
+  // 24 iterations of +7, then 2 iterations of +99.
+  EXPECT_EQ(Run.Interp.output(), "366\n");
+  EXPECT_GT(Run.Translator.tracePromotionCount(), 0u);
+  EXPECT_GE(Run.Translator.flushCount(), 1u);
+}
+
+TEST(TraceTierTest, CorruptedTraceQuarantinesWholeUnitAndSelfHeals) {
+  // Scrub-driven quarantine of a block *inside* a promoted trace: the
+  // whole unit (shared unit end) must be evicted and the head
+  // retranslated clean.
+  AsmProgram Program = assembleRandom(24);
+  DbtConfig Config = optConfig();
+  Config.ChainDirectExits = false;
+  Config.VerifyDispatchInterval = 1;
+  Config.ScrubInterval = 16;
+  Memory Mem;
+  Interpreter Interp(Mem);
+  Dbt Translator(Mem, Config);
+  ASSERT_TRUE(Translator.load(Program, Interp.state()));
+  StopInfo Stop = Translator.run(Interp, 10000000ULL);
+  ASSERT_EQ(Stop.Kind, StopKind::Halted);
+
+  const TranslatedBlock *Victim = nullptr;
+  for (const TranslatedBlock &TB : Translator.blocks())
+    if (TB.Promoted && TB.UnitBlocks > 1) {
+      Victim = &TB;
+      break;
+    }
+  ASSERT_NE(Victim, nullptr) << "no multi-block trace formed";
+  uint64_t Guest = Victim->GuestAddr;
+
+  // Flip a byte in the middle of the trace (past the head block's first
+  // instructions, i.e. inside the fused portion).
+  uint64_t Addr = Victim->CacheAddr + (Victim->CacheSize / 2 & ~7ULL);
+  uint8_t Byte;
+  Mem.readRaw(Addr, &Byte, 1);
+  Byte ^= 0x10;
+  Mem.writeRaw(Addr, &Byte, 1);
+
+  EXPECT_FALSE(Translator.verifyGuestBlock(Guest));
+  EXPECT_GE(Translator.scrubCodeCache(), 1u);
+  EXPECT_GT(Translator.integrityRetranslationCount(), 0u);
+  EXPECT_TRUE(Translator.verifyGuestBlock(Guest));
+}
+
+TEST(TraceTierTest, WatchdogFiresInsideTraceAndDegradationCompletes) {
+  // Under the END policy with a lax hot policy, a promoted loop trace
+  // runs check-free; the watchdog must still fire inside it, and the
+  // degradation ladder (which drops the tier back to Base before
+  // retranslating conservatively) must finish the run with the golden
+  // output.
+  RandomProgramOptions Options;
+  Options.Seed = 13;
+  Options.LoopTrip = 40;
+  AsmProgram Program = assembleOk(generateRandomProgram(Options));
+
+  DbtConfig Config = optConfig(Technique::Rcf);
+  Config.Policy = CheckPolicy::End;
+  Config.HotPolicy = CheckPolicy::End;
+  Config.SuperblockLimit = 4;
+  Config.ChainDirectExits = true;
+
+  uint64_t Golden;
+  {
+    DbtRun Clean(Program, Config);
+    ASSERT_TRUE(Clean.Loaded);
+    ASSERT_EQ(Clean.Stop.Kind, StopKind::Halted);
+    Golden = hashOutput(Clean.Interp.output());
+  }
+
+  Memory Mem;
+  Interpreter Interp(Mem);
+  Dbt Translator(Mem, Config);
+  ASSERT_TRUE(Translator.load(Program, Interp.state()));
+  RecoveryConfig RC;
+  RC.CheckpointInterval = 200;
+  RC.WatchdogBound = 60; // Far below the trace's check-free stretch.
+  RecoveryManager Manager(Interp, Translator, RC);
+  RecoveryReport Report = Manager.run(10000000);
+
+  EXPECT_GT(Report.NumWatchdogFires, 0u);
+  EXPECT_TRUE(Report.Completed)
+      << getTrapKindName(Report.FinalStop.Trap);
+  EXPECT_EQ(hashOutput(Interp.output()), Golden);
+}
+
+//===----------------------------------------------------------------------===//
+// Formal model: adaptive placement loses no coverage
+//===----------------------------------------------------------------------===//
+
+/// The optimizing tier sinks checks to back-edge and exit blocks in hot
+/// regions while updates keep running everywhere. Over the Section 4
+/// model this placement detects *exactly* what per-block checking
+/// detects: a wrong signature persists across unchecked blocks (error
+/// stickiness), every cycle contains a back-edge block, and every
+/// terminating walk ends in an exit block — so some masked-in check
+/// still observes the discrepancy.
+class AdaptiveMaskPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AdaptiveMaskPropertyTest, BackEdgeMaskDetectsExactlyAllBB) {
+  Prng Rng(GetParam());
+  sig::AbstractCfg Cfg = sig::AbstractCfg::random(Rng, 12);
+  std::vector<bool> Mask = sig::backEdgeAndExitMask(Cfg);
+  std::unique_ptr<sig::Scheme> Schemes[] = {
+      sig::makeEdgCfScheme(), sig::makeRcfScheme(), sig::makeEcfScheme()};
+  for (auto &S : Schemes) {
+    sig::ConditionReport Full = sig::verifySingleErrorDetection(
+        *S, Cfg, /*PathLen=*/40, /*ContinueSteps=*/48, GetParam() * 3 + 1);
+    sig::ConditionReport Masked = sig::verifySingleErrorDetection(
+        *S, Cfg, /*PathLen=*/40, /*ContinueSteps=*/48, GetParam() * 3 + 1,
+        &Mask);
+    EXPECT_EQ(Masked.Undetected, Full.Undetected)
+        << S->name() << ": relaxed placement lost coverage";
+    EXPECT_EQ(Masked.FalsePositives, 0u) << S->name();
+    EXPECT_EQ(Masked.ErrorsTotal, Full.ErrorsTotal) << S->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdaptiveMaskPropertyTest,
+                         ::testing::Range<uint64_t>(1, 26));

@@ -5,6 +5,12 @@
 //   cfed-run [options] <file.s | workload name>
 //
 //   --native             run on the bare interpreter (no DBT)
+//   --tier=<t>           interp|base|opt: interp is an alias for --native,
+//                        base is the baseline translator, opt enables the
+//                        optimizing trace tier (hot-trace formation,
+//                        adaptive check placement, update folding)
+//   --trace-limit=<n>    max blocks fused into one optimized trace
+//                        (default 8; needs --tier=opt to matter)
 //   --tech=<t>           none|cfcss|ecca|ecf|edgcf|rcf   (default none)
 //   --flavor=<f>         jcc|cmov                        (default jcc)
 //   --policy=<p>         allbb|retbe|ret|end|store       (default allbb)
@@ -105,7 +111,9 @@ struct Options {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: cfed-run [--native] [--tech=T] [--flavor=F] "
+               "usage: cfed-run [--native] [--tier=interp|base|opt] "
+               "[--trace-limit=N]\n"
+               "                [--tech=T] [--flavor=F] "
                "[--policy=P] [--eager] [--dfc]\n"
                "                [--max-insns=N] [--scrub[=N]] "
                "[--verify-dispatch=N] [--shadow-sig]\n"
@@ -181,6 +189,20 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
     if (F.Name == "--native") {
       if (!Bare(Opts.Native))
         return false;
+    } else if (F.Name == "--tier") {
+      if (F.Value == "interp")
+        Opts.Native = true;
+      else if (F.Value == "base")
+        Opts.Config.Tier = DbtTier::Base;
+      else if (F.Value == "opt")
+        Opts.Config.Tier = DbtTier::Opt;
+      else
+        return cli::badValue(F.Name, "interp|base|opt", F.Value);
+    } else if (F.Name == "--trace-limit") {
+      uint64_t Limit = 0;
+      if (!F.HasValue || !cli::parseUint(F.Value, Limit) || Limit == 0)
+        return cli::badValue(F.Name, "<blocks >= 1>", F.Value);
+      Opts.Config.TraceLimit = static_cast<unsigned>(Limit);
     } else if (F.Name == "--tech") {
       if (!F.HasValue || !parseTech(F.Value, Opts.Config.Tech))
         return cli::badValue(F.Name, "none|cfcss|ecca|ecf|edgcf|rcf",
@@ -646,6 +668,14 @@ int main(int Argc, char **Argv) {
                 (unsigned long long)Translator->integrityRetranslationCount());
   Interp.publishMetrics(Registry);
   Profiler.publishTo(Registry);
+  // Snapshot consumers key off dbt.tier: 0 = bare interpreter, 1 = base
+  // translator, 2 = optimizing trace tier.
+  const char *TierName =
+      Opts.Native ? "interp" : getDbtTierName(Opts.Config.Tier);
+  Registry.gauge("dbt.tier").set(
+      Opts.Native ? 0.0 : (Opts.Config.Tier == DbtTier::Opt ? 2.0 : 1.0));
+  if (Opts.Stats != StatsMode::Off)
+    reportNotef("tier: %s", TierName);
   Registry.gauge("run.output_hash")
       .set(static_cast<double>(hashOutput(Interp.output()) >> 11));
   if (Opts.ProfileBlocks && Translator) {
@@ -671,8 +701,13 @@ int main(int Argc, char **Argv) {
     for (const TranslatedBlock *TB : Sorted) {
       std::vector<uint8_t> Code(TB->CacheSize);
       Mem.readRaw(TB->CacheAddr, Code.data(), Code.size());
-      std::printf("; guest block 0x%llx\n%s",
-                  (unsigned long long)TB->GuestAddr,
+      std::string Unit;
+      if (TB->UnitBlocks > 1 || TB->Promoted)
+        Unit = formatString(" (%s, %u blocks, %u cond seams)",
+                            TB->Promoted ? "optimized trace" : "superblock",
+                            TB->UnitBlocks, TB->CondSeams);
+      std::printf("; guest block 0x%llx%s\n%s",
+                  (unsigned long long)TB->GuestAddr, Unit.c_str(),
                   disassembleRange(Code.data(), Code.size(), TB->CacheAddr)
                       .c_str());
     }

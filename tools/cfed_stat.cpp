@@ -364,11 +364,17 @@ int cmdPostmortem(int Argc, char **Argv) {
 //===----------------------------------------------------------------------===//
 
 /// Metric direction for BENCH_perf.json fields. Returns +1 when larger is
-/// better (hit rates), -1 when smaller is better (times, slowdowns,
-/// overheads), 0 for fields that are configuration rather than performance
-/// (jobs, dispatch counts) and so are not gated.
+/// better (hit rates, checks elided by the optimizing tier), -1 when
+/// smaller is better (times, slowdowns, overheads), 0 for fields that are
+/// configuration rather than performance (jobs, dispatch counts) and so
+/// are not gated.
 int metricDirection(const std::string &Field) {
   if (Field.find("hit_rate") != std::string::npos)
+    return +1;
+  // Opt-tier optimizer effectiveness: fewer elided checks or a lower
+  // fusion rate means the trace tier stopped finding its optimizations.
+  if (Field.find("checks_elided") != std::string::npos ||
+      Field.find("fusion_rate") != std::string::npos)
     return +1;
   if (Field == "wall_seconds" || Field.find("slowdown") != std::string::npos ||
       Field.find("overhead") != std::string::npos ||

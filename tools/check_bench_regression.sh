@@ -19,6 +19,15 @@
 #                           scrubbing cadence is fixed, so its cost
 #                           budget is documented here rather than
 #                           ratcheted from a checked-in number.
+#   CFED_GEOMEAN_MAX        absolute ceiling on the Section 6 geomean
+#                           DBT slowdown with the optimizing trace tier
+#                           on (sec6_dbt_overhead.geomean_slowdown_opt in
+#                           the checked-in baseline; default: 1.08 — the
+#                           opt tier must stay measurably below the
+#                           ~1.09 base-tier geomean). Read from the
+#                           baseline because the sec6 sweep is too slow
+#                           for this fast gate; regenerating the
+#                           baseline re-arms it.
 
 set -eu
 
@@ -26,6 +35,7 @@ BUILD=${1:-build}
 BASELINE=${2:-BENCH_perf.json}
 THRESHOLD=${CFED_BENCH_THRESHOLD:-10}
 SCRUB_MAX=${CFED_SCRUB_OVERHEAD_MAX:-0.15}
+GEOMEAN_MAX=${CFED_GEOMEAN_MAX:-1.08}
 
 if [ ! -x "$BUILD/bench/micro_dbt" ] || [ ! -x "$BUILD/tools/cfed-stat" ]; then
   echo "check_bench_regression: build '$BUILD' is missing bench/micro_dbt" \
@@ -60,6 +70,26 @@ if [ -n "$SCRUB" ]; then
   echo "scrub_overhead $SCRUB within CFED_SCRUB_OVERHEAD_MAX=$SCRUB_MAX"
 else
   echo "check_bench_regression: no scrub_overhead in fresh run" >&2
+  exit 2
+fi
+
+# Absolute gate on the optimizing tier's headline number: the Section 6
+# geomean slowdown with traces on, from the checked-in baseline.
+GEOMEAN=$(grep '"sec6_dbt_overhead"' "$BASELINE" \
+          | sed -n 's/.*"geomean_slowdown_opt": *\([0-9.eE+-]*\).*/\1/p' \
+          | head -n 1)
+if [ -n "$GEOMEAN" ]; then
+  if awk -v g="$GEOMEAN" -v max="$GEOMEAN_MAX" 'BEGIN { exit !(g > max) }'
+  then
+    echo "check_bench_regression: opt-tier geomean slowdown $GEOMEAN" \
+         "exceeds CFED_GEOMEAN_MAX=$GEOMEAN_MAX" >&2
+    exit 1
+  fi
+  echo "opt-tier geomean slowdown $GEOMEAN within CFED_GEOMEAN_MAX=$GEOMEAN_MAX"
+else
+  echo "check_bench_regression: baseline has no" \
+       "sec6_dbt_overhead.geomean_slowdown_opt (regenerate BENCH_perf.json" \
+       "with bench/sec6_dbt_overhead)" >&2
   exit 2
 fi
 
