@@ -47,6 +47,7 @@
 #include "support/ThreadPool.h"
 #include "workloads/RandomProgram.h"
 
+#include <algorithm>
 #include <cstdio>
 
 using namespace cfed;
@@ -90,11 +91,19 @@ bool isMisalignedFault(const PlannedFault &Fault) {
   return Fault.Kind == FaultKind::AddrBit && Fault.Bit < 3;
 }
 
-CampaignResult runTech(const std::vector<AsmProgram> &Programs,
-                       const TechSpec &Spec, SiteClass Sites,
-                       uint64_t InjectionsPerProgram, bool AlignedOnly,
-                       ThreadPool &Pool) {
-  CampaignResult Total;
+/// One technique's campaign tallies plus the detection latency (insns
+/// from fault firing to the detecting check) of every signature- or
+/// hardware-detected run, in injection order.
+struct TechResult {
+  CampaignResult Result;
+  std::vector<uint64_t> Latencies;
+};
+
+TechResult runTech(const std::vector<AsmProgram> &Programs,
+                   const TechSpec &Spec, SiteClass Sites,
+                   uint64_t InjectionsPerProgram, bool AlignedOnly,
+                   ThreadPool &Pool) {
+  TechResult Total;
   for (size_t PI = 0; PI < Programs.size(); ++PI) {
     DbtConfig Config;
     Config.Tech = Spec.Tech;
@@ -119,16 +128,37 @@ CampaignResult runTech(const std::vector<AsmProgram> &Programs,
         break;
       Selected.push_back(&Fault);
     }
-    std::vector<Outcome> Outcomes(Selected.size());
+    std::vector<InjectionReport> Reports(Selected.size());
     Pool.parallelFor(Selected.size(), [&](uint64_t I) {
-      Outcomes[I] = Campaign.inject(*Selected[I]);
+      Reports[I] = Campaign.injectDetailed(*Selected[I]);
     });
     for (size_t I = 0; I < Selected.size(); ++I) {
-      Total.of(Selected[I]->Category).add(Outcomes[I]);
-      ++Total.Injections;
+      Total.Result.of(Selected[I]->Category).add(Reports[I].Result);
+      ++Total.Result.Injections;
+      if (Reports[I].Fired &&
+          (Reports[I].Result == Outcome::DetectedSignature ||
+           Reports[I].Result == Outcome::DetectedHardware))
+        Total.Latencies.push_back(Reports[I].LatencyInsns);
     }
   }
   return Total;
+}
+
+double latencyMean(const std::vector<uint64_t> &Latencies) {
+  if (Latencies.empty())
+    return 0.0;
+  double Sum = 0;
+  for (uint64_t L : Latencies)
+    Sum += double(L);
+  return Sum / double(Latencies.size());
+}
+
+uint64_t latencyPercentile(std::vector<uint64_t> Latencies, double Q) {
+  if (Latencies.empty())
+    return 0;
+  std::sort(Latencies.begin(), Latencies.end());
+  size_t Rank = size_t(Q * double(Latencies.size() - 1) + 0.5);
+  return Latencies[std::min(Rank, Latencies.size() - 1)];
 }
 
 std::string cell(const OutcomeCounts &Counts) {
@@ -191,11 +221,12 @@ int main(int argc, char **argv) {
 
   auto PrintMatrix = [&](bool AlignedOnly, uint64_t PerProgram) {
     Table T;
-    T.setHeader(
-        {"Technique", "A", "B", "C", "D", "E", "F", "SDC", "timeout"});
+    T.setHeader({"Technique", "A", "B", "C", "D", "E", "F", "SDC",
+                 "timeout", "lat mean", "lat p90"});
     for (const TechSpec &Spec : Specs) {
-      CampaignResult R = runTech(Programs, Spec, SiteClass::OriginalOnly,
-                                 PerProgram, AlignedOnly, Pool);
+      TechResult TR = runTech(Programs, Spec, SiteClass::OriginalOnly,
+                              PerProgram, AlignedOnly, Pool);
+      const CampaignResult &R = TR.Result;
       OutcomeCounts Totals = R.totals();
       T.addRow({getTechniqueName(Spec.Tech),
                 cell(R.of(BranchErrorCategory::A)),
@@ -205,7 +236,27 @@ int main(int argc, char **argv) {
                 cell(R.of(BranchErrorCategory::E)),
                 cell(R.of(BranchErrorCategory::F)),
                 formatString("%llu", (unsigned long long)Totals.Sdc),
-                formatString("%llu", (unsigned long long)Totals.Timeout)});
+                formatString("%llu", (unsigned long long)Totals.Timeout),
+                TR.Latencies.empty()
+                    ? std::string("-")
+                    : formatString("%.0f", latencyMean(TR.Latencies)),
+                TR.Latencies.empty()
+                    ? std::string("-")
+                    : formatString("%llu", (unsigned long long)
+                                       latencyPercentile(TR.Latencies,
+                                                         0.9))});
+      // The aligned model is the paper's Assumption 1 experiment; its
+      // latency distribution is the one the relaxed checking policies
+      // (Section 6) trade against, so it is the one BENCH_perf tracks.
+      if (AlignedOnly && Spec.Tech != Technique::None) {
+        std::string Prefix =
+            formatString("lat_%s", getTechniqueName(Spec.Tech));
+        Report.set(Prefix + "_detections",
+                   (uint64_t)TR.Latencies.size());
+        Report.set(Prefix + "_mean", latencyMean(TR.Latencies));
+        Report.set(Prefix + "_p90",
+                   latencyPercentile(TR.Latencies, 0.9));
+      }
     }
     std::printf("%s\n", T.render().c_str());
   };
@@ -227,10 +278,10 @@ int main(int argc, char **argv) {
                 "timeout"});
   for (Technique Tech : {Technique::EdgCf, Technique::Rcf}) {
     TechSpec Spec{Tech, UpdateFlavor::Jcc, false};
-    CampaignResult R = runTech(Programs, Spec,
-                               SiteClass::InstrumentationOnly, 90,
-                               /*AlignedOnly=*/true, Pool);
-    OutcomeCounts Totals = R.totals();
+    TechResult TR = runTech(Programs, Spec,
+                            SiteClass::InstrumentationOnly, 90,
+                            /*AlignedOnly=*/true, Pool);
+    OutcomeCounts Totals = TR.Result.totals();
     auto Cell = [&](uint64_t Value) {
       return formatString("%llu", (unsigned long long)Value);
     };
@@ -250,25 +301,29 @@ int main(int argc, char **argv) {
               "trace spines; acceptance shape is zero SDC regression)\n\n");
   Table TAdapt;
   TAdapt.setHeader({"Technique", "tier", "det-sig", "det-hw", "masked",
-                    "SDC", "timeout"});
+                    "SDC", "timeout", "lat mean"});
   bool AdaptiveRegression = false;
   for (Technique Tech : {Technique::EdgCf, Technique::Rcf}) {
     uint64_t BaseSdc = 0;
     for (DbtTier Tier : {DbtTier::Base, DbtTier::Opt}) {
       TechSpec Spec{Tech, UpdateFlavor::CMovcc, false, Tier};
-      CampaignResult R = runTech(Programs, Spec, SiteClass::OriginalOnly,
-                                 90, /*AlignedOnly=*/true, Pool);
-      OutcomeCounts Totals = R.totals();
+      TechResult TR = runTech(Programs, Spec, SiteClass::OriginalOnly,
+                              90, /*AlignedOnly=*/true, Pool);
+      OutcomeCounts Totals = TR.Result.totals();
       auto Cell = [&](uint64_t Value) {
         return formatString("%llu", (unsigned long long)Value);
       };
       TAdapt.addRow({getTechniqueName(Tech), getDbtTierName(Tier),
                      Cell(Totals.DetectedSig), Cell(Totals.DetectedHw),
                      Cell(Totals.Masked), Cell(Totals.Sdc),
-                     Cell(Totals.Timeout)});
+                     Cell(Totals.Timeout),
+                     formatString("%.0f", latencyMean(TR.Latencies))});
       Report.set(formatString("adaptive_%s_%s_sdc", getTechniqueName(Tech),
                               getDbtTierName(Tier)),
                  Totals.Sdc);
+      Report.set(formatString("adaptive_%s_%s_lat_mean",
+                              getTechniqueName(Tech), getDbtTierName(Tier)),
+                 latencyMean(TR.Latencies));
       if (Tier == DbtTier::Base)
         BaseSdc = Totals.Sdc;
       else if (Totals.Sdc > BaseSdc)

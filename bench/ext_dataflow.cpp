@@ -55,6 +55,8 @@ int main(int argc, char **argv) {
   T.addRow({"geomean", formatSlowdown(geometricMean(Cfc)),
             formatSlowdown(geometricMean(CfcDfc))});
   std::printf("%s\n", T.render().c_str());
+  Report.set("edgcf_slowdown_geomean", geometricMean(Cfc));
+  Report.set("edgcf_dfc_slowdown_geomean", geometricMean(CfcDfc));
 
   // Effectiveness under register faults.
   std::printf("=== Register-fault campaign (single bit in r0-r14 at a "
@@ -74,21 +76,40 @@ int main(int argc, char **argv) {
     Programs.push_back(std::move(R.Program));
   }
   for (bool Dfc : {false, true}) {
-    OutcomeCounts Totals;
+    RegisterCampaignReport Totals;
     for (size_t PI = 0; PI < Programs.size(); ++PI) {
       DbtConfig Config;
       Config.Tech = Technique::EdgCf;
       Config.DataFlowCheck = Dfc;
-      OutcomeCounts R = runRegisterFaultCampaign(Programs[PI], Config, 150,
-                                                 500 + PI, 50000000ULL, Jobs);
-      Totals.merge(R);
+      RegisterCampaignReport R = runRegisterFaultCampaignDetailed(
+          Programs[PI], Config, 150, 500 + PI, 50000000ULL,
+          FaultModel::SingleBit, Jobs);
+      Totals.Counts.merge(R.Counts);
+      Totals.DetectionLatencies.insert(Totals.DetectionLatencies.end(),
+                                       R.DetectionLatencies.begin(),
+                                       R.DetectionLatencies.end());
     }
     auto Cell = [](uint64_t Value) { return std::to_string(Value); };
     T2.addRow({Dfc ? "EdgCF + data-flow" : "EdgCF alone",
-               Cell(Totals.DetectedSig), Cell(Totals.DetectedHw),
-               Cell(Totals.Masked), Cell(Totals.Sdc),
-               Cell(Totals.Timeout)});
+               Cell(Totals.Counts.DetectedSig), Cell(Totals.Counts.DetectedHw),
+               Cell(Totals.Counts.Masked), Cell(Totals.Counts.Sdc),
+               Cell(Totals.Counts.Timeout)});
+    std::string Prefix = Dfc ? "dfc" : "cfc_only";
+    Report.set(Prefix + "_detected",
+               Totals.Counts.DetectedSig + Totals.Counts.DetectedHw);
+    Report.set(Prefix + "_sdc", Totals.Counts.Sdc);
+    Report.set(Prefix + "_recovered", Totals.Counts.Recovered);
+    Report.set(Prefix + "_masked", Totals.Counts.Masked);
+    Report.set(Prefix + "_timeout", Totals.Counts.Timeout);
+    Report.set(Prefix + "_injections", Totals.Counts.total());
+    Report.set(Prefix + "_latency_mean", Totals.latencyMean());
+    Report.set(Prefix + "_latency_max", Totals.latencyMax());
+    std::printf("%s: %zu detections, latency mean %.0f insns, max %llu\n",
+                Dfc ? "EdgCF + data-flow" : "EdgCF alone",
+                Totals.DetectionLatencies.size(), Totals.latencyMean(),
+                (unsigned long long)Totals.latencyMax());
   }
+  std::printf("\n");
   std::printf("%s\n", T2.render().c_str());
   std::printf("Expected shape: control-flow checking alone reports no "
               "register faults (det-sig 0);\nthe data-flow layer "

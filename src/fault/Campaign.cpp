@@ -144,23 +144,25 @@ BranchErrorCategory classifyCacheTarget(const Dbt &Translator,
                                    : BranchErrorCategory::E;
 }
 
-/// Determines the branch-error category a (Kind, Bit) fault would cause
+/// Determines the branch-error category a (Kind, Mask) fault would cause
 /// at this dynamic branch execution, without applying it.
 BranchErrorCategory categorize(const Dbt &Translator, uint64_t InsnAddr,
                                const Instruction &I, const Flags &F,
                                const CpuState &State, FaultKind Kind,
-                               unsigned Bit) {
+                               uint64_t Mask) {
   if (Kind == FaultKind::FlagBit) {
     if (I.Op != Opcode::Jcc)
       return BranchErrorCategory::NoError;
     bool Orig = evalCondCode(I.cond(), F);
-    bool Mutated = evalCondCode(I.cond(), F.withBitFlipped(Bit));
+    bool Mutated = evalCondCode(
+        I.cond(), F.withMaskFlipped(static_cast<uint8_t>(Mask)));
     return Orig == Mutated ? BranchErrorCategory::NoError
                            : BranchErrorCategory::A;
   }
   if (!branchTaken(I, F, State))
     return BranchErrorCategory::NoError;
-  uint32_t MutatedImm = static_cast<uint32_t>(I.Imm) ^ (1u << Bit);
+  uint32_t MutatedImm =
+      static_cast<uint32_t>(I.Imm) ^ static_cast<uint32_t>(Mask);
   uint64_t Target = InsnAddr + InsnSize +
                     static_cast<int64_t>(static_cast<int32_t>(MutatedImm));
   uint64_t FallThrough = InsnAddr + InsnSize;
@@ -221,7 +223,7 @@ public:
     while (Next < Faults.size() && Faults[Next].Instance == Counter) {
       PlannedFault &Fault = Faults[Next];
       Fault.Category = categorize(Translator, InsnAddr, I, F, State,
-                                  Fault.Kind, Fault.Bit);
+                                  Fault.Kind, Fault.Mask);
       auto It = InstrMap.find(InsnAddr);
       Fault.InstrSite = It != InstrMap.end() && It->second;
       Fault.SiteAddr = InsnAddr;
@@ -258,9 +260,9 @@ public:
     InsnsAtFire = Interp.instructionCount();
     if (Fault.Kind == FaultKind::AddrBit)
       I.Imm = static_cast<int32_t>(static_cast<uint32_t>(I.Imm) ^
-                                   (1u << Fault.Bit));
+                                   static_cast<uint32_t>(Fault.Mask));
     else
-      F = F.withBitFlipped(Fault.Bit);
+      F = F.withMaskFlipped(static_cast<uint8_t>(Fault.Mask));
   }
 
 private:
@@ -327,8 +329,8 @@ uint64_t FaultCampaign::branchExecutions(SiteClass Class) const {
 }
 
 std::vector<PlannedFault> FaultCampaign::plan(uint64_t NumCandidates,
-                                              uint64_t Seed,
-                                              SiteClass Class) {
+                                              uint64_t Seed, SiteClass Class,
+                                              FaultModel Model) {
   assert(Prepared && "call prepare() first");
   uint64_t Population = branchExecutions(Class);
   if (Population == 0)
@@ -346,15 +348,22 @@ std::vector<PlannedFault> FaultCampaign::plan(uint64_t NumCandidates,
     PlannedFault Fault;
     Fault.Instance = InstanceIdx;
     Fault.Class = Class;
-    // 32 addr bits + 4 flag bits, uniformly (the Section 2 model).
+    // 32 addr bits + 4 flag bits, uniformly (the Section 2 model). The
+    // domain draw doubles as the SingleBit mask draw, so single-bit
+    // plans reproduce the pre-FaultModel sequences bit-for-bit.
     uint64_t Pick = Rng.nextBelow(36);
     if (Pick < 32) {
       Fault.Kind = FaultKind::AddrBit;
-      Fault.Bit = static_cast<unsigned>(Pick);
+      Fault.Mask = Model == FaultModel::SingleBit
+                       ? uint64_t(1) << Pick
+                       : drawFaultMask(Rng, Model, 32);
     } else {
       Fault.Kind = FaultKind::FlagBit;
-      Fault.Bit = static_cast<unsigned>(Pick - 32);
+      Fault.Mask = Model == FaultModel::SingleBit
+                       ? uint64_t(1) << (Pick - 32)
+                       : drawFaultMask(Rng, Model, Flags::NumFlagBits);
     }
+    Fault.Bit = static_cast<unsigned>(__builtin_ctzll(Fault.Mask));
     Faults.push_back(Fault);
   }
 

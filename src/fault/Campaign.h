@@ -36,6 +36,7 @@
 #include "asm/Assembler.h"
 #include "dbt/Dbt.h"
 #include "fault/Category.h"
+#include "fault/ErrorModel.h"
 #include "recovery/Recovery.h"
 
 #include <array>
@@ -59,12 +60,18 @@ enum class SiteClass : uint8_t {
                         ///< EdgCF safety experiment of Section 3.2).
 };
 
-/// One planned fault: flip \p Bit of \p Kind at the \p Instance-th
-/// dynamic execution of a branch in the campaign's site class.
+/// One planned fault: XOR \p Mask into the offset or flag bits at the
+/// \p Instance-th dynamic execution of a branch in the campaign's site
+/// class. Under the single-bit model Mask has exactly one set bit and
+/// \p Bit names it; multi-bit and burst masks keep Bit at the lowest
+/// set bit for display.
 struct PlannedFault {
   uint64_t Instance = 0;
   FaultKind Kind = FaultKind::AddrBit;
   unsigned Bit = 0;
+  /// XOR mask over the 32 offset bits (AddrBit) or 4 flag bits
+  /// (FlagBit). Never zero.
+  uint64_t Mask = 1;
   /// The site class the instance index counts within.
   SiteClass Class = SiteClass::Any;
   /// Analytically determined branch-error category.
@@ -178,8 +185,11 @@ public:
   /// Plans \p NumCandidates random faults over the \p Sites class.
   /// Candidates whose fault provably does not deviate control flow are
   /// returned with Category == NoError; callers typically filter them.
+  /// \p Model selects the mask shape (the default reproduces the
+  /// Section 2 single-bit model draw-for-draw).
   std::vector<PlannedFault> plan(uint64_t NumCandidates, uint64_t Seed,
-                                 SiteClass Sites);
+                                 SiteClass Sites,
+                                 FaultModel Model = FaultModel::SingleBit);
 
   /// Executes one planned fault and classifies the outcome. Thread-safe
   /// after prepare(): every injection runs in a fresh Memory/Dbt/Interp

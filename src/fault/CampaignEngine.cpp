@@ -1,0 +1,559 @@
+//===- CampaignEngine.cpp - Resumable sharded campaign engine -------------------===//
+
+#include "fault/CampaignEngine.h"
+
+#include "support/Diagnostics.h"
+#include "support/Json.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace cfed;
+
+//===----------------------------------------------------------------------===//
+// Names, bounds, hashing
+//===----------------------------------------------------------------------===//
+
+std::vector<uint64_t> CampaignEngine::latencyBounds() {
+  std::vector<uint64_t> Bounds;
+  for (unsigned Shift = 0; Shift <= 20; ++Shift)
+    Bounds.push_back(uint64_t(1) << Shift);
+  return Bounds;
+}
+
+std::string CampaignEngine::getLatencyHistogramName(BranchErrorCategory Cat) {
+  return std::string("fault.latency.cat_") + getCategoryName(Cat);
+}
+
+namespace {
+
+std::string getSkipCounterName(BranchErrorCategory Cat) {
+  return std::string("fault.engine.skipped.cat_") + getCategoryName(Cat);
+}
+
+std::string getReallocCounterName(BranchErrorCategory Cat) {
+  return std::string("fault.engine.realloc.cat_") + getCategoryName(Cat);
+}
+
+uint64_t fnv1a(uint64_t Hash, uint64_t Value) {
+  for (unsigned I = 0; I < 8; ++I) {
+    Hash ^= (Value >> (I * 8)) & 0xff;
+    Hash *= 0x100000001b3ULL;
+  }
+  return Hash;
+}
+
+/// Deterministic fingerprint of the plan and the knobs that shape it.
+/// A checkpoint taken under a different program, seed, model or budget
+/// must never silently continue into this plan.
+uint64_t hashPlan(const EngineConfig &Engine,
+                  const std::vector<PlannedFault> &Candidates) {
+  uint64_t Hash = 0xcbf29ce484222325ULL;
+  Hash = fnv1a(Hash, Engine.NumInjections);
+  Hash = fnv1a(Hash, Engine.Seed);
+  Hash = fnv1a(Hash, static_cast<uint64_t>(Engine.Sites));
+  Hash = fnv1a(Hash, static_cast<uint64_t>(Engine.Model));
+  Hash = fnv1a(Hash, Engine.NumShards);
+  for (const PlannedFault &F : Candidates) {
+    Hash = fnv1a(Hash, F.Instance);
+    Hash = fnv1a(Hash, static_cast<uint64_t>(F.Kind));
+    Hash = fnv1a(Hash, F.Mask);
+    Hash = fnv1a(Hash, static_cast<uint64_t>(F.Category));
+    Hash = fnv1a(Hash, F.SiteAddr);
+    Hash = fnv1a(Hash, F.InstrSite ? 1 : 0);
+  }
+  return Hash;
+}
+
+std::string toHex(uint64_t Value) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%016" PRIx64, Value);
+  return Buf;
+}
+
+bool fromHex(const std::string &Text, uint64_t &Out) {
+  if (Text.empty() || Text.size() > 16)
+    return false;
+  Out = 0;
+  for (char C : Text) {
+    unsigned Digit;
+    if (C >= '0' && C <= '9')
+      Digit = C - '0';
+    else if (C >= 'a' && C <= 'f')
+      Digit = 10 + (C - 'a');
+    else
+      return false;
+    Out = (Out << 4) | Digit;
+  }
+  return true;
+}
+
+/// The error categories cells range over (NoError is never scheduled).
+bool isCellCategory(BranchErrorCategory Cat) {
+  return Cat != BranchErrorCategory::NoError;
+}
+
+struct CellState {
+  OutcomeCounts Counts;
+  WilsonInterval Interval;
+  bool Closed = false;
+};
+
+/// Rebuilds per-cell tallies and Wilson intervals from the cumulative
+/// snapshot — the only state that survives a kill, so closing decisions
+/// are identical between an interrupted-and-resumed run and an
+/// uninterrupted one.
+std::array<CellState, NumBranchErrorCategories>
+computeCells(const telemetry::RegistrySnapshot &Snap, double StopHalfWidth,
+             double StopZ) {
+  CampaignResult Result = campaignResultFromSnapshot(Snap);
+  std::array<CellState, NumBranchErrorCategories> Cells;
+  for (unsigned C = 0; C < NumBranchErrorCategories; ++C) {
+    auto Cat = static_cast<BranchErrorCategory>(C);
+    CellState &Cell = Cells[C];
+    Cell.Counts = Result.of(Cat);
+    Cell.Interval =
+        wilsonInterval(Cell.Counts.Sdc, Cell.Counts.total(), StopZ);
+    Cell.Closed = StopHalfWidth > 0.0 && isCellCategory(Cat) &&
+                  Cell.Interval.halfWidth() <= StopHalfWidth;
+  }
+  return Cells;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Checkpoint I/O
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string checkpointToJson(const EngineCheckpoint &Ckpt) {
+  std::string Out = "{\"kind\":\"cfed-campaign-checkpoint\",\"version\":";
+  Out += std::to_string(Ckpt.Version);
+  Out += ",\"plan_hash\":\"" + toHex(Ckpt.PlanHash) + '"';
+  Out += ",\"shard\":" + std::to_string(Ckpt.Shard);
+  Out += ",\"num_shards\":" + std::to_string(Ckpt.NumShards);
+  Out += ",\"cursor\":" + std::to_string(Ckpt.Cursor);
+  Out += ",\"completed\":" + std::to_string(Ckpt.Completed);
+  Out += ",\"reserve_cursors\":[";
+  for (unsigned C = 0; C < NumBranchErrorCategories; ++C) {
+    if (C)
+      Out += ',';
+    Out += std::to_string(Ckpt.ReserveCursors[C]);
+  }
+  Out += "],\"registry\":";
+  Out += Ckpt.Registry.toJson();
+  Out += '}';
+  return Out;
+}
+
+} // namespace
+
+bool CampaignEngine::writeCheckpoint(const std::string &Path,
+                                     const EngineCheckpoint &Ckpt,
+                                     std::string &Error) {
+  // Temp file + rename: readers (and a resume after a kill landing
+  // anywhere in here) see either the previous checkpoint or the new
+  // one, never a torn write.
+  std::string Tmp = Path + ".tmp";
+  std::FILE *File = std::fopen(Tmp.c_str(), "w");
+  if (!File) {
+    Error = "cannot open '" + Tmp + "' for writing";
+    return false;
+  }
+  std::string Json = checkpointToJson(Ckpt);
+  Json += '\n';
+  bool Ok = std::fwrite(Json.data(), 1, Json.size(), File) == Json.size();
+  Ok = std::fflush(File) == 0 && Ok;
+  Ok = std::fclose(File) == 0 && Ok;
+  if (!Ok) {
+    Error = "short write to '" + Tmp + '\'';
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    Error = "cannot rename '" + Tmp + "' to '" + Path + '\'';
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+CampaignEngine::LoadStatus
+CampaignEngine::loadCheckpoint(const std::string &Path, EngineCheckpoint &Out,
+                               std::string &Error) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In.is_open())
+    return LoadStatus::Missing;
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Text = Buffer.str();
+
+  json::JsonValue Root;
+  json::JsonParser Parser(Text);
+  if (!Parser.parse(Root) || Root.K != json::JsonValue::Object) {
+    Error = "checkpoint '" + Path + "' is truncated or not valid JSON";
+    return LoadStatus::Corrupt;
+  }
+  if (Root["kind"].Str != "cfed-campaign-checkpoint") {
+    Error = "'" + Path + "' is not a campaign checkpoint";
+    return LoadStatus::Corrupt;
+  }
+  Out.Version = static_cast<uint64_t>(Root["version"].Num);
+  if (Out.Version != EngineCheckpointVersion) {
+    Error = "checkpoint '" + Path + "' has version " +
+            std::to_string(Out.Version) + "; this build reads version " +
+            std::to_string(EngineCheckpointVersion);
+    return LoadStatus::Corrupt;
+  }
+  if (!fromHex(Root["plan_hash"].Str, Out.PlanHash)) {
+    Error = "checkpoint '" + Path + "' has a malformed plan hash";
+    return LoadStatus::Corrupt;
+  }
+  const json::JsonValue &Reserve = Root["reserve_cursors"];
+  if (Root["cursor"].K != json::JsonValue::Number ||
+      Root["completed"].K != json::JsonValue::Number ||
+      Reserve.K != json::JsonValue::Array ||
+      Reserve.Items.size() != NumBranchErrorCategories) {
+    Error = "checkpoint '" + Path + "' has a malformed progress record";
+    return LoadStatus::Corrupt;
+  }
+  Out.Shard = static_cast<unsigned>(Root["shard"].Num);
+  Out.NumShards = static_cast<unsigned>(Root["num_shards"].Num);
+  Out.Cursor = static_cast<uint64_t>(Root["cursor"].Num);
+  Out.Completed = static_cast<uint64_t>(Root["completed"].Num);
+  for (unsigned C = 0; C < NumBranchErrorCategories; ++C)
+    Out.ReserveCursors[C] = static_cast<uint64_t>(Reserve.Items[C].Num);
+  std::string SnapError;
+  if (!telemetry::snapshotFromJson(Root["registry"], Out.Registry,
+                                   SnapError)) {
+    Error = "checkpoint '" + Path + "' registry: " + SnapError;
+    return LoadStatus::Corrupt;
+  }
+  return LoadStatus::Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// Result files and shard merging
+//===----------------------------------------------------------------------===//
+
+std::string CampaignEngine::resultToJson(const EngineReport &Report,
+                                         const EngineConfig &Engine) {
+  std::string Out = "{\"kind\":\"cfed-campaign-result\",\"version\":1";
+  Out += ",\"shard\":" + std::to_string(Engine.ShardIndex);
+  Out += ",\"num_shards\":" + std::to_string(Engine.NumShards);
+  Out += ",\"seed\":" + std::to_string(Engine.Seed);
+  Out += ",\"model\":\"";
+  Out += getFaultModelName(Engine.Model);
+  Out += "\",\"completed\":" + std::to_string(Report.Completed);
+  Out += ",\"skipped\":" + std::to_string(Report.Skipped);
+  Out += ",\"finished\":";
+  Out += Report.Finished ? "true" : "false";
+  Out += ",\"registry\":";
+  Out += Report.Registry.toJson();
+  Out += '}';
+  return Out;
+}
+
+bool CampaignEngine::parseShardResult(const std::string &Text,
+                                      ShardResult &Out, std::string &Error) {
+  json::JsonValue Root;
+  json::JsonParser Parser(Text);
+  if (!Parser.parse(Root) || Root.K != json::JsonValue::Object) {
+    Error = "not valid JSON";
+    return false;
+  }
+  std::string Kind = Root["kind"].Str;
+  if (Kind != "cfed-campaign-result" && Kind != "cfed-campaign-merged") {
+    Error = "not a campaign result file (kind '" + Kind + "')";
+    return false;
+  }
+  Out.Shard = static_cast<unsigned>(Root["shard"].Num);
+  Out.NumShards = static_cast<unsigned>(Root["num_shards"].Num);
+  Out.Seed = static_cast<uint64_t>(Root["seed"].Num);
+  Out.Completed = static_cast<uint64_t>(Root["completed"].Num);
+  Out.Skipped = static_cast<uint64_t>(Root["skipped"].Num);
+  Out.Finished = Root["finished"].B;
+  std::string SnapError;
+  if (!telemetry::snapshotFromJson(Root["registry"], Out.Registry,
+                                   SnapError)) {
+    Error = "registry: " + SnapError;
+    return false;
+  }
+  return true;
+}
+
+bool CampaignEngine::mergeShards(const std::vector<ShardResult> &Shards,
+                                 ShardResult &Out, std::string &Error) {
+  if (Shards.empty()) {
+    Error = "no shard results to merge";
+    return false;
+  }
+  std::vector<bool> Seen(Shards[0].NumShards, false);
+  for (const ShardResult &S : Shards) {
+    if (S.Seed != Shards[0].Seed || S.NumShards != Shards[0].NumShards) {
+      Error = "shard results disagree on seed or shard count; they are "
+              "not slices of one campaign";
+      return false;
+    }
+    if (S.Shard >= S.NumShards) {
+      Error = "shard index " + std::to_string(S.Shard) +
+              " out of range for " + std::to_string(S.NumShards) + " shards";
+      return false;
+    }
+    if (Seen[S.Shard]) {
+      Error = "shard " + std::to_string(S.Shard) +
+              " appears twice; merging it would double-count";
+      return false;
+    }
+    Seen[S.Shard] = true;
+  }
+
+  // Counters and histograms are pure sums over disjoint injection sets,
+  // so folding through a registry reproduces the unsharded run's
+  // snapshot regardless of merge order (names keep the registry's
+  // sorted ordering).
+  telemetry::MetricsRegistry Merged;
+  Out = ShardResult();
+  Out.NumShards = Shards[0].NumShards;
+  Out.Seed = Shards[0].Seed;
+  Out.Finished = true;
+  for (const ShardResult &S : Shards) {
+    Merged.merge(S.Registry);
+    Out.Completed += S.Completed;
+    Out.Skipped += S.Skipped;
+    Out.Finished = Out.Finished && S.Finished;
+  }
+  Out.Registry = Merged.snapshot();
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Engine
+//===----------------------------------------------------------------------===//
+
+CampaignEngine::CampaignEngine(const AsmProgram &Program, DbtConfig Config,
+                               EngineConfig Engine)
+    : Program(Program), Config(Config), Engine(std::move(Engine)) {
+  if (this->Engine.NumShards < 1 ||
+      this->Engine.ShardIndex >= this->Engine.NumShards)
+    reportFatalErrorf("invalid shard spec %u/%u: the shard index must be "
+                      "below the shard count",
+                      this->Engine.ShardIndex, this->Engine.NumShards);
+  if (this->Engine.CheckpointInterval < 1)
+    reportFatalError("campaign checkpoint interval must be at least 1");
+  if (this->Engine.StopHalfWidth > 0.0 && this->Engine.NumShards > 1)
+    reportFatalError(
+        "early stopping cannot be combined with sharding: a shard only "
+        "sees its own slice of each cell, so its Wilson intervals say "
+        "nothing about the campaign-wide SDC rate. Run the sharded "
+        "campaign without a stop width, or run early stopping unsharded.");
+}
+
+EngineReport CampaignEngine::run() {
+  FaultCampaign Campaign(Program, Config);
+  if (!Campaign.prepare(Engine.MaxInsns))
+    reportFatalError("campaign engine: golden run failed (program does not "
+                     "load or halt within the instruction budget)");
+
+  // Deterministic plan. Over-plan 4x: the surplus beyond the primary
+  // schedule is the reserve pool early stopping reallocates from.
+  std::vector<PlannedFault> Candidates =
+      Campaign.plan(Engine.NumInjections * 4, Engine.Seed, Engine.Sites,
+                    Engine.Model);
+  std::vector<const PlannedFault *> Primary;
+  std::array<std::vector<const PlannedFault *>, NumBranchErrorCategories>
+      Reserve;
+  for (const PlannedFault &Fault : Candidates) {
+    if (Fault.Category == BranchErrorCategory::NoError)
+      continue;
+    if (Primary.size() < Engine.NumInjections)
+      Primary.push_back(&Fault);
+    else
+      Reserve[static_cast<unsigned>(Fault.Category)].push_back(&Fault);
+  }
+  uint64_t PlanHash = hashPlan(Engine, Candidates);
+
+  // This shard's deterministic slice of the primary schedule.
+  std::vector<const PlannedFault *> ShardPlan;
+  for (size_t I = Engine.ShardIndex; I < Primary.size();
+       I += Engine.NumShards)
+    ShardPlan.push_back(Primary[I]);
+
+  // Cumulative state; a checkpoint restores it exactly.
+  telemetry::MetricsRegistry Cumulative;
+  uint64_t Cursor = 0;
+  uint64_t Completed = 0;
+  std::array<uint64_t, NumBranchErrorCategories> ReserveCursors{};
+  bool Resumed = false;
+
+  if (!Engine.CheckpointFile.empty()) {
+    EngineCheckpoint Ckpt;
+    std::string Error;
+    switch (loadCheckpoint(Engine.CheckpointFile, Ckpt, Error)) {
+    case LoadStatus::Missing:
+      break;
+    case LoadStatus::Corrupt:
+      reportFatalErrorf("%s (delete the file to restart the campaign "
+                        "from scratch)",
+                        Error.c_str());
+      break;
+    case LoadStatus::Ok:
+      if (Ckpt.PlanHash != PlanHash)
+        reportFatalErrorf(
+            "checkpoint '%s' belongs to a different campaign (plan hash "
+            "%s, this campaign is %s); refusing to mix results",
+            Engine.CheckpointFile.c_str(), toHex(Ckpt.PlanHash).c_str(),
+            toHex(PlanHash).c_str());
+      if (Ckpt.Shard != Engine.ShardIndex ||
+          Ckpt.NumShards != Engine.NumShards)
+        reportFatalErrorf("checkpoint '%s' was written by shard %u/%u, not "
+                          "%u/%u",
+                          Engine.CheckpointFile.c_str(), Ckpt.Shard,
+                          Ckpt.NumShards, Engine.ShardIndex,
+                          Engine.NumShards);
+      if (Ckpt.Cursor > ShardPlan.size())
+        reportFatalErrorf("checkpoint '%s' cursor %llu exceeds the plan "
+                          "(%zu slots)",
+                          Engine.CheckpointFile.c_str(),
+                          static_cast<unsigned long long>(Ckpt.Cursor),
+                          ShardPlan.size());
+      Cumulative.merge(Ckpt.Registry);
+      Cursor = Ckpt.Cursor;
+      Completed = Ckpt.Completed;
+      ReserveCursors = Ckpt.ReserveCursors;
+      Resumed = true;
+      break;
+    }
+  }
+
+  const bool EarlyStop = Engine.StopHalfWidth > 0.0;
+  std::array<CellState, NumBranchErrorCategories> Cells = computeCells(
+      Cumulative.snapshot(), Engine.StopHalfWidth, Engine.StopZ);
+
+  ThreadPool Pool(Engine.Jobs);
+  std::vector<uint64_t> LatBounds = latencyBounds();
+  uint64_t Batches = 0;
+  bool Finished = true;
+
+  while (Cursor < ShardPlan.size()) {
+    if (Engine.MaxBatches && Batches >= Engine.MaxBatches) {
+      Finished = false;
+      break;
+    }
+    ++Batches;
+
+    // Build the batch serially: skip/reallocate decisions read only the
+    // cumulative tallies frozen at the last batch boundary, so the
+    // schedule is a pure function of checkpointed state.
+    std::vector<const PlannedFault *> Batch;
+    Batch.reserve(Engine.CheckpointInterval);
+    for (uint64_t Slot = 0;
+         Slot < Engine.CheckpointInterval && Cursor < ShardPlan.size();
+         ++Slot, ++Cursor) {
+      const PlannedFault *Fault = ShardPlan[Cursor];
+      unsigned Cat = static_cast<unsigned>(Fault->Category);
+      if (!EarlyStop || !Cells[Cat].Closed) {
+        Batch.push_back(Fault);
+        continue;
+      }
+      // The cell closed: record the skip (never silently) and hand the
+      // slot to the loosest still-open cell with reserve left.
+      Cumulative.counter(getSkipCounterName(Fault->Category)).inc();
+      int Loosest = -1;
+      for (unsigned C = 0; C < NumBranchErrorCategories; ++C) {
+        auto CellCat = static_cast<BranchErrorCategory>(C);
+        if (!isCellCategory(CellCat) || Cells[C].Closed ||
+            ReserveCursors[C] >= Reserve[C].size())
+          continue;
+        if (Loosest < 0 || Cells[C].Interval.halfWidth() >
+                               Cells[Loosest].Interval.halfWidth())
+          Loosest = static_cast<int>(C);
+      }
+      if (Loosest >= 0) {
+        const PlannedFault *Replacement =
+            Reserve[Loosest][ReserveCursors[Loosest]++];
+        Cumulative.counter(getReallocCounterName(Replacement->Category))
+            .inc();
+        Batch.push_back(Replacement);
+      }
+    }
+
+    if (!Batch.empty()) {
+      // Work-stealing dispatch: workers pull batch indices off the
+      // pool's atomic cursor and write into their own slot; the tally
+      // below replays the slots serially in batch order, so the
+      // registry is byte-identical for any job count.
+      std::vector<InjectionReport> Reports(Batch.size());
+      Pool.parallelFor(Batch.size(), [&](uint64_t I) {
+        Reports[I] = Campaign.injectDetailed(*Batch[I]);
+      });
+      for (size_t I = 0; I < Batch.size(); ++I) {
+        const InjectionReport &Report = Reports[I];
+        BranchErrorCategory Cat = Batch[I]->Category;
+        Cumulative.counter(getOutcomeCounterName(Cat, Report.Result)).inc();
+        Cumulative.counter("fault.injections").inc();
+        if (Report.Fired &&
+            (Report.Result == Outcome::DetectedSignature ||
+             Report.Result == Outcome::DetectedHardware))
+          Cumulative.histogram(getLatencyHistogramName(Cat), LatBounds)
+              .observe(Report.LatencyInsns);
+      }
+      Completed += Batch.size();
+    }
+
+    if (EarlyStop)
+      Cells = computeCells(Cumulative.snapshot(), Engine.StopHalfWidth,
+                           Engine.StopZ);
+
+    if (!Engine.CheckpointFile.empty()) {
+      EngineCheckpoint Ckpt;
+      Ckpt.Version = EngineCheckpointVersion;
+      Ckpt.PlanHash = PlanHash;
+      Ckpt.Shard = Engine.ShardIndex;
+      Ckpt.NumShards = Engine.NumShards;
+      Ckpt.Cursor = Cursor;
+      Ckpt.Completed = Completed;
+      Ckpt.ReserveCursors = ReserveCursors;
+      Ckpt.Registry = Cumulative.snapshot();
+      std::string Error;
+      if (!writeCheckpoint(Engine.CheckpointFile, Ckpt, Error))
+        reportFatalErrorf("campaign checkpoint failed: %s", Error.c_str());
+      if (Engine.OnCheckpoint)
+        Engine.OnCheckpoint(Completed);
+    }
+  }
+
+  EngineReport Report;
+  Report.Registry = Cumulative.snapshot();
+  Report.Result = campaignResultFromSnapshot(Report.Registry);
+  Report.Completed = Completed;
+  Report.Planned = ShardPlan.size();
+  Report.Finished = Finished;
+  Report.Resumed = Resumed;
+  Cells = computeCells(Report.Registry, Engine.StopHalfWidth, Engine.StopZ);
+  for (unsigned C = 0; C < NumBranchErrorCategories; ++C) {
+    auto Cat = static_cast<BranchErrorCategory>(C);
+    if (!isCellCategory(Cat))
+      continue;
+    CellReport Cell;
+    Cell.Category = Cat;
+    Cell.Counts = Cells[C].Counts;
+    Cell.Interval = Cells[C].Interval;
+    Cell.Stopped = Cells[C].Closed;
+    uint64_t Total = Cell.Counts.total();
+    Cell.SdcRate = Total == 0 ? 0.0
+                              : static_cast<double>(Cell.Counts.Sdc) /
+                                    static_cast<double>(Total);
+    Cell.Skipped = Report.Registry.counterOr(getSkipCounterName(Cat));
+    Cell.Reallocated = Report.Registry.counterOr(getReallocCounterName(Cat));
+    Report.Skipped += Cell.Skipped;
+    Report.Cells.push_back(Cell);
+  }
+  return Report;
+}

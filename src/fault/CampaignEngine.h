@@ -1,0 +1,219 @@
+//===- CampaignEngine.h - Resumable sharded campaign engine -----*- C++ -*-===//
+//
+// Part of the CFED project (CGO'06 control-flow error detection repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The campaign engine: a long-running fault-injection service layered
+/// on FaultCampaign that adds what the paper's "soft-error injection"
+/// future-work item needs at scale:
+///
+///  - Persistent resumable campaigns. Progress is checkpointed to a
+///    versioned file (injection cursor, reserve cursors, the merged
+///    metrics snapshot) atomically every CheckpointInterval schedule
+///    slots, so a killed run continues exactly where it stopped. The
+///    plan is re-derived deterministically from the seed on resume and
+///    validated against the checkpoint's plan hash.
+///
+///  - Work-stealing batch scheduling plus multi-process sharding.
+///    Within a batch the injections self-schedule over the ThreadPool's
+///    atomic cursor into position-indexed slots; across processes the
+///    primary schedule is partitioned deterministically (slot i belongs
+///    to shard i mod NumShards), and shard result files merge into one
+///    report identical to the unsharded run for any job/shard split.
+///
+///  - Statistical early stopping. Per branch-error-category cell the
+///    engine tracks a Wilson confidence interval on the SDC rate; once
+///    an interval is tighter than the configured half-width the cell
+///    closes, its remaining scheduled injections are skipped (counted,
+///    never silently dropped), and the freed budget is reallocated to
+///    the loosest still-open cell from the reserve plan.
+///
+///  - Detection-latency histograms: per-cell "fault.latency.cat_*"
+///    instruments (instructions from fault firing to detection), the
+///    quantity the relaxed checking policies of Section 6 trade
+///    against performance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFED_FAULT_CAMPAIGNENGINE_H
+#define CFED_FAULT_CAMPAIGNENGINE_H
+
+#include "fault/Campaign.h"
+#include "support/Stats.h"
+
+#include <functional>
+#include <string>
+
+namespace cfed {
+namespace json {
+struct JsonValue;
+} // namespace json
+
+/// Engine configuration on top of a FaultCampaign's program/DbtConfig.
+struct EngineConfig {
+  /// Primary injection budget (schedule slots across all shards).
+  uint64_t NumInjections = 0;
+  uint64_t Seed = 1;
+  SiteClass Sites = SiteClass::Any;
+  FaultModel Model = FaultModel::SingleBit;
+  /// Golden-run instruction budget handed to prepare().
+  uint64_t MaxInsns = 50000000;
+  unsigned Jobs = 1;
+
+  /// Schedule slots per batch; a checkpoint is written after every
+  /// batch. Injections within a batch run in parallel, so this is also
+  /// the unit of work lost to a kill.
+  uint64_t CheckpointInterval = 64;
+  /// Checkpoint file path; empty disables checkpointing (the run is
+  /// then neither resumable nor killable without losing everything).
+  std::string CheckpointFile;
+
+  /// This process handles primary schedule slots with
+  /// index % NumShards == ShardIndex.
+  unsigned ShardIndex = 0;
+  unsigned NumShards = 1;
+
+  /// Early stopping: close a cell once the Wilson interval on its SDC
+  /// rate has half-width <= StopHalfWidth. 0 disables. Incompatible
+  /// with NumShards > 1 (shards cannot see global cell tightness).
+  double StopHalfWidth = 0.0;
+  /// Critical value of the Wilson interval (1.96 = 95%).
+  double StopZ = 1.96;
+
+  /// Test hook: stop (with Finished = false) after this many batches.
+  /// 0 = run to completion. A subsequent run with the same checkpoint
+  /// file continues where this one stopped.
+  uint64_t MaxBatches = 0;
+  /// Test hook: invoked after every successful checkpoint write with
+  /// the number of completed injections.
+  std::function<void(uint64_t)> OnCheckpoint;
+};
+
+/// Per-cell (branch-error category) accounting in the final report.
+struct CellReport {
+  BranchErrorCategory Category = BranchErrorCategory::A;
+  OutcomeCounts Counts;
+  /// Observed SDC rate and its Wilson interval at StopZ.
+  double SdcRate = 0.0;
+  WilsonInterval Interval;
+  /// The cell closed by early stopping.
+  bool Stopped = false;
+  /// Scheduled injections skipped because the cell had closed.
+  uint64_t Skipped = 0;
+  /// Injections this cell received from other cells' freed budget.
+  uint64_t Reallocated = 0;
+};
+
+/// Result of one engine run (one shard's share when sharded).
+struct EngineReport {
+  CampaignResult Result;
+  /// Cumulative instruments: fault.cat_*.* outcome counters,
+  /// fault.latency.cat_* histograms, fault.engine.* accounting.
+  telemetry::RegistrySnapshot Registry;
+  std::vector<CellReport> Cells;
+  /// Injections actually executed (including resumed-from-checkpoint).
+  uint64_t Completed = 0;
+  /// Primary schedule slots assigned to this shard.
+  uint64_t Planned = 0;
+  /// Slots skipped by early stopping, total.
+  uint64_t Skipped = 0;
+  /// False when MaxBatches truncated the run before the schedule was
+  /// exhausted.
+  bool Finished = true;
+  /// The run continued from an existing checkpoint.
+  bool Resumed = false;
+};
+
+/// A parsed campaign result file (one shard's output).
+struct ShardResult {
+  unsigned Shard = 0;
+  unsigned NumShards = 1;
+  uint64_t Seed = 0;
+  uint64_t Completed = 0;
+  uint64_t Skipped = 0;
+  bool Finished = true;
+  telemetry::RegistrySnapshot Registry;
+};
+
+/// On-disk checkpoint state, exposed for the torture tests.
+struct EngineCheckpoint {
+  uint64_t Version = 0;
+  uint64_t PlanHash = 0;
+  unsigned Shard = 0;
+  unsigned NumShards = 1;
+  /// Index of the next unprocessed slot in this shard's schedule.
+  uint64_t Cursor = 0;
+  uint64_t Completed = 0;
+  /// Per-category consumption of the reserve plan.
+  std::array<uint64_t, NumBranchErrorCategories> ReserveCursors{};
+  telemetry::RegistrySnapshot Registry;
+};
+
+/// The current checkpoint format version.
+inline constexpr uint64_t EngineCheckpointVersion = 1;
+
+class CampaignEngine {
+public:
+  /// Validates \p Engine (fatal on an invalid shard spec, a zero
+  /// checkpoint interval, or early stopping combined with sharding).
+  CampaignEngine(const AsmProgram &Program, DbtConfig Config,
+                 EngineConfig Engine);
+
+  /// Runs the campaign: golden run, deterministic plan, batched
+  /// injection with checkpointing, early stopping, and final report.
+  /// Resumes from Engine.CheckpointFile when it holds a matching
+  /// checkpoint; fatal when it holds a corrupt or mismatching one.
+  EngineReport run();
+
+  /// Serializes \p Report as a single-line campaign result file.
+  static std::string resultToJson(const EngineReport &Report,
+                                  const EngineConfig &Engine);
+
+  /// Parses a resultToJson() file; false (and \p Error) on mismatch.
+  static bool parseShardResult(const std::string &Text, ShardResult &Out,
+                               std::string &Error);
+
+  /// Folds shard results into one report equal to the unsharded run:
+  /// counters sum, histograms fold, completed/skipped add. Validates
+  /// that seeds and shard counts agree and no shard repeats.
+  static bool mergeShards(const std::vector<ShardResult> &Shards,
+                          ShardResult &Out, std::string &Error);
+
+  /// How loading a checkpoint file ended.
+  enum class LoadStatus {
+    Ok,      ///< Parsed and structurally valid.
+    Missing, ///< No file at the path (a fresh campaign).
+    Corrupt, ///< Truncated, unparsable, or structurally invalid.
+  };
+
+  /// Loads and validates the checkpoint structure (not the plan hash —
+  /// run() checks that against the live plan). \p Error describes
+  /// Corrupt results.
+  static LoadStatus loadCheckpoint(const std::string &Path,
+                                   EngineCheckpoint &Out,
+                                   std::string &Error);
+
+  /// Writes \p Ckpt atomically (temp file + rename), so a kill at any
+  /// point leaves either the previous checkpoint or the new one.
+  static bool writeCheckpoint(const std::string &Path,
+                              const EngineCheckpoint &Ckpt,
+                              std::string &Error);
+
+  /// Histogram bounds shared by every fault.latency.* instrument
+  /// (powers of two, 1 .. 2^20 instructions).
+  static std::vector<uint64_t> latencyBounds();
+
+  /// Name of the per-category detection-latency histogram.
+  static std::string getLatencyHistogramName(BranchErrorCategory Cat);
+
+private:
+  const AsmProgram &Program;
+  DbtConfig Config;
+  EngineConfig Engine;
+};
+
+} // namespace cfed
+
+#endif // CFED_FAULT_CAMPAIGNENGINE_H

@@ -3,10 +3,64 @@
 #include "fault/ErrorModel.h"
 
 #include "support/Diagnostics.h"
+#include "support/Prng.h"
 #include "vm/Layout.h"
 #include "vm/Loader.h"
 
 using namespace cfed;
+
+const char *cfed::getFaultModelName(FaultModel Model) {
+  switch (Model) {
+  case FaultModel::SingleBit:
+    return "single";
+  case FaultModel::MultiBit:
+    return "multi";
+  case FaultModel::Burst:
+    return "burst";
+  }
+  return "?";
+}
+
+bool cfed::parseFaultModel(const std::string &Name, FaultModel &Out) {
+  if (Name == "single")
+    Out = FaultModel::SingleBit;
+  else if (Name == "multi")
+    Out = FaultModel::MultiBit;
+  else if (Name == "burst")
+    Out = FaultModel::Burst;
+  else
+    return false;
+  return true;
+}
+
+uint64_t cfed::drawFaultMask(Prng &Rng, FaultModel Model, unsigned Width) {
+  assert(Width >= 1 && Width <= 64 && "mask width out of range");
+  switch (Model) {
+  case FaultModel::SingleBit:
+    return uint64_t(1) << Rng.nextBelow(Width);
+  case FaultModel::MultiBit: {
+    // 2-3 distinct bits (an SEU upsetting neighbouring storage cells
+    // that are not physically adjacent in the encoded word).
+    unsigned Bits = Width < 3 ? 2 : 2 + static_cast<unsigned>(Rng.nextBelow(2));
+    if (Bits > Width)
+      Bits = Width; // Degenerate 1-bit fields fall back to a single flip.
+    uint64_t Mask = 0;
+    while (static_cast<unsigned>(__builtin_popcountll(Mask)) < Bits)
+      Mask |= uint64_t(1) << Rng.nextBelow(Width);
+    return Mask;
+  }
+  case FaultModel::Burst: {
+    // A run of 2-4 adjacent bits, clamped to the field width.
+    unsigned Len = 2 + static_cast<unsigned>(Rng.nextBelow(3));
+    if (Len > Width)
+      Len = Width;
+    unsigned Start = static_cast<unsigned>(Rng.nextBelow(Width - Len + 1));
+    uint64_t Run = Len == 64 ? ~uint64_t(0) : (uint64_t(1) << Len) - 1;
+    return Run << Start;
+  }
+  }
+  cfed_unreachable("covered switch");
+}
 
 BranchErrorCategory cfed::classifyBranchTarget(const Cfg &Graph,
                                                uint64_t BranchAddr,

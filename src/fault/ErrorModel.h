@@ -33,6 +33,32 @@
 
 namespace cfed {
 
+class Prng;
+
+/// How many bits one fault event corrupts. SingleBit is the paper's
+/// Section 2 model; MultiBit (2-3 independent bits) and Burst (2-4
+/// adjacent bits) are the SEU/MBU variants the related SEU/SET
+/// evaluation work injects, reused by the register-fault campaigns and
+/// the campaign engine's plan enumeration.
+enum class FaultModel : uint8_t {
+  SingleBit,
+  MultiBit,
+  Burst,
+};
+
+/// Returns "single", "multi" or "burst".
+const char *getFaultModelName(FaultModel Model);
+
+/// Parses a getFaultModelName() string back; false on no match.
+bool parseFaultModel(const std::string &Name, FaultModel &Out);
+
+/// Draws an XOR fault mask of \p Model's shape over a \p Width-bit
+/// field (Width <= 64). SingleBit consumes exactly one nextBelow(Width)
+/// draw, so existing single-bit plans reproduce bit-for-bit; MultiBit
+/// flips 2-3 distinct bits, Burst flips a run of 2-4 adjacent bits
+/// (clamped to the field). The mask is never zero.
+uint64_t drawFaultMask(Prng &Rng, FaultModel Model, unsigned Width);
+
 /// Classifies where a control transfer from the branch at \p BranchAddr
 /// to \p Target lands, relative to the block structure in \p Graph:
 /// beginning/middle of the same or another block, or outside the code

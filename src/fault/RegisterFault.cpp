@@ -6,16 +6,32 @@
 #include "support/Prng.h"
 #include "support/ThreadPool.h"
 
+#include <algorithm>
 #include <vector>
 
 using namespace cfed;
 
-OutcomeCounts cfed::runRegisterFaultCampaign(const AsmProgram &Program,
-                                             const DbtConfig &Config,
-                                             uint64_t NumInjections,
-                                             uint64_t Seed,
-                                             uint64_t MaxInsns,
-                                             unsigned Jobs) {
+double RegisterCampaignReport::latencyMean() const {
+  if (DetectionLatencies.empty())
+    return 0.0;
+  uint64_t Sum = 0;
+  for (uint64_t L : DetectionLatencies)
+    Sum += L;
+  return static_cast<double>(Sum) /
+         static_cast<double>(DetectionLatencies.size());
+}
+
+uint64_t RegisterCampaignReport::latencyMax() const {
+  uint64_t Max = 0;
+  for (uint64_t L : DetectionLatencies)
+    Max = std::max(Max, L);
+  return Max;
+}
+
+RegisterCampaignReport cfed::runRegisterFaultCampaignDetailed(
+    const AsmProgram &Program, const DbtConfig &Config,
+    uint64_t NumInjections, uint64_t Seed, uint64_t MaxInsns,
+    FaultModel Model, unsigned Jobs) {
   // Golden run.
   uint64_t GoldenInsns = 0, GoldenHash = 0;
   {
@@ -33,11 +49,12 @@ OutcomeCounts cfed::runRegisterFaultCampaign(const AsmProgram &Program,
 
   // Draw every fault's coordinates up front: the Prng is consumed in the
   // same serial order regardless of job count, so only the injections
-  // themselves run concurrently.
+  // themselves run concurrently. SingleBit's drawFaultMask consumes one
+  // nextBelow(64) — the same draw the original bit pick made.
   struct FaultCoords {
     uint64_t Instance;
     uint8_t Reg;
-    unsigned Bit;
+    uint64_t Mask;
   };
   Prng Rng(Seed);
   std::vector<FaultCoords> Coords;
@@ -46,16 +63,18 @@ OutcomeCounts cfed::runRegisterFaultCampaign(const AsmProgram &Program,
     FaultCoords C;
     C.Instance = 1 + Rng.nextBelow(GoldenInsns);
     C.Reg = static_cast<uint8_t>(Rng.nextBelow(15)); // r0..r14.
-    C.Bit = static_cast<unsigned>(Rng.nextBelow(64));
+    C.Mask = drawFaultMask(Rng, Model, 64);
     Coords.push_back(C);
   }
 
   uint64_t Budget = GoldenInsns * 4 + 100000;
+  constexpr uint64_t NoLatency = ~uint64_t(0);
   std::vector<Outcome> Outcomes(Coords.size());
+  std::vector<uint64_t> Latencies(Coords.size(), NoLatency);
   ThreadPool Pool(Jobs);
   Pool.parallelFor(Coords.size(), [&](uint64_t I) {
-    RegisterFaultInjector Hook(Coords[I].Instance, Coords[I].Reg,
-                               Coords[I].Bit);
+    RegisterFaultInjector Hook = RegisterFaultInjector::fromMask(
+        Coords[I].Instance, Coords[I].Reg, Coords[I].Mask);
     Memory Mem;
     Interpreter Interp(Mem);
     Dbt Translator(Mem, Config);
@@ -81,10 +100,31 @@ OutcomeCounts cfed::runRegisterFaultCampaign(const AsmProgram &Program,
       Outcomes[I] = Outcome::DetectedSignature;
     else
       Outcomes[I] = Outcome::DetectedHardware;
+    // The hook fires before executing its Instance-th instruction, so
+    // Instance-1 instructions had retired at fire time.
+    if (Hook.fired())
+      Latencies[I] = Interp.instructionCount() - (Coords[I].Instance - 1);
   });
 
-  OutcomeCounts Totals;
-  for (Outcome O : Outcomes)
-    Totals.add(O);
-  return Totals;
+  // Serial in-order tally: position-indexed slots make the report
+  // byte-identical for any job count.
+  RegisterCampaignReport Report;
+  for (uint64_t I = 0; I < Outcomes.size(); ++I) {
+    Report.Counts.add(Outcomes[I]);
+    if (Latencies[I] != NoLatency)
+      Report.DetectionLatencies.push_back(Latencies[I]);
+  }
+  return Report;
+}
+
+OutcomeCounts cfed::runRegisterFaultCampaign(const AsmProgram &Program,
+                                             const DbtConfig &Config,
+                                             uint64_t NumInjections,
+                                             uint64_t Seed,
+                                             uint64_t MaxInsns,
+                                             unsigned Jobs) {
+  return runRegisterFaultCampaignDetailed(Program, Config, NumInjections,
+                                          Seed, MaxInsns,
+                                          FaultModel::SingleBit, Jobs)
+      .Counts;
 }

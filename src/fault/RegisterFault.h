@@ -22,12 +22,22 @@
 
 namespace cfed {
 
-/// Flips bit \p Bit of guest register \p Reg immediately before the
-/// \p Instance-th executed instruction.
+/// XORs a mask into guest register \p Reg immediately before the
+/// \p Instance-th executed instruction. The bit constructor is the
+/// single-bit model; fromMask() carries the multi-bit/burst variants.
 class RegisterFaultInjector : public PreInsnHook {
 public:
   RegisterFaultInjector(uint64_t Instance, uint8_t Reg, unsigned Bit)
-      : Instance(Instance), Reg(Reg), Bit(Bit) {}
+      : Instance(Instance), Reg(Reg), Mask(uint64_t(1) << Bit) {}
+
+  /// Builds an injector XORing an arbitrary non-zero 64-bit \p Mask
+  /// (from drawFaultMask) instead of a single bit.
+  static RegisterFaultInjector fromMask(uint64_t Instance, uint8_t Reg,
+                                        uint64_t Mask) {
+    RegisterFaultInjector Injector(Instance, Reg, 0);
+    Injector.Mask = Mask;
+    return Injector;
+  }
 
   bool fired() const { return Fired; }
 
@@ -35,23 +45,43 @@ public:
     if (Fired || ++Counter != Instance)
       return;
     Fired = true;
-    State.Regs[Reg] ^= uint64_t(1) << Bit;
+    State.Regs[Reg] ^= Mask;
   }
 
 private:
   uint64_t Instance;
   uint8_t Reg;
-  unsigned Bit;
+  uint64_t Mask;
   uint64_t Counter = 0;
   bool Fired = false;
 };
 
-/// Runs \p NumInjections single-bit register faults against \p Program
-/// translated under \p Config, at uniformly random (instruction,
-/// register r0-r14, bit) coordinates. The program must halt within
-/// \p MaxInsns fault-free. All fault coordinates are drawn up front from
-/// \p Seed, so with \p Jobs > 1 the injections run on a thread pool and
-/// still tally identically to the serial campaign.
+/// Results of a register-fault campaign: outcome tallies plus the
+/// detection latency (instructions from the fault firing to the trap)
+/// of every detected run, in injection order.
+struct RegisterCampaignReport {
+  OutcomeCounts Counts;
+  std::vector<uint64_t> DetectionLatencies;
+
+  double latencyMean() const;
+  uint64_t latencyMax() const;
+};
+
+/// Runs \p NumInjections register faults of \p Model shape against
+/// \p Program translated under \p Config, at uniformly random
+/// (instruction, register r0-r14, mask) coordinates. The program must
+/// halt within \p MaxInsns fault-free. All fault coordinates are drawn
+/// up front from \p Seed, so with \p Jobs > 1 the injections run on a
+/// thread pool and still tally identically to the serial campaign; the
+/// SingleBit model consumes the Prng exactly like the original
+/// single-bit campaign did.
+RegisterCampaignReport runRegisterFaultCampaignDetailed(
+    const AsmProgram &Program, const DbtConfig &Config,
+    uint64_t NumInjections, uint64_t Seed, uint64_t MaxInsns,
+    FaultModel Model = FaultModel::SingleBit, unsigned Jobs = 1);
+
+/// The original single-bit entry point: tallies of
+/// runRegisterFaultCampaignDetailed under FaultModel::SingleBit.
 OutcomeCounts runRegisterFaultCampaign(const AsmProgram &Program,
                                        const DbtConfig &Config,
                                        uint64_t NumInjections, uint64_t Seed,

@@ -181,6 +181,13 @@ struct Flags {
     return unpack(pack() ^ static_cast<uint8_t>(1u << BitIndex));
   }
 
+  /// Returns a copy with every flag bit set in \p Mask (low 4 bits)
+  /// inverted — the multi-bit/burst variants of the error model.
+  Flags withMaskFlipped(uint8_t Mask) const {
+    assert((Mask >> NumFlagBits) == 0 && "flag mask out of range");
+    return unpack(pack() ^ Mask);
+  }
+
   bool operator==(const Flags &Other) const = default;
 
   /// Number of independently flippable flag bits.

@@ -13,6 +13,7 @@
 #ifndef CFED_SUPPORT_STATS_H
 #define CFED_SUPPORT_STATS_H
 
+#include <cstdint>
 #include <vector>
 
 namespace cfed {
@@ -23,6 +24,22 @@ double geometricMean(const std::vector<double> &Values);
 
 /// Arithmetic mean of \p Values. Returns 0 for an empty input.
 double arithmeticMean(const std::vector<double> &Values);
+
+/// A Wilson-score confidence interval on a binomial proportion. Unlike
+/// the Wald interval it stays inside [0, 1] and behaves sanely at 0 or
+/// n successes — the regimes fault campaigns live in (SDC rates near
+/// zero with small samples).
+struct WilsonInterval {
+  double Low = 0.0;
+  double High = 1.0;
+
+  double halfWidth() const { return (High - Low) / 2.0; }
+  bool contains(double P) const { return P >= Low && P <= High; }
+};
+
+/// Wilson interval for \p Successes out of \p Trials at critical value
+/// \p Z (1.96 for 95%, 2.576 for 99%). Zero trials yields [0, 1].
+WilsonInterval wilsonInterval(uint64_t Successes, uint64_t Trials, double Z);
 
 } // namespace cfed
 

@@ -3,8 +3,10 @@
 #include "telemetry/Metrics.h"
 
 #include "support/Diagnostics.h"
+#include "support/Json.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 using namespace cfed;
@@ -68,6 +70,31 @@ void Histogram::reset() {
 //===----------------------------------------------------------------------===//
 // RegistrySnapshot
 //===----------------------------------------------------------------------===//
+
+double RegistrySnapshot::HistogramValue::mean() const {
+  if (Count == 0)
+    return 0.0;
+  return static_cast<double>(Sum) / static_cast<double>(Count);
+}
+
+uint64_t RegistrySnapshot::HistogramValue::quantile(double Q) const {
+  if (Count == 0)
+    return 0;
+  Q = std::min(1.0, std::max(0.0, Q));
+  // Rank of the wanted sample (1-based, ceil) within the cumulated
+  // bucket counts.
+  uint64_t Rank = static_cast<uint64_t>(
+      std::ceil(Q * static_cast<double>(Count)));
+  if (Rank == 0)
+    Rank = 1;
+  uint64_t Cumulative = 0;
+  for (size_t I = 0; I < Buckets.size(); ++I) {
+    Cumulative += Buckets[I];
+    if (Cumulative >= Rank)
+      return I < Bounds.size() ? Bounds[I] : Bounds.back() + 1;
+  }
+  return Bounds.empty() ? 0 : Bounds.back() + 1;
+}
 
 uint64_t RegistrySnapshot::counterOr(const std::string &Name,
                                      uint64_t Default) const {
@@ -197,6 +224,66 @@ std::string RegistrySnapshot::toText() const {
            " sum=" + std::to_string(H.Sum) + '\n';
   }
   return Out;
+}
+
+bool telemetry::snapshotFromJson(const json::JsonValue &Json,
+                                 RegistrySnapshot &Out, std::string &Error) {
+  using json::JsonValue;
+  if (Json.K != JsonValue::Object) {
+    Error = "snapshot is not a JSON object";
+    return false;
+  }
+  Out = RegistrySnapshot();
+
+  const JsonValue &Counters = Json["counters"];
+  if (Counters.K == JsonValue::Object) {
+    for (const auto &[Name, V] : Counters.Fields) {
+      if (V.K != JsonValue::Number) {
+        Error = "counter '" + Name + "' is not a number";
+        return false;
+      }
+      Out.Counters.emplace_back(Name, static_cast<uint64_t>(V.Num));
+    }
+  }
+
+  const JsonValue &Gauges = Json["gauges"];
+  if (Gauges.K == JsonValue::Object) {
+    for (const auto &[Name, V] : Gauges.Fields) {
+      if (V.K != JsonValue::Number) {
+        Error = "gauge '" + Name + "' is not a number";
+        return false;
+      }
+      Out.Gauges.emplace_back(Name, V.Num);
+    }
+  }
+
+  const JsonValue &Histograms = Json["histograms"];
+  if (Histograms.K == JsonValue::Object) {
+    for (const auto &[Name, V] : Histograms.Fields) {
+      const JsonValue &Bounds = V["bounds"];
+      const JsonValue &Buckets = V["buckets"];
+      if (V.K != JsonValue::Object || Bounds.K != JsonValue::Array ||
+          Buckets.K != JsonValue::Array ||
+          V["count"].K != JsonValue::Number ||
+          V["sum"].K != JsonValue::Number) {
+        Error = "histogram '" + Name + "' has a malformed shape";
+        return false;
+      }
+      RegistrySnapshot::HistogramValue H;
+      for (const JsonValue &B : Bounds.Items)
+        H.Bounds.push_back(static_cast<uint64_t>(B.Num));
+      for (const JsonValue &B : Buckets.Items)
+        H.Buckets.push_back(static_cast<uint64_t>(B.Num));
+      if (H.Buckets.size() != H.Bounds.size() + 1) {
+        Error = "histogram '" + Name + "' bucket/bound size mismatch";
+        return false;
+      }
+      H.Count = static_cast<uint64_t>(V["count"].Num);
+      H.Sum = static_cast<uint64_t>(V["sum"].Num);
+      Out.Histograms.emplace_back(Name, std::move(H));
+    }
+  }
+  return true;
 }
 
 //===----------------------------------------------------------------------===//

@@ -27,6 +27,9 @@
 #include <vector>
 
 namespace cfed {
+namespace json {
+struct JsonValue;
+} // namespace json
 namespace telemetry {
 
 /// A monotonically increasing event count. Thread-safe; bumping is a
@@ -87,6 +90,13 @@ struct RegistrySnapshot {
     uint64_t Count = 0;
     uint64_t Sum = 0;
 
+    /// Sum / Count; 0 when empty.
+    double mean() const;
+    /// Upper bound of the bucket containing the \p Q-quantile sample
+    /// (Q in [0,1]); the overflow bucket reports the largest bound + 1.
+    /// 0 when empty.
+    uint64_t quantile(double Q) const;
+
     bool operator==(const HistogramValue &) const = default;
   };
 
@@ -109,6 +119,13 @@ struct RegistrySnapshot {
 
   bool operator==(const RegistrySnapshot &) const = default;
 };
+
+/// Rebuilds a snapshot from the JSON shape toJson() emits (an object
+/// with "counters"/"gauges"/"histograms" members). \p Json is the
+/// parsed value; returns false (and sets \p Error) on a shape mismatch.
+/// Lives next to toJson() so the two can never drift apart.
+bool snapshotFromJson(const json::JsonValue &Json, RegistrySnapshot &Out,
+                      std::string &Error);
 
 /// Owns named instruments. Lookup is mutex-guarded and creates the
 /// instrument on first use; the returned references stay valid for the

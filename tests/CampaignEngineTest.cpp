@@ -1,0 +1,541 @@
+//===- CampaignEngineTest.cpp - Campaign engine v2 tests ------------------------===//
+//
+// Checkpoint/resume determinism, crash torture, sharded merging, and
+// early-stopping interval soundness for the resumable campaign engine.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fault/CampaignEngine.h"
+#include "support/Prng.h"
+#include "support/Stats.h"
+#include "telemetry/Metrics.h"
+#include "workloads/RandomProgram.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace cfed;
+
+namespace {
+
+AsmProgram makeProgram(uint64_t Seed = 11) {
+  RandomProgramOptions Options;
+  Options.Seed = Seed;
+  Options.NumSegments = 6;
+  Options.LoopTrip = 8;
+  AsmResult Result = assembleProgram(generateRandomProgram(Options));
+  EXPECT_TRUE(Result.succeeded()) << Result.errorText();
+  return std::move(Result.Program);
+}
+
+DbtConfig makeDbtConfig() {
+  DbtConfig Config;
+  Config.Tech = Technique::EdgCf;
+  Config.Flavor = UpdateFlavor::CMovcc;
+  return Config;
+}
+
+EngineConfig makeEngine(uint64_t Seed, uint64_t NumInjections,
+                        uint64_t Interval) {
+  EngineConfig Engine;
+  Engine.NumInjections = NumInjections;
+  Engine.Seed = Seed;
+  Engine.CheckpointInterval = Interval;
+  Engine.Jobs = 1;
+  return Engine;
+}
+
+/// Per-test scratch path under gtest's temp dir; removed up front so a
+/// stale file from a previous run can never leak into a fresh campaign.
+std::string tempPath(const std::string &Name) {
+  std::string Path = ::testing::TempDir() + "cfed_engine_" +
+                     std::to_string(::getpid()) + "_" + Name;
+  std::remove(Path.c_str());
+  return Path;
+}
+
+void writeFile(const std::string &Path, const std::string &Text) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out << Text;
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  EXPECT_TRUE(In.is_open()) << Path;
+  return std::string(std::istreambuf_iterator<char>(In),
+                     std::istreambuf_iterator<char>());
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Basic runs and jobs-invariance
+//===----------------------------------------------------------------------===//
+
+TEST(CampaignEngineTest, RunCompletesAndAccountsEverySlot) {
+  AsmProgram Program = makeProgram();
+  EngineReport Report =
+      CampaignEngine(Program, makeDbtConfig(), makeEngine(101, 40, 8)).run();
+  EXPECT_TRUE(Report.Finished);
+  EXPECT_FALSE(Report.Resumed);
+  EXPECT_EQ(Report.Planned, 40u);
+  EXPECT_EQ(Report.Skipped, 0u);
+  EXPECT_EQ(Report.Completed, 40u);
+  EXPECT_EQ(Report.Registry.counterOr("fault.injections"), 40u);
+  // The tallies the report exposes are rebuilt from the registry, so the
+  // two can never disagree.
+  EXPECT_EQ(Report.Result.totals().total(), 40u);
+}
+
+TEST(CampaignEngineTest, JobCountDoesNotChangeResults) {
+  AsmProgram Program = makeProgram();
+  EngineConfig E1 = makeEngine(101, 40, 8);
+  EngineConfig E3 = E1;
+  E3.Jobs = 3;
+  EngineReport R1 = CampaignEngine(Program, makeDbtConfig(), E1).run();
+  EngineReport R3 = CampaignEngine(Program, makeDbtConfig(), E3).run();
+  EXPECT_EQ(R1.Registry, R3.Registry);
+  EXPECT_EQ(R1.Registry.toJson(), R3.Registry.toJson());
+}
+
+TEST(CampaignEngineTest, LatencyHistogramsRecordDetections) {
+  AsmProgram Program = makeProgram();
+  EngineReport Report =
+      CampaignEngine(Program, makeDbtConfig(), makeEngine(101, 40, 8)).run();
+  uint64_t Detected = 0, LatencyCount = 0;
+  for (const CellReport &Cell : Report.Cells)
+    Detected += Cell.Counts.DetectedSig + Cell.Counts.DetectedHw;
+  for (const auto &Entry : Report.Registry.Histograms)
+    if (Entry.first.rfind("fault.latency.", 0) == 0)
+      LatencyCount += Entry.second.Count;
+  ASSERT_GT(Detected, 0u);
+  EXPECT_EQ(LatencyCount, Detected);
+}
+
+TEST(CampaignEngineTest, LatencyInstrumentNamesAndBounds) {
+  EXPECT_EQ(CampaignEngine::getLatencyHistogramName(BranchErrorCategory::A),
+            "fault.latency.cat_A");
+  EXPECT_EQ(CampaignEngine::getLatencyHistogramName(BranchErrorCategory::F),
+            "fault.latency.cat_F");
+  std::vector<uint64_t> Bounds = CampaignEngine::latencyBounds();
+  ASSERT_FALSE(Bounds.empty());
+  EXPECT_EQ(Bounds.front(), 1u);
+  EXPECT_EQ(Bounds.back(), uint64_t(1) << 20);
+  for (size_t I = 1; I < Bounds.size(); ++I)
+    EXPECT_EQ(Bounds[I], Bounds[I - 1] * 2);
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint round trip and corruption diagnostics
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+EngineCheckpoint sampleCheckpoint() {
+  EngineCheckpoint Ckpt;
+  Ckpt.Version = EngineCheckpointVersion;
+  Ckpt.PlanHash = 0xDEADBEEFCAFE1234ULL;
+  Ckpt.Shard = 1;
+  Ckpt.NumShards = 3;
+  Ckpt.Cursor = 17;
+  Ckpt.Completed = 15;
+  Ckpt.ReserveCursors[2] = 4;
+  telemetry::MetricsRegistry Registry;
+  Registry.counter("fault.injections").inc(15);
+  Registry.histogram("fault.latency.cat_D", {1, 2, 4}).observe(3);
+  Ckpt.Registry = Registry.snapshot();
+  return Ckpt;
+}
+
+} // namespace
+
+TEST(CampaignEngineCheckpointTest, RoundTripPreservesEveryField) {
+  std::string Path = tempPath("roundtrip.ckpt");
+  EngineCheckpoint Ckpt = sampleCheckpoint();
+  std::string Error;
+  ASSERT_TRUE(CampaignEngine::writeCheckpoint(Path, Ckpt, Error)) << Error;
+  // The temp file must not survive a successful rename.
+  EXPECT_FALSE(std::ifstream(Path + ".tmp").is_open());
+
+  EngineCheckpoint Loaded;
+  ASSERT_EQ(CampaignEngine::loadCheckpoint(Path, Loaded, Error),
+            CampaignEngine::LoadStatus::Ok)
+      << Error;
+  EXPECT_EQ(Loaded.Version, Ckpt.Version);
+  EXPECT_EQ(Loaded.PlanHash, Ckpt.PlanHash);
+  EXPECT_EQ(Loaded.Shard, Ckpt.Shard);
+  EXPECT_EQ(Loaded.NumShards, Ckpt.NumShards);
+  EXPECT_EQ(Loaded.Cursor, Ckpt.Cursor);
+  EXPECT_EQ(Loaded.Completed, Ckpt.Completed);
+  EXPECT_EQ(Loaded.ReserveCursors, Ckpt.ReserveCursors);
+  EXPECT_EQ(Loaded.Registry, Ckpt.Registry);
+  std::remove(Path.c_str());
+}
+
+TEST(CampaignEngineCheckpointTest, MissingFileIsAFreshCampaign) {
+  EngineCheckpoint Out;
+  std::string Error;
+  EXPECT_EQ(CampaignEngine::loadCheckpoint(tempPath("nonexistent.ckpt"), Out,
+                                           Error),
+            CampaignEngine::LoadStatus::Missing);
+}
+
+TEST(CampaignEngineCheckpointTest, TruncatedCheckpointIsRejected) {
+  std::string Path = tempPath("truncated.ckpt");
+  std::string Error;
+  ASSERT_TRUE(
+      CampaignEngine::writeCheckpoint(Path, sampleCheckpoint(), Error));
+  std::string Full = readFile(Path);
+  writeFile(Path, Full.substr(0, Full.size() / 2));
+
+  EngineCheckpoint Out;
+  EXPECT_EQ(CampaignEngine::loadCheckpoint(Path, Out, Error),
+            CampaignEngine::LoadStatus::Corrupt);
+  EXPECT_NE(Error.find("truncated or not valid JSON"), std::string::npos)
+      << Error;
+  std::remove(Path.c_str());
+}
+
+TEST(CampaignEngineCheckpointTest, GarbageAndWrongKindAreRejected) {
+  std::string Path = tempPath("garbage.ckpt");
+  std::string Error;
+  EngineCheckpoint Out;
+
+  writeFile(Path, "not json at all");
+  EXPECT_EQ(CampaignEngine::loadCheckpoint(Path, Out, Error),
+            CampaignEngine::LoadStatus::Corrupt);
+
+  writeFile(Path, "{\"kind\":\"something-else\"}");
+  EXPECT_EQ(CampaignEngine::loadCheckpoint(Path, Out, Error),
+            CampaignEngine::LoadStatus::Corrupt);
+  EXPECT_NE(Error.find("not a campaign checkpoint"), std::string::npos)
+      << Error;
+  std::remove(Path.c_str());
+}
+
+TEST(CampaignEngineCheckpointTest, FutureVersionIsRejected) {
+  std::string Path = tempPath("version.ckpt");
+  EngineCheckpoint Ckpt = sampleCheckpoint();
+  Ckpt.Version = EngineCheckpointVersion + 7;
+  std::string Error;
+  ASSERT_TRUE(CampaignEngine::writeCheckpoint(Path, Ckpt, Error));
+
+  EngineCheckpoint Out;
+  EXPECT_EQ(CampaignEngine::loadCheckpoint(Path, Out, Error),
+            CampaignEngine::LoadStatus::Corrupt);
+  EXPECT_NE(Error.find("version"), std::string::npos) << Error;
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Resume determinism
+//===----------------------------------------------------------------------===//
+
+TEST(CampaignEngineTest, InterruptedResumeMatchesUninterruptedRun) {
+  AsmProgram Program = makeProgram();
+  DbtConfig Config = makeDbtConfig();
+  // Property over seeds and cut points: a run stopped after any batch
+  // and resumed must finish byte-identical to the uninterrupted run.
+  for (uint64_t Seed : {101u, 202u, 303u}) {
+    EngineConfig Base = makeEngine(Seed, 40, 8);
+    EngineReport Reference = CampaignEngine(Program, Config, Base).run();
+    for (uint64_t Cut : {1u, 3u}) {
+      std::string Path =
+          tempPath("resume_" + std::to_string(Seed) + "_" +
+                   std::to_string(Cut) + ".ckpt");
+      EngineConfig Interrupted = Base;
+      Interrupted.CheckpointFile = Path;
+      Interrupted.MaxBatches = Cut;
+      EngineReport Partial =
+          CampaignEngine(Program, Config, Interrupted).run();
+      EXPECT_FALSE(Partial.Finished);
+      EXPECT_EQ(Partial.Completed, Cut * 8);
+
+      EngineConfig Resume = Base;
+      Resume.CheckpointFile = Path;
+      EngineReport Resumed = CampaignEngine(Program, Config, Resume).run();
+      EXPECT_TRUE(Resumed.Resumed);
+      EXPECT_TRUE(Resumed.Finished);
+      EXPECT_EQ(Resumed.Completed, Reference.Completed);
+      EXPECT_EQ(Resumed.Registry, Reference.Registry)
+          << "seed " << Seed << " cut " << Cut;
+      EXPECT_EQ(Resumed.Registry.toJson(), Reference.Registry.toJson());
+      std::remove(Path.c_str());
+    }
+  }
+}
+
+TEST(CampaignEngineTortureTest, SigkillMidCampaignResumesIdentically) {
+  AsmProgram Program = makeProgram();
+  DbtConfig Config = makeDbtConfig();
+  EngineConfig Base = makeEngine(707, 48, 4);
+  EngineReport Reference = CampaignEngine(Program, Config, Base).run();
+
+  std::string Path = tempPath("torture.ckpt");
+  int Pipe[2];
+  ASSERT_EQ(pipe(Pipe), 0);
+  pid_t Child = fork();
+  ASSERT_GE(Child, 0);
+  if (Child == 0) {
+    close(Pipe[0]);
+    EngineConfig Victim = Base;
+    Victim.CheckpointFile = Path;
+    Victim.OnCheckpoint = [&](uint64_t) {
+      char Byte = 'c';
+      ssize_t Unused = write(Pipe[1], &Byte, 1);
+      (void)Unused;
+      // Widen the window so the parent's SIGKILL lands mid-campaign —
+      // anywhere, including during a later checkpoint write.
+      usleep(20000);
+    };
+    CampaignEngine(Program, Config, Victim).run();
+    _exit(0);
+  }
+  close(Pipe[1]);
+  char Byte;
+  ASSERT_EQ(read(Pipe[0], &Byte, 1), 1); // >= 1 checkpoint is on disk
+  ASSERT_EQ(kill(Child, SIGKILL), 0);
+  int Status = 0;
+  ASSERT_EQ(waitpid(Child, &Status, 0), Child);
+  close(Pipe[0]);
+
+  // Atomic write + rename: whenever the kill landed, the file must load
+  // as a structurally valid checkpoint — never a torn one.
+  EngineCheckpoint Ckpt;
+  std::string Error;
+  ASSERT_EQ(CampaignEngine::loadCheckpoint(Path, Ckpt, Error),
+            CampaignEngine::LoadStatus::Ok)
+      << Error;
+  EXPECT_LE(Ckpt.Cursor, 48u);
+
+  EngineConfig Resume = Base;
+  Resume.CheckpointFile = Path;
+  EngineReport Resumed = CampaignEngine(Program, Config, Resume).run();
+  EXPECT_TRUE(Resumed.Finished);
+  EXPECT_EQ(Resumed.Completed, Reference.Completed);
+  EXPECT_EQ(Resumed.Registry, Reference.Registry);
+  EXPECT_EQ(Resumed.Registry.toJson(), Reference.Registry.toJson());
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Fatal misuse (death tests)
+//===----------------------------------------------------------------------===//
+
+TEST(CampaignEngineDeathTest, ForeignCheckpointIsRefused) {
+  AsmProgram Program = makeProgram();
+  DbtConfig Config = makeDbtConfig();
+  std::string Path = tempPath("foreign.ckpt");
+  EngineConfig First = makeEngine(101, 40, 8);
+  First.CheckpointFile = Path;
+  First.MaxBatches = 1;
+  CampaignEngine(Program, Config, First).run();
+
+  EngineConfig Other = First;
+  Other.Seed = 999; // Different plan, same checkpoint file.
+  EXPECT_DEATH(CampaignEngine(Program, Config, Other).run(),
+               "belongs to a different campaign");
+  std::remove(Path.c_str());
+}
+
+TEST(CampaignEngineDeathTest, CorruptCheckpointIsFatalWithDiagnostic) {
+  AsmProgram Program = makeProgram();
+  std::string Path = tempPath("fatal.ckpt");
+  writeFile(Path, "{\"kind\":\"cfed-campaign-checkpoint\",\"vers");
+  EngineConfig Engine = makeEngine(101, 40, 8);
+  Engine.CheckpointFile = Path;
+  EXPECT_DEATH(CampaignEngine(Program, makeDbtConfig(), Engine).run(),
+               "delete the file to restart the campaign");
+  std::remove(Path.c_str());
+}
+
+TEST(CampaignEngineDeathTest, EarlyStoppingCannotBeSharded) {
+  AsmProgram Program = makeProgram();
+  EngineConfig Engine = makeEngine(101, 40, 8);
+  Engine.NumShards = 2;
+  Engine.StopHalfWidth = 0.1;
+  EXPECT_DEATH(CampaignEngine(Program, makeDbtConfig(), Engine),
+               "early stopping cannot be combined with sharding");
+}
+
+TEST(CampaignEngineDeathTest, InvalidShardSpecIsRefused) {
+  AsmProgram Program = makeProgram();
+  EngineConfig Engine = makeEngine(101, 40, 8);
+  Engine.ShardIndex = 2;
+  Engine.NumShards = 2;
+  EXPECT_DEATH(CampaignEngine(Program, makeDbtConfig(), Engine),
+               "invalid shard spec");
+}
+
+//===----------------------------------------------------------------------===//
+// Sharding and merging
+//===----------------------------------------------------------------------===//
+
+TEST(CampaignEngineTest, ShardMergeReproducesUnshardedRun) {
+  AsmProgram Program = makeProgram();
+  DbtConfig Config = makeDbtConfig();
+  EngineConfig Base = makeEngine(404, 40, 8);
+  EngineReport Reference = CampaignEngine(Program, Config, Base).run();
+
+  // Shards run with different job counts: the merge must be invariant
+  // to both the shard split and each shard's parallelism.
+  std::vector<ShardResult> Shards;
+  for (unsigned Shard = 0; Shard < 2; ++Shard) {
+    EngineConfig Sharded = Base;
+    Sharded.ShardIndex = Shard;
+    Sharded.NumShards = 2;
+    Sharded.Jobs = Shard ? 3 : 1;
+    EngineReport Part = CampaignEngine(Program, Config, Sharded).run();
+    std::string Json = CampaignEngine::resultToJson(Part, Sharded);
+    ShardResult Parsed;
+    std::string Error;
+    ASSERT_TRUE(CampaignEngine::parseShardResult(Json, Parsed, Error))
+        << Error;
+    EXPECT_EQ(Parsed.Shard, Shard);
+    EXPECT_EQ(Parsed.Completed, Part.Completed);
+    Shards.push_back(std::move(Parsed));
+  }
+
+  ShardResult Merged;
+  std::string Error;
+  ASSERT_TRUE(CampaignEngine::mergeShards(Shards, Merged, Error)) << Error;
+  EXPECT_EQ(Merged.Completed, Reference.Completed);
+  EXPECT_EQ(Merged.Registry, Reference.Registry);
+  EXPECT_EQ(Merged.Registry.toJson(), Reference.Registry.toJson());
+}
+
+TEST(CampaignEngineTest, MergeRejectsDuplicateAndMismatchedShards) {
+  ShardResult A;
+  A.Shard = 0;
+  A.NumShards = 2;
+  A.Seed = 7;
+  ShardResult B = A;
+  std::string Error;
+  ShardResult Out;
+  // Duplicate shard index.
+  EXPECT_FALSE(CampaignEngine::mergeShards({A, B}, Out, Error));
+  EXPECT_FALSE(Error.empty());
+  // Mismatched seed.
+  B.Shard = 1;
+  B.Seed = 8;
+  EXPECT_FALSE(CampaignEngine::mergeShards({A, B}, Out, Error));
+  // A valid pair merges.
+  B.Seed = 7;
+  EXPECT_TRUE(CampaignEngine::mergeShards({A, B}, Out, Error)) << Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Early stopping
+//===----------------------------------------------------------------------===//
+
+TEST(CampaignEngineTest, EarlyStoppingAccountsSkippedSlots) {
+  AsmProgram Program = makeProgram();
+  DbtConfig Config = makeDbtConfig();
+  EngineConfig Stopping = makeEngine(505, 160, 16);
+  Stopping.StopHalfWidth = 0.12;
+  EngineReport Report = CampaignEngine(Program, Config, Stopping).run();
+  EXPECT_TRUE(Report.Finished);
+
+  uint64_t StoppedCells = 0, SkippedCounters = 0;
+  for (const CellReport &Cell : Report.Cells) {
+    if (!Cell.Stopped)
+      continue;
+    ++StoppedCells;
+    // A closed cell must actually have reached the requested precision.
+    EXPECT_LE(Cell.Interval.halfWidth(), Stopping.StopHalfWidth);
+    EXPECT_GT(Cell.Counts.total(), 0u);
+  }
+  for (const auto &Entry : Report.Registry.Counters)
+    if (Entry.first.rfind("fault.engine.skipped.", 0) == 0)
+      SkippedCounters += Entry.second;
+  // This seed/width closes at least one cell, and every skipped slot is
+  // visible in the telemetry — no silent truncation.
+  ASSERT_GT(StoppedCells, 0u);
+  EXPECT_GT(Report.Skipped, 0u);
+  EXPECT_EQ(SkippedCounters, Report.Skipped);
+  EXPECT_EQ(Report.Registry.counterOr("fault.injections"),
+            Report.Completed);
+}
+
+TEST(CampaignEngineTest, StoppedCellIntervalsCoverTheLongRunRate) {
+  AsmProgram Program = makeProgram();
+  DbtConfig Config = makeDbtConfig();
+  // Reference: the same plan run to a 3x larger budget with no
+  // stopping — its per-cell SDC rate stands in for the true rate.
+  EngineConfig Long = makeEngine(505, 480, 32);
+  EngineReport Truth = CampaignEngine(Program, Config, Long).run();
+
+  EngineConfig Stopping = makeEngine(505, 160, 16);
+  Stopping.StopHalfWidth = 0.12;
+  EngineReport Report = CampaignEngine(Program, Config, Stopping).run();
+
+  for (const CellReport &Cell : Report.Cells) {
+    if (!Cell.Stopped)
+      continue;
+    const OutcomeCounts &Ref =
+        Truth.Result.of(Cell.Category);
+    if (Ref.total() < 30)
+      continue; // Too few reference samples to call it the true rate.
+    double TrueRate = double(Ref.Sdc) / double(Ref.total());
+    EXPECT_TRUE(Cell.Interval.contains(TrueRate))
+        << "cat " << getCategoryName(Cell.Category)
+        << ": stopped interval [" << Cell.Interval.Low << ", "
+        << Cell.Interval.High << "] excludes long-run rate " << TrueRate;
+  }
+}
+
+TEST(CampaignEngineTest, WilsonIntervalCoversTrueRateAtNominalLevel) {
+  // Direct coverage property of the stopping rule's interval: simulate
+  // Bernoulli(P) samples at the trial counts early stopping decides on
+  // and count how often the 95% interval misses P. Deterministic seeds;
+  // the expected miss rate is 5%, so 200 trials allow a wide margin.
+  for (double P : {0.1, 0.35, 0.7}) {
+    unsigned Misses = 0;
+    const unsigned Trials = 200, Draws = 150;
+    for (unsigned T = 0; T < Trials; ++T) {
+      Prng Rng(9000 + T);
+      uint64_t Successes = 0;
+      for (unsigned D = 0; D < Draws; ++D)
+        if (Rng.nextBelow(1000) < uint64_t(P * 1000))
+          ++Successes;
+      if (!wilsonInterval(Successes, Draws, 1.96).contains(P))
+        ++Misses;
+    }
+    EXPECT_LE(Misses, Trials / 10)
+        << "P=" << P << ": " << Misses << "/" << Trials
+        << " intervals missed the true rate";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Result files
+//===----------------------------------------------------------------------===//
+
+TEST(CampaignEngineTest, ResultFileRoundTrips) {
+  AsmProgram Program = makeProgram();
+  EngineConfig Engine = makeEngine(606, 24, 8);
+  EngineReport Report =
+      CampaignEngine(Program, makeDbtConfig(), Engine).run();
+  std::string Json = CampaignEngine::resultToJson(Report, Engine);
+
+  ShardResult Parsed;
+  std::string Error;
+  ASSERT_TRUE(CampaignEngine::parseShardResult(Json, Parsed, Error))
+      << Error;
+  EXPECT_EQ(Parsed.Shard, 0u);
+  EXPECT_EQ(Parsed.NumShards, 1u);
+  EXPECT_EQ(Parsed.Seed, 606u);
+  EXPECT_EQ(Parsed.Completed, Report.Completed);
+  EXPECT_EQ(Parsed.Skipped, Report.Skipped);
+  EXPECT_TRUE(Parsed.Finished);
+  EXPECT_EQ(Parsed.Registry, Report.Registry);
+
+  EXPECT_FALSE(CampaignEngine::parseShardResult("[]", Parsed, Error));
+  EXPECT_FALSE(
+      CampaignEngine::parseShardResult("{\"kind\":\"x\"}", Parsed, Error));
+}

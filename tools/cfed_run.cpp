@@ -37,6 +37,26 @@
 //                        needs --recover)
 //   --inject=<n>         run an n-fault injection campaign instead of a
 //                        plain run
+//   --campaign=<n>       run an n-fault campaign through the campaign
+//                        engine: batched, checkpointed, resumable
+//   --campaign-checkpoint=<file>
+//                        checkpoint file; an existing one resumes the
+//                        campaign where it stopped
+//   --campaign-interval=<n>
+//                        injections per checkpoint batch (default 64)
+//   --campaign-shard=<k/n>
+//                        run shard k of n (0-based): this process takes
+//                        every n-th planned fault starting at k
+//   --campaign-out=<file> write the machine-readable campaign result
+//                        (merge shard files with `cfed-stat merge`)
+//   --campaign-stop-ci=<w>
+//                        early stopping: close a category cell once the
+//                        95% Wilson interval on its SDC rate is tighter
+//                        than half-width w (incompatible with sharding)
+//   --fault-model=<m>    single|multi|burst mask shape for planned
+//                        faults (default single; applies to --inject
+//                        and --campaign)
+//   --jobs=<n>           injection thread count (default 1)
 //   --seed=<n>           campaign seed (default 1)
 //   --disasm             print the guest disassembly and exit
 //   --dump-cfg           print the guest CFG as Graphviz DOT and exit
@@ -60,6 +80,7 @@
 #include "cfg/Cfg.h"
 #include "dbt/Dbt.h"
 #include "fault/Campaign.h"
+#include "fault/CampaignEngine.h"
 #include "isa/Disasm.h"
 #include "recovery/Recovery.h"
 #include "support/CliArgs.h"
@@ -97,6 +118,15 @@ struct Options {
   RecoveryConfig Recovery;
   uint64_t Injections = 0;
   uint64_t Seed = 1;
+  uint64_t CampaignInjections = 0;
+  std::string CampaignCheckpoint;
+  uint64_t CampaignInterval = 64;
+  unsigned ShardIndex = 0;
+  unsigned NumShards = 1;
+  std::string CampaignOut;
+  double StopHalfWidth = 0.0;
+  FaultModel Model = FaultModel::SingleBit;
+  uint64_t Jobs = 1;
   bool Disasm = false;
   bool DumpCfg = false;
   bool DumpCache = false;
@@ -121,6 +151,12 @@ int usage() {
                "[--ckpt-interval=N]\n"
                "                [--inject=N] [--seed=N] "
                "[--disasm] [--dump-cfg]\n"
+               "                [--campaign=N] "
+               "[--campaign-checkpoint=FILE] [--campaign-interval=N]\n"
+               "                [--campaign-shard=K/N] "
+               "[--campaign-out=FILE] [--campaign-stop-ci=W]\n"
+               "                [--fault-model=single|multi|burst] "
+               "[--jobs=N]\n"
                "                [--dump-cache] [--stats[=json|csv]] "
                "[--trace=FILE] [--trace-buffer=N]\n"
                "                [--profile-blocks[=N]] "
@@ -250,6 +286,40 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
     } else if (F.Name == "--inject") {
       if (!Uint(Opts.Injections, "<count>"))
         return false;
+    } else if (F.Name == "--campaign") {
+      if (!Uint(Opts.CampaignInjections, "<count>"))
+        return false;
+    } else if (F.Name == "--campaign-checkpoint") {
+      if (!F.HasValue || F.Value.empty())
+        return cli::badValue(F.Name, "<file>", F.Value);
+      Opts.CampaignCheckpoint = F.Value;
+    } else if (F.Name == "--campaign-interval") {
+      if (!Uint(Opts.CampaignInterval, "<count>") ||
+          Opts.CampaignInterval == 0)
+        return cli::badValue(F.Name, "<count >= 1>", F.Value);
+    } else if (F.Name == "--campaign-shard") {
+      uint64_t K = 0, N = 0;
+      size_t Slash = F.Value.find('/');
+      if (!F.HasValue || Slash == std::string::npos ||
+          !cli::parseUint(F.Value.substr(0, Slash), K) ||
+          !cli::parseUint(F.Value.substr(Slash + 1), N) || N == 0 || K >= N)
+        return cli::badValue(F.Name, "<k/n with 0 <= k < n>", F.Value);
+      Opts.ShardIndex = static_cast<unsigned>(K);
+      Opts.NumShards = static_cast<unsigned>(N);
+    } else if (F.Name == "--campaign-out") {
+      if (!F.HasValue || F.Value.empty())
+        return cli::badValue(F.Name, "<file>", F.Value);
+      Opts.CampaignOut = F.Value;
+    } else if (F.Name == "--campaign-stop-ci") {
+      if (!F.HasValue || !cli::parseDouble(F.Value, Opts.StopHalfWidth) ||
+          Opts.StopHalfWidth <= 0.0 || Opts.StopHalfWidth >= 0.5)
+        return cli::badValue(F.Name, "<half-width in (0, 0.5)>", F.Value);
+    } else if (F.Name == "--fault-model") {
+      if (!F.HasValue || !parseFaultModel(F.Value, Opts.Model))
+        return cli::badValue(F.Name, "single|multi|burst", F.Value);
+    } else if (F.Name == "--jobs") {
+      if (!Uint(Opts.Jobs, "<count>") || Opts.Jobs == 0)
+        return cli::badValue(F.Name, "<count >= 1>", F.Value);
     } else if (F.Name == "--seed") {
       if (!Uint(Opts.Seed, "<seed>"))
         return false;
@@ -411,8 +481,8 @@ int runCampaign(const AsmProgram &Program, const Options &Opts,
               (unsigned long long)Campaign.goldenHash());
   if (Opts.Recover) {
     OutcomeCounts Totals;
-    auto Faults =
-        Campaign.plan(Opts.Injections * 4, Opts.Seed, SiteClass::Any);
+    auto Faults = Campaign.plan(Opts.Injections * 4, Opts.Seed,
+                                SiteClass::Any, Opts.Model);
     uint64_t Done = 0;
     uint64_t Ckpts = 0, Rollbacks = 0, Watchdogs = 0;
     for (const PlannedFault &Fault : Faults) {
@@ -462,8 +532,8 @@ int runCampaign(const AsmProgram &Program, const Options &Opts,
   }
   OutcomeCounts Totals;
   uint64_t LatencySum = 0;
-  auto Faults =
-      Campaign.plan(Opts.Injections * 4, Opts.Seed, SiteClass::Any);
+  auto Faults = Campaign.plan(Opts.Injections * 4, Opts.Seed,
+                              SiteClass::Any, Opts.Model);
   uint64_t Done = 0;
   for (const PlannedFault &Fault : Faults) {
     if (Fault.Category == BranchErrorCategory::NoError)
@@ -502,6 +572,86 @@ int runCampaign(const AsmProgram &Program, const Options &Opts,
                 Recorder->dir().c_str());
   emitStats(Opts, Registry);
   writeTrace(Opts, Tracer);
+  return 0;
+}
+
+/// The --campaign path: batched, checkpointed, optionally sharded and
+/// self-stopping injection through the campaign engine.
+int runEngine(const AsmProgram &Program, const Options &Opts,
+              telemetry::MetricsRegistry &Registry) {
+  EngineConfig Engine;
+  Engine.NumInjections = Opts.CampaignInjections;
+  Engine.Seed = Opts.Seed;
+  Engine.Sites = SiteClass::Any;
+  Engine.Model = Opts.Model;
+  Engine.MaxInsns = Opts.MaxInsns;
+  Engine.Jobs = static_cast<unsigned>(Opts.Jobs);
+  Engine.CheckpointInterval = Opts.CampaignInterval;
+  Engine.CheckpointFile = Opts.CampaignCheckpoint;
+  Engine.ShardIndex = Opts.ShardIndex;
+  Engine.NumShards = Opts.NumShards;
+  Engine.StopHalfWidth = Opts.StopHalfWidth;
+
+  CampaignEngine Runner(Program, Opts.Config, Engine);
+  EngineReport Report = Runner.run();
+
+  Table T;
+  T.setHeader({"cell", "inj", "det-sig", "det-hw", "masked", "SDC",
+               "timeout", "SDC rate", "95% CI", "lat p50", "lat p90",
+               "skip", "realloc"});
+  for (const CellReport &Cell : Report.Cells) {
+    if (Cell.Counts.total() == 0 && Cell.Skipped == 0)
+      continue;
+    const telemetry::RegistrySnapshot::HistogramValue *Lat = nullptr;
+    std::string LatName = CampaignEngine::getLatencyHistogramName(
+        Cell.Category);
+    for (const auto &[Name, H] : Report.Registry.Histograms)
+      if (Name == LatName)
+        Lat = &H;
+    std::string Name = getCategoryName(Cell.Category);
+    if (Cell.Stopped)
+      Name += " (stopped)";
+    T.addRow({Name, std::to_string(Cell.Counts.total()),
+              std::to_string(Cell.Counts.DetectedSig),
+              std::to_string(Cell.Counts.DetectedHw),
+              std::to_string(Cell.Counts.Masked),
+              std::to_string(Cell.Counts.Sdc),
+              std::to_string(Cell.Counts.Timeout),
+              formatString("%.3f", Cell.SdcRate),
+              formatString("[%.3f, %.3f]", Cell.Interval.Low,
+                           Cell.Interval.High),
+              Lat ? std::to_string(Lat->quantile(0.5)) : "-",
+              Lat ? std::to_string(Lat->quantile(0.9)) : "-",
+              std::to_string(Cell.Skipped),
+              std::to_string(Cell.Reallocated)});
+  }
+  std::printf("%s", T.render().c_str());
+  std::printf("campaign: completed=%llu planned=%llu skipped=%llu "
+              "shard=%u/%u%s%s\n",
+              (unsigned long long)Report.Completed,
+              (unsigned long long)Report.Planned,
+              (unsigned long long)Report.Skipped, Opts.ShardIndex,
+              Opts.NumShards, Report.Resumed ? " resumed" : "",
+              Report.Finished ? "" : " (interrupted)");
+
+  if (!Opts.CampaignOut.empty()) {
+    std::ofstream Out(Opts.CampaignOut);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write campaign result '%s'\n",
+                   Opts.CampaignOut.c_str());
+      return 1;
+    }
+    Out << CampaignEngine::resultToJson(Report, Engine) << '\n';
+    reportNotef("campaign result written to %s", Opts.CampaignOut.c_str());
+  }
+
+  // Fold the engine's cumulative instruments into the global registry
+  // so --stats reports them alongside everything else.
+  Registry.merge(Report.Registry);
+  for (const CellReport &Cell : Report.Cells)
+    countDetection(Registry, Cell.Category,
+                   Cell.Counts.DetectedSig + Cell.Counts.DetectedHw);
+  emitStats(Opts, Registry);
   return 0;
 }
 
@@ -546,6 +696,8 @@ int main(int Argc, char **Argv) {
   if (!Opts.TraceFile.empty())
     Tracer = std::make_unique<telemetry::EventTracer>(Opts.TraceBuffer);
 
+  if (Opts.CampaignInjections > 0)
+    return runEngine(Program, Opts, Registry);
   if (Opts.Injections > 0)
     return runCampaign(Program, Opts, Registry, Tracer.get());
 

@@ -21,16 +21,26 @@
 ///                                        regressing by more than P percent
 ///                                        (default 10) — the CI gate used
 ///                                        by tools/check_bench_regression.sh
+///   cfed-stat merge FILE... [-o OUT]     fold campaign shard result files
+///                                        (cfed-run --campaign-out) into one
+///                                        report identical to the unsharded
+///                                        campaign's
+///   cfed-stat latency FILE               detection-latency table from the
+///                                        fault.latency.* histograms of a
+///                                        campaign result or registry
+///                                        snapshot
 ///
-/// Everything here is read-only over JSON files; the tool links only the
-/// support library and the shared mini JSON reader.
+/// Everything here is read-only over JSON files plus the campaign
+/// result/merge helpers of the fault library.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "fault/CampaignEngine.h"
 #include "support/CliArgs.h"
 #include "support/Format.h"
 #include "support/Json.h"
 #include "support/Table.h"
+#include "telemetry/Metrics.h"
 
 #include <algorithm>
 #include <cmath>
@@ -59,7 +69,12 @@ void usage() {
       "  postmortem FILE                 render a flight-recorder bundle\n"
       "  bench-diff A B [--threshold P]  compare BENCH_perf.json files; exit\n"
       "                                  1 if any metric regresses by more\n"
-      "                                  than P%% (default 10)\n");
+      "                                  than P%% (default 10)\n"
+      "  merge FILE... [-o OUT]          fold campaign shard result files\n"
+      "                                  into one report (equal to the\n"
+      "                                  unsharded campaign's)\n"
+      "  latency FILE                    detection-latency table from the\n"
+      "                                  fault.latency.* histograms\n");
 }
 
 bool readFile(const std::string &Path, std::string &Out) {
@@ -479,6 +494,179 @@ int cmdBenchDiff(int Argc, char **Argv) {
   return 0;
 }
 
+//===----------------------------------------------------------------------===//
+// merge
+//===----------------------------------------------------------------------===//
+
+std::string mergedToJson(const ShardResult &Merged, size_t NumFiles) {
+  std::string Out = "{\"kind\":\"cfed-campaign-merged\",\"version\":1";
+  Out += ",\"shard\":0";
+  Out += ",\"num_shards\":" + std::to_string(Merged.NumShards);
+  Out += ",\"shards_merged\":" + std::to_string(NumFiles);
+  Out += ",\"seed\":" + std::to_string(Merged.Seed);
+  Out += ",\"completed\":" + std::to_string(Merged.Completed);
+  Out += ",\"skipped\":" + std::to_string(Merged.Skipped);
+  Out += ",\"finished\":";
+  Out += Merged.Finished ? "true" : "false";
+  Out += ",\"registry\":";
+  Out += Merged.Registry.toJson();
+  Out += '}';
+  return Out;
+}
+
+int cmdMerge(int Argc, char **Argv) {
+  std::vector<std::string> Paths;
+  std::string OutPath;
+  for (int I = 0; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    cli::Flag F;
+    if (Arg == "-o") {
+      OutPath = I + 1 < Argc ? Argv[++I] : "";
+      if (OutPath.empty()) {
+        cli::badValue("-o", "<file>", OutPath);
+        usage();
+        return 2;
+      }
+    } else if (cli::splitFlag(Arg, F)) {
+      cli::unknownOption(F.Name);
+      usage();
+      return 2;
+    } else {
+      Paths.push_back(Arg);
+    }
+  }
+  if (Paths.empty()) {
+    std::fprintf(stderr, "error: merge needs at least one campaign result "
+                         "file\n");
+    usage();
+    return 2;
+  }
+
+  std::vector<ShardResult> Shards;
+  for (const std::string &Path : Paths) {
+    std::string Text, Error;
+    ShardResult Shard;
+    if (!readFile(Path, Text))
+      return 2;
+    if (!CampaignEngine::parseShardResult(Text, Shard, Error)) {
+      std::fprintf(stderr, "cfed-stat: '%s': %s\n", Path.c_str(),
+                   Error.c_str());
+      return 2;
+    }
+    Shards.push_back(std::move(Shard));
+  }
+  ShardResult Merged;
+  std::string Error;
+  if (!CampaignEngine::mergeShards(Shards, Merged, Error)) {
+    std::fprintf(stderr, "cfed-stat: %s\n", Error.c_str());
+    return 1;
+  }
+
+  CampaignResult Result = campaignResultFromSnapshot(Merged.Registry);
+  Table T;
+  T.setHeader({"cell", "inj", "det-sig", "det-hw", "masked", "SDC",
+               "timeout"});
+  for (unsigned C = 0; C < NumBranchErrorCategories; ++C) {
+    auto Cat = static_cast<BranchErrorCategory>(C);
+    const OutcomeCounts &Row = Result.of(Cat);
+    if (Row.total() == 0)
+      continue;
+    T.addRow({getCategoryName(Cat), formatCount(Row.total()),
+              formatCount(Row.DetectedSig), formatCount(Row.DetectedHw),
+              formatCount(Row.Masked), formatCount(Row.Sdc),
+              formatCount(Row.Timeout)});
+  }
+  std::printf("%s", T.render().c_str());
+  OutcomeCounts Totals = Result.totals();
+  std::printf("merged %zu file(s) of a %u-shard campaign (seed %llu)%s\n",
+              Shards.size(), Merged.NumShards,
+              (unsigned long long)Merged.Seed,
+              Merged.Finished ? "" : " [contains interrupted shards]");
+  // One fixed-format line the CI shard-invariance gate string-compares.
+  std::printf("campaign-summary: injections=%llu detected_sig=%llu "
+              "detected_hw=%llu masked=%llu sdc=%llu timeout=%llu "
+              "skipped=%llu\n",
+              (unsigned long long)Result.Injections,
+              (unsigned long long)Totals.DetectedSig,
+              (unsigned long long)Totals.DetectedHw,
+              (unsigned long long)Totals.Masked,
+              (unsigned long long)Totals.Sdc,
+              (unsigned long long)Totals.Timeout,
+              (unsigned long long)Merged.Skipped);
+
+  if (!OutPath.empty()) {
+    std::FILE *Out = std::fopen(OutPath.c_str(), "w");
+    if (!Out) {
+      std::fprintf(stderr, "cfed-stat: cannot write '%s'\n", OutPath.c_str());
+      return 1;
+    }
+    std::string Json = mergedToJson(Merged, Shards.size());
+    std::fprintf(Out, "%s\n", Json.c_str());
+    std::fclose(Out);
+  }
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// latency
+//===----------------------------------------------------------------------===//
+
+int cmdLatency(int Argc, char **Argv) {
+  for (int I = 0; I < Argc; ++I) {
+    cli::Flag F;
+    if (cli::splitFlag(Argv[I], F)) {
+      cli::unknownOption(F.Name);
+      usage();
+      return 2;
+    }
+  }
+  if (Argc != 1) {
+    usage();
+    return 2;
+  }
+  JsonValue Root;
+  if (!parseFile(Argv[0], Root))
+    return 2;
+  const JsonValue &Reg = findRegistry(Root);
+  if (Reg.K != JsonValue::Object) {
+    std::fprintf(stderr, "cfed-stat: '%s' has no registry snapshot\n",
+                 Argv[0]);
+    return 2;
+  }
+  telemetry::RegistrySnapshot Snap;
+  std::string Error;
+  if (!telemetry::snapshotFromJson(Reg, Snap, Error)) {
+    std::fprintf(stderr, "cfed-stat: '%s': %s\n", Argv[0], Error.c_str());
+    return 2;
+  }
+
+  const std::string Prefix = "fault.latency.";
+  Table T;
+  T.setHeader({"histogram", "detections", "mean", "p50", "p90", "p99"});
+  size_t Shown = 0;
+  for (const auto &[Name, H] : Snap.Histograms) {
+    if (Name.compare(0, Prefix.size(), Prefix) != 0)
+      continue;
+    ++Shown;
+    T.addRow({Name, formatCount(static_cast<double>(H.Count)),
+              formatString("%.1f", H.mean()),
+              formatCount(static_cast<double>(H.quantile(0.5))),
+              formatCount(static_cast<double>(H.quantile(0.9))),
+              formatCount(static_cast<double>(H.quantile(0.99)))});
+  }
+  if (!Shown) {
+    std::fprintf(stderr, "cfed-stat: '%s' has no fault.latency.* "
+                         "histograms (was the campaign run through the "
+                         "engine or a latency-aware bench?)\n",
+                 Argv[0]);
+    return 1;
+  }
+  std::printf("%s", T.render().c_str());
+  std::printf("latency unit: dynamic instructions from fault firing to "
+              "detection; quantiles are bucket upper bounds\n");
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -495,6 +683,10 @@ int main(int Argc, char **Argv) {
     return cmdPostmortem(Argc - 2, Argv + 2);
   if (std::strcmp(Cmd, "bench-diff") == 0)
     return cmdBenchDiff(Argc - 2, Argv + 2);
+  if (std::strcmp(Cmd, "merge") == 0)
+    return cmdMerge(Argc - 2, Argv + 2);
+  if (std::strcmp(Cmd, "latency") == 0)
+    return cmdLatency(Argc - 2, Argv + 2);
   usage();
   return 2;
 }

@@ -37,9 +37,10 @@ THRESHOLD=${CFED_BENCH_THRESHOLD:-10}
 SCRUB_MAX=${CFED_SCRUB_OVERHEAD_MAX:-0.15}
 GEOMEAN_MAX=${CFED_GEOMEAN_MAX:-1.08}
 
-if [ ! -x "$BUILD/bench/micro_dbt" ] || [ ! -x "$BUILD/tools/cfed-stat" ]; then
-  echo "check_bench_regression: build '$BUILD' is missing bench/micro_dbt" \
-       "or tools/cfed-stat (build the project first)" >&2
+if [ ! -x "$BUILD/bench/micro_dbt" ] || [ ! -x "$BUILD/tools/cfed-stat" ] \
+   || [ ! -x "$BUILD/tools/cfed-run" ]; then
+  echo "check_bench_regression: build '$BUILD' is missing bench/micro_dbt," \
+       "tools/cfed-stat or tools/cfed-run (build the project first)" >&2
   exit 2
 fi
 if [ ! -f "$BASELINE" ]; then
@@ -48,7 +49,55 @@ if [ ! -f "$BASELINE" ]; then
 fi
 
 FRESH=$(mktemp)
-trap 'rm -f "$FRESH"' EXIT INT TERM
+CAMP=$(mktemp -d)
+trap 'rm -f "$FRESH"; rm -rf "$CAMP"' EXIT INT TERM
+
+# --- Sharded-campaign smoke -------------------------------------------------
+# A 2-shard campaign engine run (different job counts per shard) merged by
+# `cfed-stat merge` must reproduce the unsharded reference exactly: the
+# merged campaign-summary line is compared verbatim. Catches any drift in
+# the deterministic plan partitioning or the shard-result fold.
+cat > "$CAMP/smoke.s" <<'EOF'
+main:
+movi r5, 5
+outer:
+movi r1, 12
+inner:
+addi r1, r1, -1
+jcc ne, inner
+addi r5, r5, -1
+jcc ne, outer
+movi r2, 1
+cmpi r2, 2
+jcc eq, dead
+halt
+dead:
+movi r3, 9
+halt
+EOF
+
+"$BUILD/tools/cfed-run" --tech=edgcf --campaign=40 --seed=7 --jobs=2 \
+  --campaign-out="$CAMP/ref.json" "$CAMP/smoke.s" >/dev/null
+for K in 0 1; do
+  "$BUILD/tools/cfed-run" --tech=edgcf --campaign=40 --seed=7 \
+    --jobs=$((K + 1)) --campaign-shard=$K/2 \
+    --campaign-out="$CAMP/shard$K.json" "$CAMP/smoke.s" >/dev/null
+done
+REF_SUM=$("$BUILD/tools/cfed-stat" merge "$CAMP/ref.json" \
+          | grep '^campaign-summary:')
+MERGED_SUM=$("$BUILD/tools/cfed-stat" merge "$CAMP/shard0.json" \
+             "$CAMP/shard1.json" -o "$CAMP/merged.json" \
+             | grep '^campaign-summary:')
+if [ "$REF_SUM" != "$MERGED_SUM" ]; then
+  echo "check_bench_regression: sharded campaign merge diverged from the" \
+       "unsharded reference" >&2
+  echo "  unsharded: $REF_SUM" >&2
+  echo "  merged:    $MERGED_SUM" >&2
+  exit 1
+fi
+echo "sharded campaign merge matches unsharded reference"
+echo "  $MERGED_SUM"
+# ----------------------------------------------------------------------------
 
 # The fast deterministic subset; the publishing code derives hit rates and
 # the scrub overhead from its own reference runs, so the filter does not
