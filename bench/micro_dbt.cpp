@@ -13,6 +13,7 @@
 #include "dbt/Dbt.h"
 #include "fault/Campaign.h"
 #include "support/ThreadPool.h"
+#include "telemetry/LiveExport.h"
 #include "telemetry/Metrics.h"
 #include "telemetry/Profile.h"
 #include "telemetry/Trace.h"
@@ -23,6 +24,10 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <unistd.h>
 
 using namespace cfed;
 
@@ -33,6 +38,7 @@ double GPredecodeHitRate = 0.0;
 double GIbtcHitRate = 0.0;
 double GTelemetryOverhead = 0.0;
 double GScrubOverhead = 0.0;
+double GLiveExportOverhead = 0.0;
 
 /// The configurations the scrub-overhead comparison runs: the unchained
 /// dispatch loop (every block exit goes through the dispatcher, so the
@@ -54,6 +60,41 @@ DbtConfig scrubEnabledConfig() {
   Config.ScrubInterval = 1024;
   Config.VerifyDispatchInterval = 64;
   return Config;
+}
+
+/// One timed 181.mcf DBT run, optionally with a service live exporter
+/// publishing an atomic snapshot file every 5 ms alongside it. Shared by
+/// BM_LiveExportOverhead and the deterministic reference run in main().
+double timedLiveExportRun(const AsmProgram &Program, bool WithExporter) {
+  Memory Mem;
+  Interpreter Interp(Mem);
+  telemetry::MetricsRegistry Registry;
+  Dbt Translator(Mem, DbtConfig{}, &Registry);
+  if (!Translator.load(Program, Interp.state()))
+    return -1.0;
+  std::string Path = "/tmp/cfed_bench_live_" +
+                     std::to_string(::getpid()) + ".live.json";
+  std::unique_ptr<telemetry::LiveExporter> Exporter;
+  if (WithExporter) {
+    telemetry::LiveExporter::Config Cfg;
+    Cfg.Path = Path;
+    Cfg.RunId = "bench";
+    Cfg.IntervalMs = 5;
+    Exporter = std::make_unique<telemetry::LiveExporter>(
+        Cfg, [&Registry](telemetry::RegistrySnapshot &Snap,
+                         telemetry::Heartbeat &) {
+          Snap = Registry.snapshot();
+        });
+    Exporter->start();
+  }
+  auto Begin = std::chrono::steady_clock::now();
+  Translator.run(Interp, 1000000);
+  auto End = std::chrono::steady_clock::now();
+  if (Exporter)
+    Exporter->stop();
+  std::remove(Path.c_str());
+  benchmark::DoNotOptimize(Interp.cycleCount());
+  return std::chrono::duration<double>(End - Begin).count();
 }
 } // namespace
 
@@ -266,6 +307,34 @@ static void BM_ScrubOverhead(benchmark::State &State) {
 }
 BENCHMARK(BM_ScrubOverhead);
 
+/// Cost of an *active* live exporter — the service thread snapshotting
+/// the registry and atomically rewriting the snapshot file every 5 ms —
+/// over the same DBT run with no exporter. The hot path only pays for
+/// the relaxed counter increments it already does; the snapshot/format/
+/// write cycle rides the exporter thread. Reports the relative overhead;
+/// tools/check_bench_regression.sh gates it at CFED_EXPORT_OVERHEAD_MAX
+/// (default 0.15).
+static void BM_LiveExportOverhead(benchmark::State &State) {
+  AsmProgram Program = assembleWorkload("181.mcf");
+  double BestOff = -1.0, BestOn = -1.0;
+  for (auto _ : State) {
+    double Off = timedLiveExportRun(Program, false);
+    double On = timedLiveExportRun(Program, true);
+    if (Off < 0 || On < 0) {
+      State.SkipWithError("program failed to load under the DBT");
+      return;
+    }
+    if (BestOff < 0 || Off < BestOff)
+      BestOff = Off;
+    if (BestOn < 0 || On < BestOn)
+      BestOn = On;
+  }
+  GLiveExportOverhead = BestOff > 0 ? BestOn / BestOff - 1.0 : 0.0;
+  State.counters["live_export_overhead"] = GLiveExportOverhead;
+  State.SetItemsProcessed(int64_t(State.iterations()) * 2000000);
+}
+BENCHMARK(BM_LiveExportOverhead);
+
 static void BM_Translation(benchmark::State &State) {
   AsmProgram Program = assembleWorkload("176.gcc");
   for (auto _ : State) {
@@ -377,6 +446,25 @@ int main(int argc, char **argv) {
       }
       if (BestOff > 0 && BestOn > 0)
         Report.set("scrub_overhead", BestOn / BestOff - 1.0);
+    }
+    {
+      // Reference run 4: live-export overhead measured deterministically
+      // (best of three off/on pairs), independent of any
+      // --benchmark_filter that skips BM_LiveExportOverhead.
+      AsmProgram Program = assembleWorkload("181.mcf");
+      double BestOff = -1.0, BestOn = -1.0;
+      for (int I = 0; I < 3; ++I) {
+        double Off = timedLiveExportRun(Program, false);
+        double On = timedLiveExportRun(Program, true);
+        if (Off < 0 || On < 0)
+          break;
+        if (BestOff < 0 || Off < BestOff)
+          BestOff = Off;
+        if (BestOn < 0 || On < BestOn)
+          BestOn = On;
+      }
+      if (BestOff > 0 && BestOn > 0)
+        Report.set("live_export_overhead", BestOn / BestOff - 1.0);
     }
   }
   benchmark::Shutdown();

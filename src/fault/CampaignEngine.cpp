@@ -5,12 +5,16 @@
 #include "support/Diagnostics.h"
 #include "support/Json.h"
 #include "support/ThreadPool.h"
+#include "telemetry/LiveExport.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
+#include <unistd.h>
 
 using namespace cfed;
 
@@ -124,6 +128,78 @@ computeCells(const telemetry::RegistrySnapshot &Snap, double StopHalfWidth,
   return Cells;
 }
 
+/// Total early-stopping skips recorded in \p Snap.
+uint64_t totalSkipped(const telemetry::RegistrySnapshot &Snap) {
+  uint64_t Total = 0;
+  for (unsigned C = 0; C < NumBranchErrorCategories; ++C) {
+    auto Cat = static_cast<BranchErrorCategory>(C);
+    if (isCellCategory(Cat))
+      Total += Snap.counterOr(getSkipCounterName(Cat));
+  }
+  return Total;
+}
+
+/// Heartbeat for a live snapshot: this shard's progress, its own
+/// per-cell counts/intervals (\p OwnCells — so merging heartbeats
+/// across shards never double-counts), and the closure flags of the
+/// state the last stopping decision actually used (\p DecisionCells —
+/// the merged state in coordinated mode).
+telemetry::Heartbeat
+makeHeartbeat(const EngineConfig &Engine, uint64_t Cursor, uint64_t Planned,
+              uint64_t Completed, const telemetry::RegistrySnapshot &Own,
+              const std::array<CellState, NumBranchErrorCategories> &OwnCells,
+              const std::array<CellState, NumBranchErrorCategories>
+                  &DecisionCells) {
+  telemetry::Heartbeat Beat;
+  Beat.Present = true;
+  Beat.Shard = Engine.ShardIndex;
+  Beat.NumShards = Engine.NumShards;
+  Beat.Cursor = Cursor;
+  Beat.Planned = Planned;
+  Beat.Completed = Completed;
+  Beat.Skipped = totalSkipped(Own);
+  Beat.Rung = telemetry::recoveryRungFromSnapshot(Own);
+  for (unsigned C = 0; C < NumBranchErrorCategories; ++C) {
+    auto Cat = static_cast<BranchErrorCategory>(C);
+    if (!isCellCategory(Cat))
+      continue;
+    telemetry::HeartbeatCell Cell;
+    Cell.Name = getCategoryName(Cat);
+    Cell.Total = OwnCells[C].Counts.total();
+    Cell.Sdc = OwnCells[C].Counts.Sdc;
+    Cell.Low = OwnCells[C].Interval.Low;
+    Cell.High = OwnCells[C].Interval.High;
+    Cell.Closed = DecisionCells[C].Closed;
+    Beat.Cells.push_back(std::move(Cell));
+  }
+  return Beat;
+}
+
+/// Atomic live-snapshot write; failures are fatal like checkpoint
+/// failures (in coordinated mode siblings block on these files, so a
+/// silent skip would hang the campaign, not degrade it).
+void publishLiveFile(const std::string &Path, const std::string &RunId,
+                     uint64_t Seq,
+                     const telemetry::RegistrySnapshot &Registry,
+                     const telemetry::Heartbeat &Beat) {
+  telemetry::LiveSnapshot Snap;
+  Snap.RunId = RunId;
+  Snap.Pid = static_cast<uint64_t>(::getpid());
+  Snap.Seq = Seq;
+  Snap.WallMs = telemetry::wallClockMs();
+  Snap.Registry = Registry;
+  Snap.Beat = Beat;
+  std::string Error;
+  if (!telemetry::writeLiveSnapshot(Path, Snap, Error))
+    reportFatalErrorf("live export failed: %s", Error.c_str());
+}
+
+/// Run id stamped into live snapshots.
+std::string effectiveRunId(const EngineConfig &Engine) {
+  return Engine.RunId.empty() ? "campaign-" + std::to_string(Engine.Seed)
+                              : Engine.RunId;
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -140,6 +216,8 @@ std::string checkpointToJson(const EngineCheckpoint &Ckpt) {
   Out += ",\"num_shards\":" + std::to_string(Ckpt.NumShards);
   Out += ",\"cursor\":" + std::to_string(Ckpt.Cursor);
   Out += ",\"completed\":" + std::to_string(Ckpt.Completed);
+  Out += ",\"coordinated\":";
+  Out += Ckpt.Coordinated ? "true" : "false";
   Out += ",\"reserve_cursors\":[";
   for (unsigned C = 0; C < NumBranchErrorCategories; ++C) {
     if (C)
@@ -227,6 +305,9 @@ CampaignEngine::loadCheckpoint(const std::string &Path, EngineCheckpoint &Out,
   Out.NumShards = static_cast<unsigned>(Root["num_shards"].Num);
   Out.Cursor = static_cast<uint64_t>(Root["cursor"].Num);
   Out.Completed = static_cast<uint64_t>(Root["completed"].Num);
+  // Absent in pre-coordinator checkpoints, which were by definition
+  // uncoordinated.
+  Out.Coordinated = Root["coordinated"].B;
   for (unsigned C = 0; C < NumBranchErrorCategories; ++C)
     Out.ReserveCursors[C] = static_cast<uint64_t>(Reserve.Items[C].Num);
   std::string SnapError;
@@ -266,6 +347,16 @@ bool CampaignEngine::parseShardResult(const std::string &Text,
   json::JsonParser Parser(Text);
   if (!Parser.parse(Root) || Root.K != json::JsonValue::Object) {
     Error = "not valid JSON";
+    return false;
+  }
+  // Live-exporter snapshots are in-flight partial data: folding one into
+  // a merge would silently undercount the campaign. Refuse them before
+  // the kind check so the diagnostic names the actual mistake.
+  if (telemetry::isLiveSnapshotJson(Root)) {
+    Error = "this is a live telemetry snapshot (seq/heartbeat fields), "
+            "not a final campaign result; live files are in-flight "
+            "partial data — merge the --campaign-out files written when "
+            "the shards finish";
     return false;
   }
   std::string Kind = Root["kind"].Str;
@@ -347,12 +438,27 @@ CampaignEngine::CampaignEngine(const AsmProgram &Program, DbtConfig Config,
                       this->Engine.ShardIndex, this->Engine.NumShards);
   if (this->Engine.CheckpointInterval < 1)
     reportFatalError("campaign checkpoint interval must be at least 1");
-  if (this->Engine.StopHalfWidth > 0.0 && this->Engine.NumShards > 1)
+  if (this->Engine.StopHalfWidth > 0.0 && this->Engine.NumShards > 1 &&
+      this->Engine.CoordinatorDir.empty())
     reportFatalError(
         "early stopping cannot be combined with sharding: a shard only "
         "sees its own slice of each cell, so its Wilson intervals say "
-        "nothing about the campaign-wide SDC rate. Run the sharded "
-        "campaign without a stop width, or run early stopping unsharded.");
+        "nothing about the campaign-wide SDC rate. Pass "
+        "--campaign-coordinator=DIR so shards stop on merged cell "
+        "counts, run the sharded campaign without a stop width, or run "
+        "early stopping unsharded.");
+}
+
+std::string CampaignEngine::coordinatorBatchPath(const std::string &Dir,
+                                                 unsigned Shard,
+                                                 uint64_t Batch) {
+  return Dir + "/shard_" + std::to_string(Shard) + ".batch_" +
+         std::to_string(Batch) + ".json";
+}
+
+std::string CampaignEngine::coordinatorLivePath(const std::string &Dir,
+                                                unsigned Shard) {
+  return Dir + "/shard_" + std::to_string(Shard) + ".live.json";
 }
 
 EngineReport CampaignEngine::run() {
@@ -378,6 +484,11 @@ EngineReport CampaignEngine::run() {
       Reserve[static_cast<unsigned>(Fault.Category)].push_back(&Fault);
   }
   uint64_t PlanHash = hashPlan(Engine, Candidates);
+
+  // Coordinated mode iterates the *global* schedule in lockstep with
+  // its siblings; everything below here is the independent-shard path.
+  if (!Engine.CoordinatorDir.empty())
+    return runCoordinated(Campaign, Primary, Reserve, PlanHash);
 
   // This shard's deterministic slice of the primary schedule.
   std::vector<const PlannedFault *> ShardPlan;
@@ -417,6 +528,12 @@ EngineReport CampaignEngine::run() {
                           Engine.CheckpointFile.c_str(), Ckpt.Shard,
                           Ckpt.NumShards, Engine.ShardIndex,
                           Engine.NumShards);
+      if (Ckpt.Coordinated)
+        reportFatalErrorf(
+            "checkpoint '%s' was written by a coordinated run (its "
+            "cursor counts global slots, not shard slots); pass "
+            "--campaign-coordinator to continue it",
+            Engine.CheckpointFile.c_str());
       if (Ckpt.Cursor > ShardPlan.size())
         reportFatalErrorf("checkpoint '%s' cursor %llu exceeds the plan "
                           "(%zu slots)",
@@ -507,9 +624,20 @@ EngineReport CampaignEngine::run() {
       Completed += Batch.size();
     }
 
-    if (EarlyStop)
-      Cells = computeCells(Cumulative.snapshot(), Engine.StopHalfWidth,
-                           Engine.StopZ);
+    telemetry::RegistrySnapshot Boundary = Cumulative.snapshot();
+    if (EarlyStop || !Engine.LiveExportFile.empty())
+      Cells = computeCells(Boundary, Engine.StopHalfWidth, Engine.StopZ);
+
+    // Deterministic inline live export: one publish per batch boundary,
+    // sequence-numbered by batch so a resumed run continues the
+    // sequence instead of restarting it.
+    if (!Engine.LiveExportFile.empty())
+      publishLiveFile(Engine.LiveExportFile, effectiveRunId(Engine),
+                      (Cursor + Engine.CheckpointInterval - 1) /
+                          Engine.CheckpointInterval,
+                      Boundary,
+                      makeHeartbeat(Engine, Cursor, ShardPlan.size(),
+                                    Completed, Boundary, Cells, Cells));
 
     if (!Engine.CheckpointFile.empty()) {
       EngineCheckpoint Ckpt;
@@ -520,7 +648,7 @@ EngineReport CampaignEngine::run() {
       Ckpt.Cursor = Cursor;
       Ckpt.Completed = Completed;
       Ckpt.ReserveCursors = ReserveCursors;
-      Ckpt.Registry = Cumulative.snapshot();
+      Ckpt.Registry = Boundary;
       std::string Error;
       if (!writeCheckpoint(Engine.CheckpointFile, Ckpt, Error))
         reportFatalErrorf("campaign checkpoint failed: %s", Error.c_str());
@@ -546,6 +674,328 @@ EngineReport CampaignEngine::run() {
     Cell.Counts = Cells[C].Counts;
     Cell.Interval = Cells[C].Interval;
     Cell.Stopped = Cells[C].Closed;
+    uint64_t Total = Cell.Counts.total();
+    Cell.SdcRate = Total == 0 ? 0.0
+                              : static_cast<double>(Cell.Counts.Sdc) /
+                                    static_cast<double>(Total);
+    Cell.Skipped = Report.Registry.counterOr(getSkipCounterName(Cat));
+    Cell.Reallocated = Report.Registry.counterOr(getReallocCounterName(Cat));
+    Report.Skipped += Cell.Skipped;
+    Report.Cells.push_back(Cell);
+  }
+  return Report;
+}
+
+//===----------------------------------------------------------------------===//
+// Coordinated (lockstep) shards
+//===----------------------------------------------------------------------===//
+//
+// The coordinated protocol lifts the stop-x-shard refusal by making
+// every shard take its stopping decisions on the *merged* campaign
+// state, in lockstep over the global batch sequence:
+//
+//  1. All shards iterate the same global batches (CheckpointInterval
+//     slots of the global primary schedule per batch).
+//  2. Before constructing batch B > 0, a shard waits for every
+//     sibling's batch B-1 snapshot in CoordinatorDir and merges those
+//     registries with its own cumulative registry. By induction this
+//     merged state equals the unsharded run's cumulative state at the
+//     same boundary, so computeCells closes exactly the same cells.
+//  3. Each shard then *replays the whole global batch construction* —
+//     the skip decisions and the global reserve-cursor advancement are
+//     pure functions of the (shared) merged boundary state — but
+//     executes only the slots it owns (global slot index mod NumShards)
+//     and bumps skip/realloc counters only for owned slots. Summed over
+//     shards, every counter therefore matches the unsharded run, which
+//     is what makes `cfed-stat merge` byte-identical to the unsharded
+//     --campaign-stop-ci reference.
+//  4. After the batch it publishes its snapshot (atomic tmp+rename)
+//     BEFORE writing its checkpoint: a kill between the two re-executes
+//     the batch on resume and republishes identical registry content,
+//     so siblings never block on durably-completed work.
+//
+// A sibling can be at most one barrier ahead (it cannot pass barrier X
+// without this shard's batch X-1 file), so deleting one's own batch
+// files two generations back is safe and keeps the directory bounded.
+
+EngineReport CampaignEngine::runCoordinated(
+    FaultCampaign &Campaign,
+    const std::vector<const PlannedFault *> &Primary,
+    std::array<std::vector<const PlannedFault *>, NumBranchErrorCategories>
+        &Reserve,
+    uint64_t PlanHash) {
+  const uint64_t Interval = Engine.CheckpointInterval;
+  const bool EarlyStop = Engine.StopHalfWidth > 0.0;
+  const std::string RunId = effectiveRunId(Engine);
+  const std::string LivePath =
+      Engine.LiveExportFile.empty()
+          ? coordinatorLivePath(Engine.CoordinatorDir, Engine.ShardIndex)
+          : Engine.LiveExportFile;
+
+  // This shard's share of the global schedule (for the report; the
+  // cursor below counts global slots).
+  uint64_t OwnPlanned = 0;
+  for (size_t I = Engine.ShardIndex; I < Primary.size();
+       I += Engine.NumShards)
+    ++OwnPlanned;
+
+  telemetry::MetricsRegistry Cumulative;
+  uint64_t Cursor = 0;
+  uint64_t Completed = 0;
+  std::array<uint64_t, NumBranchErrorCategories> ReserveCursors{};
+  bool Resumed = false;
+
+  if (!Engine.CheckpointFile.empty()) {
+    EngineCheckpoint Ckpt;
+    std::string Error;
+    switch (loadCheckpoint(Engine.CheckpointFile, Ckpt, Error)) {
+    case LoadStatus::Missing:
+      break;
+    case LoadStatus::Corrupt:
+      reportFatalErrorf("%s (delete the file to restart the campaign "
+                        "from scratch)",
+                        Error.c_str());
+      break;
+    case LoadStatus::Ok:
+      if (Ckpt.PlanHash != PlanHash)
+        reportFatalErrorf(
+            "checkpoint '%s' belongs to a different campaign (plan hash "
+            "%s, this campaign is %s); refusing to mix results",
+            Engine.CheckpointFile.c_str(), toHex(Ckpt.PlanHash).c_str(),
+            toHex(PlanHash).c_str());
+      if (Ckpt.Shard != Engine.ShardIndex ||
+          Ckpt.NumShards != Engine.NumShards)
+        reportFatalErrorf("checkpoint '%s' was written by shard %u/%u, not "
+                          "%u/%u",
+                          Engine.CheckpointFile.c_str(), Ckpt.Shard,
+                          Ckpt.NumShards, Engine.ShardIndex,
+                          Engine.NumShards);
+      if (!Ckpt.Coordinated)
+        reportFatalErrorf(
+            "checkpoint '%s' was written without --campaign-coordinator "
+            "(its cursor counts shard slots, not global slots); continue "
+            "it uncoordinated or delete it",
+            Engine.CheckpointFile.c_str());
+      if (Ckpt.Cursor > Primary.size())
+        reportFatalErrorf("checkpoint '%s' cursor %llu exceeds the plan "
+                          "(%zu slots)",
+                          Engine.CheckpointFile.c_str(),
+                          static_cast<unsigned long long>(Ckpt.Cursor),
+                          Primary.size());
+      Cumulative.merge(Ckpt.Registry);
+      Cursor = Ckpt.Cursor;
+      Completed = Ckpt.Completed;
+      ReserveCursors = Ckpt.ReserveCursors;
+      Resumed = true;
+      break;
+    }
+  }
+
+  // Waits for sibling \p Shard's batch \p Batch snapshot. Snapshots are
+  // written atomically, so an unparsable file is corruption, never an
+  // in-progress write.
+  auto AwaitSibling = [&](unsigned Shard,
+                          uint64_t Batch) -> telemetry::LiveSnapshot {
+    std::string Path =
+        coordinatorBatchPath(Engine.CoordinatorDir, Shard, Batch);
+    auto Deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(Engine.CoordinatorTimeoutMs);
+    for (;;) {
+      std::ifstream In(Path, std::ios::binary);
+      if (In.is_open()) {
+        std::stringstream Buffer;
+        Buffer << In.rdbuf();
+        std::string Text = Buffer.str();
+        json::JsonValue Root;
+        json::JsonParser Parser(Text);
+        telemetry::LiveSnapshot Snap;
+        std::string Error;
+        if (!Parser.parse(Root) ||
+            !telemetry::liveSnapshotFromJson(Root, Snap, Error))
+          reportFatalErrorf(
+              "campaign coordinator: snapshot '%s' is corrupt: %s",
+              Path.c_str(), Error.empty() ? "not valid JSON"
+                                          : Error.c_str());
+        if (!Snap.Beat.Present || Snap.Beat.Shard != Shard ||
+            Snap.Beat.NumShards != Engine.NumShards)
+          reportFatalErrorf(
+              "campaign coordinator: snapshot '%s' was published by "
+              "shard %u/%u, expected shard %u of %u",
+              Path.c_str(), Snap.Beat.Shard, Snap.Beat.NumShards, Shard,
+              Engine.NumShards);
+        return Snap;
+      }
+      if (std::chrono::steady_clock::now() >= Deadline)
+        reportFatalErrorf(
+            "campaign coordinator: shard %u has not published batch %llu "
+            "in '%s' within %llu ms; restart the missing shard (it "
+            "resumes from its checkpoint) or raise the timeout",
+            Shard, static_cast<unsigned long long>(Batch),
+            Engine.CoordinatorDir.c_str(),
+            static_cast<unsigned long long>(Engine.CoordinatorTimeoutMs));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+
+  // Merged campaign state at the boundary before batch \p Batch.
+  auto MergedBoundary = [&](uint64_t Batch) -> telemetry::RegistrySnapshot {
+    telemetry::MetricsRegistry Merged;
+    Merged.merge(Cumulative.snapshot());
+    if (Batch > 0)
+      for (unsigned J = 0; J < Engine.NumShards; ++J)
+        if (J != Engine.ShardIndex)
+          Merged.merge(AwaitSibling(J, Batch - 1).Registry);
+    return Merged.snapshot();
+  };
+
+  ThreadPool Pool(Engine.Jobs);
+  std::vector<uint64_t> LatBounds = latencyBounds();
+  uint64_t Batches = 0;
+  bool Finished = true;
+
+  while (Cursor < Primary.size()) {
+    if (Engine.MaxBatches && Batches >= Engine.MaxBatches) {
+      Finished = false;
+      break;
+    }
+    ++Batches;
+    uint64_t Batch = Cursor / Interval;
+
+    // Stopping decisions for this batch read the merged boundary state
+    // (the barrier). Without early stopping no decision depends on
+    // siblings, so the shards run free.
+    std::array<CellState, NumBranchErrorCategories> DecisionCells =
+        computeCells(EarlyStop ? MergedBoundary(Batch)
+                               : Cumulative.snapshot(),
+                     Engine.StopHalfWidth, Engine.StopZ);
+
+    // Replay the global batch construction; execute only owned slots.
+    std::vector<const PlannedFault *> Mine;
+    uint64_t BatchEnd =
+        std::min<uint64_t>(Primary.size(), (Batch + 1) * Interval);
+    for (; Cursor < BatchEnd; ++Cursor) {
+      const PlannedFault *Fault = Primary[Cursor];
+      bool Owned = Cursor % Engine.NumShards == Engine.ShardIndex;
+      unsigned Cat = static_cast<unsigned>(Fault->Category);
+      const PlannedFault *Chosen = nullptr;
+      if (!EarlyStop || !DecisionCells[Cat].Closed) {
+        Chosen = Fault;
+      } else {
+        if (Owned)
+          Cumulative.counter(getSkipCounterName(Fault->Category)).inc();
+        int Loosest = -1;
+        for (unsigned C = 0; C < NumBranchErrorCategories; ++C) {
+          auto CellCat = static_cast<BranchErrorCategory>(C);
+          if (!isCellCategory(CellCat) || DecisionCells[C].Closed ||
+              ReserveCursors[C] >= Reserve[C].size())
+            continue;
+          if (Loosest < 0 ||
+              DecisionCells[C].Interval.halfWidth() >
+                  DecisionCells[Loosest].Interval.halfWidth())
+            Loosest = static_cast<int>(C);
+        }
+        if (Loosest >= 0) {
+          const PlannedFault *Replacement =
+              Reserve[Loosest][ReserveCursors[Loosest]++];
+          if (Owned)
+            Cumulative.counter(getReallocCounterName(Replacement->Category))
+                .inc();
+          Chosen = Replacement;
+        }
+      }
+      if (Chosen && Owned)
+        Mine.push_back(Chosen);
+    }
+
+    if (!Mine.empty()) {
+      std::vector<InjectionReport> Reports(Mine.size());
+      Pool.parallelFor(Mine.size(), [&](uint64_t I) {
+        Reports[I] = Campaign.injectDetailed(*Mine[I]);
+      });
+      for (size_t I = 0; I < Mine.size(); ++I) {
+        const InjectionReport &Report = Reports[I];
+        BranchErrorCategory Cat = Mine[I]->Category;
+        Cumulative.counter(getOutcomeCounterName(Cat, Report.Result)).inc();
+        Cumulative.counter("fault.injections").inc();
+        if (Report.Fired &&
+            (Report.Result == Outcome::DetectedSignature ||
+             Report.Result == Outcome::DetectedHardware))
+          Cumulative.histogram(getLatencyHistogramName(Cat), LatBounds)
+              .observe(Report.LatencyInsns);
+      }
+      Completed += Mine.size();
+    }
+
+    // Publish before checkpointing (see the protocol comment above).
+    telemetry::RegistrySnapshot Boundary = Cumulative.snapshot();
+    std::array<CellState, NumBranchErrorCategories> OwnCells =
+        computeCells(Boundary, Engine.StopHalfWidth, Engine.StopZ);
+    telemetry::Heartbeat Beat =
+        makeHeartbeat(Engine, Cursor, Primary.size(), Completed, Boundary,
+                      OwnCells, DecisionCells);
+    publishLiveFile(coordinatorBatchPath(Engine.CoordinatorDir,
+                                         Engine.ShardIndex, Batch),
+                    RunId, Batch + 1, Boundary, Beat);
+    publishLiveFile(LivePath, RunId, Batch + 1, Boundary, Beat);
+    if (Batch >= 2)
+      std::remove(coordinatorBatchPath(Engine.CoordinatorDir,
+                                       Engine.ShardIndex, Batch - 2)
+                      .c_str());
+
+    if (!Engine.CheckpointFile.empty()) {
+      EngineCheckpoint Ckpt;
+      Ckpt.Version = EngineCheckpointVersion;
+      Ckpt.PlanHash = PlanHash;
+      Ckpt.Shard = Engine.ShardIndex;
+      Ckpt.NumShards = Engine.NumShards;
+      Ckpt.Cursor = Cursor;
+      Ckpt.Completed = Completed;
+      Ckpt.Coordinated = true;
+      Ckpt.ReserveCursors = ReserveCursors;
+      Ckpt.Registry = Boundary;
+      std::string Error;
+      if (!writeCheckpoint(Engine.CheckpointFile, Ckpt, Error))
+        reportFatalErrorf("campaign checkpoint failed: %s", Error.c_str());
+      if (Engine.OnCheckpoint)
+        Engine.OnCheckpoint(Completed);
+    }
+  }
+
+  EngineReport Report;
+  Report.Registry = Cumulative.snapshot();
+  Report.Result = campaignResultFromSnapshot(Report.Registry);
+  Report.Completed = Completed;
+  Report.Planned = OwnPlanned;
+  Report.Finished = Finished;
+  Report.Resumed = Resumed;
+
+  // Per-cell counts/intervals describe this shard's own slice, but
+  // Stopped reports the *coordinated* decision: the closure set of the
+  // merged state at the final boundary, identical on every shard and
+  // equal to the unsharded run's. Every shard publishes its final batch
+  // before waiting here, so the final barrier cannot deadlock.
+  std::array<CellState, NumBranchErrorCategories> OwnCells =
+      computeCells(Report.Registry, Engine.StopHalfWidth, Engine.StopZ);
+  std::array<CellState, NumBranchErrorCategories> FinalCells = OwnCells;
+  uint64_t NumBatches = (Primary.size() + Interval - 1) / Interval;
+  if (EarlyStop && Finished && Engine.NumShards > 1 && NumBatches > 0) {
+    telemetry::MetricsRegistry Merged;
+    Merged.merge(Report.Registry);
+    for (unsigned J = 0; J < Engine.NumShards; ++J)
+      if (J != Engine.ShardIndex)
+        Merged.merge(AwaitSibling(J, NumBatches - 1).Registry);
+    FinalCells = computeCells(Merged.snapshot(), Engine.StopHalfWidth,
+                              Engine.StopZ);
+  }
+  for (unsigned C = 0; C < NumBranchErrorCategories; ++C) {
+    auto Cat = static_cast<BranchErrorCategory>(C);
+    if (!isCellCategory(Cat))
+      continue;
+    CellReport Cell;
+    Cell.Category = Cat;
+    Cell.Counts = OwnCells[C].Counts;
+    Cell.Interval = OwnCells[C].Interval;
+    Cell.Stopped = FinalCells[C].Closed;
     uint64_t Total = Cell.Counts.total();
     Cell.SdcRate = Total == 0 ? 0.0
                               : static_cast<double>(Cell.Counts.Sdc) /

@@ -76,11 +76,35 @@ struct EngineConfig {
   unsigned NumShards = 1;
 
   /// Early stopping: close a cell once the Wilson interval on its SDC
-  /// rate has half-width <= StopHalfWidth. 0 disables. Incompatible
-  /// with NumShards > 1 (shards cannot see global cell tightness).
+  /// rate has half-width <= StopHalfWidth. 0 disables. With
+  /// NumShards > 1 this requires CoordinatorDir (a lone shard cannot
+  /// see global cell tightness).
   double StopHalfWidth = 0.0;
   /// Critical value of the Wilson interval (1.96 = 95%).
   double StopZ = 1.96;
+
+  /// Cross-shard coordination directory (DESIGN.md §13). When set, the
+  /// shards of one campaign run in lockstep over the *global* batch
+  /// sequence: each shard deterministically replays every batch's
+  /// skip/reallocation decisions but executes only the slots it owns
+  /// (global slot index mod NumShards), publishes an atomic live
+  /// snapshot of its cumulative registry after every batch, and waits
+  /// for its siblings' snapshots before opening the next batch. Early
+  /// stopping then closes cells on the *merged* counts, so the merged
+  /// campaign result is byte-identical to the unsharded early-stopping
+  /// run.
+  std::string CoordinatorDir;
+  /// Fatal timeout waiting for a sibling's batch snapshot.
+  uint64_t CoordinatorTimeoutMs = 120000;
+
+  /// Live telemetry: when set, the engine publishes a live snapshot
+  /// (registry + heartbeat) to this file atomically at every batch
+  /// boundary (deterministic inline mode). Coordinated runs default to
+  /// CoordinatorDir/shard_<K>.live.json when empty.
+  std::string LiveExportFile;
+  /// Run identifier stamped into live snapshots; defaults to
+  /// "campaign-<seed>".
+  std::string RunId;
 
   /// Test hook: stop (with Finished = false) after this many batches.
   /// 0 = run to completion. A subsequent run with the same checkpoint
@@ -143,9 +167,14 @@ struct EngineCheckpoint {
   uint64_t PlanHash = 0;
   unsigned Shard = 0;
   unsigned NumShards = 1;
-  /// Index of the next unprocessed slot in this shard's schedule.
+  /// Index of the next unprocessed slot. Counts this shard's own
+  /// schedule slots normally, but *global* schedule slots when the
+  /// checkpoint was written in coordinated mode — the two are not
+  /// interchangeable, so Coordinated is validated on resume.
   uint64_t Cursor = 0;
   uint64_t Completed = 0;
+  /// The checkpoint was written by a coordinated (lockstep) run.
+  bool Coordinated = false;
   /// Per-category consumption of the reserve plan.
   std::array<uint64_t, NumBranchErrorCategories> ReserveCursors{};
   telemetry::RegistrySnapshot Registry;
@@ -208,7 +237,21 @@ public:
   /// Name of the per-category detection-latency histogram.
   static std::string getLatencyHistogramName(BranchErrorCategory Cat);
 
+  /// Path of shard \p Shard's per-batch barrier snapshot inside \p Dir.
+  static std::string coordinatorBatchPath(const std::string &Dir,
+                                          unsigned Shard, uint64_t Batch);
+  /// Path of shard \p Shard's latest live snapshot inside \p Dir.
+  static std::string coordinatorLivePath(const std::string &Dir,
+                                         unsigned Shard);
+
 private:
+  EngineReport runCoordinated(
+      FaultCampaign &Campaign,
+      const std::vector<const PlannedFault *> &Primary,
+      std::array<std::vector<const PlannedFault *>,
+                 NumBranchErrorCategories> &Reserve,
+      uint64_t PlanHash);
+
   const AsmProgram &Program;
   DbtConfig Config;
   EngineConfig Engine;

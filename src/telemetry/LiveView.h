@@ -1,0 +1,73 @@
+//===- LiveView.h - Merge and render live snapshots -------------*- C++ -*-===//
+//
+// Part of the CFED project (CGO'06 control-flow error detection repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reader half of the live telemetry plane: takes one sample per
+/// shard (the current live snapshot plus, when available, the
+/// previously observed one), merges the registries with the same
+/// jobs-invariant fold campaign results use, computes rates from
+/// sequence-numbered deltas, and renders a top-style text view. Both
+/// cfed-top (refreshing watch mode) and `cfed-stat tail` (one-shot, for
+/// CI logs) go through this code, so the parsing/rate logic is
+/// exercised even where a watch-mode TUI cannot run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFED_TELEMETRY_LIVEVIEW_H
+#define CFED_TELEMETRY_LIVEVIEW_H
+
+#include "telemetry/LiveExport.h"
+
+#include <string>
+#include <vector>
+
+namespace cfed {
+namespace telemetry {
+
+/// One shard's contribution to the view: the latest snapshot read from
+/// its live file, plus the previous one when the reader has seen this
+/// shard before (rates need two sequence-numbered points).
+struct ShardSample {
+  std::string Label; ///< Display name (usually the file path).
+  LiveSnapshot Snap;
+  bool HavePrev = false;
+  LiveSnapshot Prev;
+};
+
+struct LiveViewOptions {
+  /// Reader's wall clock (ms since epoch) used to age heartbeats; 0
+  /// means "use the newest sample's timestamp" (deterministic renders
+  /// in tests).
+  uint64_t NowMs = 0;
+  /// A shard whose snapshot is older than this and whose cursor has not
+  /// reached its plan is flagged STALLED.
+  double StallAfterSec = 10.0;
+  /// Counters shown in the merged table (largest first).
+  size_t TopCounters = 10;
+};
+
+/// Events per second for counter \p Name between S.Prev and S.Snap.
+/// Negative when no valid delta exists (no previous sample, stale or
+/// reset sequence, non-advancing clock, or a counter that went
+/// backwards — i.e. a restarted publisher).
+double counterRatePerSec(const ShardSample &S, const std::string &Name);
+
+/// All shard registries folded with the jobs-invariant snapshot merge
+/// (counters/histograms add, gauges last-wins).
+RegistrySnapshot mergeSamples(const std::vector<ShardSample> &Samples);
+
+/// Renders the full top-view: per-shard status lines (seq, age, stall
+/// flag, cursor progress, recovery rung), merged counters with rates,
+/// merged per-cell Wilson intervals, and merged detection-latency
+/// quantiles. Pure text; the caller decides whether to clear the
+/// screen around it.
+std::string renderLiveView(const std::vector<ShardSample> &Samples,
+                           const LiveViewOptions &Opts);
+
+} // namespace telemetry
+} // namespace cfed
+
+#endif // CFED_TELEMETRY_LIVEVIEW_H

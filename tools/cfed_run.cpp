@@ -52,7 +52,25 @@
 //   --campaign-stop-ci=<w>
 //                        early stopping: close a category cell once the
 //                        95% Wilson interval on its SDC rate is tighter
-//                        than half-width w (incompatible with sharding)
+//                        than half-width w (sharded runs additionally
+//                        need --campaign-coordinator)
+//   --campaign-coordinator=<dir>
+//                        coordinate sharded early stopping through live
+//                        snapshots in <dir>: shards run the global batch
+//                        sequence in lockstep and close cells on merged
+//                        counts, so the merged result equals the
+//                        unsharded --campaign-stop-ci run
+//   --live-export=<file> publish an atomic live telemetry snapshot to
+//                        <file> while the run executes (tail it with
+//                        cfed-top or `cfed-stat tail`); campaign-engine
+//                        runs publish at batch boundaries
+//                        (deterministic), other runs from a background
+//                        thread every --live-interval ms
+//   --live-interval=<ms> background live-export publish period
+//                        (default 1000)
+//   --run-id=<id>        run identifier stamped into live snapshots
+//                        (default: the input name, or campaign-<seed>
+//                        for engine runs)
 //   --fault-model=<m>    single|multi|burst mask shape for planned
 //                        faults (default single; applies to --inject
 //                        and --campaign)
@@ -89,6 +107,7 @@
 #include "support/Table.h"
 #include "telemetry/BlockProfile.h"
 #include "telemetry/FlightRecorder.h"
+#include "telemetry/LiveExport.h"
 #include "telemetry/Metrics.h"
 #include "telemetry/Profile.h"
 #include "telemetry/Trace.h"
@@ -125,6 +144,10 @@ struct Options {
   unsigned NumShards = 1;
   std::string CampaignOut;
   double StopHalfWidth = 0.0;
+  std::string CoordinatorDir;
+  std::string LiveExport;
+  uint64_t LiveIntervalMs = 1000;
+  std::string RunId;
   FaultModel Model = FaultModel::SingleBit;
   uint64_t Jobs = 1;
   bool Disasm = false;
@@ -155,7 +178,10 @@ int usage() {
                "[--campaign-checkpoint=FILE] [--campaign-interval=N]\n"
                "                [--campaign-shard=K/N] "
                "[--campaign-out=FILE] [--campaign-stop-ci=W]\n"
-               "                [--fault-model=single|multi|burst] "
+               "                [--campaign-coordinator=DIR] "
+               "[--live-export=FILE] [--live-interval=MS]\n"
+               "                [--run-id=ID] "
+               "[--fault-model=single|multi|burst] "
                "[--jobs=N]\n"
                "                [--dump-cache] [--stats[=json|csv]] "
                "[--trace=FILE] [--trace-buffer=N]\n"
@@ -314,6 +340,22 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       if (!F.HasValue || !cli::parseDouble(F.Value, Opts.StopHalfWidth) ||
           Opts.StopHalfWidth <= 0.0 || Opts.StopHalfWidth >= 0.5)
         return cli::badValue(F.Name, "<half-width in (0, 0.5)>", F.Value);
+    } else if (F.Name == "--campaign-coordinator") {
+      if (!F.HasValue || F.Value.empty())
+        return cli::badValue(F.Name, "<directory>", F.Value);
+      Opts.CoordinatorDir = F.Value;
+    } else if (F.Name == "--live-export") {
+      if (!F.HasValue || F.Value.empty())
+        return cli::badValue(F.Name, "<file>", F.Value);
+      Opts.LiveExport = F.Value;
+    } else if (F.Name == "--live-interval") {
+      if (!Uint(Opts.LiveIntervalMs, "<milliseconds >= 1>") ||
+          Opts.LiveIntervalMs == 0)
+        return cli::badValue(F.Name, "<milliseconds >= 1>", F.Value);
+    } else if (F.Name == "--run-id") {
+      if (!F.HasValue || F.Value.empty())
+        return cli::badValue(F.Name, "<id>", F.Value);
+      Opts.RunId = F.Value;
     } else if (F.Name == "--fault-model") {
       if (!F.HasValue || !parseFaultModel(F.Value, Opts.Model))
         return cli::badValue(F.Name, "single|multi|burst", F.Value);
@@ -365,6 +407,10 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
     std::fprintf(stderr, "error: missing <file.s | workload> argument\n");
     return false;
   }
+  if (!Opts.CoordinatorDir.empty() && Opts.CampaignInjections == 0) {
+    std::fprintf(stderr, "error: --campaign-coordinator needs --campaign\n");
+    return false;
+  }
   return true;
 }
 
@@ -390,7 +436,7 @@ void registerWellKnownKeys(telemetry::MetricsRegistry &Registry) {
   for (const char *Key :
        {"dbt.translations", "dbt.dispatches", "dbt.chains", "dbt.ibtc_hits",
         "dbt.ibtc_misses", "dbt.flushes", "recovery.checkpoints",
-        "recovery.rollbacks"})
+        "recovery.rollbacks", "trace.dropped"})
     Registry.counter(Key);
   for (unsigned C = 0; C + 1 < NumBranchErrorCategories; ++C)
     Registry.counter(std::string("trap.category_") +
@@ -431,6 +477,22 @@ void emitStats(const Options &Opts, telemetry::MetricsRegistry &Registry) {
   case StatsMode::Off:
     break;
   }
+}
+
+/// Surfaces event-ring overflow: wraparound loss is otherwise invisible
+/// in the stats report, so publish it as a counter and warn when the
+/// user asked for stats.
+void publishTracerDrops(const Options &Opts,
+                        telemetry::MetricsRegistry &Registry,
+                        const telemetry::EventTracer *Tracer) {
+  if (!Tracer)
+    return;
+  uint64_t Dropped = Tracer->dropped();
+  Registry.counter("trace.dropped").inc(Dropped);
+  if (Dropped > 0 && Opts.Stats != StatsMode::Off)
+    reportNotef("warning: event ring overflowed; %llu trace event(s) "
+                "dropped (raise --trace-buffer)",
+                static_cast<unsigned long long>(Dropped));
 }
 
 /// Writes the event ring as Chrome trace_event JSON.
@@ -526,6 +588,7 @@ int runCampaign(const AsmProgram &Program, const Options &Opts,
       reportNotef("post-mortem: %llu bundles written under %s",
                   (unsigned long long)Recorder->bundleCount(),
                   Recorder->dir().c_str());
+    publishTracerDrops(Opts, Registry, Tracer);
     emitStats(Opts, Registry);
     writeTrace(Opts, Tracer);
     return 0;
@@ -570,6 +633,7 @@ int runCampaign(const AsmProgram &Program, const Options &Opts,
     reportNotef("post-mortem: %llu bundles written under %s",
                 (unsigned long long)Recorder->bundleCount(),
                 Recorder->dir().c_str());
+  publishTracerDrops(Opts, Registry, Tracer);
   emitStats(Opts, Registry);
   writeTrace(Opts, Tracer);
   return 0;
@@ -591,6 +655,9 @@ int runEngine(const AsmProgram &Program, const Options &Opts,
   Engine.ShardIndex = Opts.ShardIndex;
   Engine.NumShards = Opts.NumShards;
   Engine.StopHalfWidth = Opts.StopHalfWidth;
+  Engine.CoordinatorDir = Opts.CoordinatorDir;
+  Engine.LiveExportFile = Opts.LiveExport;
+  Engine.RunId = Opts.RunId;
 
   CampaignEngine Runner(Program, Opts.Config, Engine);
   EngineReport Report = Runner.run();
@@ -698,6 +765,26 @@ int main(int Argc, char **Argv) {
 
   if (Opts.CampaignInjections > 0)
     return runEngine(Program, Opts, Registry);
+
+  // Live telemetry. The campaign engine publishes its own snapshots
+  // inline at batch boundaries (deterministic); every other mode samples
+  // the global registry from a background service thread. The exporter
+  // publishes a final snapshot when it is destroyed on return, after the
+  // end-of-run gauges have been folded in.
+  std::unique_ptr<telemetry::LiveExporter> Live;
+  if (!Opts.LiveExport.empty()) {
+    telemetry::LiveExporter::Config LC;
+    LC.Path = Opts.LiveExport;
+    LC.RunId = Opts.RunId.empty() ? Opts.Input : Opts.RunId;
+    LC.IntervalMs = Opts.LiveIntervalMs;
+    Live = std::make_unique<telemetry::LiveExporter>(
+        LC, [&Registry](telemetry::RegistrySnapshot &Snap,
+                        telemetry::Heartbeat &) {
+          Snap = Registry.snapshot();
+        });
+    Live->start();
+  }
+
   if (Opts.Injections > 0)
     return runCampaign(Program, Opts, Registry, Tracer.get());
 
@@ -839,6 +926,7 @@ int main(int Argc, char **Argv) {
                 (unsigned long long)Profile.totalBlockExecs(),
                 (unsigned long long)Translator->dispatchCount());
   }
+  publishTracerDrops(Opts, Registry, Tracer.get());
   emitStats(Opts, Registry);
   writeTrace(Opts, Tracer.get());
 

@@ -29,6 +29,9 @@
 ///                                        fault.latency.* histograms of a
 ///                                        campaign result or registry
 ///                                        snapshot
+///   cfed-stat tail FILE...               one-shot render of live-exporter
+///                                        snapshot files (the same view
+///                                        cfed-top refreshes continuously)
 ///
 /// Everything here is read-only over JSON files plus the campaign
 /// result/merge helpers of the fault library.
@@ -40,6 +43,8 @@
 #include "support/Format.h"
 #include "support/Json.h"
 #include "support/Table.h"
+#include "telemetry/LiveExport.h"
+#include "telemetry/LiveView.h"
 #include "telemetry/Metrics.h"
 
 #include <algorithm>
@@ -74,7 +79,9 @@ void usage() {
       "                                  into one report (equal to the\n"
       "                                  unsharded campaign's)\n"
       "  latency FILE                    detection-latency table from the\n"
-      "                                  fault.latency.* histograms\n");
+      "                                  fault.latency.* histograms\n"
+      "  tail FILE...                    one-shot render of live-exporter\n"
+      "                                  snapshots (cfed-top's view, once)\n");
 }
 
 bool readFile(const std::string &Path, std::string &Out) {
@@ -667,6 +674,53 @@ int cmdLatency(int Argc, char **Argv) {
   return 0;
 }
 
+//===----------------------------------------------------------------------===//
+// tail
+//===----------------------------------------------------------------------===//
+
+/// One-shot render of live-exporter snapshot files through the same
+/// parsing and view code cfed-top refreshes continuously. With no
+/// previous sample to diff against, rates show as "-".
+int cmdTail(int Argc, char **Argv) {
+  std::vector<std::string> Paths;
+  for (int I = 0; I < Argc; ++I) {
+    cli::Flag F;
+    if (cli::splitFlag(Argv[I], F)) {
+      cli::unknownOption(F.Name);
+      usage();
+      return 2;
+    }
+    Paths.push_back(Argv[I]);
+  }
+  if (Paths.empty()) {
+    std::fprintf(stderr, "error: tail needs at least one live snapshot "
+                         "file\n");
+    usage();
+    return 2;
+  }
+
+  std::vector<telemetry::ShardSample> Samples;
+  for (const std::string &Path : Paths) {
+    JsonValue Root;
+    if (!parseFile(Path, Root))
+      return 2;
+    telemetry::ShardSample S;
+    std::string Error;
+    if (!telemetry::liveSnapshotFromJson(Root, S.Snap, Error)) {
+      std::fprintf(stderr, "cfed-stat: '%s': %s\n", Path.c_str(),
+                   Error.c_str());
+      return 2;
+    }
+    size_t Slash = Path.find_last_of('/');
+    S.Label = Slash == std::string::npos ? Path : Path.substr(Slash + 1);
+    Samples.push_back(std::move(S));
+  }
+  telemetry::LiveViewOptions Opts;
+  Opts.NowMs = telemetry::wallClockMs();
+  std::printf("%s", telemetry::renderLiveView(Samples, Opts).c_str());
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -687,6 +741,8 @@ int main(int Argc, char **Argv) {
     return cmdMerge(Argc - 2, Argv + 2);
   if (std::strcmp(Cmd, "latency") == 0)
     return cmdLatency(Argc - 2, Argv + 2);
+  if (std::strcmp(Cmd, "tail") == 0)
+    return cmdTail(Argc - 2, Argv + 2);
   usage();
   return 2;
 }

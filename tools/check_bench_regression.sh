@@ -19,6 +19,13 @@
 #                           scrubbing cadence is fixed, so its cost
 #                           budget is documented here rather than
 #                           ratcheted from a checked-in number.
+#   CFED_EXPORT_OVERHEAD_MAX absolute ceiling on the live-exporter
+#                           live_export_overhead ratio measured by
+#                           micro_dbt's reference run (default: 0.15).
+#                           Same absolute-gate rationale as the scrub
+#                           ceiling: the 5 ms publish cadence is fixed,
+#                           so the budget lives here, not in the
+#                           baseline.
 #   CFED_GEOMEAN_MAX        absolute ceiling on the Section 6 geomean
 #                           DBT slowdown with the optimizing trace tier
 #                           on (sec6_dbt_overhead.geomean_slowdown_opt in
@@ -35,6 +42,7 @@ BUILD=${1:-build}
 BASELINE=${2:-BENCH_perf.json}
 THRESHOLD=${CFED_BENCH_THRESHOLD:-10}
 SCRUB_MAX=${CFED_SCRUB_OVERHEAD_MAX:-0.15}
+EXPORT_MAX=${CFED_EXPORT_OVERHEAD_MAX:-0.15}
 GEOMEAN_MAX=${CFED_GEOMEAN_MAX:-1.08}
 
 if [ ! -x "$BUILD/bench/micro_dbt" ] || [ ! -x "$BUILD/tools/cfed-stat" ] \
@@ -97,6 +105,53 @@ if [ "$REF_SUM" != "$MERGED_SUM" ]; then
 fi
 echo "sharded campaign merge matches unsharded reference"
 echo "  $MERGED_SUM"
+
+# --- Coordinated early-stop smoke -------------------------------------------
+# Two shards sharing a --campaign-coordinator directory run the Wilson
+# early-stop protocol in lockstep: each merges every sibling heartbeat at
+# every batch boundary, so closure decisions — and therefore the merged
+# result — must reproduce the unsharded --campaign-stop-ci reference
+# verbatim. The shards run concurrently (the protocol barriers on sibling
+# batch files; sequential runs would deadlock).
+mkdir "$CAMP/coord"
+"$BUILD/tools/cfed-run" --tech=edgcf --campaign=120 --campaign-interval=16 \
+  --campaign-stop-ci=0.25 --seed=7 --jobs=2 \
+  --campaign-out="$CAMP/stopref.json" "$CAMP/smoke.s" >/dev/null
+( "$BUILD/tools/cfed-run" --tech=edgcf --campaign=120 --campaign-interval=16 \
+    --campaign-stop-ci=0.25 --seed=7 --jobs=1 --campaign-shard=0/2 \
+    --campaign-coordinator="$CAMP/coord" \
+    --campaign-out="$CAMP/coord0.json" "$CAMP/smoke.s" >/dev/null ) &
+COORD_PID0=$!
+( "$BUILD/tools/cfed-run" --tech=edgcf --campaign=120 --campaign-interval=16 \
+    --campaign-stop-ci=0.25 --seed=7 --jobs=2 --campaign-shard=1/2 \
+    --campaign-coordinator="$CAMP/coord" \
+    --campaign-out="$CAMP/coord1.json" "$CAMP/smoke.s" >/dev/null ) &
+COORD_PID1=$!
+wait "$COORD_PID0"
+wait "$COORD_PID1"
+STOPREF_SUM=$("$BUILD/tools/cfed-stat" merge "$CAMP/stopref.json" \
+              | grep '^campaign-summary:')
+COORD_SUM=$("$BUILD/tools/cfed-stat" merge "$CAMP/coord0.json" \
+            "$CAMP/coord1.json" | grep '^campaign-summary:')
+if [ "$STOPREF_SUM" != "$COORD_SUM" ]; then
+  echo "check_bench_regression: coordinated 2-shard early stop diverged" \
+       "from the unsharded --campaign-stop-ci reference" >&2
+  echo "  unsharded: $STOPREF_SUM" >&2
+  echo "  merged:    $COORD_SUM" >&2
+  exit 1
+fi
+echo "coordinated 2-shard early stop matches unsharded reference"
+echo "  $COORD_SUM"
+# The shards leave their final live snapshots behind; the one-shot tail
+# view must render them, and merge must refuse them as inputs.
+"$BUILD/tools/cfed-stat" tail "$CAMP/coord/shard_0.live.json" \
+  "$CAMP/coord/shard_1.live.json" >/dev/null
+if "$BUILD/tools/cfed-stat" merge "$CAMP/coord/shard_0.live.json" \
+     >/dev/null 2>&1; then
+  echo "check_bench_regression: cfed-stat merge accepted a live snapshot" >&2
+  exit 1
+fi
+echo "cfed-stat tail renders shard live snapshots; merge refuses them"
 # ----------------------------------------------------------------------------
 
 # The fast deterministic subset; the publishing code derives hit rates and
@@ -119,6 +174,24 @@ if [ -n "$SCRUB" ]; then
   echo "scrub_overhead $SCRUB within CFED_SCRUB_OVERHEAD_MAX=$SCRUB_MAX"
 else
   echo "check_bench_regression: no scrub_overhead in fresh run" >&2
+  exit 2
+fi
+
+# Absolute gate on the active live-exporter cost (see
+# CFED_EXPORT_OVERHEAD_MAX above). Like scrub_overhead, deliberately NOT
+# in the checked-in baseline.
+EXPORT=$(sed -n 's/.*"live_export_overhead": *\([0-9.eE+-]*\).*/\1/p' \
+         "$FRESH" | head -n 1)
+if [ -n "$EXPORT" ]; then
+  if awk -v e="$EXPORT" -v max="$EXPORT_MAX" 'BEGIN { exit !(e > max) }'
+  then
+    echo "check_bench_regression: live_export_overhead $EXPORT exceeds" \
+         "CFED_EXPORT_OVERHEAD_MAX=$EXPORT_MAX" >&2
+    exit 1
+  fi
+  echo "live_export_overhead $EXPORT within CFED_EXPORT_OVERHEAD_MAX=$EXPORT_MAX"
+else
+  echo "check_bench_regression: no live_export_overhead in fresh run" >&2
   exit 2
 fi
 
