@@ -106,6 +106,12 @@ private:
     case Opcode::Nop:
     case Opcode::Prof:
       return true;
+    case Opcode::Digest:
+      // A digest marker reads every guest-visible register, so folding a
+      // guest self-update across it would change the captured digest;
+      // the monitor's reserved registers are not digested and may fold
+      // freely past it.
+      return Reg >= FirstReservedReg;
     case Opcode::Lea: // lea A, B, imm: writes A, reads B.
     case Opcode::Mov: // mov A, B: writes A, reads B.
       return P.A != Reg && P.B != Reg;

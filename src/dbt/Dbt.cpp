@@ -113,6 +113,10 @@ StopInfo Dbt::run(Interpreter &Interp, uint64_t MaxInsns) {
   Interp.setDbtHooks(this);
   if (Profile)
     Interp.setBlockProfile(Profile);
+  if (DigestRec) {
+    DigestRec->setMode(telemetry::DigestRecorder::Mode::Marker);
+    Interp.setDigestRecorder(DigestRec);
+  }
   ClockSource = &Interp;
   // Execute encloses the run: translate time spent servicing exits is
   // charged to both, so exclusive execute time is execute - translate.
@@ -306,6 +310,24 @@ uint64_t Dbt::translate(uint64_t EntryGuest) {
     auto EmitTramp = [&](uint64_t Target) {
       Builder.push(insn::i(Opcode::Tramp, static_cast<int32_t>(Target)));
     };
+
+    // One digest marker per sub-block, after the guest body and before
+    // the checker's exit updates and the terminator lowering: the
+    // captured state matches what the native interpreter sees at the
+    // top of the terminator's handler, for every tier and fusion shape.
+    // Seams with no terminator (fell into a leader or the size cap)
+    // have no native transfer event, so their marker only advances the
+    // retired-instruction key past the body.
+    if (DigestRec) {
+      bool CaptureHere = TermKind != OpKind::None;
+      // The record's Checked bit means "a signature check actually runs
+      // here": under Technique::None the policy still nominates blocks
+      // but the checker emits nothing, so no boundary is checked.
+      bool CheckRuns = DoCheck && Config.Tech != Technique::None;
+      uint32_t Slot = DigestRec->defineMarker(
+          static_cast<uint32_t>(BodyCount), TermAddr, CaptureHere, CheckRuns);
+      Builder.push(insn::i(Opcode::Digest, static_cast<int32_t>(Slot)));
+    }
 
     switch (TermKind) {
     case OpKind::None: { // Fell into a leader / block-size cap.

@@ -51,6 +51,7 @@
 #include "telemetry/FlightRecorder.h"
 #include "telemetry/Metrics.h"
 #include "telemetry/Profile.h"
+#include "telemetry/Provenance.h"
 #include "telemetry/Trace.h"
 #include "vm/Interp.h"
 #include "vm/Memory.h"
@@ -388,6 +389,17 @@ public:
   void setBlockProfile(telemetry::BlockProfile *P) { Profile = P; }
   telemetry::BlockProfile *blockProfile() const { return Profile; }
 
+  /// Attaches/detaches a digest recorder (DESIGN.md §14). When attached
+  /// *before translation*, every sub-block gets one Digest capture
+  /// marker after its guest body and before the checker's exit updates,
+  /// and run() binds the recorder to the interpreter in Marker mode.
+  /// Null (the default) emits nothing and costs nothing. Note that
+  /// attaching changes the code-cache layout, so a provenance-enabled
+  /// campaign is only comparable against a provenance-enabled golden
+  /// run.
+  void setDigestRecorder(telemetry::DigestRecorder *R) { DigestRec = R; }
+  telemetry::DigestRecorder *digestRecorder() const { return DigestRec; }
+
   /// Assembles a post-mortem bundle for \p Stop: stop classification,
   /// guest-attributed PC, CPU state, trace events (when a tracer is
   /// attached), a metrics snapshot, and guest/host disassembly of the
@@ -532,6 +544,7 @@ private:
   telemetry::EventTracer *Tracer = nullptr;
   telemetry::PhaseProfiler *Profiler = nullptr;
   telemetry::BlockProfile *Profile = nullptr;
+  telemetry::DigestRecorder *DigestRec = nullptr;
   /// The opt tier needs hotness data to promote; when no profile was
   /// attached, load() creates this private one.
   std::unique_ptr<telemetry::BlockProfile> OwnedProfile;

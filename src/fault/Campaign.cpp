@@ -3,6 +3,7 @@
 #include "fault/Campaign.h"
 
 #include "support/Diagnostics.h"
+#include "support/Format.h"
 #include "support/Prng.h"
 #include "support/ThreadPool.h"
 
@@ -35,6 +36,99 @@ const char *cfed::getOutcomeName(Outcome O) {
 std::string cfed::getOutcomeCounterName(BranchErrorCategory Cat, Outcome O) {
   return std::string("fault.cat_") + getCategoryName(Cat) + '.' +
          getOutcomeName(O);
+}
+
+telemetry::PropOutcome cfed::toPropOutcome(Outcome O) {
+  switch (O) {
+  case Outcome::DetectedSignature:
+  case Outcome::DetectedHardware:
+  case Outcome::Recovered:
+    return telemetry::PropOutcome::Detected;
+  case Outcome::Sdc:
+  case Outcome::RecoveryFailed:
+    return telemetry::PropOutcome::Sdc;
+  case Outcome::Masked:
+    return telemetry::PropOutcome::Masked;
+  case Outcome::Timeout:
+    return telemetry::PropOutcome::Timeout;
+  }
+  cfed_unreachable("covered switch");
+}
+
+std::string cfed::getPropagationCounterName(BranchErrorCategory Cat,
+                                            telemetry::PropClass C) {
+  return telemetry::getPropCounterName(getCategoryName(Cat), C);
+}
+
+std::string cfed::getPropagationDistanceName(BranchErrorCategory Cat) {
+  return telemetry::getPropDistanceHistogramName(getCategoryName(Cat));
+}
+
+std::string
+cfed::renderPropagationFunnel(const telemetry::RegistrySnapshot &Snap) {
+  // Column order mirrors the funnel: detection first, then the bad
+  // outcomes, then the benign tail.
+  static constexpr telemetry::PropClass Cols[] = {
+      telemetry::PropClass::DetectedClean,
+      telemetry::PropClass::DetectedAfterDivergence,
+      telemetry::PropClass::SdcExplained,
+      telemetry::PropClass::SdcUnexplained,
+      telemetry::PropClass::MaskedClean,
+      telemetry::PropClass::MaskedConverged,
+      telemetry::PropClass::MaskedLatent,
+      telemetry::PropClass::TimeoutClean,
+      telemetry::PropClass::TimeoutAfterDivergence,
+  };
+  static constexpr const char *ColNames[] = {
+      "det-cln", "det-div", "sdc-exp", "sdc-unx", "msk-cln",
+      "msk-cnv", "msk-lat", "to-cln",  "to-div",
+  };
+  constexpr size_t NumCols = sizeof(Cols) / sizeof(Cols[0]);
+
+  uint64_t Grand = 0;
+  uint64_t ColTotals[NumCols] = {};
+  std::string Rows;
+  for (unsigned C = 0; C < NumBranchErrorCategories; ++C) {
+    BranchErrorCategory Cat = static_cast<BranchErrorCategory>(C);
+    uint64_t RowTotal = 0;
+    uint64_t Counts[NumCols];
+    for (size_t I = 0; I < NumCols; ++I) {
+      Counts[I] = Snap.counterOr(getPropagationCounterName(Cat, Cols[I]));
+      RowTotal += Counts[I];
+      ColTotals[I] += Counts[I];
+    }
+    if (!RowTotal)
+      continue;
+    Grand += RowTotal;
+    Rows += formatString("  %-9s %7llu", getCategoryName(Cat),
+                         static_cast<unsigned long long>(RowTotal));
+    for (size_t I = 0; I < NumCols; ++I)
+      Rows += formatString(" %7llu",
+                           static_cast<unsigned long long>(Counts[I]));
+    std::string Dist = "-";
+    for (const auto &[Name, H] : Snap.Histograms)
+      if (Name == getPropagationDistanceName(Cat) && H.Count)
+        Dist = formatString("%s/%s", H.quantileText(0.5).c_str(),
+                            H.quantileText(0.9).c_str());
+    Rows += formatString("  %s\n", Dist.c_str());
+  }
+  if (!Grand)
+    return "";
+
+  std::string Out =
+      "propagation funnel (first divergence -> outcome, per category):\n";
+  Out += formatString("  %-9s %7s", "cell", "inj");
+  for (size_t I = 0; I < NumCols; ++I)
+    Out += formatString(" %7s", ColNames[I]);
+  Out += formatString("  %s\n", "dist p50/p90");
+  Out += Rows;
+  Out += formatString("  %-9s %7llu", "total",
+                      static_cast<unsigned long long>(Grand));
+  for (size_t I = 0; I < NumCols; ++I)
+    Out += formatString(" %7llu",
+                        static_cast<unsigned long long>(ColTotals[I]));
+  Out += "  -\n";
+  return Out;
 }
 
 CampaignResult
@@ -103,8 +197,15 @@ struct FaultCampaign::Instance {
   Interpreter Interp;
   bool Ok;
 
-  Instance(const AsmProgram &Program, const DbtConfig &Config)
+  /// \p Digests must be attached before load(): eager configurations
+  /// translate at load time, and the Digest markers must be in the
+  /// cache from the first translation so every run of the campaign
+  /// shares one layout.
+  Instance(const AsmProgram &Program, const DbtConfig &Config,
+           telemetry::DigestRecorder *Digests = nullptr)
       : Translator(Mem, Config), Interp(Mem) {
+    if (Digests)
+      Translator.setDigestRecorder(Digests);
     Ok = Translator.load(Program, Interp.state());
   }
 };
@@ -284,21 +385,30 @@ bool FaultCampaign::matchesClass(uint64_t SiteAddr, SiteClass Class) const {
 }
 
 bool FaultCampaign::prepare(uint64_t MaxInsns) {
-  Instance Golden(Program, Config);
-  if (!Golden.Ok)
+  telemetry::DigestRecorder Digests;
+  Instance Ref(Program, Config, PropEnabled ? &Digests : nullptr);
+  if (!Ref.Ok)
     return false;
   CountingHook Hook;
-  Golden.Interp.setFaultHook(&Hook);
-  StopInfo Stop = Golden.Translator.run(Golden.Interp, MaxInsns);
+  Ref.Interp.setFaultHook(&Hook);
+  StopInfo Stop = Ref.Translator.run(Ref.Interp, MaxInsns);
   if (Stop.Kind != StopKind::Halted)
     return false;
-  GoldenInsns = Golden.Interp.instructionCount();
-  GoldenHash = hashOutput(Golden.Interp.output());
+  GoldenInsns = Ref.Interp.instructionCount();
+  GoldenHash = hashOutput(Ref.Interp.output());
   InsnBudget = GoldenInsns * 4 + 100000;
+  if (PropEnabled) {
+    Golden.Records = Digests.takeRecords();
+    // Fingerprint the reference execution, not the bytes of the image:
+    // the output hash and retired count together reject an oracle
+    // recorded from a different program or configuration.
+    Golden.ProgramFp = GoldenHash;
+    Golden.ConfigFp = GoldenInsns;
+  }
 
   Sites.clear();
   InstrMap.clear();
-  for (const BranchSiteInfo &Site : Golden.Translator.enumerateBranchSites()) {
+  for (const BranchSiteInfo &Site : Ref.Translator.enumerateBranchSites()) {
     Sites[Site.CacheAddr].IsInstr = Site.IsInstrumentation;
     InstrMap[Site.CacheAddr] = Site.IsInstrumentation;
   }
@@ -367,7 +477,11 @@ std::vector<PlannedFault> FaultCampaign::plan(uint64_t NumCandidates,
     Faults.push_back(Fault);
   }
 
-  Instance Planner(Program, Config);
+  // A prop-enabled campaign plants Digest markers in every instance —
+  // including this one, or the cache layout (and so the site addresses
+  // recorded in prepare()) would not reproduce.
+  telemetry::DigestRecorder Digests;
+  Instance Planner(Program, Config, PropEnabled ? &Digests : nullptr);
   if (!Planner.Ok)
     reportFatalError("planning instance failed to load after prepare()");
   PlanningHook Hook(*this, Class, InstrMap, Planner.Translator, Faults);
@@ -386,7 +500,7 @@ namespace {
 void writeInjectionBundle(telemetry::FlightRecorder &Recorder, Dbt &Translator,
                           Interpreter &Interp, const StopInfo &Stop,
                           const PlannedFault &Fault, bool Fired,
-                          Outcome Result) {
+                          Outcome Result, const telemetry::PropagationReport &Prop) {
   telemetry::PostMortem PM =
       Translator.buildPostMortem("campaign-injection", Stop, Interp);
   PM.Annotations.emplace_back("instance", Fault.Instance);
@@ -395,6 +509,17 @@ void writeInjectionBundle(telemetry::FlightRecorder &Recorder, Dbt &Translator,
       "flag_bit_fault", Fault.Kind == FaultKind::FlagBit ? 1 : 0);
   PM.Annotations.emplace_back("site_addr", Fault.SiteAddr);
   PM.Annotations.emplace_back("fired", Fired ? 1 : 0);
+  if (Prop.Enabled) {
+    PM.Propagation.Present = true;
+    PM.Propagation.Class = telemetry::getPropClassName(Prop.Class);
+    PM.Propagation.Diverged = Prop.Diverged;
+    PM.Propagation.DivergenceOrdinal = Prop.DivergenceOrdinal;
+    PM.Propagation.DivergenceKey = Prop.DivergenceKey;
+    PM.Propagation.DivergencePC = Prop.DivergencePC;
+    PM.Propagation.TaintedBlocks = Prop.TaintedBlocks;
+    PM.Propagation.ChecksCrossed = Prop.ChecksCrossed;
+    PM.Propagation.InsnsCrossed = Prop.InsnsCrossed;
+  }
   PM.Note = getOutcomeName(Result);
   Recorder.write(PM);
 }
@@ -405,7 +530,8 @@ InjectionReport
 FaultCampaign::injectDetailed(const PlannedFault &Fault,
                               telemetry::FlightRecorder *Recorder) const {
   assert(Prepared && "call prepare() first");
-  Instance Run(Program, Config);
+  telemetry::DigestRecorder Digests;
+  Instance Run(Program, Config, PropEnabled ? &Digests : nullptr);
   if (!Run.Ok)
     reportFatalError("injection instance failed to load after prepare()");
   InjectionHook Hook(*this, Fault.Class, InstrMap, Fault, Run.Interp);
@@ -448,9 +574,12 @@ FaultCampaign::injectDetailed(const PlannedFault &Fault,
     break;
   }
   }
+  if (PropEnabled)
+    Report.Prop = telemetry::analyzePropagation(
+        Golden.Records, Digests.records(), toPropOutcome(Report.Result));
   if (Recorder)
     writeInjectionBundle(*Recorder, Run.Translator, Run.Interp, Stop, Fault,
-                         Hook.Fired, Report.Result);
+                         Hook.Fired, Report.Result, Report.Prop);
   return Report;
 }
 
@@ -459,7 +588,10 @@ FaultCampaign::injectWithRecovery(const PlannedFault &Fault,
                                   const RecoveryConfig &Recovery,
                                   telemetry::FlightRecorder *Recorder) const {
   assert(Prepared && "call prepare() first");
-  Instance Run(Program, Config);
+  // Recovery campaigns do not track propagation, but the layout must
+  // still match prepare()'s when the campaign is prop-enabled.
+  telemetry::DigestRecorder Digests;
+  Instance Run(Program, Config, PropEnabled ? &Digests : nullptr);
   if (!Run.Ok)
     reportFatalError("injection instance failed to load after prepare()");
   InjectionHook Hook(*this, Fault.Class, InstrMap, Fault, Run.Interp);
@@ -552,6 +684,29 @@ FaultCampaign::tallyOutcomes(const std::vector<const PlannedFault *> &Sel,
   return Result;
 }
 
+void FaultCampaign::tallyPropagation(
+    const std::vector<const PlannedFault *> &Sel,
+    const std::vector<telemetry::PropagationReport> &Prop) {
+  // Same discipline as tallyOutcomes: serial, position-indexed, into a
+  // fresh registry that folds into Metrics — so the prop.* instruments
+  // are identical for any job count (and, at the engine level, for any
+  // shard split).
+  telemetry::MetricsRegistry PropMetrics;
+  std::vector<uint64_t> Bounds = telemetry::propDistanceBounds();
+  for (size_t I = 0; I < Sel.size(); ++I) {
+    if (!Prop[I].Enabled)
+      continue;
+    PropMetrics.counter(getPropagationCounterName(Sel[I]->Category,
+                                                  Prop[I].Class))
+        .inc();
+    if (Prop[I].Class == telemetry::PropClass::DetectedAfterDivergence)
+      PropMetrics.histogram(getPropagationDistanceName(Sel[I]->Category),
+                            Bounds)
+          .observe(Prop[I].InsnsCrossed);
+  }
+  Metrics.merge(PropMetrics.snapshot());
+}
+
 CampaignResult FaultCampaign::run(uint64_t NumInjections, uint64_t Seed,
                                   SiteClass Class, unsigned Jobs) {
   // Over-plan: a sizeable share of random faults are NoError.
@@ -563,11 +718,17 @@ CampaignResult FaultCampaign::run(uint64_t NumInjections, uint64_t Seed,
   // Parallel injection into position-indexed slots. Each worker touches
   // only its own slot; the merge into the registry stays serial.
   std::vector<Outcome> Outcomes(Selected.size());
+  std::vector<telemetry::PropagationReport> Prop(Selected.size());
   ThreadPool Pool(Jobs);
   Pool.parallelFor(Selected.size(), [&](uint64_t I) {
-    Outcomes[I] = inject(*Selected[I]);
+    InjectionReport Rep = injectDetailed(*Selected[I]);
+    Outcomes[I] = Rep.Result;
+    Prop[I] = Rep.Prop;
   });
-  return tallyOutcomes(Selected, Outcomes);
+  CampaignResult Result = tallyOutcomes(Selected, Outcomes);
+  if (PropEnabled)
+    tallyPropagation(Selected, Prop);
+  return Result;
 }
 
 CampaignResult FaultCampaign::runWithRecovery(uint64_t NumInjections,

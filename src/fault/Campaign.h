@@ -38,6 +38,7 @@
 #include "fault/Category.h"
 #include "fault/ErrorModel.h"
 #include "recovery/Recovery.h"
+#include "telemetry/Provenance.h"
 
 #include <array>
 #include <cstdint>
@@ -104,6 +105,26 @@ const char *getOutcomeName(Outcome O);
 /// \p Cat: "fault.cat_<category>.<outcome>".
 std::string getOutcomeCounterName(BranchErrorCategory Cat, Outcome O);
 
+/// Maps a campaign outcome down to the telemetry layer's propagation
+/// outcome (Recovered folds to Detected and RecoveryFailed to Sdc, but
+/// recovery campaigns do not track propagation today).
+telemetry::PropOutcome toPropOutcome(Outcome O);
+
+/// Counter name "prop.cat_<category>.<class>" for campaign aggregation.
+std::string getPropagationCounterName(BranchErrorCategory Cat,
+                                      telemetry::PropClass C);
+
+/// Histogram name "prop.distance.cat_<category>": divergence-to-detection
+/// distance in guest instructions for DetectedAfterDivergence injections.
+std::string getPropagationDistanceName(BranchErrorCategory Cat);
+
+/// Renders the per-category divergence→outcome funnel from the
+/// prop.cat_*.* counters (and prop.distance.cat_* histograms) of
+/// \p Snap as an aligned table with a totals row. Returns "" when the
+/// snapshot carries no propagation tallies — callers print nothing for
+/// non-propagation campaigns.
+std::string renderPropagationFunnel(const telemetry::RegistrySnapshot &Snap);
+
 /// Rebuilds per-category outcome tallies from the
 /// "fault.cat_*.*" counters of \p Snap — the inverse of the tally pass
 /// campaigns use, so results and telemetry can never disagree.
@@ -121,6 +142,10 @@ struct InjectionReport {
   /// The fault actually fired (always true when the instance index is
   /// within the golden run's branch count).
   bool Fired = false;
+  /// Propagation provenance versus the golden digest oracle. Only
+  /// populated (Prop.Enabled) when the campaign ran with
+  /// enablePropagation(true).
+  telemetry::PropagationReport Prop;
 };
 
 /// Outcome tallies.
@@ -177,6 +202,21 @@ struct CampaignResult {
 class FaultCampaign {
 public:
   FaultCampaign(const AsmProgram &Program, DbtConfig Config);
+
+  /// Enables the fault-propagation provenance layer (DESIGN.md §14).
+  /// Must be set before prepare(): the golden run then records the
+  /// digest oracle, and every injection replays against it to fill
+  /// InjectionReport::Prop. Attaching the digest recorder changes the
+  /// code-cache layout (one Digest marker per sub-block), so results
+  /// are comparable only within one enablePropagation setting.
+  void enablePropagation(bool On) { PropEnabled = On; }
+  bool propagationEnabled() const { return PropEnabled; }
+
+  /// The golden digest oracle recorded by prepare() when propagation is
+  /// enabled. ProgramFp/ConfigFp carry the golden output hash and
+  /// instruction count — enough to reject an oracle file recorded from
+  /// a different program or configuration.
+  const telemetry::GoldenTrace &goldenTrace() const { return Golden; }
 
   /// Golden run. Returns false if the program fails to load or does not
   /// halt within \p MaxInsns.
@@ -265,6 +305,11 @@ private:
   CampaignResult tallyOutcomes(const std::vector<const PlannedFault *> &Sel,
                                const std::vector<Outcome> &Outcomes);
 
+  /// Serial prop.* tally from position-indexed propagation slots — the
+  /// propagation analogue of tallyOutcomes, jobs-invariant the same way.
+  void tallyPropagation(const std::vector<const PlannedFault *> &Sel,
+                        const std::vector<telemetry::PropagationReport> &Prop);
+
   const AsmProgram &Program;
   DbtConfig Config;
   telemetry::MetricsRegistry Metrics;
@@ -277,6 +322,8 @@ private:
   std::unordered_map<uint64_t, bool> InstrMap;
   uint64_t ExecAll = 0, ExecInstr = 0, ExecOrig = 0;
   bool Prepared = false;
+  bool PropEnabled = false;
+  telemetry::GoldenTrace Golden;
 };
 
 } // namespace cfed

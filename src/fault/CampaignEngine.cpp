@@ -200,6 +200,21 @@ std::string effectiveRunId(const EngineConfig &Engine) {
                               : Engine.RunId;
 }
 
+/// Folds one injection's propagation provenance into the cumulative
+/// registry (a no-op when the campaign does not track propagation).
+/// Runs inside the serial position-indexed tally loops, so the prop.*
+/// instruments inherit their jobs/shard invariance.
+void tallyPropagation(telemetry::MetricsRegistry &Cumulative,
+                      BranchErrorCategory Cat, const InjectionReport &Report,
+                      const std::vector<uint64_t> &DistBounds) {
+  if (!Report.Prop.Enabled)
+    return;
+  Cumulative.counter(getPropagationCounterName(Cat, Report.Prop.Class)).inc();
+  if (Report.Prop.Class == telemetry::PropClass::DetectedAfterDivergence)
+    Cumulative.histogram(getPropagationDistanceName(Cat), DistBounds)
+        .observe(Report.Prop.InsnsCrossed);
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -463,9 +478,15 @@ std::string CampaignEngine::coordinatorLivePath(const std::string &Dir,
 
 EngineReport CampaignEngine::run() {
   FaultCampaign Campaign(Program, Config);
+  Campaign.enablePropagation(Engine.TrackPropagation);
   if (!Campaign.prepare(Engine.MaxInsns))
     reportFatalError("campaign engine: golden run failed (program does not "
                      "load or halt within the instruction budget)");
+  if (Engine.TrackPropagation && !Engine.GoldenTraceFile.empty()) {
+    std::string Error;
+    if (!Campaign.goldenTrace().save(Engine.GoldenTraceFile, &Error))
+      reportFatalErrorf("campaign engine: %s", Error.c_str());
+  }
 
   // Deterministic plan. Over-plan 4x: the surplus beyond the primary
   // schedule is the reserve pool early stopping reallocates from.
@@ -555,6 +576,7 @@ EngineReport CampaignEngine::run() {
 
   ThreadPool Pool(Engine.Jobs);
   std::vector<uint64_t> LatBounds = latencyBounds();
+  std::vector<uint64_t> DistBounds = telemetry::propDistanceBounds();
   uint64_t Batches = 0;
   bool Finished = true;
 
@@ -620,6 +642,7 @@ EngineReport CampaignEngine::run() {
              Report.Result == Outcome::DetectedHardware))
           Cumulative.histogram(getLatencyHistogramName(Cat), LatBounds)
               .observe(Report.LatencyInsns);
+        tallyPropagation(Cumulative, Cat, Report, DistBounds);
       }
       Completed += Batch.size();
     }
@@ -850,6 +873,7 @@ EngineReport CampaignEngine::runCoordinated(
 
   ThreadPool Pool(Engine.Jobs);
   std::vector<uint64_t> LatBounds = latencyBounds();
+  std::vector<uint64_t> DistBounds = telemetry::propDistanceBounds();
   uint64_t Batches = 0;
   bool Finished = true;
 
@@ -922,6 +946,7 @@ EngineReport CampaignEngine::runCoordinated(
              Report.Result == Outcome::DetectedHardware))
           Cumulative.histogram(getLatencyHistogramName(Cat), LatBounds)
               .observe(Report.LatencyInsns);
+        tallyPropagation(Cumulative, Cat, Report, DistBounds);
       }
       Completed += Mine.size();
     }

@@ -106,6 +106,20 @@ struct EngineConfig {
   /// "campaign-<seed>".
   std::string RunId;
 
+  /// Fault-propagation provenance (DESIGN.md §14): the golden run
+  /// records a digest oracle and every injection replays against it,
+  /// feeding prop.cat_*.* funnel counters and prop.distance.cat_*
+  /// histograms into the cumulative registry. The prop.* instruments
+  /// live in the same checkpointed registry as the outcome counters,
+  /// so they are jobs- and shard-invariant and resume-safe for free.
+  /// Note the digest markers change the code-cache layout: a
+  /// propagation campaign's plan is not interchangeable with a plain
+  /// one (the plan hash differs, so checkpoints refuse the mix).
+  bool TrackPropagation = false;
+  /// When non-empty (and TrackPropagation), the golden run's digest
+  /// oracle is also saved to this file after prepare().
+  std::string GoldenTraceFile;
+
   /// Test hook: stop (with Finished = false) after this many batches.
   /// 0 = run to completion. A subsequent run with the same checkpoint
   /// file continues where this one stopped.

@@ -51,8 +51,10 @@ std::string hexString(uint64_t V) {
 
 std::string FlightRecorder::renderJson(const PostMortem &PM,
                                        size_t MaxEvents) {
+  // Version 2 added the optional "propagation" section; everything a
+  // version-1 reader understood is unchanged.
   std::string Out = "{\n";
-  Out += "  \"version\": 1,\n";
+  Out += "  \"version\": 2,\n";
   appendStringField(Out, "reason", PM.Reason);
 
   Out += "  \"stop\": {";
@@ -114,6 +116,23 @@ std::string FlightRecorder::renderJson(const PostMortem &PM,
       static_cast<unsigned long long>(PM.Recovery.RingDepth),
       PM.Recovery.Degraded ? "true" : "false",
       PM.Recovery.InterpreterFallback ? "true" : "false");
+
+  if (PM.Propagation.Present) {
+    Out += formatString(
+        "  \"propagation\": {\"present\": true, \"class\": \"%s\", "
+        "\"diverged\": %s, \"divergence_ordinal\": %llu, "
+        "\"divergence_key\": %llu, \"divergence_pc\": \"%s\", "
+        "\"tainted_blocks\": %llu, \"checks_crossed\": %llu, "
+        "\"insns_crossed\": %llu},\n",
+        PM.Propagation.Class.c_str(),
+        PM.Propagation.Diverged ? "true" : "false",
+        static_cast<unsigned long long>(PM.Propagation.DivergenceOrdinal),
+        static_cast<unsigned long long>(PM.Propagation.DivergenceKey),
+        hexString(PM.Propagation.DivergencePC).c_str(),
+        static_cast<unsigned long long>(PM.Propagation.TaintedBlocks),
+        static_cast<unsigned long long>(PM.Propagation.ChecksCrossed),
+        static_cast<unsigned long long>(PM.Propagation.InsnsCrossed));
+  }
 
   appendStringField(Out, "guest_disasm", PM.GuestDisasm);
   appendStringField(Out, "host_disasm", PM.HostDisasm);

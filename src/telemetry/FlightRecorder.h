@@ -45,6 +45,24 @@ struct PostMortemRecovery {
   bool InterpreterFallback = false;
 };
 
+/// Fault-propagation provenance at bundle time (DESIGN.md §14). Present
+/// only for campaign injections run against a golden digest oracle —
+/// its arrival is what bumped the bundle format to version 2 (version-1
+/// bundles simply have no "propagation" member; readers treat that as
+/// Present = false).
+struct PostMortemPropagation {
+  bool Present = false;
+  /// Funnel class name ("detected-after-divergence", ...).
+  std::string Class;
+  bool Diverged = false;
+  uint64_t DivergenceOrdinal = 0;
+  uint64_t DivergenceKey = 0;
+  uint64_t DivergencePC = 0;
+  uint64_t TaintedBlocks = 0;
+  uint64_t ChecksCrossed = 0;
+  uint64_t InsnsCrossed = 0;
+};
+
 /// Everything a bundle records. All fields optional; empty strings and
 /// zero values serialize as such.
 struct PostMortem {
@@ -74,6 +92,7 @@ struct PostMortem {
   std::vector<TraceEvent> Events;
   RegistrySnapshot Registry;
   PostMortemRecovery Recovery;
+  PostMortemPropagation Propagation;
 
   /// Disassembly of the faulting block (guest view and code-cache view).
   std::string GuestDisasm;

@@ -211,12 +211,11 @@ std::string telemetry::renderLiveView(const std::vector<ShardSample> &Samples,
                           "count", "mean", "p50", "p90", "p99");
       Header = true;
     }
-    Out += formatString("    %-22s %8llu %10.1f %8llu %8llu %8llu\n",
-                        Name.c_str(),
+    Out += formatString("    %-22s %8llu %10.1f %8s %8s %8s\n", Name.c_str(),
                         static_cast<unsigned long long>(H.Count), H.mean(),
-                        static_cast<unsigned long long>(H.quantile(0.5)),
-                        static_cast<unsigned long long>(H.quantile(0.9)),
-                        static_cast<unsigned long long>(H.quantile(0.99)));
+                        H.quantileText(0.5).c_str(),
+                        H.quantileText(0.9).c_str(),
+                        H.quantileText(0.99).c_str());
   }
   return Out;
 }

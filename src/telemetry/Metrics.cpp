@@ -77,9 +77,14 @@ double RegistrySnapshot::HistogramValue::mean() const {
   return static_cast<double>(Sum) / static_cast<double>(Count);
 }
 
-uint64_t RegistrySnapshot::HistogramValue::quantile(double Q) const {
+namespace {
+
+/// Index of the bucket holding the \p Q-quantile sample; Buckets.size()
+/// when the histogram is empty.
+size_t quantileBucket(const std::vector<uint64_t> &Buckets, uint64_t Count,
+                      double Q) {
   if (Count == 0)
-    return 0;
+    return Buckets.size();
   Q = std::min(1.0, std::max(0.0, Q));
   // Rank of the wanted sample (1-based, ceil) within the cumulated
   // bucket counts.
@@ -91,9 +96,32 @@ uint64_t RegistrySnapshot::HistogramValue::quantile(double Q) const {
   for (size_t I = 0; I < Buckets.size(); ++I) {
     Cumulative += Buckets[I];
     if (Cumulative >= Rank)
-      return I < Bounds.size() ? Bounds[I] : Bounds.back() + 1;
+      return I;
   }
-  return Bounds.empty() ? 0 : Bounds.back() + 1;
+  return Buckets.size() - 1;
+}
+
+} // namespace
+
+uint64_t RegistrySnapshot::HistogramValue::quantile(double Q) const {
+  size_t I = quantileBucket(Buckets, Count, Q);
+  if (I >= Buckets.size() || Bounds.empty())
+    return 0;
+  // The overflow bucket is open-ended: clamp to the largest finite
+  // bound (the old "+ 1" both understated large samples and could wrap)
+  // and let quantileOverflows()/quantileText() carry the ">=" signal.
+  return I < Bounds.size() ? Bounds[I] : Bounds.back();
+}
+
+bool RegistrySnapshot::HistogramValue::quantileOverflows(double Q) const {
+  size_t I = quantileBucket(Buckets, Count, Q);
+  return I < Buckets.size() && I >= Bounds.size();
+}
+
+std::string RegistrySnapshot::HistogramValue::quantileText(double Q) const {
+  if (quantileOverflows(Q))
+    return ">=" + std::to_string(Bounds.empty() ? 0 : Bounds.back());
+  return std::to_string(quantile(Q));
 }
 
 uint64_t RegistrySnapshot::counterOr(const std::string &Name,

@@ -93,9 +93,19 @@ struct RegistrySnapshot {
     /// Sum / Count; 0 when empty.
     double mean() const;
     /// Upper bound of the bucket containing the \p Q-quantile sample
-    /// (Q in [0,1]); the overflow bucket reports the largest bound + 1.
-    /// 0 when empty.
+    /// (Q in [0,1]); 0 when empty. When the sample falls in the
+    /// open-ended overflow bucket this clamps to the largest bound —
+    /// check quantileOverflows() (or use quantileText(), which renders
+    /// ">=max") rather than trusting the clamped number: the actual
+    /// sample may be arbitrarily larger.
     uint64_t quantile(double Q) const;
+    /// True when the \p Q-quantile sample falls in the overflow bucket,
+    /// i.e. quantile(Q) is a clamp, not a bound.
+    bool quantileOverflows(double Q) const;
+    /// Display form of quantile(Q): the bound in decimal, or ">=max"
+    /// for the open-ended overflow bucket. The one renderer every
+    /// text/JSON sink shares.
+    std::string quantileText(double Q) const;
 
     bool operator==(const HistogramValue &) const = default;
   };

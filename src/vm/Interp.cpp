@@ -6,6 +6,7 @@
 #include "support/Format.h"
 #include "telemetry/BlockProfile.h"
 #include "telemetry/Metrics.h"
+#include "telemetry/Provenance.h"
 
 #include <cassert>
 #include <cmath>
@@ -186,6 +187,19 @@ StopInfo Interpreter::run(uint64_t MaxInsns) {
   StopInfo Stop;
   uint64_t Budget = MaxInsns;
 
+  // Digest capture (DESIGN.md §14). DRec drives the mode-independent
+  // store/output summaries and the Digest markers; DXfer is non-null
+  // only in Interp mode, where the transfer handlers capture directly.
+  telemetry::DigestRecorder *const DRec = DigestRec;
+  telemetry::DigestRecorder *const DXfer =
+      DRec && DRec->interpMode() ? DRec : nullptr;
+  // Every FP-register write marks the FP file live for digest capture;
+  // see DigestRecorder::noteFpWrite.
+  auto NoteFpWrite = [DRec] {
+    if (DRec)
+      DRec->noteFpWrite();
+  };
+
   auto MakeTrap = [&](TrapKind Kind, uint64_t TrapAddr,
                       int32_t BreakCode = 0) {
     Stop.Kind = StopKind::Trapped;
@@ -223,7 +237,10 @@ StopInfo Interpreter::run(uint64_t MaxInsns) {
     ++Insns;
     Cycles += getOpcodeCost(I.Op);
 
-    if (PreInsn)
+    // Digest markers are invisible to hooks: register-fault injectors
+    // count executed instructions to pick their injection instant, and
+    // that instant must not shift when digest capture is enabled.
+    if (PreInsn && I.Op != Opcode::Digest)
       PreInsn->onInsn(PC, I, State);
 
     uint64_t *Regs = State.Regs;
@@ -255,10 +272,14 @@ StopInfo Interpreter::run(uint64_t MaxInsns) {
     OP_CASE(Nop):
       OP_BREAK;
     OP_CASE(Halt):
+      if (DXfer)
+        DXfer->onTransfer(Insns - 1, PC, Regs, Fp, F.pack());
       Stop.Kind = StopKind::Halted;
       Stop.PC = PC;
       return Stop;
     OP_CASE(Brk):
+      if (DXfer)
+        DXfer->onTransfer(Insns - 1, PC, Regs, Fp, F.pack());
       return MakeTrap(TrapKind::BreakTrap, PC, I.Imm);
     OP_CASE(Out): {
       // Decimal append without the printf round-trip: Out sits inside the
@@ -277,11 +298,17 @@ StopInfo Interpreter::run(uint64_t MaxInsns) {
       if (V < 0)
         *--P = '-';
       OutputBuffer.append(P, static_cast<size_t>(End - P));
+      if (DRec)
+        DRec->noteOutput(P, static_cast<size_t>(End - P));
       OP_BREAK;
     }
-    OP_CASE(OutC):
-      OutputBuffer += static_cast<char>(Regs[I.A] & 0xff);
+    OP_CASE(OutC): {
+      char C = static_cast<char>(Regs[I.A] & 0xff);
+      OutputBuffer += C;
+      if (DRec)
+        DRec->noteOutput(&C, 1);
       OP_BREAK;
+    }
 
     OP_CASE(Add): {
       uint64_t A = Regs[I.B], B = Regs[I.C], R = A + B;
@@ -455,6 +482,10 @@ StopInfo Interpreter::run(uint64_t MaxInsns) {
       }
       if (R != MemResult::Ok)
         return MakeTrap(TrapKind::WriteViolation, Addr);
+      // Note the store only after it succeeded: the SMC retry path above
+      // re-executes the instruction and must not double-count it.
+      if (DRec)
+        DRec->noteStore(Addr, Regs[I.B]);
       OP_BREAK;
     }
     OP_CASE(LdB): {
@@ -475,6 +506,8 @@ StopInfo Interpreter::run(uint64_t MaxInsns) {
       }
       if (R != MemResult::Ok)
         return MakeTrap(TrapKind::WriteViolation, Addr);
+      if (DRec)
+        DRec->noteStore(Addr, Regs[I.B] & 0xff);
       OP_BREAK;
     }
     OP_CASE(Push): {
@@ -482,6 +515,8 @@ StopInfo Interpreter::run(uint64_t MaxInsns) {
       MemResult R = Mem.write64(Regs[RegSP], Regs[I.A]);
       if (R != MemResult::Ok)
         return MakeTrap(TrapKind::WriteViolation, Regs[RegSP]);
+      if (DRec)
+        DRec->noteStore(Regs[RegSP], Regs[I.A]);
       OP_BREAK;
     }
     OP_CASE(Pop): {
@@ -495,11 +530,18 @@ StopInfo Interpreter::run(uint64_t MaxInsns) {
     }
 
     OP_CASE(Jmp):
+      if (DXfer)
+        DXfer->onTransfer(Insns - 1, PC, Regs, Fp, F.pack());
       NextPC = I.branchTarget(PC);
       if (Profiler)
         Profiler->onBranch(PC, I, BranchFlags, true, NextPC);
       OP_BREAK;
     OP_CASE(Jcc): {
+      // Digest capture sees the architectural flags, not the branch's
+      // possibly fault-perturbed view: the error model is a transient
+      // upset at the branch, not a FLAGS corruption.
+      if (DXfer)
+        DXfer->onTransfer(Insns - 1, PC, Regs, Fp, F.pack());
       bool Taken = evalCondCode(I.cond(), BranchFlags);
       if (Taken)
         NextPC = I.branchTarget(PC);
@@ -508,6 +550,8 @@ StopInfo Interpreter::run(uint64_t MaxInsns) {
       OP_BREAK;
     }
     OP_CASE(Jzr): {
+      if (DXfer)
+        DXfer->onTransfer(Insns - 1, PC, Regs, Fp, F.pack());
       bool Taken = Regs[I.A] == 0;
       if (Taken)
         NextPC = I.branchTarget(PC);
@@ -516,6 +560,8 @@ StopInfo Interpreter::run(uint64_t MaxInsns) {
       OP_BREAK;
     }
     OP_CASE(Jnzr): {
+      if (DXfer)
+        DXfer->onTransfer(Insns - 1, PC, Regs, Fp, F.pack());
       bool Taken = Regs[I.A] != 0;
       if (Taken)
         NextPC = I.branchTarget(PC);
@@ -524,27 +570,41 @@ StopInfo Interpreter::run(uint64_t MaxInsns) {
       OP_BREAK;
     }
     OP_CASE(Call): {
+      // Capture precedes the return-address push, matching the DBT's
+      // marker placement (before the translator's MovI/Push lowering).
+      if (DXfer)
+        DXfer->onTransfer(Insns - 1, PC, Regs, Fp, F.pack());
       Regs[RegSP] -= 8;
       MemResult R = Mem.write64(Regs[RegSP], PC + InsnSize);
       if (R != MemResult::Ok)
         return MakeTrap(TrapKind::WriteViolation, Regs[RegSP]);
+      if (DRec)
+        DRec->noteStore(Regs[RegSP], PC + InsnSize);
       NextPC = I.branchTarget(PC);
       if (Profiler)
         Profiler->onBranch(PC, I, BranchFlags, true, NextPC);
       OP_BREAK;
     }
     OP_CASE(CallR): {
+      if (DXfer)
+        DXfer->onTransfer(Insns - 1, PC, Regs, Fp, F.pack());
       Regs[RegSP] -= 8;
       MemResult R = Mem.write64(Regs[RegSP], PC + InsnSize);
       if (R != MemResult::Ok)
         return MakeTrap(TrapKind::WriteViolation, Regs[RegSP]);
+      if (DRec)
+        DRec->noteStore(Regs[RegSP], PC + InsnSize);
       NextPC = Regs[I.A];
       OP_BREAK;
     }
     OP_CASE(JmpR):
+      if (DXfer)
+        DXfer->onTransfer(Insns - 1, PC, Regs, Fp, F.pack());
       NextPC = Regs[I.A];
       OP_BREAK;
     OP_CASE(Ret): {
+      if (DXfer)
+        DXfer->onTransfer(Insns - 1, PC, Regs, Fp, F.pack());
       MemResult R = MemResult::Ok;
       uint64_t Target = Mem.read64(Regs[RegSP], R);
       if (R != MemResult::Ok)
@@ -556,33 +616,43 @@ StopInfo Interpreter::run(uint64_t MaxInsns) {
 
     OP_CASE(FAdd):
       Fp[I.A] = Fp[I.B] + Fp[I.C];
+      NoteFpWrite();
       OP_BREAK;
     OP_CASE(FSub):
       Fp[I.A] = Fp[I.B] - Fp[I.C];
+      NoteFpWrite();
       OP_BREAK;
     OP_CASE(FMul):
       Fp[I.A] = Fp[I.B] * Fp[I.C];
+      NoteFpWrite();
       OP_BREAK;
     OP_CASE(FDiv):
       Fp[I.A] = Fp[I.B] / Fp[I.C];
+      NoteFpWrite();
       OP_BREAK;
     OP_CASE(FMA):
       Fp[I.A] = Fp[I.A] + Fp[I.B] * Fp[I.C];
+      NoteFpWrite();
       OP_BREAK;
     OP_CASE(FSqrt):
       Fp[I.A] = std::sqrt(Fp[I.B]);
+      NoteFpWrite();
       OP_BREAK;
     OP_CASE(FAbs):
       Fp[I.A] = std::fabs(Fp[I.B]);
+      NoteFpWrite();
       OP_BREAK;
     OP_CASE(FNeg):
       Fp[I.A] = -Fp[I.B];
+      NoteFpWrite();
       OP_BREAK;
     OP_CASE(FMov):
       Fp[I.A] = Fp[I.B];
+      NoteFpWrite();
       OP_BREAK;
     OP_CASE(FMovI):
       Fp[I.A] = static_cast<double>(I.Imm);
+      NoteFpWrite();
       OP_BREAK;
     OP_CASE(FCmp): {
       double A = Fp[I.A], B = Fp[I.B];
@@ -602,6 +672,7 @@ StopInfo Interpreter::run(uint64_t MaxInsns) {
       static_assert(sizeof(Value) == sizeof(Bits));
       __builtin_memcpy(&Value, &Bits, sizeof(Value));
       Fp[I.A] = Value;
+      NoteFpWrite();
       OP_BREAK;
     }
     OP_CASE(FSt): {
@@ -615,10 +686,13 @@ StopInfo Interpreter::run(uint64_t MaxInsns) {
       }
       if (R != MemResult::Ok)
         return MakeTrap(TrapKind::WriteViolation, Addr);
+      if (DRec)
+        DRec->noteStore(Addr, Bits);
       OP_BREAK;
     }
     OP_CASE(IToF):
       Fp[I.A] = static_cast<double>(static_cast<int64_t>(Regs[I.B]));
+      NoteFpWrite();
       OP_BREAK;
     OP_CASE(FToI): {
       double Value = Fp[I.B];
@@ -648,6 +722,19 @@ StopInfo Interpreter::run(uint64_t MaxInsns) {
       // Attribution bump; acts as a nop when no profile is attached.
       if (BlockProf)
         BlockProf->bump(static_cast<uint32_t>(I.Imm));
+      OP_BREAK;
+    }
+    OP_CASE(Digest): {
+      // Sub-block digest capture; acts as a nop with no recorder bound.
+      // The marker is transparent to the execution model: it consumes
+      // no instruction budget and retires no instruction (its opcode
+      // cost is 0 and pre-insn hooks skip it at the call site), so a
+      // run with digests enabled truncates, injects faults and counts
+      // latencies at exactly the same guest instants as one without.
+      ++Budget;
+      --Insns;
+      if (DRec)
+        DRec->onMarker(static_cast<uint32_t>(I.Imm), Regs, Fp, F.pack());
       OP_BREAK;
     }
 #if !CFED_COMPUTED_GOTO

@@ -67,6 +67,7 @@ struct StopInfo;
 
 namespace telemetry {
 class BlockProfile;
+class DigestRecorder;
 class MetricsRegistry;
 } // namespace telemetry
 
@@ -186,6 +187,14 @@ public:
   void setBlockProfile(telemetry::BlockProfile *Profile) {
     BlockProf = Profile;
   }
+  /// Binds / clears the architectural digest recorder (DESIGN.md §14).
+  /// In Interp mode the transfer handlers capture directly; in Marker
+  /// mode capture is driven by translator-planted Digest instructions,
+  /// and Digest acts as a nop when no recorder is bound.
+  void setDigestRecorder(telemetry::DigestRecorder *Recorder) {
+    DigestRec = Recorder;
+  }
+  telemetry::DigestRecorder *digestRecorder() const { return DigestRec; }
 
   /// Runs until Halt, a trap, or \p MaxInsns executed instructions.
   StopInfo run(uint64_t MaxInsns);
@@ -223,6 +232,7 @@ private:
   BranchObserver *Profiler = nullptr;
   DbtHooks *Dbt = nullptr;
   telemetry::BlockProfile *BlockProf = nullptr;
+  telemetry::DigestRecorder *DigestRec = nullptr;
   uint64_t Insns = 0;
   uint64_t Cycles = 0;
   std::string OutputBuffer;

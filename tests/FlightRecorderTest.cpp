@@ -94,6 +94,15 @@ TEST(FlightRecorderTest, BundleRoundTrips) {
   PM.GuestDisasm = "0x10120: add r1, r1, r1\n";
   PM.Annotations.emplace_back("bit", 10);
   PM.Note = "det-hw";
+  PM.Propagation.Present = true;
+  PM.Propagation.Class = "detected-after-divergence";
+  PM.Propagation.Diverged = true;
+  PM.Propagation.DivergenceOrdinal = 41;
+  PM.Propagation.DivergenceKey = 777;
+  PM.Propagation.DivergencePC = 0x10140;
+  PM.Propagation.TaintedBlocks = 3;
+  PM.Propagation.ChecksCrossed = 2;
+  PM.Propagation.InsnsCrossed = 95;
 
   std::string Dir = scratchDir("roundtrip");
   FlightRecorder Recorder(Dir, 256);
@@ -104,7 +113,7 @@ TEST(FlightRecorderTest, BundleRoundTrips) {
 
   JsonValue Root;
   ASSERT_TRUE(parseBundle(Path, Root)) << Path;
-  EXPECT_EQ(Root["version"].Num, 1.0);
+  EXPECT_EQ(Root["version"].Num, 2.0);
   EXPECT_EQ(Root["reason"].Str, "trap");
   EXPECT_EQ(Root["stop"]["kind"].Str, "trap");
   EXPECT_EQ(Root["stop"]["trap"].Str, "exec-violation");
@@ -127,6 +136,15 @@ TEST(FlightRecorderTest, BundleRoundTrips) {
   EXPECT_EQ(Root["guest_disasm"].Str, PM.GuestDisasm);
   EXPECT_EQ(Root["annotations"]["bit"].Num, 10.0);
   EXPECT_EQ(Root["note"].Str, "det-hw");
+  EXPECT_TRUE(Root["propagation"]["present"].B);
+  EXPECT_EQ(Root["propagation"]["class"].Str, "detected-after-divergence");
+  EXPECT_TRUE(Root["propagation"]["diverged"].B);
+  EXPECT_EQ(Root["propagation"]["divergence_ordinal"].Num, 41.0);
+  EXPECT_EQ(Root["propagation"]["divergence_key"].Num, 777.0);
+  EXPECT_EQ(Root["propagation"]["divergence_pc"].Str, "0x10140");
+  EXPECT_EQ(Root["propagation"]["tainted_blocks"].Num, 3.0);
+  EXPECT_EQ(Root["propagation"]["checks_crossed"].Num, 2.0);
+  EXPECT_EQ(Root["propagation"]["insns_crossed"].Num, 95.0);
 
   // A second write gets the next sequence number.
   std::string Path2 = Recorder.write(PM);
@@ -134,6 +152,36 @@ TEST(FlightRecorderTest, BundleRoundTrips) {
   EXPECT_NE(Path2, Path);
   EXPECT_EQ(Recorder.bundleCount(), 2u);
   std::filesystem::remove_all(Dir);
+}
+
+TEST(FlightRecorderTest, PropagationSectionOmittedWhenAbsent) {
+  // Non-propagation runs must not grow a propagation section: version-1
+  // consumers key tolerance off the member's absence, not a null value.
+  PostMortem PM;
+  PM.Reason = "trap";
+  std::string Json = FlightRecorder::renderJson(PM, 8);
+  EXPECT_EQ(Json.find("\"propagation\""), std::string::npos);
+  JsonParser Parser(Json);
+  JsonValue Root;
+  ASSERT_TRUE(Parser.parse(Root)) << Json;
+  EXPECT_FALSE(Root["propagation"]["present"].B);
+}
+
+TEST(FlightRecorderTest, Version1FixtureStillParses) {
+  // Backward compatibility: a checked-in schema-v1 bundle (predating the
+  // propagation section) must keep parsing, and the absent propagation
+  // lookup must read as not-present rather than erroring.
+  JsonValue Root;
+  ASSERT_TRUE(parseBundle(
+      std::string(CFED_TEST_FIXTURE_DIR) + "/postmortem_v1.json", Root));
+  EXPECT_EQ(Root["version"].Num, 1.0);
+  EXPECT_EQ(Root["reason"].Str, "campaign-injection");
+  EXPECT_EQ(Root["stop"]["trap"].Str, "sig-mismatch");
+  EXPECT_EQ(Root["note"].Str, "det-sig");
+  EXPECT_EQ(Root["annotations"]["bit"].Num, 9.0);
+  EXPECT_FALSE(Root["recovery"]["present"].B);
+  EXPECT_FALSE(Root["propagation"]["present"].B);
+  EXPECT_EQ(Root["propagation"].K, JsonValue::Null);
 }
 
 TEST(FlightRecorderTest, EventWindowKeepsLastN) {

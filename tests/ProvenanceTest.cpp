@@ -1,0 +1,378 @@
+//===- ProvenanceTest.cpp - Fault-propagation provenance tests -----------------===//
+//
+// Three layers of coverage for the golden-trace oracle (DESIGN.md §14):
+//
+//  * Digest identity: the per-sub-block digest stream is byte-identical
+//    across the interpreter, the base translator and the optimizing
+//    trace tier (for the flag-neutral techniques), and campaign prop
+//    tallies are --jobs invariant — the properties every oracle replay
+//    silently relies on.
+//  * analyzePropagation classification over synthetic digest streams:
+//    every funnel cell, the strict-prefix rule and the tail metrics.
+//  * GoldenTrace serialization: round trip, fingerprints, rejection of
+//    corrupt files.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dbt/Dbt.h"
+#include "fault/Campaign.h"
+#include "telemetry/Provenance.h"
+#include "vm/Layout.h"
+#include "vm/Loader.h"
+#include "workloads/RandomProgram.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+using namespace cfed;
+using telemetry::AllPropClasses;
+using telemetry::DigestRecord;
+using telemetry::DigestRecorder;
+using telemetry::GoldenTrace;
+using telemetry::PropagationReport;
+using telemetry::PropClass;
+using telemetry::PropOutcome;
+
+namespace {
+
+AsmProgram assembleRandom(uint64_t Seed) {
+  RandomProgramOptions Options;
+  Options.Seed = Seed;
+  Options.UseFp = (Seed % 3) == 0;
+  std::string Source = generateRandomProgram(Options);
+  AsmResult Result = assembleProgram(Source);
+  EXPECT_TRUE(Result.succeeded()) << Result.errorText() << "\n" << Source;
+  return Result.Program;
+}
+
+std::vector<DigestRecord> captureNative(const AsmProgram &Program) {
+  Memory Mem;
+  Interpreter Interp(Mem);
+  DigestRecorder Rec;
+  Rec.setMode(DigestRecorder::Mode::Interp);
+  Interp.setDigestRecorder(&Rec);
+  loadProgram(Program, LoadMode::Native, Mem, Interp.state());
+  StopInfo Stop = Interp.run(10000000ULL);
+  EXPECT_EQ(Stop.Kind, StopKind::Halted);
+  return Rec.takeRecords();
+}
+
+std::vector<DigestRecord> captureDbt(const AsmProgram &Program,
+                                     DbtTier Tier, Technique Tech) {
+  DbtConfig Config;
+  Config.Tier = Tier;
+  Config.Tech = Tech;
+  Memory Mem;
+  Interpreter Interp(Mem);
+  Dbt Translator(Mem, Config);
+  DigestRecorder Rec;
+  Translator.setDigestRecorder(&Rec);
+  EXPECT_TRUE(Translator.load(Program, Interp.state()))
+      << getTechniqueName(Tech);
+  StopInfo Stop = Translator.run(Interp, 20000000ULL);
+  EXPECT_EQ(Stop.Kind, StopKind::Halted)
+      << getTechniqueName(Tech) << " trap=" << getTrapKindName(Stop.Trap);
+  return Rec.takeRecords();
+}
+
+DigestRecord makeRec(uint64_t Key, uint64_t PC, uint64_t Local,
+                     uint64_t Chain, bool Checked = false) {
+  return DigestRecord{Key, PC, Local, Chain, Checked};
+}
+
+std::string scratchFile(const char *Name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("cfed_gt_") + Name + ".bin"))
+      .string();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Digest identity properties
+//===----------------------------------------------------------------------===//
+
+class DigestPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DigestPropertyTest, DigestsIdenticalAcrossTiers) {
+  // The oracle contract: one record per guest sub-block boundary, keyed
+  // by retired guest instructions, identical whether captured by the
+  // interpreter's transfer handlers or by translator-planted markers in
+  // either DBT tier. Restricted to the flag-neutral techniques — CFCSS
+  // and ECCA clobber guest FLAGS at runtime, so their digests are only
+  // comparable within one configuration (the within-campaign case).
+  uint64_t Seed = GetParam();
+  AsmProgram Program = assembleRandom(Seed);
+
+  std::vector<DigestRecord> Native = captureNative(Program);
+  ASSERT_FALSE(Native.empty()) << "seed " << Seed;
+  // The final boundary is the Halt terminator, so the stream spans the
+  // whole run and each record carries a strictly increasing key.
+  for (size_t I = 1; I < Native.size(); ++I)
+    EXPECT_LT(Native[I - 1].Key, Native[I].Key) << "seed " << Seed;
+
+  for (Technique Tech :
+       {Technique::None, Technique::EdgCf, Technique::Rcf}) {
+    for (DbtTier Tier : {DbtTier::Base, DbtTier::Opt}) {
+      std::vector<DigestRecord> Dbt = captureDbt(Program, Tier, Tech);
+      ASSERT_EQ(Dbt.size(), Native.size())
+          << "seed " << Seed << " tech " << getTechniqueName(Tech)
+          << " tier " << getDbtTierName(Tier);
+      for (size_t I = 0; I < Native.size(); ++I) {
+        // Checked is capture-config metadata (the unchecked native
+        // reference records false everywhere), so cross-tier identity
+        // is over the architectural fields; with no checker at all the
+        // full records must match bit for bit.
+        ASSERT_TRUE(Tech == Technique::None ? Dbt[I] == Native[I]
+                                            : Dbt[I].sameArch(Native[I]))
+            << "seed " << Seed << " tech " << getTechniqueName(Tech)
+            << " tier " << getDbtTierName(Tier) << " record " << I
+            << " key " << Native[I].Key;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCfgs, DigestPropertyTest,
+                         ::testing::Range<uint64_t>(1, 26));
+
+TEST(ProvenanceTest, DigestSimdMatchesScalar) {
+  // mixWindowScalar is the digest definition; the dispatched mixWindow
+  // may route to the AVX-512 variant on hosts that have it, and a
+  // golden trace recorded on one host must replay on any other, so the
+  // two must agree bit for bit. (On hosts without AVX-512 this
+  // degenerates to scalar-equals-scalar and trivially passes.)
+  uint64_t W[telemetry::NumDigestIntRegs];
+  uint64_t V = 0x9e3779b97f4a7c15ULL;
+  for (int Round = 0; Round < 1000; ++Round) {
+    for (uint64_t &Slot : W) {
+      V ^= V << 13;
+      V ^= V >> 7;
+      V ^= V << 17;
+      Slot = V;
+    }
+    ASSERT_EQ(DigestRecorder::mixWindow(W),
+              DigestRecorder::mixWindowScalar(W))
+        << "round " << Round;
+  }
+  // Degenerate windows exercise the rotation constants' edge behavior.
+  uint64_t Ones[telemetry::NumDigestIntRegs];
+  std::fill(std::begin(Ones), std::end(Ones), ~uint64_t(0));
+  EXPECT_EQ(DigestRecorder::mixWindow(Ones),
+            DigestRecorder::mixWindowScalar(Ones));
+  std::fill(std::begin(Ones), std::end(Ones), uint64_t(0));
+  EXPECT_EQ(DigestRecorder::mixWindow(Ones),
+            DigestRecorder::mixWindowScalar(Ones));
+}
+
+TEST(ProvenanceTest, CampaignPropTalliesJobsInvariant) {
+  // The propagation funnel rides the campaign's serial position-indexed
+  // tally loop, so the prop.* counters must be identical for any --jobs
+  // value (the property the sharding smoke in CI checks end to end).
+  AsmProgram Program = assembleRandom(11);
+  DbtConfig Config;
+  Config.Tech = Technique::EdgCf;
+
+  telemetry::RegistrySnapshot Snaps[2];
+  for (int I = 0; I < 2; ++I) {
+    FaultCampaign Campaign(Program, Config);
+    Campaign.enablePropagation(true);
+    ASSERT_TRUE(Campaign.prepare(10000000ULL));
+    Campaign.run(30, /*Seed=*/5, SiteClass::Any, /*Jobs=*/I == 0 ? 1 : 3);
+    Snaps[I] = Campaign.metrics().snapshot();
+  }
+  uint64_t Total = 0;
+  for (unsigned C = 0; C < NumBranchErrorCategories; ++C) {
+    auto Cat = static_cast<BranchErrorCategory>(C);
+    for (PropClass Class : AllPropClasses) {
+      std::string Name = getPropagationCounterName(Cat, Class);
+      EXPECT_EQ(Snaps[0].counterOr(Name), Snaps[1].counterOr(Name)) << Name;
+      Total += Snaps[0].counterOr(Name);
+    }
+  }
+  // Every injected fault must land in exactly one funnel cell.
+  EXPECT_EQ(Total, Snaps[0].counterOr("fault.injections"));
+}
+
+TEST(ProvenanceTest, CampaignGoldenTraceMatchesStandaloneCapture) {
+  // The oracle the campaign records during prepare() is the same stream
+  // a standalone instrumented run captures.
+  AsmProgram Program = assembleRandom(7);
+  DbtConfig Config;
+  Config.Tech = Technique::EdgCf;
+  FaultCampaign Campaign(Program, Config);
+  Campaign.enablePropagation(true);
+  ASSERT_TRUE(Campaign.prepare(10000000ULL));
+
+  std::vector<DigestRecord> Standalone =
+      captureDbt(Program, Config.Tier, Config.Tech);
+  const GoldenTrace &Golden = Campaign.goldenTrace();
+  ASSERT_EQ(Golden.Records.size(), Standalone.size());
+  for (size_t I = 0; I < Standalone.size(); ++I)
+    EXPECT_TRUE(Golden.Records[I] == Standalone[I]) << "record " << I;
+  EXPECT_EQ(Golden.ProgramFp, Campaign.goldenHash());
+  EXPECT_EQ(Golden.ConfigFp, Campaign.goldenInsns());
+}
+
+//===----------------------------------------------------------------------===//
+// analyzePropagation classification
+//===----------------------------------------------------------------------===//
+
+TEST(ProvenanceTest, CleanRunsClassifyByOutcomeOnly) {
+  std::vector<DigestRecord> Golden = {makeRec(4, 0x100, 10, 1),
+                                      makeRec(9, 0x120, 11, 2),
+                                      makeRec(15, 0x140, 12, 3)};
+  for (auto [Outcome, Expected] :
+       {std::pair{PropOutcome::Masked, PropClass::MaskedClean},
+        std::pair{PropOutcome::Detected, PropClass::DetectedClean},
+        std::pair{PropOutcome::Timeout, PropClass::TimeoutClean}}) {
+    PropagationReport R = analyzePropagation(Golden, Golden, Outcome);
+    EXPECT_TRUE(R.Enabled);
+    EXPECT_FALSE(R.Diverged);
+    EXPECT_EQ(R.Class, Expected);
+    EXPECT_EQ(R.TaintedBlocks, 0u);
+  }
+}
+
+TEST(ProvenanceTest, DivergenceFindsFirstChainMismatchAndTail) {
+  std::vector<DigestRecord> Golden = {makeRec(4, 0x100, 10, 1),
+                                      makeRec(9, 0x120, 11, 2),
+                                      makeRec(15, 0x140, 12, 3),
+                                      makeRec(20, 0x160, 13, 4)};
+  // Diverges at ordinal 1, then visits 0x150 twice (one tainted block,
+  // counted once) with one checked boundary before detection stops it.
+  std::vector<DigestRecord> Faulted = {
+      makeRec(4, 0x100, 10, 1), makeRec(9, 0x130, 99, 77),
+      makeRec(14, 0x150, 98, 78, /*Checked=*/true),
+      makeRec(19, 0x150, 97, 79)};
+  PropagationReport R =
+      analyzePropagation(Golden, Faulted, PropOutcome::Detected);
+  EXPECT_TRUE(R.Diverged);
+  EXPECT_EQ(R.Class, PropClass::DetectedAfterDivergence);
+  EXPECT_EQ(R.DivergenceOrdinal, 1u);
+  EXPECT_EQ(R.DivergenceKey, 9u);
+  EXPECT_EQ(R.DivergencePC, 0x130u);
+  EXPECT_EQ(R.TaintedBlocks, 2u); // 0x130 and 0x150; repeats dedupe
+  EXPECT_EQ(R.ChecksCrossed, 1u);
+  EXPECT_EQ(R.InsnsCrossed, 19u - 9u);
+}
+
+TEST(ProvenanceTest, StrictCleanPrefixDivergesOnlyForSdc) {
+  // A faulted run that stops early with a clean prefix committed no
+  // divergent state: Detected stays clean (the check cut it short —
+  // that is the machinery working), and a timeout's clean prefix is
+  // likewise clean. For an SDC the truncation itself is the divergence:
+  // the output went wrong because the run ended here, so the first
+  // missing record is the concrete first-divergence point and the tail
+  // metrics are zero (nothing executed past it).
+  std::vector<DigestRecord> Golden = {makeRec(4, 0x100, 10, 1),
+                                      makeRec(9, 0x120, 11, 2),
+                                      makeRec(15, 0x140, 12, 3)};
+  std::vector<DigestRecord> Prefix(Golden.begin(), Golden.begin() + 2);
+  EXPECT_EQ(analyzePropagation(Golden, Prefix, PropOutcome::Detected).Class,
+            PropClass::DetectedClean);
+  EXPECT_EQ(analyzePropagation(Golden, Prefix, PropOutcome::Timeout).Class,
+            PropClass::TimeoutClean);
+  PropagationReport R = analyzePropagation(Golden, Prefix, PropOutcome::Sdc);
+  EXPECT_EQ(R.Class, PropClass::SdcExplained);
+  EXPECT_EQ(R.DivergenceOrdinal, 2u);
+  EXPECT_EQ(R.DivergenceKey, 15u);
+  EXPECT_EQ(R.DivergencePC, 0x140u);
+  EXPECT_EQ(R.TaintedBlocks, 0u);
+  EXPECT_EQ(R.ChecksCrossed, 0u);
+  EXPECT_EQ(R.InsnsCrossed, 0u);
+}
+
+TEST(ProvenanceTest, LongerCleanRunDivergesAtTheExtraRecords) {
+  // A faulted run that keeps going past the golden halt diverged at the
+  // first extra boundary even though every common record matched.
+  std::vector<DigestRecord> Golden = {makeRec(4, 0x100, 10, 1),
+                                      makeRec(9, 0x120, 11, 2)};
+  std::vector<DigestRecord> Faulted = Golden;
+  Faulted.push_back(makeRec(14, 0x140, 12, 3));
+  Faulted.push_back(makeRec(19, 0x160, 13, 4));
+  PropagationReport R =
+      analyzePropagation(Golden, Faulted, PropOutcome::Timeout);
+  EXPECT_TRUE(R.Diverged);
+  EXPECT_EQ(R.Class, PropClass::TimeoutAfterDivergence);
+  EXPECT_EQ(R.DivergenceOrdinal, 2u);
+  EXPECT_EQ(R.DivergenceKey, 14u);
+  EXPECT_EQ(R.InsnsCrossed, 5u);
+}
+
+TEST(ProvenanceTest, MaskedSplitsByFinalStateConvergence) {
+  std::vector<DigestRecord> Golden = {makeRec(4, 0x100, 10, 1),
+                                      makeRec(9, 0x120, 11, 2),
+                                      makeRec(15, 0x140, 12, 3)};
+  // Diverged mid-run but the final boundary's state digest matches the
+  // golden one: the wrong path reconverged.
+  std::vector<DigestRecord> Converged = {makeRec(4, 0x100, 10, 1),
+                                         makeRec(9, 0x130, 99, 77),
+                                         makeRec(16, 0x140, 12, 78)};
+  EXPECT_EQ(analyzePropagation(Golden, Converged, PropOutcome::Masked).Class,
+            PropClass::MaskedConverged);
+  // Output matched (or there was none) but the final state digest still
+  // differs: corruption is latent in registers or memory.
+  std::vector<DigestRecord> Latent = {makeRec(4, 0x100, 10, 1),
+                                      makeRec(9, 0x130, 99, 77),
+                                      makeRec(16, 0x140, 55, 78)};
+  EXPECT_EQ(analyzePropagation(Golden, Latent, PropOutcome::Masked).Class,
+            PropClass::MaskedLatent);
+}
+
+TEST(ProvenanceTest, SdcWithObservedDivergenceIsExplained) {
+  std::vector<DigestRecord> Golden = {makeRec(4, 0x100, 10, 1),
+                                      makeRec(9, 0x120, 11, 2)};
+  std::vector<DigestRecord> Faulted = {makeRec(4, 0x100, 10, 1),
+                                       makeRec(9, 0x120, 99, 77)};
+  PropagationReport R = analyzePropagation(Golden, Faulted, PropOutcome::Sdc);
+  EXPECT_EQ(R.Class, PropClass::SdcExplained);
+  EXPECT_EQ(R.DivergenceOrdinal, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// GoldenTrace serialization
+//===----------------------------------------------------------------------===//
+
+TEST(ProvenanceTest, GoldenTraceRoundTrips) {
+  GoldenTrace Out;
+  Out.ProgramFp = 0xfeedULL;
+  Out.ConfigFp = 0xbeefULL;
+  Out.Records = {makeRec(4, 0x100, 10, 1, true),
+                 makeRec(9, 0x120, 11, 2, false)};
+  std::string Path = scratchFile("roundtrip");
+  std::string Error;
+  ASSERT_TRUE(Out.save(Path, &Error)) << Error;
+
+  GoldenTrace In;
+  ASSERT_TRUE(In.load(Path, &Error)) << Error;
+  EXPECT_EQ(In.ProgramFp, Out.ProgramFp);
+  EXPECT_EQ(In.ConfigFp, Out.ConfigFp);
+  ASSERT_EQ(In.Records.size(), Out.Records.size());
+  for (size_t I = 0; I < Out.Records.size(); ++I)
+    EXPECT_TRUE(In.Records[I] == Out.Records[I]) << "record " << I;
+  std::remove(Path.c_str());
+}
+
+TEST(ProvenanceTest, GoldenTraceRejectsCorruptFiles) {
+  std::string Path = scratchFile("corrupt");
+  {
+    std::ofstream F(Path, std::ios::binary);
+    F << "CFEDGT01 but then garbage that is far too short";
+  }
+  GoldenTrace In;
+  std::string Error;
+  EXPECT_FALSE(In.load(Path, &Error));
+  EXPECT_FALSE(Error.empty());
+  EXPECT_TRUE(In.Records.empty());
+  {
+    std::ofstream F(Path, std::ios::binary);
+    F << "NOTATRACE";
+  }
+  EXPECT_FALSE(In.load(Path, &Error));
+  EXPECT_FALSE(In.load(Path + ".does-not-exist", &Error));
+  std::remove(Path.c_str());
+}

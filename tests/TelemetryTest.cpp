@@ -73,6 +73,40 @@ TEST(MetricsTest, HistogramBuckets) {
   EXPECT_EQ(H.bucketCounts(), (std::vector<uint64_t>{0, 0, 0, 0}));
 }
 
+TEST(MetricsTest, QuantileClampsAndMarksOverflowBucket) {
+  MetricsRegistry Registry;
+  Histogram &H = Registry.histogram("lat", {10, 100, 1000});
+
+  // Empty histogram: quantiles are 0 and never overflow.
+  auto Empty = Registry.snapshot().Histograms[0].second;
+  EXPECT_EQ(Empty.quantile(0.5), 0u);
+  EXPECT_FALSE(Empty.quantileOverflows(0.5));
+  EXPECT_EQ(Empty.quantileText(0.5), "0");
+
+  // All mass in finite buckets: quantiles are bucket upper bounds.
+  H.observe(5);
+  H.observe(50);
+  H.observe(500);
+  auto Finite = Registry.snapshot().Histograms[0].second;
+  EXPECT_EQ(Finite.quantile(0.5), 100u);
+  EXPECT_EQ(Finite.quantile(0.99), 1000u);
+  EXPECT_FALSE(Finite.quantileOverflows(0.99));
+  EXPECT_EQ(Finite.quantileText(0.99), "1000");
+
+  // Mass lands in the implicit overflow bucket: the numeric quantile
+  // clamps to the largest finite bound instead of indexing past the
+  // bounds array, and the text form reports the open-ended ">=max".
+  H.observe(9999);
+  H.observe(9999);
+  H.observe(9999);
+  auto Over = Registry.snapshot().Histograms[0].second;
+  EXPECT_EQ(Over.quantile(0.99), 1000u);
+  EXPECT_TRUE(Over.quantileOverflows(0.99));
+  EXPECT_FALSE(Over.quantileOverflows(0.25));
+  EXPECT_EQ(Over.quantileText(0.99), ">=1000");
+  EXPECT_EQ(Over.quantileText(0.25), "100");
+}
+
 TEST(MetricsDeathTest, HistogramRejectsBadBounds) {
   // Misconfigured bucket edges are a programming error reported at
   // registration, not silently repaired.

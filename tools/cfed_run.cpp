@@ -89,6 +89,15 @@
 //   --postmortem-dir=DIR write flight-recorder post-mortem bundles (one
 //                        JSON file per trap / watchdog fire / ladder
 //                        escalation; per-injection bundles with --inject)
+//   --golden-trace=FILE  plain run: record the per-sub-block architectural
+//                        digest oracle to FILE; campaign modes: also dump
+//                        the campaign's internal oracle to FILE after the
+//                        golden run
+//   --prop-trace         plain run: replay against --golden-trace=FILE and
+//                        report the first architectural divergence;
+//                        campaign modes: track fault propagation per
+//                        injection (prop.* counters, divergence->outcome
+//                        funnel; view with `cfed-stat prop`)
 //
 // The positional argument is a path to a VISA assembly file, or the
 // name of a built-in workload (e.g. 181.mcf).
@@ -110,6 +119,7 @@
 #include "telemetry/LiveExport.h"
 #include "telemetry/Metrics.h"
 #include "telemetry/Profile.h"
+#include "telemetry/Provenance.h"
 #include "telemetry/Trace.h"
 #include "vm/Layout.h"
 #include "vm/Loader.h"
@@ -159,6 +169,8 @@ struct Options {
   bool ProfileBlocks = false;
   uint64_t ProfileTopN = 10;
   std::string PostmortemDir;
+  std::string GoldenTraceFile;
+  bool PropTrace = false;
   std::string Input;
 };
 
@@ -187,6 +199,7 @@ int usage() {
                "[--trace=FILE] [--trace-buffer=N]\n"
                "                [--profile-blocks[=N]] "
                "[--postmortem-dir=DIR]\n"
+               "                [--golden-trace=FILE] [--prop-trace]\n"
                "                <file.s | workload>\n");
   return 2;
 }
@@ -399,6 +412,13 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       if (!F.HasValue || F.Value.empty())
         return cli::badValue(F.Name, "<directory>", F.Value);
       Opts.PostmortemDir = F.Value;
+    } else if (F.Name == "--golden-trace") {
+      if (!F.HasValue || F.Value.empty())
+        return cli::badValue(F.Name, "<file>", F.Value);
+      Opts.GoldenTraceFile = F.Value;
+    } else if (F.Name == "--prop-trace") {
+      if (!Bare(Opts.PropTrace))
+        return false;
     } else {
       return cli::unknownOption(Arg);
     }
@@ -409,6 +429,22 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
   }
   if (!Opts.CoordinatorDir.empty() && Opts.CampaignInjections == 0) {
     std::fprintf(stderr, "error: --campaign-coordinator needs --campaign\n");
+    return false;
+  }
+  // Campaign modes record their own oracle during prepare(); only a
+  // plain-run replay needs an external trace file.
+  if (Opts.PropTrace && Opts.GoldenTraceFile.empty() &&
+      Opts.Injections == 0 && Opts.CampaignInjections == 0) {
+    std::fprintf(stderr,
+                 "error: --prop-trace on a plain run needs "
+                 "--golden-trace=FILE (record one with a prior clean run)\n");
+    return false;
+  }
+  if (Opts.Recover && Opts.CampaignInjections == 0 && Opts.Injections == 0 &&
+      (Opts.PropTrace || !Opts.GoldenTraceFile.empty())) {
+    std::fprintf(stderr, "error: --golden-trace/--prop-trace do not compose "
+                         "with a plain --recover run (rollback rewinds "
+                         "architectural state but not the digest stream)\n");
     return false;
   }
   return true;
@@ -525,10 +561,25 @@ int runCampaign(const AsmProgram &Program, const Options &Opts,
                 telemetry::MetricsRegistry &Registry,
                 telemetry::EventTracer *Tracer) {
   FaultCampaign Campaign(Program, Opts.Config);
+  // Propagation tracking must be decided before prepare(): the digest
+  // markers change the code-cache layout.
+  bool Prop = Opts.PropTrace || !Opts.GoldenTraceFile.empty();
+  Campaign.enablePropagation(Prop);
   if (!Campaign.prepare(Opts.MaxInsns)) {
     std::fprintf(stderr, "error: golden run failed (program must halt "
                          "and the technique must support the program)\n");
     return 1;
+  }
+  if (Prop && !Opts.GoldenTraceFile.empty()) {
+    std::string Err;
+    if (!Campaign.goldenTrace().save(Opts.GoldenTraceFile, &Err)) {
+      std::fprintf(stderr, "error: cannot write golden trace: %s\n",
+                   Err.c_str());
+      return 1;
+    }
+    reportNotef("golden trace: %llu records written to %s",
+                (unsigned long long)Campaign.goldenTrace().Records.size(),
+                Opts.GoldenTraceFile.c_str());
   }
   std::unique_ptr<telemetry::FlightRecorder> Recorder;
   if (!Opts.PostmortemDir.empty()) {
@@ -608,6 +659,17 @@ int runCampaign(const AsmProgram &Program, const Options &Opts,
     Registry.counter(getOutcomeCounterName(Fault.Category, Report.Result))
         .inc();
     Registry.counter("fault.injections").inc();
+    if (Report.Prop.Enabled) {
+      Registry
+          .counter(getPropagationCounterName(Fault.Category,
+                                             Report.Prop.Class))
+          .inc();
+      if (Report.Prop.Class == telemetry::PropClass::DetectedAfterDivergence)
+        Registry
+            .histogram(getPropagationDistanceName(Fault.Category),
+                       telemetry::propDistanceBounds())
+            .observe(Report.Prop.InsnsCrossed);
+    }
     if (Report.Result == Outcome::DetectedSignature ||
         Report.Result == Outcome::DetectedHardware)
       countDetection(Registry, Fault.Category);
@@ -629,6 +691,8 @@ int runCampaign(const AsmProgram &Program, const Options &Opts,
   if (Totals.DetectedSig)
     std::printf("mean signature-detection latency: %llu insns\n",
                 (unsigned long long)(LatencySum / Totals.DetectedSig));
+  if (Prop)
+    std::printf("%s", renderPropagationFunnel(Registry.snapshot()).c_str());
   if (Recorder)
     reportNotef("post-mortem: %llu bundles written under %s",
                 (unsigned long long)Recorder->bundleCount(),
@@ -658,6 +722,8 @@ int runEngine(const AsmProgram &Program, const Options &Opts,
   Engine.CoordinatorDir = Opts.CoordinatorDir;
   Engine.LiveExportFile = Opts.LiveExport;
   Engine.RunId = Opts.RunId;
+  Engine.TrackPropagation = Opts.PropTrace || !Opts.GoldenTraceFile.empty();
+  Engine.GoldenTraceFile = Opts.GoldenTraceFile;
 
   CampaignEngine Runner(Program, Opts.Config, Engine);
   EngineReport Report = Runner.run();
@@ -687,12 +753,14 @@ int runEngine(const AsmProgram &Program, const Options &Opts,
               formatString("%.3f", Cell.SdcRate),
               formatString("[%.3f, %.3f]", Cell.Interval.Low,
                            Cell.Interval.High),
-              Lat ? std::to_string(Lat->quantile(0.5)) : "-",
-              Lat ? std::to_string(Lat->quantile(0.9)) : "-",
+              Lat ? Lat->quantileText(0.5) : "-",
+              Lat ? Lat->quantileText(0.9) : "-",
               std::to_string(Cell.Skipped),
               std::to_string(Cell.Reallocated)});
   }
   std::printf("%s", T.render().c_str());
+  if (Engine.TrackPropagation)
+    std::printf("%s", renderPropagationFunnel(Report.Registry).c_str());
   std::printf("campaign: completed=%llu planned=%llu skipped=%llu "
               "shard=%u/%u%s%s\n",
               (unsigned long long)Report.Completed,
@@ -791,6 +859,20 @@ int main(int Argc, char **Argv) {
   Memory Mem;
   Interpreter Interp(Mem);
   StopInfo Stop;
+  // Golden-trace record/replay for plain runs; the campaign paths above
+  // manage their own oracle inside prepare().
+  telemetry::DigestRecorder Digests;
+  telemetry::GoldenTrace Oracle;
+  bool RecordTrace = !Opts.GoldenTraceFile.empty() && !Opts.PropTrace;
+  bool ReplayTrace = Opts.PropTrace;
+  if (ReplayTrace) {
+    std::string Err;
+    if (!Oracle.load(Opts.GoldenTraceFile, &Err)) {
+      std::fprintf(stderr, "error: cannot read golden trace '%s': %s\n",
+                   Opts.GoldenTraceFile.c_str(), Err.c_str());
+      return 1;
+    }
+  }
   telemetry::PhaseProfiler Profiler;
   telemetry::BlockProfile Profile;
   std::unique_ptr<telemetry::FlightRecorder> Recorder;
@@ -801,6 +883,10 @@ int main(int Argc, char **Argv) {
   if (Opts.Native) {
     if (Opts.ProfileBlocks)
       reportNote("--profile-blocks needs the DBT; ignored with --native");
+    if (RecordTrace || ReplayTrace) {
+      Digests.setMode(telemetry::DigestRecorder::Mode::Interp);
+      Interp.setDigestRecorder(&Digests);
+    }
     loadProgram(Program, LoadMode::Native, Mem, Interp.state());
     telemetry::PhaseProfiler::Scope Timer(&Profiler,
                                           telemetry::Phase::Execute);
@@ -810,6 +896,9 @@ int main(int Argc, char **Argv) {
     Translator->setTracer(Tracer.get());
     Translator->setProfiler(&Profiler);
     Translator->setFlightRecorder(Recorder.get());
+    // Must precede load(): --eager emits the digest markers at load time.
+    if (RecordTrace || ReplayTrace)
+      Translator->setDigestRecorder(&Digests);
     if (Opts.ProfileBlocks) {
       Translator->setBlockProfile(&Profile);
       // The recovery path drives Interp.run directly, bypassing
@@ -897,6 +986,58 @@ int main(int Argc, char **Argv) {
     uint64_t GuestPC =
         Translator ? Translator->guestPCFor(Stop.PC) : Stop.PC;
     reportNote(formatTrapDiagnostic(Stop, Interp.state(), GuestPC));
+  }
+
+  if (RecordTrace) {
+    Oracle.Records = Digests.takeRecords();
+    // Execution fingerprints: consumers can tell which run this oracle
+    // describes without hashing the trace itself.
+    Oracle.ProgramFp = hashOutput(Interp.output());
+    Oracle.ConfigFp = Interp.instructionCount();
+    std::string Err;
+    if (!Oracle.save(Opts.GoldenTraceFile, &Err)) {
+      std::fprintf(stderr, "error: cannot write golden trace '%s': %s\n",
+                   Opts.GoldenTraceFile.c_str(), Err.c_str());
+      return 1;
+    }
+    reportNotef("golden trace: %llu records written to %s",
+                (unsigned long long)Oracle.Records.size(),
+                Opts.GoldenTraceFile.c_str());
+  }
+  if (ReplayTrace) {
+    telemetry::PropOutcome PO = telemetry::PropOutcome::Timeout;
+    switch (Stop.Kind) {
+    case StopKind::Trapped:
+      PO = telemetry::PropOutcome::Detected;
+      break;
+    case StopKind::InsnLimit:
+      PO = telemetry::PropOutcome::Timeout;
+      break;
+    case StopKind::Halted:
+      PO = hashOutput(Interp.output()) == Oracle.ProgramFp
+               ? telemetry::PropOutcome::Masked
+               : telemetry::PropOutcome::Sdc;
+      break;
+    }
+    telemetry::PropagationReport PR =
+        telemetry::analyzePropagation(Oracle.Records, Digests.records(), PO);
+    if (PR.Diverged)
+      reportNotef("propagation: %s — first divergence at record %llu "
+                  "(guest insn %llu, block 0x%llx); crossed %llu tainted "
+                  "block(s), %llu signature check(s), %llu insn(s) to the "
+                  "outcome",
+                  telemetry::getPropClassName(PR.Class),
+                  (unsigned long long)PR.DivergenceOrdinal,
+                  (unsigned long long)PR.DivergenceKey,
+                  (unsigned long long)PR.DivergencePC,
+                  (unsigned long long)PR.TaintedBlocks,
+                  (unsigned long long)PR.ChecksCrossed,
+                  (unsigned long long)PR.InsnsCrossed);
+    else
+      reportNotef("propagation: %s — no architectural divergence from the "
+                  "golden trace (%llu record(s) compared)",
+                  telemetry::getPropClassName(PR.Class),
+                  (unsigned long long)Digests.records().size());
   }
 
   if (Translator && Translator->integrityEnabled())

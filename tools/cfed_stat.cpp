@@ -29,6 +29,12 @@
 ///                                        fault.latency.* histograms of a
 ///                                        campaign result or registry
 ///                                        snapshot
+///   cfed-stat prop FILE                  fault-propagation funnel (first
+///                                        architectural divergence ->
+///                                        outcome, per category) from the
+///                                        prop.* instruments of a campaign
+///                                        result, merged result or registry
+///                                        snapshot (cfed-run --prop-trace)
 ///   cfed-stat tail FILE...               one-shot render of live-exporter
 ///                                        snapshot files (the same view
 ///                                        cfed-top refreshes continuously)
@@ -80,6 +86,9 @@ void usage() {
       "                                  unsharded campaign's)\n"
       "  latency FILE                    detection-latency table from the\n"
       "                                  fault.latency.* histograms\n"
+      "  prop FILE                       fault-propagation funnel from the\n"
+      "                                  prop.* instruments of a campaign\n"
+      "                                  run with --prop-trace\n"
       "  tail FILE...                    one-shot render of live-exporter\n"
       "                                  snapshots (cfed-top's view, once)\n");
 }
@@ -335,6 +344,28 @@ int cmdPostmortem(int Argc, char **Argv) {
     for (const auto &[Name, Val] : PM["annotations"].Fields)
       std::printf(" %s=%lld", Name.c_str(), static_cast<long long>(Val.Num));
     std::printf("\n");
+  }
+
+  // Version-2 bundles may carry a propagation section; version-1 bundles
+  // (and v2 bundles from non-propagation runs) simply lack it, and the
+  // lookups below yield absent values, so nothing is printed.
+  const JsonValue &Prop = PM["propagation"];
+  if (Prop["present"].B) {
+    if (Prop["diverged"].B)
+      std::printf("propagation: %s — diverged at record %lld (guest insn "
+                  "%lld, block %s); crossed %lld tainted block(s), %lld "
+                  "check(s), %lld insn(s)\n",
+                  Prop["class"].Str.c_str(),
+                  static_cast<long long>(Prop["divergence_ordinal"].Num),
+                  static_cast<long long>(Prop["divergence_key"].Num),
+                  Prop["divergence_pc"].Str.c_str(),
+                  static_cast<long long>(Prop["tainted_blocks"].Num),
+                  static_cast<long long>(Prop["checks_crossed"].Num),
+                  static_cast<long long>(Prop["insns_crossed"].Num));
+    else
+      std::printf("propagation: %s — no architectural divergence from the "
+                  "golden trace\n",
+                  Prop["class"].Str.c_str());
   }
 
   const JsonValue &Recovery = PM["recovery"];
@@ -601,6 +632,25 @@ int cmdMerge(int Argc, char **Argv) {
               (unsigned long long)Totals.Timeout,
               (unsigned long long)Merged.Skipped);
 
+  // Propagation campaigns: render the merged funnel plus one fixed-format
+  // line the CI shard-invariance gate string-compares against the
+  // unsharded reference.
+  uint64_t PropTotal = 0;
+  std::string PropLine;
+  for (telemetry::PropClass C : telemetry::AllPropClasses) {
+    uint64_t N = 0;
+    for (unsigned Cat = 0; Cat < NumBranchErrorCategories; ++Cat)
+      N += Merged.Registry.counterOr(getPropagationCounterName(
+          static_cast<BranchErrorCategory>(Cat), C));
+    PropTotal += N;
+    PropLine += formatString(" %s=%llu", telemetry::getPropClassName(C),
+                             (unsigned long long)N);
+  }
+  if (PropTotal) {
+    std::printf("%s", renderPropagationFunnel(Merged.Registry).c_str());
+    std::printf("prop-summary:%s\n", PropLine.c_str());
+  }
+
   if (!OutPath.empty()) {
     std::FILE *Out = std::fopen(OutPath.c_str(), "w");
     if (!Out) {
@@ -656,10 +706,8 @@ int cmdLatency(int Argc, char **Argv) {
       continue;
     ++Shown;
     T.addRow({Name, formatCount(static_cast<double>(H.Count)),
-              formatString("%.1f", H.mean()),
-              formatCount(static_cast<double>(H.quantile(0.5))),
-              formatCount(static_cast<double>(H.quantile(0.9))),
-              formatCount(static_cast<double>(H.quantile(0.99)))});
+              formatString("%.1f", H.mean()), H.quantileText(0.5),
+              H.quantileText(0.9), H.quantileText(0.99)});
   }
   if (!Shown) {
     std::fprintf(stderr, "cfed-stat: '%s' has no fault.latency.* "
@@ -670,7 +718,64 @@ int cmdLatency(int Argc, char **Argv) {
   }
   std::printf("%s", T.render().c_str());
   std::printf("latency unit: dynamic instructions from fault firing to "
-              "detection; quantiles are bucket upper bounds\n");
+              "detection; quantiles are bucket upper bounds (\">=N\" marks "
+              "the open-ended overflow bucket)\n");
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// prop
+//===----------------------------------------------------------------------===//
+
+int cmdProp(int Argc, char **Argv) {
+  for (int I = 0; I < Argc; ++I) {
+    cli::Flag F;
+    if (cli::splitFlag(Argv[I], F)) {
+      cli::unknownOption(F.Name);
+      usage();
+      return 2;
+    }
+  }
+  if (Argc != 1) {
+    usage();
+    return 2;
+  }
+  JsonValue Root;
+  if (!parseFile(Argv[0], Root))
+    return 2;
+  const JsonValue &Reg = findRegistry(Root);
+  if (Reg.K != JsonValue::Object) {
+    std::fprintf(stderr, "cfed-stat: '%s' has no registry snapshot\n",
+                 Argv[0]);
+    return 2;
+  }
+  telemetry::RegistrySnapshot Snap;
+  std::string Error;
+  if (!telemetry::snapshotFromJson(Reg, Snap, Error)) {
+    std::fprintf(stderr, "cfed-stat: '%s': %s\n", Argv[0], Error.c_str());
+    return 2;
+  }
+
+  std::string Funnel = renderPropagationFunnel(Snap);
+  if (Funnel.empty()) {
+    std::fprintf(stderr, "cfed-stat: '%s' has no prop.* propagation "
+                         "tallies (was the campaign run with "
+                         "--prop-trace?)\n",
+                 Argv[0]);
+    return 1;
+  }
+  std::printf("%s", Funnel.c_str());
+  std::printf(
+      "classes: *-cln = outcome reached with no architectural divergence "
+      "from the golden trace;\n"
+      "det-div = diverged, then a signature check caught it; sdc-exp/unx = "
+      "corrupt output with/without\n"
+      "an observed divergence; msk-cnv = diverged but re-converged to the "
+      "golden suffix; msk-lat = still\n"
+      "diverged at a clean halt (latent state corruption). dist p50/p90: "
+      "guest insns from first\n"
+      "divergence to detection (\">=N\" marks the open-ended overflow "
+      "bucket).\n");
   return 0;
 }
 
@@ -741,6 +846,8 @@ int main(int Argc, char **Argv) {
     return cmdMerge(Argc - 2, Argv + 2);
   if (std::strcmp(Cmd, "latency") == 0)
     return cmdLatency(Argc - 2, Argv + 2);
+  if (std::strcmp(Cmd, "prop") == 0)
+    return cmdProp(Argc - 2, Argv + 2);
   if (std::strcmp(Cmd, "tail") == 0)
     return cmdTail(Argc - 2, Argv + 2);
   usage();

@@ -26,6 +26,12 @@
 #                           ceiling: the 5 ms publish cadence is fixed,
 #                           so the budget lives here, not in the
 #                           baseline.
+#   CFED_DIGEST_OVERHEAD_MAX absolute ceiling on the golden-trace
+#                           digest_overhead ratio measured by micro_dbt's
+#                           reference run (default: 0.15). Same
+#                           absolute-gate rationale as the scrub ceiling:
+#                           the per-sub-block capture cost is a design
+#                           budget, not a ratcheted baseline number.
 #   CFED_GEOMEAN_MAX        absolute ceiling on the Section 6 geomean
 #                           DBT slowdown with the optimizing trace tier
 #                           on (sec6_dbt_overhead.geomean_slowdown_opt in
@@ -43,6 +49,7 @@ BASELINE=${2:-BENCH_perf.json}
 THRESHOLD=${CFED_BENCH_THRESHOLD:-10}
 SCRUB_MAX=${CFED_SCRUB_OVERHEAD_MAX:-0.15}
 EXPORT_MAX=${CFED_EXPORT_OVERHEAD_MAX:-0.15}
+DIGEST_MAX=${CFED_DIGEST_OVERHEAD_MAX:-0.15}
 GEOMEAN_MAX=${CFED_GEOMEAN_MAX:-1.08}
 
 if [ ! -x "$BUILD/bench/micro_dbt" ] || [ ! -x "$BUILD/tools/cfed-stat" ] \
@@ -105,6 +112,38 @@ if [ "$REF_SUM" != "$MERGED_SUM" ]; then
 fi
 echo "sharded campaign merge matches unsharded reference"
 echo "  $MERGED_SUM"
+
+# --- Sharded propagation-tally smoke ----------------------------------------
+# The same 2-shard/unsharded comparison with fault-propagation tracking
+# on: every injection replays against the campaign's golden digest trace
+# and lands in exactly one divergence->outcome class, and the merged
+# prop-summary line must reproduce the unsharded reference verbatim.
+# Catches drift in the per-shard propagation tallies or their fold.
+"$BUILD/tools/cfed-run" --tech=edgcf --campaign=40 --seed=7 --jobs=2 \
+  --prop-trace --campaign-out="$CAMP/propref.json" "$CAMP/smoke.s" >/dev/null
+for K in 0 1; do
+  "$BUILD/tools/cfed-run" --tech=edgcf --campaign=40 --seed=7 \
+    --jobs=$((K + 1)) --campaign-shard=$K/2 --prop-trace \
+    --campaign-out="$CAMP/propshard$K.json" "$CAMP/smoke.s" >/dev/null
+done
+PROP_REF=$("$BUILD/tools/cfed-stat" merge "$CAMP/propref.json" \
+           | grep '^prop-summary:')
+PROP_MERGED=$("$BUILD/tools/cfed-stat" merge "$CAMP/propshard0.json" \
+              "$CAMP/propshard1.json" | grep '^prop-summary:')
+if [ -z "$PROP_REF" ]; then
+  echo "check_bench_regression: propagation-enabled campaign produced no" \
+       "prop-summary line" >&2
+  exit 1
+fi
+if [ "$PROP_REF" != "$PROP_MERGED" ]; then
+  echo "check_bench_regression: sharded propagation tallies diverged from" \
+       "the unsharded reference" >&2
+  echo "  unsharded: $PROP_REF" >&2
+  echo "  merged:    $PROP_MERGED" >&2
+  exit 1
+fi
+echo "sharded propagation tallies match unsharded reference"
+echo "  $PROP_MERGED"
 
 # --- Coordinated early-stop smoke -------------------------------------------
 # Two shards sharing a --campaign-coordinator directory run the Wilson
@@ -192,6 +231,24 @@ if [ -n "$EXPORT" ]; then
   echo "live_export_overhead $EXPORT within CFED_EXPORT_OVERHEAD_MAX=$EXPORT_MAX"
 else
   echo "check_bench_regression: no live_export_overhead in fresh run" >&2
+  exit 2
+fi
+
+# Absolute gate on golden-trace digest capture (see
+# CFED_DIGEST_OVERHEAD_MAX above). Like scrub_overhead, deliberately NOT
+# in the checked-in baseline.
+DIGEST=$(sed -n 's/.*"digest_overhead": *\([0-9.eE+-]*\).*/\1/p' \
+         "$FRESH" | head -n 1)
+if [ -n "$DIGEST" ]; then
+  if awk -v d="$DIGEST" -v max="$DIGEST_MAX" 'BEGIN { exit !(d > max) }'
+  then
+    echo "check_bench_regression: digest_overhead $DIGEST exceeds" \
+         "CFED_DIGEST_OVERHEAD_MAX=$DIGEST_MAX" >&2
+    exit 1
+  fi
+  echo "digest_overhead $DIGEST within CFED_DIGEST_OVERHEAD_MAX=$DIGEST_MAX"
+else
+  echo "check_bench_regression: no digest_overhead in fresh run" >&2
   exit 2
 fi
 
