@@ -44,6 +44,7 @@ double GTelemetryOverhead = 0.0;
 double GScrubOverhead = 0.0;
 double GLiveExportOverhead = 0.0;
 double GDigestOverhead = 0.0;
+double GShadowStackOverhead = 0.0;
 
 /// The configurations the scrub-overhead comparison runs: the unchained
 /// dispatch loop (every block exit goes through the dispatcher, so the
@@ -190,6 +191,53 @@ double measureDigestOverhead(const AsmProgram &Program,
     double On = timedDigestRun(Program, &Digests);
     if (Off <= 0 || On < 0)
       return -1.0;
+    Ratios.push_back(On / Off - 1.0);
+  }
+  std::sort(Ratios.begin(), Ratios.end());
+  return Ratios[Ratios.size() / 2];
+}
+/// Configuration the shadow-stack gate measures under: the shadow
+/// return stack deploys alongside a signature scheme (it exists to
+/// close the forged-return hole every signature accepts), so the
+/// deployment-relevant ratio is shadow-on versus shadow-off with EdgCF
+/// active — the same pick-the-configuration-it-ships-in rationale as
+/// the scrub and digest gates.
+DbtConfig shadowStackConfig(bool ShadowStack) {
+  DbtConfig Config;
+  Config.Tech = Technique::EdgCf;
+  Config.ShadowStack = ShadowStack;
+  return Config;
+}
+
+/// One timed run of the call-heavy 186.crafty workload (the shadow
+/// stack only costs on call/ret, so a call-dense program is the
+/// worst case the gate should price). Same short-budget CPU-time
+/// rationale as timedDigestRun.
+double timedShadowStackRun(const AsmProgram &Program, bool ShadowStack) {
+  Memory Mem;
+  Interpreter Interp(Mem);
+  Dbt Translator(Mem, shadowStackConfig(ShadowStack));
+  if (!Translator.load(Program, Interp.state()))
+    return -1.0;
+  double Begin = threadCpuSeconds();
+  Translator.run(Interp, DigestRunBudget);
+  double End = threadCpuSeconds();
+  benchmark::DoNotOptimize(Interp.cycleCount());
+  return End - Begin;
+}
+
+/// The shadow_stack_overhead estimator: median of per-pair on/off
+/// ratios, identical in structure to measureDigestOverhead and for the
+/// same reason (the effect is smaller than one scheduler slice). The
+/// median can be a small *negative* number when the shadow stack is in
+/// the noise, so failure is signalled with -2.0, not any negative.
+double measureShadowStackOverhead(const AsmProgram &Program) {
+  std::vector<double> Ratios;
+  for (int I = 0; I < DigestRunPairs; ++I) {
+    double Off = timedShadowStackRun(Program, false);
+    double On = timedShadowStackRun(Program, true);
+    if (Off <= 0 || On < 0)
+      return -2.0;
     Ratios.push_back(On / Off - 1.0);
   }
   std::sort(Ratios.begin(), Ratios.end());
@@ -459,6 +507,29 @@ static void BM_DigestCapture(benchmark::State &State) {
 }
 BENCHMARK(BM_DigestCapture);
 
+/// Cost of the shadow return stack (a push per call, a check+pop per
+/// ret, 0x5AC on mismatch) over the same EdgCF run without it, on the
+/// call-heavy 186.crafty workload. Reports the relative overhead;
+/// tools/check_bench_regression.sh gates it at
+/// CFED_SHADOWSTACK_OVERHEAD_MAX (default 0.15).
+static void BM_ShadowStackOverhead(benchmark::State &State) {
+  AsmProgram Program = assembleWorkload("186.crafty");
+  double Overhead = 0.0;
+  for (auto _ : State) {
+    Overhead = measureShadowStackOverhead(Program);
+    if (Overhead <= -1.0) {
+      State.SkipWithError("program failed to load under the DBT");
+      return;
+    }
+  }
+  GShadowStackOverhead = Overhead;
+  State.counters["shadow_stack_overhead"] = GShadowStackOverhead;
+  State.SetItemsProcessed(int64_t(State.iterations()) * 2 *
+                          int64_t(DigestRunPairs) *
+                          int64_t(DigestRunBudget));
+}
+BENCHMARK(BM_ShadowStackOverhead);
+
 static void BM_Translation(benchmark::State &State) {
   AsmProgram Program = assembleWorkload("176.gcc");
   for (auto _ : State) {
@@ -600,6 +671,16 @@ int main(int argc, char **argv) {
       double Overhead = measureDigestOverhead(Program, Digests);
       if (Overhead >= 0)
         Report.set("digest_overhead", Overhead);
+    }
+    {
+      // Reference run 6: shadow-return-stack overhead on the call-heavy
+      // workload, with the same paired-median estimator as
+      // BM_ShadowStackOverhead so the gated JSON value is independent
+      // of any --benchmark_filter that skips the benchmark itself.
+      AsmProgram Program = assembleWorkload("186.crafty");
+      double Overhead = measureShadowStackOverhead(Program);
+      if (Overhead > -1.0)
+        Report.set("shadow_stack_overhead", Overhead);
     }
   }
   benchmark::Shutdown();

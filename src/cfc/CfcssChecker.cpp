@@ -167,6 +167,21 @@ const CfcssChecker::BlockInfo &CfcssChecker::info(uint64_t L) const {
   return It->second;
 }
 
+bool CfcssChecker::acceptsForgedReturn(uint64_t RetBlock,
+                                       uint64_t Target) const {
+  auto LIt = Infos.find(RetBlock);
+  auto TIt = Infos.find(Target);
+  if (LIt == Infos.end() || TIt == Infos.end())
+    return false;
+  const BlockInfo &LI = LIt->second;
+  const BlockInfo &TI = TIt->second;
+  // State at the corrupted return: G = s_RetBlock, D = DRet (established
+  // by the indirect update). Replay the forged target's entry sequence.
+  uint32_t D = LI.NeedDRet ? LI.DRet : 0;
+  uint32_t G = LI.Sig ^ TI.Diff ^ (TI.FanIn ? D : 0);
+  return G == TI.Sig;
+}
+
 void CfcssChecker::initState(CpuState &State, uint64_t) const {
   State.Regs[RegRTS] = EntrySig; // G
   State.Regs[RegPCP] = 0;        // D

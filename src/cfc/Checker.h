@@ -110,6 +110,22 @@ public:
   /// entry block has signature \p EntryL.
   virtual void initState(CpuState &State, uint64_t EntryL) const = 0;
 
+  /// Adversarial-precision oracle: if an attacker redirects the return in
+  /// the block with signature \p RetBlock to the entry of the block with
+  /// signature \p Target, does the technique's signature algebra still
+  /// hold (i.e. is \p Target a valid-signature gadget)? Address-mapped
+  /// schemes (ECF/EdgCF/RCF — and trivially None) compute the indirect
+  /// update from the *corrupted* return address itself, so the update and
+  /// the forged target's entry signature cancel for every translated
+  /// block: any block head is a gadget, hence the default. CFCSS and ECCA
+  /// override this with their static assignment algebra, which only
+  /// admits targets in the same return-signature class.
+  virtual bool acceptsForgedReturn(uint64_t RetBlock, uint64_t Target) const {
+    (void)RetBlock;
+    (void)Target;
+    return true;
+  }
+
   /// Registers this checker's emission counters
   /// ("cfc.<tech>.check_sig_emitted", "cfc.<tech>.gen_sig_emitted",
   /// "cfc.<tech>.instr_insns") in \p Registry. Until bound, the emit

@@ -137,6 +137,11 @@ public:
   bool requiresWholeProgramCfg() const override { return true; }
   bool prepare(const Cfg &Graph) override;
   void initState(CpuState &State, uint64_t EntryL) const override;
+  /// A forged return from \p RetBlock to \p Target passes CFCSS only when
+  /// G = s_RetBlock xor d_Target (xor D at fan-in targets) lands on
+  /// s_Target — in practice only the aliased return sites of the same
+  /// function, the D/E gap the class comment describes.
+  bool acceptsForgedReturn(uint64_t RetBlock, uint64_t Target) const override;
   void prologueImpl(std::vector<Instruction> &Out, uint64_t L,
                     bool DoCheck) const override;
   void directUpdateImpl(std::vector<Instruction> &Out, uint64_t L,
@@ -184,6 +189,10 @@ public:
   bool requiresWholeProgramCfg() const override { return true; }
   bool prepare(const Cfg &Graph) override;
   void initState(CpuState &State, uint64_t EntryL) const override;
+  /// A forged return from \p RetBlock to \p Target passes ECCA only when
+  /// BID_Target divides the id the return established (NEXT_RetBlock) —
+  /// i.e. only the other return sites folded into the same NEXT product.
+  bool acceptsForgedReturn(uint64_t RetBlock, uint64_t Target) const override;
   void prologueImpl(std::vector<Instruction> &Out, uint64_t L,
                     bool DoCheck) const override;
   void directUpdateImpl(std::vector<Instruction> &Out, uint64_t L,

@@ -90,6 +90,20 @@ const EccaChecker::BlockInfo &EccaChecker::info(uint64_t L) const {
   return It->second;
 }
 
+bool EccaChecker::acceptsForgedReturn(uint64_t RetBlock,
+                                      uint64_t Target) const {
+  auto LIt = Infos.find(RetBlock);
+  auto TIt = Infos.find(Target);
+  if (LIt == Infos.end() || TIt == Infos.end())
+    return false;
+  // After the return's SET, id = NEXT_RetBlock (or stays at the
+  // normalized BID when the ret has no static successors). Products of
+  // odd primes are odd, so the assertion at the forged target reduces to
+  // the divisibility test.
+  int64_t Id = LIt->second.Next != 0 ? LIt->second.Next : LIt->second.Bid;
+  return Id % TIt->second.Bid == 0;
+}
+
 void EccaChecker::initState(CpuState &State, uint64_t) const {
   State.Regs[RegRTS] = static_cast<uint64_t>(EntryBid);
 }

@@ -1,0 +1,80 @@
+//===- ShadowStack.cpp - Shadow return stack checker ----------------------===//
+//
+// Part of the CFED project (CGO'06 control-flow error detection repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfc/ShadowStack.h"
+
+#include "cfc/EmitUtil.h"
+#include "vm/Layout.h"
+
+using namespace cfed;
+using namespace cfed::emitutil;
+
+namespace {
+
+constexpr int64_t RingBase = static_cast<int64_t>(ShadowStackBase);
+constexpr int64_t RingEnd =
+    static_cast<int64_t>(ShadowStackBase + ShadowStackBytes);
+
+} // namespace
+
+void ShadowStackChecker::bindMetrics(telemetry::MetricsRegistry &Registry) {
+  PushesEmitted = &Registry.counter("cfc.shadow_stack.pushes_emitted");
+  ChecksEmitted = &Registry.counter("cfc.shadow_stack.checks_emitted");
+  InstrInsns = &Registry.counter("cfc.shadow_stack.instr_insns");
+}
+
+void ShadowStackChecker::charge(telemetry::Counter *SiteCounter,
+                                size_t Emitted) const {
+  if (!Emitted || !InstrInsns)
+    return;
+  InstrInsns->inc(Emitted);
+  if (SiteCounter)
+    SiteCounter->inc();
+}
+
+void ShadowStackChecker::initState(CpuState &State) const {
+  State.Regs[RegSSP] = ShadowStackBase;
+}
+
+void ShadowStackChecker::emitCallPush(std::vector<Instruction> &Out,
+                                      uint8_t RetAddrReg) const {
+  size_t Before = Out.size();
+  // [SSP] = return site; SSP += 8, wrapping to the ring base when it
+  // reaches the end. Flag-neutral throughout (lea algebra plus a
+  // register-zero branch), mirroring the EFLAGS discipline of the
+  // signature sequences.
+  Out.push_back(insn::rri(Opcode::St, RegSSP, RetAddrReg, 0));
+  Out.push_back(insn::rri(Opcode::Lea, RegSSP, RegSSP, 8));
+  Out.push_back(insn::ri(Opcode::MovI, RegSSC, imm32(-RingEnd)));
+  Out.push_back(insn::rrr(Opcode::LeaR, RegSSC, RegSSC, RegSSP));
+  Out.push_back(
+      insn::rri(Opcode::Jnzr, RegSSC, 0, static_cast<int32_t>(InsnSize)));
+  Out.push_back(insn::ri(Opcode::MovI, RegSSP, imm32(RingBase)));
+  charge(PushesEmitted, Out.size() - Before);
+}
+
+void ShadowStackChecker::emitReturnCheck(std::vector<Instruction> &Out,
+                                         uint8_t RetTargetReg) const {
+  size_t Before = Out.size();
+  // SSP -= 8 (wrapping from the base to the end), then compare the
+  // recorded return site against the address the return actually popped.
+  // The subtraction uses the flag-neutral two's-complement idiom
+  // (not/lea/lear) so the terminator's flags survive.
+  Out.push_back(insn::ri(Opcode::MovI, RegSSC, imm32(-RingBase)));
+  Out.push_back(insn::rrr(Opcode::LeaR, RegSSC, RegSSC, RegSSP));
+  Out.push_back(
+      insn::rri(Opcode::Jnzr, RegSSC, 0, static_cast<int32_t>(InsnSize)));
+  Out.push_back(insn::ri(Opcode::MovI, RegSSP, imm32(RingEnd)));
+  Out.push_back(insn::rri(Opcode::Lea, RegSSP, RegSSP, -8));
+  Out.push_back(insn::rri(Opcode::Ld, RegSSC, RegSSP, 0));
+  Out.push_back(insn::rr(Opcode::Not, RegSSC, RegSSC));
+  Out.push_back(insn::rri(Opcode::Lea, RegSSC, RegSSC, 1));
+  Out.push_back(insn::rrr(Opcode::LeaR, RegSSC, RegSSC, RetTargetReg));
+  Out.push_back(
+      insn::rri(Opcode::Jzr, RegSSC, 0, static_cast<int32_t>(InsnSize)));
+  Out.push_back(insn::i(Opcode::Brk, BrkShadowStackViolation));
+  charge(ChecksEmitted, Out.size() - Before);
+}

@@ -1,0 +1,79 @@
+//===- ShadowStack.h - Shadow return stack checker --------------*- C++ -*-===//
+//
+// Part of the CFED project (CGO'06 control-flow error detection repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shadow return stack of the adversarial mode. Signature monitoring
+/// detects *random* control-flow corruption, but a deliberate attacker
+/// can redirect a return to a block whose entry signature matches what
+/// the checker expects (see ControlFlowChecker::acceptsForgedReturn) —
+/// for the address-mapped schemes every translated block qualifies. The
+/// shadow stack closes exactly that gap: the DBT records each call's
+/// return site in a monitor-private ring and compares it against the
+/// popped address at every return, trapping with BrkShadowStackViolation
+/// (0x5AC) on mismatch regardless of signature validity.
+///
+/// Composability mirrors `--dfc`: the shadow stack is orthogonal to the
+/// signature technique and is spliced into the same call/return lowering
+/// under any of them (including Technique::None).
+///
+/// The ring lives at ShadowStackBase, below the code cache, so the
+/// recovery manager's page-write observer journals its mutations and a
+/// rollback restores ring contents together with RegSSP (part of
+/// CpuState) — no shadow-stack-specific checkpoint code is needed.
+/// The ring is bounded: call chains deeper than ShadowStackSlots wrap
+/// and lose the oldest frames, so unwinding past the wrap point raises
+/// a (spurious) violation. Guest programs are expected to stay within
+/// the ring depth and to return only to addresses their calls pushed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFED_CFC_SHADOWSTACK_H
+#define CFED_CFC_SHADOWSTACK_H
+
+#include "isa/Isa.h"
+#include "telemetry/Metrics.h"
+#include "vm/Interp.h"
+
+#include <vector>
+
+namespace cfed {
+
+/// Emits the shadow-stack push/check sequences. Stateless except for the
+/// bound counters; all run-time state is the ring plus RegSSP/RegSSC.
+class ShadowStackChecker {
+public:
+  /// Registers "cfc.shadow_stack.pushes_emitted",
+  /// "cfc.shadow_stack.checks_emitted" and
+  /// "cfc.shadow_stack.instr_insns". Until bound, emission is uncounted.
+  void bindMetrics(telemetry::MetricsRegistry &Registry);
+
+  /// Points RegSSP at the empty ring. Callers map the ring region
+  /// themselves (the DBT does it in load()).
+  void initState(CpuState &State) const;
+
+  /// Emits the call-side push: the return site in \p RetAddrReg is
+  /// recorded at [SSP] and SSP advances (with wrap). Flag-neutral;
+  /// clobbers only RegSSC; reads but never writes \p RetAddrReg.
+  void emitCallPush(std::vector<Instruction> &Out, uint8_t RetAddrReg) const;
+
+  /// Emits the return-side compare-and-pop: SSP retreats (with wrap) and
+  /// the recorded address is compared against the popped return target
+  /// in \p RetTargetReg; mismatch traps with 0x5AC. Flag-neutral;
+  /// clobbers only RegSSC; reads but never writes \p RetTargetReg.
+  void emitReturnCheck(std::vector<Instruction> &Out,
+                       uint8_t RetTargetReg) const;
+
+private:
+  void charge(telemetry::Counter *SiteCounter, size_t Emitted) const;
+
+  telemetry::Counter *PushesEmitted = nullptr;
+  telemetry::Counter *ChecksEmitted = nullptr;
+  telemetry::Counter *InstrInsns = nullptr;
+};
+
+} // namespace cfed
+
+#endif // CFED_CFC_SHADOWSTACK_H

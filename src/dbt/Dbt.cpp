@@ -57,6 +57,11 @@ Dbt::Dbt(Memory &Mem, DbtConfig Config, telemetry::MetricsRegistry *Metrics)
   Checker = createChecker(Config.Tech, Config.Flavor);
   Checker->setShadowSignature(this->Config.ShadowSignature);
   Checker->bindMetrics(*this->Metrics);
+  // Bound lazily so registries of shadow-stack-off runs stay identical
+  // to their pre-adversarial-mode shape (campaign outputs are compared
+  // byte-for-byte in CI).
+  if (this->Config.ShadowStack)
+    ShadowStack.bindMetrics(*this->Metrics);
 }
 
 Dbt::~Dbt() = default;
@@ -105,6 +110,13 @@ bool Dbt::load(const AsmProgram &Program, CpuState &State) {
   Checker->initState(State, GuestEntry);
   if (Config.ShadowSignature)
     Checker->seedShadowState(State);
+  if (Config.ShadowStack) {
+    // The ring sits below CacheBase so the recovery manager's write
+    // observer journals it: rollback restores ring contents together
+    // with RegSSP, keeping the shadow stack checkpoint-consistent.
+    Mem.mapRegion(ShadowStackBase, ShadowStackBytes, PermRW);
+    ShadowStack.initState(State);
+  }
   State.PC = lookupOrTranslate(GuestEntry);
   return true;
 }
@@ -431,6 +443,10 @@ uint64_t Dbt::translate(uint64_t EntryGuest) {
       Builder.push(insn::ri(Opcode::MovI, RegAUX2,
                             static_cast<int32_t>(ReturnSite)));
       Builder.push(insn::r(Opcode::Push, RegAUX2));
+      if (Config.ShadowStack)
+        EmitChecked([&](std::vector<Instruction> &Seq) {
+          ShadowStack.emitCallPush(Seq, RegAUX2);
+        });
       EmitEdgeProf(L, Target);
       EmitTramp(Target);
       Done = true;
@@ -444,6 +460,10 @@ uint64_t Dbt::translate(uint64_t EntryGuest) {
       Builder.push(insn::ri(Opcode::MovI, RegAUX2,
                             static_cast<int32_t>(ReturnSite)));
       Builder.push(insn::r(Opcode::Push, RegAUX2));
+      if (Config.ShadowStack)
+        EmitChecked([&](std::vector<Instruction> &Seq) {
+          ShadowStack.emitCallPush(Seq, RegAUX2);
+        });
       Builder.push(insn::r(Opcode::TrampR, Term->A));
       Done = true;
       break;
@@ -458,6 +478,13 @@ uint64_t Dbt::translate(uint64_t EntryGuest) {
     }
     case OpKind::Ret: {
       Builder.push(insn::r(Opcode::Pop, RegAUX2));
+      // The shadow check runs before the signature update: a forged
+      // return traps 0x5AC before it can poison the signature stream,
+      // so the matrix's detected-by-shadow-stack-only cell is exact.
+      if (Config.ShadowStack)
+        EmitChecked([&](std::vector<Instruction> &Seq) {
+          ShadowStack.emitReturnCheck(Seq, RegAUX2);
+        });
       EmitChecked([&](std::vector<Instruction> &Seq) {
         Checker->emitIndirectUpdate(Seq, L, RegAUX2);
       });
@@ -867,6 +894,86 @@ bool Dbt::faultFlipBlockMetaBit(size_t Index, unsigned Word, unsigned Bit) {
     TB.CacheSize ^= Mask;
     break;
   }
+  return true;
+}
+
+bool Dbt::attackSwapIbtcEntry(uint64_t GuestTarget, uint64_t ForgedGuest) {
+  const TranslatedBlock *TB = BlockMap.find(ForgedGuest);
+  if (!TB)
+    return false;
+  // A valid seal over the *forged* pair: integrity verification accepts
+  // the entry, so only the signature algebra can catch the redirect.
+  IbtcEntry &Entry = Ibtc[(GuestTarget / InsnSize) % IbtcSlots];
+  Entry = {GuestTarget, TB->CacheAddr,
+           ibtcCheckWord(GuestTarget, TB->CacheAddr)};
+  return true;
+}
+
+bool Dbt::attackPatchDirectExit(uint64_t SiteAddr, uint64_t ForgedGuest) {
+  const TranslatedBlock *Forged = BlockMap.find(ForgedGuest);
+  if (!Forged || !isCacheAddr(SiteAddr))
+    return false;
+  uint8_t Raw[InsnSize];
+  Mem.readRaw(SiteAddr, Raw, InsnSize);
+  auto Site = Instruction::decode(Raw);
+  if (!Site)
+    return false;
+  Instruction Patched = *Site;
+  if (Site->Op == Opcode::Tramp) {
+    Patched.Imm = static_cast<int32_t>(ForgedGuest);
+  } else if (Site->Op == Opcode::Jmp) {
+    // Already chained: redirect the jump straight at the forged block's
+    // translation.
+    Patched.Imm = Instruction::offsetFor(SiteAddr, Forged->CacheAddr);
+  } else {
+    return false;
+  }
+  // Keep the patch signature-compatible for the additive schemes: the
+  // exit's lea update (when present immediately before the site) moves
+  // by the difference between the original and the forged target, so
+  // the forged block's entry algebra still cancels. CFCSS/ECCA updates
+  // are not lea-shaped; a naive patch stays signature-incompatible
+  // there, which is exactly what the precision matrix measures.
+  if (SiteAddr >= CacheBase + InsnSize) {
+    uint8_t PrevRaw[InsnSize];
+    Mem.readRaw(SiteAddr - InsnSize, PrevRaw, InsnSize);
+    auto Prev = Instruction::decode(PrevRaw);
+    if (Prev && Prev->Op == Opcode::Lea && Prev->A == Prev->B &&
+        (Prev->A == RegPCP || Prev->A == RegRTS)) {
+      uint64_t RealTarget = 0;
+      bool HaveReal = false;
+      if (Site->Op == Opcode::Tramp) {
+        RealTarget = static_cast<uint64_t>(
+            static_cast<int64_t>(Site->Imm));
+        HaveReal = true;
+      } else if (const TranslatedBlock *RealTB =
+                     cacheBlockContaining(Site->branchTarget(SiteAddr))) {
+        RealTarget = RealTB->GuestAddr;
+        HaveReal = true;
+      }
+      int64_t Delta = HaveReal
+                          ? static_cast<int64_t>(ForgedGuest) -
+                                static_cast<int64_t>(RealTarget)
+                          : 0;
+      int64_t NewImm = static_cast<int64_t>(Prev->Imm) + Delta;
+      if (Delta != 0 && NewImm >= INT32_MIN && NewImm <= INT32_MAX) {
+        Instruction Adjusted = *Prev;
+        Adjusted.Imm = static_cast<int32_t>(NewImm);
+        uint8_t AdjRaw[InsnSize];
+        Adjusted.encode(AdjRaw);
+        Mem.writeRaw(SiteAddr - InsnSize, AdjRaw, InsnSize);
+      }
+    }
+  }
+  uint8_t PatchRaw[InsnSize];
+  Patched.encode(PatchRaw);
+  Mem.writeRaw(SiteAddr, PatchRaw, InsnSize);
+  // Deliberately no reseal: a real SMC attacker does not get to update
+  // the monitor's integrity words. The scrubber / dispatch verifier are
+  // the intended detectors.
+  if (Tracer)
+    Tracer->record(now(), telemetry::TraceEventKind::AttackApplied, nullptr,
+                   SiteAddr);
   return true;
 }
 

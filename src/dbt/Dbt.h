@@ -46,6 +46,7 @@
 
 #include "asm/Assembler.h"
 #include "cfc/Checker.h"
+#include "cfc/ShadowStack.h"
 #include "dbt/BlockTable.h"
 #include "telemetry/BlockProfile.h"
 #include "telemetry/FlightRecorder.h"
@@ -109,6 +110,12 @@ struct DbtConfig {
   /// sites, so a flipped signature variable reports monitor corruption
   /// (0x5EC) instead of a guest control-flow error.
   bool ShadowSignature = false;
+  /// Shadow return stack (adversarial mode): record each call's return
+  /// site in a monitor-private ring and compare it at every return,
+  /// trapping with 0x5AC on mismatch. Composable under any technique,
+  /// like DataFlowCheck; catches forged returns whose attacker-chosen
+  /// target carries a valid signature (see cfc/ShadowStack.h).
+  bool ShadowStack = false;
   /// Translation tier (see DbtTier). Opt is incompatible with eager
   /// translation (the whole-program techniques freeze the translation
   /// set); load() silently falls back to Base there.
@@ -308,6 +315,30 @@ public:
   /// post-mortem bundle whenever an integrity mismatch evicts a unit.
   void setFlightRecorder(telemetry::FlightRecorder *R) { Recorder = R; }
 
+  /// The configured control-flow checker (adversarial campaigns consult
+  /// its acceptsForgedReturn oracle during gadget search).
+  const ControlFlowChecker &checker() const { return *Checker; }
+
+  /// Adversarial surface: redirects the IBTC entry of \p GuestTarget to
+  /// the live translation of \p ForgedGuest, resealing the entry with a
+  /// *valid* check word — modeling an attacker who understands the seal
+  /// and swaps in another signature-carrying block. The swapped entry
+  /// survives integrity verification by construction; whether the
+  /// redirect survives the *signature* algebra is the technique's
+  /// problem. Returns false when \p ForgedGuest has no live translation.
+  bool attackSwapIbtcEntry(uint64_t GuestTarget, uint64_t ForgedGuest);
+
+  /// Adversarial surface: patches the direct exit at cache address
+  /// \p SiteAddr (a Tramp stub or an already-chained Jmp) to dispatch to
+  /// \p ForgedGuest instead, and keeps the patch signature-compatible
+  /// for the additive schemes by adjusting the immediately preceding
+  /// lea signature update (when there is one) by the target delta. The
+  /// integrity word is deliberately NOT resealed: this is the SMC-style
+  /// code patch the scrubber/dispatch verifier exist to catch. Returns
+  /// false when the site does not hold a patchable direct exit or the
+  /// forged target is not translated.
+  bool attackPatchDirectExit(uint64_t SiteAddr, uint64_t ForgedGuest);
+
   /// Fault surface for the checker-targeted injection campaigns: flips
   /// bit \p Bit of metadata word \p Word (0 = GuestAddr, 1 = CacheAddr,
   /// 2 = CacheSize) of the \p Index-th live translated block
@@ -491,6 +522,7 @@ private:
   std::unique_ptr<telemetry::MetricsRegistry> OwnedMetrics;
   telemetry::MetricsRegistry *Metrics;
   std::unique_ptr<ControlFlowChecker> Checker;
+  ShadowStackChecker ShadowStack;
   BlockTable<TranslatedBlock> BlockMap;
   std::unordered_map<uint64_t, SafePointInfo> SafePoints;
   /// Cache ranges whose translations were evicted (trace promotion,

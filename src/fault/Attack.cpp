@@ -1,0 +1,693 @@
+//===- Attack.cpp - Adversarial control-flow attack campaigns -------------------===//
+
+#include "fault/Attack.h"
+
+#include "support/Diagnostics.h"
+#include "support/Format.h"
+#include "support/Prng.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace cfed;
+
+const char *cfed::getAttackFamilyName(AttackFamily F) {
+  switch (F) {
+  case AttackFamily::Return:
+    return "return";
+  case AttackFamily::Indirect:
+    return "indirect";
+  case AttackFamily::CodePatch:
+    return "code-patch";
+  }
+  return "?";
+}
+
+BranchErrorCategory cfed::attackCategory(AttackFamily F) {
+  switch (F) {
+  case AttackFamily::Return:
+    return BranchErrorCategory::AttackReturn;
+  case AttackFamily::Indirect:
+    return BranchErrorCategory::AttackIndirect;
+  case AttackFamily::CodePatch:
+    return BranchErrorCategory::AttackCodePatch;
+  }
+  cfed_unreachable("covered switch");
+}
+
+const char *cfed::getAttackOutcomeName(AttackOutcome O) {
+  switch (O) {
+  case AttackOutcome::DetectedSignature:
+    return "det-sig";
+  case AttackOutcome::DetectedShadowStack:
+    return "det-shadow";
+  case AttackOutcome::DetectedIntegrity:
+    return "det-integ";
+  case AttackOutcome::DetectedHardware:
+    return "det-hw";
+  case AttackOutcome::Evaded:
+    return "evaded";
+  case AttackOutcome::Masked:
+    return "masked";
+  case AttackOutcome::Timeout:
+    return "timeout";
+  case AttackOutcome::Recovered:
+    return "recovered";
+  case AttackOutcome::RecoveryFailed:
+    return "rec-fail";
+  }
+  return "?";
+}
+
+std::string cfed::getAttackCounterName(AttackFamily F, AttackOutcome O) {
+  return std::string("attack.") + getAttackFamilyName(F) + '.' +
+         getAttackOutcomeName(O);
+}
+
+void AttackOutcomeCounts::add(AttackOutcome O) {
+  switch (O) {
+  case AttackOutcome::DetectedSignature:
+    ++DetectedSig;
+    return;
+  case AttackOutcome::DetectedShadowStack:
+    ++DetectedShadow;
+    return;
+  case AttackOutcome::DetectedIntegrity:
+    ++DetectedIntegrity;
+    return;
+  case AttackOutcome::DetectedHardware:
+    ++DetectedHw;
+    return;
+  case AttackOutcome::Evaded:
+    ++Evaded;
+    return;
+  case AttackOutcome::Masked:
+    ++Masked;
+    return;
+  case AttackOutcome::Timeout:
+    ++Timeout;
+    return;
+  case AttackOutcome::Recovered:
+    ++Recovered;
+    return;
+  case AttackOutcome::RecoveryFailed:
+    ++RecoveryFailed;
+    return;
+  }
+  cfed_unreachable("covered switch");
+}
+
+void AttackOutcomeCounts::merge(const AttackOutcomeCounts &Other) {
+  DetectedSig += Other.DetectedSig;
+  DetectedShadow += Other.DetectedShadow;
+  DetectedIntegrity += Other.DetectedIntegrity;
+  DetectedHw += Other.DetectedHw;
+  Evaded += Other.Evaded;
+  Masked += Other.Masked;
+  Timeout += Other.Timeout;
+  Recovered += Other.Recovered;
+  RecoveryFailed += Other.RecoveryFailed;
+}
+
+AttackOutcomeCounts AttackResult::totals() const {
+  AttackOutcomeCounts Totals;
+  for (const AttackOutcomeCounts &Row : PerFamily)
+    Totals.merge(Row);
+  return Totals;
+}
+
+AttackResult
+cfed::attackResultFromSnapshot(const telemetry::RegistrySnapshot &Snap) {
+  AttackResult Result;
+  for (unsigned F = 0; F < NumAttackFamilies; ++F) {
+    auto Family = static_cast<AttackFamily>(F);
+    for (unsigned O = 0; O < NumAttackOutcomes; ++O) {
+      auto Out = static_cast<AttackOutcome>(O);
+      uint64_t N = Snap.counterOr(getAttackCounterName(Family, Out));
+      for (uint64_t I = 0; I < N; ++I)
+        Result.of(Family).add(Out);
+    }
+  }
+  Result.Attacks = Snap.counterOr("attack.attacks");
+  return Result;
+}
+
+bool cfed::hasAttackTallies(const telemetry::RegistrySnapshot &Snap) {
+  if (Snap.counterOr("attack.attacks"))
+    return true;
+  for (unsigned F = 0; F < NumAttackFamilies; ++F)
+    for (unsigned O = 0; O < NumAttackOutcomes; ++O)
+      if (Snap.counterOr(getAttackCounterName(static_cast<AttackFamily>(F),
+                                              static_cast<AttackOutcome>(O))))
+        return true;
+  return false;
+}
+
+std::string
+cfed::renderPrecisionMatrix(const telemetry::RegistrySnapshot &Snap) {
+  AttackResult Result = attackResultFromSnapshot(Snap);
+  if (!Result.Attacks && !Result.totals().total())
+    return "";
+
+  auto Row = [](const char *Name, const AttackOutcomeCounts &C) {
+    return formatString("  %-10s %7llu %8llu %9llu %7llu %7llu %7llu %7llu "
+                        "%9llu %8llu %7llu\n",
+                        Name, static_cast<unsigned long long>(C.DetectedSig),
+                        static_cast<unsigned long long>(C.DetectedShadow),
+                        static_cast<unsigned long long>(C.DetectedIntegrity),
+                        static_cast<unsigned long long>(C.DetectedHw),
+                        static_cast<unsigned long long>(C.Evaded),
+                        static_cast<unsigned long long>(C.Masked),
+                        static_cast<unsigned long long>(C.Timeout),
+                        static_cast<unsigned long long>(C.Recovered),
+                        static_cast<unsigned long long>(C.RecoveryFailed),
+                        static_cast<unsigned long long>(C.total()));
+  };
+
+  std::string Out = "precision matrix (attack family x outcome):\n";
+  Out += formatString("  %-10s %7s %8s %9s %7s %7s %7s %7s %9s %8s %7s\n",
+                      "family", "det-sig", "det-shdw", "det-integ", "det-hw",
+                      "evaded", "masked", "timeout", "recovered", "rec-fail",
+                      "total");
+  for (unsigned F = 0; F < NumAttackFamilies; ++F) {
+    auto Family = static_cast<AttackFamily>(F);
+    if (!Result.of(Family).total())
+      continue;
+    Out += Row(getAttackFamilyName(Family), Result.of(Family));
+  }
+  Out += Row("total", Result.totals());
+  return Out;
+}
+
+std::string
+cfed::renderPrecisionSummaryLine(const telemetry::RegistrySnapshot &Snap) {
+  AttackResult Result = attackResultFromSnapshot(Snap);
+  AttackOutcomeCounts T = Result.totals();
+  return formatString(
+      "precision-summary: attacks=%llu detected=%llu shadow_only=%llu "
+      "undetected=%llu recovered=%llu benign=%llu",
+      static_cast<unsigned long long>(Result.Attacks),
+      static_cast<unsigned long long>(T.detected()),
+      static_cast<unsigned long long>(T.DetectedShadow),
+      static_cast<unsigned long long>(T.undetected()),
+      static_cast<unsigned long long>(T.Recovered),
+      static_cast<unsigned long long>(T.Masked));
+}
+
+//===----------------------------------------------------------------------===//
+// Campaign
+//===----------------------------------------------------------------------===//
+
+struct AttackCampaign::Instance {
+  Memory Mem;
+  Dbt Translator;
+  Interpreter Interp;
+  bool Ok;
+
+  Instance(const AsmProgram &Program, const DbtConfig &Config)
+      : Translator(Mem, Config), Interp(Mem) {
+    Ok = Translator.load(Program, Interp.state());
+  }
+};
+
+namespace {
+
+/// Classifies one executed instruction as an attackable dynamic event.
+/// Returns true with \p F set when it is one. The streams:
+///  * Return    — the ret lowering's `pop aux2` (guest code never names
+///                reserved registers, so the pattern is unambiguous).
+///  * Indirect  — a TrampR dispatching on a guest register (the ret
+///                lowering's TrampR runs on aux2 and is excluded: its
+///                corruption surface is the stack, not the IBTC).
+///  * CodePatch — a direct exit: an unchained Tramp stub or the Jmp it
+///                was chained into (the only plain Jmps in the cache).
+bool classifyEvent(uint64_t InsnAddr, const Instruction &I, AttackFamily &F) {
+  if (InsnAddr < CacheBase)
+    return false;
+  if (I.Op == Opcode::Pop && I.A == RegAUX2) {
+    F = AttackFamily::Return;
+    return true;
+  }
+  if (I.Op == Opcode::TrampR && I.A < FirstReservedReg) {
+    F = AttackFamily::Indirect;
+    return true;
+  }
+  if (I.Op == Opcode::Tramp || I.Op == Opcode::Jmp) {
+    F = AttackFamily::CodePatch;
+    return true;
+  }
+  return false;
+}
+
+/// Counts dynamic attackable events per family (golden run).
+class EventCountingHook : public PreInsnHook {
+public:
+  std::array<uint64_t, NumAttackFamilies> Counts{};
+
+  void onInsn(uint64_t InsnAddr, const Instruction &I, CpuState &) override {
+    AttackFamily F;
+    if (classifyEvent(InsnAddr, I, F))
+      ++Counts[static_cast<unsigned>(F)];
+  }
+};
+
+/// The guest target the event would transfer to, read from the live
+/// pre-execution state.
+uint64_t eventRealTarget(const Dbt &Translator, const Memory &Mem,
+                         uint64_t InsnAddr, const Instruction &I,
+                         const CpuState &State, AttackFamily F) {
+  switch (F) {
+  case AttackFamily::Return: {
+    MemResult R;
+    return Mem.read64(State.Regs[RegSP], R);
+  }
+  case AttackFamily::Indirect:
+    return State.Regs[I.A];
+  case AttackFamily::CodePatch: {
+    if (I.Op == Opcode::Tramp)
+      return static_cast<uint64_t>(static_cast<int64_t>(I.Imm));
+    // A chained Jmp: map its cache target back to the guest block.
+    uint64_t Target = InsnAddr + InsnSize + static_cast<int64_t>(I.Imm);
+    return Translator.guestPCFor(Target);
+  }
+  }
+  cfed_unreachable("covered switch");
+}
+
+/// Picks the gadget for one planned attack: a translated block (live at
+/// the event instant) other than the real target, preferring one the
+/// checker's oracle certifies as signature-compatible with the forged
+/// edge. \p Salt rotates the deterministic scan start so a campaign
+/// exercises many gadgets. Returns false when no candidate exists.
+bool pickGadget(const Dbt &Translator, uint64_t SiteGuestBlock,
+                uint64_t RealTarget, uint64_t Salt, uint64_t &Forged,
+                bool &Valid) {
+  std::vector<uint64_t> Pool;
+  Pool.reserve(Translator.blocks().size());
+  for (const TranslatedBlock &TB : Translator.blocks())
+    Pool.push_back(TB.GuestAddr);
+  std::sort(Pool.begin(), Pool.end());
+  Pool.erase(std::unique(Pool.begin(), Pool.end()), Pool.end());
+  if (Pool.empty())
+    return false;
+
+  const ControlFlowChecker &Checker = Translator.checker();
+  uint64_t Start = Salt % Pool.size();
+  uint64_t Fallback = 0;
+  bool HaveFallback = false;
+  for (size_t I = 0; I < Pool.size(); ++I) {
+    uint64_t C = Pool[(Start + I) % Pool.size()];
+    if (C == RealTarget)
+      continue;
+    if (Checker.acceptsForgedReturn(SiteGuestBlock, C)) {
+      Forged = C;
+      Valid = true;
+      return true;
+    }
+    if (!HaveFallback) {
+      Fallback = C;
+      HaveFallback = true;
+    }
+  }
+  if (!HaveFallback)
+    return false;
+  // No oracle-certified gadget: attack with the first candidate anyway
+  // (the run measures whether the signature actually catches it).
+  Forged = Fallback;
+  Valid = false;
+  return true;
+}
+
+/// Planning hook: walks all three families' event streams in one run
+/// and fills each pre-drawn attack at its chosen instance.
+class AttackPlanningHook : public PreInsnHook {
+public:
+  AttackPlanningHook(const Dbt &Translator, const Memory &Mem,
+                     std::array<std::vector<PlannedAttack>,
+                                NumAttackFamilies> &Plans,
+                     const std::array<std::vector<uint64_t>,
+                                      NumAttackFamilies> &Salts)
+      : Translator(Translator), Mem(Mem), Plans(Plans), Salts(Salts) {}
+
+  void onInsn(uint64_t InsnAddr, const Instruction &I,
+              CpuState &State) override {
+    AttackFamily F;
+    if (!classifyEvent(InsnAddr, I, F))
+      return;
+    unsigned Idx = static_cast<unsigned>(F);
+    ++Counter[Idx];
+    std::vector<PlannedAttack> &Plan = Plans[Idx];
+    size_t &Cursor = Next[Idx];
+    while (Cursor < Plan.size() && Plan[Cursor].Instance == Counter[Idx]) {
+      PlannedAttack &Attack = Plan[Cursor];
+      Attack.SiteAddr = InsnAddr;
+      Attack.RealTarget =
+          eventRealTarget(Translator, Mem, InsnAddr, I, State, F);
+      uint64_t Forged = 0;
+      bool Valid = false;
+      if (pickGadget(Translator, Translator.guestPCFor(InsnAddr),
+                     Attack.RealTarget, Salts[Idx][Cursor], Forged, Valid)) {
+        Attack.ForgedTarget = Forged;
+        Attack.GadgetValid = Valid;
+      }
+      ++Cursor;
+    }
+  }
+
+private:
+  const Dbt &Translator;
+  const Memory &Mem;
+  std::array<std::vector<PlannedAttack>, NumAttackFamilies> &Plans;
+  const std::array<std::vector<uint64_t>, NumAttackFamilies> &Salts;
+  std::array<uint64_t, NumAttackFamilies> Counter{};
+  std::array<size_t, NumAttackFamilies> Next{};
+};
+
+/// Injection hook: applies the attack at the chosen instance.
+class AttackInjectionHook : public PreInsnHook {
+public:
+  AttackInjectionHook(const PlannedAttack &Attack, Dbt &Translator,
+                      Memory &Mem, const Interpreter &Interp)
+      : Attack(Attack), Translator(Translator), Mem(Mem), Interp(Interp) {}
+
+  bool Fired = false;
+
+  void onInsn(uint64_t InsnAddr, const Instruction &I,
+              CpuState &State) override {
+    AttackFamily F;
+    if (Fired || !classifyEvent(InsnAddr, I, F) || F != Attack.Family)
+      return;
+    if (++Counter != Attack.Instance)
+      return;
+    Fired = true;
+    switch (Attack.Family) {
+    case AttackFamily::Return:
+      // Overwrite the return address the imminent Pop consumes. Raw
+      // writes still feed the page-write observer, so recovery's undo
+      // log captures the corruption like any guest store.
+      Mem.writeRaw(State.Regs[RegSP], &Attack.ForgedTarget, 8);
+      break;
+    case AttackFamily::Indirect:
+      // Key the swap on the live dispatch value (equals the planned
+      // RealTarget in a deterministic replay).
+      Translator.attackSwapIbtcEntry(State.Regs[I.A], Attack.ForgedTarget);
+      break;
+    case AttackFamily::CodePatch:
+      // Emits its own AttackApplied trace event; the patch takes effect
+      // at this site's next execution (this instruction is already
+      // fetched).
+      Translator.attackPatchDirectExit(InsnAddr, Attack.ForgedTarget);
+      return;
+    }
+    if (telemetry::EventTracer *T = Translator.tracer())
+      T->record(Interp.instructionCount(),
+                telemetry::TraceEventKind::AttackApplied,
+                getAttackFamilyName(Attack.Family), InsnAddr,
+                Attack.ForgedTarget);
+  }
+
+private:
+  const PlannedAttack &Attack;
+  Dbt &Translator;
+  Memory &Mem;
+  const Interpreter &Interp;
+  uint64_t Counter = 0;
+};
+
+/// Annotates and writes one attack bundle. Evasions get their own
+/// reason so CI and DESIGN.md §15 can cite the proof artifacts.
+void writeAttackBundle(telemetry::FlightRecorder &Recorder, Dbt &Translator,
+                       Interpreter &Interp, const StopInfo &Stop,
+                       const PlannedAttack &Attack, bool Fired,
+                       AttackOutcome Result) {
+  bool Evasion = Result == AttackOutcome::Evaded ||
+                 Result == AttackOutcome::Timeout;
+  telemetry::PostMortem PM = Translator.buildPostMortem(
+      Evasion ? "attack-evasion" : "attack-injection", Stop, Interp);
+  PM.Annotations.emplace_back("instance", Attack.Instance);
+  PM.Annotations.emplace_back("family",
+                              static_cast<uint64_t>(Attack.Family));
+  PM.Annotations.emplace_back("site_addr", Attack.SiteAddr);
+  PM.Annotations.emplace_back("real_target", Attack.RealTarget);
+  PM.Annotations.emplace_back("forged_target", Attack.ForgedTarget);
+  PM.Annotations.emplace_back("gadget_valid", Attack.GadgetValid ? 1 : 0);
+  PM.Annotations.emplace_back("fired", Fired ? 1 : 0);
+  PM.Note = getAttackOutcomeName(Result);
+  Recorder.write(PM);
+}
+
+} // namespace
+
+AttackCampaign::AttackCampaign(const AsmProgram &Program, DbtConfig Config)
+    : Program(Program), Config(Config) {}
+
+bool AttackCampaign::prepare(uint64_t MaxInsns) {
+  Instance Ref(Program, Config);
+  if (!Ref.Ok)
+    return false;
+  EventCountingHook Hook;
+  Ref.Interp.setPreInsnHook(&Hook);
+  StopInfo Stop = Ref.Translator.run(Ref.Interp, MaxInsns);
+  if (Stop.Kind != StopKind::Halted)
+    return false;
+  GoldenInsns = Ref.Interp.instructionCount();
+  GoldenHash = hashOutput(Ref.Interp.output());
+  InsnBudget = GoldenInsns * 4 + 100000;
+  EventCounts = Hook.Counts;
+  Prepared = true;
+  return true;
+}
+
+std::vector<PlannedAttack> AttackCampaign::plan(uint64_t NumCandidates,
+                                                uint64_t Seed) {
+  assert(Prepared && "call prepare() first");
+
+  // Even split over the families with a non-empty stream; per-family
+  // Prngs run on derived seeds so each family's draw sequence is
+  // independent of the others' populations.
+  unsigned Active = 0;
+  for (uint64_t Count : EventCounts)
+    Active += Count > 0;
+  if (!Active)
+    return {};
+
+  std::array<std::vector<PlannedAttack>, NumAttackFamilies> Plans;
+  std::array<std::vector<uint64_t>, NumAttackFamilies> Salts;
+  unsigned Nth = 0;
+  for (unsigned F = 0; F < NumAttackFamilies; ++F) {
+    uint64_t Population = EventCounts[F];
+    if (!Population)
+      continue;
+    uint64_t Want = NumCandidates / Active + (Nth < NumCandidates % Active);
+    ++Nth;
+    Want = std::min(Want, Population);
+    Prng Rng(Seed + 0x9e3779b97f4a7c15ULL * (F + 1));
+    std::set<uint64_t> Instances;
+    while (Instances.size() < Want)
+      Instances.insert(1 + Rng.nextBelow(Population));
+    for (uint64_t InstanceIdx : Instances) {
+      PlannedAttack Attack;
+      Attack.Instance = InstanceIdx;
+      Attack.Family = static_cast<AttackFamily>(F);
+      Plans[F].push_back(Attack);
+      Salts[F].push_back(Rng.next());
+    }
+  }
+
+  Instance Planner(Program, Config);
+  if (!Planner.Ok)
+    reportFatalError("planning instance failed to load after prepare()");
+  AttackPlanningHook Hook(Planner.Translator, Planner.Mem, Plans, Salts);
+  Planner.Interp.setPreInsnHook(&Hook);
+  Planner.Translator.run(Planner.Interp, InsnBudget);
+
+  // Interleave round-robin so a truncated selection still covers every
+  // family.
+  std::vector<PlannedAttack> Out;
+  size_t MaxLen = 0;
+  for (const auto &Plan : Plans)
+    MaxLen = std::max(MaxLen, Plan.size());
+  for (size_t I = 0; I < MaxLen; ++I)
+    for (const auto &Plan : Plans)
+      if (I < Plan.size())
+        Out.push_back(Plan[I]);
+  return Out;
+}
+
+AttackCampaign::AttackReport
+AttackCampaign::injectAttack(const PlannedAttack &Attack,
+                             telemetry::FlightRecorder *Recorder) const {
+  assert(Prepared && "call prepare() first");
+  Instance Run(Program, Config);
+  if (!Run.Ok)
+    reportFatalError("attack instance failed to load after prepare()");
+  AttackInjectionHook Hook(Attack, Run.Translator, Run.Mem, Run.Interp);
+  Run.Interp.setPreInsnHook(&Hook);
+  std::unique_ptr<telemetry::EventTracer> Tracer;
+  if (Recorder) {
+    Tracer = std::make_unique<telemetry::EventTracer>(Recorder->maxEvents());
+    Run.Translator.setTracer(Tracer.get());
+  }
+  StopInfo Stop = Run.Translator.run(Run.Interp, InsnBudget);
+
+  AttackReport Report;
+  Report.Fired = Hook.Fired;
+  switch (Stop.Kind) {
+  case StopKind::Halted:
+    if (hashOutput(Run.Interp.output()) == GoldenHash)
+      // A healed run (integrity caught the tamper, quarantined, and
+      // retranslated) completes golden with mismatches on record.
+      Report.Result = Run.Translator.integrityMismatchCount() > 0
+                          ? AttackOutcome::DetectedIntegrity
+                          : AttackOutcome::Masked;
+    else
+      Report.Result = AttackOutcome::Evaded;
+    break;
+  case StopKind::InsnLimit:
+    Report.Result = AttackOutcome::Timeout;
+    break;
+  case StopKind::Trapped:
+    Report.Result = AttackOutcome::DetectedHardware;
+    if (Stop.Trap == TrapKind::BreakTrap) {
+      if (Stop.BreakCode == BrkShadowStackViolation)
+        Report.Result = AttackOutcome::DetectedShadowStack;
+      else if (Stop.BreakCode == BrkControlFlowError ||
+               Stop.BreakCode == BrkMonitorCorruption)
+        Report.Result = AttackOutcome::DetectedSignature;
+    } else if (Stop.Trap == TrapKind::DivByZero) {
+      const TranslatedBlock *Block =
+          Run.Translator.cacheBlockContaining(Stop.TrapAddr);
+      if (Block && Block->isInstrumentation(Stop.TrapAddr))
+        Report.Result = AttackOutcome::DetectedSignature;
+    }
+    break;
+  }
+  if (Recorder)
+    writeAttackBundle(*Recorder, Run.Translator, Run.Interp, Stop, Attack,
+                      Hook.Fired, Report.Result);
+  return Report;
+}
+
+AttackCampaign::AttackReport
+AttackCampaign::injectWithRecovery(const PlannedAttack &Attack,
+                                   const RecoveryConfig &Recovery,
+                                   telemetry::FlightRecorder *Recorder) const {
+  assert(Prepared && "call prepare() first");
+  Instance Run(Program, Config);
+  if (!Run.Ok)
+    reportFatalError("attack instance failed to load after prepare()");
+  // The manager saves and forwards to the installed hook, so the attack
+  // still fires at its planned event under recovery.
+  AttackInjectionHook Hook(Attack, Run.Translator, Run.Mem, Run.Interp);
+  Run.Interp.setPreInsnHook(&Hook);
+  RecoveryManager Manager(Run.Interp, Run.Translator, Recovery);
+  RecoveryReport Report = Manager.run(InsnBudget);
+
+  AttackReport Injection;
+  Injection.Fired = Hook.Fired;
+  if (Report.Completed) {
+    bool Golden = hashOutput(Run.Interp.output()) == GoldenHash;
+    if (Golden)
+      Injection.Result = Report.NumRollbacks > 0 ? AttackOutcome::Recovered
+                                                 : AttackOutcome::Masked;
+    else
+      Injection.Result = Report.NumRollbacks > 0
+                             ? AttackOutcome::RecoveryFailed
+                             : AttackOutcome::Evaded;
+  } else if (Report.FinalStop.Kind == StopKind::InsnLimit) {
+    Injection.Result = Report.NumRollbacks > 0 ? AttackOutcome::RecoveryFailed
+                                               : AttackOutcome::Timeout;
+  } else {
+    Injection.Result = AttackOutcome::RecoveryFailed;
+  }
+  if (Recorder)
+    writeAttackBundle(*Recorder, Run.Translator, Run.Interp,
+                      Report.FinalStop, Attack, Hook.Fired,
+                      Injection.Result);
+  return Injection;
+}
+
+namespace {
+
+/// Serial selection shared by run() and runWithRecovery(): the first
+/// NumAttacks actionable candidates (a gadget was found) in plan order.
+std::vector<const PlannedAttack *>
+selectAttacks(const std::vector<PlannedAttack> &Candidates,
+              uint64_t NumAttacks) {
+  std::vector<const PlannedAttack *> Selected;
+  Selected.reserve(std::min<uint64_t>(NumAttacks, Candidates.size()));
+  for (const PlannedAttack &Attack : Candidates) {
+    if (!Attack.ForgedTarget)
+      continue;
+    if (Selected.size() >= NumAttacks)
+      break;
+    Selected.push_back(&Attack);
+  }
+  return Selected;
+}
+
+} // namespace
+
+AttackResult
+AttackCampaign::tallyOutcomes(const std::vector<const PlannedAttack *> &Sel,
+                              const std::vector<AttackOutcome> &Outcomes) {
+  // Serial tally from position-indexed slots, like FaultCampaign: the
+  // registry contents are identical for any job count.
+  telemetry::MetricsRegistry RunMetrics;
+  for (size_t I = 0; I < Sel.size(); ++I) {
+    RunMetrics.counter(getAttackCounterName(Sel[I]->Family, Outcomes[I]))
+        .inc();
+    RunMetrics.counter("attack.attacks").inc();
+    if (Sel[I]->GadgetValid)
+      RunMetrics.counter("attack.gadget_valid").inc();
+  }
+  telemetry::RegistrySnapshot Snap = RunMetrics.snapshot();
+  Metrics.merge(Snap);
+  AttackResult Result = attackResultFromSnapshot(Snap);
+  assert(Result.totals().total() == Result.Attacks &&
+         "registry tallies must cover every attack");
+  return Result;
+}
+
+AttackResult AttackCampaign::run(uint64_t NumAttacks, uint64_t Seed,
+                                 unsigned Jobs,
+                                 telemetry::FlightRecorder *Recorder) {
+  // Over-plan 2x: gadget search can fail on tiny programs.
+  std::vector<PlannedAttack> Candidates = plan(NumAttacks * 2, Seed);
+  std::vector<const PlannedAttack *> Selected =
+      selectAttacks(Candidates, NumAttacks);
+
+  std::vector<AttackOutcome> Outcomes(Selected.size());
+  ThreadPool Pool(Jobs);
+  Pool.parallelFor(Selected.size(), [&](uint64_t I) {
+    Outcomes[I] = injectAttack(*Selected[I]).Result;
+  });
+  AttackResult Result = tallyOutcomes(Selected, Outcomes);
+
+  // Evasion proof bundles: replay the undetected attacks serially with
+  // the recorder attached (injection is deterministic, so the replay is
+  // the run the tally counted).
+  if (Recorder)
+    for (size_t I = 0; I < Selected.size(); ++I)
+      if (Outcomes[I] == AttackOutcome::Evaded ||
+          Outcomes[I] == AttackOutcome::Timeout)
+        injectAttack(*Selected[I], Recorder);
+  return Result;
+}
+
+AttackResult AttackCampaign::runWithRecovery(uint64_t NumAttacks,
+                                             uint64_t Seed,
+                                             const RecoveryConfig &Recovery,
+                                             unsigned Jobs) {
+  std::vector<PlannedAttack> Candidates = plan(NumAttacks * 2, Seed);
+  std::vector<const PlannedAttack *> Selected =
+      selectAttacks(Candidates, NumAttacks);
+
+  std::vector<AttackOutcome> Outcomes(Selected.size());
+  ThreadPool Pool(Jobs);
+  Pool.parallelFor(Selected.size(), [&](uint64_t I) {
+    Outcomes[I] = injectWithRecovery(*Selected[I], Recovery).Result;
+  });
+  return tallyOutcomes(Selected, Outcomes);
+}

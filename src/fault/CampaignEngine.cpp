@@ -223,8 +223,11 @@ void tallyPropagation(telemetry::MetricsRegistry &Cumulative,
 
 namespace {
 
-std::string checkpointToJson(const EngineCheckpoint &Ckpt) {
-  std::string Out = "{\"kind\":\"cfed-campaign-checkpoint\",\"version\":";
+std::string checkpointToJson(const EngineCheckpoint &Ckpt,
+                             const char *Kind) {
+  std::string Out = "{\"kind\":\"";
+  Out += Kind;
+  Out += "\",\"version\":";
   Out += std::to_string(Ckpt.Version);
   Out += ",\"plan_hash\":\"" + toHex(Ckpt.PlanHash) + '"';
   Out += ",\"shard\":" + std::to_string(Ckpt.Shard);
@@ -245,11 +248,14 @@ std::string checkpointToJson(const EngineCheckpoint &Ckpt) {
   return Out;
 }
 
-} // namespace
+/// Kind strings distinguishing fault-campaign from attack-campaign
+/// checkpoints: a resume must never silently mix the two.
+constexpr const char *CampaignCheckpointKind = "cfed-campaign-checkpoint";
+constexpr const char *AttackCheckpointKind = "cfed-attack-checkpoint";
 
-bool CampaignEngine::writeCheckpoint(const std::string &Path,
-                                     const EngineCheckpoint &Ckpt,
-                                     std::string &Error) {
+bool writeCheckpointKind(const std::string &Path,
+                         const EngineCheckpoint &Ckpt, const char *Kind,
+                         std::string &Error) {
   // Temp file + rename: readers (and a resume after a kill landing
   // anywhere in here) see either the previous checkpoint or the new
   // one, never a torn write.
@@ -259,7 +265,7 @@ bool CampaignEngine::writeCheckpoint(const std::string &Path,
     Error = "cannot open '" + Tmp + "' for writing";
     return false;
   }
-  std::string Json = checkpointToJson(Ckpt);
+  std::string Json = checkpointToJson(Ckpt, Kind);
   Json += '\n';
   bool Ok = std::fwrite(Json.data(), 1, Json.size(), File) == Json.size();
   Ok = std::fflush(File) == 0 && Ok;
@@ -277,9 +283,10 @@ bool CampaignEngine::writeCheckpoint(const std::string &Path,
   return true;
 }
 
-CampaignEngine::LoadStatus
-CampaignEngine::loadCheckpoint(const std::string &Path, EngineCheckpoint &Out,
-                               std::string &Error) {
+using LoadStatus = CampaignEngine::LoadStatus;
+
+LoadStatus loadCheckpointKind(const std::string &Path, EngineCheckpoint &Out,
+                              const char *Kind, std::string &Error) {
   std::ifstream In(Path, std::ios::binary);
   if (!In.is_open())
     return LoadStatus::Missing;
@@ -293,8 +300,11 @@ CampaignEngine::loadCheckpoint(const std::string &Path, EngineCheckpoint &Out,
     Error = "checkpoint '" + Path + "' is truncated or not valid JSON";
     return LoadStatus::Corrupt;
   }
-  if (Root["kind"].Str != "cfed-campaign-checkpoint") {
-    Error = "'" + Path + "' is not a campaign checkpoint";
+  if (Root["kind"].Str != Kind) {
+    Error = "'" + Path +
+            (Kind == std::string(AttackCheckpointKind)
+                 ? "' is not an attack campaign checkpoint"
+                 : "' is not a campaign checkpoint");
     return LoadStatus::Corrupt;
   }
   Out.Version = static_cast<uint64_t>(Root["version"].Num);
@@ -332,6 +342,32 @@ CampaignEngine::loadCheckpoint(const std::string &Path, EngineCheckpoint &Out,
     return LoadStatus::Corrupt;
   }
   return LoadStatus::Ok;
+}
+
+} // namespace
+
+bool CampaignEngine::writeCheckpoint(const std::string &Path,
+                                     const EngineCheckpoint &Ckpt,
+                                     std::string &Error) {
+  return writeCheckpointKind(Path, Ckpt, CampaignCheckpointKind, Error);
+}
+
+CampaignEngine::LoadStatus
+CampaignEngine::loadCheckpoint(const std::string &Path, EngineCheckpoint &Out,
+                               std::string &Error) {
+  return loadCheckpointKind(Path, Out, CampaignCheckpointKind, Error);
+}
+
+bool AttackEngine::writeCheckpoint(const std::string &Path,
+                                   const EngineCheckpoint &Ckpt,
+                                   std::string &Error) {
+  return writeCheckpointKind(Path, Ckpt, AttackCheckpointKind, Error);
+}
+
+CampaignEngine::LoadStatus
+AttackEngine::loadCheckpoint(const std::string &Path, EngineCheckpoint &Out,
+                             std::string &Error) {
+  return loadCheckpointKind(Path, Out, AttackCheckpointKind, Error);
 }
 
 //===----------------------------------------------------------------------===//
@@ -1030,5 +1066,196 @@ EngineReport CampaignEngine::runCoordinated(
     Report.Skipped += Cell.Skipped;
     Report.Cells.push_back(Cell);
   }
+  return Report;
+}
+
+//===----------------------------------------------------------------------===//
+// Attack engine
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Deterministic fingerprint of an attack plan and the knobs that shape
+/// it, so an attack checkpoint can never continue into a different
+/// campaign (or a fault campaign's — the kind string already separates
+/// those).
+uint64_t hashAttackPlan(const AttackEngineConfig &Engine,
+                        const std::vector<PlannedAttack> &Candidates) {
+  uint64_t Hash = 0xcbf29ce484222325ULL;
+  Hash = fnv1a(Hash, Engine.NumAttacks);
+  Hash = fnv1a(Hash, Engine.Seed);
+  Hash = fnv1a(Hash, Engine.NumShards);
+  for (const PlannedAttack &A : Candidates) {
+    Hash = fnv1a(Hash, A.Instance);
+    Hash = fnv1a(Hash, static_cast<uint64_t>(A.Family));
+    Hash = fnv1a(Hash, A.SiteAddr);
+    Hash = fnv1a(Hash, A.RealTarget);
+    Hash = fnv1a(Hash, A.ForgedTarget);
+    Hash = fnv1a(Hash, A.GadgetValid ? 1 : 0);
+  }
+  return Hash;
+}
+
+} // namespace
+
+AttackEngine::AttackEngine(const AsmProgram &Program, DbtConfig Config,
+                           AttackEngineConfig Engine)
+    : Program(Program), Config(Config), Engine(std::move(Engine)) {
+  if (this->Engine.NumShards < 1 ||
+      this->Engine.ShardIndex >= this->Engine.NumShards)
+    reportFatalErrorf("invalid shard spec %u/%u: the shard index must be "
+                      "below the shard count",
+                      this->Engine.ShardIndex, this->Engine.NumShards);
+  if (this->Engine.CheckpointInterval < 1)
+    reportFatalError("attack checkpoint interval must be at least 1");
+}
+
+std::string AttackEngine::resultToJson(const AttackEngineReport &Report,
+                                       const AttackEngineConfig &Engine) {
+  // Kind "cfed-campaign-result" on purpose: parseShardResult and
+  // mergeShards treat attack shards exactly like fault shards (the
+  // registries carry attack.* counters instead of fault.*).
+  std::string Out = "{\"kind\":\"cfed-campaign-result\",\"version\":1";
+  Out += ",\"shard\":" + std::to_string(Engine.ShardIndex);
+  Out += ",\"num_shards\":" + std::to_string(Engine.NumShards);
+  Out += ",\"seed\":" + std::to_string(Engine.Seed);
+  Out += ",\"model\":\"attack\"";
+  Out += ",\"completed\":" + std::to_string(Report.Completed);
+  Out += ",\"skipped\":0,\"finished\":";
+  Out += Report.Finished ? "true" : "false";
+  Out += ",\"registry\":";
+  Out += Report.Registry.toJson();
+  Out += '}';
+  return Out;
+}
+
+AttackEngineReport AttackEngine::run() {
+  AttackCampaign Campaign(Program, Config);
+  if (!Campaign.prepare(Engine.MaxInsns))
+    reportFatalError("attack engine: golden run failed (program does not "
+                     "load or halt within the instruction budget)");
+
+  // Deterministic plan; over-plan 2x so gadget-search misses on tiny
+  // programs do not starve the primary schedule.
+  std::vector<PlannedAttack> Candidates =
+      Campaign.plan(Engine.NumAttacks * 2, Engine.Seed);
+  std::vector<const PlannedAttack *> Primary;
+  for (const PlannedAttack &Attack : Candidates) {
+    if (!Attack.ForgedTarget)
+      continue;
+    if (Primary.size() >= Engine.NumAttacks)
+      break;
+    Primary.push_back(&Attack);
+  }
+  uint64_t PlanHash = hashAttackPlan(Engine, Candidates);
+
+  // This shard's deterministic slice of the primary schedule.
+  std::vector<const PlannedAttack *> ShardPlan;
+  for (size_t I = Engine.ShardIndex; I < Primary.size();
+       I += Engine.NumShards)
+    ShardPlan.push_back(Primary[I]);
+
+  telemetry::MetricsRegistry Cumulative;
+  uint64_t Cursor = 0;
+  uint64_t Completed = 0;
+  bool Resumed = false;
+
+  if (!Engine.CheckpointFile.empty()) {
+    EngineCheckpoint Ckpt;
+    std::string Error;
+    switch (loadCheckpoint(Engine.CheckpointFile, Ckpt, Error)) {
+    case CampaignEngine::LoadStatus::Missing:
+      break;
+    case CampaignEngine::LoadStatus::Corrupt:
+      reportFatalErrorf("%s (delete the file to restart the campaign "
+                        "from scratch)",
+                        Error.c_str());
+      break;
+    case CampaignEngine::LoadStatus::Ok:
+      if (Ckpt.PlanHash != PlanHash)
+        reportFatalErrorf(
+            "checkpoint '%s' belongs to a different attack campaign; "
+            "refusing to mix results",
+            Engine.CheckpointFile.c_str());
+      if (Ckpt.Shard != Engine.ShardIndex ||
+          Ckpt.NumShards != Engine.NumShards)
+        reportFatalErrorf("checkpoint '%s' was written by shard %u/%u, not "
+                          "%u/%u",
+                          Engine.CheckpointFile.c_str(), Ckpt.Shard,
+                          Ckpt.NumShards, Engine.ShardIndex,
+                          Engine.NumShards);
+      if (Ckpt.Cursor > ShardPlan.size())
+        reportFatalErrorf("checkpoint '%s' cursor %llu exceeds the plan "
+                          "(%zu slots)",
+                          Engine.CheckpointFile.c_str(),
+                          static_cast<unsigned long long>(Ckpt.Cursor),
+                          ShardPlan.size());
+      Cumulative.merge(Ckpt.Registry);
+      Cursor = Ckpt.Cursor;
+      Completed = Ckpt.Completed;
+      Resumed = true;
+      break;
+    }
+  }
+
+  ThreadPool Pool(Engine.Jobs);
+  uint64_t Batches = 0;
+  bool Finished = true;
+
+  while (Cursor < ShardPlan.size()) {
+    if (Engine.MaxBatches && Batches >= Engine.MaxBatches) {
+      Finished = false;
+      break;
+    }
+    ++Batches;
+
+    size_t BatchBegin = Cursor;
+    size_t BatchEnd = std::min<size_t>(
+        Cursor + Engine.CheckpointInterval, ShardPlan.size());
+    Cursor = BatchEnd;
+    size_t BatchSize = BatchEnd - BatchBegin;
+
+    // Work-stealing dispatch into position-indexed slots; the tally
+    // below replays the slots serially in batch order, so the registry
+    // is byte-identical for any job count.
+    std::vector<AttackOutcome> Outcomes(BatchSize);
+    Pool.parallelFor(BatchSize, [&](uint64_t I) {
+      Outcomes[I] =
+          Campaign.injectAttack(*ShardPlan[BatchBegin + I]).Result;
+    });
+    for (size_t I = 0; I < BatchSize; ++I) {
+      const PlannedAttack &Attack = *ShardPlan[BatchBegin + I];
+      Cumulative.counter(getAttackCounterName(Attack.Family, Outcomes[I]))
+          .inc();
+      Cumulative.counter("attack.attacks").inc();
+      if (Attack.GadgetValid)
+        Cumulative.counter("attack.gadget_valid").inc();
+    }
+    Completed += BatchSize;
+
+    if (!Engine.CheckpointFile.empty()) {
+      EngineCheckpoint Ckpt;
+      Ckpt.Version = EngineCheckpointVersion;
+      Ckpt.PlanHash = PlanHash;
+      Ckpt.Shard = Engine.ShardIndex;
+      Ckpt.NumShards = Engine.NumShards;
+      Ckpt.Cursor = Cursor;
+      Ckpt.Completed = Completed;
+      Ckpt.Registry = Cumulative.snapshot();
+      std::string Error;
+      if (!writeCheckpoint(Engine.CheckpointFile, Ckpt, Error))
+        reportFatalErrorf("attack checkpoint failed: %s", Error.c_str());
+      if (Engine.OnCheckpoint)
+        Engine.OnCheckpoint(Completed);
+    }
+  }
+
+  AttackEngineReport Report;
+  Report.Registry = Cumulative.snapshot();
+  Report.Result = attackResultFromSnapshot(Report.Registry);
+  Report.Completed = Completed;
+  Report.Planned = ShardPlan.size();
+  Report.Finished = Finished;
+  Report.Resumed = Resumed;
   return Report;
 }

@@ -40,6 +40,7 @@
 #ifndef CFED_FAULT_CAMPAIGNENGINE_H
 #define CFED_FAULT_CAMPAIGNENGINE_H
 
+#include "fault/Attack.h"
 #include "fault/Campaign.h"
 #include "support/Stats.h"
 
@@ -269,6 +270,87 @@ private:
   const AsmProgram &Program;
   DbtConfig Config;
   EngineConfig Engine;
+};
+
+/// Engine configuration for adversarial attack campaigns — the subset
+/// of EngineConfig the attack engine supports (no early stopping or
+/// coordination: attack plans are small and every slot is actionable).
+struct AttackEngineConfig {
+  /// Primary attack budget (schedule slots across all shards).
+  uint64_t NumAttacks = 0;
+  uint64_t Seed = 1;
+  /// Golden-run instruction budget handed to prepare().
+  uint64_t MaxInsns = 50000000;
+  unsigned Jobs = 1;
+
+  /// Schedule slots per batch; a checkpoint is written after every
+  /// batch.
+  uint64_t CheckpointInterval = 64;
+  /// Checkpoint file path; empty disables checkpointing.
+  std::string CheckpointFile;
+
+  /// This process handles primary schedule slots with
+  /// index % NumShards == ShardIndex.
+  unsigned ShardIndex = 0;
+  unsigned NumShards = 1;
+
+  /// Test hook: stop (with Finished = false) after this many batches.
+  uint64_t MaxBatches = 0;
+  /// Test hook: invoked after every successful checkpoint write.
+  std::function<void(uint64_t)> OnCheckpoint;
+};
+
+/// Result of one attack-engine run (one shard's share when sharded).
+struct AttackEngineReport {
+  AttackResult Result;
+  /// Cumulative instruments: attack.<family>.* outcome counters plus
+  /// attack.attacks / attack.gadget_valid.
+  telemetry::RegistrySnapshot Registry;
+  uint64_t Completed = 0;
+  uint64_t Planned = 0;
+  bool Finished = true;
+  bool Resumed = false;
+};
+
+/// Resumable, shardable adversarial campaigns on top of AttackCampaign.
+/// Reuses the campaign engine's machinery: the same EngineCheckpoint
+/// record (written under kind "cfed-attack-checkpoint" so fault and
+/// attack checkpoints can never be confused), the same atomic
+/// temp-and-rename discipline, and result files of kind
+/// "cfed-campaign-result" so CampaignEngine::parseShardResult and
+/// mergeShards fold attack shards exactly like fault shards.
+class AttackEngine {
+public:
+  /// Validates \p Engine (fatal on an invalid shard spec or a zero
+  /// checkpoint interval).
+  AttackEngine(const AsmProgram &Program, DbtConfig Config,
+               AttackEngineConfig Engine);
+
+  /// Runs the campaign: golden run, deterministic plan, batched
+  /// injection with checkpointing. Resumes from Engine.CheckpointFile
+  /// when it holds a matching checkpoint; byte-identical to an
+  /// uninterrupted run for any kill/resume point, job count, or shard
+  /// split.
+  AttackEngineReport run();
+
+  /// Serializes \p Report as a single-line campaign result file
+  /// mergeable by CampaignEngine::mergeShards.
+  static std::string resultToJson(const AttackEngineReport &Report,
+                                  const AttackEngineConfig &Engine);
+
+  /// Checkpoint I/O under the attack kind; same structure and
+  /// atomicity as CampaignEngine's.
+  static bool writeCheckpoint(const std::string &Path,
+                              const EngineCheckpoint &Ckpt,
+                              std::string &Error);
+  static CampaignEngine::LoadStatus
+  loadCheckpoint(const std::string &Path, EngineCheckpoint &Out,
+                 std::string &Error);
+
+private:
+  const AsmProgram &Program;
+  DbtConfig Config;
+  AttackEngineConfig Engine;
 };
 
 } // namespace cfed

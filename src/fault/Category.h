@@ -20,16 +20,31 @@ namespace cfed {
 /// not deviate the control flow (e.g. an offset bit flip on a not-taken
 /// branch).
 enum class BranchErrorCategory : uint8_t {
-  A,      ///< Mistaken branch (wrong direction).
-  B,      ///< Jump to the beginning of the same basic block.
-  C,      ///< Jump to the middle (including the end) of the same block.
-  D,      ///< Jump to the beginning of another basic block.
-  E,      ///< Jump to the middle of another basic block.
-  F,      ///< Jump to a non-code memory region.
-  NoError ///< The fault does not change the control flow.
+  A,       ///< Mistaken branch (wrong direction).
+  B,       ///< Jump to the beginning of the same basic block.
+  C,       ///< Jump to the middle (including the end) of the same block.
+  D,       ///< Jump to the beginning of another basic block.
+  E,       ///< Jump to the middle of another basic block.
+  F,       ///< Jump to a non-code memory region.
+  NoError, ///< The fault does not change the control flow.
+  // Adversarial categories (attack campaigns). Appended strictly after
+  // NoError so the numeric IDs of the Figure 1 taxonomy never change:
+  // serialized checkpoints and merge files carry raw category indices,
+  // and NumBranchErrorCategories below deliberately still counts only
+  // the transient-fault categories (campaign result arrays and the
+  // engine checkpoint reserve-cursor layout are sized by it).
+  AttackReturn,   ///< ROP-style return-address corruption.
+  AttackIndirect, ///< Indirect-jump / IBTC target swap.
+  AttackCodePatch ///< SMC-style patch of translated code.
 };
 
+/// Number of *transient-fault* categories (Figure 1 + NoError). Attack
+/// categories are intentionally excluded: every serialized artifact that
+/// predates the adversarial mode sized its arrays with this constant.
 inline constexpr unsigned NumBranchErrorCategories = 7;
+
+/// Total number of categories including the adversarial ones.
+inline constexpr unsigned NumTotalErrorCategories = 10;
 
 /// Returns "A".."F" or "NoError".
 inline const char *getCategoryName(BranchErrorCategory Cat) {
@@ -48,6 +63,12 @@ inline const char *getCategoryName(BranchErrorCategory Cat) {
     return "F";
   case BranchErrorCategory::NoError:
     return "NoError";
+  case BranchErrorCategory::AttackReturn:
+    return "AttackReturn";
+  case BranchErrorCategory::AttackIndirect:
+    return "AttackIndirect";
+  case BranchErrorCategory::AttackCodePatch:
+    return "AttackCodePatch";
   }
   return "?";
 }

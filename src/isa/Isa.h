@@ -59,6 +59,12 @@ inline constexpr uint8_t RegRTS = 17;
 inline constexpr uint8_t RegAUX = 18;
 /// Second instrumentation scratch register.
 inline constexpr uint8_t RegAUX2 = 19;
+/// SSP — shadow-stack pointer of the ShadowStackChecker: points at the
+/// next free slot of the bounded return-address ring the adversarial
+/// mode uses to catch forged returns that carry a valid signature.
+inline constexpr uint8_t RegSSP = 20;
+/// Scratch register of the shadow-stack push/check sequences.
+inline constexpr uint8_t RegSSC = 21;
 /// Shadow copy of PC' kept by the self-integrity extension: every
 /// signature update is re-applied to this register so a flipped PCP can
 /// be told apart from a real control-flow error. Lives above the

@@ -256,6 +256,9 @@ RecoveryReport RecoveryManager::run(uint64_t MaxInsns) {
       Translator.metrics()
           .counter(std::string("trap.") + getTrapKindName(Stop.Trap))
           .inc();
+      if (Stop.Trap == TrapKind::BreakTrap &&
+          Stop.BreakCode == BrkShadowStackViolation)
+        Translator.metrics().counter("recovery.shadow_stack_traps").inc();
       if (telemetry::EventTracer *T = Translator.tracer())
         T->record(Interp.instructionCount(),
                   telemetry::TraceEventKind::TrapRaised,

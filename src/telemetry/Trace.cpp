@@ -35,6 +35,8 @@ const char *cfed::telemetry::getTraceEventName(TraceEventKind Kind) {
     return "block-quarantined";
   case TraceEventKind::TracePromoted:
     return "trace-promoted";
+  case TraceEventKind::AttackApplied:
+    return "attack-applied";
   }
   return "?";
 }

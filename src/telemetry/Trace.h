@@ -37,8 +37,10 @@ enum class TraceEventKind : uint8_t {
   CampaignInjection,   ///< A fault-campaign injection completed.
   IntegrityScrub,      ///< The scrubber walked the code cache.
   BlockQuarantined,    ///< An integrity mismatch evicted a cached block.
-  TracePromoted        ///< A hot unit was retranslated as an optimized
+  TracePromoted,       ///< A hot unit was retranslated as an optimized
                        ///< trace by the opt tier.
+  AttackApplied        ///< An adversarial campaign mutated guest-visible
+                       ///< state (stack/IBTC/code) at its planned instant.
 };
 
 /// Stable lowercase names used in both sinks.

@@ -102,6 +102,12 @@ inline constexpr int32_t BrkDbtInternal = 0xDB;
 /// corruption from a guest control-flow error (which reports 0xCFE).
 inline constexpr int32_t BrkMonitorCorruption = 0x5EC;
 
+/// Break code raised by the shadow return stack: a return popped an
+/// address that disagrees with the one recorded at the matching call —
+/// the adversarial-mode detector for forged returns whose target still
+/// carries a valid signature (so 0xCFE cannot fire).
+inline constexpr int32_t BrkShadowStackViolation = 0x5AC;
+
 /// Final state of a run() call.
 struct StopInfo {
   StopKind Kind = StopKind::Halted;

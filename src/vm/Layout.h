@@ -37,6 +37,22 @@ inline constexpr uint64_t DataDefaultSize = 0x00400000;
 inline constexpr uint64_t StackTop = 0x02000000;
 inline constexpr uint64_t StackSize = 0x00100000;
 
+/// Shadow return stack: a bounded ring of return addresses maintained by
+/// the ShadowStackChecker. Deliberately placed between the guest-visible
+/// regions and the code cache — the guest ABI never hands out addresses
+/// here, modeling a monitor-private region the adversary's (guest-level)
+/// writes cannot reach. Below CacheBase, so the recovery manager's
+/// write observer tracks it and rollback restores ring contents for free.
+inline constexpr uint64_t ShadowStackBase = 0x03000000;
+/// Ring capacity in return-address slots (8 bytes each).
+inline constexpr uint64_t ShadowStackSlots = 8192;
+inline constexpr uint64_t ShadowStackBytes = ShadowStackSlots * 8;
+
+/// Returns true if \p Addr lies inside the shadow return-stack ring.
+inline bool isShadowStackAddr(uint64_t Addr) {
+  return Addr >= ShadowStackBase && Addr < ShadowStackBase + ShadowStackBytes;
+}
+
 /// DBT code cache: the only executable region while translated code runs
 /// (pages carry the execute permission; everything else is non-executable,
 /// which is how category-F errors are caught).

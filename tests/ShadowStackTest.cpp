@@ -1,0 +1,333 @@
+//===- ShadowStackTest.cpp - Shadow return stack tests --------------------------===//
+//
+// The adversarial-mode shadow return stack: clean-run transparency,
+// forged-return detection under every signature technique, recovery
+// (rollback restores ring depth and contents), watchdog interaction
+// mid-call-chain, and push/pop pairing across superblock fusion and the
+// optimizing tier (property test over random call graphs).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dbt/Dbt.h"
+#include "fault/Campaign.h"
+#include "recovery/Recovery.h"
+#include "support/Format.h"
+#include "support/Prng.h"
+#include "vm/Layout.h"
+#include "workloads/RandomProgram.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace cfed;
+
+namespace {
+
+AsmProgram assembleOk(const std::string &Source) {
+  AsmResult Result = assembleProgram(Source);
+  EXPECT_TRUE(Result.succeeded()) << Result.errorText();
+  return std::move(Result.Program);
+}
+
+/// A guest function that discards its genuine return address and forges
+/// one pointing at `evil` — the attack every signature scheme accepts
+/// (the forged target is a valid block entry) and the shadow stack does
+/// not.
+AsmProgram forgedReturnProgram() {
+  return assembleOk(".entry main\n.code\n"
+                    "main:\n"
+                    "  movi r1, 1\n"
+                    "  call victim\n"
+                    "  out r1\n"
+                    "  halt\n"
+                    "victim:\n"
+                    "  pop r2\n"        // Genuine return address...
+                    "  movi r2, evil\n" // ...replaced wholesale.
+                    "  push r2\n"
+                    "  ret\n"
+                    "evil:\n"
+                    "  movi r1, 666\n"
+                    "  out r1\n"
+                    "  halt\n");
+}
+
+/// Random call DAG: function i only calls functions j > i, so every
+/// program terminates, but call sites, chain depth and interleaved
+/// arithmetic vary with the seed. Exercises push/pop pairing through
+/// whatever block shapes the translator forms.
+std::string generateCallGraphProgram(uint64_t Seed) {
+  Prng Rng(Seed);
+  unsigned NumFuncs = 3 + static_cast<unsigned>(Rng.nextBelow(5));
+  std::string S = ".entry main\n.code\n";
+  S += "main:\n  movi r1, 7\n  movi r2, 3\n";
+  unsigned MainCalls = 1 + static_cast<unsigned>(Rng.nextBelow(3));
+  for (unsigned C = 0; C < MainCalls; ++C)
+    S += "  call f0\n";
+  S += "  out r1\n  halt\n";
+  for (unsigned F = 0; F < NumFuncs; ++F) {
+    S += formatString("f%u:\n", F);
+    unsigned Ops = 1 + static_cast<unsigned>(Rng.nextBelow(4));
+    for (unsigned O = 0; O < Ops; ++O) {
+      switch (Rng.nextBelow(3)) {
+      case 0:
+        S += formatString("  addi r1, r1, %u\n",
+                          1 + unsigned(Rng.nextBelow(9)));
+        break;
+      case 1:
+        S += formatString("  muli r2, r2, %u\n",
+                          2 + unsigned(Rng.nextBelow(3)));
+        break;
+      default:
+        S += "  add r1, r1, r2\n";
+        break;
+      }
+    }
+    // Call up to two strictly-later functions (possibly with a
+    // caller-saved spill around the call, like real codegen).
+    for (unsigned C = 0; C < 2 && F + 1 < NumFuncs; ++C) {
+      if (Rng.nextBelow(2) == 0)
+        continue;
+      unsigned Callee =
+          F + 1 + static_cast<unsigned>(Rng.nextBelow(NumFuncs - F - 1));
+      bool Spill = Rng.nextBelow(2) == 0;
+      if (Spill)
+        S += "  push r2\n";
+      S += formatString("  call f%u\n", Callee);
+      if (Spill)
+        S += "  pop r2\n";
+    }
+    S += "  ret\n";
+  }
+  return S;
+}
+
+struct RunResult {
+  std::string Output;
+  StopInfo Stop;
+  uint64_t Pushes = 0;
+  uint64_t Checks = 0;
+};
+
+RunResult runUnder(const AsmProgram &Program, DbtConfig Config,
+                   uint64_t MaxInsns = 10000000) {
+  telemetry::MetricsRegistry Registry;
+  Memory Mem;
+  Interpreter Interp(Mem);
+  Dbt Translator(Mem, Config, &Registry);
+  EXPECT_TRUE(Translator.load(Program, Interp.state()))
+      << Translator.loadError();
+  RunResult R;
+  R.Stop = Translator.run(Interp, MaxInsns);
+  R.Output = Interp.output();
+  telemetry::RegistrySnapshot Snap = Registry.snapshot();
+  R.Pushes = Snap.counterOr("cfc.shadow_stack.pushes_emitted");
+  R.Checks = Snap.counterOr("cfc.shadow_stack.checks_emitted");
+  return R;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Transparency and detection
+//===----------------------------------------------------------------------===//
+
+TEST(ShadowStackTest, CleanCallHeavyRunIsTransparent) {
+  AsmProgram Program = assembleWorkload("186.crafty");
+  DbtConfig Plain;
+  Plain.Tech = Technique::EdgCf;
+  DbtConfig Shadowed = Plain;
+  Shadowed.ShadowStack = true;
+
+  RunResult Ref = runUnder(Program, Plain);
+  RunResult Shadow = runUnder(Program, Shadowed);
+  ASSERT_EQ(Ref.Stop.Kind, StopKind::Halted);
+  ASSERT_EQ(Shadow.Stop.Kind, StopKind::Halted)
+      << "spurious shadow-stack violation on a clean run";
+  EXPECT_EQ(Shadow.Output, Ref.Output);
+  EXPECT_GT(Shadow.Pushes, 0u);
+  EXPECT_GT(Shadow.Checks, 0u);
+  EXPECT_EQ(Ref.Pushes, 0u);
+}
+
+TEST(ShadowStackTest, ForgedReturnEvadesSignaturesButNotShadowStack) {
+  AsmProgram Program = forgedReturnProgram();
+  // Without the shadow stack the forged return lands on a valid block
+  // entry: EdgCF derives the signature from the popped value itself, so
+  // the run completes with the attacker's output — a true evasion.
+  DbtConfig Plain;
+  Plain.Tech = Technique::EdgCf;
+  RunResult Evaded = runUnder(Program, Plain);
+  ASSERT_EQ(Evaded.Stop.Kind, StopKind::Halted);
+  EXPECT_NE(Evaded.Output.find("666"), std::string::npos);
+
+  DbtConfig Shadowed = Plain;
+  Shadowed.ShadowStack = true;
+  RunResult Caught = runUnder(Program, Shadowed);
+  ASSERT_EQ(Caught.Stop.Kind, StopKind::Trapped);
+  EXPECT_EQ(Caught.Stop.Trap, TrapKind::BreakTrap);
+  EXPECT_EQ(Caught.Stop.BreakCode, BrkShadowStackViolation);
+  EXPECT_EQ(Caught.Output.find("666"), std::string::npos);
+}
+
+TEST(ShadowStackTest, ComposesUnderEverySignatureTechnique) {
+  AsmProgram Program = forgedReturnProgram();
+  struct Case {
+    Technique Tech;
+    bool Eager;
+  };
+  for (const Case &C :
+       {Case{Technique::None, false}, Case{Technique::EdgCf, false},
+        Case{Technique::Rcf, false}, Case{Technique::Ecf, false},
+        Case{Technique::Cfcss, true}, Case{Technique::Ecca, true}}) {
+    DbtConfig Config;
+    Config.Tech = C.Tech;
+    Config.EagerTranslate = C.Eager;
+    Config.ShadowStack = true;
+    RunResult R = runUnder(Program, Config);
+    ASSERT_EQ(R.Stop.Kind, StopKind::Trapped)
+        << "technique " << getTechniqueName(C.Tech);
+    EXPECT_EQ(R.Stop.BreakCode, BrkShadowStackViolation)
+        << "technique " << getTechniqueName(C.Tech);
+  }
+}
+
+TEST(ShadowStackTest, UnwindingPastTheRingWrapTraps) {
+  // Call chains deeper than ShadowStackSlots wrap the ring and lose the
+  // oldest frames; unwinding past the wrap point must surface as a
+  // violation (a documented bound), not as silent acceptance.
+  std::string S = ".entry main\n.code\n"
+                  "main:\n";
+  S += formatString("  movi r1, %u\n", unsigned(ShadowStackSlots) + 40);
+  S += "  call rec\n"
+       "  out r1\n"
+       "  halt\n"
+       "rec:\n"
+       "  jnzr r1, deeper\n"
+       "  ret\n"
+       "deeper:\n"
+       "  addi r1, r1, -1\n"
+       "  call rec\n"
+       "  ret\n";
+  DbtConfig Config;
+  Config.Tech = Technique::EdgCf;
+  Config.ShadowStack = true;
+  RunResult R = runUnder(assembleOk(S), Config, 50000000);
+  ASSERT_EQ(R.Stop.Kind, StopKind::Trapped);
+  EXPECT_EQ(R.Stop.BreakCode, BrkShadowStackViolation);
+}
+
+//===----------------------------------------------------------------------===//
+// Recovery interaction
+//===----------------------------------------------------------------------===//
+
+TEST(ShadowStackTest, RollbackRestoresRingDepthAndContents) {
+  // A transient branch fault detected mid-call-chain rolls back to a
+  // checkpoint taken at some other call depth. RegSSP lives in CpuState
+  // and the ring lives below the code cache where the page-write
+  // observer journals it, so rollback must restore both — any desync
+  // would trap 0x5AC on a later return and the run could not finish
+  // with the golden output.
+  AsmProgram Program = assembleWorkload("186.crafty");
+  DbtConfig Config;
+  Config.Tech = Technique::EdgCf;
+  Config.ShadowStack = true;
+  FaultCampaign Campaign(Program, Config);
+  ASSERT_TRUE(Campaign.prepare(10000000));
+
+  RecoveryConfig RC;
+  RC.CheckpointInterval = 400;
+  unsigned Recovered = 0, Examined = 0;
+  for (const PlannedFault &Fault : Campaign.plan(60, 23, SiteClass::Any)) {
+    if (Fault.Category == BranchErrorCategory::NoError)
+      continue;
+    if (Examined++ >= 12)
+      break;
+    FaultCampaign::RecoveryInjection R = Campaign.injectWithRecovery(Fault, RC);
+    if (R.Result == Outcome::Recovered)
+      ++Recovered;
+  }
+  EXPECT_GT(Recovered, 0u)
+      << "no fault recovered to the golden output with the shadow "
+         "stack on — ring state is not rolling back";
+}
+
+TEST(ShadowStackTest, WatchdogMidCallChainDoesNotDesync) {
+  // The watchdog fires between a call's push and its return check, the
+  // recovery manager rolls back and degrades the translator (which
+  // flushes and retranslates, keeping ShadowStack set). Frames pushed
+  // before the flush must still satisfy the checks emitted after it.
+  AsmProgram Program = assembleWorkload("186.crafty");
+  DbtConfig Config;
+  Config.Tech = Technique::Rcf;
+  Config.Policy = CheckPolicy::End;
+  Config.SuperblockLimit = 4;
+  Config.ChainDirectExits = true;
+  Config.ShadowStack = true;
+
+  Memory Mem;
+  Interpreter Interp(Mem);
+  Dbt Translator(Mem, Config);
+  ASSERT_TRUE(Translator.load(Program, Interp.state()));
+  uint64_t Golden = [&Program, &Config]() {
+    Memory M2;
+    Interpreter I2(M2);
+    Dbt T2(M2, Config);
+    EXPECT_TRUE(T2.load(Program, I2.state()));
+    EXPECT_EQ(T2.run(I2, 50000000).Kind, StopKind::Halted);
+    return hashOutput(I2.output());
+  }();
+
+  RecoveryConfig RC;
+  RC.CheckpointInterval = 300;
+  RC.WatchdogBound = 80; // Below the End policy's check-free stretches.
+  RecoveryManager Manager(Interp, Translator, RC);
+  RecoveryReport Report = Manager.run(50000000);
+
+  EXPECT_GT(Report.NumWatchdogFires, 0u);
+  EXPECT_TRUE(Report.Completed) << getTrapKindName(Report.FinalStop.Trap);
+  EXPECT_EQ(hashOutput(Interp.output()), Golden);
+}
+
+//===----------------------------------------------------------------------===//
+// Pairing across translator configurations (property test)
+//===----------------------------------------------------------------------===//
+
+TEST(ShadowStackTest, PushPopPairingSurvivesFusionAndOptTier) {
+  // Superblock fusion folds call-carrying blocks into larger units and
+  // the optimizing tier re-forms hot traces; both must keep every
+  // call-side push paired with its return-side check. Any unpaired
+  // sequence either desyncs the ring (spurious 0x5AC, run traps) or
+  // diverges the output.
+  for (uint64_t Seed = 1; Seed <= 12; ++Seed) {
+    AsmProgram Program = assembleOk(generateCallGraphProgram(Seed));
+    for (int Variant = 0; Variant < 3; ++Variant) {
+      DbtConfig Config;
+      Config.Tech = Technique::EdgCf;
+      switch (Variant) {
+      case 0: // Plain base tier.
+        break;
+      case 1: // Aggressive fusion + chaining.
+        Config.SuperblockLimit = 6;
+        Config.ChainDirectExits = true;
+        break;
+      default: // Optimizing trace tier.
+        Config.Tier = DbtTier::Opt;
+        Config.SuperblockLimit = 4;
+        Config.ChainDirectExits = true;
+        break;
+      }
+      RunResult Ref = runUnder(Program, Config);
+      ASSERT_EQ(Ref.Stop.Kind, StopKind::Halted)
+          << "seed " << Seed << " variant " << Variant;
+      Config.ShadowStack = true;
+      RunResult Shadow = runUnder(Program, Config);
+      ASSERT_EQ(Shadow.Stop.Kind, StopKind::Halted)
+          << "seed " << Seed << " variant " << Variant
+          << ": spurious shadow-stack trap (unpaired push/check)";
+      EXPECT_EQ(Shadow.Output, Ref.Output)
+          << "seed " << Seed << " variant " << Variant;
+      EXPECT_GT(Shadow.Pushes, 0u) << "seed " << Seed;
+      EXPECT_EQ(Shadow.Pushes > 0, Shadow.Checks > 0);
+    }
+  }
+}

@@ -24,6 +24,9 @@
 //                        per n cache-exit dispatches (default 64)
 //   --verify-dispatch=<n> self-integrity: lazily verify a block's
 //                        integrity word every n dispatches landing on it
+//   --shadow-stack       maintain a shadow return stack and trap ret
+//                        target mismatches (0x5AC) — catches forged
+//                        returns every signature scheme accepts
 //   --shadow-sig         self-integrity: duplicate the runtime signature
 //                        into shadow registers and cross-check at
 //                        CHECK_SIG sites (flipped signature state traps
@@ -39,6 +42,13 @@
 //                        plain run
 //   --campaign=<n>       run an n-fault campaign through the campaign
 //                        engine: batched, checkpointed, resumable
+//   --campaign-attack=<n> adversarial mode: run an n-attack campaign
+//                        (return forging / IBTC swaps / code patching)
+//                        and print the per-family precision matrix;
+//                        shares the engine checkpoint/shard/jobs flags;
+//                        with --recover, attacks run under rollback
+//                        recovery; with --postmortem-dir, every evaded
+//                        attack leaves a flight-recorder bundle
 //   --campaign-checkpoint=<file>
 //                        checkpoint file; an existing one resumes the
 //                        campaign where it stopped
@@ -148,6 +158,7 @@ struct Options {
   uint64_t Injections = 0;
   uint64_t Seed = 1;
   uint64_t CampaignInjections = 0;
+  uint64_t AttackCount = 0;
   std::string CampaignCheckpoint;
   uint64_t CampaignInterval = 64;
   unsigned ShardIndex = 0;
@@ -186,7 +197,9 @@ int usage() {
                "[--ckpt-interval=N]\n"
                "                [--inject=N] [--seed=N] "
                "[--disasm] [--dump-cfg]\n"
-               "                [--campaign=N] "
+               "                [--campaign=N] [--campaign-attack=N] "
+               "[--shadow-stack]\n"
+               "                "
                "[--campaign-checkpoint=FILE] [--campaign-interval=N]\n"
                "                [--campaign-shard=K/N] "
                "[--campaign-out=FILE] [--campaign-stop-ci=W]\n"
@@ -313,6 +326,9 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
     } else if (F.Name == "--shadow-sig") {
       if (!Bare(Opts.Config.ShadowSignature))
         return false;
+    } else if (F.Name == "--shadow-stack") {
+      if (!Bare(Opts.Config.ShadowStack))
+        return false;
     } else if (F.Name == "--recover") {
       if (!Bare(Opts.Recover))
         return false;
@@ -327,6 +343,9 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
         return false;
     } else if (F.Name == "--campaign") {
       if (!Uint(Opts.CampaignInjections, "<count>"))
+        return false;
+    } else if (F.Name == "--campaign-attack") {
+      if (!Uint(Opts.AttackCount, "<count>"))
         return false;
     } else if (F.Name == "--campaign-checkpoint") {
       if (!F.HasValue || F.Value.empty())
@@ -429,6 +448,21 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
   }
   if (!Opts.CoordinatorDir.empty() && Opts.CampaignInjections == 0) {
     std::fprintf(stderr, "error: --campaign-coordinator needs --campaign\n");
+    return false;
+  }
+  if (Opts.AttackCount > 0 &&
+      (Opts.CampaignInjections > 0 || Opts.Injections > 0)) {
+    std::fprintf(stderr, "error: --campaign-attack excludes --campaign "
+                         "and --inject (one campaign mode per run)\n");
+    return false;
+  }
+  if (Opts.AttackCount > 0 &&
+      (Opts.StopHalfWidth > 0.0 || !Opts.CoordinatorDir.empty() ||
+       Opts.PropTrace || !Opts.GoldenTraceFile.empty())) {
+    std::fprintf(stderr,
+                 "error: --campaign-stop-ci/--campaign-coordinator/"
+                 "--golden-trace/--prop-trace do not apply to "
+                 "--campaign-attack\n");
     return false;
   }
   // Campaign modes record their own oracle during prepare(); only a
@@ -790,6 +824,100 @@ int runEngine(const AsmProgram &Program, const Options &Opts,
   return 0;
 }
 
+/// The --campaign-attack path: adversarial campaigns with the
+/// per-family precision matrix. The engine (checkpointed, shardable)
+/// drives the default mode; --recover and --postmortem-dir switch to
+/// the direct AttackCampaign so recovery classification and evasion
+/// bundles are available.
+int runAttack(const AsmProgram &Program, const Options &Opts,
+              telemetry::MetricsRegistry &Registry) {
+  bool Direct = Opts.Recover || !Opts.PostmortemDir.empty();
+  if (Direct &&
+      (!Opts.CampaignCheckpoint.empty() || Opts.NumShards > 1)) {
+    std::fprintf(stderr,
+                 "error: --recover/--postmortem-dir attack campaigns do "
+                 "not compose with --campaign-checkpoint/"
+                 "--campaign-shard\n");
+    return 1;
+  }
+
+  telemetry::RegistrySnapshot Snap;
+  AttackEngineConfig Engine;
+  Engine.NumAttacks = Opts.AttackCount;
+  Engine.Seed = Opts.Seed;
+  Engine.MaxInsns = Opts.MaxInsns;
+  Engine.Jobs = static_cast<unsigned>(Opts.Jobs);
+  Engine.CheckpointInterval = Opts.CampaignInterval;
+  Engine.CheckpointFile = Opts.CampaignCheckpoint;
+  Engine.ShardIndex = Opts.ShardIndex;
+  Engine.NumShards = Opts.NumShards;
+
+  AttackEngineReport Report;
+  if (Direct) {
+    AttackCampaign Campaign(Program, Opts.Config);
+    if (!Campaign.prepare(Opts.MaxInsns)) {
+      std::fprintf(stderr, "error: golden run failed to halt within the "
+                           "instruction budget\n");
+      return 1;
+    }
+    if (Opts.Recover) {
+      if (!Opts.PostmortemDir.empty())
+        reportNote("--postmortem-dir is ignored for attack campaigns "
+                   "under --recover");
+      Report.Result = Campaign.runWithRecovery(
+          Opts.AttackCount, Opts.Seed, Opts.Recovery,
+          static_cast<unsigned>(Opts.Jobs));
+    } else {
+      telemetry::FlightRecorder Recorder(Opts.PostmortemDir, 256);
+      Report.Result =
+          Campaign.run(Opts.AttackCount, Opts.Seed,
+                       static_cast<unsigned>(Opts.Jobs), &Recorder);
+      reportNotef("post-mortem: %llu bundles written under %s",
+                  static_cast<unsigned long long>(Recorder.bundleCount()),
+                  Opts.PostmortemDir.c_str());
+    }
+    Report.Registry = Campaign.metrics().snapshot();
+    Report.Completed = Report.Result.Attacks;
+    Report.Planned = Report.Result.Attacks;
+  } else {
+    AttackEngine Runner(Program, Opts.Config, Engine);
+    Report = Runner.run();
+  }
+  Snap = Report.Registry;
+
+  std::printf("%s", renderPrecisionMatrix(Snap).c_str());
+  std::printf("%s\n", renderPrecisionSummaryLine(Snap).c_str());
+  std::printf("attack-campaign: completed=%llu planned=%llu "
+              "gadget-valid=%llu shard=%u/%u%s%s\n",
+              (unsigned long long)Report.Completed,
+              (unsigned long long)Report.Planned,
+              (unsigned long long)Snap.counterOr("attack.gadget_valid"),
+              Opts.ShardIndex, Opts.NumShards,
+              Report.Resumed ? " resumed" : "",
+              Report.Finished ? "" : " (interrupted)");
+
+  if (!Opts.CampaignOut.empty()) {
+    std::ofstream Out(Opts.CampaignOut);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write campaign result '%s'\n",
+                   Opts.CampaignOut.c_str());
+      return 1;
+    }
+    Out << AttackEngine::resultToJson(Report, Engine) << '\n';
+    reportNotef("campaign result written to %s", Opts.CampaignOut.c_str());
+  }
+
+  Registry.merge(Snap);
+  for (unsigned F = 0; F < NumAttackFamilies; ++F) {
+    const AttackOutcomeCounts &C =
+        Report.Result.of(static_cast<AttackFamily>(F));
+    countDetection(Registry, attackCategory(static_cast<AttackFamily>(F)),
+                   C.detected() + C.DetectedShadow);
+  }
+  emitStats(Opts, Registry);
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -831,6 +959,8 @@ int main(int Argc, char **Argv) {
   if (!Opts.TraceFile.empty())
     Tracer = std::make_unique<telemetry::EventTracer>(Opts.TraceBuffer);
 
+  if (Opts.AttackCount > 0)
+    return runAttack(Program, Opts, Registry);
   if (Opts.CampaignInjections > 0)
     return runEngine(Program, Opts, Registry);
 

@@ -35,6 +35,12 @@
 ///                                        prop.* instruments of a campaign
 ///                                        result, merged result or registry
 ///                                        snapshot (cfed-run --prop-trace)
+///   cfed-stat precision FILE             per-technique precision matrix
+///                                        (attack family x outcome) from
+///                                        the attack.* instruments of an
+///                                        adversarial campaign result or
+///                                        registry snapshot (cfed-run
+///                                        --campaign-attack)
 ///   cfed-stat tail FILE...               one-shot render of live-exporter
 ///                                        snapshot files (the same view
 ///                                        cfed-top refreshes continuously)
@@ -89,6 +95,10 @@ void usage() {
       "  prop FILE                       fault-propagation funnel from the\n"
       "                                  prop.* instruments of a campaign\n"
       "                                  run with --prop-trace\n"
+      "  precision FILE                  precision matrix (attack family x\n"
+      "                                  outcome) from the attack.*\n"
+      "                                  instruments of an adversarial\n"
+      "                                  campaign (--campaign-attack)\n"
       "  tail FILE...                    one-shot render of live-exporter\n"
       "                                  snapshots (cfed-top's view, once)\n");
 }
@@ -600,6 +610,35 @@ int cmdMerge(int Argc, char **Argv) {
     return 1;
   }
 
+  auto WriteMerged = [&]() -> int {
+    if (OutPath.empty())
+      return 0;
+    std::FILE *Out = std::fopen(OutPath.c_str(), "w");
+    if (!Out) {
+      std::fprintf(stderr, "cfed-stat: cannot write '%s'\n", OutPath.c_str());
+      return 1;
+    }
+    std::string Json = mergedToJson(Merged, Shards.size());
+    std::fprintf(Out, "%s\n", Json.c_str());
+    std::fclose(Out);
+    return 0;
+  };
+
+  // Attack-campaign shards carry attack.* tallies instead of fault
+  // outcome counters: render the precision matrix and its fixed summary
+  // line (the CI shard-invariance gate string-compares it against the
+  // unsharded run's).
+  if (hasAttackTallies(Merged.Registry)) {
+    std::printf("%s", renderPrecisionMatrix(Merged.Registry).c_str());
+    std::printf("merged %zu file(s) of a %u-shard campaign (seed %llu)%s\n",
+                Shards.size(), Merged.NumShards,
+                (unsigned long long)Merged.Seed,
+                Merged.Finished ? "" : " [contains interrupted shards]");
+    std::printf("%s\n",
+                renderPrecisionSummaryLine(Merged.Registry).c_str());
+    return WriteMerged();
+  }
+
   CampaignResult Result = campaignResultFromSnapshot(Merged.Registry);
   Table T;
   T.setHeader({"cell", "inj", "det-sig", "det-hw", "masked", "SDC",
@@ -651,17 +690,7 @@ int cmdMerge(int Argc, char **Argv) {
     std::printf("prop-summary:%s\n", PropLine.c_str());
   }
 
-  if (!OutPath.empty()) {
-    std::FILE *Out = std::fopen(OutPath.c_str(), "w");
-    if (!Out) {
-      std::fprintf(stderr, "cfed-stat: cannot write '%s'\n", OutPath.c_str());
-      return 1;
-    }
-    std::string Json = mergedToJson(Merged, Shards.size());
-    std::fprintf(Out, "%s\n", Json.c_str());
-    std::fclose(Out);
-  }
-  return 0;
+  return WriteMerged();
 }
 
 //===----------------------------------------------------------------------===//
@@ -780,6 +809,59 @@ int cmdProp(int Argc, char **Argv) {
 }
 
 //===----------------------------------------------------------------------===//
+// precision
+//===----------------------------------------------------------------------===//
+
+int cmdPrecision(int Argc, char **Argv) {
+  for (int I = 0; I < Argc; ++I) {
+    cli::Flag F;
+    if (cli::splitFlag(Argv[I], F)) {
+      cli::unknownOption(F.Name);
+      usage();
+      return 2;
+    }
+  }
+  if (Argc != 1) {
+    usage();
+    return 2;
+  }
+  JsonValue Root;
+  if (!parseFile(Argv[0], Root))
+    return 2;
+  const JsonValue &Reg = findRegistry(Root);
+  if (Reg.K != JsonValue::Object) {
+    std::fprintf(stderr, "cfed-stat: '%s' has no registry snapshot\n",
+                 Argv[0]);
+    return 2;
+  }
+  telemetry::RegistrySnapshot Snap;
+  std::string Error;
+  if (!telemetry::snapshotFromJson(Reg, Snap, Error)) {
+    std::fprintf(stderr, "cfed-stat: '%s': %s\n", Argv[0], Error.c_str());
+    return 2;
+  }
+
+  if (!hasAttackTallies(Snap)) {
+    std::fprintf(stderr, "cfed-stat: '%s' has no attack.* tallies (was "
+                         "the campaign run with --campaign-attack?)\n",
+                 Argv[0]);
+    return 1;
+  }
+  std::printf("%s", renderPrecisionMatrix(Snap).c_str());
+  std::printf("%s\n", renderPrecisionSummaryLine(Snap).c_str());
+  std::printf(
+      "cells: det-sig = the signature scheme fired (0xCFE/0x5EC); "
+      "det-shdw = only the shadow\n"
+      "return stack fired (0x5AC); det-integ = self-integrity quarantined "
+      "the patch; det-hw =\n"
+      "memory protection / illegal instruction; evaded = corrupt output, "
+      "no detector fired\n"
+      "(the attacker's score); masked = golden output; timeout = budget "
+      "exhausted undetected.\n");
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
 // tail
 //===----------------------------------------------------------------------===//
 
@@ -848,6 +930,8 @@ int main(int Argc, char **Argv) {
     return cmdLatency(Argc - 2, Argv + 2);
   if (std::strcmp(Cmd, "prop") == 0)
     return cmdProp(Argc - 2, Argv + 2);
+  if (std::strcmp(Cmd, "precision") == 0)
+    return cmdPrecision(Argc - 2, Argv + 2);
   if (std::strcmp(Cmd, "tail") == 0)
     return cmdTail(Argc - 2, Argv + 2);
   usage();

@@ -32,6 +32,12 @@
 #                           absolute-gate rationale as the scrub ceiling:
 #                           the per-sub-block capture cost is a design
 #                           budget, not a ratcheted baseline number.
+#   CFED_SHADOWSTACK_OVERHEAD_MAX absolute ceiling on the shadow
+#                           return stack's shadow_stack_overhead ratio
+#                           measured by micro_dbt's reference run on the
+#                           call-heavy workload (default: 0.15). Same
+#                           absolute-gate rationale: a push per call and
+#                           a check per ret is a fixed design budget.
 #   CFED_GEOMEAN_MAX        absolute ceiling on the Section 6 geomean
 #                           DBT slowdown with the optimizing trace tier
 #                           on (sec6_dbt_overhead.geomean_slowdown_opt in
@@ -50,6 +56,7 @@ THRESHOLD=${CFED_BENCH_THRESHOLD:-10}
 SCRUB_MAX=${CFED_SCRUB_OVERHEAD_MAX:-0.15}
 EXPORT_MAX=${CFED_EXPORT_OVERHEAD_MAX:-0.15}
 DIGEST_MAX=${CFED_DIGEST_OVERHEAD_MAX:-0.15}
+SHADOW_MAX=${CFED_SHADOWSTACK_OVERHEAD_MAX:-0.15}
 GEOMEAN_MAX=${CFED_GEOMEAN_MAX:-1.08}
 
 if [ ! -x "$BUILD/bench/micro_dbt" ] || [ ! -x "$BUILD/tools/cfed-stat" ] \
@@ -191,6 +198,56 @@ if "$BUILD/tools/cfed-stat" merge "$CAMP/coord/shard_0.live.json" \
   exit 1
 fi
 echo "cfed-stat tail renders shard live snapshots; merge refuses them"
+
+# --- Adversarial attack-campaign smoke ---------------------------------------
+# The same 2-shard/unsharded comparison for the attack engine on the
+# call-heavy workload: the merged precision-summary line must reproduce
+# the unsharded reference verbatim for mixed per-shard job counts.
+# Catches drift in the attack plan partitioning or the precision fold.
+"$BUILD/tools/cfed-run" --tech=edgcf --campaign-attack=40 --seed=7 \
+  --jobs=2 --campaign-out="$CAMP/attackref.json" 186.crafty >/dev/null
+for K in 0 1; do
+  "$BUILD/tools/cfed-run" --tech=edgcf --campaign-attack=40 --seed=7 \
+    --jobs=$((K + 1)) --campaign-shard=$K/2 \
+    --campaign-out="$CAMP/attackshard$K.json" 186.crafty >/dev/null
+done
+ATTACK_REF=$("$BUILD/tools/cfed-stat" merge "$CAMP/attackref.json" \
+             | grep '^precision-summary:')
+ATTACK_MERGED=$("$BUILD/tools/cfed-stat" merge "$CAMP/attackshard0.json" \
+                "$CAMP/attackshard1.json" | grep '^precision-summary:')
+if [ -z "$ATTACK_REF" ]; then
+  echo "check_bench_regression: attack campaign produced no" \
+       "precision-summary line" >&2
+  exit 1
+fi
+if [ "$ATTACK_REF" != "$ATTACK_MERGED" ]; then
+  echo "check_bench_regression: sharded attack campaign diverged from the" \
+       "unsharded reference" >&2
+  echo "  unsharded: $ATTACK_REF" >&2
+  echo "  merged:    $ATTACK_MERGED" >&2
+  exit 1
+fi
+echo "sharded attack campaign merge matches unsharded reference"
+echo "  $ATTACK_MERGED"
+
+# The assurance configuration (shadow return stack + per-dispatch code
+# scrubbing and dispatch verification) must leave nothing undetected:
+# the shadow stack catches every forged return the signatures accept,
+# and the self-integrity layer catches the code patches.
+ASSURED=$("$BUILD/tools/cfed-run" --tech=edgcf --shadow-stack --scrub=1 \
+          --verify-dispatch=1 --campaign-attack=40 --seed=7 --jobs=2 \
+          186.crafty | grep '^precision-summary:')
+case "$ASSURED" in
+  *" undetected=0 "*) ;;
+  *)
+    echo "check_bench_regression: assurance config (shadow stack +" \
+         "scrub/verify) left attacks undetected" >&2
+    echo "  $ASSURED" >&2
+    exit 1
+    ;;
+esac
+echo "assurance config detects every attack (shadow stack + integrity)"
+echo "  $ASSURED"
 # ----------------------------------------------------------------------------
 
 # The fast deterministic subset; the publishing code derives hit rates and
@@ -249,6 +306,24 @@ if [ -n "$DIGEST" ]; then
   echo "digest_overhead $DIGEST within CFED_DIGEST_OVERHEAD_MAX=$DIGEST_MAX"
 else
   echo "check_bench_regression: no digest_overhead in fresh run" >&2
+  exit 2
+fi
+
+# Absolute gate on the shadow return stack (see
+# CFED_SHADOWSTACK_OVERHEAD_MAX above). Like scrub_overhead, deliberately
+# NOT in the checked-in baseline.
+SHADOW=$(sed -n 's/.*"shadow_stack_overhead": *\([0-9.eE+-]*\).*/\1/p' \
+         "$FRESH" | head -n 1)
+if [ -n "$SHADOW" ]; then
+  if awk -v s="$SHADOW" -v max="$SHADOW_MAX" 'BEGIN { exit !(s > max) }'
+  then
+    echo "check_bench_regression: shadow_stack_overhead $SHADOW exceeds" \
+         "CFED_SHADOWSTACK_OVERHEAD_MAX=$SHADOW_MAX" >&2
+    exit 1
+  fi
+  echo "shadow_stack_overhead $SHADOW within CFED_SHADOWSTACK_OVERHEAD_MAX=$SHADOW_MAX"
+else
+  echo "check_bench_regression: no shadow_stack_overhead in fresh run" >&2
   exit 2
 fi
 
